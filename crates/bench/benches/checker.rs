@@ -1,0 +1,102 @@
+//! Criterion benches: checker cost on every paper experiment's corpus
+//! (E1–E5, E7–E10) and on the floppy-driver case study (E11).
+//!
+//! Each bench also asserts the expected verdicts once up front, so a
+//! regression in the checker fails the bench run rather than silently
+//! timing wrong behaviour.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vault_bench::run_program;
+use vault_core::check_source;
+use vault_corpus::{floppy, programs_for};
+
+fn bench_experiment(c: &mut Criterion, experiment: &str, label: &str) {
+    let programs = programs_for(experiment);
+    for p in &programs {
+        let (outcome, _) = run_program(p);
+        assert!(outcome.matches, "{}: corpus expectation violated", p.id);
+    }
+    c.bench_function(label, |b| {
+        b.iter(|| {
+            for p in &programs {
+                black_box(check_source(p.id, &p.source));
+            }
+        })
+    });
+}
+
+fn fig2_regions(c: &mut Criterion) {
+    bench_experiment(c, "E1", "E1_fig2_regions");
+}
+
+fn fig3_sockets(c: &mut Criterion) {
+    bench_experiment(c, "E2", "E2_fig3_sockets");
+}
+
+fn keyed_variants(c: &mut Criterion) {
+    bench_experiment(c, "E3", "E3_keyed_variants");
+}
+
+fn fig4_collections(c: &mut Criterion) {
+    bench_experiment(c, "E4", "E4_fig4_collections");
+}
+
+fn fig5_join(c: &mut Criterion) {
+    bench_experiment(c, "E5", "E5_fig5_join_points");
+}
+
+fn irp_protocol(c: &mut Criterion) {
+    bench_experiment(c, "E7", "E7_irp_protocol");
+}
+
+fn locks_events(c: &mut Criterion) {
+    bench_experiment(c, "E8", "E8_locks_events");
+}
+
+fn fig7_completion(c: &mut Criterion) {
+    bench_experiment(c, "E9", "E9_fig7_completion");
+}
+
+fn irql_paging(c: &mut Criterion) {
+    bench_experiment(c, "E10", "E10_irql_paging");
+}
+
+fn driver_case_study(c: &mut Criterion) {
+    let source = floppy::driver_source();
+    let r = check_source("floppy", &source);
+    assert_eq!(r.verdict(), vault_core::Verdict::Accepted);
+    c.bench_function("E11_floppy_driver_check", |b| {
+        b.iter(|| black_box(check_source("floppy", &source)))
+    });
+    c.bench_function("E11_floppy_driver_emit_c", |b| {
+        b.iter(|| {
+            let r = check_source("floppy", &source);
+            black_box(vault_core::codegen::emit_c(&r.program, &r.elaborated))
+        })
+    });
+    // Mutant detection cost (E12's static half).
+    let mutants = programs_for("E12");
+    c.bench_function("E12_mutants_check", |b| {
+        b.iter(|| {
+            for p in &mutants {
+                black_box(check_source(p.id, &p.source));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    fig2_regions,
+    fig3_sockets,
+    keyed_variants,
+    fig4_collections,
+    fig5_join,
+    irp_protocol,
+    locks_events,
+    fig7_completion,
+    irql_paging,
+    driver_case_study,
+);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! E13: checker scaling on synthetic programs (the paper claims key sets
+//! were "intentionally kept simple to enable an efficient decision
+//! procedure"; this measures that the checker scales near-linearly in
+//! program size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vault_core::check_source;
+use vault_corpus::{count_loc, synth::{generate, Shape, SynthConfig}};
+
+fn scaling_by_functions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E13_scaling_functions");
+    for functions in [10usize, 20, 40, 80, 160] {
+        let program = generate(&SynthConfig {
+            functions,
+            stmts_per_fn: 20,
+            seed: 0xE13,
+            bug_rate: 0.0,
+            shape: Shape::Mixed,
+        });
+        let loc = count_loc(&program.source);
+        group.throughput(Throughput::Elements(loc as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(functions),
+            &program.source,
+            |b, src| b.iter(|| black_box(check_source("synth", src))),
+        );
+    }
+    group.finish();
+}
+
+fn scaling_by_statements(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E13_scaling_statements");
+    for stmts in [10usize, 20, 40, 80] {
+        let program = generate(&SynthConfig {
+            functions: 20,
+            stmts_per_fn: stmts,
+            seed: 0xE13,
+            bug_rate: 0.0,
+            shape: Shape::Mixed,
+        });
+        let loc = count_loc(&program.source);
+        group.throughput(Throughput::Elements(loc as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(stmts),
+            &program.source,
+            |b, src| b.iter(|| black_box(check_source("synth", src))),
+        );
+    }
+    group.finish();
+}
+
+/// Ablation: what do the checker's individual mechanisms cost? Each shape
+/// isolates one feature — joins (key abstraction), loops (invariant
+/// iteration), keyed variants (pack/unpack) — against a straight-line
+/// baseline of the same statement budget.
+fn ablation_by_shape(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E13_ablation_shapes");
+    for shape in [
+        Shape::Straight,
+        Shape::Branchy,
+        Shape::Loopy,
+        Shape::VariantHeavy,
+        Shape::Mixed,
+    ] {
+        let program = generate(&SynthConfig {
+            functions: 20,
+            stmts_per_fn: 20,
+            seed: 0xAB1A,
+            bug_rate: 0.0,
+            shape,
+        });
+        let loc = count_loc(&program.source);
+        group.throughput(Throughput::Elements(loc as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{shape:?}")),
+            &program.source,
+            |b, src| b.iter(|| black_box(check_source("synth", src))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    scaling_by_functions,
+    scaling_by_statements,
+    ablation_by_shape
+);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Runtime substrate benches: region allocator, socket simulator, and the
+//! end-to-end kernel workload (E12's dynamic half).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vault_eval::{ExternTable, Machine, Value};
+use vault_kernel::{run_floppy_workload, FloppyBugs, WorkloadConfig};
+use vault_runtime::{CommStyle, Domain, Network, RegionHeap};
+use vault_syntax::{parse_program, DiagSink};
+
+fn region_allocator(c: &mut Criterion) {
+    c.bench_function("runtime_region_alloc_1k", |b| {
+        b.iter(|| {
+            let mut heap = RegionHeap::new();
+            for _ in 0..10 {
+                let rgn = heap.create();
+                for i in 0..100 {
+                    let p = heap.alloc(rgn, (i, i * 2)).unwrap();
+                    black_box(heap.get(p).unwrap());
+                }
+                heap.delete(rgn).unwrap();
+            }
+            assert_eq!(heap.leaked(), 0);
+        })
+    });
+}
+
+fn socket_simulator(c: &mut Criterion) {
+    c.bench_function("runtime_socket_requests_100", |b| {
+        b.iter(|| {
+            let mut net = Network::new();
+            let server = net.socket(Domain::Unix, CommStyle::Stream);
+            net.bind(server, 1).unwrap();
+            net.listen(server, 128).unwrap();
+            for _ in 0..100 {
+                let client = net.socket(Domain::Unix, CommStyle::Stream);
+                net.connect(client, 1).unwrap();
+                let conn = net.accept(server).unwrap();
+                net.send(client, b"ping").unwrap();
+                black_box(net.receive(conn).unwrap());
+                net.close(conn).unwrap();
+                net.close(client).unwrap();
+            }
+            net.close(server).unwrap();
+            assert_eq!(net.stats().violations, 0);
+        })
+    });
+}
+
+fn kernel_workload(c: &mut Criterion) {
+    c.bench_function("E12_kernel_workload_100ops", |b| {
+        b.iter(|| {
+            let r = run_floppy_workload(&WorkloadConfig {
+                ops: 100,
+                seed: 0xBE7C,
+                bugs: FloppyBugs::none(),
+            });
+            assert!(r.clean());
+            black_box(r.succeeded)
+        })
+    });
+}
+
+fn interpreter(c: &mut Criterion) {
+    // EV: interpret a compute-heavy checked program.
+    let src = "interface REGION {
+                 type region;
+                 tracked(R) region create() [new R];
+                 void delete(tracked(R) region) [-R];
+               }
+               struct point { int x; int y; }
+               int churn(int n) {
+                 int acc = 0;
+                 while (n > 0) {
+                   tracked(K) point p = new tracked point {x=n; y=2;};
+                   acc = acc + p.x * p.y;
+                   free(p);
+                   n = n - 1;
+                 }
+                 return acc;
+               }";
+    let mut diags = DiagSink::new();
+    let program = parse_program(src, &mut diags);
+    assert!(!diags.has_errors());
+    c.bench_function("EV_interpreter_churn_200", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&program, ExternTable::with_regions());
+            let out = m.run("churn", vec![Value::Int(200)]);
+            assert!(out.clean());
+            black_box(out.result.unwrap())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    region_allocator,
+    socket_simulator,
+    kernel_workload,
+    interpreter
+);
+criterion_main!(benches);

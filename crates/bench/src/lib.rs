@@ -1,0 +1,85 @@
+//! # vault-bench
+//!
+//! Shared helpers for the benchmark harness and the `report` binary that
+//! regenerates every experiment table (E1–E13, see `DESIGN.md` and
+//! `EXPERIMENTS.md`).
+
+#![warn(missing_docs)]
+
+use vault_core::{check_source, CheckResult, Verdict};
+use vault_corpus::{CorpusProgram, Expectation};
+
+/// The outcome of running one corpus program through the checker.
+#[derive(Clone, Debug)]
+pub struct ProgramOutcome {
+    /// The program id.
+    pub id: &'static str,
+    /// Experiment it belongs to.
+    pub experiment: &'static str,
+    /// Expected vs measured agreement.
+    pub matches: bool,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Diagnostic codes observed.
+    pub codes: Vec<String>,
+    /// Lines of Vault source.
+    pub loc: usize,
+}
+
+/// Check one corpus program and compare with its expectation.
+pub fn run_program(p: &CorpusProgram) -> (ProgramOutcome, CheckResult) {
+    let r = check_source(p.id, &p.source);
+    let matches = match &p.expect {
+        Expectation::Accept => r.verdict() == Verdict::Accepted,
+        Expectation::Reject(codes) => {
+            r.verdict() == Verdict::Rejected && codes.iter().all(|c| r.has_code(*c))
+        }
+    };
+    let outcome = ProgramOutcome {
+        id: p.id,
+        experiment: p.experiment,
+        matches,
+        verdict: r.verdict(),
+        codes: r.error_codes().iter().map(|c| c.to_string()).collect(),
+        loc: p.loc(),
+    };
+    (outcome, r)
+}
+
+/// Run every program of one experiment.
+pub fn run_experiment(experiment: &str) -> Vec<ProgramOutcome> {
+    vault_corpus::programs_for(experiment)
+        .iter()
+        .map(|p| run_program(p).0)
+        .collect()
+}
+
+/// Simple monotonic wall-clock measurement of a closure, in seconds,
+/// amortized over `iters` runs.
+pub fn time_secs(iters: u32, mut f: impl FnMut()) -> f64 {
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_experiment_reports_matches() {
+        let outcomes = run_experiment("E1");
+        assert!(!outcomes.is_empty());
+        assert!(outcomes.iter().all(|o| o.matches), "{outcomes:?}");
+    }
+
+    #[test]
+    fn time_secs_is_positive() {
+        let t = time_secs(3, || {
+            std::hint::black_box(41 + 1);
+        });
+        assert!(t >= 0.0);
+    }
+}

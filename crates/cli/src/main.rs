@@ -1,0 +1,221 @@
+//! `vaultc` — the Vault checker command line.
+//!
+//! ```text
+//! vaultc check <file.vlt>...      check protocols, print diagnostics
+//! vaultc emit-c <file.vlt>        check, then print the generated C
+//! vaultc dump-cfg <file.vlt>      print each function's CFG as dot
+//! vaultc stats <file.vlt>         checker-effort statistics per unit
+//! vaultc run <file.vlt> <entry>   check, then interpret an entry function
+//! vaultc explain <Vnnn>           explain a diagnostic code
+//! vaultc corpus [experiment]      run the built-in paper corpus
+//! ```
+//!
+//! Exit code 0 when every input is accepted, 1 on protocol violations,
+//! 2 on usage errors.
+
+use std::process::ExitCode;
+use vault_core::{check_source, Verdict};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "check" if !rest.is_empty() => check_files(rest),
+            "emit-c" if rest.len() == 1 => emit_c(&rest[0]),
+            "dump-cfg" if rest.len() == 1 => dump_cfg(&rest[0]),
+            "stats" if rest.len() == 1 => stats(&rest[0]),
+            "run" if rest.len() == 2 => run_entry(&rest[0], &rest[1]),
+            "explain" if rest.len() == 1 => explain(&rest[0]),
+            "corpus" => run_corpus(rest.first().map(String::as_str)),
+            _ => usage(),
+        },
+        None => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  vaultc check <file.vlt>...\n  vaultc emit-c <file.vlt>\n  \
+         vaultc dump-cfg <file.vlt>\n  vaultc stats <file.vlt>\n  \
+         vaultc run <file.vlt> <entry>\n  \
+         vaultc explain <Vnnn>\n  vaultc corpus [E1..E13|X1..X5]"
+    );
+    ExitCode::from(2)
+}
+
+fn read(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("vaultc: cannot read `{path}`: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn check_files(paths: &[String]) -> ExitCode {
+    let mut any_rejected = false;
+    for path in paths {
+        let src = match read(path) {
+            Ok(s) => s,
+            Err(code) => return code,
+        };
+        let result = check_source(path, &src);
+        print!("{}", result.render_diagnostics());
+        match result.verdict() {
+            Verdict::Accepted => println!("{path}: accepted"),
+            Verdict::Rejected => {
+                println!("{path}: rejected ({} error(s))", result.error_codes().len());
+                any_rejected = true;
+            }
+        }
+    }
+    if any_rejected {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn emit_c(path: &str) -> ExitCode {
+    let src = match read(path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let result = check_source(path, &src);
+    if result.verdict() == Verdict::Rejected {
+        eprint!("{}", result.render_diagnostics());
+        eprintln!("{path}: rejected; not emitting C");
+        return ExitCode::from(1);
+    }
+    print!(
+        "{}",
+        vault_core::codegen::emit_c(&result.program, &result.elaborated)
+    );
+    ExitCode::SUCCESS
+}
+
+fn dump_cfg(path: &str) -> ExitCode {
+    let src = match read(path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let result = check_source(path, &src);
+    for f in result.program.functions() {
+        if f.body.is_some() {
+            print!("{}", vault_core::cfg::build_cfg(f).to_dot());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn stats(path: &str) -> ExitCode {
+    let src = match read(path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let result = check_source(path, &src);
+    println!("{path}: {}", result.verdict());
+    println!(
+        "checker: {} statements, {} calls, {} join points, {} loop iterations, {} keys",
+        result.stats.statements,
+        result.stats.calls,
+        result.stats.joins,
+        result.stats.loop_iterations,
+        result.stats.keys_allocated
+    );
+    let mut blocks = 0usize;
+    let mut edges = 0usize;
+    let mut fns = 0usize;
+    for f in result.program.functions() {
+        if f.body.is_some() {
+            let cfg = vault_core::cfg::build_cfg(f);
+            blocks += cfg.block_count();
+            edges += cfg.edge_count();
+            fns += 1;
+        }
+    }
+    println!("shape:   {fns} function(s), {blocks} basic blocks, {edges} edges");
+    ExitCode::SUCCESS
+}
+
+fn run_entry(path: &str, entry: &str) -> ExitCode {
+    let src = match read(path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let result = check_source(path, &src);
+    if result.verdict() == Verdict::Rejected {
+        eprint!("{}", result.render_diagnostics());
+        eprintln!("{path}: rejected; refusing to run (pass a protocol-clean program)");
+        return ExitCode::from(1);
+    }
+    let mut machine = vault_eval::Machine::new(
+        &result.program,
+        vault_eval::ExternTable::with_regions(),
+    );
+    let out = machine.run(entry, vec![]);
+    match out.result {
+        Ok(v) => {
+            println!("{entry} returned {v}");
+            if out.leaked_regions > 0 {
+                println!("warning: {} region(s) leaked", out.leaked_regions);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{entry} faulted: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn explain(code: &str) -> ExitCode {
+    match vault_syntax::Code::from_str_code(code) {
+        Some(c) => {
+            println!("{c}: {}", c.explain());
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("vaultc: unknown diagnostic code `{code}`");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_corpus(filter: Option<&str>) -> ExitCode {
+    let programs = match filter {
+        Some(exp) => vault_corpus::programs_for(exp),
+        None => vault_corpus::all_programs(),
+    };
+    if programs.is_empty() {
+        eprintln!("vaultc: no corpus programs match");
+        return ExitCode::from(2);
+    }
+    let mut mismatches = 0;
+    for p in &programs {
+        let r = check_source(p.id, &p.source);
+        let got = r.verdict();
+        let ok = match &p.expect {
+            vault_corpus::Expectation::Accept => got == Verdict::Accepted,
+            vault_corpus::Expectation::Reject(codes) => {
+                got == Verdict::Rejected && codes.iter().all(|c| r.has_code(*c))
+            }
+        };
+        let mark = if ok { "ok " } else { "MISMATCH" };
+        println!(
+            "[{mark}] {:4} {:32} {} — {}",
+            p.experiment, p.id, got, p.description
+        );
+        if !ok {
+            mismatches += 1;
+        }
+    }
+    println!(
+        "corpus: {} program(s), {} mismatch(es)",
+        programs.len(),
+        mismatches
+    );
+    if mismatches == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,186 @@
+//! Integration tests driving the `vaultc` binary end to end.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn vaultc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_vaultc"))
+        .args(args)
+        .output()
+        .expect("vaultc runs")
+}
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("vaultc_test_{}_{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp file");
+    path
+}
+
+const GOOD: &str = "type FILE;
+stateset FS = [ open < closed ];
+tracked(F) FILE fopen(string p) [new F@open];
+void fclose(tracked(F) FILE f) [-F];
+void ok() {
+  tracked(F) FILE f = fopen(\"x\");
+  fclose(f);
+}";
+
+const LEAKY: &str = "type FILE;
+stateset FS = [ open < closed ];
+tracked(F) FILE fopen(string p) [new F@open];
+void fclose(tracked(F) FILE f) [-F];
+void leak() {
+  tracked(F) FILE f = fopen(\"x\");
+}";
+
+#[test]
+fn check_accepts_good_program() {
+    let path = write_temp("good.vlt", GOOD);
+    let out = vaultc(&["check", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("accepted"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn check_rejects_leaky_program_with_code() {
+    let path = write_temp("leaky.vlt", LEAKY);
+    let out = vaultc(&["check", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("V304"), "{stdout}");
+    assert!(stdout.contains("rejected"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn emit_c_produces_guard_free_output() {
+    let path = write_temp("emit.vlt", GOOD);
+    let out = vaultc(&["emit-c", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FILE* fopen(const char* p)"), "{stdout}");
+    assert!(!stdout.contains("tracked"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn emit_c_refuses_rejected_program() {
+    let path = write_temp("emit_bad.vlt", LEAKY);
+    let out = vaultc(&["emit-c", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not emitting"), "{stderr}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn dump_cfg_emits_dot() {
+    let path = write_temp("cfg.vlt", GOOD);
+    let out = vaultc(&["dump-cfg", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("digraph"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn corpus_subcommand_runs_clean() {
+    let out = vaultc(&["corpus", "E1"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 mismatch(es)"), "{stdout}");
+}
+
+#[test]
+fn corpus_full_run_is_clean() {
+    let out = vaultc(&["corpus"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("MISMATCH"), "{stdout}");
+}
+
+#[test]
+fn stats_reports_shape() {
+    let path = write_temp("stats.vlt", GOOD);
+    let out = vaultc(&["stats", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("statements"), "{stdout}");
+    assert!(stdout.contains("basic blocks"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn explain_describes_codes() {
+    let out = vaultc(&["explain", "V301"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("held-key set"), "{stdout}");
+    let out = vaultc(&["explain", "V999"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn usage_on_bad_arguments() {
+    for args in [&[][..], &["frobnicate"][..], &["check"][..]] {
+        let out = vaultc(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+    }
+}
+
+#[test]
+fn run_subcommand_interprets_entry() {
+    let path = write_temp(
+        "runme.vlt",
+        "struct point { int x; int y; }
+         int forty_two() {
+           tracked(K) point p = new tracked point {x=6; y=7;};
+           int r = p.x * p.y;
+           free(p);
+           return r;
+         }",
+    );
+    let out = vaultc(&["run", path.to_str().unwrap(), "forty_two"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("forty_two returned 42"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn run_subcommand_refuses_rejected_programs() {
+    let path = write_temp("runbad.vlt", LEAKY);
+    let out = vaultc(&["run", path.to_str().unwrap(), "leak"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("refusing to run"));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn shipped_vlt_examples_have_documented_verdicts() {
+    let base = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/vlt");
+    for good in ["regions.vlt", "sockets.vlt", "driver_snippet.vlt"] {
+        let out = vaultc(&["check", &format!("{base}/{good}")]);
+        assert!(
+            out.status.success(),
+            "{good}: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+    let out = vaultc(&["check", &format!("{base}/regions_buggy.vlt")]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("V301"), "{stdout}");
+    assert!(stdout.contains("V304"), "{stdout}");
+}
+
+#[test]
+fn missing_file_reports_cleanly() {
+    let out = vaultc(&["check", "/nonexistent/nope.vlt"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}

@@ -1,0 +1,2407 @@
+//! The flow checker: verifies every function body against its effect
+//! clause, tracking the held-key set through the control-flow graph.
+//!
+//! This is the paper's contribution. For each function the checker:
+//!
+//! 1. instantiates the signature's key/state variables with fresh concrete
+//!    keys and abstract states (three-way polymorphism, §3.2);
+//! 2. seeds the held-key set from the effect clause's precondition;
+//! 3. walks the body, checking guards at every access and applying effect
+//!    clauses at every call;
+//! 4. joins states at control-flow merges with the key-renaming
+//!    abstraction (§3), inferring loop invariants by iteration;
+//! 5. compares the exit state against the effect clause's postcondition —
+//!    extra keys are leaks, missing keys are broken promises.
+
+use crate::elaborate::lower_fn_decl_in;
+use crate::flow::{merge, states_agree, Binding, FlowState, Frame};
+use crate::lower::{is_keyed_variant, param_map, subst_by_name, subst_eff_by_name, AliasEntry, LowerCtx, Scope};
+use std::collections::{BTreeMap, BTreeSet};
+use vault_syntax::ast::{self, Expr, ExprKind, Stmt, StmtKind};
+use vault_syntax::diag::{Code, DiagSink};
+use vault_syntax::span::Span;
+use vault_types::{
+    unify, Arg, Bindings, CtorDef, EffItem, FnSig, GuardAtom, KeyGen, KeyId, KeyInfo, KeyOrigin,
+    KeyRef, StateArg, StateReq, StateVal, Ty, TypeDef, VariantDef, World,
+};
+
+/// Counters reported per function check (used by the scaling benches).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Statements visited.
+    pub statements: usize,
+    /// Calls checked.
+    pub calls: usize,
+    /// Join points merged.
+    pub joins: usize,
+    /// Loop-invariant iterations performed.
+    pub loop_iterations: usize,
+    /// Keys allocated while checking.
+    pub keys_allocated: usize,
+}
+
+impl CheckStats {
+    /// Accumulate another function's counters.
+    pub fn absorb(&mut self, other: CheckStats) {
+        self.statements += other.statements;
+        self.calls += other.calls;
+        self.joins += other.joins;
+        self.loop_iterations += other.loop_iterations;
+        self.keys_allocated += other.keys_allocated;
+    }
+}
+
+const MAX_LOOP_ITERATIONS: usize = 32;
+
+/// What the effect clause promises at function exit.
+#[derive(Clone, Debug)]
+enum ExitExpect {
+    /// A concrete key must be held in the given state.
+    Key { key: KeyId, state: StateVal },
+    /// A `[new K]` key, identified by unifying the return type.
+    FreshVar { var: String, state: StateVal },
+}
+
+/// Check one function body against its signature.
+pub fn check_function(
+    world: &World,
+    aliases: &BTreeMap<String, AliasEntry>,
+    qualifiers: &BTreeSet<String>,
+    base_keys: &KeyGen,
+    f: &ast::FunDecl,
+    diags: &mut DiagSink,
+) -> CheckStats {
+    let mut checker = FnChecker {
+        world,
+        aliases,
+        qualifiers,
+        diags,
+        keys: base_keys.clone(),
+        abs_counter: 0,
+        local_fns: BTreeMap::new(),
+        captured: Vec::new(),
+        statevars: BTreeMap::new(),
+        keyenv: BTreeMap::new(),
+        ret_ty: Ty::Void,
+        fn_name: f.name.name.clone(),
+        expected_exit: Vec::new(),
+        stats: CheckStats::default(),
+    };
+    checker.run(f);
+    checker.stats
+}
+
+struct FnChecker<'a, 'd> {
+    world: &'a World,
+    aliases: &'a BTreeMap<String, AliasEntry>,
+    qualifiers: &'a BTreeSet<String>,
+    diags: &'d mut DiagSink,
+    keys: KeyGen,
+    abs_counter: u32,
+    /// Nested functions in scope, by name.
+    local_fns: BTreeMap<String, FnSig>,
+    /// Read-only frames captured from an enclosing function.
+    captured: Vec<Frame>,
+    /// Instantiated state variables of this function's signature.
+    statevars: BTreeMap<String, StateVal>,
+    /// Key names in scope (parameters, locals, enclosing keys).
+    keyenv: BTreeMap<String, KeyRef>,
+    /// Concrete return type (fresh keys still variables).
+    ret_ty: Ty,
+    fn_name: String,
+    expected_exit: Vec<ExitExpect>,
+    stats: CheckStats,
+}
+
+impl<'a, 'd> FnChecker<'a, 'd> {
+    fn ctx(&self) -> LowerCtx<'a> {
+        LowerCtx {
+            world: self.world,
+            aliases: self.aliases,
+        }
+    }
+
+    fn fresh_abs(&mut self, bound: Option<vault_types::StateId>) -> StateVal {
+        self.abs_counter += 1;
+        StateVal::Abs {
+            id: self.abs_counter,
+            bound,
+        }
+    }
+
+    fn fresh_key(&mut self, name: Option<String>, resource: String, origin: KeyOrigin) -> KeyId {
+        self.stats.keys_allocated += 1;
+        self.keys.fresh(KeyInfo {
+            name,
+            resource,
+            origin,
+            stateset: vault_types::StateTable::DEFAULT_SET,
+            global: false,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Signature instantiation (entry state)
+    // ------------------------------------------------------------------
+
+    fn run(&mut self, f: &ast::FunDecl) {
+        let Some(body) = &f.body else { return };
+        let mut st = self.instantiate(f);
+        self.check_block(&mut st, body);
+        if st.reachable {
+            if matches!(self.ret_ty, Ty::Void) {
+                self.do_return(&mut st, None, body.span);
+            } else {
+                self.diags.error(
+                    Code::TypeMismatch,
+                    f.name.span,
+                    format!(
+                        "function `{}` can reach the end of its body without returning a \
+                         value",
+                        self.fn_name
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Build the entry state from the function's signature.
+    fn instantiate(&mut self, f: &ast::FunDecl) -> FlowState {
+        let outer_keys = self.keyenv.clone();
+        let mut scope = Scope::signature();
+        scope.bound_keys = outer_keys;
+        let sig = {
+            let ctx = self.ctx();
+            lower_fn_decl_in(&ctx, f, scope, self.diags)
+        };
+
+        // Which key variables does the signature bind, and where?
+        let fresh_vars: BTreeSet<String> = sig
+            .effect
+            .iter()
+            .filter_map(|i| match i {
+                EffItem::Fresh { var, .. } => Some(var.clone()),
+                _ => None,
+            })
+            .collect();
+        // Unbound effect/return keys and duplicated effect items are
+        // reported by `validate_signature` during elaboration (and for
+        // nested functions, by `check_nested_fun`); here we only need the
+        // variable sets for instantiation.
+        let mut param_keyvars: BTreeSet<String> = BTreeSet::new();
+        for p in &sig.params {
+            crate::lower::collect_keyvars(p, &mut param_keyvars);
+        }
+        let _ = &fresh_vars;
+
+        // Instantiate key variables with fresh concrete keys.
+        let mut imap: BTreeMap<String, Arg> = BTreeMap::new();
+        for v in &param_keyvars {
+            let resource = key_resource(&sig.params, v).unwrap_or_else(|| "resource".into());
+            let k = self.fresh_key(Some(v.clone()), resource, KeyOrigin::Param);
+            self.keyenv.insert(v.clone(), KeyRef::Id(k));
+            imap.insert(v.clone(), Arg::Key(KeyRef::Id(k)));
+        }
+
+        // Instantiate state variables with abstract states.
+        let mut svars: BTreeMap<String, Option<vault_types::StateId>> = BTreeMap::new();
+        for tp in &f.tparams {
+            if let ast::TParam::State { name, bound } = tp {
+                let b = bound.as_ref().and_then(|b| self.world.states.state(&b.name));
+                svars.insert(name.name.clone(), b);
+            }
+        }
+        for item in &sig.effect {
+            collect_statevars_eff(item, &mut svars);
+        }
+        for p in &sig.params {
+            collect_statevars_ty(p, &mut svars);
+        }
+        for (v, bound) in &svars {
+            let val = self.fresh_abs(*bound);
+            self.statevars.insert(v.clone(), val);
+            imap.insert(v.clone(), Arg::State(StateArg::Val(val)));
+        }
+
+        // Concrete parameter types; anonymous tracked parameters are
+        // unpacked on entry (paper §3.3).
+        let mut st = FlowState::new();
+        let mut entry_anon_keys = Vec::new();
+        for (ty, name) in sig.params.iter().zip(&sig.param_names) {
+            let mut cty = subst_by_name(ty, &imap);
+            if let Ty::TrackedAnon(inner) = &cty {
+                let k = self.fresh_key(
+                    name.clone(),
+                    inner.display(self.world),
+                    KeyOrigin::Param,
+                );
+                entry_anon_keys.push(k);
+                cty = Ty::Tracked {
+                    key: KeyRef::Id(k),
+                    inner: inner.clone(),
+                };
+            }
+            if let Some(n) = name {
+                if !st.declare(
+                    n,
+                    Binding {
+                        decl_ty: cty.clone(),
+                        ty: cty,
+                        init: true,
+                    },
+                ) {
+                    self.diags.error(
+                        Code::DuplicateDecl,
+                        f.span,
+                        format!("parameter `{n}` declared twice"),
+                    );
+                }
+            }
+        }
+
+        // Entry held-key set and exit expectations from the effect.
+        let effect: Vec<EffItem> = sig
+            .effect
+            .iter()
+            .map(|i| subst_eff_by_name(i, &imap))
+            .collect();
+        let eff_span = f.effect.as_ref().map(|e| e.span).unwrap_or(f.span);
+        let mut mentioned: BTreeSet<KeyId> = BTreeSet::new();
+        for item in &effect {
+            match item {
+                EffItem::Keep { key, from, to } => {
+                    let Some(k) = key.id() else { continue };
+                    mentioned.insert(k);
+                    let entry = self.entry_state_of(from, eff_span);
+                    // Duplicate keys were reported by validate_signature.
+                    let _ = st.held.insert(k, entry);
+                    let exit = match to {
+                        None => entry,
+                        Some(arg) => self.resolve_state_arg_val(arg, eff_span),
+                    };
+                    self.expected_exit.push(ExitExpect::Key { key: k, state: exit });
+                }
+                EffItem::Consume { key, from } => {
+                    let Some(k) = key.id() else { continue };
+                    mentioned.insert(k);
+                    let entry = self.entry_state_of(from, eff_span);
+                    let _ = st.held.insert(k, entry);
+                }
+                EffItem::Produce { key, state } => {
+                    let Some(k) = key.id() else { continue };
+                    mentioned.insert(k);
+                    let val = self.resolve_state_arg_val(state, eff_span);
+                    self.expected_exit.push(ExitExpect::Key { key: k, state: val });
+                }
+                EffItem::Fresh { var, state } => {
+                    let val = self.resolve_state_arg_val(state, eff_span);
+                    self.expected_exit.push(ExitExpect::FreshVar {
+                        var: var.clone(),
+                        state: val,
+                    });
+                }
+            }
+        }
+
+        // Anonymous tracked parameters transfer ownership: their packaged
+        // key is unpacked on entry (paper §3.3) and must be consumed — or
+        // repacked into the return value — before exit, like any other
+        // linear key the body acquires.
+        for k in entry_anon_keys {
+            let val = self.fresh_abs(None);
+            st.held.insert(k, val).expect("fresh key");
+        }
+
+        // Unmentioned global keys are held in a polymorphic state that the
+        // function must not disturb.
+        for (name, g) in self.world.global_keys() {
+            self.keyenv.insert(name.to_string(), KeyRef::Id(g.id));
+            if !mentioned.contains(&g.id) {
+                let val = self.fresh_abs(None);
+                st.held.insert(g.id, val).expect("globals are distinct");
+                self.expected_exit.push(ExitExpect::Key {
+                    key: g.id,
+                    state: val,
+                });
+            }
+        }
+
+        self.ret_ty = subst_by_name(&sig.ret, &imap);
+        st
+    }
+
+    fn entry_state_of(&mut self, req: &StateReq, span: Span) -> StateVal {
+        match req {
+            StateReq::Any => self.fresh_abs(None),
+            StateReq::Exact(t) => StateVal::Token(*t),
+            StateReq::AtMost { var, bound } => match var {
+                Some(v) => match self.statevars.get(v) {
+                    Some(val) => *val,
+                    None => {
+                        let val = self.fresh_abs(Some(*bound));
+                        self.statevars.insert(v.clone(), val);
+                        val
+                    }
+                },
+                None => self.fresh_abs(Some(*bound)),
+            },
+            StateReq::Var(v) => match self.statevars.get(v) {
+                Some(val) => *val,
+                None => {
+                    self.diags.error(
+                        Code::BadEffect,
+                        span,
+                        format!("state variable `{v}` is not bound by any parameter"),
+                    );
+                    self.fresh_abs(None)
+                }
+            },
+        }
+    }
+
+    fn resolve_state_arg_val(&mut self, arg: &StateArg, span: Span) -> StateVal {
+        match arg {
+            StateArg::Token(t) => StateVal::Token(*t),
+            StateArg::Val(v) => *v,
+            StateArg::Var(v) => match self.statevars.get(v) {
+                Some(val) => *val,
+                None => {
+                    self.diags.error(
+                        Code::BadEffect,
+                        span,
+                        format!("state variable `{v}` is not bound here"),
+                    );
+                    self.fresh_abs(None)
+                }
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Exit checking
+    // ------------------------------------------------------------------
+
+    fn do_return(&mut self, st: &mut FlowState, value: Option<&Expr>, span: Span) {
+        let actual = match value {
+            Some(e) => {
+                let expected = self.ret_ty.clone();
+                self.eval(st, e, Some(&expected))
+            }
+            None => Ty::Void,
+        };
+        let mut binds = Bindings::new();
+        if !actual.is_error() {
+            if let Err(e) = unify(&self.ret_ty.clone(), &actual, &mut binds, self.world) {
+                self.diags.error(
+                    Code::TypeMismatch,
+                    span,
+                    format!("return value does not match declared return type: {e}"),
+                );
+            }
+        }
+        // Returning at anonymous tracked type packs the key (the caller
+        // unpacks a fresh one).
+        if let Ty::TrackedAnon(_) = &self.ret_ty {
+            if let Ty::Tracked { key: KeyRef::Id(k), .. } = &actual {
+                if st.held.remove(*k).is_err() {
+                    self.diags.error(
+                        Code::KeyNotHeld,
+                        span,
+                        format!(
+                            "cannot return `{}`: its key {} is not held",
+                            actual.display(self.world),
+                            self.keys.describe(*k)
+                        ),
+                    );
+                }
+            }
+        }
+        self.check_exit(st, &binds, span);
+        st.reachable = false;
+    }
+
+    fn check_exit(&mut self, st: &FlowState, binds: &Bindings, span: Span) {
+        let mut expected: BTreeMap<KeyId, StateVal> = BTreeMap::new();
+        for e in &self.expected_exit {
+            match e {
+                ExitExpect::Key { key, state } => {
+                    expected.insert(*key, *state);
+                }
+                ExitExpect::FreshVar { var, state } => match binds.keys.get(var) {
+                    Some(k) => {
+                        expected.insert(*k, *state);
+                    }
+                    None => {
+                        self.diags.error(
+                            Code::MissingKeyAtExit,
+                            span,
+                            format!(
+                                "effect clause promises a fresh key `{var}`, but the \
+                                 returned value does not identify it"
+                            ),
+                        );
+                    }
+                },
+            }
+        }
+        for (k, want) in &expected {
+            match st.held.get(*k) {
+                None => {
+                    self.diags.error(
+                        Code::MissingKeyAtExit,
+                        span,
+                        format!(
+                            "effect clause promises key {} at exit, but it is not held \
+                             here",
+                            self.keys.describe(*k)
+                        ),
+                    );
+                }
+                Some(cur) if cur != *want => {
+                    self.diags.error(
+                        Code::WrongKeyState,
+                        span,
+                        format!(
+                            "key {} must be in state `{}` at exit, but is in `{}`",
+                            self.keys.describe(*k),
+                            want.display(&self.world.states),
+                            cur.display(&self.world.states)
+                        ),
+                    );
+                }
+                Some(_) => {}
+            }
+        }
+        for (k, _) in st.held.iter() {
+            if !expected.contains_key(&k) {
+                let info = self.keys.info(k);
+                self.diags.error(
+                    Code::KeyLeak,
+                    span,
+                    format!(
+                        "key {} ({}) is still held at exit of `{}` but its effect clause \
+                         does not return it — leaked resource",
+                        self.keys.describe(k),
+                        info.resource,
+                        self.fn_name
+                    ),
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn check_block(&mut self, st: &mut FlowState, b: &ast::Block) {
+        st.push_frame();
+        for s in &b.stmts {
+            if !st.reachable {
+                break;
+            }
+            self.check_stmt(st, s);
+        }
+        st.pop_frame();
+    }
+
+    fn check_stmt(&mut self, st: &mut FlowState, s: &Stmt) {
+        self.stats.statements += 1;
+        match &s.kind {
+            StmtKind::Local { ty, name, init } => self.check_local(st, ty, name, init.as_ref()),
+            StmtKind::NestedFun(f) => self.check_nested_fun(st, f),
+            StmtKind::Expr(e) => {
+                self.eval(st, e, None);
+            }
+            StmtKind::Assign { lhs, rhs } => self.check_assign(st, lhs, rhs, s.span),
+            StmtKind::Incr(e) | StmtKind::Decr(e) => {
+                let t = self.eval(st, e, None);
+                self.use_value(st, &t, e.span);
+                if !matches!(value_ty(&t), Ty::Int | Ty::Byte | Ty::Error) {
+                    self.diags.error(
+                        Code::TypeMismatch,
+                        e.span,
+                        format!("`++`/`--` requires an integer, found `{}`", t.display(self.world)),
+                    );
+                }
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.expect_bool(st, cond);
+                let mut then_st = st.clone();
+                self.check_stmt(&mut then_st, then_branch);
+                let mut else_st = st.clone();
+                if let Some(e) = else_branch {
+                    self.check_stmt(&mut else_st, e);
+                }
+                *st = self.join(&then_st, &else_st, s.span);
+            }
+            StmtKind::While { cond, body } => self.check_while(st, cond, body, s.span),
+            StmtKind::Switch { scrutinee, arms } => self.check_switch(st, scrutinee, arms, s.span),
+            StmtKind::Return(v) => self.do_return(st, v.as_ref(), s.span),
+            StmtKind::Free(e) => {
+                let t = self.eval(st, e, None);
+                match t {
+                    Ty::Tracked { key: KeyRef::Id(k), .. } => {
+                        let info_global = self.keys.info(k).global;
+                        if info_global {
+                            self.diags.error(
+                                Code::GlobalKeyMisuse,
+                                e.span,
+                                "global keys cannot be freed",
+                            );
+                        } else if st.held.remove(k).is_err() {
+                            self.diags.error(
+                                Code::KeyNotHeld,
+                                e.span,
+                                format!(
+                                    "cannot free: key {} is not in the held-key set",
+                                    self.keys.describe(k)
+                                ),
+                            );
+                        }
+                    }
+                    Ty::Error => {}
+                    other => {
+                        self.diags.error(
+                            Code::FreeUntracked,
+                            e.span,
+                            format!(
+                                "`free` requires a tracked value, found `{}`",
+                                other.display(self.world)
+                            ),
+                        );
+                    }
+                }
+            }
+            StmtKind::Block(b) => self.check_block(st, b),
+        }
+    }
+
+    fn join(&mut self, a: &FlowState, b: &FlowState, span: Span) -> FlowState {
+        self.stats.joins += 1;
+        let m = merge(a, b, &self.keys, self.world);
+        for p in &m.problems {
+            self.diags.error(Code::JoinMismatch, span, p.clone());
+        }
+        m.state
+    }
+
+    fn check_local(
+        &mut self,
+        st: &mut FlowState,
+        ty: &ast::Type,
+        name: &ast::Ident,
+        init: Option<&Expr>,
+    ) {
+        let mut scope = Scope::body(self.keyenv.clone());
+        scope.allow_state_binders = true;
+        scope.statevars = self.statevars.keys().cloned().collect();
+        let lowered = {
+            let ctx = self.ctx();
+            ctx.lower_type(&mut scope, ty, self.diags)
+        };
+        let binders = scope.binders.clone();
+        let state_binders = scope.state_binders.clone();
+        let (final_ty, decl_ty, init_ok) = match init {
+            Some(e) => {
+                let expected = lowered.clone();
+                let actual = self.eval(st, e, Some(&expected));
+                let mut binds = Bindings::new();
+                let ok = actual.is_error()
+                    || lowered.is_error()
+                    || match unify(&lowered, &actual, &mut binds, self.world) {
+                        Ok(()) => true,
+                        Err(_) if is_guarded_init(&lowered, &actual, self.world) => true,
+                        Err(err) => {
+                            self.diags.error(
+                                Code::TypeMismatch,
+                                e.span,
+                                format!("initializer does not match declared type: {err}"),
+                            );
+                            false
+                        }
+                    };
+                // Bind the fresh key names introduced by `tracked(K)`.
+                for b in &binders {
+                    match binds.keys.get(b) {
+                        Some(k) => {
+                            self.keyenv.insert(b.clone(), KeyRef::Id(*k));
+                            if self.keys.info(*k).name.is_none() {
+                                self.keys.info_mut(*k).name = Some(b.clone());
+                            }
+                        }
+                        None if ok => {
+                            self.diags.error(
+                                Code::TypeMismatch,
+                                name.span,
+                                format!(
+                                    "could not bind key `{b}`: the initializer is not \
+                                     tracked by a fresh key"
+                                ),
+                            );
+                        }
+                        None => {}
+                    }
+                }
+                // Bind fresh state variables (`KIRQL<old> prev = ...`).
+                for b in &state_binders {
+                    match binds.states.get(b) {
+                        Some(v) => {
+                            self.statevars.insert(b.clone(), *v);
+                        }
+                        None if ok => {
+                            self.diags.error(
+                                Code::TypeMismatch,
+                                name.span,
+                                format!(
+                                    "could not bind state variable `{b}` from the \
+                                     initializer"
+                                ),
+                            );
+                        }
+                        None => {}
+                    }
+                }
+                let stored = if ok && !actual.is_error() && !is_anon_decl(&lowered) {
+                    // Prefer the declared shape with keys/states resolved.
+                    let resolved = self.subst_binds(&lowered, &binds);
+                    if matches!(resolved, Ty::Error) { actual } else { resolved }
+                } else if ok {
+                    actual
+                } else {
+                    Ty::Error
+                };
+                // Writing through a guarded declaration requires guards.
+                if let Ty::Guarded { guards, .. } = &stored {
+                    self.check_guards(st, guards, name.span);
+                }
+                (stored, lowered, true)
+            }
+            None => {
+                if !binders.is_empty() {
+                    self.diags.error(
+                        Code::Uninitialized,
+                        name.span,
+                        format!(
+                            "`tracked({})` declaration must be initialized to bind its key",
+                            binders.join(", ")
+                        ),
+                    );
+                }
+                (lowered.clone(), lowered, false)
+            }
+        };
+        if !st.declare(
+            &name.name,
+            Binding {
+                decl_ty,
+                ty: final_ty,
+                init: init_ok,
+            },
+        ) {
+            self.diags.error(
+                Code::DuplicateDecl,
+                name.span,
+                format!("variable `{name}` is already declared in this scope"),
+            );
+        }
+    }
+
+    fn check_assign(&mut self, st: &mut FlowState, lhs: &Expr, rhs: &Expr, span: Span) {
+        match &lhs.kind {
+            ExprKind::Var(name) => {
+                let Some(binding) = st.lookup(&name.name).cloned() else {
+                    if self.captured.iter().any(|f| f.contains_key(&name.name)) {
+                        self.diags.error(
+                            Code::TypeMismatch,
+                            lhs.span,
+                            format!(
+                                "cannot assign to `{name}` captured from an enclosing \
+                                 function"
+                            ),
+                        );
+                    } else {
+                        self.diags.error(
+                            Code::UnknownName,
+                            name.span,
+                            format!("unknown variable `{name}`"),
+                        );
+                    }
+                    self.eval(st, rhs, None);
+                    return;
+                };
+                let expected = binding.decl_ty.clone();
+                let actual = self.eval(st, rhs, Some(&expected));
+                if let Ty::Guarded { guards, .. } = &binding.decl_ty {
+                    let guards = guards.clone();
+                    self.check_guards(st, &guards, span);
+                }
+                let mut binds = Bindings::new();
+                let ok = actual.is_error()
+                    || expected.is_error()
+                    || unify(&expected, &actual, &mut binds, self.world).is_ok()
+                    || is_guarded_init(&expected, &actual, self.world);
+                if !ok {
+                    self.diags.error(
+                        Code::TypeMismatch,
+                        span,
+                        format!(
+                            "cannot assign `{}` to `{name}` of type `{}`",
+                            actual.display(self.world),
+                            expected.display(self.world)
+                        ),
+                    );
+                }
+                if let Some(b) = st.lookup_mut(&name.name) {
+                    b.init = ok || b.init;
+                    if ok {
+                        b.ty = if is_anon_decl(&expected) && !actual.is_error() {
+                            actual
+                        } else {
+                            expected
+                        };
+                    }
+                }
+            }
+            ExprKind::Field(..) | ExprKind::Index(..) => {
+                let lhs_ty = self.eval(st, lhs, None);
+                let actual = self.eval(st, rhs, Some(&lhs_ty));
+                let mut binds = Bindings::new();
+                if !lhs_ty.is_error()
+                    && !actual.is_error()
+                    && unify(&lhs_ty, &actual, &mut binds, self.world).is_err()
+                    && unify(value_ty(&lhs_ty), value_ty(&actual), &mut binds, self.world)
+                        .is_err()
+                {
+                    self.diags.error(
+                        Code::TypeMismatch,
+                        span,
+                        format!(
+                            "cannot assign `{}` to a location of type `{}`",
+                            actual.display(self.world),
+                            lhs_ty.display(self.world)
+                        ),
+                    );
+                }
+            }
+            _ => {
+                self.diags.error(
+                    Code::TypeMismatch,
+                    lhs.span,
+                    "this expression cannot be assigned to",
+                );
+            }
+        }
+    }
+
+    fn check_nested_fun(&mut self, st: &mut FlowState, f: &ast::FunDecl) {
+        // The nested function sees the enclosing keys as bound names and
+        // the enclosing variables as read-only captures.
+        let mut captured = self.captured.clone();
+        for frame in &st.frames {
+            captured.push(frame.clone());
+        }
+        let sig = {
+            let ctx = self.ctx();
+            let mut scope = Scope::signature();
+            scope.bound_keys = self.keyenv.clone();
+            lower_fn_decl_in(&ctx, f, scope, self.diags)
+        };
+        crate::elaborate::validate_signature(&sig, f, self.diags);
+        let mut child = FnChecker {
+            world: self.world,
+            aliases: self.aliases,
+            qualifiers: self.qualifiers,
+            diags: self.diags,
+            keys: self.keys.clone(),
+            abs_counter: self.abs_counter,
+            local_fns: self.local_fns.clone(),
+            captured,
+            statevars: self.statevars.clone(),
+            keyenv: self.keyenv.clone(),
+            ret_ty: Ty::Void,
+            fn_name: f.name.name.clone(),
+            expected_exit: Vec::new(),
+            stats: CheckStats::default(),
+        };
+        child.run(f);
+        let child_stats = child.stats;
+        self.stats.absorb(child_stats);
+        self.local_fns.insert(f.name.name.clone(), sig);
+    }
+
+    fn check_while(&mut self, st: &mut FlowState, cond: &Expr, body: &Stmt, span: Span) {
+        let mut cur = st.clone();
+        for _ in 0..MAX_LOOP_ITERATIONS {
+            self.stats.loop_iterations += 1;
+            let mut iter = cur.clone();
+            self.expect_bool(&mut iter, cond);
+            let exit_state = iter.clone();
+            let mut after_body = iter;
+            self.check_stmt(&mut after_body, body);
+            self.stats.joins += 1;
+            let m = merge(&cur, &after_body, &self.keys, self.world);
+            if !m.problems.is_empty() {
+                // The back edge changes the held-key set every iteration:
+                // no invariant exists.
+                for p in &m.problems {
+                    self.diags.error(
+                        Code::LoopInvariant,
+                        span,
+                        format!("cannot infer a loop invariant for the held-key set: {p}"),
+                    );
+                }
+                *st = exit_state;
+                return;
+            }
+            let joined = m.state;
+            if states_agree(&joined, &cur, &self.keys, self.world) {
+                *st = exit_state;
+                return;
+            }
+            cur = joined;
+        }
+        self.diags.error(
+            Code::LoopInvariant,
+            span,
+            "loop invariant for the held-key set did not converge; annotate the loop",
+        );
+        *st = cur;
+    }
+
+    fn check_switch(
+        &mut self,
+        st: &mut FlowState,
+        scrutinee: &Expr,
+        arms: &[ast::SwitchArm],
+        span: Span,
+    ) {
+        let sty = self.eval(st, scrutinee, None);
+        let (vid, vargs, keyed) = match peel_guards(&sty) {
+            Ty::Tracked { key: KeyRef::Id(k), inner } => {
+                if st.held.remove(*k).is_err() {
+                    self.diags.error(
+                        Code::KeyNotHeld,
+                        scrutinee.span,
+                        format!(
+                            "cannot switch on `{}`: its key {} is not held",
+                            sty.display(self.world),
+                            self.keys.describe(*k)
+                        ),
+                    );
+                }
+                match peel_guards(inner) {
+                    Ty::Named { id, args } => (*id, args.clone(), true),
+                    Ty::Error => return,
+                    other => {
+                        self.diags.error(
+                            Code::TypeMismatch,
+                            scrutinee.span,
+                            format!(
+                                "switch requires a variant, found `{}`",
+                                other.display(self.world)
+                            ),
+                        );
+                        return;
+                    }
+                }
+            }
+            Ty::Named { id, args } => (*id, args.clone(), false),
+            Ty::Error => return,
+            other => {
+                self.diags.error(
+                    Code::TypeMismatch,
+                    scrutinee.span,
+                    format!(
+                        "switch requires a variant, found `{}`",
+                        other.display(self.world)
+                    ),
+                );
+                return;
+            }
+        };
+        let TypeDef::Variant(def) = self.world.typedef(vid) else {
+            self.diags.error(
+                Code::TypeMismatch,
+                scrutinee.span,
+                format!(
+                    "switch requires a variant, found `{}`",
+                    sty.display(self.world)
+                ),
+            );
+            return;
+        };
+        let def = def.clone();
+        let pre = st.clone();
+        let mut covered: BTreeSet<String> = BTreeSet::new();
+        let mut result: Option<FlowState> = None;
+        for arm in arms {
+            let Some((_, cdef)) = def.ctor(&arm.ctor.name) else {
+                self.diags.error(
+                    Code::UnknownName,
+                    arm.ctor.span,
+                    format!(
+                        "`'{}` is not a constructor of variant `{}`",
+                        arm.ctor, def.name
+                    ),
+                );
+                continue;
+            };
+            let cdef = cdef.clone();
+            covered.insert(arm.ctor.name.clone());
+            let mut s = pre.clone();
+            self.check_arm(&mut s, &def, &cdef, &vargs, arm);
+            result = Some(match result {
+                None => s,
+                Some(prev) => self.join(&prev, &s, arm.span),
+            });
+        }
+        let all_covered = def.ctors.iter().all(|c| covered.contains(&c.name));
+        if keyed && !all_covered {
+            self.diags.error(
+                Code::NonExhaustiveSwitch,
+                span,
+                format!(
+                    "switch over keyed variant `{}` must cover every constructor \
+                     (missing: {})",
+                    def.name,
+                    def.ctors
+                        .iter()
+                        .filter(|c| !covered.contains(&c.name))
+                        .map(|c| format!("'{}", c.name))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            );
+        }
+        let mut out = match result {
+            Some(r) => r,
+            None => pre.clone(),
+        };
+        if !keyed && !all_covered {
+            // Unmatched values fall through.
+            out = self.join(&out, &pre, span);
+        }
+        *st = out;
+    }
+
+    fn check_arm(
+        &mut self,
+        s: &mut FlowState,
+        def: &VariantDef,
+        cdef: &CtorDef,
+        vargs: &[Arg],
+        arm: &ast::SwitchArm,
+    ) {
+        let mut pmap = param_map(&def.params, vargs);
+        // Restore captured parameter keys (paper §2.1: pattern matching
+        // "restores the key to the held-key set").
+        for (pname, req) in &cdef.captures {
+            let Some(Arg::Key(KeyRef::Id(k))) = pmap.get(pname) else {
+                continue;
+            };
+            let k = *k;
+            let state = match req {
+                StateReq::Exact(t) => StateVal::Token(*t),
+                StateReq::AtMost { bound, .. } => self.fresh_abs(Some(*bound)),
+                StateReq::Any | StateReq::Var(_) => self.fresh_abs(None),
+            };
+            if s.held.insert(k, state).is_err() {
+                self.diags.error(
+                    Code::DuplicateKey,
+                    arm.span,
+                    format!(
+                        "matching `'{}` would restore key {} which is already held",
+                        cdef.name,
+                        self.keys.describe(k)
+                    ),
+                );
+            }
+        }
+        // Fresh keys for the constructor-scoped existentials: this is the
+        // "anonymity" of tracked collections (paper §2.4, Fig. 4).
+        for v in &cdef.exist_keys {
+            let k = self.fresh_key(None, format!("unpacked `{v}`"), KeyOrigin::Unpacked);
+            let state = self.fresh_abs(None);
+            s.held.insert(k, state).expect("fresh key");
+            pmap.insert(v.clone(), Arg::Key(KeyRef::Id(k)));
+        }
+        // Bind the value components.
+        if !arm.binders.is_empty() && arm.binders.len() != cdef.args.len() {
+            self.diags.error(
+                Code::TypeMismatch,
+                arm.span,
+                format!(
+                    "constructor `'{}` has {} component(s), pattern binds {}",
+                    cdef.name,
+                    cdef.args.len(),
+                    arm.binders.len()
+                ),
+            );
+        }
+        s.push_frame();
+        for (i, aty) in cdef.args.iter().enumerate() {
+            let mut ty = subst_by_name(aty, &pmap);
+            let binder = arm.binders.get(i);
+            // Anonymous tracked components unpack to fresh keys.
+            if let Ty::TrackedAnon(inner) = &ty {
+                let k = self.fresh_key(
+                    None,
+                    inner.display(self.world),
+                    KeyOrigin::Unpacked,
+                );
+                let state = self.fresh_abs(None);
+                s.held.insert(k, state).expect("fresh key");
+                ty = Ty::Tracked {
+                    key: KeyRef::Id(k),
+                    inner: inner.clone(),
+                };
+            }
+            match binder {
+                Some(ast::PatBinder::Name(n)) => {
+                    if !s.declare(
+                        &n.name,
+                        Binding {
+                            decl_ty: ty.clone(),
+                            ty,
+                            init: true,
+                        },
+                    ) {
+                        self.diags.error(
+                            Code::DuplicateDecl,
+                            n.span,
+                            format!("binder `{n}` is already declared"),
+                        );
+                    }
+                }
+                Some(ast::PatBinder::Wild(sp)) => {
+                    if vault_types::ty::ty_carries_keys(&ty) {
+                        self.diags.error(
+                            Code::KeyLeak,
+                            *sp,
+                            format!(
+                                "component of type `{}` carries keys and cannot be ignored",
+                                ty.display(self.world)
+                            ),
+                        );
+                    }
+                }
+                None => {
+                    if vault_types::ty::ty_carries_keys(&ty) {
+                        self.diags.error(
+                            Code::KeyLeak,
+                            arm.span,
+                            format!(
+                                "unbound component of type `{}` carries keys; bind and \
+                                 consume it",
+                                ty.display(self.world)
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        for stmt in &arm.body {
+            if !s.reachable {
+                break;
+            }
+            self.check_stmt(s, stmt);
+        }
+        s.pop_frame();
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    /// Using a value (arithmetic, comparison, condition) requires its
+    /// guards to hold.
+    fn use_value(&mut self, st: &FlowState, ty: &Ty, span: Span) {
+        if let Ty::Guarded { guards, .. } = ty {
+            self.check_guards(st, guards, span);
+        }
+    }
+
+    fn expect_bool(&mut self, st: &mut FlowState, e: &Expr) {
+        let t = self.eval(st, e, Some(&Ty::Bool));
+        self.use_value(st, &t, e.span);
+        if !matches!(value_ty(&t), Ty::Bool | Ty::Error) {
+            self.diags.error(
+                Code::TypeMismatch,
+                e.span,
+                format!("condition must be bool, found `{}`", t.display(self.world)),
+            );
+        }
+    }
+
+    fn eval(&mut self, st: &mut FlowState, e: &Expr, expected: Option<&Ty>) -> Ty {
+        match &e.kind {
+            ExprKind::IntLit(_) => Ty::Int,
+            ExprKind::BoolLit(_) => Ty::Bool,
+            ExprKind::StrLit(_) => Ty::Str,
+            ExprKind::Var(name) => self.eval_var(st, name),
+            ExprKind::Field(base, fname) => {
+                let bty = self.eval(st, base, None);
+                self.field_ty(st, &bty, fname, e.span)
+            }
+            ExprKind::Index(base, idx) => {
+                let bty = self.eval(st, base, None);
+                let ity = self.eval(st, idx, Some(&Ty::Int));
+                if !matches!(value_ty(&ity), Ty::Int | Ty::Byte | Ty::Error) {
+                    self.diags.error(
+                        Code::TypeMismatch,
+                        idx.span,
+                        "array index must be an integer",
+                    );
+                }
+                match self.place_core(st, &bty, e.span) {
+                    Ty::Array(t) => (*t).clone(),
+                    Ty::Str => Ty::Byte,
+                    Ty::Error => Ty::Error,
+                    other => {
+                        self.diags.error(
+                            Code::TypeMismatch,
+                            base.span,
+                            format!("cannot index `{}`", other.display(self.world)),
+                        );
+                        Ty::Error
+                    }
+                }
+            }
+            ExprKind::Call { callee, args, .. } => self.eval_call(st, callee, args, e.span),
+            ExprKind::Ctor { name, args, keys } => {
+                self.eval_ctor(st, name, args, keys, expected, e.span)
+            }
+            ExprKind::New {
+                region,
+                ty,
+                targs,
+                inits,
+            } => self.eval_new(st, region.as_deref(), ty, targs, inits, e.span),
+            ExprKind::Unary(op, inner) => {
+                let t = self.eval(st, inner, None);
+                self.use_value(st, &t, inner.span);
+                match op {
+                    ast::UnOp::Not => {
+                        if !matches!(value_ty(&t), Ty::Bool | Ty::Error) {
+                            self.diags.error(
+                                Code::TypeMismatch,
+                                inner.span,
+                                "`!` requires a bool operand",
+                            );
+                        }
+                        Ty::Bool
+                    }
+                    ast::UnOp::Neg => {
+                        if !matches!(value_ty(&t), Ty::Int | Ty::Byte | Ty::Error) {
+                            self.diags.error(
+                                Code::TypeMismatch,
+                                inner.span,
+                                "unary `-` requires an integer operand",
+                            );
+                        }
+                        Ty::Int
+                    }
+                }
+            }
+            ExprKind::Binary(op, l, r) => {
+                let lt = self.eval(st, l, None);
+                self.use_value(st, &lt, l.span);
+                let rt = self.eval(st, r, None);
+                self.use_value(st, &rt, r.span);
+                self.binary_ty(*op, &lt, &rt, e.span)
+            }
+        }
+    }
+
+    fn eval_var(&mut self, st: &mut FlowState, name: &ast::Ident) -> Ty {
+        // Note: merely naming a guarded variable is not an access — the
+        // guard is checked where the value is *used* (field access,
+        // arithmetic, assignment). Passing a guarded reference to a
+        // function that will acquire the guard itself is legal.
+        if let Some(b) = st.lookup(&name.name) {
+            let b = b.clone();
+            if !b.init {
+                self.diags.error(
+                    Code::Uninitialized,
+                    name.span,
+                    format!("variable `{name}` may be used before it is assigned"),
+                );
+            }
+            return b.ty;
+        }
+        // Captured variables from an enclosing function.
+        for frame in self.captured.iter().rev() {
+            if let Some(b) = frame.get(&name.name) {
+                return b.ty.clone();
+            }
+        }
+        // A function used as a value.
+        if let Some(sig) = self.local_fns.get(&name.name) {
+            return Ty::Fn(Box::new(sig.clone()));
+        }
+        if let Some(sig) = self.world.fn_sig(&name.name) {
+            return Ty::Fn(Box::new(sig.clone()));
+        }
+        self.diags.error(
+            Code::UnknownName,
+            name.span,
+            format!("unknown variable `{name}`"),
+        );
+        Ty::Error
+    }
+
+    /// Check the guard conjunction of an access.
+    fn check_guards(&mut self, st: &FlowState, guards: &[GuardAtom], span: Span) {
+        for g in guards {
+            let Some(k) = g.key.id() else {
+                continue; // unresolved guard key was already reported
+            };
+            let Some(cur) = st.held.get(k) else {
+                self.diags.error(
+                    Code::KeyNotHeld,
+                    span,
+                    format!(
+                        "key {} is not in the held-key set, so this value is not \
+                         accessible here",
+                        self.keys.describe(k)
+                    ),
+                );
+                continue;
+            };
+            match &g.req {
+                StateReq::Any => {}
+                StateReq::Exact(t) => {
+                    if cur != StateVal::Token(*t) {
+                        self.diags.error(
+                            Code::WrongKeyState,
+                            span,
+                            format!(
+                                "key {} must be in state `{}` to access this value, but \
+                                 is in `{}`",
+                                self.keys.describe(k),
+                                self.world.states.state_name(*t),
+                                cur.display(&self.world.states)
+                            ),
+                        );
+                    }
+                }
+                StateReq::AtMost { bound, .. } => {
+                    if !cur.le_token(*bound, &self.world.states) {
+                        self.diags.error(
+                            Code::StateBound,
+                            span,
+                            format!(
+                                "key {} must be at or below `{}` to access this value, \
+                                 but is in `{}`",
+                                self.keys.describe(k),
+                                self.world.states.state_name(*bound),
+                                cur.display(&self.world.states)
+                            ),
+                        );
+                    }
+                }
+                StateReq::Var(v) => {
+                    let want = self.statevars.get(v).copied();
+                    if want != Some(cur) {
+                        self.diags.error(
+                            Code::WrongKeyState,
+                            span,
+                            format!(
+                                "key {} is not in the state bound to `{v}`",
+                                self.keys.describe(k)
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Unwrap guards (checking them) and tracked keys (requiring them held)
+    /// to reach the underlying value type of a place expression.
+    fn place_core(&mut self, st: &FlowState, ty: &Ty, span: Span) -> Ty {
+        match ty {
+            Ty::Guarded { guards, inner } => {
+                self.check_guards(st, guards, span);
+                self.place_core(st, inner, span)
+            }
+            Ty::Tracked { key, inner } => {
+                if let Some(k) = key.id() {
+                    if !st.held.holds(k) {
+                        self.diags.error(
+                            Code::KeyNotHeld,
+                            span,
+                            format!(
+                                "key {} is not in the held-key set; the object it tracks \
+                                 cannot be accessed",
+                                self.keys.describe(k)
+                            ),
+                        );
+                    }
+                }
+                self.place_core(st, inner, span)
+            }
+            other => other.clone(),
+        }
+    }
+
+    fn field_ty(&mut self, st: &mut FlowState, base_ty: &Ty, fname: &ast::Ident, span: Span) -> Ty {
+        let core = self.place_core(st, base_ty, span);
+        match core {
+            Ty::Named { id, args } => match self.world.typedef(id) {
+                TypeDef::Struct(sd) => {
+                    let Some((_, fty)) = sd.fields.iter().find(|(n, _)| n == &fname.name)
+                    else {
+                        self.diags.error(
+                            Code::UnknownName,
+                            fname.span,
+                            format!("struct `{}` has no field `{fname}`", sd.name),
+                        );
+                        return Ty::Error;
+                    };
+                    let map = param_map(&sd.params, &args);
+                    subst_by_name(fty, &map)
+                }
+                _ => {
+                    self.diags.error(
+                        Code::TypeMismatch,
+                        fname.span,
+                        format!(
+                            "type `{}` has no fields",
+                            self.world.type_name(id)
+                        ),
+                    );
+                    Ty::Error
+                }
+            },
+            Ty::Error => Ty::Error,
+            other => {
+                self.diags.error(
+                    Code::TypeMismatch,
+                    span,
+                    format!("type `{}` has no fields", other.display(self.world)),
+                );
+                Ty::Error
+            }
+        }
+    }
+
+    fn binary_ty(&mut self, op: ast::BinOp, lt: &Ty, rt: &Ty, span: Span) -> Ty {
+        let l = value_ty(lt);
+        let r = value_ty(rt);
+        if l.is_error() || r.is_error() {
+            return if op.is_arith() { Ty::Int } else { Ty::Bool };
+        }
+        let int_like = |t: &Ty| matches!(t, Ty::Int | Ty::Byte);
+        if op.is_arith() {
+            if !int_like(l) || !int_like(r) {
+                self.diags.error(
+                    Code::TypeMismatch,
+                    span,
+                    format!(
+                        "`{}` requires integer operands, found `{}` and `{}`",
+                        op.symbol(),
+                        lt.display(self.world),
+                        rt.display(self.world)
+                    ),
+                );
+            }
+            Ty::Int
+        } else if op.is_logic() {
+            if !matches!(l, Ty::Bool) || !matches!(r, Ty::Bool) {
+                self.diags.error(
+                    Code::TypeMismatch,
+                    span,
+                    format!("`{}` requires bool operands", op.symbol()),
+                );
+            }
+            Ty::Bool
+        } else {
+            let compatible = (int_like(l) && int_like(r))
+                || matches!((l, r), (Ty::Bool, Ty::Bool) | (Ty::Str, Ty::Str));
+            if !compatible {
+                self.diags.error(
+                    Code::TypeMismatch,
+                    span,
+                    format!(
+                        "cannot compare `{}` with `{}`",
+                        lt.display(self.world),
+                        rt.display(self.world)
+                    ),
+                );
+            }
+            Ty::Bool
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Calls
+    // ------------------------------------------------------------------
+
+    fn eval_call(&mut self, st: &mut FlowState, callee: &Expr, args: &[Expr], span: Span) -> Ty {
+        self.stats.calls += 1;
+        let sig = match self.resolve_callee(st, callee) {
+            Some(sig) => sig,
+            None => {
+                for a in args {
+                    self.eval(st, a, None);
+                }
+                return Ty::Error;
+            }
+        };
+        if sig.params.len() != args.len() {
+            self.diags.error(
+                Code::TypeMismatch,
+                span,
+                format!(
+                    "`{}` expects {} argument(s), found {}",
+                    sig.name,
+                    sig.params.len(),
+                    args.len()
+                ),
+            );
+            for a in args {
+                self.eval(st, a, None);
+            }
+            return Ty::Error;
+        }
+        let mut binds = Bindings::new();
+        let mut arg_tys = Vec::with_capacity(args.len());
+        for (decl, arg) in sig.params.iter().zip(args) {
+            let aty = self.eval(st, arg, Some(decl));
+            if !decl.is_error() && !aty.is_error() {
+                let direct = unify(decl, &aty, &mut binds, self.world);
+                let ok = match direct {
+                    Ok(()) => true,
+                    // Passing a guarded value where the unguarded core is
+                    // expected reads the value, which is an access: the
+                    // guard must hold here.
+                    Err(_) => {
+                        let stripped_ok =
+                            unify(decl, value_ty(&aty), &mut binds, self.world).is_ok();
+                        if stripped_ok {
+                            self.use_value(st, &aty, arg.span);
+                        }
+                        stripped_ok
+                    }
+                };
+                if !ok {
+                    // Function-valued arguments (completion routines, §4.3)
+                    // get the dedicated code.
+                    let code = if matches!(decl, Ty::Fn(_)) {
+                        Code::FnTypeMismatch
+                    } else {
+                        Code::TypeMismatch
+                    };
+                    self.diags.error(
+                        code,
+                        arg.span,
+                        format!(
+                            "argument does not match parameter of `{}`: expected `{}`, \
+                             found `{}`",
+                            sig.name,
+                            decl.display(self.world),
+                            aty.display(self.world)
+                        ),
+                    );
+                }
+            }
+            arg_tys.push(aty);
+        }
+        // Pack arguments passed at anonymous tracked type.
+        for (decl, (aty, arg)) in sig.params.iter().zip(arg_tys.iter().zip(args)) {
+            if let (Ty::TrackedAnon(_), Ty::Tracked { key: KeyRef::Id(k), .. }) = (decl, aty) {
+                if st.held.remove(*k).is_err() {
+                    self.diags.error(
+                        Code::KeyNotHeld,
+                        arg.span,
+                        format!(
+                            "passing this value consumes key {}, which is not held",
+                            self.keys.describe(*k)
+                        ),
+                    );
+                }
+            }
+        }
+        self.apply_effect(st, &sig, &mut binds, span);
+        let ret = match vault_types::subst_ty(&sig.ret, &binds) {
+            Ok(t) => t,
+            Err(e) => {
+                self.diags.error(
+                    Code::BadEffect,
+                    span,
+                    format!("cannot instantiate return type of `{}`: {e}", sig.name),
+                );
+                Ty::Error
+            }
+        };
+        // Returned anonymous tracked values unpack immediately.
+        if let Ty::TrackedAnon(inner) = &ret {
+            let k = self.fresh_key(None, inner.display(self.world), KeyOrigin::Fresh);
+            let state = self.fresh_abs(None);
+            st.held.insert(k, state).expect("fresh key");
+            return Ty::Tracked {
+                key: KeyRef::Id(k),
+                inner: inner.clone(),
+            };
+        }
+        ret
+    }
+
+    fn resolve_callee(&mut self, st: &FlowState, callee: &Expr) -> Option<FnSig> {
+        match &callee.kind {
+            ExprKind::Var(name) => {
+                // A local variable holding a function value.
+                if let Some(b) = st.lookup(&name.name) {
+                    if let Ty::Fn(sig) = &b.ty {
+                        return Some((**sig).clone());
+                    }
+                    self.diags.error(
+                        Code::TypeMismatch,
+                        name.span,
+                        format!("`{name}` is not a function"),
+                    );
+                    return None;
+                }
+                if let Some(sig) = self.local_fns.get(&name.name) {
+                    return Some(sig.clone());
+                }
+                if let Some(sig) = self.world.fn_sig(&name.name) {
+                    return Some(sig.clone());
+                }
+                self.diags.error(
+                    Code::UnknownName,
+                    name.span,
+                    format!("unknown function `{name}`"),
+                );
+                None
+            }
+            ExprKind::Field(base, fname) => {
+                // Module-qualified call `Region.create(...)`.
+                if let ExprKind::Var(q) = &base.kind {
+                    if st.lookup(&q.name).is_none() {
+                        if !self.qualifiers.contains(&q.name) {
+                            // Unknown qualifier: still resolve by final
+                            // segment, but note the suspicious module.
+                        }
+                        if let Some(sig) = self.world.fn_sig(&fname.name) {
+                            return Some(sig.clone());
+                        }
+                        self.diags.error(
+                            Code::UnknownName,
+                            fname.span,
+                            format!("unknown function `{q}.{fname}`"),
+                        );
+                        return None;
+                    }
+                }
+                self.diags.error(
+                    Code::TypeMismatch,
+                    callee.span,
+                    "Vault has no methods; call a module function instead",
+                );
+                None
+            }
+            _ => {
+                self.diags.error(
+                    Code::TypeMismatch,
+                    callee.span,
+                    "this expression is not callable",
+                );
+                None
+            }
+        }
+    }
+
+    /// Apply a callee's effect clause at a call site: verify preconditions
+    /// against the held-key set, then apply the postconditions.
+    fn apply_effect(&mut self, st: &mut FlowState, sig: &FnSig, binds: &mut Bindings, span: Span) {
+        for item in &sig.effect {
+            match item {
+                EffItem::Keep { key, from, to } => {
+                    let Some(k) = self.resolve_eff_key(key, binds, &sig.name, span) else {
+                        continue;
+                    };
+                    let Some(cur) = st.held.get(k) else {
+                        self.report_not_held(k, &sig.name, span);
+                        continue;
+                    };
+                    if !self.check_from(k, cur, from, binds, &sig.name, span) {
+                        continue;
+                    }
+                    if let Some(arg) = to {
+                        let val = self.resolve_call_state(arg, binds, span);
+                        st.held.set_state(k, val).expect("checked held");
+                    }
+                }
+                EffItem::Consume { key, from } => {
+                    let Some(k) = self.resolve_eff_key(key, binds, &sig.name, span) else {
+                        continue;
+                    };
+                    if self.keys.info(k).global {
+                        self.diags.error(
+                            Code::GlobalKeyMisuse,
+                            span,
+                            format!(
+                                "`{}` would consume global key {}, which cannot be removed",
+                                sig.name,
+                                self.keys.describe(k)
+                            ),
+                        );
+                        continue;
+                    }
+                    let Some(cur) = st.held.get(k) else {
+                        self.report_not_held(k, &sig.name, span);
+                        continue;
+                    };
+                    if !self.check_from(k, cur, from, binds, &sig.name, span) {
+                        continue;
+                    }
+                    st.held.remove(k).expect("checked held");
+                }
+                EffItem::Produce { key, state } => {
+                    let Some(k) = self.resolve_eff_key(key, binds, &sig.name, span) else {
+                        continue;
+                    };
+                    let val = self.resolve_call_state(state, binds, span);
+                    if st.held.insert(k, val).is_err() {
+                        self.diags.error(
+                            Code::DuplicateKey,
+                            span,
+                            format!(
+                                "`{}` would add key {} to the held-key set, but it is \
+                                 already held (keys are linear)",
+                                sig.name,
+                                self.keys.describe(k)
+                            ),
+                        );
+                    }
+                }
+                EffItem::Fresh { var, state } => {
+                    let k = self.fresh_key(
+                        Some(var.clone()),
+                        format!("fresh key from `{}`", sig.name),
+                        KeyOrigin::Fresh,
+                    );
+                    let val = self.resolve_call_state(state, binds, span);
+                    st.held.insert(k, val).expect("fresh key");
+                    let _ = binds.bind_key(var, k);
+                }
+            }
+        }
+    }
+
+    fn resolve_eff_key(
+        &mut self,
+        key: &KeyRef,
+        binds: &Bindings,
+        callee: &str,
+        span: Span,
+    ) -> Option<KeyId> {
+        match binds.key(key) {
+            Some(k) => Some(k),
+            None => {
+                self.diags.error(
+                    Code::BadEffect,
+                    span,
+                    format!(
+                        "effect of `{callee}` mentions key `{key}`, which the arguments \
+                         do not determine"
+                    ),
+                );
+                None
+            }
+        }
+    }
+
+    fn report_not_held(&mut self, k: KeyId, callee: &str, span: Span) {
+        self.diags.error(
+            Code::KeyNotHeld,
+            span,
+            format!(
+                "`{callee}` requires key {} in the held-key set, but it is not held here",
+                self.keys.describe(k)
+            ),
+        );
+    }
+
+    fn check_from(
+        &mut self,
+        k: KeyId,
+        cur: StateVal,
+        from: &StateReq,
+        binds: &mut Bindings,
+        callee: &str,
+        span: Span,
+    ) -> bool {
+        match from {
+            StateReq::Any => true,
+            StateReq::Exact(t) => {
+                if cur == StateVal::Token(*t) {
+                    true
+                } else {
+                    self.diags.error(
+                        Code::WrongKeyState,
+                        span,
+                        format!(
+                            "`{callee}` requires key {} in state `{}`, but it is in `{}`",
+                            self.keys.describe(k),
+                            self.world.states.state_name(*t),
+                            cur.display(&self.world.states)
+                        ),
+                    );
+                    false
+                }
+            }
+            StateReq::AtMost { var, bound } => {
+                if cur.le_token(*bound, &self.world.states) {
+                    if let Some(v) = var {
+                        let _ = binds.bind_state(v, cur);
+                    }
+                    true
+                } else {
+                    self.diags.error(
+                        Code::StateBound,
+                        span,
+                        format!(
+                            "`{callee}` requires key {} at or below `{}`, but it is in \
+                             `{}`",
+                            self.keys.describe(k),
+                            self.world.states.state_name(*bound),
+                            cur.display(&self.world.states)
+                        ),
+                    );
+                    false
+                }
+            }
+            StateReq::Var(v) => {
+                let want = binds
+                    .states
+                    .get(v)
+                    .copied()
+                    .or_else(|| self.statevars.get(v).copied());
+                match want {
+                    Some(w) if w == cur => true,
+                    Some(w) => {
+                        self.diags.error(
+                            Code::WrongKeyState,
+                            span,
+                            format!(
+                                "`{callee}` requires key {} in state `{}`, but it is in \
+                                 `{}`",
+                                self.keys.describe(k),
+                                w.display(&self.world.states),
+                                cur.display(&self.world.states)
+                            ),
+                        );
+                        false
+                    }
+                    None => {
+                        let _ = binds.bind_state(v, cur);
+                        true
+                    }
+                }
+            }
+        }
+    }
+
+    fn resolve_call_state(&mut self, arg: &StateArg, binds: &Bindings, span: Span) -> StateVal {
+        match arg {
+            StateArg::Token(t) => StateVal::Token(*t),
+            StateArg::Val(v) => *v,
+            StateArg::Var(v) => match binds
+                .states
+                .get(v)
+                .copied()
+                .or_else(|| self.statevars.get(v).copied())
+            {
+                Some(val) => val,
+                None => {
+                    self.diags.error(
+                        Code::BadEffect,
+                        span,
+                        format!("state variable `{v}` is not determined at this call"),
+                    );
+                    self.fresh_abs(None)
+                }
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Constructors and allocation
+    // ------------------------------------------------------------------
+
+    fn eval_ctor(
+        &mut self,
+        st: &mut FlowState,
+        name: &ast::Ident,
+        args: &[Expr],
+        keys: &[ast::KeyStateRef],
+        expected: Option<&Ty>,
+        span: Span,
+    ) -> Ty {
+        let Some((vid, idx)) = self.world.ctor(&name.name) else {
+            self.diags.error(
+                Code::UnknownName,
+                name.span,
+                format!("unknown constructor `'{name}`"),
+            );
+            for a in args {
+                self.eval(st, a, None);
+            }
+            return Ty::Error;
+        };
+        let TypeDef::Variant(def) = self.world.typedef(vid) else {
+            unreachable!("ctor table only points at variants");
+        };
+        let def = def.clone();
+        let cdef = def.ctors[idx].clone();
+
+        // Seed parameter bindings from the expected type.
+        let mut pmap: BTreeMap<String, Arg> = BTreeMap::new();
+        if let Some(exp) = expected {
+            if let Ty::Named { id, args: eargs } = peel_expected(exp) {
+                if *id == vid {
+                    pmap = param_map(&def.params, eargs);
+                }
+            }
+        }
+
+        // Explicit key captures: `'SomeKey{F}`.
+        if !keys.is_empty() {
+            if keys.len() != cdef.captures.len() {
+                self.diags.error(
+                    Code::BadTypeArgs,
+                    span,
+                    format!(
+                        "constructor `'{}` captures {} key(s), {} given",
+                        cdef.name,
+                        cdef.captures.len(),
+                        keys.len()
+                    ),
+                );
+            }
+            for ((pname, _), kref) in cdef.captures.iter().zip(keys) {
+                let resolved = self
+                    .keyenv
+                    .get(&kref.key.name)
+                    .cloned()
+                    .or_else(|| self.world.global_key(&kref.key.name).map(|g| KeyRef::Id(g.id)));
+                match resolved {
+                    Some(r) => {
+                        if let Some(Arg::Key(prev)) = pmap.get(pname) {
+                            if *prev != r {
+                                self.diags.error(
+                                    Code::TypeMismatch,
+                                    kref.key.span,
+                                    format!(
+                                        "key `{}` conflicts with the expected type's key \
+                                         parameter `{pname}`",
+                                        kref.key
+                                    ),
+                                );
+                            }
+                        }
+                        pmap.insert(pname.clone(), Arg::Key(r));
+                    }
+                    None => {
+                        self.diags.error(
+                            Code::UnknownName,
+                            kref.key.span,
+                            format!("unknown key `{}`", kref.key),
+                        );
+                    }
+                }
+            }
+        }
+
+        // Check value arguments, discovering remaining parameters and the
+        // existential keys.
+        if args.len() != cdef.args.len() {
+            self.diags.error(
+                Code::TypeMismatch,
+                span,
+                format!(
+                    "constructor `'{}` takes {} argument(s), found {}",
+                    cdef.name,
+                    cdef.args.len(),
+                    args.len()
+                ),
+            );
+        }
+        let mut binds = Bindings::new();
+        for (p, a) in &pmap {
+            match a {
+                Arg::Key(KeyRef::Id(k)) => {
+                    let _ = binds.bind_key(p, *k);
+                }
+                Arg::State(StateArg::Val(v)) => {
+                    let _ = binds.bind_state(p, *v);
+                }
+                Arg::State(StateArg::Token(t)) => {
+                    let _ = binds.bind_state(p, StateVal::Token(*t));
+                }
+                Arg::Ty(t) => {
+                    let _ = binds.bind_ty(p, t.clone());
+                }
+                _ => {}
+            }
+        }
+        for (decl, arg) in cdef.args.iter().zip(args) {
+            let decl_inst = subst_by_name(decl, &pmap);
+            let aty = self.eval(st, arg, Some(&decl_inst));
+            if !aty.is_error() {
+                if let Err(e) = unify(&decl_inst, &aty, &mut binds, self.world) {
+                    self.diags.error(
+                        Code::TypeMismatch,
+                        arg.span,
+                        format!("constructor argument mismatch: {e}"),
+                    );
+                }
+            }
+            // Purely anonymous components consume the argument's key here;
+            // named existentials are consumed below via `exist_keys`.
+            if let (Ty::TrackedAnon(_), Ty::Tracked { key: KeyRef::Id(k), .. }) =
+                (&decl_inst, &aty)
+            {
+                if st.held.remove(*k).is_err() {
+                    self.diags.error(
+                        Code::KeyNotHeld,
+                        arg.span,
+                        format!(
+                            "storing this value consumes key {}, which is not held",
+                            self.keys.describe(*k)
+                        ),
+                    );
+                }
+            }
+        }
+        // Consume the constructor-scoped existential keys (packing).
+        for v in &cdef.exist_keys {
+            match binds.keys.get(v) {
+                Some(k) => {
+                    if st.held.remove(*k).is_err() {
+                        self.diags.error(
+                            Code::KeyNotHeld,
+                            span,
+                            format!(
+                                "constructing `'{}` consumes key {}, which is not held",
+                                cdef.name,
+                                self.keys.describe(*k)
+                            ),
+                        );
+                    }
+                }
+                None => {
+                    self.diags.error(
+                        Code::BadTypeArgs,
+                        span,
+                        format!(
+                            "could not determine the key `{v}` packed by `'{}`",
+                            cdef.name
+                        ),
+                    );
+                }
+            }
+        }
+        // Fold argument-derived bindings back into the parameter map.
+        for p in &def.params {
+            if pmap.contains_key(p.name()) {
+                continue;
+            }
+            let arg = match p {
+                vault_types::ParamKind::Key(n) => {
+                    binds.keys.get(n).map(|k| Arg::Key(KeyRef::Id(*k)))
+                }
+                vault_types::ParamKind::State { name, .. } => binds
+                    .states
+                    .get(name)
+                    .map(|v| Arg::State(StateArg::Val(*v))),
+                vault_types::ParamKind::Type(n) => binds.tys.get(n).cloned().map(Arg::Ty),
+            };
+            match arg {
+                Some(a) => {
+                    pmap.insert(p.name().to_string(), a);
+                }
+                None => {
+                    self.diags.error(
+                        Code::BadTypeArgs,
+                        span,
+                        format!(
+                            "cannot infer parameter `{}` of variant `{}`; annotate the \
+                             declaration or pass the key explicitly",
+                            p.name(),
+                            def.name
+                        ),
+                    );
+                    pmap.insert(p.name().to_string(), Arg::Ty(Ty::Error));
+                }
+            }
+        }
+
+        // Consume the captured keys (they move into the value).
+        for (pname, req) in &cdef.captures {
+            let Some(Arg::Key(KeyRef::Id(k))) = pmap.get(pname) else {
+                continue;
+            };
+            let k = *k;
+            match st.held.get(k) {
+                None => {
+                    self.diags.error(
+                        Code::KeyNotHeld,
+                        span,
+                        format!(
+                            "constructing `'{}` requires key {} in the held-key set",
+                            cdef.name,
+                            self.keys.describe(k)
+                        ),
+                    );
+                }
+                Some(cur) => {
+                    let mut b2 = Bindings::new();
+                    if !self.check_from(k, cur, req, &mut b2, &format!("'{}", cdef.name), span) {
+                        // state error already reported
+                    }
+                    if self.keys.info(k).global {
+                        self.diags.error(
+                            Code::GlobalKeyMisuse,
+                            span,
+                            "global keys cannot be captured into values",
+                        );
+                    } else {
+                        st.held.remove(k).expect("checked held");
+                    }
+                }
+            }
+        }
+
+        let result_args: Vec<Arg> = def
+            .params
+            .iter()
+            .map(|p| pmap.get(p.name()).cloned().unwrap_or(Arg::Ty(Ty::Error)))
+            .collect();
+        let named = Ty::Named {
+            id: vid,
+            args: result_args,
+        };
+        if is_keyed_variant(self.world, vid) {
+            let k = self.fresh_key(None, def.name.clone(), KeyOrigin::Fresh);
+            st.held
+                .insert(k, StateVal::DEFAULT)
+                .expect("fresh key");
+            Ty::Tracked {
+                key: KeyRef::Id(k),
+                inner: Box::new(named),
+            }
+        } else {
+            named
+        }
+    }
+
+    fn eval_new(
+        &mut self,
+        st: &mut FlowState,
+        region: Option<&Expr>,
+        tyname: &ast::Ident,
+        targs: &[ast::TypeArg],
+        inits: &[ast::FieldInit],
+        span: Span,
+    ) -> Ty {
+        // Lower the allocated type.
+        let mut scope = Scope::body(self.keyenv.clone());
+        let lowered = {
+            let ctx = self.ctx();
+            ctx.lower_named_public(&mut scope, tyname, targs, span, self.diags)
+        };
+        let Ty::Named { id, args } = &lowered else {
+            if !lowered.is_error() {
+                self.diags.error(
+                    Code::TypeMismatch,
+                    tyname.span,
+                    "only named struct types can be allocated",
+                );
+            }
+            for i in inits {
+                self.eval(st, &i.value, None);
+            }
+            return Ty::Error;
+        };
+        // Check the field initializers.
+        match self.world.typedef(*id) {
+            TypeDef::Struct(sd) => {
+                let sd = sd.clone();
+                let map = param_map(&sd.params, args);
+                let mut seen: BTreeSet<String> = BTreeSet::new();
+                for init in inits {
+                    match sd.fields.iter().find(|(n, _)| n == &init.name.name) {
+                        Some((_, fty)) => {
+                            if !seen.insert(init.name.name.clone()) {
+                                self.diags.error(
+                                    Code::DuplicateDecl,
+                                    init.name.span,
+                                    format!("field `{}` initialized twice", init.name),
+                                );
+                            }
+                            let want = subst_by_name(fty, &map);
+                            let got = self.eval(st, &init.value, Some(&want));
+                            let mut b = Bindings::new();
+                            if !got.is_error()
+                                && unify(&want, &got, &mut b, self.world).is_err()
+                                && unify(value_ty(&want), value_ty(&got), &mut b, self.world)
+                                    .is_err()
+                            {
+                                self.diags.error(
+                                    Code::TypeMismatch,
+                                    init.value.span,
+                                    format!(
+                                        "field `{}` expects `{}`, found `{}`",
+                                        init.name,
+                                        want.display(self.world),
+                                        got.display(self.world)
+                                    ),
+                                );
+                            }
+                        }
+                        None => {
+                            self.diags.error(
+                                Code::UnknownName,
+                                init.name.span,
+                                format!("struct `{}` has no field `{}`", sd.name, init.name),
+                            );
+                            self.eval(st, &init.value, None);
+                        }
+                    }
+                }
+                for (fname, _) in &sd.fields {
+                    if !seen.contains(fname) {
+                        self.diags.error(
+                            Code::TypeMismatch,
+                            span,
+                            format!("field `{fname}` is not initialized"),
+                        );
+                    }
+                }
+            }
+            _ => {
+                self.diags.error(
+                    Code::TypeMismatch,
+                    tyname.span,
+                    format!("`{tyname}` is not a struct and cannot be allocated with `new`"),
+                );
+            }
+        }
+        match region {
+            None => {
+                // `new tracked T {...}`: fresh heap object with a fresh key.
+                let k = self.fresh_key(None, tyname.name.clone(), KeyOrigin::Fresh);
+                st.held
+                    .insert(k, StateVal::DEFAULT)
+                    .expect("fresh key");
+                Ty::Tracked {
+                    key: KeyRef::Id(k),
+                    inner: Box::new(lowered),
+                }
+            }
+            Some(r) => {
+                // `new(rgn) T {...}`: guarded by the region's key.
+                let rty = self.eval(st, r, None);
+                match peel_guards(&rty) {
+                    Ty::Tracked { key: KeyRef::Id(rk), .. } => {
+                        if !st.held.holds(*rk) {
+                            self.diags.error(
+                                Code::KeyNotHeld,
+                                r.span,
+                                format!(
+                                    "cannot allocate from this region: key {} is not held",
+                                    self.keys.describe(*rk)
+                                ),
+                            );
+                        }
+                        Ty::Guarded {
+                            guards: vec![GuardAtom {
+                                key: KeyRef::Id(*rk),
+                                req: StateReq::Any,
+                            }],
+                            inner: Box::new(lowered),
+                        }
+                    }
+                    Ty::Error => Ty::Error,
+                    other => {
+                        self.diags.error(
+                            Code::TypeMismatch,
+                            r.span,
+                            format!(
+                                "allocation requires a tracked region, found `{}`",
+                                other.display(self.world)
+                            ),
+                        );
+                        Ty::Error
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Strip guard layers without checking (for type-shape dispatch).
+fn peel_guards(t: &Ty) -> &Ty {
+    match t {
+        Ty::Guarded { inner, .. } => peel_guards(inner),
+        other => other,
+    }
+}
+
+/// Strip guards and tracking to the underlying value type (guards must have
+/// been checked at the access point).
+fn value_ty(t: &Ty) -> &Ty {
+    match t {
+        Ty::Guarded { inner, .. } => value_ty(inner),
+        other => other,
+    }
+}
+
+fn peel_expected(t: &Ty) -> &Ty {
+    match t {
+        Ty::Tracked { inner, .. } | Ty::TrackedAnon(inner) => peel_expected(inner),
+        Ty::Guarded { inner, .. } => peel_expected(inner),
+        other => other,
+    }
+}
+
+/// Whether a declared type is anonymous-tracked at the top (assignments
+/// then store the concrete type).
+fn is_anon_decl(t: &Ty) -> bool {
+    matches!(t, Ty::TrackedAnon(_))
+}
+
+/// Initializing a guarded declaration from an unguarded value of the core
+/// type is permitted (`K:int x = 4;`).
+fn is_guarded_init(decl: &Ty, actual: &Ty, world: &World) -> bool {
+    if let Ty::Guarded { inner, .. } = decl {
+        let mut b = Bindings::new();
+        return unify(inner, value_ty(actual), &mut b, world).is_ok();
+    }
+    false
+}
+
+impl FnChecker<'_, '_> {
+    /// Substitute the key and state bindings of `binds` (plus this
+    /// function's state variables) into a type, leaving other variables
+    /// untouched (used to resolve binder keys in local declarations).
+    fn subst_binds(&self, t: &Ty, binds: &Bindings) -> Ty {
+        let mut map: BTreeMap<String, Arg> = binds
+            .keys
+            .iter()
+            .map(|(n, k)| (n.clone(), Arg::Key(KeyRef::Id(*k))))
+            .collect();
+        for (n, v) in &self.statevars {
+            map.insert(n.clone(), Arg::State(StateArg::Val(*v)));
+        }
+        for (n, v) in &binds.states {
+            map.insert(n.clone(), Arg::State(StateArg::Val(*v)));
+        }
+        subst_by_name(t, &map)
+    }
+}
+
+fn collect_statevars_ty(t: &Ty, out: &mut BTreeMap<String, Option<vault_types::StateId>>) {
+    match t {
+        Ty::Tracked { inner, .. } | Ty::TrackedAnon(inner) | Ty::Array(inner) => {
+            collect_statevars_ty(inner, out)
+        }
+        Ty::Guarded { guards, inner } => {
+            for g in guards {
+                match &g.req {
+                    StateReq::Var(v) => {
+                        out.entry(v.clone()).or_insert(None);
+                    }
+                    StateReq::AtMost {
+                        var: Some(v),
+                        bound,
+                    } => {
+                        out.entry(v.clone()).or_insert(Some(*bound));
+                    }
+                    _ => {}
+                }
+            }
+            collect_statevars_ty(inner, out);
+        }
+        Ty::Tuple(ts) => {
+            for t in ts {
+                collect_statevars_ty(t, out);
+            }
+        }
+        Ty::Named { args, .. } => {
+            for a in args {
+                match a {
+                    Arg::Ty(t) => collect_statevars_ty(t, out),
+                    Arg::State(StateArg::Var(v)) => {
+                        out.entry(v.clone()).or_insert(None);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn collect_statevars_eff(
+    item: &EffItem,
+    out: &mut BTreeMap<String, Option<vault_types::StateId>>,
+) {
+    let mut add_req = |r: &StateReq| match r {
+        StateReq::AtMost {
+            var: Some(v),
+            bound,
+        } => {
+            out.insert(v.clone(), Some(*bound));
+        }
+        StateReq::Var(v) => {
+            out.entry(v.clone()).or_insert(None);
+        }
+        _ => {}
+    };
+    match item {
+        EffItem::Keep { from, to, .. } => {
+            add_req(from);
+            if let Some(StateArg::Var(v)) = to {
+                out.entry(v.clone()).or_insert(None);
+            }
+        }
+        EffItem::Consume { from, .. } => add_req(from),
+        EffItem::Produce { state, .. } | EffItem::Fresh { state, .. } => {
+            if let StateArg::Var(v) = state {
+                out.entry(v.clone()).or_insert(None);
+            }
+        }
+    }
+}
+
+fn key_resource(params: &[Ty], var: &str) -> Option<String> {
+    fn find(t: &Ty, var: &str) -> Option<String> {
+        match t {
+            Ty::Tracked { key: KeyRef::Var(v), inner } if v == var => Some(match &**inner {
+                Ty::Var(v) => v.clone(),
+                _ => "tracked object".to_string(),
+            }),
+            Ty::Tracked { inner, .. } | Ty::TrackedAnon(inner) | Ty::Array(inner) => {
+                find(inner, var)
+            }
+            Ty::Guarded { inner, .. } => find(inner, var),
+            Ty::Tuple(ts) => ts.iter().find_map(|t| find(t, var)),
+            Ty::Named { args, .. } => args.iter().find_map(|a| match a {
+                Arg::Ty(t) => find(t, var),
+                _ => None,
+            }),
+            _ => None,
+        }
+    }
+    params.iter().find_map(|p| find(p, var))
+}

@@ -1,0 +1,457 @@
+//! Flow state and the join-point abstraction.
+//!
+//! The checker propagates a [`FlowState`] — variable environment plus
+//! held-key set — through each function body. At control-flow joins the two
+//! incoming states must agree *up to a bijective renaming of local keys*
+//! (paper §3: "we abstract over the actual names of local keys in incoming
+//! key sets"). The renaming is discovered from the environment: variables
+//! live on both paths correlate the keys; leftover keys are paired in
+//! order. Any disagreement is the paper's Fig. 5 rejection.
+
+use std::collections::BTreeMap;
+use vault_types::{ty_eq_mod_keys, HeldSet, KeyGen, KeyId, StateVal, Ty, World};
+
+/// What the checker knows about one variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Binding {
+    /// The declared type (anonymous tracked declarations stay anonymous
+    /// here; assignments are checked against it).
+    pub decl_ty: Ty,
+    /// The current, concrete type (keys resolved to ids).
+    pub ty: Ty,
+    /// Whether the variable definitely has a value.
+    pub init: bool,
+}
+
+/// One lexical scope of variables.
+pub type Frame = BTreeMap<String, Binding>;
+
+/// The abstract state at a program point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowState {
+    /// Stack of scopes, innermost last.
+    pub frames: Vec<Frame>,
+    /// The held-key set.
+    pub held: HeldSet,
+    /// False after `return` (dead code is skipped).
+    pub reachable: bool,
+}
+
+impl FlowState {
+    /// A fresh state with one empty scope.
+    pub fn new() -> Self {
+        FlowState {
+            frames: vec![Frame::new()],
+            held: HeldSet::new(),
+            reachable: true,
+        }
+    }
+
+    /// Enter a nested scope.
+    pub fn push_frame(&mut self) {
+        self.frames.push(Frame::new());
+    }
+
+    /// Leave the innermost scope, dropping its variables.
+    pub fn pop_frame(&mut self) {
+        self.frames.pop();
+        debug_assert!(!self.frames.is_empty(), "popped the outermost frame");
+    }
+
+    /// Look up a variable, innermost scope first.
+    pub fn lookup(&self, name: &str) -> Option<&Binding> {
+        self.frames.iter().rev().find_map(|f| f.get(name))
+    }
+
+    /// Mutable lookup.
+    pub fn lookup_mut(&mut self, name: &str) -> Option<&mut Binding> {
+        self.frames.iter_mut().rev().find_map(|f| f.get_mut(name))
+    }
+
+    /// Declare a variable in the innermost scope. Returns false if the name
+    /// already exists in that scope.
+    pub fn declare(&mut self, name: &str, binding: Binding) -> bool {
+        let frame = self.frames.last_mut().expect("at least one frame");
+        if frame.contains_key(name) {
+            return false;
+        }
+        frame.insert(name.to_string(), binding);
+        true
+    }
+
+    /// Iterate all visible bindings (outer to inner, shadowed ones too —
+    /// join compares positionally per frame so shadowing is consistent).
+    pub fn bindings(&self) -> impl Iterator<Item = (&String, &Binding)> {
+        self.frames.iter().flat_map(|f| f.iter())
+    }
+}
+
+impl Default for FlowState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The result of merging two states.
+pub struct Merge {
+    /// The joined state (based on the first input's key names).
+    pub state: FlowState,
+    /// Human-readable join problems; non-empty means [`JoinMismatch`]
+    /// diagnostics should be reported.
+    ///
+    /// [`JoinMismatch`]: vault_syntax::diag::Code::JoinMismatch
+    pub problems: Vec<String>,
+    /// Variables whose types could not be reconciled (poisoned to `Error`).
+    pub poisoned: Vec<String>,
+}
+
+impl Merge {
+    /// Whether the two states agreed exactly (up to key renaming).
+    pub fn clean(&self) -> bool {
+        self.problems.is_empty() && self.poisoned.is_empty()
+    }
+}
+
+/// Merge two flow states at a join point.
+pub fn merge(a: &FlowState, b: &FlowState, keys: &KeyGen, world: &World) -> Merge {
+    if !a.reachable {
+        return Merge {
+            state: b.clone(),
+            problems: Vec::new(),
+            poisoned: Vec::new(),
+        };
+    }
+    if !b.reachable {
+        return Merge {
+            state: a.clone(),
+            problems: Vec::new(),
+            poisoned: Vec::new(),
+        };
+    }
+    let mut out = a.clone();
+    let mut problems = Vec::new();
+    let mut poisoned = Vec::new();
+
+    // Correlate keys through the environments.
+    let mut map: BTreeMap<KeyId, KeyId> = BTreeMap::new(); // a → b
+    let mut rev: BTreeMap<KeyId, KeyId> = BTreeMap::new(); // b → a
+    debug_assert_eq!(a.frames.len(), b.frames.len(), "unbalanced scopes at join");
+    for (fi, (fa, fb)) in a.frames.iter().zip(&b.frames).enumerate() {
+        for (name, ba) in fa {
+            let Some(bb) = fb.get(name) else {
+                // Structurally impossible for well-formed traversal; be
+                // permissive and poison.
+                poisoned.push(name.clone());
+                continue;
+            };
+            match (ba.init, bb.init) {
+                (true, true) => {
+                    if !ty_eq_mod_keys(&ba.ty, &bb.ty, &mut map, &mut rev) {
+                        problems.push(format!(
+                            "variable `{name}` has type `{}` on one path but `{}` on the \
+                             other",
+                            ba.ty.display(world),
+                            bb.ty.display(world)
+                        ));
+                        poison(&mut out, fi, name, &mut poisoned);
+                    }
+                }
+                (false, false) => {}
+                _ => poison(&mut out, fi, name, &mut poisoned),
+            }
+        }
+    }
+
+    // Pair up keys not correlated by any variable, in id order.
+    let a_orphans: Vec<KeyId> = a.held.keys().filter(|k| !map.contains_key(k)).collect();
+    let b_orphans: Vec<KeyId> = b.held.keys().filter(|k| !rev.contains_key(k)).collect();
+    if a_orphans.len() == b_orphans.len() {
+        for (ka, kb) in a_orphans.iter().zip(&b_orphans) {
+            rev.insert(*kb, *ka);
+        }
+    }
+
+    // Rename b's held set into a's key names and compare.
+    match b.held.rename(&rev) {
+        Ok(renamed) => {
+            let mut absmap: BTreeMap<u32, u32> = BTreeMap::new();
+            let mut absrev: BTreeMap<u32, u32> = BTreeMap::new();
+            let a_keys: Vec<KeyId> = a.held.keys().collect();
+            let b_keys: Vec<KeyId> = renamed.keys().collect();
+            if a_keys != b_keys {
+                problems.push(held_disagreement(a, b, keys, world));
+            } else {
+                for k in a_keys {
+                    let sa = a.held.get(k).expect("listed");
+                    let sb = renamed.get(k).expect("listed");
+                    if !stateval_compat(sa, sb, &mut absmap, &mut absrev) {
+                        problems.push(format!(
+                            "key {} is in state `{}` on one path but `{}` on the other",
+                            keys.describe(k),
+                            sa.display(&world.states),
+                            sb.display(&world.states)
+                        ));
+                    }
+                }
+            }
+        }
+        Err(_) => problems.push(held_disagreement(a, b, keys, world)),
+    }
+
+    Merge {
+        state: out,
+        problems,
+        poisoned,
+    }
+}
+
+fn poison(out: &mut FlowState, frame: usize, name: &str, poisoned: &mut Vec<String>) {
+    if let Some(b) = out.frames[frame].get_mut(name) {
+        b.ty = Ty::Error;
+        b.init = false;
+    }
+    poisoned.push(name.to_string());
+}
+
+fn held_disagreement(a: &FlowState, b: &FlowState, keys: &KeyGen, world: &World) -> String {
+    let describe = |h: &HeldSet| -> String {
+        let items: Vec<String> = h
+            .iter()
+            .map(|(k, s)| {
+                if s == StateVal::DEFAULT {
+                    keys.describe(k)
+                } else {
+                    format!("{}@{}", keys.describe(k), s.display(&world.states))
+                }
+            })
+            .collect();
+        format!("{{{}}}", items.join(", "))
+    };
+    format!(
+        "held-key sets disagree at this join point: {} vs {}",
+        describe(&a.held),
+        describe(&b.held)
+    )
+}
+
+/// Compare two state values modulo a bijection of abstract-state ids.
+fn stateval_compat(
+    a: StateVal,
+    b: StateVal,
+    absmap: &mut BTreeMap<u32, u32>,
+    absrev: &mut BTreeMap<u32, u32>,
+) -> bool {
+    match (a, b) {
+        (StateVal::Token(x), StateVal::Token(y)) => x == y,
+        (
+            StateVal::Abs { id: ia, bound: ba },
+            StateVal::Abs { id: ib, bound: bb },
+        ) => {
+            if ba != bb {
+                return false;
+            }
+            let f_ok = match absmap.get(&ia) {
+                Some(m) => *m == ib,
+                None => {
+                    absmap.insert(ia, ib);
+                    true
+                }
+            };
+            let b_ok = match absrev.get(&ib) {
+                Some(m) => *m == ia,
+                None => {
+                    absrev.insert(ib, ia);
+                    true
+                }
+            };
+            f_ok && b_ok
+        }
+        _ => false,
+    }
+}
+
+/// Whether two states agree (used for the loop-invariant fixpoint test).
+pub fn states_agree(a: &FlowState, b: &FlowState, keys: &KeyGen, world: &World) -> bool {
+    if a.reachable != b.reachable {
+        return false;
+    }
+    if !a.reachable {
+        return true;
+    }
+    merge(a, b, keys, world).clean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vault_types::{AbstractDef, KeyInfo, KeyOrigin, KeyRef, StateTable, TypeDef};
+
+    fn setup() -> (World, KeyGen, Ty) {
+        let mut w = World::new();
+        let region = w
+            .add_type(TypeDef::Abstract(AbstractDef {
+                name: "region".into(),
+                params: vec![],
+            }))
+            .unwrap();
+        (
+            w,
+            KeyGen::new(),
+            Ty::Named {
+                id: region,
+                args: vec![],
+            },
+        )
+    }
+
+    fn fresh(keys: &mut KeyGen) -> KeyId {
+        keys.fresh(KeyInfo {
+            name: None,
+            resource: "region".into(),
+            origin: KeyOrigin::Fresh,
+            stateset: StateTable::DEFAULT_SET,
+            global: false,
+        })
+    }
+
+    fn bind(ty: Ty) -> Binding {
+        Binding {
+            decl_ty: ty.clone(),
+            ty,
+            init: true,
+        }
+    }
+
+    #[test]
+    fn merge_identical_states_is_clean() {
+        let (w, mut keys, region) = setup();
+        let k = fresh(&mut keys);
+        let mut a = FlowState::new();
+        a.declare("r", bind(Ty::tracked(KeyRef::Id(k), region.clone())));
+        a.held.insert(k, StateVal::DEFAULT).unwrap();
+        let b = a.clone();
+        let m = merge(&a, &b, &keys, &w);
+        assert!(m.clean(), "{:?} / {:?}", m.problems, m.poisoned);
+    }
+
+    #[test]
+    fn merge_renames_local_keys() {
+        // Branch A made key k0 for `flag`; branch B made k1. The join
+        // abstracts the names (the §2.1 opt_key example).
+        let (w, mut keys, region) = setup();
+        let k0 = fresh(&mut keys);
+        let k1 = fresh(&mut keys);
+        let mut a = FlowState::new();
+        a.declare("flag", bind(Ty::tracked(KeyRef::Id(k0), region.clone())));
+        a.held.insert(k0, StateVal::DEFAULT).unwrap();
+        let mut b = FlowState::new();
+        b.declare("flag", bind(Ty::tracked(KeyRef::Id(k1), region.clone())));
+        b.held.insert(k1, StateVal::DEFAULT).unwrap();
+        let m = merge(&a, &b, &keys, &w);
+        assert!(m.clean(), "{:?}", m.problems);
+        assert!(m.state.held.holds(k0));
+    }
+
+    #[test]
+    fn merge_detects_held_disagreement() {
+        // Fig. 5: one branch deleted the region, the other did not.
+        let (w, mut keys, region) = setup();
+        let k = fresh(&mut keys);
+        let mut a = FlowState::new();
+        a.declare("rgn", bind(Ty::tracked(KeyRef::Id(k), region.clone())));
+        a.held.insert(k, StateVal::DEFAULT).unwrap();
+        let mut b = FlowState::new();
+        b.declare("rgn", bind(Ty::tracked(KeyRef::Id(k), region.clone())));
+        // b deleted the region: key not held.
+        let m = merge(&a, &b, &keys, &w);
+        assert!(!m.clean());
+        assert!(m.problems[0].contains("disagree"), "{:?}", m.problems);
+    }
+
+    #[test]
+    fn merge_detects_state_disagreement() {
+        let (w, mut keys, region) = setup();
+        let mut states = StateTable::new();
+        let set = states.begin_stateset("S");
+        let s1 = states.add_state(set, "one").unwrap();
+        let s2 = states.add_state(set, "two").unwrap();
+        states.finish_stateset(set).unwrap();
+        let mut world = w;
+        world.states = states;
+        let k = fresh(&mut keys);
+        let mut a = FlowState::new();
+        a.declare("s", bind(Ty::tracked(KeyRef::Id(k), region.clone())));
+        a.held.insert(k, StateVal::Token(s1)).unwrap();
+        let mut b = a.clone();
+        b.held.set_state(k, StateVal::Token(s2)).unwrap();
+        let m = merge(&a, &b, &keys, &world);
+        assert!(!m.clean());
+        assert!(m.problems[0].contains("state"), "{:?}", m.problems);
+    }
+
+    #[test]
+    fn merge_unreachable_picks_other() {
+        let (w, keys, _region) = setup();
+        let mut a = FlowState::new();
+        a.reachable = false;
+        let b = FlowState::new();
+        let m = merge(&a, &b, &keys, &w);
+        assert!(m.clean());
+        assert!(m.state.reachable);
+    }
+
+    #[test]
+    fn merge_poisons_partially_initialized() {
+        let (w, keys, _region) = setup();
+        let mut a = FlowState::new();
+        a.declare(
+            "x",
+            Binding {
+                decl_ty: Ty::Int,
+                ty: Ty::Int,
+                init: true,
+            },
+        );
+        let mut b = FlowState::new();
+        b.declare(
+            "x",
+            Binding {
+                decl_ty: Ty::Int,
+                ty: Ty::Int,
+                init: false,
+            },
+        );
+        let m = merge(&a, &b, &keys, &w);
+        assert_eq!(m.poisoned, vec!["x".to_string()]);
+        assert!(!m.state.lookup("x").unwrap().init);
+    }
+
+    #[test]
+    fn states_agree_modulo_renaming() {
+        let (w, mut keys, region) = setup();
+        let k0 = fresh(&mut keys);
+        let k1 = fresh(&mut keys);
+        let mut a = FlowState::new();
+        a.declare("r", bind(Ty::tracked(KeyRef::Id(k0), region.clone())));
+        a.held.insert(k0, StateVal::DEFAULT).unwrap();
+        let mut b = FlowState::new();
+        b.declare("r", bind(Ty::tracked(KeyRef::Id(k1), region.clone())));
+        b.held.insert(k1, StateVal::DEFAULT).unwrap();
+        assert!(states_agree(&a, &b, &keys, &w));
+        b.held.remove(k1).unwrap();
+        assert!(!states_agree(&a, &b, &keys, &w));
+    }
+
+    #[test]
+    fn scope_stack_operations() {
+        let mut s = FlowState::new();
+        s.declare("outer", bind(Ty::Int));
+        s.push_frame();
+        assert!(s.declare("inner", bind(Ty::Bool)));
+        assert!(!s.declare("inner", bind(Ty::Bool)), "redeclaration");
+        assert!(s.lookup("outer").is_some());
+        assert!(s.lookup("inner").is_some());
+        s.pop_frame();
+        assert!(s.lookup("inner").is_none());
+    }
+}

@@ -1,0 +1,160 @@
+//! # vault-core
+//!
+//! The Vault protocol checker — the primary contribution of *Enforcing
+//! High-Level Protocols in Low-Level Software* (DeLine & Fähndrich,
+//! PLDI 2001) — plus the C back end that erases keys and guards.
+//!
+//! The checker statically enforces resource management protocols written
+//! as type guards and effect clauses: it tracks a held-key set through
+//! every function body, rejecting dangling accesses ([`Code::KeyNotHeld`]),
+//! leaks ([`Code::KeyLeak`]), protocol-order violations
+//! ([`Code::WrongKeyState`]), double acquisition ([`Code::DuplicateKey`]),
+//! join-point inconsistencies ([`Code::JoinMismatch`]), and interrupt-level
+//! misuse ([`Code::StateBound`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use vault_core::{check_source, Verdict};
+//! use vault_syntax::Code;
+//!
+//! // Fig. 2 `dangling`: access after the region is deleted.
+//! let result = check_source(
+//!     "dangling.vlt",
+//!     r#"
+//!     interface REGION {
+//!       type region;
+//!       tracked(R) region create() [new R];
+//!       void delete(tracked(R) region) [-R];
+//!     }
+//!     struct point { int x; int y; }
+//!     void dangling() {
+//!       tracked(R) region rgn = Region.create();
+//!       R:point pt = new(rgn) point {x=1; y=2;};
+//!       Region.delete(rgn);
+//!       pt.x++;
+//!     }
+//!     "#,
+//! );
+//! assert_eq!(result.verdict(), Verdict::Rejected);
+//! assert!(result.has_code(Code::KeyNotHeld));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cfg;
+pub mod check;
+pub mod codegen;
+pub mod elaborate;
+pub mod flow;
+pub mod lower;
+
+use vault_syntax::diag::{Code, DiagSink, Diagnostic, Severity};
+use vault_syntax::{ast, parse_program, SourceMap};
+
+pub use check::CheckStats;
+pub use elaborate::{elaborate, Elaborated};
+
+/// Did the program pass the protocol checker?
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// No errors: every protocol is respected.
+    Accepted,
+    /// At least one error diagnostic.
+    Rejected,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Verdict::Accepted => f.write_str("accepted"),
+            Verdict::Rejected => f.write_str("rejected"),
+        }
+    }
+}
+
+/// Everything produced by checking one compilation unit.
+pub struct CheckResult {
+    /// The source map for rendering diagnostics.
+    pub source: SourceMap,
+    /// The parsed program (possibly partial after parse errors).
+    pub program: ast::Program,
+    /// Elaboration output (declaration tables), for downstream passes.
+    pub elaborated: Elaborated,
+    /// All diagnostics, in order of discovery.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Aggregate checker counters.
+    pub stats: CheckStats,
+}
+
+impl CheckResult {
+    /// Accepted or rejected?
+    pub fn verdict(&self) -> Verdict {
+        if self
+            .diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+        {
+            Verdict::Rejected
+        } else {
+            Verdict::Accepted
+        }
+    }
+
+    /// Whether some diagnostic carries the given code.
+    pub fn has_code(&self, code: Code) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// All distinct error codes, in first-occurrence order.
+    pub fn error_codes(&self) -> Vec<Code> {
+        let mut seen = Vec::new();
+        for d in &self.diagnostics {
+            if d.severity == Severity::Error && !seen.contains(&d.code) {
+                seen.push(d.code);
+            }
+        }
+        seen
+    }
+
+    /// Render every diagnostic against the source.
+    pub fn render_diagnostics(&self) -> String {
+        self.diagnostics
+            .iter()
+            .map(|d| d.render(&self.source))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Parse, elaborate, and check a Vault compilation unit.
+pub fn check_source(name: &str, src: &str) -> CheckResult {
+    let source = SourceMap::new(name, src);
+    let mut diags = DiagSink::new();
+    let program = parse_program(src, &mut diags);
+    let elaborated = elaborate(&program, &mut diags);
+    let mut stats = CheckStats::default();
+    for f in &elaborated.bodies {
+        stats.absorb(check::check_function(
+            &elaborated.world,
+            &elaborated.aliases,
+            &elaborated.qualifiers,
+            &elaborated.base_keys,
+            f,
+            &mut diags,
+        ));
+    }
+    CheckResult {
+        source,
+        program,
+        elaborated,
+        diagnostics: diags.into_vec(),
+        stats,
+    }
+}
+
+/// Convenience: check and return only the verdict and error codes.
+pub fn quick_check(src: &str) -> (Verdict, Vec<Code>) {
+    let r = check_source("<input>", src);
+    (r.verdict(), r.error_codes())
+}

@@ -1,0 +1,1069 @@
+//! Behavioural tests for the protocol checker, organised around the
+//! paper's figures and sections. Each test states the paper artifact it
+//! reproduces.
+
+use vault_core::{check_source, Verdict};
+use vault_syntax::Code;
+
+fn accepts(src: &str) {
+    let r = check_source("<test>", src);
+    assert_eq!(
+        r.verdict(),
+        Verdict::Accepted,
+        "expected acceptance, got:\n{}",
+        r.render_diagnostics()
+    );
+}
+
+fn rejects_with(src: &str, code: Code) {
+    let r = check_source("<test>", src);
+    assert_eq!(
+        r.verdict(),
+        Verdict::Rejected,
+        "expected rejection with {code}"
+    );
+    assert!(
+        r.has_code(code),
+        "expected {code}, got {:?}:\n{}",
+        r.error_codes(),
+        r.render_diagnostics()
+    );
+}
+
+const REGION_PRELUDE: &str = r#"
+interface REGION {
+  type region;
+  tracked(R) region create() [new R];
+  void delete(tracked(R) region) [-R];
+}
+struct point { int x; int y; }
+"#;
+
+// ---------------------------------------------------------------------
+// Fig. 1 + Fig. 2: the region abstraction
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig2_okay_is_accepted() {
+    accepts(&format!(
+        "{REGION_PRELUDE}
+         void okay() {{
+           tracked(R) region rgn = Region.create();
+           R:point pt = new(rgn) point {{x=1; y=2;}};
+           pt.x++;
+           Region.delete(rgn);
+         }}"
+    ));
+}
+
+#[test]
+fn fig2_dangling_is_rejected() {
+    rejects_with(
+        &format!(
+            "{REGION_PRELUDE}
+             void dangling() {{
+               tracked(R) region rgn = Region.create();
+               R:point pt = new(rgn) point {{x=1; y=2;}};
+               Region.delete(rgn);
+               pt.x++;
+             }}"
+        ),
+        Code::KeyNotHeld,
+    );
+}
+
+#[test]
+fn fig2_leaky_is_rejected() {
+    rejects_with(
+        &format!(
+            "{REGION_PRELUDE}
+             void leaky() {{
+               tracked(R) region rgn = Region.create();
+               R:point pt = new(rgn) point {{x=1; y=2;}};
+               pt.x++;
+             }}"
+        ),
+        Code::KeyLeak,
+    );
+}
+
+#[test]
+fn double_delete_is_rejected() {
+    rejects_with(
+        &format!(
+            "{REGION_PRELUDE}
+             void twice() {{
+               tracked(R) region rgn = Region.create();
+               Region.delete(rgn);
+               Region.delete(rgn);
+             }}"
+        ),
+        Code::KeyNotHeld,
+    );
+}
+
+#[test]
+fn delete_through_alias_invalidates_both_names() {
+    // §3.1: rgn1 and rgn2 share the singleton type s(r).
+    rejects_with(
+        &format!(
+            "{REGION_PRELUDE}
+             void alias() {{
+               tracked(R) region rgn1 = Region.create();
+               tracked(R) region rgn2 = rgn1;
+               Region.delete(rgn2);
+               R:point pt = new(rgn1) point {{x=1; y=2;}};
+             }}"
+        ),
+        Code::KeyNotHeld,
+    );
+}
+
+#[test]
+fn free_tracked_heap_object() {
+    accepts(
+        "struct point { int x; int y; }
+         void ok() {
+           tracked(K) point p = new tracked point {x=3; y=4;};
+           p.x++;
+           free(p);
+         }",
+    );
+    rejects_with(
+        "struct point { int x; int y; }
+         void leak() {
+           tracked(K) point p = new tracked point {x=3; y=4;};
+         }",
+        Code::KeyLeak,
+    );
+    rejects_with(
+        "struct point { int x; int y; }
+         void uaf() {
+           tracked(K) point p = new tracked point {x=3; y=4;};
+           free(p);
+           p.x++;
+         }",
+        Code::KeyNotHeld,
+    );
+    rejects_with(
+        "void bad(int x) { free(x); }",
+        Code::FreeUntracked,
+    );
+}
+
+#[test]
+fn guarded_int_tied_to_tracked_object() {
+    // §2.1: `K:int x = 4;` — x inaccessible once K is consumed.
+    rejects_with(
+        "struct point { int x; int y; }
+         int bad() {
+           tracked(K) point p = new tracked point {x=3; y=4;};
+           K:int x = 4;
+           free(p);
+           return x + 1;
+         }",
+        Code::KeyNotHeld,
+    );
+}
+
+// ---------------------------------------------------------------------
+// Fig. 3 / §2.3: sockets
+// ---------------------------------------------------------------------
+
+const SOCKET_PRELUDE: &str = r#"
+stateset SOCK_STATE = [ raw < named < listening < ready ];
+type sock;
+struct sockaddr { int addr; }
+variant domain [ 'UNIX | 'INET ];
+variant comm_style [ 'STREAM | 'DGRAM ];
+tracked(S) sock socket(domain d, comm_style c, int proto) [new S@raw];
+void bind(tracked(S) sock, sockaddr) [S@raw->named];
+void listen(tracked(S) sock, int) [S@named->listening];
+tracked(N) sock accept(tracked(S) sock, sockaddr) [S@listening, new N@ready];
+void receive(tracked(S) sock, byte[]) [S@ready];
+void close(tracked(S) sock) [-S];
+"#;
+
+#[test]
+fn socket_correct_sequence_accepted() {
+    accepts(&format!(
+        "{SOCKET_PRELUDE}
+         void server(sockaddr a, byte[] buf) {{
+           tracked(S) sock s = socket('UNIX, 'STREAM, 0);
+           bind(s, a);
+           listen(s, 5);
+           tracked(N) sock conn = accept(s, a);
+           receive(conn, buf);
+           close(conn);
+           close(s);
+         }}"
+    ));
+}
+
+#[test]
+fn socket_skipping_bind_rejected() {
+    rejects_with(
+        &format!(
+            "{SOCKET_PRELUDE}
+             void bad(sockaddr a) {{
+               tracked(S) sock s = socket('UNIX, 'STREAM, 0);
+               listen(s, 5);
+               close(s);
+             }}"
+        ),
+        Code::WrongKeyState,
+    );
+}
+
+#[test]
+fn socket_receive_on_unaccepted_rejected() {
+    rejects_with(
+        &format!(
+            "{SOCKET_PRELUDE}
+             void bad(sockaddr a, byte[] buf) {{
+               tracked(S) sock s = socket('UNIX, 'STREAM, 0);
+               bind(s, a);
+               listen(s, 5);
+               receive(s, buf);
+               close(s);
+             }}"
+        ),
+        Code::WrongKeyState,
+    );
+}
+
+#[test]
+fn socket_leak_rejected() {
+    rejects_with(
+        &format!(
+            "{SOCKET_PRELUDE}
+             void bad(sockaddr a) {{
+               tracked(S) sock s = socket('UNIX, 'STREAM, 0);
+             }}"
+        ),
+        Code::KeyLeak,
+    );
+}
+
+#[test]
+fn socket_failing_bind_forces_status_check() {
+    // §2.3: bind returns a keyed status variant; ignoring it loses the
+    // socket's key.
+    let prelude = format!(
+        "{SOCKET_PRELUDE}
+         variant status<key K> [ 'Ok {{K@named}} | 'Error(int){{K@raw}} ];
+         tracked status<S> bind2(tracked(S) sock, sockaddr) [-S@raw];"
+    );
+    // Forgetting to check: listen's precondition fails (S was consumed).
+    let r = check_source(
+        "<t>",
+        &format!(
+            "{prelude}
+             void forgot(sockaddr a) {{
+               tracked(S) sock s = socket('UNIX, 'STREAM, 0);
+               bind2(s, a);
+               listen(s, 0);
+               close(s);
+             }}"
+        ),
+    );
+    assert_eq!(r.verdict(), Verdict::Rejected);
+    assert!(
+        r.has_code(Code::KeyNotHeld),
+        "got {:?}:\n{}",
+        r.error_codes(),
+        r.render_diagnostics()
+    );
+    // Checking the status restores the key per-constructor.
+    accepts(&format!(
+        "{prelude}
+         void checked(sockaddr a) {{
+           tracked(S) sock s = socket('UNIX, 'STREAM, 0);
+           switch (bind2(s, a)) {{
+             case 'Ok:
+               listen(s, 0);
+               close(s);
+             case 'Error(code):
+               close(s);
+           }}
+         }}"
+    ));
+}
+
+// ---------------------------------------------------------------------
+// §2.1: keyed variants (opt_key)
+// ---------------------------------------------------------------------
+
+const FILE_PRELUDE: &str = r#"
+stateset FILE_STATE = [ open < closed ];
+type FILE;
+tracked(F) FILE fopen(string path) [new F@open];
+void fclose(tracked(F) FILE f) [-F];
+variant opt_key<key K> [ 'NoKey | 'SomeKey {K} ];
+"#;
+
+#[test]
+fn opt_key_early_close_accepted() {
+    accepts(&format!(
+        "{FILE_PRELUDE}
+         void foo(tracked(F) FILE f, bool close_early) [-F] {{
+           tracked opt_key<F> flag;
+           if (close_early) {{
+             fclose(f);
+             flag = 'NoKey;
+           }} else {{
+             flag = 'SomeKey{{F}};
+           }}
+           switch (flag) {{
+             case 'NoKey:
+               return;
+             case 'SomeKey:
+               fclose(f);
+           }}
+         }}"
+    ));
+}
+
+#[test]
+fn opt_key_forgetting_switch_leaks() {
+    // §2.1: "forgetting to test the flag would manifest itself by an
+    // extra key at the end of the function".
+    rejects_with(
+        &format!(
+            "{FILE_PRELUDE}
+             void foo(tracked(F) FILE f, bool close_early) [-F] {{
+               tracked opt_key<F> flag;
+               if (close_early) {{
+                 fclose(f);
+                 flag = 'NoKey;
+               }} else {{
+                 flag = 'SomeKey{{F}};
+               }}
+             }}"
+        ),
+        Code::KeyLeak,
+    );
+}
+
+#[test]
+fn opt_key_double_close_after_somekey_rejected() {
+    rejects_with(
+        &format!(
+            "{FILE_PRELUDE}
+             void foo(tracked(F) FILE f) [-F] {{
+               tracked opt_key<F> flag = 'SomeKey{{F}};
+               switch (flag) {{
+                 case 'NoKey:
+                   return;
+                 case 'SomeKey:
+                   fclose(f);
+                   fclose(f);
+               }}
+             }}"
+        ),
+        Code::KeyNotHeld,
+    );
+}
+
+#[test]
+fn keyed_variant_switch_must_be_exhaustive() {
+    rejects_with(
+        &format!(
+            "{FILE_PRELUDE}
+             void foo(tracked(F) FILE f) [-F] {{
+               tracked opt_key<F> flag = 'SomeKey{{F}};
+               switch (flag) {{
+                 case 'NoKey:
+                   return;
+               }}
+             }}"
+        ),
+        Code::NonExhaustiveSwitch,
+    );
+}
+
+// ---------------------------------------------------------------------
+// Fig. 4: anonymization through collections
+// ---------------------------------------------------------------------
+
+const LIST_PRELUDE: &str = r#"
+interface REGION {
+  type region;
+  tracked(R) region create() [new R];
+  void delete(tracked(R) region) [-R];
+}
+struct point { int x; int y; }
+variant reglist [ 'Nil | 'Cons(tracked region, tracked reglist) ];
+"#;
+
+#[test]
+fn fig4_anonymized_key_cannot_guard_access() {
+    // Putting the region in a list loses key R; retrieving it yields a
+    // fresh anonymous key, so pt.x++ is illegal.
+    let r = check_source(
+        "<t>",
+        &format!(
+            "{LIST_PRELUDE}
+             void main() {{
+               tracked(R) region rgn = Region.create();
+               R:point pt = new(rgn) point {{x=4; y=2;}};
+               tracked reglist list = 'Cons(rgn, 'Nil);
+               switch (list) {{
+                 case 'Nil:
+                   return;
+                 case 'Cons(rgn2, rest):
+                   pt.x++;
+                   Region.delete(rgn2);
+                   free(rest);
+               }}
+             }}"
+        ),
+    );
+    assert_eq!(r.verdict(), Verdict::Rejected);
+    assert!(
+        r.has_code(Code::KeyNotHeld),
+        "got {:?}:\n{}",
+        r.error_codes(),
+        r.render_diagnostics()
+    );
+}
+
+#[test]
+fn fig4_fix_pairs_keep_correlation() {
+    // The fix: store (region, point) pairs whose types share the
+    // constructor-scoped key, so unpacking restores the correlation.
+    accepts(&format!(
+        "{LIST_PRELUDE}
+         variant regpt [ 'RegPt(tracked(P) region, P:point) ];
+         void main() {{
+           tracked(R) region rgn = Region.create();
+           R:point pt = new(rgn) point {{x=4; y=2;}};
+           tracked regpt pair = 'RegPt(rgn, pt);
+           switch (pair) {{
+             case 'RegPt(rgn2, pt2):
+               pt2.x++;
+               Region.delete(rgn2);
+           }}
+         }}"
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Fig. 5: join points
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig5_data_correlated_deletion_rejected() {
+    rejects_with(
+        &format!(
+            "{REGION_PRELUDE}
+             void main() {{
+               tracked(R) region rgn = Region.create();
+               R:point pt = new(rgn) point {{x=4; y=2;}};
+               if (pt.x > 0) {{
+                 pt.y = 0;
+                 Region.delete(rgn);
+               }} else {{
+                 pt.y = pt.x;
+               }}
+               if (pt.x <= 0)
+                 Region.delete(rgn);
+             }}"
+        ),
+        Code::JoinMismatch,
+    );
+}
+
+#[test]
+fn fig5_keyed_variant_rewrite_accepted() {
+    // §2.4: "the correlation ... needs to be made explicit using a keyed
+    // variant".
+    accepts(&format!(
+        "{REGION_PRELUDE}
+         variant opt_key<key K> [ 'NoKey | 'SomeKey {{K}} ];
+         void main() {{
+           tracked(R) region rgn = Region.create();
+           R:point pt = new(rgn) point {{x=4; y=2;}};
+           tracked opt_key<R> flag;
+           if (pt.x > 0) {{
+             pt.y = 0;
+             Region.delete(rgn);
+             flag = 'NoKey;
+           }} else {{
+             flag = 'SomeKey{{R}};
+           }}
+           switch (flag) {{
+             case 'NoKey:
+               return;
+             case 'SomeKey:
+               Region.delete(rgn);
+           }}
+         }}"
+    ));
+}
+
+// ---------------------------------------------------------------------
+// §3.2: polymorphism
+// ---------------------------------------------------------------------
+
+#[test]
+fn functions_polymorphic_in_keys_and_rest() {
+    // fclose works on any tracked file; unrelated keys are untouched.
+    accepts(&format!(
+        "{FILE_PRELUDE}
+         void two_files() {{
+           tracked(A) FILE f1 = fopen(\"a\");
+           tracked(B) FILE f2 = fopen(\"b\");
+           fclose(f1);
+           fclose(f2);
+         }}"
+    ));
+}
+
+#[test]
+fn effect_must_mention_key_to_touch_it() {
+    // A function with an empty effect cannot access a tracked parameter's
+    // object: the caller keeps the key (rest polymorphism).
+    rejects_with(
+        "struct point { int x; int y; }
+         void peek(tracked(K) point p) {
+           p.x++;
+         }",
+        Code::KeyNotHeld,
+    );
+    accepts(
+        "struct point { int x; int y; }
+         void peek(tracked(K) point p) [K] {
+           p.x++;
+         }",
+    );
+}
+
+#[test]
+fn caller_of_consuming_function_loses_key() {
+    rejects_with(
+        &format!(
+            "{FILE_PRELUDE}
+             void bad() {{
+               tracked(F) FILE f = fopen(\"x\");
+               fclose(f);
+               fclose(f);
+             }}"
+        ),
+        Code::KeyNotHeld,
+    );
+}
+
+#[test]
+fn effect_promise_must_be_kept() {
+    // Promises F at exit but consumes it.
+    rejects_with(
+        &format!(
+            "{FILE_PRELUDE}
+             void touch(tracked(F) FILE f) [F] {{
+               fclose(f);
+             }}"
+        ),
+        Code::MissingKeyAtExit,
+    );
+}
+
+#[test]
+fn fresh_key_promise_checked() {
+    accepts(&format!(
+        "{FILE_PRELUDE}
+         tracked(G) FILE open_log() [new G@open] {{
+           tracked(F) FILE f = fopen(\"log\");
+           return f;
+         }}"
+    ));
+    // Returning a file whose key was already consumed → the promised
+    // fresh key is not held at exit.
+    rejects_with(
+        &format!(
+            "{FILE_PRELUDE}
+             tracked(G) FILE open_log(tracked(H) FILE have) [new G@open, -H] {{
+               fclose(have);
+               tracked(F) FILE f = fopen(\"log\");
+               fclose(f);
+               return f;
+             }}"
+        ),
+        Code::MissingKeyAtExit,
+    );
+}
+
+// ---------------------------------------------------------------------
+// §4.2: locks and events
+// ---------------------------------------------------------------------
+
+const LOCK_PRELUDE: &str = r#"
+struct shared { int value; }
+type KSPIN_LOCK<key K>;
+KSPIN_LOCK<K> KeInitializeSpinLock(tracked(K) shared data) [-K];
+void KeAcquireSpinLock(KSPIN_LOCK<K> lock) [+K];
+void KeReleaseSpinLock(KSPIN_LOCK<K> lock) [-K];
+"#;
+
+#[test]
+fn lock_protects_data_access() {
+    accepts(&format!(
+        "{LOCK_PRELUDE}
+         void ok(KSPIN_LOCK<K> lock, K:shared data) {{
+           KeAcquireSpinLock(lock);
+           data.value++;
+           KeReleaseSpinLock(lock);
+         }}"
+    ));
+    rejects_with(
+        &format!(
+            "{LOCK_PRELUDE}
+             void bad(KSPIN_LOCK<K> lock, K:shared data) {{
+               data.value++;
+             }}"
+        ),
+        Code::KeyNotHeld,
+    );
+}
+
+#[test]
+fn missing_release_is_a_leak() {
+    rejects_with(
+        &format!(
+            "{LOCK_PRELUDE}
+             void bad(KSPIN_LOCK<K> lock) {{
+               KeAcquireSpinLock(lock);
+             }}"
+        ),
+        Code::KeyLeak,
+    );
+}
+
+#[test]
+fn double_acquire_detected() {
+    // §4.2: "Vault will detect when a program acquires a lock that it
+    // already holds".
+    rejects_with(
+        &format!(
+            "{LOCK_PRELUDE}
+             void bad(KSPIN_LOCK<K> lock) {{
+               KeAcquireSpinLock(lock);
+               KeAcquireSpinLock(lock);
+               KeReleaseSpinLock(lock);
+             }}"
+        ),
+        Code::DuplicateKey,
+    );
+}
+
+#[test]
+fn release_without_acquire_detected() {
+    rejects_with(
+        &format!(
+            "{LOCK_PRELUDE}
+             void bad(KSPIN_LOCK<K> lock) {{
+               KeReleaseSpinLock(lock);
+             }}"
+        ),
+        Code::KeyNotHeld,
+    );
+}
+
+#[test]
+fn event_transfers_key_between_threads() {
+    accepts(
+        "struct msg { int data; }
+         type KEVENT<key K>;
+         KEVENT<K> KeInitializeEvent(tracked(K) msg m) [K];
+         void KeSignalEvent(KEVENT<K> e) [-K];
+         void KeWaitEvent(KEVENT<K> e) [+K];
+         void sender(KEVENT<K> e, K:msg m) [-K] {
+           m.data = 42;
+           KeSignalEvent(e);
+         }
+         void receiver(KEVENT<K> e, K:msg m) [+K] {
+           KeWaitEvent(e);
+           m.data++;
+         }",
+    );
+}
+
+// ---------------------------------------------------------------------
+// §4.4: IRQL, bounded state polymorphism, paged memory
+// ---------------------------------------------------------------------
+
+const IRQL_PRELUDE: &str = r#"
+stateset IRQ_LEVEL = [ PASSIVE_LEVEL < APC_LEVEL < DISPATCH_LEVEL < DIRQL ];
+key IRQL @ IRQ_LEVEL;
+type KTHREAD;
+type KSEMAPHORE;
+type KSPIN_LOCK;
+type KIRQL<state S>;
+void KeSetPriorityThread(KTHREAD t, int prio) [IRQL@PASSIVE_LEVEL];
+int KeReleaseSemaphore(KSEMAPHORE s, int prio, int n) [IRQL@(level <= DISPATCH_LEVEL)];
+KIRQL<level> KeAcquireSpinLock(KSPIN_LOCK l) [IRQL@(level <= DISPATCH_LEVEL) -> DISPATCH_LEVEL];
+void KeReleaseSpinLock(KSPIN_LOCK l, KIRQL<old> prev) [IRQL@DISPATCH_LEVEL -> old];
+type paged<type T> = (IRQL@(pl <= APC_LEVEL)):T;
+struct config { int setting; }
+"#;
+
+#[test]
+fn irql_exact_requirement() {
+    accepts(&format!(
+        "{IRQL_PRELUDE}
+         void ok(KTHREAD t) [IRQL@PASSIVE_LEVEL] {{
+           KeSetPriorityThread(t, 3);
+         }}"
+    ));
+    rejects_with(
+        &format!(
+            "{IRQL_PRELUDE}
+             void bad(KTHREAD t) [IRQL@DISPATCH_LEVEL] {{
+               KeSetPriorityThread(t, 3);
+             }}"
+        ),
+        Code::WrongKeyState,
+    );
+}
+
+#[test]
+fn irql_bounded_polymorphism() {
+    // Callable at any level <= DISPATCH_LEVEL.
+    accepts(&format!(
+        "{IRQL_PRELUDE}
+         void ok(KSEMAPHORE s) [IRQL@APC_LEVEL] {{
+           KeReleaseSemaphore(s, 1, 1);
+         }}"
+    ));
+    rejects_with(
+        &format!(
+            "{IRQL_PRELUDE}
+             void bad(KSEMAPHORE s) [IRQL@DIRQL] {{
+               KeReleaseSemaphore(s, 1, 1);
+             }}"
+        ),
+        Code::StateBound,
+    );
+}
+
+#[test]
+fn spinlock_raises_and_restores_irql() {
+    // KeAcquireSpinLock returns the entry level; release restores it.
+    accepts(&format!(
+        "{IRQL_PRELUDE}
+         void ok(KSPIN_LOCK l, KSEMAPHORE s) [IRQL@PASSIVE_LEVEL] {{
+           KIRQL<old> prev = KeAcquireSpinLock(l);
+           KeReleaseSpinLock(l, prev);
+           KeSetPriorityThread2();
+         }}
+         void KeSetPriorityThread2() [IRQL@PASSIVE_LEVEL];"
+    ));
+    // Failing to restore: exit state is DISPATCH_LEVEL, not the promised
+    // PASSIVE_LEVEL.
+    rejects_with(
+        &format!(
+            "{IRQL_PRELUDE}
+             void bad(KSPIN_LOCK l) [IRQL@PASSIVE_LEVEL] {{
+               KIRQL<old> prev = KeAcquireSpinLock(l);
+             }}"
+        ),
+        Code::WrongKeyState,
+    );
+}
+
+#[test]
+fn function_must_declare_irql_to_constrain_it() {
+    // A function whose effect does not mention IRQL cannot call anything
+    // that requires a specific level.
+    rejects_with(
+        &format!(
+            "{IRQL_PRELUDE}
+             void bad(KTHREAD t) {{
+               KeSetPriorityThread(t, 3);
+             }}"
+        ),
+        Code::WrongKeyState,
+    );
+}
+
+#[test]
+fn silently_changing_irql_is_rejected() {
+    // Raising IRQL without declaring it breaks the implicit "unchanged"
+    // postcondition for the global key.
+    rejects_with(
+        &format!(
+            "{IRQL_PRELUDE}
+             void bad(KSPIN_LOCK l) [IRQL@PASSIVE_LEVEL] {{
+               KIRQL<old> prev = KeAcquireSpinLock(l);
+               leak_level(prev);
+             }}
+             void leak_level(KIRQL<S> x);"
+        ),
+        Code::WrongKeyState,
+    );
+}
+
+#[test]
+fn paged_memory_guarded_by_irql() {
+    // §4.4: paged data may only be touched at or below APC_LEVEL.
+    accepts(&format!(
+        "{IRQL_PRELUDE}
+         void ok(paged<config> c) [IRQL@PASSIVE_LEVEL] {{
+           c.setting++;
+         }}"
+    ));
+    rejects_with(
+        &format!(
+            "{IRQL_PRELUDE}
+             void bad(paged<config> c) [IRQL@DISPATCH_LEVEL] {{
+               c.setting++;
+             }}"
+        ),
+        Code::StateBound,
+    );
+}
+
+// ---------------------------------------------------------------------
+// §4.1 + §4.3: IRPs and completion routines
+// ---------------------------------------------------------------------
+
+const IRP_PRELUDE: &str = r#"
+type IRP;
+type DEVICE_OBJECT;
+type NTSTATUS;
+type DSTATUS<key I>;
+DSTATUS<I> IoCompleteRequest(tracked(I) IRP irp, NTSTATUS st) [-I];
+DSTATUS<I> IoCallDriver(DEVICE_OBJECT dev, tracked(I) IRP irp) [-I];
+DSTATUS<I> IoMarkIrpPending(tracked(I) IRP irp) [I];
+variant irplist [ 'Nil | 'Cons(tracked IRP, tracked irplist) ];
+tracked irplist push_pending(tracked IRP irp, tracked irplist pending);
+NTSTATUS success();
+"#;
+
+#[test]
+fn irp_must_be_completed_passed_or_pended() {
+    // Completing is fine.
+    accepts(&format!(
+        "{IRP_PRELUDE}
+         DSTATUS<I> Read(DEVICE_OBJECT dev, tracked(I) IRP irp) [-I] {{
+           return IoCompleteRequest(irp, success());
+         }}"
+    ));
+    // Passing down is fine.
+    accepts(&format!(
+        "{IRP_PRELUDE}
+         DSTATUS<I> Read(DEVICE_OBJECT dev, tracked(I) IRP irp) [-I] {{
+           return IoCallDriver(dev, irp);
+         }}"
+    ));
+    // Pending keeps the key, which must then be stored on a list.
+    accepts(&format!(
+        "{IRP_PRELUDE}
+         DSTATUS<I> Read(DEVICE_OBJECT dev, tracked(I) IRP irp,
+                         tracked irplist pending) [-I] {{
+           DSTATUS<I> st = IoMarkIrpPending(irp);
+           tracked irplist rest = push_pending(irp, pending);
+           consume_list(rest);
+           return st;
+         }}
+         void consume_list(tracked irplist l);"
+    ));
+}
+
+#[test]
+fn irp_dropped_on_a_path_is_rejected() {
+    // The common driver bug: a path that neither completes, passes, nor
+    // pends the IRP.
+    let r = check_source(
+        "<t>",
+        &format!(
+            "{IRP_PRELUDE}
+             DSTATUS<I> Read(DEVICE_OBJECT dev, tracked(I) IRP irp, bool fast) [-I] {{
+               if (fast) {{
+                 return IoCompleteRequest(irp, success());
+               }}
+               return IoMarkIrpPending(irp);
+             }}"
+        ),
+    );
+    assert_eq!(r.verdict(), Verdict::Rejected);
+    assert!(
+        r.has_code(Code::KeyLeak),
+        "got {:?}:\n{}",
+        r.error_codes(),
+        r.render_diagnostics()
+    );
+}
+
+#[test]
+fn irp_access_after_iocalldriver_rejected() {
+    rejects_with(
+        &format!(
+            "{IRP_PRELUDE}
+             struct irpdata {{ int length; }}
+             DSTATUS<I> Read(DEVICE_OBJECT dev, tracked(I) IRP irp, I:irpdata d) [-I] {{
+               DSTATUS<I> st = IoCallDriver(dev, irp);
+               d.length++;
+               return st;
+             }}"
+        ),
+        Code::KeyNotHeld,
+    );
+}
+
+#[test]
+fn dstatus_cannot_come_from_wrong_irp() {
+    // Returning the status of a different request is a type error: the
+    // key parameter does not match.
+    rejects_with(
+        &format!(
+            "{IRP_PRELUDE}
+             DSTATUS<I> Read(DEVICE_OBJECT dev, tracked(I) IRP irp,
+                             tracked(J) IRP other) [-I, -J] {{
+               DSTATUS<I> mine = IoCompleteRequest(irp, success());
+               return IoCompleteRequest(other, success());
+             }}"
+        ),
+        Code::TypeMismatch,
+    );
+}
+
+#[test]
+fn fig7_completion_routine_regains_ownership() {
+    // The full Fig. 7 idiom: event + completion routine.
+    accepts(&format!(
+        "{IRP_PRELUDE}
+         type KEVENT<key K>;
+         KEVENT<K> KeInitializeEvent(tracked(K) IRP irp) [K];
+         void KeSignalEvent(KEVENT<K> e) [-K];
+         void KeWaitForEvent(KEVENT<K> e) [+K];
+         variant COMPLETION_RESULT<key I> [
+           'MoreProcessingRequired | 'Finished(NTSTATUS) {{I}} ];
+         type COMPLETION_ROUTINE<key K> =
+           tracked COMPLETION_RESULT<K> Routine(DEVICE_OBJECT, tracked(K) IRP) [-K];
+         void IoSetCompletionRoutine(tracked(I) IRP irp, COMPLETION_ROUTINE<I> r) [I];
+         DSTATUS<I> PnpRequest(DEVICE_OBJECT dev, tracked(I) IRP irp) [-I] {{
+           KEVENT<I> IrpIsBack = KeInitializeEvent(irp);
+           tracked COMPLETION_RESULT<I> RegainIrp(DEVICE_OBJECT d, tracked(I) IRP j) [-I] {{
+             KeSignalEvent(IrpIsBack);
+             return 'MoreProcessingRequired;
+           }}
+           IoSetCompletionRoutine(irp, RegainIrp);
+           DSTATUS<I> st = IoCallDriver(dev, irp);
+           KeWaitForEvent(IrpIsBack);
+           return IoCompleteRequest(irp, success());
+         }}"
+    ));
+}
+
+#[test]
+fn fig7_wrong_completion_routine_signature_rejected() {
+    // A routine that keeps the IRP key ([K] instead of [-K]) does not
+    // conform to COMPLETION_ROUTINE<I>.
+    rejects_with(
+        &format!(
+            "{IRP_PRELUDE}
+             variant COMPLETION_RESULT<key I> [
+               'MoreProcessingRequired | 'Finished(NTSTATUS) {{I}} ];
+             type COMPLETION_ROUTINE<key K> =
+               tracked COMPLETION_RESULT<K> Routine(DEVICE_OBJECT, tracked(K) IRP) [-K];
+             void IoSetCompletionRoutine(tracked(I) IRP irp, COMPLETION_ROUTINE<I> r) [I];
+             tracked COMPLETION_RESULT<K> KeepsKey(DEVICE_OBJECT d, tracked(K) IRP j) [K] {{
+               return 'MoreProcessingRequired;
+             }}
+             DSTATUS<I> Use(DEVICE_OBJECT dev, tracked(I) IRP irp) [-I] {{
+               IoSetCompletionRoutine(irp, KeepsKey);
+               return IoCompleteRequest(irp, success());
+             }}"
+        ),
+        Code::FnTypeMismatch,
+    );
+}
+
+#[test]
+fn fig7_footnote10_finished_after_signal_rejected() {
+    // Footnote 10: after signalling (which consumes I), returning
+    // 'Finished{I} cannot type check.
+    rejects_with(
+        &format!(
+            "{IRP_PRELUDE}
+             type KEVENT<key K>;
+             KEVENT<K> KeInitializeEvent(tracked(K) IRP irp) [K];
+             void KeSignalEvent(KEVENT<K> e) [-K];
+             variant COMPLETION_RESULT<key I> [
+               'MoreProcessingRequired | 'Finished(NTSTATUS) {{I}} ];
+             DSTATUS<I> PnpRequest(DEVICE_OBJECT dev, tracked(I) IRP irp) [-I] {{
+               KEVENT<I> IrpIsBack = KeInitializeEvent(irp);
+               COMPLETION_RESULT<I> RegainIrp(DEVICE_OBJECT d, tracked(I) IRP j) [-I] {{
+                 KeSignalEvent(IrpIsBack);
+                 return 'Finished(success()){{I}};
+               }}
+               return IoCompleteRequest(irp, success());
+             }}"
+        ),
+        Code::KeyNotHeld,
+    );
+}
+
+// ---------------------------------------------------------------------
+// Loops, misc safety
+// ---------------------------------------------------------------------
+
+#[test]
+fn loop_invariants_inferred() {
+    accepts(&format!(
+        "{FILE_PRELUDE}
+         void steady(tracked(F) FILE f, int n) [F] {{
+           while (n > 0) {{
+             touch(f);
+             n = n - 1;
+           }}
+         }}
+         void touch(tracked(F) FILE f) [F];"
+    ));
+}
+
+#[test]
+fn loop_that_consumes_per_iteration_rejected() {
+    rejects_with(
+        &format!(
+            "{FILE_PRELUDE}
+             void bad(tracked(F) FILE f, int n) [F] {{
+               while (n > 0) {{
+                 fclose(f);
+                 n = n - 1;
+               }}
+             }}"
+        ),
+        Code::LoopInvariant,
+    );
+}
+
+#[test]
+fn use_before_init_rejected() {
+    rejects_with(
+        "int f() {
+           int x;
+           return x + 1;
+         }",
+        Code::Uninitialized,
+    );
+}
+
+#[test]
+fn unknown_names_reported() {
+    rejects_with("void f() { g(); }", Code::UnknownName);
+    rejects_with("void f(unknown_t x);", Code::UnknownName);
+}
+
+#[test]
+fn stats_are_collected() {
+    let r = check_source(
+        "<t>",
+        "void f(int a) { a = a + 1; if (a > 0) { a = 2; } else { a = 3; } g(a); }
+         void g(int a);",
+    );
+    assert!(r.stats.statements >= 4);
+    assert!(r.stats.calls >= 1);
+    assert!(r.stats.joins >= 1);
+}

@@ -1,0 +1,205 @@
+//! Generic types, recursion, and polymorphism corner cases.
+
+use vault_core::{check_source, Verdict};
+use vault_syntax::Code;
+
+fn accepts(src: &str) {
+    let r = check_source("<gen>", src);
+    assert_eq!(
+        r.verdict(),
+        Verdict::Accepted,
+        "expected acceptance:\n{}",
+        r.render_diagnostics()
+    );
+}
+
+fn rejects_with(src: &str, code: Code) {
+    let r = check_source("<gen>", src);
+    assert_eq!(r.verdict(), Verdict::Rejected);
+    assert!(
+        r.has_code(code),
+        "expected {code}, got {:?}:\n{}",
+        r.error_codes(),
+        r.render_diagnostics()
+    );
+}
+
+#[test]
+fn recursive_function_checks() {
+    accepts(
+        "int factorial(int n) {
+           if (n <= 1) {
+             return 1;
+           }
+           return n * factorial(n - 1);
+         }",
+    );
+}
+
+#[test]
+fn mutually_recursive_functions_check() {
+    accepts(
+        "bool is_even(int n) {
+           if (n == 0) { return true; }
+           return is_odd(n - 1);
+         }
+         bool is_odd(int n) {
+           if (n == 0) { return false; }
+           return is_even(n - 1);
+         }",
+    );
+}
+
+#[test]
+fn recursion_preserves_key_discipline() {
+    // A recursive routine that holds a key across the recursive call.
+    accepts(
+        "type FILE;
+         tracked(F) FILE fopen(string p) [new F];
+         void fclose(tracked(F) FILE f) [-F];
+         void log_n(tracked(F) FILE f, int n) [F] {
+           if (n <= 0) { return; }
+           log_n(f, n - 1);
+         }
+         void main_like() {
+           tracked(F) FILE f = fopen(\"log\");
+           log_n(f, 10);
+           fclose(f);
+         }",
+    );
+    // A recursive routine cannot consume the key on the way down and
+    // still promise it back.
+    rejects_with(
+        "type FILE;
+         void fclose(tracked(F) FILE f) [-F];
+         void bad(tracked(F) FILE f, int n) [F] {
+           fclose(f);
+         }",
+        Code::MissingKeyAtExit,
+    );
+}
+
+#[test]
+fn generic_variant_list() {
+    accepts(
+        "variant list<type T> [ 'Nil | 'Cons(T, list<T>) ];
+         int sum(list<int> xs) {
+           switch (xs) {
+             case 'Nil:
+               return 0;
+             case 'Cons(head, tail):
+               return head + sum(tail);
+           }
+           return 0;
+         }",
+    );
+}
+
+#[test]
+fn generic_variant_wrong_instantiation() {
+    rejects_with(
+        "variant list<type T> [ 'Nil | 'Cons(T, list<T>) ];
+         int first(list<bool> xs) {
+           switch (xs) {
+             case 'Nil:
+               return 0;
+             case 'Cons(head, tail):
+               return head + 1;
+           }
+           return 0;
+         }",
+        Code::TypeMismatch,
+    );
+}
+
+#[test]
+fn generic_function_type_parameter() {
+    accepts(
+        "struct wrapper<type T> { T inner; }
+         type HANDLE<key K>;
+         HANDLE<K> make_handle<type T>(tracked(K) T obj) [K];
+         struct resource { int id; }
+         void f() [] {
+           tracked(R) resource res = new tracked resource {id=1;};
+           HANDLE<R> h = make_handle(res);
+           free(res);
+         }",
+    );
+}
+
+#[test]
+fn switch_binder_shadows_outer() {
+    accepts(
+        "variant opt [ 'None | 'Some(int) ];
+         int f(opt o, int head) {
+           switch (o) {
+             case 'None:
+               return head;
+             case 'Some(head2):
+               return head2;
+           }
+           return head;
+         }",
+    );
+}
+
+#[test]
+fn tracked_list_of_tracked_files_fully_consumed() {
+    // A generic-looking recursive keyed structure: drain it recursively.
+    accepts(
+        "type FILE;
+         void fclose(tracked(F) FILE f) [-F];
+         variant flist [ 'Done | 'More(tracked FILE, tracked flist) ];
+         void close_all(tracked flist xs) {
+           switch (xs) {
+             case 'Done:
+               return;
+             case 'More(f, rest):
+               fclose(f);
+               close_all(rest);
+           }
+         }",
+    );
+    // Dropping the tail instead of recursing is a leak.
+    rejects_with(
+        "type FILE;
+         void fclose(tracked(F) FILE f) [-F];
+         variant flist [ 'Done | 'More(tracked FILE, tracked flist) ];
+         void close_first(tracked flist xs) {
+           switch (xs) {
+             case 'Done:
+               return;
+             case 'More(f, rest):
+               fclose(f);
+           }
+         }",
+        Code::KeyLeak,
+    );
+}
+
+#[test]
+fn nested_fn_cannot_mutate_captured_locals() {
+    rejects_with(
+        "void host() {
+           int counter = 0;
+           void bump() {
+             counter = counter + 1;
+           }
+           bump();
+         }",
+        Code::TypeMismatch,
+    );
+}
+
+#[test]
+fn nested_fn_reads_captured_locals() {
+    accepts(
+        "int host(int seed) {
+           int base = seed * 2;
+           int offset() {
+             return base + 1;
+           }
+           return offset();
+         }",
+    );
+}

@@ -1,0 +1,314 @@
+//! Extension programs beyond the paper's figures, reproducing its
+//! forward-looking remarks:
+//!
+//! * **X1** — §6: "we are writing a front-end for Vault in Vault. This
+//!   system is a multi-stage pipeline where each stage's results are
+//!   stored in its own region."
+//! * **X2** — footnote 7: "In practice, `new` returns a variant
+//!   indicating success or failure."
+//! * **X3** — §4: drivers sit in stacks ("a file system driver; a driver
+//!   for a generic storage device; a floppy disk driver; and a bus
+//!   driver") — a pass-through filter driver over the same interface.
+//! * **X4** — §4.2: "This approach however is inadequate to model
+//!   reentrant locks" — the documented limitation, demonstrated.
+//! * **X5** — §6: "we need to continue validating these features in other
+//!   domains, like graphic interfaces" — a GDI-style device-context and
+//!   pen-selection protocol.
+
+use crate::figures::REGION_IFACE;
+use crate::kernel::KERNEL_IFACE;
+use crate::{CorpusProgram, Expectation};
+use vault_syntax::Code;
+
+fn p(
+    id: &'static str,
+    experiment: &'static str,
+    description: &'static str,
+    source: String,
+    expect: Expectation,
+) -> CorpusProgram {
+    CorpusProgram {
+        id,
+        experiment,
+        description,
+        source,
+        expect,
+    }
+}
+
+/// All extension programs.
+pub fn programs() -> Vec<CorpusProgram> {
+    let mut v = Vec::new();
+
+    // --- X1: the compiler pipeline with per-stage regions (§6) -----------
+    let pipeline_iface = format!(
+        "{REGION_IFACE}
+type token_stream;
+type ast;
+type typed_ast;
+type c_code;
+R:token_stream lex(tracked(R) region stage, string src) [R];
+A:ast parse(tracked(A) region stage, T:token_stream toks) [A, T];
+B:typed_ast typecheck(tracked(B) region stage, A:ast tree) [B, A];
+C:c_code emit(tracked(C) region stage, B:typed_ast tree) [C, B];
+void write_output(C:c_code code) [C];"
+    );
+    v.push(p(
+        "pipeline_staged_regions",
+        "X1",
+        "§6: a multi-stage compiler pipeline, one region per stage, freed as \
+         soon as the next stage no longer needs it",
+        format!(
+            "{pipeline_iface}
+void compile(string src) {{
+  tracked(L) region lex_stage = Region.create();
+  L:token_stream toks = lex(lex_stage, src);
+  tracked(P) region parse_stage = Region.create();
+  P:ast tree = parse(parse_stage, toks);
+  Region.delete(lex_stage);
+  tracked(T) region type_stage = Region.create();
+  T:typed_ast typed = typecheck(type_stage, tree);
+  Region.delete(parse_stage);
+  tracked(E) region emit_stage = Region.create();
+  E:c_code code = emit(emit_stage, typed);
+  Region.delete(type_stage);
+  write_output(code);
+  Region.delete(emit_stage);
+}}"
+        ),
+        Expectation::Accept,
+    ));
+    v.push(p(
+        "pipeline_stage_freed_too_early",
+        "X1",
+        "freeing the parse-stage region while the type checker still reads it",
+        format!(
+            "{pipeline_iface}
+void compile(string src) {{
+  tracked(L) region lex_stage = Region.create();
+  L:token_stream toks = lex(lex_stage, src);
+  tracked(P) region parse_stage = Region.create();
+  P:ast tree = parse(parse_stage, toks);
+  Region.delete(lex_stage);
+  Region.delete(parse_stage);
+  tracked(T) region type_stage = Region.create();
+  T:typed_ast typed = typecheck(type_stage, tree);
+  tracked(E) region emit_stage = Region.create();
+  E:c_code code = emit(emit_stage, typed);
+  Region.delete(type_stage);
+  write_output(code);
+  Region.delete(emit_stage);
+}}"
+        ),
+        Expectation::reject(Code::KeyNotHeld),
+    ));
+    v.push(p(
+        "pipeline_stage_leaked",
+        "X1",
+        "a pipeline stage region never freed",
+        format!(
+            "{pipeline_iface}
+void compile(string src) {{
+  tracked(L) region lex_stage = Region.create();
+  L:token_stream toks = lex(lex_stage, src);
+  tracked(P) region parse_stage = Region.create();
+  P:ast tree = parse(parse_stage, toks);
+  Region.delete(parse_stage);
+}}"
+        ),
+        Expectation::reject(Code::KeyLeak),
+    ));
+
+    // --- X2: failure-aware allocation (footnote 7) --------------------------
+    let allocfail_iface = format!(
+        "{REGION_IFACE}
+variant alloc_result<key R> [ 'Alloc(R:point) {{R}} | 'OutOfMemory {{R}} ];
+tracked alloc_result<R> try_new_point(tracked(R) region rgn, int x, int y) [-R];"
+    );
+    v.push(p(
+        "allocfail_checked",
+        "X2",
+        "footnote 7: `new` returning a success/failure variant forces the check",
+        format!(
+            "{allocfail_iface}
+void robust() {{
+  tracked(R) region rgn = Region.create();
+  switch (try_new_point(rgn, 1, 2)) {{
+    case 'Alloc(pt):
+      pt.x++;
+      Region.delete(rgn);
+    case 'OutOfMemory:
+      Region.delete(rgn);
+  }}
+}}"
+        ),
+        Expectation::Accept,
+    ));
+    v.push(p(
+        "allocfail_unchecked",
+        "X2",
+        "using the region after an unchecked fallible allocation",
+        format!(
+            "{allocfail_iface}
+void careless() {{
+  tracked(R) region rgn = Region.create();
+  try_new_point(rgn, 1, 2);
+  R:point pt = new(rgn) point {{x=1; y=2;}};
+  Region.delete(rgn);
+}}"
+        ),
+        Expectation::reject(Code::KeyNotHeld),
+    ));
+
+    // --- X3: a pass-through filter driver (the §4 driver stack) -------------
+    v.push(p(
+        "filter_driver_passthrough",
+        "X3",
+        "a storage-class filter driver: forwards every request down the stack",
+        format!(
+            "{KERNEL_IFACE}
+DSTATUS<I> FilterDispatch(DEVICE_OBJECT lower, tracked(I) IRP irp)
+    [-I, IRQL@PASSIVE_LEVEL] {{
+  IoCopyCurrentIrpStackLocationToNext(irp);
+  return IoCallDriver(lower, irp);
+}}
+DSTATUS<I> FilterWithBookkeeping(DEVICE_OBJECT lower, tracked(I) IRP irp,
+                                 KSPIN_LOCK<L> stats_lock, L:FILTER_STATS stats)
+    [-I, IRQL@PASSIVE_LEVEL] {{
+  KIRQL<old> prev = KeAcquireSpinLock(stats_lock);
+  stats.forwarded++;
+  KeReleaseSpinLock(stats_lock, prev);
+  IoCopyCurrentIrpStackLocationToNext(irp);
+  return IoCallDriver(lower, irp);
+}}
+struct FILTER_STATS {{ int forwarded; }}"
+        ),
+        Expectation::Accept,
+    ));
+    v.push(p(
+        "filter_driver_snoops_after_forward",
+        "X3",
+        "a filter that inspects the request after forwarding it",
+        format!(
+            "{KERNEL_IFACE}
+DSTATUS<I> BadFilter(DEVICE_OBJECT lower, tracked(I) IRP irp)
+    [-I, IRQL@PASSIVE_LEVEL] {{
+  IoCopyCurrentIrpStackLocationToNext(irp);
+  DSTATUS<I> st = IoCallDriver(lower, irp);
+  IO_STACK_LOCATION sl = IoGetCurrentIrpStackLocation(irp);
+  return st;
+}}"
+        ),
+        Expectation::reject(Code::KeyNotHeld),
+    ));
+
+    // --- X5: graphics contexts (§6: "other domains, like graphic
+    // interfaces") ------------------------------------------------------------
+    let gdi_iface = "
+type HDC;
+type HPEN;
+type HWND;
+stateset DC_STATE = [ clean < dirty ];
+HPEN GetStockPen(int which);
+tracked(D) HDC BeginPaint(HWND wnd) [new D@clean];
+void EndPaint(HWND wnd, tracked(D) HDC dc) [-D@clean];
+HPEN SelectPen(tracked(D) HDC dc, HPEN pen) [D@clean->dirty];
+void RestorePen(tracked(D) HDC dc, HPEN old) [D@dirty->clean];
+void MoveTo(tracked(D) HDC dc, int x, int y) [D];
+void LineTo(tracked(D) HDC dc, int x, int y) [D@dirty];";
+    v.push(p(
+        "gdi_paint_ok",
+        "X5",
+        "GDI-style paint cycle: select, draw, restore, end",
+        format!(
+            "{gdi_iface}
+void on_paint(HWND wnd) {{
+  tracked(D) HDC dc = BeginPaint(wnd);
+  HPEN old = SelectPen(dc, GetStockPen(1));
+  MoveTo(dc, 0, 0);
+  LineTo(dc, 100, 100);
+  RestorePen(dc, old);
+  EndPaint(wnd, dc);
+}}"
+        ),
+        Expectation::Accept,
+    ));
+    v.push(p(
+        "gdi_forgot_restore",
+        "X5",
+        "EndPaint with the stock pen still swapped out",
+        format!(
+            "{gdi_iface}
+void on_paint(HWND wnd) {{
+  tracked(D) HDC dc = BeginPaint(wnd);
+  HPEN old = SelectPen(dc, GetStockPen(1));
+  LineTo(dc, 100, 100);
+  EndPaint(wnd, dc);
+}}"
+        ),
+        Expectation::reject(Code::WrongKeyState),
+    ));
+    v.push(p(
+        "gdi_draw_after_end",
+        "X5",
+        "drawing on a released device context",
+        format!(
+            "{gdi_iface}
+void on_paint(HWND wnd) {{
+  tracked(D) HDC dc = BeginPaint(wnd);
+  EndPaint(wnd, dc);
+  MoveTo(dc, 0, 0);
+}}"
+        ),
+        Expectation::reject(Code::KeyNotHeld),
+    ));
+    v.push(p(
+        "gdi_dc_leak",
+        "X5",
+        "a paint cycle that never calls EndPaint",
+        format!(
+            "{gdi_iface}
+void on_paint(HWND wnd) {{
+  tracked(D) HDC dc = BeginPaint(wnd);
+  MoveTo(dc, 0, 0);
+}}"
+        ),
+        Expectation::reject(Code::KeyLeak),
+    ));
+
+    // --- X4: the reentrant-lock limitation (§4.2) ----------------------------
+    v.push(p(
+        "reentrant_lock_limitation",
+        "X4",
+        "§4.2: re-acquiring a held lock is always rejected — by design, the \
+         key model cannot express reentrant locks",
+        format!(
+            "{KERNEL_IFACE}
+struct shared {{ int value; }}
+void reentrant_attempt(KSPIN_LOCK<K> lock, K:shared data) [IRQL@PASSIVE_LEVEL] {{
+  KIRQL<a> outer = KeAcquireSpinLock(lock);
+  data.value++;
+  // A reentrant lock would allow this; Vault's linear keys cannot.
+  KIRQL<b> inner = KeAcquireSpinLock(lock);
+  KeReleaseSpinLock(lock, inner);
+  KeReleaseSpinLock(lock, outer);
+}}"
+        ),
+        Expectation::reject(Code::DuplicateKey),
+    ));
+
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extensions_cover_x1_to_x4() {
+        let ids: Vec<&str> = programs().iter().map(|p| p.experiment).collect();
+        for e in ["X1", "X2", "X3", "X4", "X5"] {
+            assert!(ids.contains(&e), "missing {e}");
+        }
+    }
+}

@@ -1,0 +1,495 @@
+//! The paper's figure programs: regions (Figs. 1–2), sockets (Fig. 3,
+//! §2.3), keyed variants (§2.1), anonymizing collections (Fig. 4), and
+//! join points (Fig. 5).
+
+use crate::{CorpusProgram, Expectation};
+use vault_syntax::Code;
+
+/// Fig. 1: the region interface, shared by all region programs.
+pub const REGION_IFACE: &str = r#"
+interface REGION {
+  type region;
+  tracked(R) region create() [new R];
+  void delete(tracked(R) region) [-R];
+}
+struct point { int x; int y; }
+"#;
+
+/// Fig. 3 interface plus the stateset the paper describes informally.
+pub const SOCKET_IFACE: &str = r#"
+stateset SOCK_STATE = [ raw < named < listening < ready ];
+type sock;
+struct sockaddr { int addr; int port; }
+variant domain [ 'UNIX | 'INET ];
+variant comm_style [ 'STREAM | 'DGRAM ];
+tracked(S) sock socket(domain d, comm_style c, int proto) [new S@raw];
+void bind(tracked(S) sock, sockaddr) [S@raw->named];
+void listen(tracked(S) sock, int) [S@named->listening];
+tracked(N) sock accept(tracked(S) sock, sockaddr) [S@listening, new N@ready];
+void receive(tracked(S) sock, byte[]) [S@ready];
+void close(tracked(S) sock) [-S];
+"#;
+
+/// §2.3: the failure-aware bind returning a keyed status variant.
+pub const SOCKET_STATUS_IFACE: &str = r#"
+variant status<key K> [ 'Ok {K@named} | 'Error(int){K@raw} ];
+tracked status<S> bind2(tracked(S) sock, sockaddr) [-S@raw];
+"#;
+
+/// §2.1: files with open/closed states and the opt_key variant.
+pub const FILE_IFACE: &str = r#"
+stateset FILE_STATE = [ open < closed ];
+type FILE;
+tracked(F) FILE fopen(string path) [new F@open];
+void fclose(tracked(F) FILE f) [-F];
+variant opt_key<key K> [ 'NoKey | 'SomeKey {K} ];
+"#;
+
+fn p(
+    id: &'static str,
+    experiment: &'static str,
+    description: &'static str,
+    source: String,
+    expect: Expectation,
+) -> CorpusProgram {
+    CorpusProgram {
+        id,
+        experiment,
+        description,
+        source,
+        expect,
+    }
+}
+
+/// All figure programs (experiments E1–E5 plus E2/E3 interfaces).
+pub fn programs() -> Vec<CorpusProgram> {
+    let mut v = Vec::new();
+
+    // --- E1: Fig. 2 -----------------------------------------------------
+    v.push(p(
+        "fig2_okay",
+        "E1",
+        "Fig. 2 `okay`: correct region create/use/delete",
+        format!(
+            "{REGION_IFACE}
+void okay() {{
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {{x=1; y=2;}};
+  pt.x++;
+  Region.delete(rgn);
+}}"
+        ),
+        Expectation::Accept,
+    ));
+    v.push(p(
+        "fig2_dangling",
+        "E1",
+        "Fig. 2 `dangling`: access after Region.delete",
+        format!(
+            "{REGION_IFACE}
+void dangling() {{
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {{x=1; y=2;}};
+  Region.delete(rgn);
+  pt.x++;
+}}"
+        ),
+        Expectation::reject(Code::KeyNotHeld),
+    ));
+    v.push(p(
+        "fig2_leaky",
+        "E1",
+        "Fig. 2 `leaky`: region never deleted",
+        format!(
+            "{REGION_IFACE}
+void leaky() {{
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {{x=1; y=2;}};
+  pt.x++;
+}}"
+        ),
+        Expectation::reject(Code::KeyLeak),
+    ));
+    v.push(p(
+        "region_double_delete",
+        "E1",
+        "double delete through the same key",
+        format!(
+            "{REGION_IFACE}
+void twice() {{
+  tracked(R) region rgn = Region.create();
+  Region.delete(rgn);
+  Region.delete(rgn);
+}}"
+        ),
+        Expectation::reject(Code::KeyNotHeld),
+    ));
+    v.push(p(
+        "region_alias_delete",
+        "E1",
+        "§3.1: deleting through an alias invalidates every name",
+        format!(
+            "{REGION_IFACE}
+void alias() {{
+  tracked(R) region rgn1 = Region.create();
+  tracked(R) region rgn2 = rgn1;
+  Region.delete(rgn2);
+  R:point pt = new(rgn1) point {{x=1; y=2;}};
+}}"
+        ),
+        Expectation::reject(Code::KeyNotHeld),
+    ));
+
+    // --- E2: Fig. 3 / §2.3 sockets ---------------------------------------
+    v.push(p(
+        "sock_server_ok",
+        "E2",
+        "Fig. 3: the correct socket setup sequence",
+        format!(
+            "{SOCKET_IFACE}
+void server(sockaddr a, byte[] buf) {{
+  tracked(S) sock s = socket('UNIX, 'STREAM, 0);
+  bind(s, a);
+  listen(s, 5);
+  tracked(N) sock conn = accept(s, a);
+  receive(conn, buf);
+  close(conn);
+  close(s);
+}}"
+        ),
+        Expectation::Accept,
+    ));
+    v.push(p(
+        "sock_skip_bind",
+        "E2",
+        "listen on a raw socket (skipped bind)",
+        format!(
+            "{SOCKET_IFACE}
+void bad(sockaddr a) {{
+  tracked(S) sock s = socket('UNIX, 'STREAM, 0);
+  listen(s, 5);
+  close(s);
+}}"
+        ),
+        Expectation::reject(Code::WrongKeyState),
+    ));
+    v.push(p(
+        "sock_skip_listen",
+        "E2",
+        "accept on a named socket (skipped listen)",
+        format!(
+            "{SOCKET_IFACE}
+void bad(sockaddr a) {{
+  tracked(S) sock s = socket('UNIX, 'STREAM, 0);
+  bind(s, a);
+  tracked(N) sock conn = accept(s, a);
+  close(conn);
+  close(s);
+}}"
+        ),
+        Expectation::reject(Code::WrongKeyState),
+    ));
+    v.push(p(
+        "sock_recv_unready",
+        "E2",
+        "receive on a listening (not accepted) socket",
+        format!(
+            "{SOCKET_IFACE}
+void bad(sockaddr a, byte[] buf) {{
+  tracked(S) sock s = socket('UNIX, 'STREAM, 0);
+  bind(s, a);
+  listen(s, 5);
+  receive(s, buf);
+  close(s);
+}}"
+        ),
+        Expectation::reject(Code::WrongKeyState),
+    ));
+    v.push(p(
+        "sock_leak",
+        "E2",
+        "socket never closed",
+        format!(
+            "{SOCKET_IFACE}
+void bad(sockaddr a) {{
+  tracked(S) sock s = socket('UNIX, 'STREAM, 0);
+}}"
+        ),
+        Expectation::reject(Code::KeyLeak),
+    ));
+    v.push(p(
+        "sock_bind2_unchecked",
+        "E2",
+        "§2.3: ignoring bind's failure status loses the key",
+        format!(
+            "{SOCKET_IFACE}{SOCKET_STATUS_IFACE}
+void forgot(sockaddr a) {{
+  tracked(S) sock s = socket('UNIX, 'STREAM, 0);
+  bind2(s, a);
+  listen(s, 0);
+  close(s);
+}}"
+        ),
+        Expectation::reject(Code::KeyNotHeld),
+    ));
+    v.push(p(
+        "sock_bind2_checked",
+        "E2",
+        "§2.3: switching on the status restores the key per constructor",
+        format!(
+            "{SOCKET_IFACE}{SOCKET_STATUS_IFACE}
+void checked(sockaddr a) {{
+  tracked(S) sock s = socket('UNIX, 'STREAM, 0);
+  switch (bind2(s, a)) {{
+    case 'Ok:
+      listen(s, 0);
+      close(s);
+    case 'Error(code):
+      close(s);
+  }}
+}}"
+        ),
+        Expectation::Accept,
+    ));
+    v.push(p(
+        "sock_bind2_retry",
+        "E2",
+        "§2.3: in the 'Error case the socket is back in `raw` and may be re-bound",
+        format!(
+            "{SOCKET_IFACE}{SOCKET_STATUS_IFACE}
+void retry(sockaddr a, sockaddr b) {{
+  tracked(S) sock s = socket('UNIX, 'STREAM, 0);
+  switch (bind2(s, a)) {{
+    case 'Ok:
+      listen(s, 0);
+      close(s);
+    case 'Error(code):
+      bind(s, b);
+      listen(s, 0);
+      close(s);
+  }}
+}}"
+        ),
+        Expectation::Accept,
+    ));
+
+    // --- E3: §2.1 keyed variants -----------------------------------------
+    v.push(p(
+        "optkey_early_close",
+        "E3",
+        "§2.1: opt_key records whether F was consumed; switch recovers it",
+        format!(
+            "{FILE_IFACE}
+void foo(tracked(F) FILE f, bool close_early) [-F] {{
+  tracked opt_key<F> flag;
+  if (close_early) {{
+    fclose(f);
+    flag = 'NoKey;
+  }} else {{
+    flag = 'SomeKey{{F}};
+  }}
+  switch (flag) {{
+    case 'NoKey:
+      return;
+    case 'SomeKey:
+      fclose(f);
+  }}
+}}"
+        ),
+        Expectation::Accept,
+    ));
+    v.push(p(
+        "optkey_forgot_switch",
+        "E3",
+        "§2.1: forgetting to test the flag leaves an extra key at exit",
+        format!(
+            "{FILE_IFACE}
+void foo(tracked(F) FILE f, bool close_early) [-F] {{
+  tracked opt_key<F> flag;
+  if (close_early) {{
+    fclose(f);
+    flag = 'NoKey;
+  }} else {{
+    flag = 'SomeKey{{F}};
+  }}
+}}"
+        ),
+        Expectation::reject(Code::KeyLeak),
+    ));
+    v.push(p(
+        "optkey_double_extract",
+        "E3",
+        "keys cannot be extracted twice from a flag",
+        format!(
+            "{FILE_IFACE}
+void foo(tracked(F) FILE f) [-F] {{
+  tracked opt_key<F> flag = 'SomeKey{{F}};
+  switch (flag) {{
+    case 'NoKey:
+      return;
+    case 'SomeKey:
+      fclose(f);
+      fclose(f);
+  }}
+}}"
+        ),
+        Expectation::reject(Code::KeyNotHeld),
+    ));
+    v.push(p(
+        "optkey_nonexhaustive",
+        "E3",
+        "a keyed variant switch must cover every constructor",
+        format!(
+            "{FILE_IFACE}
+void foo(tracked(F) FILE f) [-F] {{
+  tracked opt_key<F> flag = 'SomeKey{{F}};
+  switch (flag) {{
+    case 'NoKey:
+      return;
+  }}
+}}"
+        ),
+        Expectation::reject(Code::NonExhaustiveSwitch),
+    ));
+
+    // --- E4: Fig. 4 collections -------------------------------------------
+    let list_iface = format!(
+        "{REGION_IFACE}
+variant reglist [ 'Nil | 'Cons(tracked region, tracked reglist) ];"
+    );
+    v.push(p(
+        "fig4_anonymized",
+        "E4",
+        "Fig. 4: a region stored in a list comes back with a fresh key",
+        format!(
+            "{list_iface}
+void main() {{
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {{x=4; y=2;}};
+  tracked reglist list = 'Cons(rgn, 'Nil);
+  switch (list) {{
+    case 'Nil:
+      return;
+    case 'Cons(rgn2, rest):
+      pt.x++;
+      Region.delete(rgn2);
+      free(rest);
+  }}
+}}"
+        ),
+        Expectation::reject(Code::KeyNotHeld),
+    ));
+    v.push(p(
+        "fig4_fix_pairs",
+        "E4",
+        "Fig. 4 fix: pairs keep the region/point correlation through the pack",
+        format!(
+            "{list_iface}
+variant regpt [ 'RegPt(tracked(P) region, P:point) ];
+void main() {{
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {{x=4; y=2;}};
+  tracked regpt pair = 'RegPt(rgn, pt);
+  switch (pair) {{
+    case 'RegPt(rgn2, pt2):
+      pt2.x++;
+      Region.delete(rgn2);
+  }}
+}}"
+        ),
+        Expectation::Accept,
+    ));
+    v.push(p(
+        "fig4_roundtrip_consume",
+        "E4",
+        "storing and fully consuming a list of regions is fine",
+        format!(
+            "{list_iface}
+void main() {{
+  tracked(R) region rgn = Region.create();
+  tracked reglist list = 'Cons(rgn, 'Nil);
+  switch (list) {{
+    case 'Nil:
+      return;
+    case 'Cons(rgn2, rest):
+      Region.delete(rgn2);
+      free(rest);
+  }}
+}}"
+        ),
+        Expectation::Accept,
+    ));
+
+    // --- E5: Fig. 5 join points --------------------------------------------
+    v.push(p(
+        "fig5_join_reject",
+        "E5",
+        "Fig. 5: data-correlated deletion is rejected at the join point",
+        format!(
+            "{REGION_IFACE}
+void main() {{
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {{x=4; y=2;}};
+  if (pt.x > 0) {{
+    pt.y = 0;
+    Region.delete(rgn);
+  }} else {{
+    pt.y = pt.x;
+  }}
+  if (pt.x <= 0)
+    Region.delete(rgn);
+}}"
+        ),
+        Expectation::reject(Code::JoinMismatch),
+    ));
+    v.push(p(
+        "fig5_variant_fix",
+        "E5",
+        "Fig. 5 fix: the correlation made explicit with a keyed variant",
+        format!(
+            "{REGION_IFACE}
+variant opt_key<key K> [ 'NoKey | 'SomeKey {{K}} ];
+void main() {{
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {{x=4; y=2;}};
+  tracked opt_key<R> flag;
+  if (pt.x > 0) {{
+    pt.y = 0;
+    Region.delete(rgn);
+    flag = 'NoKey;
+  }} else {{
+    flag = 'SomeKey{{R}};
+  }}
+  switch (flag) {{
+    case 'NoKey:
+      return;
+    case 'SomeKey:
+      Region.delete(rgn);
+  }}
+}}"
+        ),
+        Expectation::Accept,
+    ));
+
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_programs_cover_e1_to_e5() {
+        let ids: Vec<&str> = programs().iter().map(|p| p.experiment).collect();
+        for e in ["E1", "E2", "E3", "E4", "E5"] {
+            assert!(ids.contains(&e), "missing {e}");
+        }
+    }
+
+    #[test]
+    fn every_figure_program_has_source() {
+        for p in programs() {
+            assert!(p.loc() > 3, "{} suspiciously small", p.id);
+        }
+    }
+}

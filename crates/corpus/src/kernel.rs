@@ -1,0 +1,495 @@
+//! The Vault description of the Windows 2000 kernel/driver interface
+//! (paper §4) and the protocol programs of experiments E7–E10.
+
+use crate::{CorpusProgram, Expectation};
+use vault_syntax::Code;
+
+/// The kernel interface in Vault: IRPs and the `DSTATUS` discipline
+/// (§4.1), events and spin locks (§4.2), completion routines (§4.3), and
+/// the IRQL stateset with paged memory (§4.4).
+pub const KERNEL_IFACE: &str = r#"
+// ----- Interrupt request levels (§4.4) --------------------------------
+stateset IRQ_LEVEL = [ PASSIVE_LEVEL < APC_LEVEL < DISPATCH_LEVEL < DIRQL ];
+key IRQL @ IRQ_LEVEL;
+type KIRQL<state S>;
+
+// ----- Core kernel objects ---------------------------------------------
+type NTSTATUS;
+type DEVICE_OBJECT;
+type DRIVER_OBJECT;
+type KTHREAD;
+type KSEMAPHORE;
+type IRP;
+type DSTATUS<key I>;
+struct IO_STACK_LOCATION {
+  int MajorFunction;
+  int IoControlCode;
+  int Length;
+  int Offset;
+}
+
+NTSTATUS STATUS_SUCCESS();
+NTSTATUS STATUS_PENDING();
+NTSTATUS STATUS_UNSUCCESSFUL();
+NTSTATUS STATUS_INVALID_PARAMETER();
+NTSTATUS STATUS_NO_MEDIA();
+bool NT_SUCCESS(NTSTATUS st);
+
+// ----- The IRP ownership protocol (§4.1) --------------------------------
+// A service routine owns its IRP and must either complete it, pass it
+// down the stack, or mark it pending; DSTATUS<I> is abstract, so these
+// three functions are the only way to produce the required return value.
+DSTATUS<I> IoCompleteRequest(tracked(I) IRP irp, NTSTATUS status) [-I];
+DSTATUS<I> IoCallDriver(DEVICE_OBJECT dev, tracked(I) IRP irp) [-I];
+DSTATUS<I> IoMarkIrpPending(tracked(I) IRP irp) [I];
+IO_STACK_LOCATION IoGetCurrentIrpStackLocation(tracked(I) IRP irp) [I];
+void IoCopyCurrentIrpStackLocationToNext(tracked(I) IRP irp) [I];
+void IoSetIrpInformation(tracked(I) IRP irp, int info) [I];
+
+// ----- Driver-managed pending queues (§4.1) ------------------------------
+// "A driver consumes the key by storing the IRP on a pending list, thus
+// anonymizing and packaging the key with the IRP."
+type irp_queue;
+tracked(Q) irp_queue FlAllocateQueue() [new Q, IRQL@PASSIVE_LEVEL];
+void FlEnqueueIrp(tracked(Q) irp_queue q, tracked(I) IRP irp) [Q, -I];
+variant opt_irp [ 'NoIrp | 'GotIrp(tracked IRP) ];
+tracked opt_irp FlDequeueIrp(tracked(Q) irp_queue q) [Q];
+void FlFreeQueue(tracked(Q) irp_queue q) [-Q, IRQL@PASSIVE_LEVEL];
+
+// ----- Events (§4.2) ------------------------------------------------------
+type KEVENT<key K>;
+KEVENT<K> KeInitializeEvent<type T>(tracked(K) T obj) [K];
+void KeSignalEvent(KEVENT<K> e) [-K, IRQL@(sl <= DISPATCH_LEVEL)];
+void KeWaitForEvent(KEVENT<K> e) [+K, IRQL@(wl <= APC_LEVEL)];
+
+// ----- Spin locks (§4.2 + §4.4) -------------------------------------------
+// Acquiring protects the guarded data *and* raises the interrupt level;
+// releasing returns to the recorded level.
+type KSPIN_LOCK<key K>;
+KSPIN_LOCK<K> KeInitializeSpinLock<type T>(tracked(K) T data) [-K, IRQL@PASSIVE_LEVEL];
+KIRQL<level> KeAcquireSpinLock(KSPIN_LOCK<K> lock)
+  [+K, IRQL@(level <= DISPATCH_LEVEL) -> DISPATCH_LEVEL];
+void KeReleaseSpinLock(KSPIN_LOCK<K> lock, KIRQL<old> prev)
+  [-K, IRQL@DISPATCH_LEVEL -> old];
+
+// ----- Completion routines (§4.3) ------------------------------------------
+variant COMPLETION_RESULT<key I> [
+  'MoreProcessingRequired
+| 'Finished(NTSTATUS) {I}
+];
+type COMPLETION_ROUTINE<key K> =
+  tracked COMPLETION_RESULT<K> Routine(DEVICE_OBJECT, tracked(K) IRP)
+    [-K, IRQL@(crl <= DISPATCH_LEVEL)];
+void IoSetCompletionRoutine(tracked(I) IRP irp, COMPLETION_ROUTINE<I> routine) [I];
+
+// ----- Paged vs non-paged memory (§4.4) --------------------------------------
+type paged<type T> = (IRQL@(pl <= APC_LEVEL)):T;
+int KeReleaseSemaphore(KSEMAPHORE s, int prio, int n)
+  [IRQL@(rl <= DISPATCH_LEVEL)];
+KPRIORITY KeSetPriorityThread(KTHREAD t, KPRIORITY p) [IRQL@PASSIVE_LEVEL];
+type KPRIORITY;
+KPRIORITY LOW_REALTIME_PRIORITY();
+
+// ----- Device management ------------------------------------------------------
+DEVICE_OBJECT IoCreateDevice(DRIVER_OBJECT drv, int device_type) [IRQL@PASSIVE_LEVEL];
+DEVICE_OBJECT IoAttachDeviceToDeviceStack(DEVICE_OBJECT ours, DEVICE_OBJECT target)
+  [IRQL@PASSIVE_LEVEL];
+void IoDeleteDevice(DEVICE_OBJECT dev) [IRQL@PASSIVE_LEVEL];
+void IoDetachDevice(DEVICE_OBJECT dev) [IRQL@PASSIVE_LEVEL];
+"#;
+
+fn p(
+    id: &'static str,
+    experiment: &'static str,
+    description: &'static str,
+    body: &str,
+    expect: Expectation,
+) -> CorpusProgram {
+    CorpusProgram {
+        id,
+        experiment,
+        description,
+        source: format!("{KERNEL_IFACE}\n{body}"),
+        expect,
+    }
+}
+
+/// E7–E10 kernel protocol programs.
+#[allow(clippy::vec_init_then_push)] // one push per corpus entry reads best
+pub fn programs() -> Vec<CorpusProgram> {
+    let mut v = Vec::new();
+
+    // --- E7: IRP ownership (§4.1) -----------------------------------------
+    v.push(p(
+        "irp_complete_ok",
+        "E7",
+        "service routine completes its IRP",
+        "DSTATUS<I> Read(DEVICE_OBJECT dev, tracked(I) IRP irp) [-I] {
+           return IoCompleteRequest(irp, STATUS_SUCCESS());
+         }",
+        Expectation::Accept,
+    ));
+    v.push(p(
+        "irp_pass_down_ok",
+        "E7",
+        "service routine passes its IRP to the next driver",
+        "DSTATUS<I> Read(DEVICE_OBJECT lower, tracked(I) IRP irp) [-I] {
+           IoCopyCurrentIrpStackLocationToNext(irp);
+           return IoCallDriver(lower, irp);
+         }",
+        Expectation::Accept,
+    ));
+    v.push(p(
+        "irp_pend_ok",
+        "E7",
+        "service routine pends its IRP onto a driver-managed queue",
+        "DSTATUS<I> Read(DEVICE_OBJECT dev, tracked(I) IRP irp, tracked(Q) irp_queue q)
+             [-I, Q] {
+           DSTATUS<I> st = IoMarkIrpPending(irp);
+           FlEnqueueIrp(q, irp);
+           return st;
+         }",
+        Expectation::Accept,
+    ));
+    v.push(p(
+        "irp_dropped_path",
+        "E7",
+        "a path that neither completes, passes, nor pends the IRP",
+        "DSTATUS<I> Read(DEVICE_OBJECT dev, tracked(I) IRP irp, bool fast) [-I] {
+           if (fast) {
+             return IoCompleteRequest(irp, STATUS_SUCCESS());
+           }
+           return IoMarkIrpPending(irp);
+         }",
+        Expectation::reject(Code::KeyLeak),
+    ));
+    v.push(p(
+        "irp_use_after_pass",
+        "E7",
+        "touching the IRP after IoCallDriver transferred ownership",
+        "DSTATUS<I> Read(DEVICE_OBJECT lower, tracked(I) IRP irp) [-I] {
+           DSTATUS<I> st = IoCallDriver(lower, irp);
+           IoSetIrpInformation(irp, 512);
+           return st;
+         }",
+        Expectation::reject(Code::KeyNotHeld),
+    ));
+    v.push(p(
+        "irp_double_complete",
+        "E7",
+        "completing the same IRP twice",
+        "DSTATUS<I> Read(DEVICE_OBJECT dev, tracked(I) IRP irp) [-I] {
+           DSTATUS<I> a = IoCompleteRequest(irp, STATUS_SUCCESS());
+           return IoCompleteRequest(irp, STATUS_SUCCESS());
+         }",
+        Expectation::reject(Code::KeyNotHeld),
+    ));
+    v.push(p(
+        "irp_wrong_status",
+        "E7",
+        "returning the DSTATUS of a different request",
+        "DSTATUS<I> Read(DEVICE_OBJECT dev, tracked(I) IRP irp, tracked(J) IRP other)
+             [-I, -J] {
+           DSTATUS<I> mine = IoCompleteRequest(irp, STATUS_SUCCESS());
+           return IoCompleteRequest(other, STATUS_SUCCESS());
+         }",
+        Expectation::reject(Code::TypeMismatch),
+    ));
+    v.push(p(
+        "irp_dequeue_drain",
+        "E7",
+        "draining the pending queue completes each IRP exactly once",
+        "void Drain(tracked(Q) irp_queue q, bool more) [Q] {
+           while (more) {
+             switch (FlDequeueIrp(q)) {
+               case 'NoIrp:
+                 more = false;
+               case 'GotIrp(irp):
+                 DSTATUS<J> st = finish(irp);
+                 more = true;
+             }
+           }
+         }
+         DSTATUS<J> finish(tracked(J) IRP irp) [-J] {
+           return IoCompleteRequest(irp, STATUS_SUCCESS());
+         }",
+        Expectation::Accept,
+    ));
+
+    // --- E8: events and locks (§4.2) -----------------------------------------
+    v.push(p(
+        "lock_guarded_access_ok",
+        "E8",
+        "spin lock must be held to touch the guarded data",
+        "struct shared { int value; }
+         void ok(KSPIN_LOCK<K> lock, K:shared data) [IRQL@PASSIVE_LEVEL] {
+           KIRQL<old> prev = KeAcquireSpinLock(lock);
+           data.value++;
+           KeReleaseSpinLock(lock, prev);
+         }",
+        Expectation::Accept,
+    ));
+    v.push(p(
+        "lock_access_without_acquire",
+        "E8",
+        "touching lock-guarded data without acquiring",
+        "struct shared { int value; }
+         void bad(KSPIN_LOCK<K> lock, K:shared data) [IRQL@PASSIVE_LEVEL] {
+           data.value++;
+         }",
+        Expectation::reject(Code::KeyNotHeld),
+    ));
+    v.push(p(
+        "lock_missing_release",
+        "E8",
+        "§4.2: a missing lock release is a key leak",
+        "void bad(KSPIN_LOCK<K> lock) [IRQL@PASSIVE_LEVEL] {
+           KIRQL<old> prev = KeAcquireSpinLock(lock);
+           forget_level(prev);
+         }
+         void forget_level(KIRQL<S> prev);",
+        Expectation::reject(Code::KeyLeak),
+    ));
+    v.push(p(
+        "lock_double_acquire",
+        "E8",
+        "§4.2: acquiring a lock already held duplicates its key",
+        "void bad(KSPIN_LOCK<K> lock) [IRQL@PASSIVE_LEVEL] {
+           KIRQL<a> p1 = KeAcquireSpinLock(lock);
+           KIRQL<b> p2 = KeAcquireSpinLock(lock);
+           KeReleaseSpinLock(lock, p2);
+           KeReleaseSpinLock(lock, p1);
+         }",
+        Expectation::reject(Code::DuplicateKey),
+    ));
+    v.push(p(
+        "lock_release_unheld",
+        "E8",
+        "releasing a lock that is not held",
+        "void bad(KSPIN_LOCK<K> lock, KIRQL<S> prev) [IRQL@DISPATCH_LEVEL] {
+           KeReleaseSpinLock(lock, prev);
+         }",
+        Expectation::reject(Code::KeyNotHeld),
+    ));
+    v.push(p(
+        "event_key_transfer",
+        "E8",
+        "§4.2: events pass a key from one thread's held set to another's",
+        "struct msg { int data; }
+         void sender(KEVENT<K> e, K:msg m) [-K, IRQL@PASSIVE_LEVEL] {
+           m.data = 42;
+           KeSignalEvent(e);
+         }
+         void receiver(KEVENT<K> e, K:msg m) [+K, IRQL@PASSIVE_LEVEL] {
+           KeWaitForEvent(e);
+           m.data++;
+         }",
+        Expectation::Accept,
+    ));
+    v.push(p(
+        "event_use_after_signal",
+        "E8",
+        "touching the protected data after signalling away its key",
+        "struct msg { int data; }
+         void bad(KEVENT<K> e, K:msg m) [-K, IRQL@PASSIVE_LEVEL] {
+           KeSignalEvent(e);
+           m.data = 42;
+         }",
+        Expectation::reject(Code::KeyNotHeld),
+    ));
+
+    // --- E9: completion routines (§4.3, Fig. 7) -------------------------------
+    v.push(p(
+        "fig7_regain_ownership",
+        "E9",
+        "Fig. 7: event + completion routine regains IRP ownership",
+        "DSTATUS<I> PnpRequest(DEVICE_OBJECT lower, tracked(I) IRP irp)
+             [-I, IRQL@PASSIVE_LEVEL] {
+           KEVENT<I> IrpIsBack = KeInitializeEvent(irp);
+           tracked COMPLETION_RESULT<I> RegainIrp(DEVICE_OBJECT d, tracked(I) IRP j)
+               [-I, IRQL@(cl <= DISPATCH_LEVEL)] {
+             KeSignalEvent(IrpIsBack);
+             return 'MoreProcessingRequired;
+           }
+           IoSetCompletionRoutine(irp, RegainIrp);
+           DSTATUS<I> st = IoCallDriver(lower, irp);
+           KeWaitForEvent(IrpIsBack);
+           return IoCompleteRequest(irp, STATUS_SUCCESS());
+         }",
+        Expectation::Accept,
+    ));
+    v.push(p(
+        "fig7_wait_before_callback",
+        "E9",
+        "accessing the IRP after IoCallDriver without waiting for the event",
+        "DSTATUS<I> PnpRequest(DEVICE_OBJECT lower, tracked(I) IRP irp)
+             [-I, IRQL@PASSIVE_LEVEL] {
+           KEVENT<I> IrpIsBack = KeInitializeEvent(irp);
+           tracked COMPLETION_RESULT<I> RegainIrp(DEVICE_OBJECT d, tracked(I) IRP j)
+               [-I, IRQL@(cl <= DISPATCH_LEVEL)] {
+             KeSignalEvent(IrpIsBack);
+             return 'MoreProcessingRequired;
+           }
+           IoSetCompletionRoutine(irp, RegainIrp);
+           DSTATUS<I> st = IoCallDriver(lower, irp);
+           return IoCompleteRequest(irp, STATUS_SUCCESS());
+         }",
+        Expectation::reject(Code::KeyNotHeld),
+    ));
+    v.push(p(
+        "fig7_footnote10",
+        "E9",
+        "footnote 10: after signalling, only 'MoreProcessingRequired type-checks",
+        "tracked COMPLETION_RESULT<I> BadRoutine(DEVICE_OBJECT d, tracked(I) IRP j,
+             KEVENT<I> back) [-I, IRQL@(cl <= DISPATCH_LEVEL)] {
+           KeSignalEvent(back);
+           return 'Finished(STATUS_SUCCESS()){I};
+         }",
+        Expectation::reject(Code::KeyNotHeld),
+    ));
+    v.push(p(
+        "fig7_finished_keeps_key",
+        "E9",
+        "a routine that does not signal must return 'Finished with the key",
+        "tracked COMPLETION_RESULT<I> OkRoutine(DEVICE_OBJECT d, tracked(I) IRP j)
+             [-I, IRQL@(cl <= DISPATCH_LEVEL)] {
+           return 'Finished(STATUS_SUCCESS()){I};
+         }",
+        Expectation::Accept,
+    ));
+    v.push(p(
+        "fig7_neither_leaks",
+        "E9",
+        "a routine that neither signals nor finishes leaks the IRP key",
+        "tracked COMPLETION_RESULT<I> BadRoutine(DEVICE_OBJECT d, tracked(I) IRP j)
+             [-I, IRQL@(cl <= DISPATCH_LEVEL)] {
+           return 'MoreProcessingRequired;
+         }",
+        Expectation::reject(Code::KeyLeak),
+    ));
+
+    // --- E10: IRQL and paging (§4.4) -------------------------------------------
+    v.push(p(
+        "irql_passive_required_ok",
+        "E10",
+        "KeSetPriorityThread requires PASSIVE_LEVEL",
+        "void ok(KTHREAD t) [IRQL@PASSIVE_LEVEL] {
+           KeSetPriorityThread(t, LOW_REALTIME_PRIORITY());
+         }",
+        Expectation::Accept,
+    ));
+    v.push(p(
+        "irql_passive_required_bad",
+        "E10",
+        "calling a PASSIVE_LEVEL function at DISPATCH_LEVEL",
+        "void bad(KTHREAD t) [IRQL@DISPATCH_LEVEL] {
+           KeSetPriorityThread(t, LOW_REALTIME_PRIORITY());
+         }",
+        Expectation::reject(Code::WrongKeyState),
+    ));
+    v.push(p(
+        "irql_bounded_ok",
+        "E10",
+        "KeReleaseSemaphore is polymorphic below DISPATCH_LEVEL",
+        "void ok(KSEMAPHORE s) [IRQL@APC_LEVEL] {
+           KeReleaseSemaphore(s, 1, 1);
+         }",
+        Expectation::Accept,
+    ));
+    v.push(p(
+        "irql_bounded_bad",
+        "E10",
+        "KeReleaseSemaphore at DIRQL exceeds the bound",
+        "void bad(KSEMAPHORE s) [IRQL@DIRQL] {
+           KeReleaseSemaphore(s, 1, 1);
+         }",
+        Expectation::reject(Code::StateBound),
+    ));
+    v.push(p(
+        "irql_spinlock_restores",
+        "E10",
+        "KeAcquireSpinLock raises to DISPATCH_LEVEL and release restores",
+        "struct shared { int value; }
+         void ok(KSPIN_LOCK<K> lock, K:shared data, KTHREAD t) [IRQL@PASSIVE_LEVEL] {
+           KIRQL<old> prev = KeAcquireSpinLock(lock);
+           data.value++;
+           KeReleaseSpinLock(lock, prev);
+           KeSetPriorityThread(t, LOW_REALTIME_PRIORITY());
+         }",
+        Expectation::Accept,
+    ));
+    v.push(p(
+        "irql_forgot_restore",
+        "E10",
+        "exiting at DISPATCH_LEVEL when the effect promises the entry level",
+        "struct shared { int value; }
+         void bad(KSPIN_LOCK<K> lock, K:shared data) [IRQL@PASSIVE_LEVEL] {
+           KIRQL<old> prev = KeAcquireSpinLock(lock);
+           data.value++;
+           release_only_key(lock, prev);
+         }
+         void release_only_key(KSPIN_LOCK<K> lock, KIRQL<S> prev) [-K];",
+        Expectation::reject(Code::WrongKeyState),
+    ));
+    v.push(p(
+        "paged_access_ok",
+        "E10",
+        "paged data accessible at PASSIVE_LEVEL",
+        "struct config { int setting; }
+         void ok(paged<config> c) [IRQL@PASSIVE_LEVEL] {
+           c.setting++;
+         }",
+        Expectation::Accept,
+    ));
+    v.push(p(
+        "paged_access_at_dispatch",
+        "E10",
+        "§4.4: touching paged memory at DISPATCH_LEVEL would deadlock",
+        "struct config { int setting; }
+         void bad(paged<config> c) [IRQL@DISPATCH_LEVEL] {
+           c.setting++;
+         }",
+        Expectation::reject(Code::StateBound),
+    ));
+    v.push(p(
+        "paged_access_under_lock",
+        "E10",
+        "paged access inside a spin-locked region is the classic deadlock",
+        "struct config { int setting; }
+         void bad(KSPIN_LOCK<K> lock, paged<config> c) [IRQL@PASSIVE_LEVEL] {
+           KIRQL<old> prev = KeAcquireSpinLock(lock);
+           c.setting++;
+           KeReleaseSpinLock(lock, prev);
+         }",
+        Expectation::reject(Code::StateBound),
+    ));
+    v.push(p(
+        "irql_undeclared_constraint",
+        "E10",
+        "a function that does not declare IRQL cannot rely on its level",
+        "void bad(KTHREAD t) {
+           KeSetPriorityThread(t, LOW_REALTIME_PRIORITY());
+         }",
+        Expectation::reject(Code::WrongKeyState),
+    ));
+
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_iface_is_substantial() {
+        assert!(crate::count_loc(KERNEL_IFACE) > 50);
+    }
+
+    #[test]
+    fn kernel_programs_cover_e7_to_e10() {
+        let ids: Vec<&str> = programs().iter().map(|p| p.experiment).collect();
+        for e in ["E7", "E8", "E9", "E10"] {
+            assert!(ids.contains(&e), "missing {e}");
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Synthetic Vault program generator for the checker-scaling benchmarks
+//! (experiment E13) and for randomized detection-rate measurements.
+//!
+//! Generated programs exercise the region protocol (create / allocate /
+//! access / delete), branching, loops, and cross-function calls. With
+//! `bug_rate > 0` a deterministic fraction of functions receives one
+//! seeded protocol violation (a leak or a dangling access).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// The statement mix of generated functions — used by the ablation
+/// benches to isolate what each checker feature costs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Shape {
+    /// The default mix of everything.
+    #[default]
+    Mixed,
+    /// Straight-line arithmetic on guarded data (no joins, no loops).
+    Straight,
+    /// Branch-heavy (many join points exercising the key abstraction).
+    Branchy,
+    /// Loop-heavy (many loop-invariant inferences).
+    Loopy,
+    /// Keyed-variant-heavy (pack/unpack on every other statement).
+    VariantHeavy,
+}
+
+/// Parameters for the generator.
+#[derive(Clone, Copy, Debug)]
+pub struct SynthConfig {
+    /// Number of functions to generate.
+    pub functions: usize,
+    /// Approximate statements per function.
+    pub stmts_per_fn: usize,
+    /// RNG seed (generation is fully deterministic per seed).
+    pub seed: u64,
+    /// Fraction of functions that receive exactly one seeded bug.
+    pub bug_rate: f64,
+    /// Statement mix.
+    pub shape: Shape,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            functions: 10,
+            stmts_per_fn: 20,
+            seed: 0x5eed,
+            bug_rate: 0.0,
+            shape: Shape::Mixed,
+        }
+    }
+}
+
+/// The kind of bug seeded into a function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeededBug {
+    /// The region is never deleted.
+    Leak,
+    /// The point is accessed after the region is deleted.
+    Dangling,
+}
+
+/// A generated program plus its ground truth.
+#[derive(Clone, Debug)]
+pub struct SynthProgram {
+    /// The Vault source.
+    pub source: String,
+    /// Which functions received which bug, by function index.
+    pub seeded: Vec<(usize, SeededBug)>,
+}
+
+impl SynthProgram {
+    /// Whether the program should be accepted by the checker.
+    pub fn expect_accept(&self) -> bool {
+        self.seeded.is_empty()
+    }
+}
+
+const PRELUDE: &str = r#"
+interface REGION {
+  type region;
+  tracked(R) region create() [new R];
+  void delete(tracked(R) region) [-R];
+}
+struct point { int x; int y; }
+variant opt_key<key K> [ 'Empty | 'Held {K} ];
+"#;
+
+/// Generate a program according to the configuration.
+pub fn generate(cfg: &SynthConfig) -> SynthProgram {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut src = String::from(PRELUDE);
+    let mut seeded = Vec::new();
+    for i in 0..cfg.functions {
+        let bug = if rng.gen_bool(cfg.bug_rate.clamp(0.0, 1.0)) {
+            let b = if rng.gen_bool(0.5) {
+                SeededBug::Leak
+            } else {
+                SeededBug::Dangling
+            };
+            seeded.push((i, b));
+            Some(b)
+        } else {
+            None
+        };
+        gen_function(&mut src, i, cfg, &mut rng, bug);
+    }
+    SynthProgram {
+        source: src,
+        seeded,
+    }
+}
+
+fn gen_function(
+    src: &mut String,
+    index: usize,
+    cfg: &SynthConfig,
+    rng: &mut StdRng,
+    bug: Option<SeededBug>,
+) {
+    if cfg.shape == Shape::VariantHeavy {
+        gen_variant_heavy_function(src, index, cfg);
+        return;
+    }
+    let _ = writeln!(src, "void synth_fn_{index}(bool flag, int n) {{");
+    // One tracked region + guarded point per function; statements operate
+    // on them so guard checks are exercised throughout.
+    let _ = writeln!(src, "  tracked(R{index}) region rgn = Region.create();");
+    let _ = writeln!(
+        src,
+        "  R{index}:point pt = new(rgn) point {{x={index}; y=0;}};"
+    );
+    let mut emitted = 2usize;
+    // Where the dangling access goes, if any: delete early, touch after.
+    let dangle = bug == Some(SeededBug::Dangling);
+    if dangle {
+        let _ = writeln!(src, "  Region.delete(rgn);");
+        let _ = writeln!(src, "  pt.x++;");
+        emitted += 2;
+    }
+    while emitted < cfg.stmts_per_fn {
+        let choice: u8 = match cfg.shape {
+            Shape::Mixed => rng.gen_range(0..6u8),
+            Shape::Straight => rng.gen_range(0..2u8),
+            Shape::Branchy => 2,
+            Shape::Loopy => 3,
+            Shape::VariantHeavy => unreachable!("handled separately"),
+        };
+        match choice {
+            0 => {
+                let _ = writeln!(src, "  pt.x = pt.x + {};", rng.gen_range(1..5));
+            }
+            1 => {
+                let _ = writeln!(src, "  pt.y = pt.x * 2;");
+            }
+            2 => {
+                let _ = writeln!(
+                    src,
+                    "  if (flag) {{ pt.x++; }} else {{ pt.y = pt.y - 1; }}"
+                );
+            }
+            3 => {
+                let _ = writeln!(
+                    src,
+                    "  while (n > 0) {{ pt.x = pt.x + 1; n = n - 1; }}"
+                );
+            }
+            4 if index > 0 => {
+                let callee = rng.gen_range(0..index);
+                let _ = writeln!(src, "  synth_fn_{callee}(flag, n);");
+            }
+            _ => {
+                // A nested, balanced region lifetime.
+                let k = emitted;
+                let _ = writeln!(src, "  tracked(T{index}_{k}) region tmp{k} = Region.create();");
+                let _ = writeln!(
+                    src,
+                    "  T{index}_{k}:point tp{k} = new(tmp{k}) point {{x=1; y=1;}};"
+                );
+                let _ = writeln!(src, "  tp{k}.x++;");
+                let _ = writeln!(src, "  Region.delete(tmp{k});");
+                emitted += 3;
+            }
+        }
+        emitted += 1;
+    }
+    match bug {
+        Some(SeededBug::Leak) => {
+            let _ = writeln!(src, "  // seeded bug: region leaked");
+        }
+        Some(SeededBug::Dangling) | None if dangle => {}
+        _ => {
+            let _ = writeln!(src, "  Region.delete(rgn);");
+        }
+    }
+    let _ = writeln!(src, "}}");
+}
+
+/// A function whose body is keyed-variant packs and unpacks (§2.1 style),
+/// one block per ~4 statements. Bug seeding is not applied to this shape
+/// (it exists for the ablation benches only).
+fn gen_variant_heavy_function(src: &mut String, index: usize, cfg: &SynthConfig) {
+    let _ = writeln!(src, "void synth_fn_{index}(bool flag, int n) {{");
+    let blocks = (cfg.stmts_per_fn / 4).max(1);
+    for k in 0..blocks {
+        let _ = writeln!(
+            src,
+            "  tracked(V{index}_{k}) region vr{k} = Region.create();"
+        );
+        let _ = writeln!(
+            src,
+            "  tracked opt_key<V{index}_{k}> fl{k} = 'Held{{V{index}_{k}}};"
+        );
+        let _ = writeln!(src, "  switch (fl{k}) {{");
+        let _ = writeln!(src, "    case 'Empty:");
+        let _ = writeln!(src, "      return;");
+        let _ = writeln!(src, "    case 'Held:");
+        let _ = writeln!(src, "      Region.delete(vr{k});");
+        let _ = writeln!(src, "  }}");
+    }
+    let _ = writeln!(src, "}}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SynthConfig {
+            functions: 5,
+            stmts_per_fn: 12,
+            seed: 42,
+            bug_rate: 0.5,
+            shape: Shape::Mixed,
+        };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.source, b.source);
+        assert_eq!(a.seeded, b.seeded);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = SynthConfig::default();
+        let a = generate(&cfg);
+        cfg.seed += 1;
+        let b = generate(&cfg);
+        assert_ne!(a.source, b.source);
+    }
+
+    #[test]
+    fn size_scales_with_config() {
+        let small = generate(&SynthConfig {
+            functions: 2,
+            stmts_per_fn: 5,
+            seed: 1,
+            bug_rate: 0.0,
+            shape: Shape::Mixed,
+        });
+        let large = generate(&SynthConfig {
+            functions: 40,
+            stmts_per_fn: 30,
+            seed: 1,
+            bug_rate: 0.0,
+            shape: Shape::Mixed,
+        });
+        assert!(crate::count_loc(&large.source) > 5 * crate::count_loc(&small.source));
+    }
+
+    #[test]
+    fn bug_rate_one_seeds_every_function() {
+        let p = generate(&SynthConfig {
+            functions: 8,
+            stmts_per_fn: 8,
+            seed: 3,
+            bug_rate: 1.0,
+            shape: Shape::Mixed,
+        });
+        assert_eq!(p.seeded.len(), 8);
+        assert!(!p.expect_accept());
+    }
+}

@@ -1,0 +1,129 @@
+//! Every corpus program must produce exactly its recorded verdict — this
+//! is the single source of truth the benches and the report binary rely
+//! on.
+
+use vault_core::{check_source, Verdict};
+use vault_corpus::synth::Shape;
+use vault_corpus::{all_programs, synth, Expectation};
+
+#[test]
+fn every_corpus_program_matches_its_expectation() {
+    let mut failures = Vec::new();
+    for p in all_programs() {
+        let r = check_source(p.id, &p.source);
+        match &p.expect {
+            Expectation::Accept => {
+                if r.verdict() != Verdict::Accepted {
+                    failures.push(format!(
+                        "{}: expected acceptance, got:\n{}",
+                        p.id,
+                        r.render_diagnostics()
+                    ));
+                }
+            }
+            Expectation::Reject(codes) => {
+                if r.verdict() != Verdict::Rejected {
+                    failures.push(format!("{}: expected rejection, was accepted", p.id));
+                } else {
+                    for c in codes {
+                        if !r.has_code(*c) {
+                            failures.push(format!(
+                                "{}: expected {c}, got {:?}:\n{}",
+                                p.id,
+                                r.error_codes(),
+                                r.render_diagnostics()
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} corpus mismatches:\n{}",
+        failures.len(),
+        failures.join("\n---\n")
+    );
+}
+
+#[test]
+fn clean_synthetic_programs_are_accepted() {
+    for seed in 0..5 {
+        let p = synth::generate(&synth::SynthConfig {
+            functions: 8,
+            stmts_per_fn: 15,
+            seed,
+            bug_rate: 0.0,
+            shape: Shape::Mixed,
+        });
+        let r = check_source("synth", &p.source);
+        assert_eq!(
+            r.verdict(),
+            Verdict::Accepted,
+            "seed {seed}:\n{}\n{}",
+            p.source,
+            r.render_diagnostics()
+        );
+    }
+}
+
+#[test]
+fn every_shape_generates_well_typed_programs() {
+    for shape in [
+        Shape::Mixed,
+        Shape::Straight,
+        Shape::Branchy,
+        Shape::Loopy,
+        Shape::VariantHeavy,
+    ] {
+        let p = synth::generate(&synth::SynthConfig {
+            functions: 5,
+            stmts_per_fn: 12,
+            seed: 77,
+            bug_rate: 0.0,
+            shape,
+        });
+        let r = check_source("synth", &p.source);
+        assert_eq!(
+            r.verdict(),
+            Verdict::Accepted,
+            "shape {shape:?}:\n{}\n{}",
+            p.source,
+            r.render_diagnostics()
+        );
+    }
+}
+
+#[test]
+fn seeded_synthetic_bugs_are_all_detected() {
+    for seed in 0..5 {
+        let p = synth::generate(&synth::SynthConfig {
+            functions: 8,
+            stmts_per_fn: 12,
+            seed,
+            bug_rate: 0.6,
+            shape: Shape::Mixed,
+        });
+        let r = check_source("synth", &p.source);
+        if p.expect_accept() {
+            assert_eq!(r.verdict(), Verdict::Accepted, "seed {seed}");
+        } else {
+            assert_eq!(
+                r.verdict(),
+                Verdict::Rejected,
+                "seed {seed}: seeded {:?} but accepted",
+                p.seeded
+            );
+            // Every seeded bug class shows up.
+            use vault_corpus::synth::SeededBug;
+            use vault_syntax::Code;
+            if p.seeded.iter().any(|(_, b)| *b == SeededBug::Leak) {
+                assert!(r.has_code(Code::KeyLeak), "seed {seed}");
+            }
+            if p.seeded.iter().any(|(_, b)| *b == SeededBug::Dangling) {
+                assert!(r.has_code(Code::KeyNotHeld), "seed {seed}");
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # vault-eval
+//!
+//! A reference interpreter for Vault programs. Keys and guards are
+//! compile-time only (paper §2.1), so evaluation ignores them entirely —
+//! what remains is C-like execution over the runtime substrates. Running
+//! the corpus through this interpreter demonstrates the paper's soundness
+//! story operationally:
+//!
+//! * statically **accepted** programs run to completion with no resource
+//!   faults and no leaks;
+//! * the statically **rejected** programs fault (use-after-delete, double
+//!   delete) or leak at run time — exactly where the checker pointed.
+//!
+//! Regions are backed by [`vault_runtime::RegionHeap`]; `new tracked`
+//! objects get a private region each, so `free` and dangling accesses are
+//! caught by the same generation-checked oracle. External functions
+//! (interfaces like `REGION` or `SOCKET`) are provided by the embedding
+//! through an [`ExternTable`].
+
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod value;
+
+pub use machine::{EvalError, EvalOutcome, ExternFn, ExternTable, Machine, DEFAULT_FUEL};
+pub use value::Value;

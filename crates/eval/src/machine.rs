@@ -1,0 +1,882 @@
+//! The interpreter proper: an environment machine over the AST, with
+//! regions backed by the generation-checked [`RegionHeap`].
+
+use crate::value::{Fields, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+use vault_syntax::ast::{
+    self, BinOp, Expr, ExprKind, PatBinder, Program, Stmt, StmtKind, UnOp,
+};
+use vault_runtime::{RegionError, RegionHeap, RegionId};
+
+/// Default execution budget (statements + expressions).
+pub const DEFAULT_FUEL: u64 = 1_000_000;
+
+/// Evaluation errors. `UseAfterDelete`/`DoubleDelete` are the dynamic
+/// resource faults that the static checker's `V301` rejections predict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// A region object was accessed after its region was deleted.
+    UseAfterDelete,
+    /// A region was deleted twice.
+    DoubleDelete,
+    /// No function or extern with this name.
+    UnknownFunction(String),
+    /// An extern reported a failure.
+    Extern(String),
+    /// Dynamic type confusion (cannot happen for checked programs).
+    Type(String),
+    /// Integer division by zero.
+    DivideByZero,
+    /// The fuel budget was exhausted (runaway loop).
+    OutOfFuel,
+    /// A construct the interpreter does not model.
+    Unsupported(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UseAfterDelete => f.write_str("use after region delete"),
+            EvalError::DoubleDelete => f.write_str("region deleted twice"),
+            EvalError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            EvalError::Extern(m) => write!(f, "extern failure: {m}"),
+            EvalError::Type(m) => write!(f, "dynamic type error: {m}"),
+            EvalError::DivideByZero => f.write_str("division by zero"),
+            EvalError::OutOfFuel => f.write_str("out of fuel"),
+            EvalError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<RegionError> for EvalError {
+    fn from(e: RegionError) -> Self {
+        match e {
+            RegionError::UseAfterDelete | RegionError::InvalidHandle => {
+                EvalError::UseAfterDelete
+            }
+            RegionError::DoubleDelete => EvalError::DoubleDelete,
+        }
+    }
+}
+
+/// An external function provided by the embedding.
+pub type ExternFn = Box<dyn for<'p> FnMut(&mut Machine<'p>, Vec<Value>) -> Result<Value, EvalError>>;
+
+/// Named external functions (the implementations behind signature-only
+/// declarations such as the `REGION` interface).
+#[derive(Default)]
+pub struct ExternTable {
+    map: BTreeMap<String, ExternFn>,
+}
+
+impl ExternTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an extern.
+    pub fn insert(
+        &mut self,
+        name: &str,
+        f: impl for<'p> FnMut(&mut Machine<'p>, Vec<Value>) -> Result<Value, EvalError> + 'static,
+    ) -> &mut Self {
+        self.map.insert(name.to_string(), Box::new(f));
+        self
+    }
+
+    /// A table implementing the paper's `REGION` interface (`create`,
+    /// `delete`) against the machine's region heap.
+    pub fn with_regions() -> Self {
+        let mut t = Self::new();
+        t.insert("create", |m, _args| Ok(Value::Region(m.create_region())));
+        t.insert("delete", |m, mut args| {
+            match args.pop() {
+                Some(Value::Region(r)) => {
+                    m.delete_region(r)?;
+                    Ok(Value::Unit)
+                }
+                other => Err(EvalError::Type(format!(
+                    "delete expects a region, got {:?}",
+                    other.map(|v| v.describe())
+                ))),
+            }
+        });
+        t
+    }
+}
+
+/// The result of a run, with resource accounting.
+#[derive(Debug)]
+pub struct EvalOutcome {
+    /// The entry function's return value, or the fault.
+    pub result: Result<Value, EvalError>,
+    /// Regions still live when the entry function finished (leaks) —
+    /// ambient objects created by the harness are not counted.
+    pub leaked_regions: usize,
+}
+
+impl EvalOutcome {
+    /// Ran to completion with no faults and no leaks.
+    pub fn clean(&self) -> bool {
+        self.result.is_ok() && self.leaked_regions == 0
+    }
+}
+
+enum Flow {
+    Normal,
+    Return(Value),
+}
+
+/// The interpreter.
+pub struct Machine<'p> {
+    fns: BTreeMap<String, &'p ast::FunDecl>,
+    heap: RegionHeap<Fields>,
+    /// Regions created by the harness (excluded from leak accounting).
+    ambient: std::collections::BTreeSet<RegionId>,
+    externs: Option<ExternTable>,
+    fuel: u64,
+}
+
+impl<'p> Machine<'p> {
+    /// Build a machine over a parsed program and an extern table.
+    pub fn new(program: &'p Program, externs: ExternTable) -> Self {
+        let mut fns = BTreeMap::new();
+        for f in program.functions() {
+            fns.insert(f.name.name.clone(), f);
+        }
+        Machine {
+            fns,
+            heap: RegionHeap::new(),
+            ambient: std::collections::BTreeSet::new(),
+            externs: Some(externs),
+            fuel: DEFAULT_FUEL,
+        }
+    }
+
+    /// Override the fuel budget.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// Create a region (used by externs).
+    pub fn create_region(&mut self) -> RegionId {
+        self.heap.create()
+    }
+
+    /// Delete a region (used by externs).
+    pub fn delete_region(&mut self, r: RegionId) -> Result<(), EvalError> {
+        self.heap.delete(r)?;
+        Ok(())
+    }
+
+    /// Allocate an object in a region (used by externs).
+    pub fn alloc_in(&mut self, r: RegionId, fields: Fields) -> Result<Value, EvalError> {
+        let ptr = self.heap.alloc(r, fields)?;
+        Ok(Value::Obj { region: r, ptr })
+    }
+
+    /// Verify an object value is still reachable (externs use this to
+    /// model *reading* their guarded inputs — a deleted backing region
+    /// faults, exactly like a dereference would).
+    pub fn touch_object(&self, v: &Value) -> Result<(), EvalError> {
+        match v {
+            Value::Obj { ptr, .. } => {
+                self.heap.get(*ptr)?;
+                Ok(())
+            }
+            Value::Region(r) => {
+                if self.heap.is_live(*r) {
+                    Ok(())
+                } else {
+                    Err(EvalError::UseAfterDelete)
+                }
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Allocate a harness-owned object (parameters, fixtures); its backing
+    /// region does not count as a leak.
+    pub fn alloc_ambient(&mut self, fields: Fields) -> Value {
+        let r = self.heap.create();
+        self.ambient.insert(r);
+        let ptr = self.heap.alloc(r, fields).expect("fresh region");
+        Value::Obj { region: r, ptr }
+    }
+
+    fn leaked(&self) -> usize {
+        let ambient_live = self
+            .ambient
+            .iter()
+            .filter(|r| self.heap.is_live(**r))
+            .count();
+        self.heap.leaked() - ambient_live
+    }
+
+    /// Run a parameterless-or-supplied-args entry function to completion.
+    pub fn run(&mut self, entry: &str, args: Vec<Value>) -> EvalOutcome {
+        let result = self.call(entry, args);
+        EvalOutcome {
+            result,
+            leaked_regions: self.leaked(),
+        }
+    }
+
+    fn burn(&mut self) -> Result<(), EvalError> {
+        if self.fuel == 0 {
+            return Err(EvalError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    /// Call a function or extern by name.
+    pub fn call(&mut self, name: &str, args: Vec<Value>) -> Result<Value, EvalError> {
+        self.burn()?;
+        if let Some(f) = self.fns.get(name).copied() {
+            if f.body.is_some() {
+                return self.call_decl(f, args);
+            }
+        }
+        // Signature-only: dispatch to the extern table (taken out during
+        // the call so the extern can use the machine).
+        let mut table = self
+            .externs
+            .take()
+            .expect("extern table re-entered");
+        let r = match table.map.get_mut(name) {
+            Some(f) => f(self, args),
+            None => Err(EvalError::UnknownFunction(name.to_string())),
+        };
+        self.externs = Some(table);
+        r
+    }
+
+    fn call_decl(
+        &mut self,
+        f: &'p ast::FunDecl,
+        args: Vec<Value>,
+    ) -> Result<Value, EvalError> {
+        let mut env: Vec<BTreeMap<String, Value>> = vec![BTreeMap::new()];
+        let named: Vec<&ast::FunParam> = f.params.iter().collect();
+        if args.len() != named.len() {
+            return Err(EvalError::Type(format!(
+                "`{}` expects {} argument(s), got {}",
+                f.name,
+                named.len(),
+                args.len()
+            )));
+        }
+        for (p, v) in named.iter().zip(args) {
+            if let Some(n) = &p.name {
+                env[0].insert(n.name.clone(), v);
+            }
+        }
+        let body = f.body.as_ref().expect("checked by caller");
+        match self.exec_block(body, &mut env)? {
+            Flow::Return(v) => Ok(v),
+            Flow::Normal => Ok(Value::Unit),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn exec_block(
+        &mut self,
+        b: &'p ast::Block,
+        env: &mut Vec<BTreeMap<String, Value>>,
+    ) -> Result<Flow, EvalError> {
+        env.push(BTreeMap::new());
+        let mut flow = Flow::Normal;
+        for s in &b.stmts {
+            flow = self.exec_stmt(s, env)?;
+            if matches!(flow, Flow::Return(_)) {
+                break;
+            }
+        }
+        env.pop();
+        Ok(flow)
+    }
+
+    fn exec_stmt(
+        &mut self,
+        s: &'p Stmt,
+        env: &mut Vec<BTreeMap<String, Value>>,
+    ) -> Result<Flow, EvalError> {
+        self.burn()?;
+        match &s.kind {
+            StmtKind::Local { name, init, .. } => {
+                let v = match init {
+                    Some(e) => self.eval(e, env)?,
+                    None => Value::Unit,
+                };
+                env.last_mut().expect("scope").insert(name.name.clone(), v);
+                Ok(Flow::Normal)
+            }
+            StmtKind::NestedFun(f) => {
+                // Nested routines are registered by name; their captures
+                // resolve against the host environment at call time is not
+                // modelled — the kernel simulator is the execution story
+                // for Fig. 7. Calling one here is unsupported.
+                env.last_mut()
+                    .expect("scope")
+                    .insert(f.name.name.clone(), Value::Fn(f.name.name.clone()));
+                Ok(Flow::Normal)
+            }
+            StmtKind::Expr(e) => {
+                self.eval(e, env)?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::Assign { lhs, rhs } => {
+                let v = self.eval(rhs, env)?;
+                self.assign(lhs, v, env)?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::Incr(e) | StmtKind::Decr(e) => {
+                let delta = if matches!(s.kind, StmtKind::Incr(_)) { 1 } else { -1 };
+                let cur = self.eval(e, env)?;
+                let n = cur
+                    .as_int()
+                    .ok_or_else(|| EvalError::Type("++ on a non-integer".into()))?;
+                self.assign(e, Value::Int(n + delta), env)?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let c = self
+                    .eval(cond, env)?
+                    .as_bool()
+                    .ok_or_else(|| EvalError::Type("non-bool condition".into()))?;
+                if c {
+                    self.exec_stmt(then_branch, env)
+                } else if let Some(e) = else_branch {
+                    self.exec_stmt(e, env)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            StmtKind::While { cond, body } => {
+                loop {
+                    self.burn()?;
+                    let c = self
+                        .eval(cond, env)?
+                        .as_bool()
+                        .ok_or_else(|| EvalError::Type("non-bool condition".into()))?;
+                    if !c {
+                        break;
+                    }
+                    if let Flow::Return(v) = self.exec_stmt(body, env)? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::Switch { scrutinee, arms } => {
+                let v = self.eval(scrutinee, env)?;
+                let Value::Variant { ctor, args } = v else {
+                    return Err(EvalError::Type(format!(
+                        "switch on a non-variant ({})",
+                        v.describe()
+                    )));
+                };
+                for arm in arms {
+                    if arm.ctor.name == ctor {
+                        env.push(BTreeMap::new());
+                        for (i, b) in arm.binders.iter().enumerate() {
+                            if let PatBinder::Name(n) = b {
+                                let component = args.get(i).cloned().unwrap_or(Value::Unit);
+                                env.last_mut()
+                                    .expect("scope")
+                                    .insert(n.name.clone(), component);
+                            }
+                        }
+                        let mut flow = Flow::Normal;
+                        for st in &arm.body {
+                            flow = self.exec_stmt(st, env)?;
+                            if matches!(flow, Flow::Return(_)) {
+                                break;
+                            }
+                        }
+                        env.pop();
+                        return Ok(flow);
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval(e, env)?,
+                    None => Value::Unit,
+                };
+                Ok(Flow::Return(v))
+            }
+            StmtKind::Free(e) => {
+                let v = self.eval(e, env)?;
+                match v {
+                    // `new tracked` objects own their private region.
+                    Value::Obj { region, .. } => {
+                        self.heap.delete(region)?;
+                    }
+                    // Heap variants and opaque handles free trivially.
+                    Value::Variant { .. } | Value::Opaque(_) => {}
+                    Value::Region(r) => {
+                        self.heap.delete(r)?;
+                    }
+                    other => {
+                        return Err(EvalError::Type(format!(
+                            "free on {}",
+                            other.describe()
+                        )))
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::Block(b) => self.exec_block(b, env),
+        }
+    }
+
+    fn assign(
+        &mut self,
+        lhs: &'p Expr,
+        v: Value,
+        env: &mut Vec<BTreeMap<String, Value>>,
+    ) -> Result<(), EvalError> {
+        match &lhs.kind {
+            ExprKind::Var(name) => {
+                for frame in env.iter_mut().rev() {
+                    if let Some(slot) = frame.get_mut(&name.name) {
+                        *slot = v;
+                        return Ok(());
+                    }
+                }
+                Err(EvalError::Type(format!("unknown variable `{name}`")))
+            }
+            ExprKind::Field(base, field) => {
+                let b = self.eval(base, env)?;
+                match b {
+                    Value::Obj { ptr, .. } => {
+                        let fields = self.heap.get_mut(ptr)?;
+                        fields.insert(field.name.clone(), v);
+                        Ok(())
+                    }
+                    other => Err(EvalError::Type(format!(
+                        "field assignment on {}",
+                        other.describe()
+                    ))),
+                }
+            }
+            ExprKind::Index(base, idx) => {
+                let b = self.eval(base, env)?;
+                let i = self
+                    .eval(idx, env)?
+                    .as_int()
+                    .ok_or_else(|| EvalError::Type("non-integer index".into()))?;
+                match b {
+                    Value::Array(a) => {
+                        let mut a = a.borrow_mut();
+                        let len = a.len();
+                        let slot = a.get_mut(i as usize).ok_or_else(|| {
+                            EvalError::Type(format!("index {i} out of bounds ({len})"))
+                        })?;
+                        *slot = v;
+                        Ok(())
+                    }
+                    other => Err(EvalError::Type(format!(
+                        "index assignment on {}",
+                        other.describe()
+                    ))),
+                }
+            }
+            _ => Err(EvalError::Type("assignment to a non-place".into())),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    fn eval(
+        &mut self,
+        e: &'p Expr,
+        env: &mut Vec<BTreeMap<String, Value>>,
+    ) -> Result<Value, EvalError> {
+        self.burn()?;
+        match &e.kind {
+            ExprKind::IntLit(n) => Ok(Value::Int(*n)),
+            ExprKind::BoolLit(b) => Ok(Value::Bool(*b)),
+            ExprKind::StrLit(s) => Ok(Value::Str(s.clone())),
+            ExprKind::Var(name) => {
+                for frame in env.iter().rev() {
+                    if let Some(v) = frame.get(&name.name) {
+                        return Ok(v.clone());
+                    }
+                }
+                if self.fns.contains_key(&name.name) {
+                    return Ok(Value::Fn(name.name.clone()));
+                }
+                Err(EvalError::Type(format!("unknown variable `{name}`")))
+            }
+            ExprKind::Field(base, field) => {
+                let b = self.eval(base, env)?;
+                match b {
+                    Value::Obj { ptr, .. } => {
+                        let fields = self.heap.get(ptr)?;
+                        Ok(fields.get(&field.name).cloned().unwrap_or(Value::Unit))
+                    }
+                    other => Err(EvalError::Type(format!(
+                        "field access on {}",
+                        other.describe()
+                    ))),
+                }
+            }
+            ExprKind::Index(base, idx) => {
+                let b = self.eval(base, env)?;
+                let i = self
+                    .eval(idx, env)?
+                    .as_int()
+                    .ok_or_else(|| EvalError::Type("non-integer index".into()))?;
+                match b {
+                    Value::Array(a) => a
+                        .borrow()
+                        .get(i as usize)
+                        .cloned()
+                        .ok_or_else(|| EvalError::Type(format!("index {i} out of bounds"))),
+                    Value::Str(s) => s
+                        .as_bytes()
+                        .get(i as usize)
+                        .map(|b| Value::Int(*b as i64))
+                        .ok_or_else(|| EvalError::Type(format!("index {i} out of bounds"))),
+                    other => Err(EvalError::Type(format!(
+                        "indexing {}",
+                        other.describe()
+                    ))),
+                }
+            }
+            ExprKind::Call { callee, args, .. } => {
+                let name = match &callee.kind {
+                    ExprKind::Var(n) => n.name.clone(),
+                    // Module-qualified: `Region.create`.
+                    ExprKind::Field(base, f)
+                        if matches!(&base.kind, ExprKind::Var(q)
+                            if !env.iter().any(|fr| fr.contains_key(&q.name))) =>
+                    {
+                        f.name.clone()
+                    }
+                    _ => {
+                        return Err(EvalError::Unsupported(
+                            "computed call targets".into(),
+                        ))
+                    }
+                };
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(a, env)?);
+                }
+                self.call(&name, argv)
+            }
+            ExprKind::Ctor { name, args, .. } => {
+                // Keys are erased: a constructor is tag + payload.
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(a, env)?);
+                }
+                Ok(Value::Variant {
+                    ctor: name.name.clone(),
+                    args: argv,
+                })
+            }
+            ExprKind::New {
+                region,
+                inits,
+                ..
+            } => {
+                let mut fields = Fields::new();
+                for init in inits {
+                    let v = self.eval(&init.value, env)?;
+                    fields.insert(init.name.name.clone(), v);
+                }
+                match region {
+                    // `new tracked`: a private region per object so `free`
+                    // and dangling accesses hit the same oracle.
+                    None => {
+                        let r = self.heap.create();
+                        self.alloc_in(r, fields)
+                    }
+                    Some(rexpr) => {
+                        let rv = self.eval(rexpr, env)?;
+                        match rv {
+                            Value::Region(r) => self.alloc_in(r, fields),
+                            other => Err(EvalError::Type(format!(
+                                "allocation from {}",
+                                other.describe()
+                            ))),
+                        }
+                    }
+                }
+            }
+            ExprKind::Unary(op, inner) => {
+                let v = self.eval(inner, env)?;
+                match op {
+                    UnOp::Not => v
+                        .as_bool()
+                        .map(|b| Value::Bool(!b))
+                        .ok_or_else(|| EvalError::Type("! on non-bool".into())),
+                    UnOp::Neg => v
+                        .as_int()
+                        .map(|n| Value::Int(-n))
+                        .ok_or_else(|| EvalError::Type("- on non-int".into())),
+                }
+            }
+            ExprKind::Binary(op, l, r) => {
+                // Short-circuit logic first.
+                if matches!(op, BinOp::And | BinOp::Or) {
+                    let lv = self
+                        .eval(l, env)?
+                        .as_bool()
+                        .ok_or_else(|| EvalError::Type("logic on non-bool".into()))?;
+                    return Ok(Value::Bool(match op {
+                        BinOp::And if !lv => false,
+                        BinOp::Or if lv => true,
+                        _ => self
+                            .eval(r, env)?
+                            .as_bool()
+                            .ok_or_else(|| EvalError::Type("logic on non-bool".into()))?,
+                    }));
+                }
+                let lv = self.eval(l, env)?;
+                let rv = self.eval(r, env)?;
+                self.binop(*op, lv, rv)
+            }
+        }
+    }
+
+    fn binop(&self, op: BinOp, l: Value, r: Value) -> Result<Value, EvalError> {
+        use BinOp::*;
+        if op.is_arith() {
+            let (a, b) = match (l.as_int(), r.as_int()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return Err(EvalError::Type("arithmetic on non-integers".into())),
+            };
+            return Ok(Value::Int(match op {
+                Add => a.wrapping_add(b),
+                Sub => a.wrapping_sub(b),
+                Mul => a.wrapping_mul(b),
+                Div => {
+                    if b == 0 {
+                        return Err(EvalError::DivideByZero);
+                    }
+                    a.wrapping_div(b)
+                }
+                Rem => {
+                    if b == 0 {
+                        return Err(EvalError::DivideByZero);
+                    }
+                    a.wrapping_rem(b)
+                }
+                _ => unreachable!(),
+            }));
+        }
+        let result = match (op, &l, &r) {
+            (Eq, a, b) => a == b,
+            (Ne, a, b) => a != b,
+            (Lt, Value::Int(a), Value::Int(b)) => a < b,
+            (Le, Value::Int(a), Value::Int(b)) => a <= b,
+            (Gt, Value::Int(a), Value::Int(b)) => a > b,
+            (Ge, Value::Int(a), Value::Int(b)) => a >= b,
+            _ => {
+                return Err(EvalError::Type(format!(
+                    "cannot compare {} with {}",
+                    l.describe(),
+                    r.describe()
+                )))
+            }
+        };
+        Ok(Value::Bool(result))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vault_syntax::{parse_program, DiagSink};
+
+    fn machine_for(src: &str, externs: ExternTable) -> (Program, ExternTable) {
+        let mut diags = DiagSink::new();
+        let p = parse_program(src, &mut diags);
+        assert!(!diags.has_errors(), "{:?}", diags.diagnostics());
+        (p, externs)
+    }
+
+    #[test]
+    fn arithmetic_and_control_flow() {
+        let (p, ext) = machine_for(
+            "int fib(int n) {
+               if (n <= 1) { return n; }
+               return fib(n - 1) + fib(n - 2);
+             }",
+            ExternTable::new(),
+        );
+        let mut m = Machine::new(&p, ext);
+        let out = m.run("fib", vec![Value::Int(10)]);
+        assert_eq!(out.result, Ok(Value::Int(55)));
+        assert!(out.clean());
+    }
+
+    #[test]
+    fn while_loop_and_assignment() {
+        let (p, ext) = machine_for(
+            "int sum_to(int n) {
+               int acc = 0;
+               while (n > 0) {
+                 acc = acc + n;
+                 n = n - 1;
+               }
+               return acc;
+             }",
+            ExternTable::new(),
+        );
+        let mut m = Machine::new(&p, ext);
+        assert_eq!(
+            m.run("sum_to", vec![Value::Int(100)]).result,
+            Ok(Value::Int(5050))
+        );
+    }
+
+    #[test]
+    fn structs_and_free() {
+        let (p, ext) = machine_for(
+            "struct point { int x; int y; }
+             int f() {
+               tracked(K) point p = new tracked point {x=3; y=4;};
+               p.x++;
+               int r = p.x * p.y;
+               free(p);
+               return r;
+             }",
+            ExternTable::new(),
+        );
+        let mut m = Machine::new(&p, ext);
+        let out = m.run("f", vec![]);
+        assert_eq!(out.result, Ok(Value::Int(16)));
+        assert_eq!(out.leaked_regions, 0);
+    }
+
+    #[test]
+    fn use_after_free_faults() {
+        let (p, ext) = machine_for(
+            "struct point { int x; int y; }
+             int f() {
+               tracked(K) point p = new tracked point {x=3; y=4;};
+               free(p);
+               return p.x;
+             }",
+            ExternTable::new(),
+        );
+        let mut m = Machine::new(&p, ext);
+        assert_eq!(m.run("f", vec![]).result, Err(EvalError::UseAfterDelete));
+    }
+
+    #[test]
+    fn leak_is_counted() {
+        let (p, ext) = machine_for(
+            "struct point { int x; int y; }
+             void f() {
+               tracked(K) point p = new tracked point {x=1; y=1;};
+             }",
+            ExternTable::new(),
+        );
+        let mut m = Machine::new(&p, ext);
+        let out = m.run("f", vec![]);
+        assert_eq!(out.result, Ok(Value::Unit));
+        assert_eq!(out.leaked_regions, 1);
+        assert!(!out.clean());
+    }
+
+    #[test]
+    fn variants_and_switch() {
+        let (p, ext) = machine_for(
+            "variant opt [ 'None | 'Some(int) ];
+             int get(opt o, int dflt) {
+               switch (o) {
+                 case 'None:
+                   return dflt;
+                 case 'Some(v):
+                   return v + 1;
+               }
+               return dflt;
+             }
+             int main_like() {
+               return get('Some(41), 0) + get('None, 7);
+             }",
+            ExternTable::new(),
+        );
+        let mut m = Machine::new(&p, ext);
+        assert_eq!(m.run("main_like", vec![]).result, Ok(Value::Int(49)));
+    }
+
+    #[test]
+    fn externs_are_dispatched() {
+        let (p, mut ext) = machine_for(
+            "int triple(int x);
+             int f() { return triple(14); }",
+            ExternTable::new(),
+        );
+        ext.insert("triple", |_m, args| {
+            Ok(Value::Int(args[0].as_int().unwrap() * 3))
+        });
+        let mut m = Machine::new(&p, ext);
+        assert_eq!(m.run("f", vec![]).result, Ok(Value::Int(42)));
+    }
+
+    #[test]
+    fn fuel_stops_runaway_loops() {
+        let (p, ext) = machine_for(
+            "void spin(bool b) { while (b) { } }",
+            ExternTable::new(),
+        );
+        let mut m = Machine::new(&p, ext);
+        m.set_fuel(10_000);
+        assert_eq!(
+            m.run("spin", vec![Value::Bool(true)]).result,
+            Err(EvalError::OutOfFuel)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_faults() {
+        let (p, ext) = machine_for("int f(int a) { return a / 0; }", ExternTable::new());
+        let mut m = Machine::new(&p, ext);
+        assert_eq!(
+            m.run("f", vec![Value::Int(5)]).result,
+            Err(EvalError::DivideByZero)
+        );
+    }
+
+    #[test]
+    fn short_circuit_logic() {
+        let (p, ext) = machine_for(
+            "bool f(bool a) { return a || boom(); }
+             bool boom();",
+            ExternTable::new(),
+        );
+        let mut m = Machine::new(&p, ext);
+        // `boom` is an unknown extern, but short-circuiting avoids it.
+        assert_eq!(
+            m.run("f", vec![Value::Bool(true)]).result,
+            Ok(Value::Bool(true))
+        );
+        assert_eq!(
+            m.run("f", vec![Value::Bool(false)]).result,
+            Err(EvalError::UnknownFunction("boom".into()))
+        );
+    }
+}

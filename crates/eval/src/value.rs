@@ -1,0 +1,142 @@
+//! Runtime values. Keys have no representation (paper §2.1): a tracked
+//! object is just a handle into the region heap, a keyed variant is just a
+//! tag plus payload.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use vault_runtime::{RegionId, RegionPtr};
+
+/// A struct object's fields.
+pub type Fields = BTreeMap<String, Value>;
+
+/// A runtime value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `void` / no value.
+    Unit,
+    /// Integers (also `byte`).
+    Int(i64),
+    /// Booleans.
+    Bool(bool),
+    /// Strings.
+    Str(String),
+    /// Arrays (shared, mutable).
+    Array(std::rc::Rc<std::cell::RefCell<Vec<Value>>>),
+    /// A heap/region object: fields live in the region heap.
+    Obj {
+        /// The region holding the object.
+        region: RegionId,
+        /// Handle to its field map.
+        ptr: RegionPtr<Fields>,
+    },
+    /// A region handle itself (the `region` abstract type).
+    Region(RegionId),
+    /// A variant value: constructor tag plus payload (keys erased).
+    Variant {
+        /// Constructor name, without the tick.
+        ctor: String,
+        /// Component values.
+        args: Vec<Value>,
+    },
+    /// An opaque token produced by an extern (abstract types).
+    Opaque(String),
+    /// A numbered handle into an extern-managed substrate (e.g. a socket
+    /// id in the network simulator).
+    Handle {
+        /// What kind of handle (diagnostics + extern-side checking).
+        kind: String,
+        /// The substrate-side identifier.
+        id: u64,
+    },
+    /// A function value (named function or nested routine).
+    Fn(String),
+}
+
+impl Value {
+    /// The integer inside, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean inside, if any.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Short type-ish description for error messages.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            Value::Unit => "void",
+            Value::Int(_) => "int",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Obj { .. } => "object",
+            Value::Region(_) => "region",
+            Value::Variant { .. } => "variant",
+            Value::Opaque(_) => "opaque",
+            Value::Handle { .. } => "handle",
+            Value::Fn(_) => "function",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => f.write_str("()"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Array(a) => write!(f, "[{} elements]", a.borrow().len()),
+            Value::Obj { .. } => f.write_str("<object>"),
+            Value::Region(_) => f.write_str("<region>"),
+            Value::Variant { ctor, args } => {
+                write!(f, "'{ctor}")?;
+                if !args.is_empty() {
+                    write!(f, "(")?;
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Value::Opaque(tag) => write!(f, "<{tag}>"),
+            Value::Handle { kind, id } => write!(f, "<{kind} #{id}>"),
+            Value::Fn(name) => write!(f, "<fn {name}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(7).as_bool(), None);
+        assert_eq!(Value::Unit.describe(), "void");
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Value::Variant {
+            ctor: "Some".into(),
+            args: vec![Value::Int(3)],
+        };
+        assert_eq!(v.to_string(), "'Some(3)");
+        assert_eq!(Value::Str("hi".into()).to_string(), "\"hi\"");
+    }
+}

@@ -1,0 +1,272 @@
+//! Execute the region-family corpus programs and compare the dynamic
+//! outcome with the static verdict — the paper's soundness story, run.
+//!
+//! * Every statically **accepted** program runs clean (no faults, no
+//!   leaks).
+//! * `fig2_dangling` faults with use-after-delete, `fig2_leaky` leaks,
+//!   `region_double_delete` double-deletes — exactly what `V301`/`V304`
+//!   predicted.
+//! * `fig4_anonymized` and `fig5_join_reject` run **clean** dynamically:
+//!   they are the paper's conservative rejections (Fig. 5: "this program
+//!   is, in fact, memory-safe"; §2.4: the checker merely *loses track* of
+//!   which key guards which region).
+
+use vault_core::{check_source, Verdict};
+
+use vault_eval::{EvalError, ExternTable, Machine, Value};
+use vault_syntax::{parse_program, DiagSink};
+
+fn run_region_program(src: &str, entry: &str) -> vault_eval::EvalOutcome {
+    let mut diags = DiagSink::new();
+    let program = parse_program(src, &mut diags);
+    assert!(!diags.has_errors(), "{:?}", diags.diagnostics());
+    let mut m = Machine::new(&program, ExternTable::with_regions());
+    m.run(entry, vec![])
+}
+
+fn corpus(id: &str) -> vault_corpus::CorpusProgram {
+    vault_corpus::all_programs()
+        .into_iter()
+        .find(|p| p.id == id)
+        .unwrap_or_else(|| panic!("no corpus program `{id}`"))
+}
+
+#[test]
+fn fig2_okay_accepted_and_runs_clean() {
+    let p = corpus("fig2_okay");
+    assert_eq!(check_source(p.id, &p.source).verdict(), Verdict::Accepted);
+    let out = run_region_program(&p.source, "okay");
+    assert_eq!(out.result, Ok(Value::Unit));
+    assert!(out.clean(), "leaked {}", out.leaked_regions);
+}
+
+#[test]
+fn fig2_dangling_rejected_and_faults() {
+    let p = corpus("fig2_dangling");
+    assert_eq!(check_source(p.id, &p.source).verdict(), Verdict::Rejected);
+    let out = run_region_program(&p.source, "dangling");
+    assert_eq!(out.result, Err(EvalError::UseAfterDelete));
+}
+
+#[test]
+fn fig2_leaky_rejected_and_leaks() {
+    let p = corpus("fig2_leaky");
+    assert_eq!(check_source(p.id, &p.source).verdict(), Verdict::Rejected);
+    let out = run_region_program(&p.source, "leaky");
+    assert_eq!(out.result, Ok(Value::Unit));
+    assert_eq!(out.leaked_regions, 1, "the region must leak");
+}
+
+#[test]
+fn double_delete_rejected_and_faults() {
+    let p = corpus("region_double_delete");
+    assert_eq!(check_source(p.id, &p.source).verdict(), Verdict::Rejected);
+    let out = run_region_program(&p.source, "twice");
+    assert_eq!(out.result, Err(EvalError::DoubleDelete));
+}
+
+#[test]
+fn alias_delete_rejected_and_faults() {
+    let p = corpus("region_alias_delete");
+    let out = run_region_program(&p.source, "alias");
+    assert_eq!(out.result, Err(EvalError::UseAfterDelete));
+}
+
+#[test]
+fn fig4_roundtrip_accepted_and_runs_clean() {
+    let p = corpus("fig4_roundtrip_consume");
+    assert_eq!(check_source(p.id, &p.source).verdict(), Verdict::Accepted);
+    let out = run_region_program(&p.source, "main");
+    assert_eq!(out.result, Ok(Value::Unit));
+    assert!(out.clean());
+}
+
+#[test]
+fn fig4_fix_accepted_and_runs_clean() {
+    let p = corpus("fig4_fix_pairs");
+    let out = run_region_program(&p.source, "main");
+    assert_eq!(out.result, Ok(Value::Unit));
+    assert!(out.clean());
+}
+
+#[test]
+fn fig4_anonymized_is_a_conservative_rejection() {
+    // §2.4: the program is dynamically safe — the checker rejects it only
+    // because the key identity was lost through the collection.
+    let p = corpus("fig4_anonymized");
+    assert_eq!(check_source(p.id, &p.source).verdict(), Verdict::Rejected);
+    let out = run_region_program(&p.source, "main");
+    assert_eq!(out.result, Ok(Value::Unit));
+    assert!(out.clean(), "dynamically safe, as the paper says");
+}
+
+#[test]
+fn fig5_join_reject_faults_under_a_strict_oracle() {
+    // The paper calls Fig. 5 "in fact, memory-safe", but its second test
+    // re-reads `pt.x` *after* the then-branch deleted the region. Under
+    // our generation-checked oracle that read is a use-after-delete — the
+    // static rejection is not even conservative here.
+    let p = corpus("fig5_join_reject");
+    assert_eq!(check_source(p.id, &p.source).verdict(), Verdict::Rejected);
+    let out = run_region_program(&p.source, "main");
+    assert_eq!(out.result, Err(EvalError::UseAfterDelete));
+}
+
+#[test]
+fn fig5_cached_variant_is_the_true_conservative_rejection() {
+    // The memory-safe version the paper intends: the correlated value is
+    // cached in a local before the region may be deleted. Dynamically
+    // clean — yet still rejected at the join point, because the held-key
+    // sets disagree (the paper's actual point).
+    let src = "
+interface REGION {
+  type region;
+  tracked(R) region create() [new R];
+  void delete(tracked(R) region) [-R];
+}
+struct point { int x; int y; }
+void main() {
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {x=4; y=2;};
+  int cached = pt.x;
+  if (cached > 0) {
+    pt.y = 0;
+    Region.delete(rgn);
+  } else {
+    pt.y = cached;
+  }
+  if (cached <= 0)
+    Region.delete(rgn);
+}";
+    let r = check_source("fig5_cached", src);
+    assert_eq!(r.verdict(), Verdict::Rejected);
+    assert!(r.has_code(vault_syntax::Code::JoinMismatch));
+    let out = run_region_program(src, "main");
+    assert_eq!(out.result, Ok(Value::Unit));
+    assert!(out.clean(), "memory-safe, exactly as the paper states");
+}
+
+#[test]
+fn fig5_variant_fix_accepted_and_runs_clean() {
+    let p = corpus("fig5_variant_fix");
+    let out = run_region_program(&p.source, "main");
+    assert_eq!(out.result, Ok(Value::Unit));
+    assert!(out.clean());
+}
+
+// ---------------------------------------------------------------------
+// X1: the staged pipeline, executed
+// ---------------------------------------------------------------------
+
+fn pipeline_externs() -> ExternTable {
+    let mut t = ExternTable::with_regions();
+    // Each stage reads its guarded input (faulting if the stage region is
+    // gone) and allocates its output in the given stage region.
+    let stage_fn = |name: &'static str| {
+        move |m: &mut Machine<'_>, args: Vec<Value>| {
+            // args[0] is the stage region; later args are guarded inputs.
+            for input in &args[1..] {
+                m.touch_object(input)?;
+            }
+            match &args[0] {
+                Value::Region(r) => {
+                    let mut fields = vault_eval::value::Fields::new();
+                    fields.insert("stage".into(), Value::Str(name.into()));
+                    m.alloc_in(*r, fields)
+                }
+                other => Err(EvalError::Type(format!(
+                    "{name} expects a region, got {}",
+                    other.describe()
+                ))),
+            }
+        }
+    };
+    t.insert("lex", stage_fn("lex"));
+    t.insert("parse", stage_fn("parse"));
+    t.insert("typecheck", stage_fn("typecheck"));
+    t.insert("emit", stage_fn("emit"));
+    t.insert("write_output", |m: &mut Machine<'_>, args: Vec<Value>| {
+        m.touch_object(&args[0])?;
+        Ok(Value::Unit)
+    });
+    t
+}
+
+fn run_pipeline(src: &str) -> vault_eval::EvalOutcome {
+    let mut diags = DiagSink::new();
+    let program = parse_program(src, &mut diags);
+    assert!(!diags.has_errors());
+    let mut m = Machine::new(&program, pipeline_externs());
+    m.run("compile", vec![Value::Str("void f() {}".into())])
+}
+
+#[test]
+fn pipeline_staged_regions_runs_clean() {
+    let p = corpus("pipeline_staged_regions");
+    assert_eq!(check_source(p.id, &p.source).verdict(), Verdict::Accepted);
+    let out = run_pipeline(&p.source);
+    assert_eq!(out.result, Ok(Value::Unit));
+    assert!(out.clean(), "leaked {}", out.leaked_regions);
+}
+
+#[test]
+fn pipeline_freed_too_early_faults_dynamically() {
+    let p = corpus("pipeline_stage_freed_too_early");
+    assert_eq!(check_source(p.id, &p.source).verdict(), Verdict::Rejected);
+    let out = run_pipeline(&p.source);
+    assert_eq!(out.result, Err(EvalError::UseAfterDelete));
+}
+
+#[test]
+fn pipeline_leak_leaks_dynamically() {
+    let p = corpus("pipeline_stage_leaked");
+    let out = run_pipeline(&p.source);
+    assert_eq!(out.result, Ok(Value::Unit));
+    assert!(out.leaked_regions >= 1);
+}
+
+// ---------------------------------------------------------------------
+// X2: failure-aware allocation, executed on both extern behaviours
+// ---------------------------------------------------------------------
+
+fn allocfail_externs(succeed: bool) -> ExternTable {
+    let mut t = ExternTable::with_regions();
+    t.insert("try_new_point", move |m: &mut Machine<'_>, args: Vec<Value>| {
+        match &args[0] {
+            Value::Region(r) if succeed => {
+                let mut fields = vault_eval::value::Fields::new();
+                fields.insert("x".into(), args[1].clone());
+                fields.insert("y".into(), args[2].clone());
+                let obj = m.alloc_in(*r, fields)?;
+                Ok(Value::Variant {
+                    ctor: "Alloc".into(),
+                    args: vec![obj],
+                })
+            }
+            Value::Region(_) => Ok(Value::Variant {
+                ctor: "OutOfMemory".into(),
+                args: vec![],
+            }),
+            other => Err(EvalError::Type(format!(
+                "try_new_point expects a region, got {}",
+                other.describe()
+            ))),
+        }
+    });
+    t
+}
+
+#[test]
+fn allocfail_checked_runs_clean_on_both_outcomes() {
+    let p = corpus("allocfail_checked");
+    assert_eq!(check_source(p.id, &p.source).verdict(), Verdict::Accepted);
+    for succeed in [true, false] {
+        let mut diags = DiagSink::new();
+        let program = parse_program(&p.source, &mut diags);
+        assert!(!diags.has_errors());
+        let mut m = Machine::new(&program, allocfail_externs(succeed));
+        let out = m.run("robust", vec![]);
+        assert_eq!(out.result, Ok(Value::Unit), "succeed={succeed}");
+        assert!(out.clean(), "succeed={succeed}");
+    }
+}

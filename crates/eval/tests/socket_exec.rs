@@ -1,0 +1,256 @@
+//! Execute the Fig. 3 socket corpus through the interpreter, backed by
+//! the in-memory network simulator: the E2 differential, operational.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use vault_core::{check_source, Verdict};
+use vault_eval::{EvalError, ExternTable, Machine, Value};
+use vault_runtime::{CommStyle, Domain, Network, SockId, SocketError};
+use vault_syntax::{parse_program, DiagSink};
+
+/// The socket world an interpreted program runs against: the simulator
+/// plus a friendly environment that connects a client (and sends one
+/// message) whenever the program starts listening, so `accept` and
+/// `receive` have work to do.
+struct SocketWorld {
+    net: Network,
+    /// Sockets created by the environment, excluded from leak counting.
+    harness: Vec<SockId>,
+    /// id ↔ SockId mapping (handles are plain u64s).
+    socks: Vec<SockId>,
+}
+
+impl SocketWorld {
+    fn handle(&mut self, s: SockId) -> Value {
+        self.socks.push(s);
+        Value::Handle {
+            kind: "sock".into(),
+            id: self.socks.len() as u64 - 1,
+        }
+    }
+
+    fn resolve(&self, v: &Value) -> Result<SockId, EvalError> {
+        match v {
+            Value::Handle { kind, id } if kind == "sock" => self
+                .socks
+                .get(*id as usize)
+                .copied()
+                .ok_or_else(|| EvalError::Extern("bad socket handle".into())),
+            other => Err(EvalError::Type(format!(
+                "expected a socket, got {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    fn program_leaks(&self) -> usize {
+        let harness_live = self
+            .harness
+            .iter()
+            .filter(|s| {
+                self.net
+                    .state(**s)
+                    .map(|st| st != vault_runtime::SockState::Closed)
+                    .unwrap_or(false)
+            })
+            .count();
+        self.net.leaked() - harness_live
+    }
+}
+
+fn map_err(e: SocketError) -> EvalError {
+    EvalError::Extern(e.to_string())
+}
+
+fn socket_externs(world: Rc<RefCell<SocketWorld>>) -> ExternTable {
+    let mut t = ExternTable::new();
+    {
+        let w = world.clone();
+        t.insert("socket", move |_m, _args| {
+            let mut w = w.borrow_mut();
+            let s = w.net.socket(Domain::Unix, CommStyle::Stream);
+            Ok(w.handle(s))
+        });
+    }
+    {
+        let w = world.clone();
+        t.insert("bind", move |m, args| {
+            let mut w = w.borrow_mut();
+            let s = w.resolve(&args[0])?;
+            m.touch_object(&args[1])?;
+            w.net.bind(s, 4242).map_err(map_err)?;
+            Ok(Value::Unit)
+        });
+    }
+    {
+        let w = world.clone();
+        t.insert("listen", move |_m, args| {
+            let mut w = w.borrow_mut();
+            let s = w.resolve(&args[0])?;
+            w.net.listen(s, 8).map_err(map_err)?;
+            // The environment: a client connects, so the program's accept
+            // has something to do (it says hello once accepted).
+            let client = w.net.socket(Domain::Unix, CommStyle::Stream);
+            w.harness.push(client);
+            w.net.connect(client, 4242).map_err(map_err)?;
+            Ok(Value::Unit)
+        });
+    }
+    {
+        let w = world.clone();
+        t.insert("accept", move |m, args| {
+            let mut w = w.borrow_mut();
+            let s = w.resolve(&args[0])?;
+            m.touch_object(&args[1])?;
+            let conn = w.net.accept(s).map_err(map_err)?;
+            // The connected environment client greets the server so a
+            // following `receive` has a message waiting.
+            if let Some(&client) = w.harness.last() {
+                w.net.send(client, b"hello").map_err(map_err)?;
+            }
+            Ok(w.handle(conn))
+        });
+    }
+    {
+        let w = world.clone();
+        t.insert("receive", move |_m, args| {
+            let mut w = w.borrow_mut();
+            let s = w.resolve(&args[0])?;
+            w.net.receive(s).map_err(map_err)?;
+            Ok(Value::Unit)
+        });
+    }
+    {
+        let w = world.clone();
+        t.insert("close", move |_m, args| {
+            let mut w = w.borrow_mut();
+            let s = w.resolve(&args[0])?;
+            w.net.close(s).map_err(map_err)?;
+            Ok(Value::Unit)
+        });
+    }
+    t
+}
+
+struct SockRun {
+    result: Result<Value, EvalError>,
+    program_leaks: usize,
+    violations: u64,
+}
+
+fn run_socket_program(src: &str, entry: &str, args: Vec<Value>) -> SockRun {
+    let mut diags = DiagSink::new();
+    let program = parse_program(src, &mut diags);
+    assert!(!diags.has_errors(), "{:?}", diags.diagnostics());
+    let world = Rc::new(RefCell::new(SocketWorld {
+        net: Network::new(),
+        harness: Vec::new(),
+        socks: Vec::new(),
+    }));
+    let mut m = Machine::new(&program, socket_externs(world.clone()));
+    let out = m.run(entry, args);
+    let w = world.borrow();
+    SockRun {
+        result: out.result,
+        program_leaks: w.program_leaks(),
+        violations: w.net.stats().violations,
+    }
+}
+
+fn corpus(id: &str) -> vault_corpus::CorpusProgram {
+    vault_corpus::programs_for("E2")
+        .into_iter()
+        .find(|p| p.id == id)
+        .unwrap()
+}
+
+fn entry_args(m: &mut Machine<'_>, addr_count: usize, with_buf: bool) -> Vec<Value> {
+    let mut args = Vec::new();
+    for _ in 0..addr_count {
+        let mut fields = vault_eval::value::Fields::new();
+        fields.insert("addr".into(), Value::Int(1));
+        fields.insert("port".into(), Value::Int(4242));
+        args.push(m.alloc_ambient(fields));
+    }
+    if with_buf {
+        args.push(Value::Array(Rc::new(RefCell::new(vec![Value::Int(0); 16]))));
+    }
+    args
+}
+
+fn run_with_fresh_args(id: &str, entry: &str, addrs: usize, buf: bool) -> SockRun {
+    let p = corpus(id);
+    let mut diags = DiagSink::new();
+    let program = parse_program(&p.source, &mut diags);
+    assert!(!diags.has_errors());
+    let world = Rc::new(RefCell::new(SocketWorld {
+        net: Network::new(),
+        harness: Vec::new(),
+        socks: Vec::new(),
+    }));
+    let mut m = Machine::new(&program, socket_externs(world.clone()));
+    let args = entry_args(&mut m, addrs, buf);
+    let out = m.run(entry, args);
+    let w = world.borrow();
+    SockRun {
+        result: out.result,
+        program_leaks: w.program_leaks(),
+        violations: w.net.stats().violations,
+    }
+}
+
+#[test]
+fn sock_server_ok_accepted_and_runs_clean() {
+    let p = corpus("sock_server_ok");
+    assert_eq!(check_source(p.id, &p.source).verdict(), Verdict::Accepted);
+    let run = run_with_fresh_args("sock_server_ok", "server", 1, true);
+    assert_eq!(run.result, Ok(Value::Unit), "{:?}", run.result);
+    assert_eq!(run.program_leaks, 0);
+    assert_eq!(run.violations, 0);
+}
+
+#[test]
+fn sock_skip_bind_rejected_and_faults() {
+    let p = corpus("sock_skip_bind");
+    assert_eq!(check_source(p.id, &p.source).verdict(), Verdict::Rejected);
+    let run = run_with_fresh_args("sock_skip_bind", "bad", 1, false);
+    assert!(
+        matches!(&run.result, Err(EvalError::Extern(m)) if m.contains("named")),
+        "{:?}",
+        run.result
+    );
+    assert!(run.violations >= 1);
+}
+
+#[test]
+fn sock_recv_unready_rejected_and_faults() {
+    let run = run_with_fresh_args("sock_recv_unready", "bad", 1, true);
+    assert!(
+        matches!(&run.result, Err(EvalError::Extern(m)) if m.contains("ready")),
+        "{:?}",
+        run.result
+    );
+}
+
+#[test]
+fn sock_leak_rejected_and_leaks() {
+    let run = run_with_fresh_args("sock_leak", "bad", 1, false);
+    assert_eq!(run.result, Ok(Value::Unit));
+    assert_eq!(run.program_leaks, 1, "the raw socket must leak");
+}
+
+#[test]
+fn run_socket_program_helper_smoke() {
+    // Direct use of the lower-level helper for a minimal program.
+    let run = run_socket_program(
+        "type sock;
+         tracked(S) sock socket_raw() [new S];
+         void close(tracked(S) sock s) [-S];
+         tracked(S) sock socket(int a, int b, int c) [new S];
+         void noop() { }",
+        "noop",
+        vec![],
+    );
+    assert_eq!(run.result, Ok(Value::Unit));
+    assert_eq!(run.program_leaks, 0);
+}

@@ -1,0 +1,857 @@
+//! The floppy disk device model and its driver — the executable twin of
+//! the Vault driver in `vault-corpus` (paper §4 case study).
+//!
+//! [`FloppyDriver`] exercises every protocol the static checker enforces:
+//! the IRP ownership discipline, spin locks around controller state, the
+//! Fig. 7 completion-routine idiom for PnP, paged configuration data, and
+//! a motor protocol. [`FloppyBugs`] seeds the same bug classes as the
+//! corpus mutants so the detection matrix (experiment E12) can compare the
+//! static and dynamic verdicts.
+
+use crate::kernel::{
+    CompletionDisposition, DeviceId, Driver, DriverStatus, IrpId, Kernel, Major, NtStatus,
+    PagedId, SpinLockId,
+};
+use std::collections::VecDeque;
+
+/// Floppy geometry: 80 cylinders × 18 sectors × 512 bytes (1.44 MB).
+pub const CYLINDERS: usize = 80;
+/// Sectors per track.
+pub const SECTORS_PER_TRACK: usize = 18;
+/// Bytes per sector.
+pub const BYTES_PER_SECTOR: usize = 512;
+
+/// Motor protocol states (the `MOTOR` stateset of the Vault driver).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MotorState {
+    /// Spun down.
+    Off,
+    /// Spinning, ready for transfers.
+    Spinning,
+}
+
+/// The floppy disk mechanism: media, motor, and head position.
+pub struct FloppyDisk {
+    data: Vec<u8>,
+    motor: MotorState,
+    cylinder: usize,
+    media_present: bool,
+    /// Seeks performed (benchmarks).
+    pub seeks: u64,
+    /// Sectors transferred.
+    pub transfers: u64,
+}
+
+impl FloppyDisk {
+    /// A formatted, empty disk with the motor off.
+    pub fn new() -> Self {
+        FloppyDisk {
+            data: vec![0; CYLINDERS * SECTORS_PER_TRACK * BYTES_PER_SECTOR],
+            motor: MotorState::Off,
+            cylinder: 0,
+            media_present: true,
+            seeks: 0,
+            transfers: 0,
+        }
+    }
+
+    /// Whether a disk is in the drive.
+    pub fn media_present(&self) -> bool {
+        self.media_present
+    }
+
+    /// Eject or insert media (workload control).
+    pub fn set_media(&mut self, present: bool) {
+        self.media_present = present;
+    }
+
+    /// Format (zero-fill) one track. Requires the motor spinning and a
+    /// seek to the cylinder, like any transfer.
+    pub fn format_track(&mut self, cylinder: usize) -> Result<(), &'static str> {
+        if self.motor != MotorState::Spinning {
+            return Err("format with the motor off");
+        }
+        if cylinder != self.cylinder {
+            return Err("format without seeking to the cylinder");
+        }
+        if cylinder >= CYLINDERS {
+            return Err("format beyond the last cylinder");
+        }
+        let start = cylinder * SECTORS_PER_TRACK * BYTES_PER_SECTOR;
+        let end = start + SECTORS_PER_TRACK * BYTES_PER_SECTOR;
+        self.data[start..end].fill(0);
+        self.transfers += SECTORS_PER_TRACK as u64;
+        Ok(())
+    }
+
+    /// Current motor state.
+    pub fn motor(&self) -> MotorState {
+        self.motor
+    }
+
+    /// Spin the motor up. Errors if already spinning (protocol).
+    pub fn start_motor(&mut self) -> Result<(), &'static str> {
+        if self.motor == MotorState::Spinning {
+            return Err("motor started while already spinning");
+        }
+        self.motor = MotorState::Spinning;
+        Ok(())
+    }
+
+    /// Spin the motor down. Errors if already off.
+    pub fn stop_motor(&mut self) -> Result<(), &'static str> {
+        if self.motor == MotorState::Off {
+            return Err("motor stopped while already off");
+        }
+        self.motor = MotorState::Off;
+        Ok(())
+    }
+
+    /// Move the head. Requires the motor spinning.
+    pub fn seek(&mut self, cylinder: usize) -> Result<(), &'static str> {
+        if self.motor != MotorState::Spinning {
+            return Err("seek with the motor off");
+        }
+        if cylinder >= CYLINDERS {
+            return Err("seek beyond the last cylinder");
+        }
+        if cylinder != self.cylinder {
+            self.cylinder = cylinder;
+            self.seeks += 1;
+        }
+        Ok(())
+    }
+
+    fn sector_range(
+        &self,
+        cylinder: usize,
+        sector: usize,
+    ) -> Result<std::ops::Range<usize>, &'static str> {
+        if cylinder >= CYLINDERS || sector >= SECTORS_PER_TRACK {
+            return Err("sector address out of range");
+        }
+        let start = (cylinder * SECTORS_PER_TRACK + sector) * BYTES_PER_SECTOR;
+        Ok(start..start + BYTES_PER_SECTOR)
+    }
+
+    /// Read one sector. Requires the motor spinning and the head on the
+    /// right cylinder.
+    pub fn read_sector(
+        &mut self,
+        cylinder: usize,
+        sector: usize,
+    ) -> Result<Vec<u8>, &'static str> {
+        if self.motor != MotorState::Spinning {
+            return Err("read with the motor off");
+        }
+        if cylinder != self.cylinder {
+            return Err("read without seeking to the cylinder");
+        }
+        let range = self.sector_range(cylinder, sector)?;
+        self.transfers += 1;
+        Ok(self.data[range].to_vec())
+    }
+
+    /// Write one sector (same preconditions as reads).
+    pub fn write_sector(
+        &mut self,
+        cylinder: usize,
+        sector: usize,
+        bytes: &[u8],
+    ) -> Result<(), &'static str> {
+        if self.motor != MotorState::Spinning {
+            return Err("write with the motor off");
+        }
+        if cylinder != self.cylinder {
+            return Err("write without seeking to the cylinder");
+        }
+        let range = self.sector_range(cylinder, sector)?;
+        let n = bytes.len().min(BYTES_PER_SECTOR);
+        self.data[range.start..range.start + n].copy_from_slice(&bytes[..n]);
+        self.transfers += 1;
+        Ok(())
+    }
+}
+
+impl Default for FloppyDisk {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// IOCTL codes understood by the driver.
+pub mod ioctl {
+    /// Query the media/data-rate configuration.
+    pub const GET_MEDIA_TYPES: u32 = 1;
+    /// Set the data rate (writes the paged configuration).
+    pub const SET_DATA_RATE: u32 = 2;
+    /// Format a range of tracks (offset = first cylinder, length = count).
+    pub const FORMAT_TRACKS: u32 = 3;
+    /// Query whether media is present.
+    pub const CHECK_MEDIA: u32 = 4;
+    /// Drive the start-I/O path: drain the pending queue.
+    pub const PROCESS_QUEUE: u32 = 99;
+}
+
+/// Seeded bug switches, one per corpus mutant / protocol category.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FloppyBugs {
+    /// Don't release the controller spin lock in read/write.
+    pub skip_release: bool,
+    /// Mark an invalid request pending but never queue it (lost IRP).
+    pub drop_irp: bool,
+    /// Touch the IRP after passing it down (power path).
+    pub use_after_pass: bool,
+    /// Complete the PnP IRP without waiting for the completion event.
+    pub no_wait: bool,
+    /// Touch the paged config while holding the spin lock.
+    pub paged_under_lock: bool,
+    /// Complete the unsupported-ioctl IRP twice.
+    pub double_complete: bool,
+    /// Process the queue without spinning the motor up.
+    pub motor_not_started: bool,
+    /// Never spin the motor down.
+    pub motor_leaked: bool,
+}
+
+impl FloppyBugs {
+    /// The protocol-clean driver.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether any bug is enabled.
+    pub fn any(&self) -> bool {
+        *self != Self::default()
+    }
+}
+
+/// The floppy driver.
+pub struct FloppyDriver {
+    disk: FloppyDisk,
+    queue: VecDeque<IrpId>,
+    ctrl_lock: SpinLockId,
+    config: PagedId,
+    commands_issued: i64,
+    bugs: FloppyBugs,
+}
+
+impl FloppyDriver {
+    /// Install a floppy stack into the kernel: a bus driver below a floppy
+    /// driver. Returns the top (floppy) device.
+    pub fn install(k: &mut Kernel, bugs: FloppyBugs) -> DeviceId {
+        let ctrl_lock = k.create_spinlock();
+        let config = k.alloc_paged(500); // data rate in kbit/s
+        let bus = k.create_device("bus0", Box::new(BusDriver));
+        let floppy = k.create_device(
+            "floppy0",
+            Box::new(FloppyDriver {
+                disk: FloppyDisk::new(),
+                queue: VecDeque::new(),
+                ctrl_lock,
+                config,
+                commands_issued: 0,
+                bugs,
+            }),
+        );
+        k.attach(floppy, bus);
+        floppy
+    }
+
+    fn read_write(&mut self, k: &mut Kernel, dev: DeviceId, irp: IrpId) -> DriverStatus {
+        let (_, params) = k.irp_params(dev, irp);
+        let end = params.offset + params.length as i64;
+        let invalid = params.length == 0
+            || params.offset < 0
+            || end as usize > CYLINDERS * SECTORS_PER_TRACK;
+        if invalid {
+            if self.bugs.drop_irp {
+                // BUG: marked pending, never queued, never completed.
+                k.mark_pending(dev, irp);
+                return DriverStatus::Pending;
+            }
+            k.complete_request(dev, irp, NtStatus::InvalidParameter);
+            return DriverStatus::Complete;
+        }
+        // Read the paged per-drive configuration while still at PASSIVE.
+        let _rate = k.read_paged(self.config);
+        // Account under the controller lock (raises to DISPATCH_LEVEL).
+        let prev = k.acquire_spinlock(self.ctrl_lock);
+        self.commands_issued += 1;
+        if self.bugs.paged_under_lock {
+            // BUG: paged access at DISPATCH_LEVEL.
+            k.page_out(self.config);
+            let _ = k.read_paged(self.config);
+        }
+        if !self.bugs.skip_release {
+            k.release_spinlock(self.ctrl_lock, prev);
+        }
+        // Pend for the start-I/O path.
+        k.mark_pending(dev, irp);
+        self.queue.push_back(irp);
+        DriverStatus::Pending
+    }
+
+    fn execute_request(&mut self, k: &mut Kernel, dev: DeviceId, irp: IrpId) {
+        let (major, params) = k.irp_params(dev, irp);
+        let mut moved = 0i64;
+        let mut status = NtStatus::Success;
+        for s in 0..params.length {
+            let lba = params.offset as usize + s;
+            let cylinder = lba / SECTORS_PER_TRACK;
+            let sector = lba % SECTORS_PER_TRACK;
+            let op = self
+                .disk
+                .seek(cylinder)
+                .and_then(|()| match major {
+                    Major::Write => {
+                        let start = s * BYTES_PER_SECTOR;
+                        let chunk: &[u8] = if start < params.data.len() {
+                            &params.data[start..params.data.len().min(start + BYTES_PER_SECTOR)]
+                        } else {
+                            &[]
+                        };
+                        self.disk.write_sector(cylinder, sector, chunk)
+                    }
+                    _ => self.disk.read_sector(cylinder, sector).map(|_| ()),
+                });
+            match op {
+                Ok(()) => moved += 1,
+                Err(why) => {
+                    k.device_protocol_violation(why);
+                    status = NtStatus::Unsuccessful;
+                    break;
+                }
+            }
+        }
+        k.set_information(dev, irp, moved * BYTES_PER_SECTOR as i64);
+        k.complete_request(dev, irp, status);
+    }
+
+    fn process_queue(&mut self, k: &mut Kernel, dev: DeviceId) {
+        if !self.bugs.motor_not_started {
+            if let Err(why) = self.disk.start_motor() {
+                k.device_protocol_violation(why);
+            }
+        }
+        while let Some(irp) = self.queue.pop_front() {
+            self.execute_request(k, dev, irp);
+        }
+        if !self.bugs.motor_leaked && !self.bugs.motor_not_started {
+            if let Err(why) = self.disk.stop_motor() {
+                k.device_protocol_violation(why);
+            }
+        }
+    }
+
+    fn device_control(&mut self, k: &mut Kernel, dev: DeviceId, irp: IrpId) -> DriverStatus {
+        let (_, params) = k.irp_params(dev, irp);
+        match params.ioctl {
+            ioctl::GET_MEDIA_TYPES => {
+                let rate = k.read_paged(self.config);
+                k.set_information(dev, irp, rate);
+                k.complete_request(dev, irp, NtStatus::Success);
+            }
+            ioctl::SET_DATA_RATE => {
+                k.write_paged(self.config, params.length as i64);
+                k.set_information(dev, irp, 1);
+                k.complete_request(dev, irp, NtStatus::Success);
+            }
+            ioctl::FORMAT_TRACKS => {
+                // A motor lifetime scoped to this one request, like the
+                // Vault driver's FloppyFormatRequest.
+                if let Err(why) = self.disk.start_motor() {
+                    k.device_protocol_violation(why);
+                }
+                let first = params.offset.max(0) as usize;
+                let mut formatted = 0i64;
+                for cyl in first..(first + params.length).min(CYLINDERS) {
+                    let op = self
+                        .disk
+                        .seek(cyl)
+                        .and_then(|()| self.disk.format_track(cyl));
+                    match op {
+                        Ok(()) => formatted += 1,
+                        Err(why) => {
+                            k.device_protocol_violation(why);
+                            break;
+                        }
+                    }
+                }
+                if let Err(why) = self.disk.stop_motor() {
+                    k.device_protocol_violation(why);
+                }
+                k.set_information(dev, irp, formatted);
+                k.complete_request(dev, irp, NtStatus::Success);
+            }
+            ioctl::CHECK_MEDIA => {
+                let present = self.disk.media_present();
+                k.set_information(dev, irp, present as i64);
+                k.complete_request(
+                    dev,
+                    irp,
+                    if present {
+                        NtStatus::Success
+                    } else {
+                        NtStatus::NoMedia
+                    },
+                );
+            }
+            ioctl::PROCESS_QUEUE => {
+                self.process_queue(k, dev);
+                k.complete_request(dev, irp, NtStatus::Success);
+            }
+            _ => {
+                k.complete_request(dev, irp, NtStatus::Unsuccessful);
+                if self.bugs.double_complete {
+                    // BUG: the IRP is already back with the kernel.
+                    k.complete_request(dev, irp, NtStatus::Unsuccessful);
+                }
+            }
+        }
+        DriverStatus::Complete
+    }
+
+    /// The Fig. 7 idiom: pass the PnP IRP down, regain it through a
+    /// completion routine + event, then complete it ourselves.
+    fn pnp(&mut self, k: &mut Kernel, dev: DeviceId, irp: IrpId) -> DriverStatus {
+        let lower = k.lower_device(dev).expect("floppy sits on the bus");
+        let event = k.create_event();
+        // The completion routine is a closure capturing the event —
+        // exactly Fig. 7's nested `RegainIrp`.
+        k.set_completion_routine(
+            dev,
+            irp,
+            Box::new(move |kk, _irp| {
+                kk.signal_event(event);
+                CompletionDisposition::MoreProcessingRequired
+            }),
+        );
+        k.call_driver(dev, lower, irp);
+        if !self.bugs.no_wait {
+            k.wait_event(event);
+        }
+        // Ownership regained; finish the request.
+        k.set_information(dev, irp, 0);
+        k.complete_request(dev, irp, NtStatus::Success);
+        DriverStatus::Complete
+    }
+
+    fn power(&mut self, k: &mut Kernel, dev: DeviceId, irp: IrpId) -> DriverStatus {
+        let lower = k.lower_device(dev).expect("floppy sits on the bus");
+        let status = k.call_driver(dev, lower, irp);
+        if self.bugs.use_after_pass {
+            // BUG: ownership went down the stack.
+            k.set_information(dev, irp, 1);
+        }
+        match status {
+            DriverStatus::Complete => DriverStatus::Complete,
+            _ => DriverStatus::PassedDown,
+        }
+    }
+
+    /// Commands accounted under the controller lock (test visibility).
+    pub fn commands_issued(&self) -> i64 {
+        self.commands_issued
+    }
+
+    /// Audit the motor at end of workload.
+    pub fn motor_left_running(&self) -> bool {
+        self.disk.motor() == MotorState::Spinning
+    }
+}
+
+impl Driver for FloppyDriver {
+    fn name(&self) -> &str {
+        "floppy"
+    }
+
+    fn dispatch(&mut self, k: &mut Kernel, dev: DeviceId, irp: IrpId) -> DriverStatus {
+        let (major, _) = k.irp_params(dev, irp);
+        match major {
+            Major::Create | Major::Close => {
+                k.set_information(dev, irp, 0);
+                k.complete_request(dev, irp, NtStatus::Success);
+                DriverStatus::Complete
+            }
+            Major::Read | Major::Write => self.read_write(k, dev, irp),
+            Major::DeviceControl => self.device_control(k, dev, irp),
+            Major::Pnp => self.pnp(k, dev, irp),
+            Major::Power => self.power(k, dev, irp),
+        }
+    }
+}
+
+/// A pass-through filter driver (the "generic storage device" layer of
+/// the paper's example stack: file system → storage class → floppy →
+/// bus). It forwards every request to the next lower device, counting
+/// what passes through.
+pub struct FilterDriver {
+    forwarded: u64,
+}
+
+impl FilterDriver {
+    /// A fresh filter.
+    pub fn new() -> Self {
+        FilterDriver { forwarded: 0 }
+    }
+
+    /// Requests forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+}
+
+impl Default for FilterDriver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Driver for FilterDriver {
+    fn name(&self) -> &str {
+        "filter"
+    }
+
+    fn dispatch(&mut self, k: &mut Kernel, dev: DeviceId, irp: IrpId) -> DriverStatus {
+        let lower = k.lower_device(dev).expect("filter sits above another device");
+        self.forwarded += 1;
+        match k.call_driver(dev, lower, irp) {
+            DriverStatus::Complete => DriverStatus::Complete,
+            DriverStatus::Pending => DriverStatus::Pending,
+            DriverStatus::PassedDown => DriverStatus::PassedDown,
+        }
+    }
+}
+
+/// Install a full paper-style stack: `filters` pass-through layers above
+/// the floppy driver above the bus. Returns the topmost device.
+pub fn install_stacked(k: &mut Kernel, bugs: FloppyBugs, filters: usize) -> DeviceId {
+    let mut top = FloppyDriver::install(k, bugs);
+    for i in 0..filters {
+        let f = k.create_device(&format!("filter{i}"), Box::new(FilterDriver::new()));
+        k.attach(f, top);
+        top = f;
+    }
+    top
+}
+
+/// The bus driver below the floppy: completes PnP asynchronously (through
+/// the deferred queue, like real hardware) and Power synchronously.
+pub struct BusDriver;
+
+impl Driver for BusDriver {
+    fn name(&self) -> &str {
+        "bus"
+    }
+
+    fn dispatch(&mut self, k: &mut Kernel, dev: DeviceId, irp: IrpId) -> DriverStatus {
+        let (major, _) = k.irp_params(dev, irp);
+        match major {
+            Major::Pnp => {
+                // Asynchronous completion after a few ticks.
+                k.mark_pending(dev, irp);
+                k.defer_completion(dev, irp, NtStatus::Success, 2);
+                DriverStatus::Pending
+            }
+            _ => {
+                k.complete_request(dev, irp, NtStatus::Success);
+                DriverStatus::Complete
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::irql::Irql;
+    use crate::kernel::IrpParams;
+
+    #[test]
+    fn disk_motor_protocol() {
+        let mut d = FloppyDisk::new();
+        assert!(d.read_sector(0, 0).is_err(), "motor off");
+        d.start_motor().unwrap();
+        assert!(d.start_motor().is_err(), "double start");
+        d.seek(3).unwrap();
+        assert!(d.read_sector(0, 0).is_err(), "wrong cylinder");
+        d.write_sector(3, 5, b"hello").unwrap();
+        assert_eq!(&d.read_sector(3, 5).unwrap()[..5], b"hello");
+        d.stop_motor().unwrap();
+        assert!(d.stop_motor().is_err(), "double stop");
+    }
+
+    #[test]
+    fn disk_bounds_checked() {
+        let mut d = FloppyDisk::new();
+        d.start_motor().unwrap();
+        assert!(d.seek(CYLINDERS).is_err());
+        d.seek(0).unwrap();
+        assert!(d.read_sector(0, SECTORS_PER_TRACK).is_err());
+    }
+
+    #[test]
+    fn clean_driver_read_write_roundtrip() {
+        let mut k = Kernel::new(7);
+        let dev = FloppyDriver::install(&mut k, FloppyBugs::none());
+        // Open.
+        k.submit(dev, Major::Create, IrpParams::default());
+        // Write two sectors at LBA 20.
+        let (_w, st) = k.submit(
+            dev,
+            Major::Write,
+            IrpParams {
+                offset: 20,
+                length: 2,
+                ioctl: 0,
+                data: vec![0xAB; 2 * BYTES_PER_SECTOR],
+            },
+        );
+        assert_eq!(st, DriverStatus::Pending);
+        // Read them back (also queued).
+        let (r, _) = k.submit(
+            dev,
+            Major::Read,
+            IrpParams {
+                offset: 20,
+                length: 2,
+                ..IrpParams::default()
+            },
+        );
+        // Drive the start-I/O path.
+        k.submit(
+            dev,
+            Major::DeviceControl,
+            IrpParams {
+                ioctl: ioctl::PROCESS_QUEUE,
+                ..IrpParams::default()
+            },
+        );
+        assert!(k.irp_completed(r));
+        assert_eq!(k.irp_information(r), 2 * BYTES_PER_SECTOR as i64);
+        // Close.
+        k.submit(dev, Major::Close, IrpParams::default());
+        k.audit_locks();
+        assert!(k.violations().is_empty(), "{:?}", k.violations());
+        assert_eq!(k.irql(), Irql::Passive);
+    }
+
+    #[test]
+    fn invalid_request_completed_with_error() {
+        let mut k = Kernel::new(7);
+        let dev = FloppyDriver::install(&mut k, FloppyBugs::none());
+        let (irp, st) = k.submit(
+            dev,
+            Major::Read,
+            IrpParams {
+                offset: -5,
+                length: 1,
+                ..IrpParams::default()
+            },
+        );
+        assert_eq!(st, DriverStatus::Complete);
+        assert_eq!(k.irp_status(irp), Some(NtStatus::InvalidParameter));
+        assert!(k.violations().is_empty());
+    }
+
+    #[test]
+    fn pnp_fig7_roundtrip() {
+        let mut k = Kernel::new(7);
+        let dev = FloppyDriver::install(&mut k, FloppyBugs::none());
+        let (irp, st) = k.submit(dev, Major::Pnp, IrpParams::default());
+        assert_eq!(st, DriverStatus::Complete);
+        assert!(k.irp_completed(irp));
+        assert!(k.violations().is_empty(), "{:?}", k.violations());
+    }
+
+    #[test]
+    fn stacked_filters_forward_cleanly() {
+        // The paper's stack: file system → storage class → floppy → bus.
+        let mut k = Kernel::new(7);
+        let top = install_stacked(&mut k, FloppyBugs::none(), 2);
+        k.submit(top, Major::Create, IrpParams::default());
+        let (pnp, st) = k.submit(top, Major::Pnp, IrpParams::default());
+        assert_eq!(st, DriverStatus::Complete);
+        assert!(k.irp_completed(pnp));
+        let (w, _) = k.submit(
+            top,
+            Major::Write,
+            IrpParams {
+                offset: 4,
+                length: 1,
+                ioctl: 0,
+                data: vec![7; BYTES_PER_SECTOR],
+            },
+        );
+        k.submit(
+            top,
+            Major::DeviceControl,
+            IrpParams {
+                ioctl: ioctl::PROCESS_QUEUE,
+                ..IrpParams::default()
+            },
+        );
+        assert!(k.irp_completed(w));
+        let (power, _) = k.submit(top, Major::Power, IrpParams::default());
+        assert!(k.irp_completed(power));
+        k.submit(top, Major::Close, IrpParams::default());
+        k.audit_irps();
+        k.audit_locks();
+        assert!(k.violations().is_empty(), "{:?}", k.violations());
+    }
+
+    #[test]
+    fn buggy_driver_detected_through_filters_too() {
+        let mut k = Kernel::new(7);
+        let top = install_stacked(
+            &mut k,
+            FloppyBugs {
+                use_after_pass: true,
+                ..FloppyBugs::none()
+            },
+            3,
+        );
+        k.submit(top, Major::Power, IrpParams::default());
+        assert!(
+            k.violations()
+                .iter()
+                .any(|v| matches!(v, crate::kernel::Violation::IrpAccessWithoutOwnership { .. })),
+            "{:?}",
+            k.violations()
+        );
+    }
+
+    #[test]
+    fn ioctl_paths() {
+        let mut k = Kernel::new(7);
+        let dev = FloppyDriver::install(&mut k, FloppyBugs::none());
+        let (irp, _) = k.submit(
+            dev,
+            Major::DeviceControl,
+            IrpParams {
+                ioctl: ioctl::GET_MEDIA_TYPES,
+                ..IrpParams::default()
+            },
+        );
+        assert_eq!(k.irp_information(irp), 500);
+        let (_, _) = k.submit(
+            dev,
+            Major::DeviceControl,
+            IrpParams {
+                ioctl: ioctl::SET_DATA_RATE,
+                length: 1000,
+                ..IrpParams::default()
+            },
+        );
+        let (irp2, _) = k.submit(
+            dev,
+            Major::DeviceControl,
+            IrpParams {
+                ioctl: ioctl::GET_MEDIA_TYPES,
+                ..IrpParams::default()
+            },
+        );
+        assert_eq!(k.irp_information(irp2), 1000);
+        let (bad, _) = k.submit(
+            dev,
+            Major::DeviceControl,
+            IrpParams {
+                ioctl: 0xDEAD,
+                ..IrpParams::default()
+            },
+        );
+        assert_eq!(k.irp_status(bad), Some(NtStatus::Unsuccessful));
+        assert!(k.violations().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod format_tests {
+    use super::*;
+    use crate::kernel::{IrpParams, Kernel};
+
+    #[test]
+    fn format_tracks_ioctl_roundtrip() {
+        let mut k = Kernel::new(9);
+        let dev = FloppyDriver::install(&mut k, FloppyBugs::none());
+        // Write a sector, format its track, read back zeroes.
+        k.submit(
+            dev,
+            Major::Write,
+            IrpParams {
+                offset: 36, // cylinder 2, sector 0
+                length: 1,
+                ioctl: 0,
+                data: vec![0xFF; BYTES_PER_SECTOR],
+            },
+        );
+        k.submit(
+            dev,
+            Major::DeviceControl,
+            IrpParams {
+                ioctl: ioctl::PROCESS_QUEUE,
+                ..IrpParams::default()
+            },
+        );
+        let (fmt, _) = k.submit(
+            dev,
+            Major::DeviceControl,
+            IrpParams {
+                offset: 2,
+                length: 1,
+                ioctl: ioctl::FORMAT_TRACKS,
+                data: Vec::new(),
+            },
+        );
+        assert_eq!(k.irp_information(fmt), 1);
+        let (r, _) = k.submit(
+            dev,
+            Major::Read,
+            IrpParams {
+                offset: 36,
+                length: 1,
+                ..IrpParams::default()
+            },
+        );
+        k.submit(
+            dev,
+            Major::DeviceControl,
+            IrpParams {
+                ioctl: ioctl::PROCESS_QUEUE,
+                ..IrpParams::default()
+            },
+        );
+        assert!(k.irp_completed(r));
+        assert!(k.violations().is_empty(), "{:?}", k.violations());
+    }
+
+    #[test]
+    fn check_media_ioctl() {
+        let mut k = Kernel::new(9);
+        let dev = FloppyDriver::install(&mut k, FloppyBugs::none());
+        let (irp, _) = k.submit(
+            dev,
+            Major::DeviceControl,
+            IrpParams {
+                ioctl: ioctl::CHECK_MEDIA,
+                ..IrpParams::default()
+            },
+        );
+        assert_eq!(k.irp_information(irp), 1);
+        assert_eq!(k.irp_status(irp), Some(NtStatus::Success));
+    }
+
+    #[test]
+    fn disk_format_protocol() {
+        let mut d = FloppyDisk::new();
+        assert!(d.format_track(0).is_err(), "motor off");
+        d.start_motor().unwrap();
+        d.seek(5).unwrap();
+        assert!(d.format_track(4).is_err(), "wrong cylinder");
+        d.write_sector(5, 0, &[7; 16]).unwrap();
+        d.format_track(5).unwrap();
+        assert_eq!(d.read_sector(5, 0).unwrap()[0], 0);
+        d.stop_motor().unwrap();
+    }
+}

@@ -1,0 +1,64 @@
+//! Interrupt request levels (paper §4.4).
+//!
+//! The processor is always at one of these levels; the level governs which
+//! kernel services may be called and whether paged memory is safely
+//! accessible. This mirrors the `IRQ_LEVEL` stateset of the Vault kernel
+//! interface.
+
+use std::fmt;
+
+/// The interrupt request level of the (simulated) processor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Irql {
+    /// Normal thread execution.
+    Passive = 0,
+    /// Asynchronous procedure calls masked.
+    Apc = 1,
+    /// DPC/dispatcher level — no paging, no waiting.
+    Dispatch = 2,
+    /// Device interrupt level.
+    Dirql = 3,
+}
+
+impl Irql {
+    /// All levels, ascending.
+    pub const ALL: [Irql; 4] = [Irql::Passive, Irql::Apc, Irql::Dispatch, Irql::Dirql];
+
+    /// The paper's stateset token name.
+    pub fn token(self) -> &'static str {
+        match self {
+            Irql::Passive => "PASSIVE_LEVEL",
+            Irql::Apc => "APC_LEVEL",
+            Irql::Dispatch => "DISPATCH_LEVEL",
+            Irql::Dirql => "DIRQL",
+        }
+    }
+}
+
+impl fmt::Display for Irql {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Irql::Passive < Irql::Apc);
+        assert!(Irql::Apc < Irql::Dispatch);
+        assert!(Irql::Dispatch < Irql::Dirql);
+        for w in Irql::ALL.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn tokens_match_paper() {
+        assert_eq!(Irql::Passive.token(), "PASSIVE_LEVEL");
+        assert_eq!(Irql::Dirql.token(), "DIRQL");
+        assert_eq!(Irql::Dispatch.to_string(), "DISPATCH_LEVEL");
+    }
+}

@@ -1,0 +1,926 @@
+//! The simulated Windows 2000 kernel I/O substrate.
+//!
+//! A deterministic, single-threaded model of the kernel services the
+//! paper's case study (§4) checks statically: IRPs with the ownership
+//! protocol, driver stacks, events, spin locks with IRQL raising, paged
+//! memory, and deferred (asynchronous) completion. Every protocol
+//! violation the Vault checker rejects at compile time is detected here at
+//! run time and recorded as a [`Violation`] — this is the differential
+//! oracle for experiment E12.
+
+use crate::irql::Irql;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifies a device object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DeviceId(pub usize);
+
+/// Identifies an I/O request packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct IrpId(pub usize);
+
+/// Identifies a kernel event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EventId(pub usize);
+
+/// Identifies a spin lock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SpinLockId(pub usize);
+
+/// Identifies a cell of paged pool memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PagedId(pub usize);
+
+/// IRP major function codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Major {
+    /// Open a handle.
+    Create,
+    /// Close a handle.
+    Close,
+    /// Read from the device.
+    Read,
+    /// Write to the device.
+    Write,
+    /// Device-specific control.
+    DeviceControl,
+    /// Plug-and-play (start/stop/remove).
+    Pnp,
+    /// Power management.
+    Power,
+}
+
+/// Request parameters carried by an IRP.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IrpParams {
+    /// Byte offset (sector-granular for the floppy).
+    pub offset: i64,
+    /// Transfer length in sectors.
+    pub length: usize,
+    /// IOCTL code for `DeviceControl`.
+    pub ioctl: u32,
+    /// Data for writes.
+    pub data: Vec<u8>,
+}
+
+/// Completion status of a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NtStatus {
+    /// Success.
+    Success,
+    /// Queued for later completion.
+    Pending,
+    /// Generic failure.
+    Unsuccessful,
+    /// Bad request parameters.
+    InvalidParameter,
+    /// No disk in the drive.
+    NoMedia,
+}
+
+/// Who currently owns an IRP (paper §4.1's ownership model).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Owner {
+    /// The kernel (before dispatch or after completion).
+    Kernel,
+    /// The driver of this device.
+    Device(DeviceId),
+}
+
+/// What a dispatch routine reports back to the I/O manager.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriverStatus {
+    /// The IRP was completed.
+    Complete,
+    /// The IRP was marked pending and queued by the driver.
+    Pending,
+    /// The IRP was passed to the next lower driver.
+    PassedDown,
+}
+
+/// What a completion routine reports (paper §4.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompletionDisposition {
+    /// The driver reclaims ownership of the IRP.
+    MoreProcessingRequired,
+    /// Completion continues up the stack.
+    Finished,
+}
+
+/// A runtime protocol violation — the dynamic analogue of a checker
+/// diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// An IRP was touched by a driver that does not own it (V301).
+    IrpAccessWithoutOwnership {
+        /// The request.
+        irp: IrpId,
+        /// The trespasser.
+        by: DeviceId,
+    },
+    /// An IRP was completed twice (V301/V303 family).
+    IrpDoubleComplete(IrpId),
+    /// A dispatch routine returned without completing, passing, or
+    /// pending its IRP (V304 — the lost-IRP leak).
+    IrpLost(IrpId),
+    /// A spin lock was still held at the end of the workload (V304).
+    SpinLockLeaked(SpinLockId),
+    /// A held spin lock was acquired again (V303).
+    SpinLockDoubleAcquire(SpinLockId),
+    /// A free spin lock was released (V301).
+    SpinLockReleaseUnheld(SpinLockId),
+    /// Paged memory was touched at DISPATCH_LEVEL or above while paged
+    /// out: the kernel deadlocks (V308, paper §4.4).
+    PagedAccessAtHighIrql {
+        /// The level at the access.
+        irql: Irql,
+    },
+    /// A kernel service was called above its maximum IRQL (V302/V308).
+    IrqlTooHigh {
+        /// The service.
+        service: &'static str,
+        /// The level it was called at.
+        actual: Irql,
+    },
+    /// Waiting would block forever (no pending deferred work can signal
+    /// the event) — e.g. Fig. 7 with the wait and signal mismatched.
+    Deadlock(&'static str),
+    /// A device-internal protocol was broken (e.g. floppy motor).
+    DeviceProtocol(&'static str),
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::IrpAccessWithoutOwnership { irp, by } => {
+                write!(f, "device {by:?} accessed {irp:?} without owning it")
+            }
+            Violation::IrpDoubleComplete(i) => write!(f, "{i:?} completed twice"),
+            Violation::IrpLost(i) => write!(f, "{i:?} neither completed, passed, nor pended"),
+            Violation::SpinLockLeaked(l) => write!(f, "{l:?} still held at workload end"),
+            Violation::SpinLockDoubleAcquire(l) => write!(f, "{l:?} acquired while held"),
+            Violation::SpinLockReleaseUnheld(l) => write!(f, "{l:?} released while free"),
+            Violation::PagedAccessAtHighIrql { irql } => {
+                write!(f, "paged memory touched at {irql} while paged out")
+            }
+            Violation::IrqlTooHigh { service, actual } => {
+                write!(f, "{service} called at {actual}")
+            }
+            Violation::Deadlock(why) => write!(f, "deadlock: {why}"),
+            Violation::DeviceProtocol(why) => write!(f, "device protocol: {why}"),
+        }
+    }
+}
+
+/// The category a violation belongs to, for the E12 detection matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ViolationKind {
+    /// IRP ownership (access, double complete, lost).
+    IrpOwnership,
+    /// Spin lock discipline.
+    SpinLock,
+    /// IRQL / paged memory.
+    IrqlPaging,
+    /// Event / wait discipline.
+    EventWait,
+    /// Device-internal protocol (motor).
+    Device,
+}
+
+impl Violation {
+    /// Classify into a detection-matrix category.
+    pub fn kind(&self) -> ViolationKind {
+        match self {
+            Violation::IrpAccessWithoutOwnership { .. }
+            | Violation::IrpDoubleComplete(_)
+            | Violation::IrpLost(_) => ViolationKind::IrpOwnership,
+            Violation::SpinLockLeaked(_)
+            | Violation::SpinLockDoubleAcquire(_)
+            | Violation::SpinLockReleaseUnheld(_) => ViolationKind::SpinLock,
+            Violation::PagedAccessAtHighIrql { .. } | Violation::IrqlTooHigh { .. } => {
+                ViolationKind::IrqlPaging
+            }
+            Violation::Deadlock(_) => ViolationKind::EventWait,
+            Violation::DeviceProtocol(_) => ViolationKind::Device,
+        }
+    }
+}
+
+/// A driver's entry points. Drivers are registered per device object; the
+/// kernel calls `dispatch` when an IRP reaches the device. Completion
+/// routines are registered per IRP as closures (mirroring the paper's
+/// Fig. 7, where the routine is a nested function capturing the event).
+pub trait Driver {
+    /// Driver name (diagnostics).
+    fn name(&self) -> &str;
+    /// Handle an IRP the device now owns.
+    fn dispatch(&mut self, k: &mut Kernel, dev: DeviceId, irp: IrpId) -> DriverStatus;
+}
+
+/// A completion routine: invoked when a lower driver completes the IRP.
+pub type CompletionRoutine = Box<dyn FnMut(&mut Kernel, IrpId) -> CompletionDisposition>;
+
+struct Device {
+    driver: Option<Box<dyn Driver>>,
+    lower: Option<DeviceId>,
+    name: String,
+}
+
+struct Irp {
+    major: Major,
+    params: IrpParams,
+    owner: Owner,
+    completed: bool,
+    pending: bool,
+    status: Option<NtStatus>,
+    information: i64,
+    completion: Option<(DeviceId, CompletionRoutine)>,
+}
+
+struct Event {
+    signaled: bool,
+}
+
+struct Lock {
+    held: bool,
+    saved_irql: Irql,
+}
+
+struct PagedCell {
+    value: i64,
+    resident: bool,
+}
+
+struct Deferred {
+    irp: IrpId,
+    by: DeviceId,
+    status: NtStatus,
+    ticks: u32,
+}
+
+/// Aggregate counters for the benches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// IRPs submitted.
+    pub submitted: u64,
+    /// IRPs fully completed back to the kernel.
+    pub completed: u64,
+    /// Deferred completions processed.
+    pub dpcs: u64,
+}
+
+/// The simulated kernel.
+pub struct Kernel {
+    irql: Irql,
+    devices: Vec<Device>,
+    irps: Vec<Irp>,
+    events: Vec<Event>,
+    locks: Vec<Lock>,
+    paged: Vec<PagedCell>,
+    deferred: VecDeque<Deferred>,
+    violations: Vec<Violation>,
+    stats: KernelStats,
+    rng: StdRng,
+}
+
+impl Kernel {
+    /// A fresh kernel at PASSIVE_LEVEL.
+    pub fn new(seed: u64) -> Self {
+        Kernel {
+            irql: Irql::Passive,
+            devices: Vec::new(),
+            irps: Vec::new(),
+            events: Vec::new(),
+            locks: Vec::new(),
+            paged: Vec::new(),
+            deferred: VecDeque::new(),
+            violations: Vec::new(),
+            stats: KernelStats::default(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn violate(&mut self, v: Violation) {
+        self.violations.push(v);
+    }
+
+    /// All violations recorded so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// The current interrupt level.
+    pub fn irql(&self) -> Irql {
+        self.irql
+    }
+
+    // ------------------------------------------------------------------
+    // Devices and driver stacks
+    // ------------------------------------------------------------------
+
+    /// `IoCreateDevice`: register a device object for a driver.
+    pub fn create_device(&mut self, name: &str, driver: Box<dyn Driver>) -> DeviceId {
+        self.devices.push(Device {
+            driver: Some(driver),
+            lower: None,
+            name: name.to_string(),
+        });
+        DeviceId(self.devices.len() - 1)
+    }
+
+    /// `IoAttachDeviceToDeviceStack`: `upper` sits on top of `lower`.
+    pub fn attach(&mut self, upper: DeviceId, lower: DeviceId) {
+        self.devices[upper.0].lower = Some(lower);
+    }
+
+    /// The device below `dev` in its stack.
+    pub fn lower_device(&self, dev: DeviceId) -> Option<DeviceId> {
+        self.devices[dev.0].lower
+    }
+
+    /// Device name (diagnostics).
+    pub fn device_name(&self, dev: DeviceId) -> &str {
+        &self.devices[dev.0].name
+    }
+
+    fn with_driver<R>(
+        &mut self,
+        dev: DeviceId,
+        f: impl FnOnce(&mut Kernel, &mut dyn Driver) -> R,
+    ) -> R {
+        let mut driver = self.devices[dev.0]
+            .driver
+            .take()
+            .expect("driver re-entered its own device");
+        let r = f(self, driver.as_mut());
+        self.devices[dev.0].driver = Some(driver);
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // IRPs (paper §4.1)
+    // ------------------------------------------------------------------
+
+    /// Allocate and dispatch an IRP to a device stack's top device.
+    /// Returns the IRP id and the dispatch status.
+    pub fn submit(
+        &mut self,
+        dev: DeviceId,
+        major: Major,
+        params: IrpParams,
+    ) -> (IrpId, DriverStatus) {
+        self.irps.push(Irp {
+            major,
+            params,
+            owner: Owner::Device(dev),
+            completed: false,
+            pending: false,
+            status: None,
+            information: 0,
+            completion: None,
+        });
+        let irp = IrpId(self.irps.len() - 1);
+        self.stats.submitted += 1;
+        let status = self.with_driver(dev, |k, d| d.dispatch(k, dev, irp));
+        // The dispatch routine's word must match what happened to the IRP
+        // — the `DSTATUS<I>` discipline.
+        let rec = &self.irps[irp.0];
+        let consistent = match status {
+            DriverStatus::Complete => rec.completed,
+            DriverStatus::Pending => rec.pending || rec.completed,
+            DriverStatus::PassedDown => rec.owner != Owner::Device(dev) || rec.completed,
+        };
+        if !consistent {
+            self.violate(Violation::IrpLost(irp));
+        }
+        (irp, status)
+    }
+
+    fn check_owner(&mut self, dev: DeviceId, irp: IrpId) -> bool {
+        if self.irps[irp.0].owner == Owner::Device(dev) && !self.irps[irp.0].completed {
+            true
+        } else {
+            self.violate(Violation::IrpAccessWithoutOwnership { irp, by: dev });
+            false
+        }
+    }
+
+    /// Read the request's major function and parameters (requires
+    /// ownership — `IoGetCurrentIrpStackLocation`).
+    pub fn irp_params(&mut self, dev: DeviceId, irp: IrpId) -> (Major, IrpParams) {
+        self.check_owner(dev, irp);
+        (self.irps[irp.0].major, self.irps[irp.0].params.clone())
+    }
+
+    /// Store the result information (requires ownership).
+    pub fn set_information(&mut self, dev: DeviceId, irp: IrpId, info: i64) {
+        if self.check_owner(dev, irp) {
+            self.irps[irp.0].information = info;
+        }
+    }
+
+    /// `IoMarkIrpPending` (ownership retained).
+    pub fn mark_pending(&mut self, dev: DeviceId, irp: IrpId) {
+        if self.check_owner(dev, irp) {
+            self.irps[irp.0].pending = true;
+        }
+    }
+
+    /// `IoSetCompletionRoutine`: when a lower driver completes the IRP,
+    /// `routine` runs; returning
+    /// [`CompletionDisposition::MoreProcessingRequired`] hands ownership
+    /// back to `dev` (paper §4.3).
+    pub fn set_completion_routine(
+        &mut self,
+        dev: DeviceId,
+        irp: IrpId,
+        routine: CompletionRoutine,
+    ) {
+        if self.check_owner(dev, irp) {
+            self.irps[irp.0].completion = Some((dev, routine));
+        }
+    }
+
+    /// `IoCallDriver`: pass ownership down the stack and dispatch.
+    pub fn call_driver(&mut self, from: DeviceId, target: DeviceId, irp: IrpId) -> DriverStatus {
+        if !self.check_owner(from, irp) {
+            return DriverStatus::Complete;
+        }
+        self.irps[irp.0].owner = Owner::Device(target);
+        let status = self.with_driver(target, |k, d| d.dispatch(k, target, irp));
+        let rec = &self.irps[irp.0];
+        let consistent = match status {
+            DriverStatus::Complete => rec.completed || rec.owner != Owner::Device(target),
+            DriverStatus::Pending => true,
+            DriverStatus::PassedDown => rec.owner != Owner::Device(target) || rec.completed,
+        };
+        if !consistent {
+            self.violate(Violation::IrpLost(irp));
+        }
+        status
+    }
+
+    /// `IoCompleteRequest`: give the IRP back to the kernel, running any
+    /// registered completion routine (which may reclaim ownership).
+    pub fn complete_request(&mut self, dev: DeviceId, irp: IrpId, status: NtStatus) {
+        if self.irps[irp.0].completed {
+            self.violate(Violation::IrpDoubleComplete(irp));
+            return;
+        }
+        if self.irps[irp.0].owner != Owner::Device(dev) {
+            self.violate(Violation::IrpAccessWithoutOwnership { irp, by: dev });
+            return;
+        }
+        self.irps[irp.0].status = Some(status);
+        self.irps[irp.0].owner = Owner::Kernel;
+        self.irps[irp.0].completed = true;
+        if let Some((registrant, mut routine)) = self.irps[irp.0].completion.take() {
+            let disposition = routine(self, irp);
+            if disposition == CompletionDisposition::MoreProcessingRequired {
+                // The registrant reclaims ownership (paper §4.3).
+                self.irps[irp.0].owner = Owner::Device(registrant);
+                self.irps[irp.0].completed = false;
+                return;
+            }
+        }
+        self.stats.completed += 1;
+    }
+
+    /// Final status of a completed IRP.
+    pub fn irp_status(&self, irp: IrpId) -> Option<NtStatus> {
+        self.irps[irp.0].status
+    }
+
+    /// Result information of an IRP.
+    pub fn irp_information(&self, irp: IrpId) -> i64 {
+        self.irps[irp.0].information
+    }
+
+    /// Whether the IRP has been fully completed to the kernel.
+    pub fn irp_completed(&self, irp: IrpId) -> bool {
+        self.irps[irp.0].completed
+    }
+
+    /// Queue a deferred completion: `by` (a lower driver simulating
+    /// asynchronous hardware) will complete `irp` after `ticks` DPCs.
+    pub fn defer_completion(&mut self, by: DeviceId, irp: IrpId, status: NtStatus, ticks: u32) {
+        self.deferred.push_back(Deferred {
+            irp,
+            by,
+            status,
+            ticks,
+        });
+    }
+
+    /// Run one deferred tick; true if any deferred work remains existed.
+    fn run_one_deferred(&mut self) -> bool {
+        let Some(mut d) = self.deferred.pop_front() else {
+            return false;
+        };
+        self.stats.dpcs += 1;
+        if d.ticks > 0 {
+            d.ticks -= 1;
+            self.deferred.push_back(d);
+            return true;
+        }
+        // Deferred completions run at DISPATCH_LEVEL, like real DPCs.
+        let saved = self.irql;
+        self.irql = Irql::Dispatch;
+        self.complete_request(d.by, d.irp, d.status);
+        self.irql = saved;
+        true
+    }
+
+    /// Drain all deferred work (end-of-workload).
+    pub fn drain_deferred(&mut self) {
+        let mut guard = 0;
+        while self.run_one_deferred() {
+            guard += 1;
+            if guard > 100_000 {
+                self.violate(Violation::Deadlock("deferred queue never drains"));
+                return;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Events (paper §4.2)
+    // ------------------------------------------------------------------
+
+    /// `KeInitializeEvent`.
+    pub fn create_event(&mut self) -> EventId {
+        self.events.push(Event { signaled: false });
+        EventId(self.events.len() - 1)
+    }
+
+    /// `KeSignalEvent`.
+    pub fn signal_event(&mut self, event: EventId) {
+        self.events[event.0].signaled = true;
+    }
+
+    /// `KeWaitForEvent`: runs deferred work until the event is signaled.
+    /// Waiting is only legal below DISPATCH_LEVEL.
+    pub fn wait_event(&mut self, event: EventId) {
+        if self.irql >= Irql::Dispatch {
+            self.violate(Violation::IrqlTooHigh {
+                service: "KeWaitForEvent",
+                actual: self.irql,
+            });
+        }
+        let mut guard = 0;
+        while !self.events[event.0].signaled {
+            if !self.run_one_deferred() {
+                self.violate(Violation::Deadlock(
+                    "KeWaitForEvent with nothing left to signal the event",
+                ));
+                return;
+            }
+            guard += 1;
+            if guard > 100_000 {
+                self.violate(Violation::Deadlock("event never signaled"));
+                return;
+            }
+        }
+        self.events[event.0].signaled = false;
+    }
+
+    // ------------------------------------------------------------------
+    // Spin locks (paper §4.2 + §4.4)
+    // ------------------------------------------------------------------
+
+    /// `KeInitializeSpinLock`.
+    pub fn create_spinlock(&mut self) -> SpinLockId {
+        self.locks.push(Lock {
+            held: false,
+            saved_irql: Irql::Passive,
+        });
+        SpinLockId(self.locks.len() - 1)
+    }
+
+    /// `KeAcquireSpinLock`: raises to DISPATCH_LEVEL, returns the previous
+    /// level.
+    pub fn acquire_spinlock(&mut self, lock: SpinLockId) -> Irql {
+        if self.irql > Irql::Dispatch {
+            self.violate(Violation::IrqlTooHigh {
+                service: "KeAcquireSpinLock",
+                actual: self.irql,
+            });
+        }
+        if self.locks[lock.0].held {
+            self.violate(Violation::SpinLockDoubleAcquire(lock));
+        }
+        let prev = self.irql;
+        self.locks[lock.0].held = true;
+        self.locks[lock.0].saved_irql = prev;
+        self.irql = Irql::Dispatch;
+        prev
+    }
+
+    /// `KeReleaseSpinLock`: restores the recorded level.
+    pub fn release_spinlock(&mut self, lock: SpinLockId, prev: Irql) {
+        if !self.locks[lock.0].held {
+            self.violate(Violation::SpinLockReleaseUnheld(lock));
+            return;
+        }
+        self.locks[lock.0].held = false;
+        self.irql = prev;
+    }
+
+    /// End-of-workload audit: IRPs never completed back to the kernel are
+    /// lost requests (the dynamic analogue of the `V304` leak).
+    pub fn audit_irps(&mut self) {
+        for i in 0..self.irps.len() {
+            if !self.irps[i].completed {
+                self.violate(Violation::IrpLost(IrpId(i)));
+            }
+        }
+    }
+
+    /// End-of-workload audit: locks still held are leaks.
+    pub fn audit_locks(&mut self) {
+        for i in 0..self.locks.len() {
+            if self.locks[i].held {
+                self.violate(Violation::SpinLockLeaked(SpinLockId(i)));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Paged memory (paper §4.4)
+    // ------------------------------------------------------------------
+
+    /// Allocate a cell of paged pool.
+    pub fn alloc_paged(&mut self, value: i64) -> PagedId {
+        self.paged.push(PagedCell {
+            value,
+            resident: true,
+        });
+        PagedId(self.paged.len() - 1)
+    }
+
+    /// Simulate memory pressure: page the cell out.
+    pub fn page_out(&mut self, cell: PagedId) {
+        self.paged[cell.0].resident = false;
+    }
+
+    /// Randomly page cells in or out (workload noise, seeded).
+    pub fn memory_pressure(&mut self) {
+        for i in 0..self.paged.len() {
+            self.paged[i].resident = self.rng.gen_bool(0.5);
+        }
+    }
+
+    fn touch_paged(&mut self, cell: PagedId) -> bool {
+        if !self.paged[cell.0].resident {
+            if self.irql >= Irql::Dispatch {
+                // The page fault cannot be serviced: the real kernel
+                // deadlocks here (paper §4.4).
+                let irql = self.irql;
+                self.violate(Violation::PagedAccessAtHighIrql { irql });
+                return false;
+            }
+            // Page fault serviced.
+            self.paged[cell.0].resident = true;
+        }
+        true
+    }
+
+    /// Read paged memory.
+    pub fn read_paged(&mut self, cell: PagedId) -> i64 {
+        self.touch_paged(cell);
+        self.paged[cell.0].value
+    }
+
+    /// Write paged memory.
+    pub fn write_paged(&mut self, cell: PagedId, value: i64) {
+        if self.touch_paged(cell) {
+            self.paged[cell.0].value = value;
+        }
+    }
+
+    /// `KeSetPriorityThread` — PASSIVE_LEVEL only.
+    pub fn set_priority_thread(&mut self, _priority: i32) {
+        if self.irql != Irql::Passive {
+            self.violate(Violation::IrqlTooHigh {
+                service: "KeSetPriorityThread",
+                actual: self.irql,
+            });
+        }
+    }
+
+    /// Record a device-internal protocol violation (used by device
+    /// models such as the floppy motor).
+    pub fn device_protocol_violation(&mut self, why: &'static str) {
+        self.violate(Violation::DeviceProtocol(why));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A driver that completes everything immediately.
+    struct SinkDriver;
+    impl Driver for SinkDriver {
+        fn name(&self) -> &str {
+            "sink"
+        }
+        fn dispatch(&mut self, k: &mut Kernel, dev: DeviceId, irp: IrpId) -> DriverStatus {
+            k.set_information(dev, irp, 1);
+            k.complete_request(dev, irp, NtStatus::Success);
+            DriverStatus::Complete
+        }
+    }
+
+    /// A driver that loses every IRP.
+    struct LossyDriver;
+    impl Driver for LossyDriver {
+        fn name(&self) -> &str {
+            "lossy"
+        }
+        fn dispatch(&mut self, _k: &mut Kernel, _dev: DeviceId, _irp: IrpId) -> DriverStatus {
+            DriverStatus::Complete // lies: nothing was completed
+        }
+    }
+
+    #[test]
+    fn complete_request_roundtrip() {
+        let mut k = Kernel::new(1);
+        let dev = k.create_device("sink", Box::new(SinkDriver));
+        let (irp, status) = k.submit(dev, Major::Create, IrpParams::default());
+        assert_eq!(status, DriverStatus::Complete);
+        assert!(k.irp_completed(irp));
+        assert_eq!(k.irp_status(irp), Some(NtStatus::Success));
+        assert!(k.violations().is_empty());
+        assert_eq!(k.stats().completed, 1);
+    }
+
+    #[test]
+    fn lost_irp_detected() {
+        let mut k = Kernel::new(1);
+        let dev = k.create_device("lossy", Box::new(LossyDriver));
+        let (irp, _) = k.submit(dev, Major::Read, IrpParams::default());
+        assert_eq!(k.violations(), &[Violation::IrpLost(irp)]);
+    }
+
+    #[test]
+    fn double_complete_detected() {
+        struct DoubleDriver;
+        impl Driver for DoubleDriver {
+            fn name(&self) -> &str {
+                "double"
+            }
+            fn dispatch(&mut self, k: &mut Kernel, dev: DeviceId, irp: IrpId) -> DriverStatus {
+                k.complete_request(dev, irp, NtStatus::Success);
+                k.complete_request(dev, irp, NtStatus::Success);
+                DriverStatus::Complete
+            }
+        }
+        let mut k = Kernel::new(1);
+        let dev = k.create_device("double", Box::new(DoubleDriver));
+        let (irp, _) = k.submit(dev, Major::Close, IrpParams::default());
+        assert!(k
+            .violations()
+            .contains(&Violation::IrpDoubleComplete(irp)));
+    }
+
+    #[test]
+    fn access_after_pass_down_detected() {
+        struct UpperDriver;
+        impl Driver for UpperDriver {
+            fn name(&self) -> &str {
+                "upper"
+            }
+            fn dispatch(&mut self, k: &mut Kernel, dev: DeviceId, irp: IrpId) -> DriverStatus {
+                let lower = k.lower_device(dev).expect("attached");
+                k.call_driver(dev, lower, irp);
+                // BUG: we no longer own the IRP.
+                k.set_information(dev, irp, 99);
+                DriverStatus::PassedDown
+            }
+        }
+        let mut k = Kernel::new(1);
+        let lower = k.create_device("sink", Box::new(SinkDriver));
+        let upper = k.create_device("upper", Box::new(UpperDriver));
+        k.attach(upper, lower);
+        let (irp, _) = k.submit(upper, Major::Power, IrpParams::default());
+        assert!(k.violations().iter().any(|v| matches!(
+            v,
+            Violation::IrpAccessWithoutOwnership { irp: i, .. } if *i == irp
+        )));
+    }
+
+    #[test]
+    fn spinlock_discipline() {
+        let mut k = Kernel::new(1);
+        let lock = k.create_spinlock();
+        let prev = k.acquire_spinlock(lock);
+        assert_eq!(prev, Irql::Passive);
+        assert_eq!(k.irql(), Irql::Dispatch);
+        k.release_spinlock(lock, prev);
+        assert_eq!(k.irql(), Irql::Passive);
+        assert!(k.violations().is_empty());
+
+        // Double acquire.
+        k.acquire_spinlock(lock);
+        k.acquire_spinlock(lock);
+        assert!(k
+            .violations()
+            .contains(&Violation::SpinLockDoubleAcquire(lock)));
+        k.release_spinlock(lock, Irql::Passive);
+        // Release when free.
+        k.release_spinlock(lock, Irql::Passive);
+        assert!(k
+            .violations()
+            .contains(&Violation::SpinLockReleaseUnheld(lock)));
+    }
+
+    #[test]
+    fn lock_leak_audited() {
+        let mut k = Kernel::new(1);
+        let lock = k.create_spinlock();
+        k.acquire_spinlock(lock);
+        k.audit_locks();
+        assert!(k.violations().contains(&Violation::SpinLockLeaked(lock)));
+    }
+
+    #[test]
+    fn paged_access_at_dispatch_deadlocks() {
+        let mut k = Kernel::new(1);
+        let cell = k.alloc_paged(7);
+        // Resident + passive: fine.
+        assert_eq!(k.read_paged(cell), 7);
+        // Paged out + dispatch: kernel deadlock.
+        let lock = k.create_spinlock();
+        let prev = k.acquire_spinlock(lock);
+        k.page_out(cell);
+        k.read_paged(cell);
+        assert!(k.violations().iter().any(|v| matches!(
+            v,
+            Violation::PagedAccessAtHighIrql { irql: Irql::Dispatch }
+        )));
+        k.release_spinlock(lock, prev);
+        // Paged out + passive: the fault is serviced.
+        k.page_out(cell);
+        k.write_paged(cell, 9);
+        assert_eq!(k.read_paged(cell), 9);
+    }
+
+    #[test]
+    fn wait_without_signal_deadlocks() {
+        let mut k = Kernel::new(1);
+        let e = k.create_event();
+        k.wait_event(e);
+        assert!(k
+            .violations()
+            .iter()
+            .any(|v| matches!(v, Violation::Deadlock(_))));
+    }
+
+    #[test]
+    fn deferred_completion_signals_progress() {
+        struct AsyncLower;
+        impl Driver for AsyncLower {
+            fn name(&self) -> &str {
+                "async-lower"
+            }
+            fn dispatch(&mut self, k: &mut Kernel, dev: DeviceId, irp: IrpId) -> DriverStatus {
+                k.mark_pending(dev, irp);
+                k.defer_completion(dev, irp, NtStatus::Success, 3);
+                DriverStatus::Pending
+            }
+        }
+        let mut k = Kernel::new(1);
+        let dev = k.create_device("async", Box::new(AsyncLower));
+        let (irp, status) = k.submit(dev, Major::Pnp, IrpParams::default());
+        assert_eq!(status, DriverStatus::Pending);
+        assert!(!k.irp_completed(irp));
+        k.drain_deferred();
+        assert!(k.irp_completed(irp));
+        assert!(k.violations().is_empty());
+        assert!(k.stats().dpcs >= 3);
+    }
+
+    #[test]
+    fn set_priority_requires_passive() {
+        let mut k = Kernel::new(1);
+        k.set_priority_thread(3);
+        assert!(k.violations().is_empty());
+        let lock = k.create_spinlock();
+        let prev = k.acquire_spinlock(lock);
+        k.set_priority_thread(3);
+        k.release_spinlock(lock, prev);
+        assert!(k.violations().iter().any(|v| matches!(
+            v,
+            Violation::IrqlTooHigh { service: "KeSetPriorityThread", .. }
+        )));
+    }
+}

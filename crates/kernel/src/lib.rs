@@ -1,0 +1,37 @@
+//! # vault-kernel
+//!
+//! A deterministic simulation of the Windows 2000 kernel I/O substrate
+//! from the case study of *Enforcing High-Level Protocols in Low-Level
+//! Software* (paper §4): IRPs with the ownership protocol, driver stacks,
+//! events, spin locks with IRQL raising, paged memory, deferred
+//! completion, and a complete floppy disk device + driver.
+//!
+//! Every protocol the Vault checker enforces statically is checked here
+//! dynamically and recorded as a [`Violation`]; the workload module runs
+//! the detection matrix of experiment E12 (clean driver → zero violations,
+//! each seeded bug → the matching violation category).
+//!
+//! ## Example
+//!
+//! ```
+//! use vault_kernel::workload::{run_floppy_workload, WorkloadConfig};
+//!
+//! let report = run_floppy_workload(&WorkloadConfig::default());
+//! assert!(report.clean());
+//! assert!(report.succeeded > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod floppy;
+pub mod irql;
+pub mod kernel;
+pub mod workload;
+
+pub use floppy::{install_stacked, FilterDriver, FloppyBugs, FloppyDisk, FloppyDriver, MotorState};
+pub use irql::Irql;
+pub use kernel::{
+    CompletionDisposition, DeviceId, Driver, DriverStatus, EventId, IrpId, IrpParams, Kernel,
+    KernelStats, Major, NtStatus, Owner, PagedId, SpinLockId, Violation, ViolationKind,
+};
+pub use workload::{detection_matrix, run_floppy_workload, WorkloadConfig, WorkloadReport};

@@ -1,0 +1,320 @@
+//! End-to-end driver workloads for experiment E12.
+//!
+//! A workload boots a floppy stack, issues a seeded mix of requests
+//! (create / read / write / ioctl / PnP / power) with memory pressure on
+//! the paged configuration, then audits the kernel. The clean driver must
+//! produce zero violations; each seeded-bug variant must produce at least
+//! one violation of the matching category — the same matrix the static
+//! checker produces on the corpus mutants.
+
+use crate::floppy::{ioctl, FloppyBugs, FloppyDriver, BYTES_PER_SECTOR};
+use crate::kernel::{
+    IrpParams, Kernel, KernelStats, Major, NtStatus, Violation, ViolationKind,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Workload parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadConfig {
+    /// Number of I/O operations to issue.
+    pub ops: usize,
+    /// RNG seed (fully deterministic per seed).
+    pub seed: u64,
+    /// Which driver bugs to enable.
+    pub bugs: FloppyBugs,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            ops: 100,
+            seed: 0xF10,
+            bugs: FloppyBugs::none(),
+        }
+    }
+}
+
+/// What happened.
+#[derive(Clone, Debug)]
+pub struct WorkloadReport {
+    /// Requests that completed successfully.
+    pub succeeded: u64,
+    /// Requests that completed with an error status.
+    pub failed: u64,
+    /// Every violation the kernel observed.
+    pub violations: Vec<Violation>,
+    /// The distinct violation categories.
+    pub kinds: BTreeSet<ViolationKind>,
+    /// Kernel counters.
+    pub stats: KernelStats,
+}
+
+impl WorkloadReport {
+    /// Whether the run was protocol-clean.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Run a floppy workload.
+pub fn run_floppy_workload(cfg: &WorkloadConfig) -> WorkloadReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut k = Kernel::new(cfg.seed ^ 0x5EED);
+    let dev = FloppyDriver::install(&mut k, cfg.bugs);
+    let mut issued = Vec::new();
+
+    let (open, _) = k.submit(dev, Major::Create, IrpParams::default());
+    issued.push(open);
+
+    // PnP start-device first, like the real boot path.
+    let (pnp, _) = k.submit(dev, Major::Pnp, IrpParams::default());
+    issued.push(pnp);
+
+    let disk_sectors = crate::floppy::CYLINDERS * crate::floppy::SECTORS_PER_TRACK;
+    for i in 0..cfg.ops {
+        match rng.gen_range(0..10u8) {
+            0..=3 => {
+                // Read a random extent; occasionally an invalid one (a
+                // driver must complete bad requests with an error).
+                let invalid = rng.gen_bool(0.1);
+                let offset = if invalid {
+                    -1
+                } else {
+                    rng.gen_range(0..disk_sectors as i64 - 4)
+                };
+                let length = rng.gen_range(1..4usize);
+                let (irp, _) = k.submit(
+                    dev,
+                    Major::Read,
+                    IrpParams {
+                        offset,
+                        length,
+                        ..IrpParams::default()
+                    },
+                );
+                issued.push(irp);
+            }
+            4..=6 => {
+                let offset = rng.gen_range(0..disk_sectors as i64 - 4);
+                let length = rng.gen_range(1..4usize);
+                let (irp, _) = k.submit(
+                    dev,
+                    Major::Write,
+                    IrpParams {
+                        offset,
+                        length,
+                        ioctl: 0,
+                        data: vec![i as u8; length * BYTES_PER_SECTOR],
+                    },
+                );
+                issued.push(irp);
+            }
+            7 => {
+                // Known ioctls plus the occasional unsupported code (the
+                // driver must fail it exactly once).
+                let code = match rng.gen_range(0..6u8) {
+                    0 => ioctl::GET_MEDIA_TYPES,
+                    1 => ioctl::SET_DATA_RATE,
+                    2 => ioctl::FORMAT_TRACKS,
+                    3 | 4 => ioctl::CHECK_MEDIA,
+                    _ => 0xDEAD,
+                };
+                let (irp, _) = k.submit(
+                    dev,
+                    Major::DeviceControl,
+                    IrpParams {
+                        ioctl: code,
+                        length: rng.gen_range(250..1001),
+                        ..IrpParams::default()
+                    },
+                );
+                issued.push(irp);
+            }
+            8 => {
+                let (irp, _) = k.submit(dev, Major::Power, IrpParams::default());
+                issued.push(irp);
+            }
+            _ => {
+                // Memory pressure, then drain the queue.
+                k.memory_pressure();
+                let (irp, _) = k.submit(
+                    dev,
+                    Major::DeviceControl,
+                    IrpParams {
+                        ioctl: ioctl::PROCESS_QUEUE,
+                        ..IrpParams::default()
+                    },
+                );
+                issued.push(irp);
+            }
+        }
+    }
+
+    // Final drain and close.
+    let (drain, _) = k.submit(
+        dev,
+        Major::DeviceControl,
+        IrpParams {
+            ioctl: ioctl::PROCESS_QUEUE,
+            ..IrpParams::default()
+        },
+    );
+    issued.push(drain);
+    let (close, _) = k.submit(dev, Major::Close, IrpParams::default());
+    issued.push(close);
+
+    k.drain_deferred();
+    k.audit_irps();
+    k.audit_locks();
+
+    let mut succeeded = 0;
+    let mut failed = 0;
+    for irp in issued {
+        match k.irp_status(irp) {
+            Some(NtStatus::Success) => succeeded += 1,
+            Some(_) => failed += 1,
+            None => {}
+        }
+    }
+    let violations = k.violations().to_vec();
+    let kinds = violations.iter().map(Violation::kind).collect();
+    WorkloadReport {
+        succeeded,
+        failed,
+        violations,
+        kinds,
+        stats: k.stats(),
+    }
+}
+
+/// The E12 detection matrix: each seeded bug with the violation category
+/// the run must exhibit.
+pub fn detection_matrix() -> Vec<(&'static str, FloppyBugs, ViolationKind)> {
+    vec![
+        (
+            "skip_release",
+            FloppyBugs {
+                skip_release: true,
+                ..FloppyBugs::none()
+            },
+            ViolationKind::SpinLock,
+        ),
+        (
+            "drop_irp",
+            FloppyBugs {
+                drop_irp: true,
+                ..FloppyBugs::none()
+            },
+            ViolationKind::IrpOwnership,
+        ),
+        (
+            "use_after_pass",
+            FloppyBugs {
+                use_after_pass: true,
+                ..FloppyBugs::none()
+            },
+            ViolationKind::IrpOwnership,
+        ),
+        (
+            "no_wait",
+            FloppyBugs {
+                no_wait: true,
+                ..FloppyBugs::none()
+            },
+            ViolationKind::IrpOwnership,
+        ),
+        (
+            "paged_under_lock",
+            FloppyBugs {
+                paged_under_lock: true,
+                ..FloppyBugs::none()
+            },
+            ViolationKind::IrqlPaging,
+        ),
+        (
+            "double_complete",
+            FloppyBugs {
+                double_complete: true,
+                ..FloppyBugs::none()
+            },
+            ViolationKind::IrpOwnership,
+        ),
+        (
+            "motor_not_started",
+            FloppyBugs {
+                motor_not_started: true,
+                ..FloppyBugs::none()
+            },
+            ViolationKind::Device,
+        ),
+        (
+            "motor_leaked",
+            FloppyBugs {
+                motor_leaked: true,
+                ..FloppyBugs::none()
+            },
+            ViolationKind::Device,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_workload_has_no_violations() {
+        for seed in [1u64, 2, 3] {
+            let r = run_floppy_workload(&WorkloadConfig {
+                ops: 120,
+                seed,
+                bugs: FloppyBugs::none(),
+            });
+            assert!(r.clean(), "seed {seed}: {:?}", r.violations);
+            assert!(r.succeeded > 50, "seed {seed}: too few successes");
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let cfg = WorkloadConfig {
+            ops: 60,
+            seed: 9,
+            bugs: FloppyBugs::none(),
+        };
+        let a = run_floppy_workload(&cfg);
+        let b = run_floppy_workload(&cfg);
+        assert_eq!(a.succeeded, b.succeeded);
+        assert_eq!(a.failed, b.failed);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn every_seeded_bug_is_detected_with_matching_category() {
+        for (name, bugs, expected_kind) in detection_matrix() {
+            let r = run_floppy_workload(&WorkloadConfig {
+                ops: 120,
+                seed: 11,
+                bugs,
+            });
+            assert!(
+                !r.clean(),
+                "bug `{name}` produced a clean run — oracle failed"
+            );
+            assert!(
+                r.kinds.contains(&expected_kind),
+                "bug `{name}` expected {expected_kind:?}, saw {:?}\n{:?}",
+                r.kinds,
+                r.violations
+            );
+        }
+    }
+
+    #[test]
+    fn detection_matrix_covers_all_bug_flags() {
+        // One entry per field of FloppyBugs.
+        assert_eq!(detection_matrix().len(), 8);
+    }
+}

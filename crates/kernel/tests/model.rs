@@ -1,0 +1,117 @@
+//! Model-based property tests for the kernel's synchronization objects:
+//! random operation sequences against simple reference models.
+
+use proptest::prelude::*;
+use vault_kernel::{Irql, Kernel, Violation};
+
+#[derive(Clone, Copy, Debug)]
+enum LockOp {
+    Acquire,
+    Release,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Spin locks against a boolean model: the kernel flags exactly the
+    /// off-model operations and tracks IRQL like a stack of one.
+    #[test]
+    fn spinlock_matches_reference_model(
+        ops in proptest::collection::vec(
+            prop_oneof![Just(LockOp::Acquire), Just(LockOp::Release)],
+            1..40,
+        )
+    ) {
+        let mut k = Kernel::new(1);
+        let lock = k.create_spinlock();
+        let mut model_held = false;
+        let mut expected_violations = 0usize;
+        let mut saved = Irql::Passive;
+        for op in ops {
+            match op {
+                LockOp::Acquire => {
+                    if model_held {
+                        expected_violations += 1;
+                    }
+                    saved = k.irql();
+                    let prev = k.acquire_spinlock(lock);
+                    if !model_held {
+                        prop_assert_eq!(prev, saved);
+                    }
+                    model_held = true;
+                    prop_assert_eq!(k.irql(), Irql::Dispatch);
+                }
+                LockOp::Release => {
+                    if !model_held {
+                        expected_violations += 1;
+                        k.release_spinlock(lock, saved);
+                    } else {
+                        k.release_spinlock(lock, saved);
+                        model_held = false;
+                        prop_assert_eq!(k.irql(), saved);
+                    }
+                }
+            }
+        }
+        k.audit_locks();
+        if model_held {
+            expected_violations += 1; // leak at audit
+        }
+        prop_assert_eq!(
+            k.violations().len(),
+            expected_violations,
+            "{:?}",
+            k.violations()
+        );
+    }
+
+    /// Events: waiting with no pending work that can signal is always a
+    /// deadlock; signal-then-wait never is.
+    #[test]
+    fn event_wait_discipline(signal_first in any::<bool>()) {
+        let mut k = Kernel::new(2);
+        let e = k.create_event();
+        if signal_first {
+            k.signal_event(e);
+            k.wait_event(e);
+            prop_assert!(k.violations().is_empty());
+        } else {
+            k.wait_event(e);
+            prop_assert!(k
+                .violations()
+                .iter()
+                .any(|v| matches!(v, Violation::Deadlock(_))));
+        }
+    }
+
+    /// Paged memory: below DISPATCH_LEVEL the page fault is always
+    /// serviced and the value survives; at DISPATCH_LEVEL a paged-out
+    /// access always deadlocks, a resident one never does.
+    #[test]
+    fn paged_memory_model(value in any::<i64>(), paged_out in any::<bool>()) {
+        let mut k = Kernel::new(3);
+        let cell = k.alloc_paged(value);
+        if paged_out {
+            k.page_out(cell);
+        }
+        // Passive access always fine.
+        prop_assert_eq!(k.read_paged(cell), value);
+        prop_assert!(k.violations().is_empty());
+        // Raise to dispatch via a lock.
+        let lock = k.create_spinlock();
+        let prev = k.acquire_spinlock(lock);
+        if paged_out {
+            k.page_out(cell);
+            let _ = k.read_paged(cell);
+            let deadlocked = k
+                .violations()
+                .iter()
+                .any(|v| matches!(v, Violation::PagedAccessAtHighIrql { .. }));
+            prop_assert!(deadlocked);
+        } else {
+            let _ = k.read_paged(cell);
+            prop_assert!(k.violations().is_empty());
+        }
+        k.release_spinlock(lock, prev);
+    }
+}

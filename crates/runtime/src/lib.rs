@@ -1,0 +1,37 @@
+//! # vault-runtime
+//!
+//! The run-time substrates that the Vault protocols of *Enforcing
+//! High-Level Protocols in Low-Level Software* protect, with dynamic
+//! protocol oracles:
+//!
+//! * [`region::RegionHeap`] — the region/arena allocator of Figs. 1–2,
+//!   detecting dangling accesses, double deletes, and leaks at run time;
+//! * [`socket::Network`] — the connection-oriented socket simulator of
+//!   Fig. 3, enforcing raw → named → listening → ready dynamically.
+//!
+//! The differential test suite runs the same scenarios through the static
+//! checker (`vault-core` on Vault source) and through these oracles and
+//! asserts both agree — statically rejected programs correspond exactly to
+//! the executions that fault here.
+//!
+//! ## Example
+//!
+//! ```
+//! use vault_runtime::region::{RegionHeap, RegionError};
+//!
+//! let mut heap = RegionHeap::new();
+//! let rgn = heap.create();
+//! let pt = heap.alloc(rgn, (1, 2))?;
+//! heap.delete(rgn)?;
+//! // Fig. 2 `dangling` at run time:
+//! assert_eq!(heap.get(pt), Err(RegionError::UseAfterDelete));
+//! # Ok::<(), RegionError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod region;
+pub mod socket;
+
+pub use region::{RegionError, RegionHeap, RegionId, RegionPtr, RegionStats};
+pub use socket::{CommStyle, Domain, NetStats, Network, SockId, SockState, SocketError};

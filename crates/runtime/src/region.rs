@@ -1,0 +1,361 @@
+//! A region (arena) allocator with a dynamic protocol oracle.
+//!
+//! This is the run-time system that the paper's region protocol (Figs. 1–2)
+//! protects. Objects are allocated out of named regions and deallocated by
+//! deleting the whole region. Every misuse the Vault checker rejects
+//! statically is detected here dynamically via generation counters:
+//!
+//! * dangling access (`dangling` in Fig. 2) → [`RegionError::UseAfterDelete`];
+//! * double delete → [`RegionError::DoubleDelete`];
+//! * leaked regions (`leaky` in Fig. 2) → reported by [`RegionHeap::leaked`].
+//!
+//! The differential tests run the same scenarios through both the static
+//! checker (on Vault source) and this oracle and assert they agree.
+
+use std::fmt;
+
+/// A region identifier with a generation stamp.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId {
+    index: u32,
+    generation: u32,
+}
+
+/// A handle to an object allocated in a region.
+#[derive(Debug)]
+pub struct RegionPtr<T> {
+    region: RegionId,
+    slot: u32,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+// Manual impls: the derive would wrongly require `T: Copy` etc., but the
+// handle never owns a `T`.
+impl<T> Clone for RegionPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for RegionPtr<T> {}
+impl<T> PartialEq for RegionPtr<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.region == other.region && self.slot == other.slot
+    }
+}
+impl<T> Eq for RegionPtr<T> {}
+impl<T> std::hash::Hash for RegionPtr<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.region.hash(state);
+        self.slot.hash(state);
+    }
+}
+
+impl<T> RegionPtr<T> {
+    /// The region this handle points into.
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
+}
+
+/// Runtime protocol violations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegionError {
+    /// Access through a handle whose region has been deleted — the
+    /// dynamic analogue of diagnostic `V301`.
+    UseAfterDelete,
+    /// `delete` on a region that is already gone.
+    DoubleDelete,
+    /// A handle from a different heap or a corrupted handle.
+    InvalidHandle,
+}
+
+impl fmt::Display for RegionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegionError::UseAfterDelete => f.write_str("access to an object in a deleted region"),
+            RegionError::DoubleDelete => f.write_str("region deleted twice"),
+            RegionError::InvalidHandle => f.write_str("invalid region handle"),
+        }
+    }
+}
+
+impl std::error::Error for RegionError {}
+
+struct Slot<T> {
+    generation: u32,
+    live: bool,
+    objects: Vec<T>,
+}
+
+/// Allocation statistics, for the benches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegionStats {
+    /// Regions ever created.
+    pub created: u64,
+    /// Regions deleted.
+    pub deleted: u64,
+    /// Objects ever allocated.
+    pub allocations: u64,
+    /// Protocol violations detected at run time.
+    pub violations: u64,
+}
+
+/// A heap of regions holding objects of type `T`.
+pub struct RegionHeap<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    stats: RegionStats,
+}
+
+impl<T> RegionHeap<T> {
+    /// An empty heap.
+    pub fn new() -> Self {
+        RegionHeap {
+            slots: Vec::new(),
+            free: Vec::new(),
+            stats: RegionStats::default(),
+        }
+    }
+
+    /// Create a fresh region.
+    pub fn create(&mut self) -> RegionId {
+        self.stats.created += 1;
+        match self.free.pop() {
+            Some(index) => {
+                let slot = &mut self.slots[index as usize];
+                slot.live = true;
+                slot.objects.clear();
+                RegionId {
+                    index,
+                    generation: slot.generation,
+                }
+            }
+            None => {
+                self.slots.push(Slot {
+                    generation: 0,
+                    live: true,
+                    objects: Vec::new(),
+                });
+                RegionId {
+                    index: self.slots.len() as u32 - 1,
+                    generation: 0,
+                }
+            }
+        }
+    }
+
+    fn slot(&self, region: RegionId) -> Result<&Slot<T>, RegionError> {
+        let slot = self
+            .slots
+            .get(region.index as usize)
+            .ok_or(RegionError::InvalidHandle)?;
+        if slot.generation != region.generation {
+            return Err(RegionError::UseAfterDelete);
+        }
+        Ok(slot)
+    }
+
+    /// Allocate an object in a region.
+    ///
+    /// # Errors
+    /// [`RegionError::UseAfterDelete`] if the region has been deleted.
+    pub fn alloc(&mut self, region: RegionId, value: T) -> Result<RegionPtr<T>, RegionError> {
+        let stats = &mut self.stats;
+        let slot = self
+            .slots
+            .get_mut(region.index as usize)
+            .ok_or(RegionError::InvalidHandle)?;
+        if slot.generation != region.generation || !slot.live {
+            stats.violations += 1;
+            return Err(RegionError::UseAfterDelete);
+        }
+        stats.allocations += 1;
+        slot.objects.push(value);
+        Ok(RegionPtr {
+            region,
+            slot: slot.objects.len() as u32 - 1,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Read an object.
+    ///
+    /// # Errors
+    /// [`RegionError::UseAfterDelete`] if the region is gone — this is the
+    /// dangling access of Fig. 2.
+    pub fn get(&self, ptr: RegionPtr<T>) -> Result<&T, RegionError> {
+        let slot = self.slot(ptr.region)?;
+        if !slot.live {
+            return Err(RegionError::UseAfterDelete);
+        }
+        slot.objects
+            .get(ptr.slot as usize)
+            .ok_or(RegionError::InvalidHandle)
+    }
+
+    /// Mutate an object.
+    ///
+    /// # Errors
+    /// Same as [`Self::get`]; violations are counted in the stats.
+    pub fn get_mut(&mut self, ptr: RegionPtr<T>) -> Result<&mut T, RegionError> {
+        let stats_violation;
+        {
+            let slot = self
+                .slots
+                .get(ptr.region.index as usize)
+                .ok_or(RegionError::InvalidHandle)?;
+            stats_violation = slot.generation != ptr.region.generation || !slot.live;
+        }
+        if stats_violation {
+            self.stats.violations += 1;
+            return Err(RegionError::UseAfterDelete);
+        }
+        self.slots[ptr.region.index as usize]
+            .objects
+            .get_mut(ptr.slot as usize)
+            .ok_or(RegionError::InvalidHandle)
+    }
+
+    /// Delete a region, invalidating every handle into it.
+    ///
+    /// # Errors
+    /// [`RegionError::DoubleDelete`] if already deleted.
+    pub fn delete(&mut self, region: RegionId) -> Result<(), RegionError> {
+        let stats = &mut self.stats;
+        let slot = self
+            .slots
+            .get_mut(region.index as usize)
+            .ok_or(RegionError::InvalidHandle)?;
+        if slot.generation != region.generation || !slot.live {
+            stats.violations += 1;
+            return Err(RegionError::DoubleDelete);
+        }
+        slot.live = false;
+        slot.generation += 1;
+        slot.objects.clear();
+        stats.deleted += 1;
+        self.free.push(region.index);
+        Ok(())
+    }
+
+    /// Whether a region is still live.
+    pub fn is_live(&self, region: RegionId) -> bool {
+        self.slot(region).map(|s| s.live).unwrap_or(false)
+    }
+
+    /// Number of regions created but never deleted — Fig. 2's `leaky`.
+    pub fn leaked(&self) -> usize {
+        self.slots.iter().filter(|s| s.live).count()
+    }
+
+    /// Number of live objects across all regions.
+    pub fn live_objects(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.live)
+            .map(|s| s.objects.len())
+            .sum()
+    }
+
+    /// Allocation statistics.
+    pub fn stats(&self) -> RegionStats {
+        self.stats
+    }
+}
+
+impl<T> Default for RegionHeap<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Point {
+        x: i32,
+        y: i32,
+    }
+
+    #[test]
+    fn fig2_okay_runtime() {
+        let mut heap = RegionHeap::new();
+        let rgn = heap.create();
+        let pt = heap.alloc(rgn, Point { x: 1, y: 2 }).unwrap();
+        heap.get_mut(pt).unwrap().x += 1;
+        assert_eq!(heap.get(pt).unwrap().x, 2);
+        heap.delete(rgn).unwrap();
+        assert_eq!(heap.leaked(), 0);
+        assert_eq!(heap.stats().violations, 0);
+    }
+
+    #[test]
+    fn fig2_dangling_runtime() {
+        let mut heap = RegionHeap::new();
+        let rgn = heap.create();
+        let pt = heap.alloc(rgn, Point { x: 1, y: 2 }).unwrap();
+        heap.delete(rgn).unwrap();
+        assert_eq!(heap.get_mut(pt), Err(RegionError::UseAfterDelete));
+        assert_eq!(heap.stats().violations, 1);
+    }
+
+    #[test]
+    fn fig2_leaky_runtime() {
+        let mut heap = RegionHeap::new();
+        let rgn = heap.create();
+        heap.alloc(rgn, Point { x: 1, y: 2 }).unwrap();
+        assert_eq!(heap.leaked(), 1);
+    }
+
+    #[test]
+    fn double_delete_detected() {
+        let mut heap = RegionHeap::<Point>::new();
+        let rgn = heap.create();
+        heap.delete(rgn).unwrap();
+        assert_eq!(heap.delete(rgn), Err(RegionError::DoubleDelete));
+    }
+
+    #[test]
+    fn reused_slots_do_not_resurrect_handles() {
+        let mut heap = RegionHeap::new();
+        let rgn1 = heap.create();
+        let pt1 = heap.alloc(rgn1, Point { x: 1, y: 1 }).unwrap();
+        heap.delete(rgn1).unwrap();
+        // New region reuses the slot; the old handle must stay dead.
+        let rgn2 = heap.create();
+        assert_ne!(rgn1, rgn2);
+        heap.alloc(rgn2, Point { x: 9, y: 9 }).unwrap();
+        assert_eq!(heap.get(pt1), Err(RegionError::UseAfterDelete));
+        assert!(heap.is_live(rgn2));
+        assert!(!heap.is_live(rgn1));
+    }
+
+    #[test]
+    fn alloc_into_deleted_region_fails() {
+        let mut heap = RegionHeap::new();
+        let rgn = heap.create();
+        heap.delete(rgn).unwrap();
+        assert_eq!(
+            heap.alloc(rgn, Point { x: 0, y: 0 }),
+            Err(RegionError::UseAfterDelete)
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut heap = RegionHeap::new();
+        let a = heap.create();
+        let b = heap.create();
+        heap.alloc(a, Point { x: 0, y: 0 }).unwrap();
+        heap.alloc(b, Point { x: 0, y: 0 }).unwrap();
+        heap.alloc(b, Point { x: 1, y: 1 }).unwrap();
+        heap.delete(a).unwrap();
+        let s = heap.stats();
+        assert_eq!(s.created, 2);
+        assert_eq!(s.deleted, 1);
+        assert_eq!(s.allocations, 3);
+        assert_eq!(heap.live_objects(), 2);
+    }
+}

@@ -1,0 +1,441 @@
+//! An in-memory connection-oriented socket simulator with the
+//! raw → named → listening → ready protocol of paper Fig. 3.
+//!
+//! The simulator is the run-time system behind the SOCKET interface: every
+//! operation checks the protocol state machine and reports
+//! [`SocketError::WrongState`] on misuse — the dynamic analogue of the
+//! checker's `V302` — plus resource accounting for leak detection.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// Protocol states of a socket (the key states of Fig. 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SockState {
+    /// Fresh from `socket()`.
+    Raw,
+    /// After `bind`.
+    Named,
+    /// After `listen`.
+    Listening,
+    /// A connection returned by `accept` (or a connected client).
+    Ready,
+    /// After `close`.
+    Closed,
+}
+
+impl fmt::Display for SockState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SockState::Raw => "raw",
+            SockState::Named => "named",
+            SockState::Listening => "listening",
+            SockState::Ready => "ready",
+            SockState::Closed => "closed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Address domain (Fig. 3's `domain` variant).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Domain {
+    /// Local.
+    Unix,
+    /// Internet.
+    Inet,
+}
+
+/// Communication style (Fig. 3's `comm_style` variant).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommStyle {
+    /// Connection-oriented.
+    Stream,
+    /// Datagram.
+    Dgram,
+}
+
+/// A socket handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SockId(u32);
+
+/// Runtime protocol violations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SocketError {
+    /// Operation applied in the wrong protocol state.
+    WrongState {
+        /// What the operation needed.
+        expected: SockState,
+        /// What the socket was in.
+        actual: SockState,
+    },
+    /// The port is already bound.
+    AddrInUse(u16),
+    /// No pending connection to accept.
+    WouldBlock,
+    /// Unknown or closed socket id.
+    BadSocket,
+    /// Nothing to receive.
+    Empty,
+}
+
+impl fmt::Display for SocketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SocketError::WrongState { expected, actual } => {
+                write!(f, "socket must be `{expected}` but is `{actual}`")
+            }
+            SocketError::AddrInUse(p) => write!(f, "port {p} already in use"),
+            SocketError::WouldBlock => f.write_str("no pending connection"),
+            SocketError::BadSocket => f.write_str("invalid socket"),
+            SocketError::Empty => f.write_str("no message available"),
+        }
+    }
+}
+
+impl std::error::Error for SocketError {}
+
+struct Sock {
+    state: SockState,
+    domain: Domain,
+    style: CommStyle,
+    port: Option<u16>,
+    /// Pending connections on a listener.
+    backlog: VecDeque<SockId>,
+    backlog_limit: usize,
+    /// Incoming messages on a ready socket.
+    inbox: VecDeque<Vec<u8>>,
+    /// The other endpoint of a ready connection.
+    peer: Option<SockId>,
+}
+
+/// Accounting for the benches and leak checks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Sockets ever created.
+    pub created: u64,
+    /// Sockets closed.
+    pub closed: u64,
+    /// Messages delivered.
+    pub messages: u64,
+    /// Protocol violations observed.
+    pub violations: u64,
+}
+
+/// The in-memory network: all sockets plus the port table.
+pub struct Network {
+    socks: Vec<Sock>,
+    ports: BTreeMap<u16, SockId>,
+    stats: NetStats,
+}
+
+impl Network {
+    /// An empty network.
+    pub fn new() -> Self {
+        Network {
+            socks: Vec::new(),
+            ports: BTreeMap::new(),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Create a socket in the `raw` state.
+    pub fn socket(&mut self, domain: Domain, style: CommStyle) -> SockId {
+        self.stats.created += 1;
+        self.socks.push(Sock {
+            state: SockState::Raw,
+            domain,
+            style,
+            port: None,
+            backlog: VecDeque::new(),
+            backlog_limit: 0,
+            inbox: VecDeque::new(),
+            peer: None,
+        });
+        SockId(self.socks.len() as u32 - 1)
+    }
+
+    fn sock(&self, id: SockId) -> Result<&Sock, SocketError> {
+        self.socks.get(id.0 as usize).ok_or(SocketError::BadSocket)
+    }
+
+    fn sock_mut(&mut self, id: SockId) -> Result<&mut Sock, SocketError> {
+        self.socks
+            .get_mut(id.0 as usize)
+            .ok_or(SocketError::BadSocket)
+    }
+
+    fn require(&mut self, id: SockId, expected: SockState) -> Result<(), SocketError> {
+        let actual = self.sock(id)?.state;
+        if actual != expected {
+            self.stats.violations += 1;
+            return Err(SocketError::WrongState { expected, actual });
+        }
+        Ok(())
+    }
+
+    /// `bind`: raw → named.
+    ///
+    /// # Errors
+    /// [`SocketError::WrongState`] off-protocol; [`SocketError::AddrInUse`]
+    /// if the port is taken (the failure case of §2.3 — the socket stays
+    /// `raw`, exactly like the `'Error` constructor).
+    pub fn bind(&mut self, id: SockId, port: u16) -> Result<(), SocketError> {
+        self.require(id, SockState::Raw)?;
+        if self.ports.contains_key(&port) {
+            return Err(SocketError::AddrInUse(port));
+        }
+        self.ports.insert(port, id);
+        let s = self.sock_mut(id)?;
+        s.port = Some(port);
+        s.state = SockState::Named;
+        Ok(())
+    }
+
+    /// `listen`: named → listening.
+    pub fn listen(&mut self, id: SockId, backlog: usize) -> Result<(), SocketError> {
+        self.require(id, SockState::Named)?;
+        let s = self.sock_mut(id)?;
+        s.state = SockState::Listening;
+        s.backlog_limit = backlog.max(1);
+        Ok(())
+    }
+
+    /// Client side: connect to a listening port, yielding a ready client
+    /// socket once accepted. The connection sits in the listener's backlog
+    /// until `accept`.
+    pub fn connect(&mut self, client: SockId, port: u16) -> Result<(), SocketError> {
+        self.require(client, SockState::Raw)?;
+        let listener = *self.ports.get(&port).ok_or(SocketError::BadSocket)?;
+        let (l_state, l_full) = {
+            let l = self.sock(listener)?;
+            (l.state, l.backlog.len() >= l.backlog_limit)
+        };
+        if l_state != SockState::Listening {
+            self.stats.violations += 1;
+            return Err(SocketError::WrongState {
+                expected: SockState::Listening,
+                actual: l_state,
+            });
+        }
+        if l_full {
+            return Err(SocketError::WouldBlock);
+        }
+        self.sock_mut(listener)?.backlog.push_back(client);
+        self.sock_mut(client)?.state = SockState::Ready;
+        Ok(())
+    }
+
+    /// `accept`: take a pending connection, producing a fresh ready socket
+    /// (the `new N@ready` of Fig. 3). The listener stays listening.
+    pub fn accept(&mut self, id: SockId) -> Result<SockId, SocketError> {
+        self.require(id, SockState::Listening)?;
+        let client = self
+            .sock_mut(id)?
+            .backlog
+            .pop_front()
+            .ok_or(SocketError::WouldBlock)?;
+        let (domain, style) = {
+            let l = self.sock(id)?;
+            (l.domain, l.style)
+        };
+        self.stats.created += 1;
+        self.socks.push(Sock {
+            state: SockState::Ready,
+            domain,
+            style,
+            port: None,
+            backlog: VecDeque::new(),
+            backlog_limit: 0,
+            inbox: VecDeque::new(),
+            peer: Some(client),
+        });
+        let server_end = SockId(self.socks.len() as u32 - 1);
+        self.sock_mut(client)?.peer = Some(server_end);
+        Ok(server_end)
+    }
+
+    /// Send bytes to the peer of a ready socket.
+    pub fn send(&mut self, id: SockId, data: &[u8]) -> Result<(), SocketError> {
+        self.require(id, SockState::Ready)?;
+        let peer = self.sock(id)?.peer.ok_or(SocketError::BadSocket)?;
+        self.sock_mut(peer)?.inbox.push_back(data.to_vec());
+        self.stats.messages += 1;
+        Ok(())
+    }
+
+    /// `receive`: read one message from a ready socket.
+    ///
+    /// # Errors
+    /// [`SocketError::WrongState`] unless the socket is `ready` — the
+    /// misuse Fig. 3's `[S@ready]` precondition prevents statically.
+    pub fn receive(&mut self, id: SockId) -> Result<Vec<u8>, SocketError> {
+        self.require(id, SockState::Ready)?;
+        self.sock_mut(id)?
+            .inbox
+            .pop_front()
+            .ok_or(SocketError::Empty)
+    }
+
+    /// `close`: any live state → closed; releases the port.
+    pub fn close(&mut self, id: SockId) -> Result<(), SocketError> {
+        let state = self.sock(id)?.state;
+        if state == SockState::Closed {
+            self.stats.violations += 1;
+            return Err(SocketError::WrongState {
+                expected: SockState::Ready,
+                actual: SockState::Closed,
+            });
+        }
+        if let Some(port) = self.sock(id)?.port {
+            self.ports.remove(&port);
+        }
+        let s = self.sock_mut(id)?;
+        s.state = SockState::Closed;
+        s.inbox.clear();
+        s.backlog.clear();
+        self.stats.closed += 1;
+        Ok(())
+    }
+
+    /// Current protocol state of a socket.
+    pub fn state(&self, id: SockId) -> Option<SockState> {
+        self.sock(id).ok().map(|s| s.state)
+    }
+
+    /// Sockets never closed — the leak measure.
+    pub fn leaked(&self) -> usize {
+        self.socks
+            .iter()
+            .filter(|s| s.state != SockState::Closed)
+            .count()
+    }
+
+    /// Accounting.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server_setup(net: &mut Network, port: u16) -> SockId {
+        let s = net.socket(Domain::Unix, CommStyle::Stream);
+        net.bind(s, port).unwrap();
+        net.listen(s, 4).unwrap();
+        s
+    }
+
+    #[test]
+    fn correct_sequence_works() {
+        let mut net = Network::new();
+        let server = server_setup(&mut net, 80);
+        let client = net.socket(Domain::Unix, CommStyle::Stream);
+        net.connect(client, 80).unwrap();
+        let conn = net.accept(server).unwrap();
+        net.send(client, b"hello").unwrap();
+        assert_eq!(net.receive(conn).unwrap(), b"hello");
+        net.close(conn).unwrap();
+        net.close(client).unwrap();
+        net.close(server).unwrap();
+        assert_eq!(net.leaked(), 0);
+        assert_eq!(net.stats().violations, 0);
+    }
+
+    #[test]
+    fn listen_before_bind_rejected() {
+        let mut net = Network::new();
+        let s = net.socket(Domain::Inet, CommStyle::Stream);
+        assert_eq!(
+            net.listen(s, 4),
+            Err(SocketError::WrongState {
+                expected: SockState::Named,
+                actual: SockState::Raw,
+            })
+        );
+        assert_eq!(net.stats().violations, 1);
+    }
+
+    #[test]
+    fn receive_on_listener_rejected() {
+        let mut net = Network::new();
+        let s = server_setup(&mut net, 81);
+        assert!(matches!(
+            net.receive(s),
+            Err(SocketError::WrongState { .. })
+        ));
+    }
+
+    #[test]
+    fn accept_before_listen_rejected() {
+        let mut net = Network::new();
+        let s = net.socket(Domain::Unix, CommStyle::Stream);
+        net.bind(s, 82).unwrap();
+        assert!(matches!(net.accept(s), Err(SocketError::WrongState { .. })));
+    }
+
+    #[test]
+    fn bind_failure_leaves_socket_raw() {
+        // §2.3: the 'Error case leaves the key in the raw state.
+        let mut net = Network::new();
+        let a = net.socket(Domain::Inet, CommStyle::Stream);
+        let b = net.socket(Domain::Inet, CommStyle::Stream);
+        net.bind(a, 90).unwrap();
+        assert_eq!(net.bind(b, 90), Err(SocketError::AddrInUse(90)));
+        assert_eq!(net.state(b), Some(SockState::Raw));
+        // Retry on another port succeeds, as in the paper's retry story.
+        net.bind(b, 91).unwrap();
+        assert_eq!(net.state(b), Some(SockState::Named));
+    }
+
+    #[test]
+    fn double_close_rejected() {
+        let mut net = Network::new();
+        let s = net.socket(Domain::Unix, CommStyle::Dgram);
+        net.close(s).unwrap();
+        assert!(matches!(net.close(s), Err(SocketError::WrongState { .. })));
+    }
+
+    #[test]
+    fn port_released_on_close() {
+        let mut net = Network::new();
+        let a = server_setup(&mut net, 100);
+        net.close(a).unwrap();
+        let b = net.socket(Domain::Unix, CommStyle::Stream);
+        net.bind(b, 100).unwrap();
+    }
+
+    #[test]
+    fn backlog_limit_enforced() {
+        let mut net = Network::new();
+        let server = net.socket(Domain::Unix, CommStyle::Stream);
+        net.bind(server, 101).unwrap();
+        net.listen(server, 1).unwrap();
+        let c1 = net.socket(Domain::Unix, CommStyle::Stream);
+        let c2 = net.socket(Domain::Unix, CommStyle::Stream);
+        net.connect(c1, 101).unwrap();
+        assert_eq!(net.connect(c2, 101), Err(SocketError::WouldBlock));
+    }
+
+    #[test]
+    fn leak_accounting() {
+        let mut net = Network::new();
+        let _s = net.socket(Domain::Unix, CommStyle::Stream);
+        assert_eq!(net.leaked(), 1);
+    }
+
+    #[test]
+    fn accept_without_pending_blocks() {
+        let mut net = Network::new();
+        let s = server_setup(&mut net, 102);
+        assert_eq!(net.accept(s), Err(SocketError::WouldBlock));
+    }
+}

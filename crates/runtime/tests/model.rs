@@ -1,0 +1,154 @@
+//! Model-based property tests: the socket simulator against a reference
+//! state machine, and the region heap against a map model, under random
+//! operation sequences.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use vault_runtime::{
+    CommStyle, Domain, Network, RegionHeap, SockId, SockState, SocketError,
+};
+
+#[derive(Clone, Copy, Debug)]
+enum SockOp {
+    Socket,
+    Bind { sock: usize, port: u16 },
+    Listen { sock: usize },
+    Close { sock: usize },
+}
+
+fn sock_ops() -> impl Strategy<Value = Vec<SockOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(SockOp::Socket),
+            (0usize..8, 1u16..5).prop_map(|(sock, port)| SockOp::Bind { sock, port }),
+            (0usize..8).prop_map(|sock| SockOp::Listen { sock }),
+            (0usize..8).prop_map(|sock| SockOp::Close { sock }),
+        ],
+        1..50,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The simulator's state transitions match the Fig. 3 state machine,
+    /// tracked independently by a reference model.
+    #[test]
+    fn socket_simulator_matches_state_machine(ops in sock_ops()) {
+        let mut net = Network::new();
+        let mut created: Vec<SockId> = Vec::new();
+        let mut model: BTreeMap<usize, SockState> = BTreeMap::new();
+        let mut ports_in_use: BTreeMap<u16, usize> = BTreeMap::new();
+        for op in ops {
+            match op {
+                SockOp::Socket => {
+                    let id = net.socket(Domain::Unix, CommStyle::Stream);
+                    model.insert(created.len(), SockState::Raw);
+                    created.push(id);
+                }
+                SockOp::Bind { sock, port } => {
+                    let Some(&id) = created.get(sock) else { continue };
+                    let expect_state = model[&sock];
+                    let r = net.bind(id, port);
+                    match (expect_state, ports_in_use.contains_key(&port)) {
+                        (SockState::Raw, false) => {
+                            prop_assert!(r.is_ok());
+                            ports_in_use.insert(port, sock);
+                            model.insert(sock, SockState::Named);
+                        }
+                        (SockState::Raw, true) => {
+                            prop_assert_eq!(r, Err(SocketError::AddrInUse(port)));
+                            // §2.3: the socket stays raw.
+                            prop_assert_eq!(net.state(id), Some(SockState::Raw));
+                        }
+                        (actual, _) => {
+                            prop_assert_eq!(
+                                r,
+                                Err(SocketError::WrongState {
+                                    expected: SockState::Raw,
+                                    actual,
+                                })
+                            );
+                        }
+                    }
+                }
+                SockOp::Listen { sock } => {
+                    let Some(&id) = created.get(sock) else { continue };
+                    let expect_state = model[&sock];
+                    let r = net.listen(id, 4);
+                    if expect_state == SockState::Named {
+                        prop_assert!(r.is_ok());
+                        model.insert(sock, SockState::Listening);
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+                SockOp::Close { sock } => {
+                    let Some(&id) = created.get(sock) else { continue };
+                    let expect_state = model[&sock];
+                    let r = net.close(id);
+                    if expect_state == SockState::Closed {
+                        prop_assert!(r.is_err());
+                    } else {
+                        prop_assert!(r.is_ok());
+                        model.insert(sock, SockState::Closed);
+                        ports_in_use.retain(|_, &mut s| s != sock);
+                    }
+                }
+            }
+            // The simulator's view agrees with the model at every step.
+            for (i, &id) in created.iter().enumerate() {
+                prop_assert_eq!(net.state(id), Some(model[&i]));
+            }
+        }
+        // Leak accounting agrees.
+        let model_leaked = model.values().filter(|&&s| s != SockState::Closed).count();
+        prop_assert_eq!(net.leaked(), model_leaked);
+    }
+
+    /// Region heap against a map model: values survive exactly while the
+    /// region lives, and leak counts match.
+    #[test]
+    fn region_heap_matches_map_model(
+        ops in proptest::collection::vec((0usize..6, any::<bool>(), any::<i32>()), 1..60)
+    ) {
+        let mut heap: RegionHeap<i32> = RegionHeap::new();
+        let mut regions = Vec::new();
+        let mut model: Vec<(bool, Vec<i32>)> = Vec::new(); // (live, values)
+        let mut ptrs = Vec::new();
+        for (slot, make_new, value) in ops {
+            if make_new || regions.is_empty() {
+                regions.push(heap.create());
+                model.push((true, Vec::new()));
+            } else {
+                let idx = slot % regions.len();
+                let rgn = regions[idx];
+                if model[idx].0 {
+                    if value % 3 == 0 {
+                        heap.delete(rgn).unwrap();
+                        model[idx].0 = false;
+                    } else {
+                        let p = heap.alloc(rgn, value).unwrap();
+                        model[idx].1.push(value);
+                        ptrs.push((idx, model[idx].1.len() - 1, p));
+                    }
+                } else {
+                    // Dead region: everything errors.
+                    prop_assert!(heap.alloc(rgn, value).is_err());
+                    prop_assert!(heap.delete(rgn).is_err());
+                }
+            }
+            // Every recorded pointer reads back correctly iff its region
+            // is live.
+            for &(idx, vi, p) in &ptrs {
+                if model[idx].0 {
+                    prop_assert_eq!(heap.get(p), Ok(&model[idx].1[vi]));
+                } else {
+                    prop_assert!(heap.get(p).is_err());
+                }
+            }
+        }
+        let model_leaked = model.iter().filter(|(live, _)| *live).count();
+        prop_assert_eq!(heap.leaked(), model_leaked);
+    }
+}

@@ -1,0 +1,457 @@
+//! Structured diagnostics.
+//!
+//! Every error the front end or protocol checker reports is a [`Diagnostic`]
+//! with a stable [`Code`], a primary span, and optional notes. Codes are what
+//! the test suite and the experiment harness assert on: each protocol
+//! violation class from the paper maps to one code.
+
+use crate::span::{SourceMap, Span};
+use std::fmt;
+
+/// Stable machine-readable diagnostic codes.
+///
+/// The `V1xx` range is lexical/syntactic, `V2xx` is declaration/type
+/// elaboration, and `V3xx` is the protocol (key) checker — the heart of the
+/// paper. `V4xx` is code generation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Code {
+    // --- lexical / syntactic -------------------------------------------
+    /// Unexpected or invalid character in the input.
+    LexInvalidChar,
+    /// Unterminated string literal or block comment.
+    LexUnterminated,
+    /// Integer literal out of range.
+    LexIntOverflow,
+    /// The parser found a token it did not expect.
+    ParseUnexpected,
+    /// A construct is syntactically malformed (message has details).
+    ParseMalformed,
+
+    // --- declarations / elaboration ------------------------------------
+    /// Reference to an undeclared type, function, variant, or stateset.
+    UnknownName,
+    /// The same name was declared twice in one scope.
+    DuplicateDecl,
+    /// A type was applied to the wrong number or kinds of arguments.
+    BadTypeArgs,
+    /// An expression's type does not match what the context requires.
+    TypeMismatch,
+    /// A `stateset` declaration does not describe a partial order.
+    BadStateset,
+    /// A state token is not a member of the relevant stateset.
+    UnknownState,
+    /// Malformed effect clause (e.g. conflicting items for one key).
+    BadEffect,
+
+    // --- protocol checking (the paper's contribution) -------------------
+    /// A guarded or tracked value was accessed while its key is not held.
+    /// Paper: the `dangling` function of Fig. 2.
+    KeyNotHeld,
+    /// A key is held but in the wrong local state for this operation.
+    /// Paper: calling `listen` on a socket whose key is still `@raw`.
+    WrongKeyState,
+    /// A key would be introduced that is already in the held-key set
+    /// (keys are linear). Paper: acquiring a spin lock twice (§4.2).
+    DuplicateKey,
+    /// The held-key set at a function exit has keys the effect clause does
+    /// not promise — a resource leak. Paper: the `leaky` function of Fig. 2.
+    KeyLeak,
+    /// The effect clause promises a key at exit that is not held.
+    MissingKeyAtExit,
+    /// The held-key sets of two control-flow paths disagree at a join
+    /// point. Paper: Fig. 5.
+    JoinMismatch,
+    /// A loop's key-set invariant could not be inferred.
+    LoopInvariant,
+    /// A bounded state variable's constraint is violated
+    /// (e.g. `IRQL @ (level <= DISPATCH_LEVEL)` at DIRQL). Paper §4.4.
+    StateBound,
+    /// A variable was used before being assigned a value.
+    Uninitialized,
+    /// A function value does not conform to the required function type
+    /// (used for completion routines, §4.3).
+    FnTypeMismatch,
+    /// `free` applied to a non-tracked value.
+    FreeUntracked,
+    /// A global key (like `IRQL`) cannot be consumed or created.
+    GlobalKeyMisuse,
+    /// A tracked value was copied in a way that would duplicate its key.
+    TrackedCopy,
+    /// A `switch` over a keyed variant does not cover every constructor
+    /// (uncovered paths would lose the captured keys).
+    NonExhaustiveSwitch,
+
+    // --- code generation -------------------------------------------------
+    /// The C emitter cannot translate a construct.
+    CodegenUnsupported,
+}
+
+impl Code {
+    /// The stable string form, e.g. `V301`.
+    pub fn as_str(self) -> &'static str {
+        use Code::*;
+        match self {
+            LexInvalidChar => "V101",
+            LexUnterminated => "V102",
+            LexIntOverflow => "V103",
+            ParseUnexpected => "V110",
+            ParseMalformed => "V111",
+            UnknownName => "V201",
+            DuplicateDecl => "V202",
+            BadTypeArgs => "V203",
+            TypeMismatch => "V204",
+            BadStateset => "V205",
+            UnknownState => "V206",
+            BadEffect => "V207",
+            KeyNotHeld => "V301",
+            WrongKeyState => "V302",
+            DuplicateKey => "V303",
+            KeyLeak => "V304",
+            MissingKeyAtExit => "V305",
+            JoinMismatch => "V306",
+            LoopInvariant => "V307",
+            StateBound => "V308",
+            Uninitialized => "V309",
+            FnTypeMismatch => "V310",
+            FreeUntracked => "V311",
+            GlobalKeyMisuse => "V312",
+            TrackedCopy => "V313",
+            NonExhaustiveSwitch => "V314",
+            CodegenUnsupported => "V401",
+        }
+    }
+}
+
+impl Code {
+    /// Parse a stable string form (`V301`) back to a code.
+    pub fn from_str_code(s: &str) -> Option<Code> {
+        use Code::*;
+        Some(match s {
+            "V101" => LexInvalidChar,
+            "V102" => LexUnterminated,
+            "V103" => LexIntOverflow,
+            "V110" => ParseUnexpected,
+            "V111" => ParseMalformed,
+            "V201" => UnknownName,
+            "V202" => DuplicateDecl,
+            "V203" => BadTypeArgs,
+            "V204" => TypeMismatch,
+            "V205" => BadStateset,
+            "V206" => UnknownState,
+            "V207" => BadEffect,
+            "V301" => KeyNotHeld,
+            "V302" => WrongKeyState,
+            "V303" => DuplicateKey,
+            "V304" => KeyLeak,
+            "V305" => MissingKeyAtExit,
+            "V306" => JoinMismatch,
+            "V307" => LoopInvariant,
+            "V308" => StateBound,
+            "V309" => Uninitialized,
+            "V310" => FnTypeMismatch,
+            "V311" => FreeUntracked,
+            "V312" => GlobalKeyMisuse,
+            "V313" => TrackedCopy,
+            "V314" => NonExhaustiveSwitch,
+            "V401" => CodegenUnsupported,
+            _ => return None,
+        })
+    }
+
+    /// A paragraph explaining the diagnostic, in terms of the paper's key
+    /// model (for `vaultc explain`).
+    pub fn explain(self) -> &'static str {
+        use Code::*;
+        match self {
+            LexInvalidChar => "a character that is not part of the Vault lexical grammar",
+            LexUnterminated => "a string literal or block comment is never closed",
+            LexIntOverflow => "an integer literal does not fit in 64 bits",
+            ParseUnexpected => "the parser met a token that no rule allows here",
+            ParseMalformed => "a construct is syntactically malformed",
+            UnknownName => "reference to a type, function, constructor, field, or \
+                            variable that is not declared",
+            DuplicateDecl => "the same name is declared twice in one scope",
+            BadTypeArgs => "a parameterized type or constructor is instantiated with the \
+                            wrong number or kinds of arguments, or a key parameter \
+                            cannot be inferred",
+            TypeMismatch => "an expression's type does not match what its context \
+                             requires",
+            BadStateset => "a stateset declaration does not describe a partial order \
+                            (cycles, or states reused across statesets)",
+            UnknownState => "a state token that belongs to no declared stateset",
+            BadEffect => "a malformed effect clause: a key no parameter binds, a key \
+                          mentioned twice, or an undetermined state variable",
+            KeyNotHeld => "a guarded or tracked value was accessed while its key is not \
+                           in the held-key set — a dangling reference (paper Fig. 2 \
+                           `dangling`); keys leave the set when resources are freed, \
+                           consumed by an effect, or packed into a value",
+            WrongKeyState => "the key is held but in the wrong local state for this \
+                              operation — a protocol-order violation (e.g. `listen` on \
+                              a socket that is still `raw`, paper Fig. 3)",
+            DuplicateKey => "an operation would add a key that is already in the \
+                             held-key set; keys are linear, so this is e.g. acquiring a \
+                             spin lock twice (paper §4.2)",
+            KeyLeak => "a key is still held at function exit but the effect clause does \
+                        not return it — a leaked resource (paper Fig. 2 `leaky`, or a \
+                        missing lock release)",
+            MissingKeyAtExit => "the effect clause promises a key at exit that is not \
+                                 held there",
+            JoinMismatch => "two control-flow paths reach this point with different \
+                             held-key sets; make the correlation explicit with a keyed \
+                             variant (paper Fig. 5)",
+            LoopInvariant => "the held-key set changes from one loop iteration to the \
+                              next, so no loop invariant exists",
+            StateBound => "a bounded state constraint is violated, e.g. calling a \
+                           function that requires IRQL <= DISPATCH_LEVEL at DIRQL, or \
+                           touching paged memory at DISPATCH_LEVEL (paper §4.4)",
+            Uninitialized => "a variable may be used before it is assigned",
+            FnTypeMismatch => "a function value does not conform to the required \
+                               function type (completion routines, paper §4.3)",
+            FreeUntracked => "`free` applied to a value that is not tracked by a key",
+            GlobalKeyMisuse => "a global key such as IRQL cannot be consumed, created, \
+                                or captured into values — only its state changes",
+            TrackedCopy => "copying this value would duplicate its key",
+            NonExhaustiveSwitch => "a switch over a keyed variant must cover every \
+                                    constructor; uncovered paths would lose the \
+                                    captured keys",
+            CodegenUnsupported => "the C back end cannot translate this construct",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Severity of a diagnostic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational note attached to the analysis.
+    Note,
+    /// Suspicious but not protocol-violating.
+    Warning,
+    /// A definite violation; checking fails.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => f.write_str("note"),
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// A secondary label pointing at related source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Label {
+    /// Where the related code is.
+    pub span: Span,
+    /// What it has to do with the primary message.
+    pub message: String,
+}
+
+/// One reported problem.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code.
+    pub code: Code,
+    /// Error/warning/note.
+    pub severity: Severity,
+    /// Primary location.
+    pub span: Span,
+    /// Human-readable message (lowercase, no trailing period).
+    pub message: String,
+    /// Secondary locations.
+    pub labels: Vec<Label>,
+}
+
+impl Diagnostic {
+    /// A new error diagnostic.
+    pub fn error(code: Code, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// A new warning diagnostic.
+    pub fn warning(code: Code, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, span, message)
+        }
+    }
+
+    /// Attach a secondary label.
+    pub fn with_label(mut self, span: Span, message: impl Into<String>) -> Self {
+        self.labels.push(Label {
+            span,
+            message: message.into(),
+        });
+        self
+    }
+
+    /// Render against a source map, in a rustc-like single-diagnostic format.
+    pub fn render(&self, sm: &SourceMap) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let lc = sm.line_col(self.span.start);
+        let _ = writeln!(
+            out,
+            "{}[{}]: {}",
+            self.severity, self.code, self.message
+        );
+        let _ = writeln!(out, "  --> {}:{}", sm.name(), lc);
+        let line = sm.line_text(self.span.start);
+        let _ = writeln!(out, "   | {line}");
+        let caret_start = (lc.col as usize).saturating_sub(1);
+        let caret_len = (self.span.len() as usize).max(1).min(line.len().saturating_sub(caret_start).max(1));
+        let _ = writeln!(out, "   | {}{}", " ".repeat(caret_start), "^".repeat(caret_len));
+        for label in &self.labels {
+            let llc = sm.line_col(label.span.start);
+            let _ = writeln!(out, "   = note: {} (at {}:{})", label.message, sm.name(), llc);
+        }
+        out
+    }
+}
+
+/// Accumulates diagnostics during a pass.
+#[derive(Clone, Debug, Default)]
+pub struct DiagSink {
+    diags: Vec<Diagnostic>,
+}
+
+impl DiagSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diags.push(d);
+    }
+
+    /// Convenience: record an error.
+    pub fn error(&mut self, code: Code, span: Span, message: impl Into<String>) {
+        self.push(Diagnostic::error(code, span, message));
+    }
+
+    /// All diagnostics recorded so far, in order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Whether any error-severity diagnostic was recorded.
+    pub fn has_errors(&self) -> bool {
+        self.diags.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Whether some diagnostic carries `code`.
+    pub fn has_code(&self, code: Code) -> bool {
+        self.diags.iter().any(|d| d.code == code)
+    }
+
+    /// Consume the sink, yielding its diagnostics.
+    pub fn into_vec(self) -> Vec<Diagnostic> {
+        self.diags
+    }
+
+    /// Absorb all diagnostics from another sink.
+    pub fn extend(&mut self, other: DiagSink) {
+        self.diags.extend(other.diags);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique() {
+        use Code::*;
+        let all = [
+            LexInvalidChar,
+            LexUnterminated,
+            LexIntOverflow,
+            ParseUnexpected,
+            ParseMalformed,
+            UnknownName,
+            DuplicateDecl,
+            BadTypeArgs,
+            TypeMismatch,
+            BadStateset,
+            UnknownState,
+            BadEffect,
+            KeyNotHeld,
+            WrongKeyState,
+            DuplicateKey,
+            KeyLeak,
+            MissingKeyAtExit,
+            JoinMismatch,
+            LoopInvariant,
+            StateBound,
+            Uninitialized,
+            FnTypeMismatch,
+            FreeUntracked,
+            GlobalKeyMisuse,
+            TrackedCopy,
+            NonExhaustiveSwitch,
+            CodegenUnsupported,
+        ];
+        let mut strs: Vec<_> = all.iter().map(|c| c.as_str()).collect();
+        strs.sort_unstable();
+        strs.dedup();
+        assert_eq!(strs.len(), all.len(), "duplicate diagnostic code strings");
+        // Round trip through the string form, and every code explains
+        // itself.
+        for c in all {
+            assert_eq!(Code::from_str_code(c.as_str()), Some(c));
+            assert!(c.explain().len() > 20, "{c} lacks an explanation");
+        }
+        assert_eq!(Code::from_str_code("V999"), None);
+    }
+
+    #[test]
+    fn sink_tracks_errors() {
+        let mut sink = DiagSink::new();
+        assert!(!sink.has_errors());
+        sink.push(Diagnostic::warning(Code::KeyLeak, Span::DUMMY, "w"));
+        assert!(!sink.has_errors());
+        sink.error(Code::KeyNotHeld, Span::DUMMY, "e");
+        assert!(sink.has_errors());
+        assert_eq!(sink.error_count(), 1);
+        assert!(sink.has_code(Code::KeyNotHeld));
+        assert!(sink.has_code(Code::KeyLeak));
+        assert!(!sink.has_code(Code::JoinMismatch));
+    }
+
+    #[test]
+    fn render_points_at_line() {
+        let sm = SourceMap::new("f.vlt", "int x;\npt.x++;\n");
+        let d = Diagnostic::error(Code::KeyNotHeld, Span::new(7, 11), "key R not held")
+            .with_label(Span::new(0, 3), "key was consumed here");
+        let text = d.render(&sm);
+        assert!(text.contains("error[V301]: key R not held"), "{text}");
+        assert!(text.contains("f.vlt:2:1"), "{text}");
+        assert!(text.contains("pt.x++;"), "{text}");
+        assert!(text.contains("^^^^"), "{text}");
+        assert!(text.contains("key was consumed here"), "{text}");
+    }
+}

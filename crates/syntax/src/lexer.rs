@@ -1,0 +1,508 @@
+//! Hand-written lexer for the Vault surface language.
+//!
+//! Produces a `Vec<Token>` terminated by [`TokenKind::Eof`]. Comments (`//`
+//! line and `/* ... */` block) and whitespace are skipped. Lexical errors are
+//! reported through a [`DiagSink`] and the offending characters skipped, so a
+//! single pass can report multiple errors.
+
+use crate::diag::{Code, DiagSink};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Lex `src` into tokens, reporting lexical errors into `diags`.
+pub fn lex(src: &str, diags: &mut DiagSink) -> Vec<Token> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        diags,
+    }
+    .run()
+}
+
+struct Lexer<'a, 'd> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    diags: &'d mut DiagSink,
+}
+
+impl<'a, 'd> Lexer<'a, 'd> {
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let start = self.pos;
+            let Some(b) = self.peek() else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::new(start as u32, start as u32),
+                });
+                return out;
+            };
+            let kind = self.next_kind(b, start);
+            if let Some(kind) = kind {
+                out.push(Token {
+                    kind,
+                    span: Span::new(start as u32, self.pos as u32),
+                });
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => self.bump(),
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.bump();
+                    self.bump();
+                    let mut closed = false;
+                    while let Some(b) = self.peek() {
+                        if b == b'*' && self.peek2() == Some(b'/') {
+                            self.bump();
+                            self.bump();
+                            closed = true;
+                            break;
+                        }
+                        self.bump();
+                    }
+                    if !closed {
+                        self.diags.error(
+                            Code::LexUnterminated,
+                            Span::new(start as u32, self.pos as u32),
+                            "unterminated block comment",
+                        );
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_kind(&mut self, b: u8, start: usize) -> Option<TokenKind> {
+        use TokenKind::*;
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' => Some(self.ident(start)),
+            b'_' => {
+                // `_` alone is a wildcard; `_foo` is an identifier.
+                if self
+                    .peek2()
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+                {
+                    Some(self.ident(start))
+                } else {
+                    self.bump();
+                    Some(Underscore)
+                }
+            }
+            b'0'..=b'9' => Some(self.number(start)),
+            b'\'' => {
+                self.bump();
+                if self
+                    .peek()
+                    .is_some_and(|c| c.is_ascii_alphabetic() || c == b'_')
+                {
+                    let istart = self.pos;
+                    self.eat_ident_tail();
+                    Some(CtorIdent(self.src[istart..self.pos].to_string()))
+                } else {
+                    self.diags.error(
+                        Code::LexInvalidChar,
+                        Span::new(start as u32, self.pos as u32),
+                        "expected constructor name after `'`",
+                    );
+                    None
+                }
+            }
+            b'"' => Some(self.string(start)),
+            b'(' => self.one(LParen),
+            b')' => self.one(RParen),
+            b'{' => self.one(LBrace),
+            b'}' => self.one(RBrace),
+            b'[' => self.one(LBracket),
+            b']' => self.one(RBracket),
+            b',' => self.one(Comma),
+            b';' => self.one(Semi),
+            b':' => self.one(Colon),
+            b'@' => self.one(At),
+            b'.' => self.one(Dot),
+            b'%' => self.one(Percent),
+            b'*' => self.one(Star),
+            b'/' => self.one(Slash),
+            b'<' => self.one_or_two(b'=', Lt, Le),
+            b'>' => self.one_or_two(b'=', Gt, Ge),
+            b'=' => self.one_or_two(b'=', Eq, EqEq),
+            b'!' => self.one_or_two(b'=', Bang, NotEq),
+            b'+' => self.one_or_two(b'+', Plus, PlusPlus),
+            b'-' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'>') => {
+                        self.bump();
+                        Some(Arrow)
+                    }
+                    Some(b'-') => {
+                        self.bump();
+                        Some(MinusMinus)
+                    }
+                    _ => Some(Minus),
+                }
+            }
+            b'&' => {
+                self.bump();
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    Some(AndAnd)
+                } else {
+                    self.diags.error(
+                        Code::LexInvalidChar,
+                        Span::new(start as u32, self.pos as u32),
+                        "single `&` is not a Vault operator",
+                    );
+                    None
+                }
+            }
+            b'|' => {
+                self.bump();
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    Some(OrOr)
+                } else {
+                    Some(Pipe)
+                }
+            }
+            other => {
+                // Skip the whole (possibly multi-byte) character so the
+                // next token starts on a character boundary.
+                self.pos += utf8_len(other);
+                let ch = self.src[start..self.pos].chars().next().unwrap_or('?');
+                self.diags.error(
+                    Code::LexInvalidChar,
+                    Span::new(start as u32, self.pos as u32),
+                    format!("invalid character `{ch}`"),
+                );
+                None
+            }
+        }
+    }
+
+    fn one(&mut self, kind: TokenKind) -> Option<TokenKind> {
+        self.bump();
+        Some(kind)
+    }
+
+    fn one_or_two(&mut self, second: u8, one: TokenKind, two: TokenKind) -> Option<TokenKind> {
+        self.bump();
+        if self.peek() == Some(second) {
+            self.bump();
+            Some(two)
+        } else {
+            Some(one)
+        }
+    }
+
+    fn eat_ident_tail(&mut self) {
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            self.bump();
+        }
+    }
+
+    fn ident(&mut self, start: usize) -> TokenKind {
+        self.bump();
+        self.eat_ident_tail();
+        let text = &self.src[start..self.pos];
+        TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()))
+    }
+
+    fn number(&mut self, start: usize) -> TokenKind {
+        // Hex literals appear in driver code (0x...); support them.
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+            self.bump();
+            self.bump();
+            let digits_start = self.pos;
+            while self.peek().is_some_and(|c| c.is_ascii_hexdigit()) {
+                self.bump();
+            }
+            let text = &self.src[digits_start..self.pos];
+            return match i64::from_str_radix(text, 16) {
+                Ok(n) if !text.is_empty() => TokenKind::Int(n),
+                _ => {
+                    self.diags.error(
+                        Code::LexIntOverflow,
+                        Span::new(start as u32, self.pos as u32),
+                        "invalid hexadecimal literal",
+                    );
+                    TokenKind::Int(0)
+                }
+            };
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        let text = &self.src[start..self.pos];
+        match text.parse::<i64>() {
+            Ok(n) => TokenKind::Int(n),
+            Err(_) => {
+                self.diags.error(
+                    Code::LexIntOverflow,
+                    Span::new(start as u32, self.pos as u32),
+                    "integer literal out of range",
+                );
+                TokenKind::Int(0)
+            }
+        }
+    }
+
+    fn string(&mut self, start: usize) -> TokenKind {
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                None | Some(b'\n') => {
+                    self.diags.error(
+                        Code::LexUnterminated,
+                        Span::new(start as u32, self.pos as u32),
+                        "unterminated string literal",
+                    );
+                    return TokenKind::Str(value);
+                }
+                Some(b'"') => {
+                    self.bump();
+                    return TokenKind::Str(value);
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'n') => value.push('\n'),
+                        Some(b't') => value.push('\t'),
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        Some(b'0') => value.push('\0'),
+                        other => {
+                            self.diags.error(
+                                Code::LexInvalidChar,
+                                Span::new(self.pos as u32 - 1, self.pos as u32 + 1),
+                                format!(
+                                    "unknown escape `\\{}`",
+                                    other.map(|c| c as char).unwrap_or(' ')
+                                ),
+                            );
+                        }
+                    }
+                    // Skip the escaped character, which may be multi-byte.
+                    if let Some(b) = self.peek() {
+                        self.pos += utf8_len(b);
+                    }
+                }
+                Some(b) => {
+                    // Multi-byte UTF-8 passes through unchanged.
+                    let ch_len = utf8_len(b);
+                    value.push_str(&self.src[self.pos..self.pos + ch_len]);
+                    self.pos += ch_len;
+                }
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        let mut diags = DiagSink::new();
+        let toks = lex(src, &mut diags);
+        assert!(!diags.has_errors(), "unexpected lex errors: {:?}", diags);
+        toks.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("tracked(R) region rgn = Region.create();"),
+            vec![
+                KwTracked,
+                LParen,
+                Ident("R".into()),
+                RParen,
+                Ident("region".into()),
+                Ident("rgn".into()),
+                Eq,
+                Ident("Region".into()),
+                Dot,
+                Ident("create".into()),
+                LParen,
+                RParen,
+                Semi,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_effect_clause() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("[S@raw->named, -K, +N@ready, new R@b]"),
+            vec![
+                LBracket,
+                Ident("S".into()),
+                At,
+                Ident("raw".into()),
+                Arrow,
+                Ident("named".into()),
+                Comma,
+                Minus,
+                Ident("K".into()),
+                Comma,
+                Plus,
+                Ident("N".into()),
+                At,
+                Ident("ready".into()),
+                Comma,
+                KwNew,
+                Ident("R".into()),
+                At,
+                Ident("b".into()),
+                RBracket,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_ctor_and_bounds() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("'SomeKey{F} (level <= DISPATCH_LEVEL)"),
+            vec![
+                CtorIdent("SomeKey".into()),
+                LBrace,
+                Ident("F".into()),
+                RBrace,
+                LParen,
+                Ident("level".into()),
+                Le,
+                Ident("DISPATCH_LEVEL".into()),
+                RParen,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("x // line\n /* block\n over lines */ y"),
+            vec![Ident("x".into()), Ident("y".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("== != <= >= && || ++ -- -> + - * / % ! = < >"),
+            vec![
+                EqEq, NotEq, Le, Ge, AndAnd, OrOr, PlusPlus, MinusMinus, Arrow, Plus, Minus,
+                Star, Slash, Percent, Bang, Eq, Lt, Gt, Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_including_hex() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("0 42 0x1F"),
+            vec![Int(0), Int(42), Int(31), Eof]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds(r#""hi\n\"there\"""#),
+            vec![Str("hi\n\"there\"".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn underscore_wildcard_vs_ident() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("_ _tmp"),
+            vec![Underscore, Ident("_tmp".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_reports() {
+        let mut diags = DiagSink::new();
+        lex("\"abc", &mut diags);
+        assert!(diags.has_code(Code::LexUnterminated));
+    }
+
+    #[test]
+    fn unterminated_comment_reports() {
+        let mut diags = DiagSink::new();
+        lex("/* abc", &mut diags);
+        assert!(diags.has_code(Code::LexUnterminated));
+    }
+
+    #[test]
+    fn invalid_char_reports_and_continues() {
+        let mut diags = DiagSink::new();
+        let toks = lex("a # b", &mut diags);
+        assert!(diags.has_code(Code::LexInvalidChar));
+        // Both identifiers survive.
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn spans_are_correct() {
+        let mut diags = DiagSink::new();
+        let toks = lex("free(p)", &mut diags);
+        assert_eq!(toks[0].span, Span::new(0, 4));
+        assert_eq!(toks[1].span, Span::new(4, 5));
+        assert_eq!(toks[2].span, Span::new(5, 6));
+        assert_eq!(toks[3].span, Span::new(6, 7));
+    }
+}

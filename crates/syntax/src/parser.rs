@@ -1,0 +1,1698 @@
+//! Recursive-descent parser for the Vault surface language.
+//!
+//! Backtracking is used in the few places where C-family syntax is ambiguous
+//! (a statement beginning with a type vs. an expression, and guard prefixes
+//! on types). Errors are reported into a [`DiagSink`]; the parser recovers at
+//! statement/declaration boundaries so that multiple errors are reported per
+//! run.
+
+use crate::ast::*;
+use crate::diag::{Code, DiagSink};
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parse a whole compilation unit. Returns the (possibly partial) program;
+/// callers should consult `diags` for errors.
+pub fn parse_program(src: &str, diags: &mut DiagSink) -> Program {
+    let tokens = lex(src, diags);
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        diags,
+    };
+    p.program()
+}
+
+/// Parse a single expression (useful in tests and the REPL-ish CLI mode).
+pub fn parse_expr(src: &str, diags: &mut DiagSink) -> Option<Expr> {
+    let tokens = lex(src, diags);
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        diags,
+    };
+    let e = p.expr()?;
+    if !p.at(&TokenKind::Eof) {
+        p.error_here("expected end of input after expression");
+    }
+    Some(e)
+}
+
+struct Parser<'d> {
+    tokens: Vec<Token>,
+    pos: usize,
+    diags: &'d mut DiagSink,
+}
+
+impl<'d> Parser<'d> {
+    // ------------------------------------------------------------------
+    // Token plumbing
+    // ------------------------------------------------------------------
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn nth(&self, n: usize) -> &TokenKind {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].kind
+    }
+
+    fn span_here(&self) -> Span {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1).min(self.tokens.len() - 1)].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek() == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Option<Span> {
+        if self.at(kind) {
+            Some(self.bump().span)
+        } else {
+            self.error_here(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().describe()
+            ));
+            None
+        }
+    }
+
+    fn ident(&mut self) -> Option<Ident> {
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            let t = self.bump();
+            Some(Ident::new(name, t.span))
+        } else {
+            self.error_here(format!("expected identifier, found {}", self.peek().describe()));
+            None
+        }
+    }
+
+    fn error_here(&mut self, msg: impl Into<String>) {
+        self.diags
+            .error(Code::ParseUnexpected, self.span_here(), msg);
+    }
+
+    /// Run `f` speculatively: on `None`, restore the token position and drop
+    /// any diagnostics it produced.
+    fn speculate<T>(&mut self, f: impl FnOnce(&mut Self) -> Option<T>) -> Option<T> {
+        let pos = self.pos;
+        let ndiags = self.diags.diagnostics().len();
+        match f(self) {
+            Some(v) => Some(v),
+            None => {
+                self.pos = pos;
+                let mut kept = std::mem::take(self.diags).into_vec();
+                kept.truncate(ndiags);
+                for d in kept {
+                    self.diags.push(d);
+                }
+                None
+            }
+        }
+    }
+
+    /// Skip tokens until a likely declaration/statement boundary.
+    fn recover_to(&mut self, stops: &[TokenKind]) {
+        loop {
+            let k = self.peek().clone();
+            if k == TokenKind::Eof || stops.contains(&k) {
+                return;
+            }
+            if k == TokenKind::Semi || k == TokenKind::RBrace {
+                self.bump();
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Declarations
+    // ------------------------------------------------------------------
+
+    fn program(&mut self) -> Program {
+        let mut decls = Vec::new();
+        while !self.at(&TokenKind::Eof) {
+            let before = self.pos;
+            match self.decl() {
+                Some(d) => decls.push(d),
+                None => {
+                    if self.pos == before {
+                        self.bump();
+                    }
+                    self.recover_to(&[
+                        TokenKind::KwStruct,
+                        TokenKind::KwVariant,
+                        TokenKind::KwType,
+                        TokenKind::KwStateset,
+                        TokenKind::KwKey,
+                        TokenKind::KwInterface,
+                    ]);
+                }
+            }
+        }
+        Program { decls }
+    }
+
+    fn decl(&mut self) -> Option<Decl> {
+        match self.peek() {
+            TokenKind::KwInterface | TokenKind::KwModule => {
+                self.interface_decl().map(Decl::Interface)
+            }
+            TokenKind::KwStruct => self.struct_decl().map(Decl::Struct),
+            TokenKind::KwVariant => self.variant_decl().map(Decl::Variant),
+            TokenKind::KwType => self.type_alias_decl().map(Decl::TypeAlias),
+            TokenKind::KwStateset => self.stateset_decl().map(Decl::Stateset),
+            TokenKind::KwKey => self.global_key_decl().map(Decl::GlobalKey),
+            _ => self.fun_decl().map(Decl::Fun),
+        }
+    }
+
+    fn interface_decl(&mut self) -> Option<InterfaceDecl> {
+        let start = self.bump().span; // interface / module
+        let name = self.ident()?;
+        // `module Name : IFACE { ... }` — record the module name, skip the
+        // ascription; contents are flattened either way.
+        if self.eat(&TokenKind::Colon) {
+            self.ident()?;
+        }
+        // `extern module Region : REGION;` style (no body): accept `;`.
+        if self.eat(&TokenKind::Semi) {
+            return Some(InterfaceDecl {
+                name,
+                decls: Vec::new(),
+                span: start.to(self.prev_span()),
+            });
+        }
+        self.expect(&TokenKind::LBrace)?;
+        let mut decls = Vec::new();
+        while !self.at(&TokenKind::RBrace) && !self.at(&TokenKind::Eof) {
+            let before = self.pos;
+            match self.decl() {
+                Some(d) => decls.push(d),
+                None => {
+                    if self.pos == before {
+                        self.bump();
+                    }
+                    self.recover_to(&[TokenKind::RBrace]);
+                }
+            }
+        }
+        let end = self.expect(&TokenKind::RBrace)?;
+        Some(InterfaceDecl {
+            name,
+            decls,
+            span: start.to(end),
+        })
+    }
+
+    fn struct_decl(&mut self) -> Option<StructDecl> {
+        let start = self.bump().span; // struct
+        let name = self.ident()?;
+        let params = self.opt_tparams()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.at(&TokenKind::RBrace) && !self.at(&TokenKind::Eof) {
+            let ty = self.ty()?;
+            let fname = self.ident()?;
+            self.expect(&TokenKind::Semi)?;
+            fields.push(Field { ty, name: fname });
+        }
+        let end = self.expect(&TokenKind::RBrace)?;
+        self.eat(&TokenKind::Semi);
+        Some(StructDecl {
+            name,
+            params,
+            fields,
+            span: start.to(end),
+        })
+    }
+
+    fn variant_decl(&mut self) -> Option<VariantDecl> {
+        let start = self.bump().span; // variant
+        let name = self.ident()?;
+        let params = self.opt_tparams()?;
+        self.expect(&TokenKind::LBracket)?;
+        let mut ctors = Vec::new();
+        loop {
+            ctors.push(self.ctor_decl()?);
+            if !self.eat(&TokenKind::Pipe) {
+                break;
+            }
+        }
+        let end = self.expect(&TokenKind::RBracket)?;
+        self.eat(&TokenKind::Semi);
+        Some(VariantDecl {
+            name,
+            params,
+            ctors,
+            span: start.to(end),
+        })
+    }
+
+    fn ctor_decl(&mut self) -> Option<CtorDecl> {
+        let (name, start) = match self.peek().clone() {
+            TokenKind::CtorIdent(n) => {
+                let t = self.bump();
+                (Ident::new(n, t.span), t.span)
+            }
+            other => {
+                self.error_here(format!("expected constructor, found {}", other.describe()));
+                return None;
+            }
+        };
+        let mut args = Vec::new();
+        if self.eat(&TokenKind::LParen) {
+            if !self.at(&TokenKind::RParen) {
+                loop {
+                    args.push(self.ty()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        let captures = if self.at(&TokenKind::LBrace) {
+            self.key_capture_list()?
+        } else {
+            Vec::new()
+        };
+        Some(CtorDecl {
+            name,
+            args,
+            captures,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    /// `{ K@s, L }` — key captures on constructors and ctor expressions.
+    fn key_capture_list(&mut self) -> Option<Vec<KeyStateRef>> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut keys = Vec::new();
+        if !self.at(&TokenKind::RBrace) {
+            loop {
+                keys.push(self.key_state_ref()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Some(keys)
+    }
+
+    fn key_state_ref(&mut self) -> Option<KeyStateRef> {
+        let key = self.ident()?;
+        let state = if self.eat(&TokenKind::At) {
+            Some(self.state_ref()?)
+        } else {
+            None
+        };
+        Some(KeyStateRef { key, state })
+    }
+
+    /// `name` or `(var <= BOUND)`.
+    fn state_ref(&mut self) -> Option<StateRef> {
+        if self.eat(&TokenKind::LParen) {
+            let var = self.ident()?;
+            self.expect(&TokenKind::Le)?;
+            let bound = self.ident()?;
+            self.expect(&TokenKind::RParen)?;
+            Some(StateRef::Bounded { var, bound })
+        } else {
+            Some(StateRef::Name(self.ident()?))
+        }
+    }
+
+    fn type_alias_decl(&mut self) -> Option<TypeAliasDecl> {
+        let start = self.bump().span; // type
+        let name = self.ident()?;
+        let params = self.opt_tparams()?;
+        let body = if self.eat(&TokenKind::Eq) {
+            let ty = self.ty()?;
+            // A function-type alias body: `ret Name(params) [effect]`.
+            if matches!(self.peek(), TokenKind::Ident(_))
+                && matches!(self.nth(1), TokenKind::LParen)
+            {
+                self.ident()?; // dummy routine name
+                self.expect(&TokenKind::LParen)?;
+                let mut ptys = Vec::new();
+                if !self.at(&TokenKind::RParen) {
+                    loop {
+                        let pty = self.ty()?;
+                        // optional parameter name
+                        if matches!(self.peek(), TokenKind::Ident(_))
+                            && (matches!(self.nth(1), TokenKind::Comma)
+                                || matches!(self.nth(1), TokenKind::RParen))
+                        {
+                            self.ident()?;
+                        }
+                        ptys.push(pty);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+                let effect = self.opt_effect()?;
+                let span = ty.span.to(self.prev_span());
+                Some(Type {
+                    kind: TypeKind::Fn(Box::new(FnType {
+                        ret: ty,
+                        params: ptys,
+                        effect,
+                    })),
+                    span,
+                })
+            } else {
+                Some(ty)
+            }
+        } else {
+            None
+        };
+        let end = self.expect(&TokenKind::Semi)?;
+        Some(TypeAliasDecl {
+            name,
+            params,
+            body,
+            span: start.to(end),
+        })
+    }
+
+    fn stateset_decl(&mut self) -> Option<StatesetDecl> {
+        let start = self.bump().span; // stateset
+        let name = self.ident()?;
+        self.expect(&TokenKind::Eq)?;
+        self.expect(&TokenKind::LBracket)?;
+        let mut chains = Vec::new();
+        loop {
+            let mut chain = vec![self.ident()?];
+            while self.eat(&TokenKind::Lt) {
+                chain.push(self.ident()?);
+            }
+            chains.push(chain);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RBracket)?;
+        let end = self.expect(&TokenKind::Semi)?;
+        Some(StatesetDecl {
+            name,
+            chains,
+            span: start.to(end),
+        })
+    }
+
+    fn global_key_decl(&mut self) -> Option<GlobalKeyDecl> {
+        let start = self.bump().span; // key
+        let name = self.ident()?;
+        let stateset = if self.eat(&TokenKind::At) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        let end = self.expect(&TokenKind::Semi)?;
+        Some(GlobalKeyDecl {
+            name,
+            stateset,
+            span: start.to(end),
+        })
+    }
+
+    fn opt_tparams(&mut self) -> Option<Vec<TParam>> {
+        if !self.at(&TokenKind::Lt) {
+            return Some(Vec::new());
+        }
+        // Only a real parameter list starts with `type`/`key`/`state`.
+        if !matches!(
+            self.nth(1),
+            TokenKind::KwType | TokenKind::KwKey | TokenKind::KwState
+        ) {
+            return Some(Vec::new());
+        }
+        self.bump(); // <
+        let mut params = Vec::new();
+        loop {
+            match self.peek().clone() {
+                TokenKind::KwType => {
+                    self.bump();
+                    params.push(TParam::Type(self.ident()?));
+                }
+                TokenKind::KwKey => {
+                    self.bump();
+                    params.push(TParam::Key(self.ident()?));
+                }
+                TokenKind::KwState => {
+                    self.bump();
+                    let name = self.ident()?;
+                    let bound = if self.eat(&TokenKind::Le) {
+                        Some(self.ident()?)
+                    } else {
+                        None
+                    };
+                    params.push(TParam::State { name, bound });
+                }
+                other => {
+                    self.error_here(format!(
+                        "expected `type`, `key`, or `state` parameter, found {}",
+                        other.describe()
+                    ));
+                    return None;
+                }
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::Gt)?;
+        Some(params)
+    }
+
+    fn fun_decl(&mut self) -> Option<FunDecl> {
+        let start = self.span_here();
+        let ret = self.ty()?;
+        let name = self.ident()?;
+        let tparams = self.opt_tparams()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                let ty = self.ty()?;
+                let pname = if let TokenKind::Ident(_) = self.peek() {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                params.push(FunParam { ty, name: pname });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        let effect = self.opt_effect()?;
+        let body = if self.at(&TokenKind::LBrace) {
+            Some(self.block()?)
+        } else {
+            self.expect(&TokenKind::Semi)?;
+            None
+        };
+        Some(FunDecl {
+            ret,
+            name,
+            tparams,
+            params,
+            effect,
+            body,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn opt_effect(&mut self) -> Option<Option<Effect>> {
+        if !self.at(&TokenKind::LBracket) {
+            return Some(None);
+        }
+        let start = self.bump().span; // [
+        let mut items = Vec::new();
+        if !self.at(&TokenKind::RBracket) {
+            loop {
+                items.push(self.effect_item()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let end = self.expect(&TokenKind::RBracket)?;
+        Some(Some(Effect {
+            items,
+            span: start.to(end),
+        }))
+    }
+
+    fn effect_item(&mut self) -> Option<EffectItem> {
+        match self.peek().clone() {
+            TokenKind::Minus => {
+                self.bump();
+                let key = self.ident()?;
+                let state = if self.eat(&TokenKind::At) {
+                    Some(self.state_ref()?)
+                } else {
+                    None
+                };
+                Some(EffectItem::Consume { key, state })
+            }
+            TokenKind::Plus => {
+                self.bump();
+                let key = self.ident()?;
+                let state = if self.eat(&TokenKind::At) {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                Some(EffectItem::Produce { key, state })
+            }
+            TokenKind::KwNew => {
+                self.bump();
+                let key = self.ident()?;
+                let state = if self.eat(&TokenKind::At) {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                Some(EffectItem::Fresh { key, state })
+            }
+            TokenKind::Ident(_) => {
+                let key = self.ident()?;
+                let (from, to) = if self.eat(&TokenKind::At) {
+                    let from = self.state_ref()?;
+                    let to = if self.eat(&TokenKind::Arrow) {
+                        Some(self.ident()?)
+                    } else {
+                        None
+                    };
+                    (Some(from), to)
+                } else {
+                    (None, None)
+                };
+                Some(EffectItem::Keep { key, from, to })
+            }
+            other => {
+                self.error_here(format!("expected effect item, found {}", other.describe()));
+                None
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Types
+    // ------------------------------------------------------------------
+
+    fn ty(&mut self) -> Option<Type> {
+        let start = self.span_here();
+        // Guard prefix: `K : T`, `K@s : T`, `(g1, g2) : T`.
+        if let Some(t) = self.speculate(|p| p.guarded_ty(start)) {
+            return Some(t);
+        }
+        self.base_ty()
+    }
+
+    fn guarded_ty(&mut self, start: Span) -> Option<Type> {
+        let guards = if self.at(&TokenKind::LParen) {
+            self.bump();
+            let mut gs = Vec::new();
+            loop {
+                gs.push(self.key_state_ref_quiet()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            if !self.eat(&TokenKind::RParen) {
+                return None;
+            }
+            gs
+        } else {
+            vec![self.key_state_ref_quiet()?]
+        };
+        if !self.eat(&TokenKind::Colon) {
+            return None;
+        }
+        let inner = self.ty()?;
+        let span = start.to(inner.span);
+        Some(Type {
+            kind: TypeKind::Guarded {
+                guards,
+                inner: Box::new(inner),
+            },
+            span,
+        })
+    }
+
+    /// Like `key_state_ref` but fails silently (for use under `speculate`).
+    fn key_state_ref_quiet(&mut self) -> Option<KeyStateRef> {
+        let key = if let TokenKind::Ident(n) = self.peek().clone() {
+            let t = self.bump();
+            Ident::new(n, t.span)
+        } else {
+            return None;
+        };
+        let state = if self.eat(&TokenKind::At) {
+            Some(self.state_ref()?)
+        } else {
+            None
+        };
+        Some(KeyStateRef { key, state })
+    }
+
+    fn base_ty(&mut self) -> Option<Type> {
+        let start = self.span_here();
+        let mut ty = match self.peek().clone() {
+            TokenKind::KwVoid => {
+                self.bump();
+                Type {
+                    kind: TypeKind::Void,
+                    span: start,
+                }
+            }
+            TokenKind::KwInt => {
+                self.bump();
+                Type {
+                    kind: TypeKind::Int,
+                    span: start,
+                }
+            }
+            TokenKind::KwBool => {
+                self.bump();
+                Type {
+                    kind: TypeKind::Bool,
+                    span: start,
+                }
+            }
+            TokenKind::KwByte => {
+                self.bump();
+                Type {
+                    kind: TypeKind::Byte,
+                    span: start,
+                }
+            }
+            TokenKind::KwString => {
+                self.bump();
+                Type {
+                    kind: TypeKind::Str,
+                    span: start,
+                }
+            }
+            TokenKind::KwTracked => {
+                self.bump();
+                let key = if self.at(&TokenKind::LParen) {
+                    self.bump();
+                    let k = self.ident()?;
+                    self.expect(&TokenKind::RParen)?;
+                    Some(k)
+                } else {
+                    None
+                };
+                let inner = self.base_ty()?;
+                let span = start.to(inner.span);
+                Type {
+                    kind: TypeKind::Tracked {
+                        key,
+                        inner: Box::new(inner),
+                    },
+                    span,
+                }
+            }
+            TokenKind::LParen => {
+                // Tuple type `(T1, T2)`.
+                self.bump();
+                let mut tys = vec![self.ty()?];
+                while self.eat(&TokenKind::Comma) {
+                    tys.push(self.ty()?);
+                }
+                let end = self.expect(&TokenKind::RParen)?;
+                if tys.len() == 1 {
+                    let mut only = tys.pop().expect("len checked");
+                    only.span = start.to(end);
+                    only
+                } else {
+                    Type {
+                        kind: TypeKind::Tuple(tys),
+                        span: start.to(end),
+                    }
+                }
+            }
+            TokenKind::Ident(_) => {
+                let name = self.ident()?;
+                let args = self.opt_type_args()?;
+                Type {
+                    span: start.to(self.prev_span()),
+                    kind: TypeKind::Named { name, args },
+                }
+            }
+            other => {
+                self.error_here(format!("expected a type, found {}", other.describe()));
+                return None;
+            }
+        };
+        // Array suffixes.
+        while self.at(&TokenKind::LBracket) && matches!(self.nth(1), TokenKind::RBracket) {
+            self.bump();
+            let end = self.bump().span;
+            let span = ty.span.to(end);
+            ty = Type {
+                kind: TypeKind::Array(Box::new(ty)),
+                span,
+            };
+        }
+        Some(ty)
+    }
+
+    fn opt_type_args(&mut self) -> Option<Vec<TypeArg>> {
+        if !self.at(&TokenKind::Lt) {
+            return Some(Vec::new());
+        }
+        // Speculative: `<` could be a comparison in expression context.
+        let parsed = self.speculate(|p| {
+            p.bump(); // <
+            let mut args = Vec::new();
+            loop {
+                let ty = p.ty_quiet()?;
+                args.push(TypeArg::Type(ty));
+                if !p.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            if !p.eat(&TokenKind::Gt) {
+                return None;
+            }
+            Some(args)
+        });
+        Some(parsed.unwrap_or_default())
+    }
+
+    /// Type parse that fails without emitting diagnostics (for speculation).
+    fn ty_quiet(&mut self) -> Option<Type> {
+        let n_before = self.diags.diagnostics().len();
+        let pos = self.pos;
+        match self.ty() {
+            Some(t) if self.diags.diagnostics().len() == n_before => Some(t),
+            _ => {
+                self.pos = pos;
+                let mut kept = std::mem::take(self.diags).into_vec();
+                kept.truncate(n_before);
+                for d in kept {
+                    self.diags.push(d);
+                }
+                None
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn block(&mut self) -> Option<Block> {
+        let start = self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.at(&TokenKind::RBrace) && !self.at(&TokenKind::Eof) {
+            let before = self.pos;
+            match self.stmt() {
+                Some(s) => stmts.push(s),
+                None => {
+                    if self.pos == before {
+                        self.bump();
+                    }
+                    self.recover_to(&[TokenKind::RBrace]);
+                }
+            }
+        }
+        let end = self.expect(&TokenKind::RBrace)?;
+        Some(Block {
+            stmts,
+            span: start.to(end),
+        })
+    }
+
+    fn stmt(&mut self) -> Option<Stmt> {
+        let start = self.span_here();
+        match self.peek().clone() {
+            TokenKind::LBrace => {
+                let b = self.block()?;
+                let span = b.span;
+                Some(Stmt {
+                    kind: StmtKind::Block(b),
+                    span,
+                })
+            }
+            TokenKind::KwIf => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let then_branch = Box::new(self.stmt()?);
+                let else_branch = if self.eat(&TokenKind::KwElse) {
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                Some(Stmt {
+                    span: start.to(self.prev_span()),
+                    kind: StmtKind::If {
+                        cond,
+                        then_branch,
+                        else_branch,
+                    },
+                })
+            }
+            TokenKind::KwWhile => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let body = Box::new(self.stmt()?);
+                Some(Stmt {
+                    span: start.to(self.prev_span()),
+                    kind: StmtKind::While { cond, body },
+                })
+            }
+            TokenKind::KwSwitch => self.switch_stmt(start),
+            TokenKind::KwReturn => {
+                self.bump();
+                let value = if self.at(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                let end = self.expect(&TokenKind::Semi)?;
+                Some(Stmt {
+                    kind: StmtKind::Return(value),
+                    span: start.to(end),
+                })
+            }
+            TokenKind::KwFree => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let end = self.expect(&TokenKind::Semi)?;
+                Some(Stmt {
+                    kind: StmtKind::Free(e),
+                    span: start.to(end),
+                })
+            }
+            _ => {
+                // Try a local declaration / nested function first.
+                if let Some(s) = self.speculate(|p| p.local_or_nested_fun(start)) {
+                    return Some(s);
+                }
+                // Otherwise: expression statement, assignment, or incr/decr.
+                let e = self.expr()?;
+                if self.eat(&TokenKind::Eq) {
+                    let rhs = self.expr()?;
+                    let end = self.expect(&TokenKind::Semi)?;
+                    Some(Stmt {
+                        kind: StmtKind::Assign { lhs: e, rhs },
+                        span: start.to(end),
+                    })
+                } else if self.eat(&TokenKind::PlusPlus) {
+                    let end = self.expect(&TokenKind::Semi)?;
+                    Some(Stmt {
+                        kind: StmtKind::Incr(e),
+                        span: start.to(end),
+                    })
+                } else if self.eat(&TokenKind::MinusMinus) {
+                    let end = self.expect(&TokenKind::Semi)?;
+                    Some(Stmt {
+                        kind: StmtKind::Decr(e),
+                        span: start.to(end),
+                    })
+                } else {
+                    let end = self.expect(&TokenKind::Semi)?;
+                    Some(Stmt {
+                        kind: StmtKind::Expr(e),
+                        span: start.to(end),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Speculative parse of `Type Name ...` forms: local declarations and
+    /// nested function definitions.
+    fn local_or_nested_fun(&mut self, start: Span) -> Option<Stmt> {
+        let ty = self.ty_quiet()?;
+        let name = if let TokenKind::Ident(n) = self.peek().clone() {
+            let t = self.bump();
+            Ident::new(n, t.span)
+        } else {
+            return None;
+        };
+        match self.peek() {
+            TokenKind::Semi => {
+                let end = self.bump().span;
+                Some(Stmt {
+                    kind: StmtKind::Local {
+                        ty,
+                        name,
+                        init: None,
+                    },
+                    span: start.to(end),
+                })
+            }
+            TokenKind::Eq => {
+                self.bump();
+                let init = self.expr()?;
+                let end = if self.at(&TokenKind::Semi) {
+                    self.bump().span
+                } else {
+                    return None;
+                };
+                Some(Stmt {
+                    kind: StmtKind::Local {
+                        ty,
+                        name,
+                        init: Some(init),
+                    },
+                    span: start.to(end),
+                })
+            }
+            TokenKind::LParen => {
+                // Nested function definition.
+                self.bump();
+                let mut params = Vec::new();
+                if !self.at(&TokenKind::RParen) {
+                    loop {
+                        let pty = self.ty_quiet()?;
+                        let pname = if let TokenKind::Ident(n) = self.peek().clone() {
+                            let t = self.bump();
+                            Some(Ident::new(n, t.span))
+                        } else {
+                            None
+                        };
+                        params.push(FunParam {
+                            ty: pty,
+                            name: pname,
+                        });
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                if !self.eat(&TokenKind::RParen) {
+                    return None;
+                }
+                let effect = self.opt_effect()?;
+                if !self.at(&TokenKind::LBrace) {
+                    return None;
+                }
+                let body = self.block()?;
+                let span = start.to(self.prev_span());
+                Some(Stmt {
+                    kind: StmtKind::NestedFun(Box::new(FunDecl {
+                        ret: ty,
+                        name,
+                        tparams: Vec::new(),
+                        params,
+                        effect,
+                        body: Some(body),
+                        span,
+                    })),
+                    span,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    fn switch_stmt(&mut self, start: Span) -> Option<Stmt> {
+        self.bump(); // switch
+        self.expect(&TokenKind::LParen)?;
+        let scrutinee = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut arms = Vec::new();
+        while self.at(&TokenKind::KwCase) {
+            let case_start = self.bump().span;
+            let ctor = match self.peek().clone() {
+                TokenKind::CtorIdent(n) => {
+                    let t = self.bump();
+                    Ident::new(n, t.span)
+                }
+                other => {
+                    self.error_here(format!(
+                        "expected constructor pattern after `case`, found {}",
+                        other.describe()
+                    ));
+                    return None;
+                }
+            };
+            let mut binders = Vec::new();
+            if self.eat(&TokenKind::LParen) {
+                if !self.at(&TokenKind::RParen) {
+                    loop {
+                        match self.peek().clone() {
+                            TokenKind::Underscore => {
+                                let t = self.bump();
+                                binders.push(PatBinder::Wild(t.span));
+                            }
+                            TokenKind::Ident(n) => {
+                                let t = self.bump();
+                                binders.push(PatBinder::Name(Ident::new(n, t.span)));
+                            }
+                            other => {
+                                self.error_here(format!(
+                                    "expected pattern binder, found {}",
+                                    other.describe()
+                                ));
+                                return None;
+                            }
+                        }
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+            }
+            self.expect(&TokenKind::Colon)?;
+            let mut body = Vec::new();
+            while !self.at(&TokenKind::KwCase)
+                && !self.at(&TokenKind::RBrace)
+                && !self.at(&TokenKind::Eof)
+            {
+                body.push(self.stmt()?);
+            }
+            arms.push(SwitchArm {
+                ctor,
+                binders,
+                body,
+                span: case_start.to(self.prev_span()),
+            });
+        }
+        let end = self.expect(&TokenKind::RBrace)?;
+        Some(Stmt {
+            kind: StmtKind::Switch { scrutinee, arms },
+            span: start.to(end),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self) -> Option<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Option<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.at(&TokenKind::OrOr) {
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = bin(BinOp::Or, lhs, rhs);
+        }
+        Some(lhs)
+    }
+
+    fn and_expr(&mut self) -> Option<Expr> {
+        let mut lhs = self.equality_expr()?;
+        while self.at(&TokenKind::AndAnd) {
+            self.bump();
+            let rhs = self.equality_expr()?;
+            lhs = bin(BinOp::And, lhs, rhs);
+        }
+        Some(lhs)
+    }
+
+    fn equality_expr(&mut self) -> Option<Expr> {
+        let mut lhs = self.rel_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::EqEq => BinOp::Eq,
+                TokenKind::NotEq => BinOp::Ne,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.rel_expr()?;
+            lhs = bin(op, lhs, rhs);
+        }
+        Some(lhs)
+    }
+
+    fn rel_expr(&mut self) -> Option<Expr> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.add_expr()?;
+            lhs = bin(op, lhs, rhs);
+        }
+        Some(lhs)
+    }
+
+    fn add_expr(&mut self) -> Option<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = bin(op, lhs, rhs);
+        }
+        Some(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Option<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = bin(op, lhs, rhs);
+        }
+        Some(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Option<Expr> {
+        let start = self.span_here();
+        match self.peek() {
+            TokenKind::Bang => {
+                self.bump();
+                let e = self.unary_expr()?;
+                let span = start.to(e.span);
+                Some(Expr {
+                    kind: ExprKind::Unary(UnOp::Not, Box::new(e)),
+                    span,
+                })
+            }
+            TokenKind::Minus => {
+                self.bump();
+                let e = self.unary_expr()?;
+                let span = start.to(e.span);
+                Some(Expr {
+                    kind: ExprKind::Unary(UnOp::Neg, Box::new(e)),
+                    span,
+                })
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Option<Expr> {
+        let mut e = self.primary_expr()?;
+        loop {
+            match self.peek() {
+                TokenKind::Dot => {
+                    self.bump();
+                    let field = self.ident()?;
+                    let span = e.span.to(field.span);
+                    e = Expr {
+                        kind: ExprKind::Field(Box::new(e), field),
+                        span,
+                    };
+                }
+                TokenKind::LBracket => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    let end = self.expect(&TokenKind::RBracket)?;
+                    let span = e.span.to(end);
+                    e = Expr {
+                        kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                        span,
+                    };
+                }
+                TokenKind::LParen => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.at(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    let end = self.expect(&TokenKind::RParen)?;
+                    let span = e.span.to(end);
+                    e = Expr {
+                        kind: ExprKind::Call {
+                            callee: Box::new(e),
+                            targs: Vec::new(),
+                            args,
+                        },
+                        span,
+                    };
+                }
+                TokenKind::Lt => {
+                    // Possible explicit type arguments on a call:
+                    // `f<int>(x)`. Only commit if `<targs>(` parses.
+                    let committed = self.speculate(|p| {
+                        let targs = p.opt_type_args()?;
+                        if targs.is_empty() || !p.at(&TokenKind::LParen) {
+                            return None;
+                        }
+                        p.bump(); // (
+                        let mut args = Vec::new();
+                        if !p.at(&TokenKind::RParen) {
+                            loop {
+                                args.push(p.expr()?);
+                                if !p.eat(&TokenKind::Comma) {
+                                    break;
+                                }
+                            }
+                        }
+                        let end = if p.at(&TokenKind::RParen) {
+                            p.bump().span
+                        } else {
+                            return None;
+                        };
+                        Some((targs, args, end))
+                    });
+                    match committed {
+                        Some((targs, args, end)) => {
+                            let span = e.span.to(end);
+                            e = Expr {
+                                kind: ExprKind::Call {
+                                    callee: Box::new(e),
+                                    targs,
+                                    args,
+                                },
+                                span,
+                            };
+                        }
+                        None => break,
+                    }
+                }
+                _ => break,
+            }
+        }
+        Some(e)
+    }
+
+    fn primary_expr(&mut self) -> Option<Expr> {
+        let start = self.span_here();
+        match self.peek().clone() {
+            TokenKind::Int(n) => {
+                self.bump();
+                Some(Expr {
+                    kind: ExprKind::IntLit(n),
+                    span: start,
+                })
+            }
+            TokenKind::KwTrue => {
+                self.bump();
+                Some(Expr {
+                    kind: ExprKind::BoolLit(true),
+                    span: start,
+                })
+            }
+            TokenKind::KwFalse => {
+                self.bump();
+                Some(Expr {
+                    kind: ExprKind::BoolLit(false),
+                    span: start,
+                })
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Some(Expr {
+                    kind: ExprKind::StrLit(s),
+                    span: start,
+                })
+            }
+            TokenKind::Ident(n) => {
+                self.bump();
+                Some(Expr {
+                    kind: ExprKind::Var(Ident::new(n, start)),
+                    span: start,
+                })
+            }
+            TokenKind::CtorIdent(n) => {
+                self.bump();
+                let name = Ident::new(n, start);
+                let mut args = Vec::new();
+                if self.at(&TokenKind::LParen) {
+                    self.bump();
+                    if !self.at(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                }
+                let keys = if self.at(&TokenKind::LBrace) {
+                    self.key_capture_list()?
+                } else {
+                    Vec::new()
+                };
+                Some(Expr {
+                    span: start.to(self.prev_span()),
+                    kind: ExprKind::Ctor { name, args, keys },
+                })
+            }
+            TokenKind::KwNew => {
+                self.bump();
+                let region = if self.at(&TokenKind::LParen) {
+                    self.bump();
+                    let r = self.expr()?;
+                    self.expect(&TokenKind::RParen)?;
+                    Some(Box::new(r))
+                } else {
+                    self.eat(&TokenKind::KwTracked);
+                    None
+                };
+                let ty = self.ident()?;
+                let targs = self.opt_type_args()?;
+                self.expect(&TokenKind::LBrace)?;
+                let mut inits = Vec::new();
+                while !self.at(&TokenKind::RBrace) && !self.at(&TokenKind::Eof) {
+                    let fname = self.ident()?;
+                    self.expect(&TokenKind::Eq)?;
+                    let value = self.expr()?;
+                    inits.push(FieldInit { name: fname, value });
+                    if !self.eat(&TokenKind::Semi) {
+                        self.eat(&TokenKind::Comma);
+                    }
+                }
+                let end = self.expect(&TokenKind::RBrace)?;
+                Some(Expr {
+                    kind: ExprKind::New {
+                        region,
+                        ty,
+                        targs,
+                        inits,
+                    },
+                    span: start.to(end),
+                })
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Some(e)
+            }
+            other => {
+                self.error_here(format!("expected an expression, found {}", other.describe()));
+                None
+            }
+        }
+    }
+}
+
+fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+    let span = lhs.span.to(rhs.span);
+    Expr {
+        kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+        span,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Program {
+        let mut diags = DiagSink::new();
+        let p = parse_program(src, &mut diags);
+        assert!(
+            !diags.has_errors(),
+            "unexpected parse errors for {src:?}: {:#?}",
+            diags.diagnostics()
+        );
+        p
+    }
+
+    #[test]
+    fn parses_region_interface() {
+        let p = parse_ok(
+            "interface REGION {\n\
+               type region;\n\
+               tracked(R) region create() [new R];\n\
+               void delete(tracked(R) region) [-R];\n\
+             }",
+        );
+        assert_eq!(p.decls.len(), 1);
+        let Decl::Interface(i) = &p.decls[0] else {
+            panic!("expected interface");
+        };
+        assert_eq!(i.name.name, "REGION");
+        assert_eq!(i.decls.len(), 3);
+        let Decl::Fun(create) = &i.decls[1] else {
+            panic!("expected fun");
+        };
+        assert_eq!(create.name.name, "create");
+        let eff = create.effect.as_ref().expect("effect");
+        assert!(matches!(&eff.items[0], EffectItem::Fresh { key, .. } if key.name == "R"));
+    }
+
+    #[test]
+    fn parses_fig2_okay() {
+        let p = parse_ok(
+            "void okay() {\n\
+               tracked(R) region rgn = Region.create();\n\
+               R:point pt = new(rgn) point {x=1; y=2;};\n\
+               pt.x++;\n\
+               Region.delete(rgn);\n\
+             }",
+        );
+        let f = &p.functions()[0];
+        let body = f.body.as_ref().expect("body");
+        assert_eq!(body.stmts.len(), 4);
+        assert!(matches!(&body.stmts[0].kind, StmtKind::Local { ty, .. }
+            if matches!(&ty.kind, TypeKind::Tracked { key: Some(k), .. } if k.name == "R")));
+        assert!(matches!(&body.stmts[1].kind, StmtKind::Local { ty, init: Some(init), .. }
+            if matches!(&ty.kind, TypeKind::Guarded { .. })
+            && matches!(&init.kind, ExprKind::New { region: Some(_), .. })));
+        assert!(matches!(&body.stmts[2].kind, StmtKind::Incr(_)));
+    }
+
+    #[test]
+    fn parses_variant_with_captures() {
+        let p = parse_ok("variant opt_key<key K> [ 'NoKey | 'SomeKey {K} ];");
+        let Decl::Variant(v) = &p.decls[0] else {
+            panic!("expected variant");
+        };
+        assert_eq!(v.ctors.len(), 2);
+        assert!(v.ctors[0].captures.is_empty());
+        assert_eq!(v.ctors[1].captures.len(), 1);
+        assert_eq!(v.ctors[1].captures[0].key.name, "K");
+    }
+
+    #[test]
+    fn parses_status_variant_with_states() {
+        let p = parse_ok(
+            "variant status<key K> [ 'Ok {K@named} | 'Error(error_code){K@raw} ];",
+        );
+        let Decl::Variant(v) = &p.decls[0] else {
+            panic!("expected variant");
+        };
+        let ok = &v.ctors[0];
+        assert!(
+            matches!(&ok.captures[0].state, Some(StateRef::Name(s)) if s.name == "named")
+        );
+        let err = &v.ctors[1];
+        assert_eq!(err.args.len(), 1);
+        assert!(
+            matches!(&err.captures[0].state, Some(StateRef::Name(s)) if s.name == "raw")
+        );
+    }
+
+    #[test]
+    fn parses_socket_interface_effects() {
+        let p = parse_ok(
+            "void bind(tracked(S) sock, sockaddr) [S@raw->named];\n\
+             tracked(N) sock accept(tracked(S) sock, sockaddr) [S@listening, new N@ready];",
+        );
+        let funs = p.functions();
+        let bind_eff = funs[0].effect.as_ref().expect("effect");
+        assert!(matches!(
+            &bind_eff.items[0],
+            EffectItem::Keep { key, from: Some(StateRef::Name(f)), to: Some(t) }
+                if key.name == "S" && f.name == "raw" && t.name == "named"
+        ));
+        let accept_eff = funs[1].effect.as_ref().expect("effect");
+        assert_eq!(accept_eff.items.len(), 2);
+        assert!(matches!(
+            &accept_eff.items[1],
+            EffectItem::Fresh { key, state: Some(s) } if key.name == "N" && s.name == "ready"
+        ));
+    }
+
+    #[test]
+    fn parses_stateset_and_global_key() {
+        let p = parse_ok(
+            "stateset IRQ_LEVEL = [ PASSIVE_LEVEL < APC_LEVEL < DISPATCH_LEVEL < DIRQL ];\n\
+             key IRQL @ IRQ_LEVEL;",
+        );
+        let Decl::Stateset(s) = &p.decls[0] else {
+            panic!("expected stateset");
+        };
+        assert_eq!(s.chains.len(), 1);
+        assert_eq!(s.chains[0].len(), 4);
+        let Decl::GlobalKey(k) = &p.decls[1] else {
+            panic!("expected key decl");
+        };
+        assert_eq!(k.name.name, "IRQL");
+        assert_eq!(k.stateset.as_ref().map(|i| i.name.as_str()), Some("IRQ_LEVEL"));
+    }
+
+    #[test]
+    fn parses_bounded_state_effects() {
+        let p = parse_ok(
+            "long KeReleaseSemaphore(KSEMAPHORE k, KPRIORITY p, int n)\n\
+               [ IRQL @ (level <= DISPATCH_LEVEL) ];\n\
+             KIRQL<level> KeAcquireSpinLock(KSPIN_LOCK l)\n\
+               [ IRQL @ (level <= DISPATCH_LEVEL) -> DISPATCH_LEVEL ];",
+        );
+        let funs = p.functions();
+        let eff = funs[1].effect.as_ref().expect("effect");
+        assert!(matches!(
+            &eff.items[0],
+            EffectItem::Keep {
+                key,
+                from: Some(StateRef::Bounded { var, bound }),
+                to: Some(t),
+            } if key.name == "IRQL" && var.name == "level"
+                && bound.name == "DISPATCH_LEVEL" && t.name == "DISPATCH_LEVEL"
+        ));
+    }
+
+    #[test]
+    fn parses_switch_with_patterns() {
+        let p = parse_ok(
+            "void f(tracked reglist list) {\n\
+               switch (list) {\n\
+                 case 'Nil:\n\
+                   return;\n\
+                 case 'Cons(rgn2, _):\n\
+                   rgn2.x++;\n\
+               }\n\
+             }",
+        );
+        let f = &p.functions()[0];
+        let StmtKind::Switch { arms, .. } = &f.body.as_ref().unwrap().stmts[0].kind else {
+            panic!("expected switch");
+        };
+        assert_eq!(arms.len(), 2);
+        assert_eq!(arms[1].ctor.name, "Cons");
+        assert!(matches!(&arms[1].binders[0], PatBinder::Name(n) if n.name == "rgn2"));
+        assert!(matches!(&arms[1].binders[1], PatBinder::Wild(_)));
+    }
+
+    #[test]
+    fn parses_nested_function() {
+        let p = parse_ok(
+            "NTSTATUS PnpRequest(DEVICE_OBJECT Dev, tracked(I) IRP Irp) [-I] {\n\
+               KEVENT<I> IrpIsBack = KeInitializeEvent(Irp);\n\
+               COMPLETION_RESULT<I> RegainIrp(DEVICE_OBJECT D, tracked(I) IRP J) [-I] {\n\
+                 KeSignalEvent(IrpIsBack);\n\
+                 return 'MoreProcessingRequired;\n\
+               }\n\
+               IoSetCompletionRoutine(Irp, RegainIrp);\n\
+             }",
+        );
+        let f = &p.functions()[0];
+        let body = f.body.as_ref().unwrap();
+        assert!(matches!(&body.stmts[1].kind, StmtKind::NestedFun(nf) if nf.name.name == "RegainIrp"));
+    }
+
+    #[test]
+    fn parses_ctor_expression_with_keys() {
+        let mut diags = DiagSink::new();
+        let e = parse_expr("'SomeKey{F}", &mut diags).expect("expr");
+        assert!(!diags.has_errors());
+        let ExprKind::Ctor { name, keys, .. } = &e.kind else {
+            panic!("expected ctor");
+        };
+        assert_eq!(name.name, "SomeKey");
+        assert_eq!(keys[0].key.name, "F");
+    }
+
+    #[test]
+    fn parses_fn_type_alias() {
+        let p = parse_ok(
+            "type COMPLETION_ROUTINE<key K> = tracked COMPLETION_RESULT<K> Routine(\n\
+               DEVICE_OBJECT, tracked(K) IRP) [-K];",
+        );
+        let Decl::TypeAlias(a) = &p.decls[0] else {
+            panic!("expected alias");
+        };
+        let Some(Type {
+            kind: TypeKind::Fn(ft),
+            ..
+        }) = &a.body
+        else {
+            panic!("expected fn type, got {:?}", a.body);
+        };
+        assert_eq!(ft.params.len(), 2);
+        assert!(ft.effect.is_some());
+    }
+
+    #[test]
+    fn expression_statements_not_confused_with_types() {
+        let p = parse_ok("void f(int a, int b) { a = a < b; Region.delete(a); a++; }");
+        let body = p.functions()[0].body.as_ref().unwrap();
+        assert!(matches!(&body.stmts[0].kind, StmtKind::Assign { .. }));
+        assert!(matches!(&body.stmts[1].kind, StmtKind::Expr(e)
+            if matches!(&e.kind, ExprKind::Call { .. })));
+        assert!(matches!(&body.stmts[2].kind, StmtKind::Incr(_)));
+    }
+
+    #[test]
+    fn parses_tuple_types() {
+        let p = parse_ok("type regptpair = (tracked(R) region, R:point);");
+        let Decl::TypeAlias(a) = &p.decls[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            a.body.as_ref().map(|t| &t.kind),
+            Some(TypeKind::Tuple(ts)) if ts.len() == 2
+        ));
+    }
+
+    #[test]
+    fn reports_unexpected_token() {
+        let mut diags = DiagSink::new();
+        parse_program("void f() { return }; }", &mut diags);
+        assert!(diags.has_errors());
+        assert!(diags.has_code(Code::ParseUnexpected));
+    }
+
+    #[test]
+    fn free_statement() {
+        let p = parse_ok("void f(tracked(K) point p) [-K] { free(p); }");
+        let body = p.functions()[0].body.as_ref().unwrap();
+        assert!(matches!(&body.stmts[0].kind, StmtKind::Free(_)));
+    }
+
+    #[test]
+    fn recovery_continues_after_bad_decl() {
+        let mut diags = DiagSink::new();
+        let p = parse_program("int bad(; void g() { }", &mut diags);
+        assert!(diags.has_errors());
+        // g still parsed.
+        assert!(p.functions().iter().any(|f| f.name.name == "g"));
+    }
+}

@@ -1,0 +1,627 @@
+//! Pretty-printer for the Vault surface AST.
+//!
+//! The output re-parses to the same AST (modulo spans), which the property
+//! tests exercise. It is also used by the CLI `dump` mode.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Render a whole program as Vault source.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = Printer::default();
+    for d in &p.decls {
+        out.decl(d);
+        out.push("\n");
+    }
+    out.buf
+}
+
+/// Render a single type.
+pub fn type_to_string(t: &Type) -> String {
+    let mut out = Printer::default();
+    out.ty(t);
+    out.buf
+}
+
+/// Render a single expression.
+pub fn expr_to_string(e: &Expr) -> String {
+    let mut out = Printer::default();
+    out.expr(e);
+    out.buf
+}
+
+/// Render a single statement.
+pub fn stmt_to_string(s: &Stmt) -> String {
+    let mut out = Printer::default();
+    out.stmt(s);
+    out.buf
+}
+
+#[derive(Default)]
+struct Printer {
+    buf: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn push(&mut self, s: &str) {
+        self.buf.push_str(s);
+    }
+
+    fn line(&mut self, s: &str) {
+        for _ in 0..self.indent {
+            self.buf.push_str("  ");
+        }
+        self.buf.push_str(s);
+        self.buf.push('\n');
+    }
+
+    fn open_line(&mut self, s: &str) {
+        for _ in 0..self.indent {
+            self.buf.push_str("  ");
+        }
+        self.buf.push_str(s);
+    }
+
+    fn decl(&mut self, d: &Decl) {
+        match d {
+            Decl::Interface(i) => {
+                self.line(&format!("interface {} {{", i.name));
+                self.indent += 1;
+                for d in &i.decls {
+                    self.decl(d);
+                }
+                self.indent -= 1;
+                self.line("}");
+            }
+            Decl::Struct(s) => {
+                self.open_line(&format!("struct {}{} {{", s.name, tparams(&s.params)));
+                self.push("\n");
+                self.indent += 1;
+                for f in &s.fields {
+                    let mut p = Printer::default();
+                    p.ty(&f.ty);
+                    self.line(&format!("{} {};", p.buf, f.name));
+                }
+                self.indent -= 1;
+                self.line("}");
+            }
+            Decl::Variant(v) => {
+                let ctors: Vec<String> = v.ctors.iter().map(ctor_decl).collect();
+                self.line(&format!(
+                    "variant {}{} [ {} ];",
+                    v.name,
+                    tparams(&v.params),
+                    ctors.join(" | ")
+                ));
+            }
+            Decl::TypeAlias(a) => match &a.body {
+                None => self.line(&format!("type {}{};", a.name, tparams(&a.params))),
+                Some(Type {
+                    kind: TypeKind::Fn(ft),
+                    ..
+                }) => {
+                    let mut p = Printer::default();
+                    p.ty(&ft.ret);
+                    let params: Vec<String> = ft.params.iter().map(type_to_string).collect();
+                    let eff = ft
+                        .effect
+                        .as_ref()
+                        .map(|e| format!(" {}", effect(e)))
+                        .unwrap_or_default();
+                    self.line(&format!(
+                        "type {}{} = {} Routine({}){};",
+                        a.name,
+                        tparams(&a.params),
+                        p.buf,
+                        params.join(", "),
+                        eff
+                    ));
+                }
+                Some(t) => {
+                    self.line(&format!(
+                        "type {}{} = {};",
+                        a.name,
+                        tparams(&a.params),
+                        type_to_string(t)
+                    ));
+                }
+            },
+            Decl::Stateset(s) => {
+                let chains: Vec<String> = s
+                    .chains
+                    .iter()
+                    .map(|c| {
+                        c.iter()
+                            .map(|i| i.name.clone())
+                            .collect::<Vec<_>>()
+                            .join(" < ")
+                    })
+                    .collect();
+                self.line(&format!("stateset {} = [ {} ];", s.name, chains.join(", ")));
+            }
+            Decl::GlobalKey(k) => match &k.stateset {
+                Some(ss) => self.line(&format!("key {} @ {};", k.name, ss)),
+                None => self.line(&format!("key {};", k.name)),
+            },
+            Decl::Fun(f) => self.fun(f),
+        }
+    }
+
+    fn fun(&mut self, f: &FunDecl) {
+        let params: Vec<String> = f
+            .params
+            .iter()
+            .map(|p| {
+                let t = type_to_string(&p.ty);
+                match &p.name {
+                    Some(n) => format!("{t} {n}"),
+                    None => t,
+                }
+            })
+            .collect();
+        let eff = f
+            .effect
+            .as_ref()
+            .map(|e| format!(" {}", effect(e)))
+            .unwrap_or_default();
+        let head = format!(
+            "{} {}{}({}){}",
+            type_to_string(&f.ret),
+            f.name,
+            tparams(&f.tparams),
+            params.join(", "),
+            eff
+        );
+        match &f.body {
+            None => self.line(&format!("{head};")),
+            Some(b) => {
+                self.open_line(&head);
+                self.push(" ");
+                self.block(b);
+                self.push("\n");
+            }
+        }
+    }
+
+    fn block(&mut self, b: &Block) {
+        self.push("{\n");
+        self.indent += 1;
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+        self.indent -= 1;
+        self.open_line("}");
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Local { ty, name, init } => {
+                let t = type_to_string(ty);
+                match init {
+                    Some(e) => self.line(&format!("{t} {name} = {};", expr_to_string(e))),
+                    None => self.line(&format!("{t} {name};")),
+                }
+            }
+            StmtKind::NestedFun(f) => self.fun(f),
+            StmtKind::Expr(e) => self.line(&format!("{};", expr_to_string(e))),
+            StmtKind::Assign { lhs, rhs } => {
+                self.line(&format!("{} = {};", expr_to_string(lhs), expr_to_string(rhs)));
+            }
+            StmtKind::Incr(e) => self.line(&format!("{}++;", expr_to_string(e))),
+            StmtKind::Decr(e) => self.line(&format!("{}--;", expr_to_string(e))),
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.open_line(&format!("if ({}) ", expr_to_string(cond)));
+                self.stmt_inline(then_branch);
+                if let Some(e) = else_branch {
+                    self.open_line("else ");
+                    self.stmt_inline(e);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                self.open_line(&format!("while ({}) ", expr_to_string(cond)));
+                self.stmt_inline(body);
+            }
+            StmtKind::Switch { scrutinee, arms } => {
+                self.line(&format!("switch ({}) {{", expr_to_string(scrutinee)));
+                self.indent += 1;
+                for arm in arms {
+                    let binders = if arm.binders.is_empty() {
+                        String::new()
+                    } else {
+                        let bs: Vec<String> = arm
+                            .binders
+                            .iter()
+                            .map(|b| match b {
+                                PatBinder::Name(n) => n.name.clone(),
+                                PatBinder::Wild(_) => "_".to_string(),
+                            })
+                            .collect();
+                        format!("({})", bs.join(", "))
+                    };
+                    self.line(&format!("case '{}{}:", arm.ctor, binders));
+                    self.indent += 1;
+                    for s in &arm.body {
+                        self.stmt(s);
+                    }
+                    self.indent -= 1;
+                }
+                self.indent -= 1;
+                self.line("}");
+            }
+            StmtKind::Return(None) => self.line("return;"),
+            StmtKind::Return(Some(e)) => self.line(&format!("return {};", expr_to_string(e))),
+            StmtKind::Free(e) => self.line(&format!("free({});", expr_to_string(e))),
+            StmtKind::Block(b) => {
+                self.open_line("");
+                self.block(b);
+                self.push("\n");
+            }
+        }
+    }
+
+    /// Print a statement used as an `if`/`while` body: blocks go inline,
+    /// other statements on a fresh line.
+    fn stmt_inline(&mut self, s: &Stmt) {
+        if let StmtKind::Block(b) = &s.kind {
+            // Trim the indent the open_line already produced.
+            self.block(b);
+            self.push("\n");
+        } else {
+            self.push("\n");
+            self.indent += 1;
+            self.stmt(s);
+            self.indent -= 1;
+        }
+    }
+
+    fn ty(&mut self, t: &Type) {
+        match &t.kind {
+            TypeKind::Void => self.push("void"),
+            TypeKind::Int => self.push("int"),
+            TypeKind::Bool => self.push("bool"),
+            TypeKind::Byte => self.push("byte"),
+            TypeKind::Str => self.push("string"),
+            TypeKind::Named { name, args } => {
+                self.push(&name.name);
+                if !args.is_empty() {
+                    self.push("<");
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            self.push(", ");
+                        }
+                        match a {
+                            TypeArg::Type(t) => self.ty(t),
+                        }
+                    }
+                    self.push(">");
+                }
+            }
+            TypeKind::Array(inner) => {
+                self.ty(inner);
+                self.push("[]");
+            }
+            TypeKind::Tuple(ts) => {
+                self.push("(");
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        self.push(", ");
+                    }
+                    self.ty(t);
+                }
+                self.push(")");
+            }
+            TypeKind::Tracked { key, inner } => {
+                match key {
+                    Some(k) => {
+                        self.push("tracked(");
+                        self.push(&k.name);
+                        self.push(") ");
+                    }
+                    None => self.push("tracked "),
+                }
+                self.ty(inner);
+            }
+            TypeKind::Guarded { guards, inner } => {
+                if guards.len() == 1 && !matches!(guards[0].state, Some(StateRef::Bounded { .. }))
+                {
+                    self.push(&key_state_ref(&guards[0]));
+                } else {
+                    self.push("(");
+                    let gs: Vec<String> = guards.iter().map(key_state_ref).collect();
+                    self.push(&gs.join(", "));
+                    self.push(")");
+                }
+                self.push(":");
+                self.ty(inner);
+            }
+            TypeKind::Fn(ft) => {
+                self.ty(&ft.ret);
+                self.push(" Routine(");
+                for (i, p) in ft.params.iter().enumerate() {
+                    if i > 0 {
+                        self.push(", ");
+                    }
+                    self.ty(p);
+                }
+                self.push(")");
+                if let Some(e) = &ft.effect {
+                    self.push(" ");
+                    self.push(&effect(e));
+                }
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        let _ = write!(self.buf, "{}", expr_str(e, 0));
+    }
+}
+
+fn ctor_decl(c: &CtorDecl) -> String {
+    let mut s = format!("'{}", c.name);
+    if !c.args.is_empty() {
+        let args: Vec<String> = c.args.iter().map(type_to_string).collect();
+        let _ = write!(s, "({})", args.join(", "));
+    }
+    if !c.captures.is_empty() {
+        let caps: Vec<String> = c.captures.iter().map(key_state_ref).collect();
+        let _ = write!(s, " {{{}}}", caps.join(", "));
+    }
+    s
+}
+
+fn key_state_ref(k: &KeyStateRef) -> String {
+    match &k.state {
+        None => k.key.name.clone(),
+        Some(StateRef::Name(s)) => format!("{}@{}", k.key, s),
+        Some(StateRef::Bounded { var, bound }) => {
+            format!("{}@({} <= {})", k.key, var, bound)
+        }
+    }
+}
+
+fn tparams(ps: &[TParam]) -> String {
+    if ps.is_empty() {
+        return String::new();
+    }
+    let items: Vec<String> = ps
+        .iter()
+        .map(|p| match p {
+            TParam::Type(n) => format!("type {n}"),
+            TParam::Key(n) => format!("key {n}"),
+            TParam::State { name, bound: None } => format!("state {name}"),
+            TParam::State {
+                name,
+                bound: Some(b),
+            } => format!("state {name} <= {b}"),
+        })
+        .collect();
+    format!("<{}>", items.join(", "))
+}
+
+fn effect(e: &Effect) -> String {
+    let items: Vec<String> = e
+        .items
+        .iter()
+        .map(|i| match i {
+            EffectItem::Keep { key, from, to } => {
+                let mut s = key.name.clone();
+                if let Some(f) = from {
+                    s.push('@');
+                    s.push_str(&state_ref(f));
+                }
+                if let Some(t) = to {
+                    s.push_str(" -> ");
+                    s.push_str(&t.name);
+                }
+                s
+            }
+            EffectItem::Consume { key, state } => match state {
+                Some(st) => format!("-{}@{}", key, state_ref(st)),
+                None => format!("-{key}"),
+            },
+            EffectItem::Produce { key, state } => match state {
+                Some(st) => format!("+{key}@{st}"),
+                None => format!("+{key}"),
+            },
+            EffectItem::Fresh { key, state } => match state {
+                Some(st) => format!("new {key}@{st}"),
+                None => format!("new {key}"),
+            },
+        })
+        .collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn state_ref(s: &StateRef) -> String {
+    match s {
+        StateRef::Name(n) => n.name.clone(),
+        StateRef::Bounded { var, bound } => format!("({var} <= {bound})"),
+    }
+}
+
+/// Expression printing with minimal parentheses based on precedence.
+fn expr_str(e: &Expr, parent_prec: u8) -> String {
+    match &e.kind {
+        ExprKind::IntLit(n) => n.to_string(),
+        ExprKind::BoolLit(b) => b.to_string(),
+        ExprKind::StrLit(s) => format!("{s:?}"),
+        ExprKind::Var(i) => i.name.clone(),
+        ExprKind::Field(base, f) => format!("{}.{}", expr_str(base, 100), f),
+        ExprKind::Index(base, i) => format!("{}[{}]", expr_str(base, 100), expr_str(i, 0)),
+        ExprKind::Call { callee, args, .. } => {
+            let args: Vec<String> = args.iter().map(|a| expr_str(a, 0)).collect();
+            format!("{}({})", expr_str(callee, 100), args.join(", "))
+        }
+        ExprKind::Ctor { name, args, keys } => {
+            let mut s = format!("'{name}");
+            if !args.is_empty() {
+                let args: Vec<String> = args.iter().map(|a| expr_str(a, 0)).collect();
+                let _ = write!(s, "({})", args.join(", "));
+            }
+            if !keys.is_empty() {
+                let ks: Vec<String> = keys.iter().map(key_state_ref).collect();
+                let _ = write!(s, "{{{}}}", ks.join(", "));
+            }
+            s
+        }
+        ExprKind::New {
+            region,
+            ty,
+            targs,
+            inits,
+        } => {
+            let mut s = String::from("new");
+            match region {
+                Some(r) => {
+                    let _ = write!(s, "({})", expr_str(r, 0));
+                }
+                None => s.push_str(" tracked"),
+            }
+            let _ = write!(s, " {ty}");
+            if !targs.is_empty() {
+                let ts: Vec<String> = targs
+                    .iter()
+                    .map(|a| match a {
+                        TypeArg::Type(t) => type_to_string(t),
+                    })
+                    .collect();
+                let _ = write!(s, "<{}>", ts.join(", "));
+            }
+            s.push_str(" {");
+            for init in inits {
+                let _ = write!(s, "{}={}; ", init.name, expr_str(&init.value, 0));
+            }
+            s.push('}');
+            s
+        }
+        ExprKind::Unary(op, inner) => {
+            let sym = match op {
+                UnOp::Not => "!",
+                UnOp::Neg => "-",
+            };
+            let body = format!("{sym}{}", expr_str(inner, 90));
+            if parent_prec > 90 {
+                format!("({body})")
+            } else {
+                body
+            }
+        }
+        ExprKind::Binary(op, l, r) => {
+            let prec = bin_prec(*op);
+            let body = format!(
+                "{} {} {}",
+                expr_str(l, prec),
+                op.symbol(),
+                expr_str(r, prec + 1)
+            );
+            if parent_prec > prec {
+                format!("({body})")
+            } else {
+                body
+            }
+        }
+    }
+}
+
+fn bin_prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 10,
+        BinOp::And => 20,
+        BinOp::Eq | BinOp::Ne => 30,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 40,
+        BinOp::Add | BinOp::Sub => 50,
+        BinOp::Mul | BinOp::Div | BinOp::Rem => 60,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::DiagSink;
+    use crate::parser::parse_program;
+
+    /// Strip spans by re-parsing: two programs are equal if their printed
+    /// forms agree after a parse→print round trip.
+    fn round_trip(src: &str) {
+        let mut d1 = DiagSink::new();
+        let p1 = parse_program(src, &mut d1);
+        assert!(!d1.has_errors(), "first parse failed: {:?}", d1.diagnostics());
+        let printed = program_to_string(&p1);
+        let mut d2 = DiagSink::new();
+        let p2 = parse_program(&printed, &mut d2);
+        assert!(
+            !d2.has_errors(),
+            "printed source failed to parse:\n{printed}\n{:?}",
+            d2.diagnostics()
+        );
+        let printed2 = program_to_string(&p2);
+        assert_eq!(printed, printed2, "printing is not a fixpoint");
+    }
+
+    #[test]
+    fn round_trip_region_program() {
+        round_trip(
+            "interface REGION {\n\
+               type region;\n\
+               tracked(R) region create() [new R];\n\
+               void delete(tracked(R) region) [-R];\n\
+             }\n\
+             struct point { int x; int y; }\n\
+             void okay() {\n\
+               tracked(R) region rgn = Region.create();\n\
+               R:point pt = new(rgn) point {x=1; y=2;};\n\
+               pt.x++;\n\
+               Region.delete(rgn);\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn round_trip_variants_and_switch() {
+        round_trip(
+            "variant opt_key<key K> [ 'NoKey | 'SomeKey {K} ];\n\
+             void f(tracked(F) FILE f) [-F] {\n\
+               tracked opt_key<F> flag;\n\
+               if (close_early(f)) { flag = 'NoKey; } else { flag = 'SomeKey{F}; }\n\
+               switch (flag) { case 'NoKey: return; case 'SomeKey: fclose(f); }\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn round_trip_stateset_and_effects() {
+        round_trip(
+            "stateset IRQ_LEVEL = [ PASSIVE_LEVEL < APC_LEVEL < DISPATCH_LEVEL < DIRQL ];\n\
+             key IRQL @ IRQ_LEVEL;\n\
+             type KIRQL<state S>;\n\
+             KIRQL<level> KeAcquireSpinLock(KSPIN_LOCK l)\n\
+               [IRQL@(level <= DISPATCH_LEVEL) -> DISPATCH_LEVEL];",
+        );
+    }
+
+    #[test]
+    fn round_trip_expressions() {
+        round_trip(
+            "int f(int a, int b) {\n\
+               int c = a * (b + 2) - -a;\n\
+               bool d = a < b && b <= c || !(a == b);\n\
+               return c % 3;\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn printed_precedence_is_minimal() {
+        let mut d = DiagSink::new();
+        let e = crate::parser::parse_expr("a + b * c", &mut d).unwrap();
+        assert_eq!(expr_to_string(&e), "a + b * c");
+        let e = crate::parser::parse_expr("(a + b) * c", &mut d).unwrap();
+        assert_eq!(expr_to_string(&e), "(a + b) * c");
+    }
+}

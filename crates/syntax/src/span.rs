@@ -1,0 +1,181 @@
+//! Source positions and spans.
+//!
+//! Every token and AST node carries a [`Span`] so that diagnostics can point
+//! back into the original source text. A [`SourceMap`] owns the text of one
+//! compilation unit and converts byte offsets to line/column pairs.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source file.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: u32, end: u32) -> Self {
+        debug_assert!(start <= end, "span start must not exceed end");
+        Span { start, end }
+    }
+
+    /// The empty span at offset zero, used for synthesized nodes.
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the span is empty.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A line/column position (both 1-based) for human-readable diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes).
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Owns the source text of a compilation unit and resolves spans.
+#[derive(Clone, Debug)]
+pub struct SourceMap {
+    name: String,
+    text: String,
+    /// Byte offsets at which each line starts (line 1 starts at `line_starts[0]`).
+    line_starts: Vec<u32>,
+}
+
+impl SourceMap {
+    /// Build a source map for `text`, labelled `name` in diagnostics.
+    pub fn new(name: impl Into<String>, text: impl Into<String>) -> Self {
+        let text = text.into();
+        let mut line_starts = vec![0u32];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceMap {
+            name: name.into(),
+            text,
+            line_starts,
+        }
+    }
+
+    /// The unit name given at construction (usually a file name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The full source text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The text covered by `span`. Out-of-range spans yield `""`.
+    pub fn snippet(&self, span: Span) -> &str {
+        self.text
+            .get(span.start as usize..span.end as usize)
+            .unwrap_or("")
+    }
+
+    /// Line/column of a byte offset.
+    pub fn line_col(&self, offset: u32) -> LineCol {
+        let line_idx = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        };
+        LineCol {
+            line: line_idx as u32 + 1,
+            col: offset - self.line_starts[line_idx] + 1,
+        }
+    }
+
+    /// The full text of the (1-based) line containing `offset`.
+    pub fn line_text(&self, offset: u32) -> &str {
+        let lc = self.line_col(offset);
+        let start = self.line_starts[(lc.line - 1) as usize] as usize;
+        let end = self
+            .line_starts
+            .get(lc.line as usize)
+            .map(|&e| e as usize)
+            .unwrap_or(self.text.len());
+        self.text[start..end].trim_end_matches('\n')
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(10, 12);
+        assert_eq!(a.to(b), Span::new(3, 12));
+        assert_eq!(b.to(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn span_len_and_empty() {
+        assert_eq!(Span::new(2, 5).len(), 3);
+        assert!(Span::new(4, 4).is_empty());
+        assert!(!Span::new(4, 5).is_empty());
+    }
+
+    #[test]
+    fn line_col_resolution() {
+        let sm = SourceMap::new("t.vlt", "ab\ncd\n\nef");
+        assert_eq!(sm.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(sm.line_col(1), LineCol { line: 1, col: 2 });
+        assert_eq!(sm.line_col(3), LineCol { line: 2, col: 1 });
+        assert_eq!(sm.line_col(6), LineCol { line: 3, col: 1 });
+        assert_eq!(sm.line_col(7), LineCol { line: 4, col: 1 });
+        assert_eq!(sm.line_col(8), LineCol { line: 4, col: 2 });
+    }
+
+    #[test]
+    fn snippet_and_line_text() {
+        let sm = SourceMap::new("t.vlt", "let x;\nfree(p);\n");
+        assert_eq!(sm.snippet(Span::new(7, 11)), "free");
+        assert_eq!(sm.line_text(9), "free(p);");
+        assert_eq!(sm.snippet(Span::new(100, 200)), "");
+    }
+
+    #[test]
+    fn line_col_at_exact_line_starts() {
+        let sm = SourceMap::new("t", "x\ny\nz");
+        // offsets 0,2,4 are line starts
+        assert_eq!(sm.line_col(2).line, 2);
+        assert_eq!(sm.line_col(4).line, 3);
+    }
+}

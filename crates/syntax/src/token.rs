@@ -1,0 +1,229 @@
+//! Token definitions for the Vault surface language.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The kind of a lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // keyword and punctuation variants are self-describing
+pub enum TokenKind {
+    /// An identifier such as `rgn` or `Region`.
+    Ident(String),
+    /// A constructor name including its leading tick, e.g. `'SomeKey`.
+    CtorIdent(String),
+    /// An integer literal.
+    Int(i64),
+    /// A string literal (contents, unescaped).
+    Str(String),
+
+    // keywords
+    KwStruct,
+    KwVariant,
+    KwType,
+    KwStateset,
+    KwKey,
+    KwState,
+    KwInterface,
+    KwModule,
+    KwTracked,
+    KwNew,
+    KwFree,
+    KwSwitch,
+    KwCase,
+    KwDefault,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwReturn,
+    KwTrue,
+    KwFalse,
+    KwInt,
+    KwBool,
+    KwByte,
+    KwVoid,
+    KwString,
+
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    NotEq,
+    Eq,
+    Comma,
+    Semi,
+    Colon,
+    At,
+    Dot,
+    Pipe,
+    Arrow,
+    PlusPlus,
+    MinusMinus,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Bang,
+    AndAnd,
+    OrOr,
+    Underscore,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword lookup for an identifier-shaped lexeme.
+    pub fn keyword(s: &str) -> Option<TokenKind> {
+        use TokenKind::*;
+        Some(match s {
+            "struct" => KwStruct,
+            "variant" => KwVariant,
+            "type" => KwType,
+            "stateset" => KwStateset,
+            "key" => KwKey,
+            "state" => KwState,
+            "interface" => KwInterface,
+            "module" => KwModule,
+            "tracked" => KwTracked,
+            "new" => KwNew,
+            "free" => KwFree,
+            "switch" => KwSwitch,
+            "case" => KwCase,
+            "default" => KwDefault,
+            "if" => KwIf,
+            "else" => KwElse,
+            "while" => KwWhile,
+            "return" => KwReturn,
+            "true" => KwTrue,
+            "false" => KwFalse,
+            "int" => KwInt,
+            "bool" => KwBool,
+            "byte" => KwByte,
+            "void" => KwVoid,
+            "string" => KwString,
+            _ => return None,
+        })
+    }
+
+    /// Short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        use TokenKind::*;
+        match self {
+            Ident(s) => format!("identifier `{s}`"),
+            CtorIdent(s) => format!("constructor `'{s}`"),
+            Int(n) => format!("integer `{n}`"),
+            Str(_) => "string literal".to_string(),
+            Eof => "end of input".to_string(),
+            other => format!("`{}`", other.lexeme()),
+        }
+    }
+
+    /// The canonical lexeme for fixed tokens (empty for variable ones).
+    pub fn lexeme(&self) -> &'static str {
+        use TokenKind::*;
+        match self {
+            KwStruct => "struct",
+            KwVariant => "variant",
+            KwType => "type",
+            KwStateset => "stateset",
+            KwKey => "key",
+            KwState => "state",
+            KwInterface => "interface",
+            KwModule => "module",
+            KwTracked => "tracked",
+            KwNew => "new",
+            KwFree => "free",
+            KwSwitch => "switch",
+            KwCase => "case",
+            KwDefault => "default",
+            KwIf => "if",
+            KwElse => "else",
+            KwWhile => "while",
+            KwReturn => "return",
+            KwTrue => "true",
+            KwFalse => "false",
+            KwInt => "int",
+            KwBool => "bool",
+            KwByte => "byte",
+            KwVoid => "void",
+            KwString => "string",
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            LBracket => "[",
+            RBracket => "]",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            EqEq => "==",
+            NotEq => "!=",
+            Eq => "=",
+            Comma => ",",
+            Semi => ";",
+            Colon => ":",
+            At => "@",
+            Dot => ".",
+            Pipe => "|",
+            Arrow => "->",
+            PlusPlus => "++",
+            MinusMinus => "--",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Percent => "%",
+            Bang => "!",
+            AndAnd => "&&",
+            OrOr => "||",
+            Underscore => "_",
+            Ident(_) | CtorIdent(_) | Int(_) | Str(_) | Eof => "",
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// A token paired with its source span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where in the source it came from.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(TokenKind::keyword("tracked"), Some(TokenKind::KwTracked));
+        assert_eq!(TokenKind::keyword("stateset"), Some(TokenKind::KwStateset));
+        assert_eq!(TokenKind::keyword("Region"), None);
+        assert_eq!(TokenKind::keyword(""), None);
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
+        assert_eq!(TokenKind::Arrow.describe(), "`->`");
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+        assert_eq!(TokenKind::CtorIdent("Ok".into()).describe(), "constructor `'Ok`");
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based round-trip tests: pretty-printing a parsed program and
+//! re-parsing it reaches a fixpoint, for randomly generated expressions,
+//! types, and effect clauses.
+
+use proptest::prelude::*;
+use vault_syntax::{parse_expr, parse_program, pretty, DiagSink};
+
+// ---------------------------------------------------------------------
+// Random source generators (strings in the surface grammar)
+// ---------------------------------------------------------------------
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
+        vault_syntax::token::TokenKind::keyword(s).is_none()
+    })
+}
+
+fn expr_src(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        (0i64..1000).prop_map(|n| n.to_string()),
+        ident(),
+        Just("true".to_string()),
+        Just("false".to_string()),
+    ];
+    leaf.prop_recursive(depth, 64, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just("+"), Just("-"), Just("*"), Just("/"),
+                Just("=="), Just("!="), Just("<"), Just("<="),
+                Just("&&"), Just("||"),
+            ])
+                .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
+            (inner.clone(),).prop_map(|(a,)| format!("!({a})")),
+            (ident(), proptest::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(f, args)| format!("{f}({})", args.join(", "))),
+            (inner, ident()).prop_map(|(a, f)| format!("({a}).{f}")),
+        ]
+    })
+    .boxed()
+}
+
+fn type_src() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("int".to_string()),
+        Just("bool".to_string()),
+        Just("void".to_string()),
+        Just("byte[]".to_string()),
+        ident(),
+        ident().prop_map(|k| format!("tracked({}) sometype", k.to_uppercase())),
+        Just("tracked sometype".to_string()),
+    ]
+}
+
+fn effect_src() -> impl Strategy<Value = String> {
+    let item = prop_oneof![
+        ident().prop_map(|k| k.to_uppercase()),
+        ident().prop_map(|k| format!("-{}", k.to_uppercase())),
+        ident().prop_map(|k| format!("+{}", k.to_uppercase())),
+        ident().prop_map(|k| format!("new {}", k.to_uppercase())),
+        (ident(), ident()).prop_map(|(k, s)| format!("{}@{s}", k.to_uppercase())),
+        (ident(), ident(), ident())
+            .prop_map(|(k, a, b)| format!("{}@{a} -> {b}", k.to_uppercase())),
+    ];
+    proptest::collection::vec(item, 1..4).prop_map(|items| format!("[{}]", items.join(", ")))
+}
+
+fn parse_print_fixpoint(src: &str) -> Result<(), TestCaseError> {
+    let mut d1 = DiagSink::new();
+    let p1 = parse_program(src, &mut d1);
+    prop_assume!(!d1.has_errors()); // generator may produce junk idents only
+    let printed1 = pretty::program_to_string(&p1);
+    let mut d2 = DiagSink::new();
+    let p2 = parse_program(&printed1, &mut d2);
+    prop_assert!(
+        !d2.has_errors(),
+        "printed output failed to reparse:\n{printed1}\n{:?}",
+        d2.diagnostics()
+    );
+    let printed2 = pretty::program_to_string(&p2);
+    prop_assert_eq!(printed1, printed2);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Expressions round-trip through print → parse → print.
+    #[test]
+    fn expr_round_trip(src in expr_src(3)) {
+        let mut d1 = DiagSink::new();
+        let Some(e1) = parse_expr(&src, &mut d1) else {
+            return Err(TestCaseError::fail(format!("generator produced unparseable `{src}`")));
+        };
+        prop_assert!(!d1.has_errors(), "{src}: {:?}", d1.diagnostics());
+        let printed1 = pretty::expr_to_string(&e1);
+        let mut d2 = DiagSink::new();
+        let e2 = parse_expr(&printed1, &mut d2).expect("reparse");
+        prop_assert!(!d2.has_errors());
+        let printed2 = pretty::expr_to_string(&e2);
+        prop_assert_eq!(printed1, printed2);
+    }
+
+    /// Function signatures with random types and effects round-trip.
+    #[test]
+    fn signature_round_trip(
+        ret in type_src(),
+        name in ident(),
+        ptys in proptest::collection::vec(type_src(), 0..3),
+        eff in effect_src(),
+    ) {
+        prop_assume!(ret != "byte[]"); // return arrays aside, keep it simple
+        let params: Vec<String> = ptys
+            .iter()
+            .enumerate()
+            .map(|(i, t)| format!("{t} p{i}"))
+            .collect();
+        let src = format!("type sometype;\n{ret} {name}({}) {eff};", params.join(", "));
+        parse_print_fixpoint(&src)?;
+    }
+
+    /// Statement-heavy bodies round-trip.
+    #[test]
+    fn body_round_trip(
+        exprs in proptest::collection::vec(expr_src(2), 1..6),
+        cond in expr_src(1),
+    ) {
+        let stmts: Vec<String> = exprs.iter().map(|e| format!("  x = {e};")).collect();
+        let src = format!(
+            "void f(int x, bool b) {{\n{}\n  if ({cond}) {{ x = 1; }} else {{ x = 2; }}\n  \
+             while (b) {{ x = x + 1; }}\n  return;\n}}",
+            stmts.join("\n")
+        );
+        parse_print_fixpoint(&src)?;
+    }
+}

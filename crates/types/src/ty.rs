@@ -1,0 +1,784 @@
+//! The internal type language (paper Fig. 6) and the declaration tables.
+//!
+//! Correspondence with the paper:
+//!
+//! * `tracked(K) T`  →  [`Ty::Tracked`] — the singleton type `s(ρ)`;
+//! * `tracked T`     →  [`Ty::TrackedAnon`] — the existential
+//!   `∃[ρ | {ρ@τ}]. s(ρ)`;
+//! * `C : T`         →  [`Ty::Guarded`] — the guarded type `C ▷ τ`;
+//! * function types  →  [`FnSig`] — `(C, σ) → (C′, σ′)` with the pre/post
+//!   key sets expressed as a list of [`EffItem`]s over key variables;
+//! * variants        →  [`VariantDef`]; constructor-scoped key variables
+//!   ([`CtorDef::exist_keys`]) are the existentially bound names that make
+//!   collections "anonymizing" (paper §2.4).
+
+use crate::key::{KeyId, KeyRef};
+use crate::state::{StateId, StateReq, StateTable, StateVal, StatesetId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifies a named type (struct/variant/abstract) in a [`World`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub u32);
+
+/// An internal type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Ty {
+    /// `void`
+    Void,
+    /// `int`
+    Int,
+    /// `bool`
+    Bool,
+    /// `byte`
+    Byte,
+    /// `string`
+    Str,
+    /// Placeholder after an error, to suppress cascading diagnostics.
+    Error,
+    /// An instantiated named type.
+    Named {
+        /// Which declaration.
+        id: TypeId,
+        /// Instantiation arguments, matching the declaration's parameters.
+        args: Vec<Arg>,
+    },
+    /// `T[]`
+    Array(Box<Ty>),
+    /// `(T1, ..., Tn)`
+    Tuple(Vec<Ty>),
+    /// The singleton type `s(ρ)`: a handle to the unique resource named by
+    /// the key, remembering the underlying resource type.
+    Tracked {
+        /// The key (a variable in signatures, concrete during checking).
+        key: KeyRef,
+        /// The resource type.
+        inner: Box<Ty>,
+    },
+    /// Anonymous tracked type: `∃[ρ | {ρ@τ}]. s(ρ)`.
+    TrackedAnon(Box<Ty>),
+    /// Guarded type `C ▷ τ`: access requires every guard atom to hold.
+    Guarded {
+        /// The guard conjunction.
+        guards: Vec<GuardAtom>,
+        /// The guarded type.
+        inner: Box<Ty>,
+    },
+    /// A function type (completion routines, §4.3).
+    Fn(Box<FnSig>),
+    /// A type variable from a `<type T>` parameter.
+    Var(String),
+}
+
+impl Ty {
+    /// Boxed convenience constructor for [`Ty::Tracked`].
+    pub fn tracked(key: KeyRef, inner: Ty) -> Ty {
+        Ty::Tracked {
+            key,
+            inner: Box::new(inner),
+        }
+    }
+
+    /// Boxed convenience constructor for [`Ty::Guarded`].
+    pub fn guarded(guards: Vec<GuardAtom>, inner: Ty) -> Ty {
+        Ty::Guarded {
+            guards,
+            inner: Box::new(inner),
+        }
+    }
+
+    /// Whether this is the error type.
+    pub fn is_error(&self) -> bool {
+        matches!(self, Ty::Error)
+    }
+
+    /// Collect every concrete key mentioned in the type (tracking keys,
+    /// guard keys, and key arguments of named types).
+    pub fn concrete_keys(&self, out: &mut Vec<KeyId>) {
+        match self {
+            Ty::Tracked { key, inner } => {
+                if let KeyRef::Id(k) = key {
+                    out.push(*k);
+                }
+                inner.concrete_keys(out);
+            }
+            Ty::TrackedAnon(inner) => inner.concrete_keys(out),
+            Ty::Guarded { guards, inner } => {
+                for g in guards {
+                    if let KeyRef::Id(k) = &g.key {
+                        out.push(*k);
+                    }
+                }
+                inner.concrete_keys(out);
+            }
+            Ty::Named { args, .. } => {
+                for a in args {
+                    match a {
+                        Arg::Ty(t) => t.concrete_keys(out),
+                        Arg::Key(KeyRef::Id(k)) => out.push(*k),
+                        Arg::Key(KeyRef::Var(_)) | Arg::State(_) => {}
+                    }
+                }
+            }
+            Ty::Array(t) => t.concrete_keys(out),
+            Ty::Tuple(ts) => {
+                for t in ts {
+                    t.concrete_keys(out);
+                }
+            }
+            Ty::Fn(_)
+            | Ty::Void
+            | Ty::Int
+            | Ty::Bool
+            | Ty::Byte
+            | Ty::Str
+            | Ty::Error
+            | Ty::Var(_) => {}
+        }
+    }
+
+    /// Human-readable rendering against a world's tables.
+    pub fn display(&self, world: &World) -> String {
+        match self {
+            Ty::Void => "void".into(),
+            Ty::Int => "int".into(),
+            Ty::Bool => "bool".into(),
+            Ty::Byte => "byte".into(),
+            Ty::Str => "string".into(),
+            Ty::Error => "<error>".into(),
+            Ty::Var(v) => v.clone(),
+            Ty::Named { id, args } => {
+                let name = world.type_name(*id);
+                if args.is_empty() {
+                    name.to_string()
+                } else {
+                    let args: Vec<String> =
+                        args.iter().map(|a| a.display(world)).collect();
+                    format!("{name}<{}>", args.join(", "))
+                }
+            }
+            Ty::Array(t) => format!("{}[]", t.display(world)),
+            Ty::Tuple(ts) => {
+                let items: Vec<String> = ts.iter().map(|t| t.display(world)).collect();
+                format!("({})", items.join(", "))
+            }
+            Ty::Tracked { key, inner } => {
+                format!("tracked({key}) {}", inner.display(world))
+            }
+            Ty::TrackedAnon(inner) => format!("tracked {}", inner.display(world)),
+            Ty::Guarded { guards, inner } => {
+                let gs: Vec<String> = guards
+                    .iter()
+                    .map(|g| g.display(&world.states))
+                    .collect();
+                format!("{}:{}", gs.join(","), inner.display(world))
+            }
+            Ty::Fn(sig) => {
+                let params: Vec<String> =
+                    sig.params.iter().map(|p| p.display(world)).collect();
+                format!("{} fn({})", sig.ret.display(world), params.join(", "))
+            }
+        }
+    }
+}
+
+/// One atom of a guard conjunction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GuardAtom {
+    /// The guarding key.
+    pub key: KeyRef,
+    /// The state the key must be in.
+    pub req: StateReq,
+}
+
+impl GuardAtom {
+    /// Render for diagnostics.
+    pub fn display(&self, states: &StateTable) -> String {
+        match &self.req {
+            StateReq::Any => format!("{}", self.key),
+            StateReq::Exact(s) => format!("{}@{}", self.key, states.state_name(*s)),
+            StateReq::AtMost { var, bound } => {
+                let v = var.as_deref().unwrap_or("_");
+                format!("{}@({} <= {})", self.key, v, states.state_name(*bound))
+            }
+            StateReq::Var(v) => format!("{}@{}", self.key, v),
+        }
+    }
+}
+
+/// An argument in a named-type instantiation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Arg {
+    /// A type argument.
+    Ty(Ty),
+    /// A key argument.
+    Key(KeyRef),
+    /// A state argument.
+    State(StateArg),
+}
+
+impl Arg {
+    /// Render for diagnostics.
+    pub fn display(&self, world: &World) -> String {
+        match self {
+            Arg::Ty(t) => t.display(world),
+            Arg::Key(k) => k.to_string(),
+            Arg::State(s) => s.display(&world.states),
+        }
+    }
+}
+
+/// A state argument in a type or effect postcondition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StateArg {
+    /// A concrete state token.
+    Token(StateId),
+    /// A state variable, resolved during instantiation.
+    Var(String),
+    /// An already-instantiated state value (checker-internal).
+    Val(StateVal),
+}
+
+impl StateArg {
+    /// Render for diagnostics.
+    pub fn display(&self, states: &StateTable) -> String {
+        match self {
+            StateArg::Token(t) => states.state_name(*t).to_string(),
+            StateArg::Var(v) => v.clone(),
+            StateArg::Val(v) => v.display(states),
+        }
+    }
+}
+
+/// One item of an internal effect clause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EffItem {
+    /// Key held before and after, possibly changing state.
+    Keep {
+        /// The key.
+        key: KeyRef,
+        /// Required entry state.
+        from: StateReq,
+        /// Exit state; `None` keeps the entry state.
+        to: Option<StateArg>,
+    },
+    /// Key held before, consumed.
+    Consume {
+        /// The key.
+        key: KeyRef,
+        /// Required entry state.
+        from: StateReq,
+    },
+    /// Key not held before, held after (`[+K]`, e.g. `KeWaitEvent`).
+    Produce {
+        /// The key.
+        key: KeyRef,
+        /// State produced in.
+        state: StateArg,
+    },
+    /// A fresh key held on return (`[new K]`).
+    Fresh {
+        /// The key variable bound in the signature scope.
+        var: String,
+        /// State created in.
+        state: StateArg,
+    },
+}
+
+impl EffItem {
+    /// The key variable or id this item concerns (fresh items return their
+    /// variable as a `KeyRef::Var`).
+    pub fn key(&self) -> KeyRef {
+        match self {
+            EffItem::Keep { key, .. }
+            | EffItem::Consume { key, .. }
+            | EffItem::Produce { key, .. } => key.clone(),
+            EffItem::Fresh { var, .. } => KeyRef::Var(var.clone()),
+        }
+    }
+}
+
+/// An internal function signature: `(C, σ) → (C′, σ′)` with key/state/type
+/// polymorphism implicit in the variables it mentions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FnSig {
+    /// Function name (for diagnostics).
+    pub name: String,
+    /// Parameter types, over key/state/type variables.
+    pub params: Vec<Ty>,
+    /// Parameter names (if declared).
+    pub param_names: Vec<Option<String>>,
+    /// Return type.
+    pub ret: Ty,
+    /// The effect clause.
+    pub effect: Vec<EffItem>,
+    /// Declared `<type T>` parameters.
+    pub ty_params: Vec<String>,
+}
+
+/// Kinds of parameters a named type declares.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParamKind {
+    /// `type T`
+    Type(String),
+    /// `key K`
+    Key(String),
+    /// `state S` with optional bound
+    State {
+        /// The variable name.
+        name: String,
+        /// Optional inclusive upper bound.
+        bound: Option<StateId>,
+    },
+}
+
+impl ParamKind {
+    /// The parameter name.
+    pub fn name(&self) -> &str {
+        match self {
+            ParamKind::Type(n) | ParamKind::Key(n) => n,
+            ParamKind::State { name, .. } => name,
+        }
+    }
+}
+
+/// A struct declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StructDef {
+    /// The struct name.
+    pub name: String,
+    /// Declared parameters.
+    pub params: Vec<ParamKind>,
+    /// Fields: name and type (over the parameters).
+    pub fields: Vec<(String, Ty)>,
+}
+
+/// One constructor of a variant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CtorDef {
+    /// Constructor name, without the tick.
+    pub name: String,
+    /// Existentially bound, constructor-scoped key variables appearing in
+    /// `args` (these make collection elements anonymous — paper §2.4).
+    pub exist_keys: Vec<String>,
+    /// Argument types, over the variant's parameters plus `exist_keys`.
+    pub args: Vec<Ty>,
+    /// Captured keys: each names a *key parameter* of the variant together
+    /// with the state it is captured/restored in (`'Ok {K@named}`).
+    pub captures: Vec<(String, StateReq)>,
+}
+
+/// A variant (algebraic data type) declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VariantDef {
+    /// The variant type name.
+    pub name: String,
+    /// Declared parameters.
+    pub params: Vec<ParamKind>,
+    /// Constructors.
+    pub ctors: Vec<CtorDef>,
+}
+
+impl VariantDef {
+    /// Whether values of this variant carry keys and therefore must be
+    /// tracked themselves (paper §2.1: "the opt_key type of the flag
+    /// variable is itself tracked").
+    pub fn is_keyed(&self) -> bool {
+        self.ctors.iter().any(|c| {
+            !c.captures.is_empty()
+                || !c.exist_keys.is_empty()
+                || c.args.iter().any(ty_carries_keys)
+        })
+    }
+
+    /// Find a constructor by name.
+    pub fn ctor(&self, name: &str) -> Option<(usize, &CtorDef)> {
+        self.ctors
+            .iter()
+            .enumerate()
+            .find(|(_, c)| c.name == name)
+    }
+}
+
+/// Whether values of this type carry keys with them (tracked values and
+/// tuples/arrays containing them).
+pub fn ty_carries_keys(t: &Ty) -> bool {
+    match t {
+        Ty::Tracked { .. } | Ty::TrackedAnon(_) => true,
+        Ty::Tuple(ts) => ts.iter().any(ty_carries_keys),
+        Ty::Array(inner) => ty_carries_keys(inner),
+        _ => false,
+    }
+}
+
+/// An abstract type declaration (representation private to its module).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AbstractDef {
+    /// The type name.
+    pub name: String,
+    /// Declared parameters.
+    pub params: Vec<ParamKind>,
+}
+
+/// Any named type declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TypeDef {
+    /// A struct.
+    Struct(StructDef),
+    /// A variant.
+    Variant(VariantDef),
+    /// An abstract type.
+    Abstract(AbstractDef),
+}
+
+impl TypeDef {
+    /// The declared name.
+    pub fn name(&self) -> &str {
+        match self {
+            TypeDef::Struct(s) => &s.name,
+            TypeDef::Variant(v) => &v.name,
+            TypeDef::Abstract(a) => &a.name,
+        }
+    }
+
+    /// The declared parameters.
+    pub fn params(&self) -> &[ParamKind] {
+        match self {
+            TypeDef::Struct(s) => &s.params,
+            TypeDef::Variant(v) => &v.params,
+            TypeDef::Abstract(a) => &a.params,
+        }
+    }
+}
+
+/// A global key declaration (e.g. `IRQL`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GlobalKey {
+    /// The key's fixed id.
+    pub id: KeyId,
+    /// Its stateset.
+    pub stateset: StatesetId,
+}
+
+/// The elaborated program: every table the checker consults.
+#[derive(Clone, Debug, Default)]
+pub struct World {
+    /// State tokens and statesets.
+    pub states: StateTable,
+    types: Vec<TypeDef>,
+    types_by_name: BTreeMap<String, TypeId>,
+    fns: BTreeMap<String, FnSig>,
+    ctors: BTreeMap<String, (TypeId, usize)>,
+    globals: BTreeMap<String, GlobalKey>,
+}
+
+impl World {
+    /// An empty world with the trivial stateset.
+    pub fn new() -> Self {
+        World {
+            states: StateTable::new(),
+            ..Default::default()
+        }
+    }
+
+    /// Register a named type. Returns `None` if the name is taken.
+    pub fn add_type(&mut self, def: TypeDef) -> Option<TypeId> {
+        let name = def.name().to_string();
+        if self.types_by_name.contains_key(&name) {
+            return None;
+        }
+        let id = TypeId(self.types.len() as u32);
+        if let TypeDef::Variant(v) = &def {
+            for (i, c) in v.ctors.iter().enumerate() {
+                self.ctors.insert(c.name.clone(), (id, i));
+            }
+        }
+        self.types.push(def);
+        self.types_by_name.insert(name, id);
+        Some(id)
+    }
+
+    /// Replace a previously added type definition (used to patch forward
+    /// references during elaboration).
+    pub fn replace_type(&mut self, id: TypeId, def: TypeDef) {
+        debug_assert_eq!(self.types[id.0 as usize].name(), def.name());
+        if let TypeDef::Variant(v) = &def {
+            for (i, c) in v.ctors.iter().enumerate() {
+                self.ctors.insert(c.name.clone(), (id, i));
+            }
+        }
+        self.types[id.0 as usize] = def;
+    }
+
+    /// Look up a type by name.
+    pub fn type_id(&self, name: &str) -> Option<TypeId> {
+        self.types_by_name.get(name).copied()
+    }
+
+    /// The definition behind an id.
+    pub fn typedef(&self, id: TypeId) -> &TypeDef {
+        &self.types[id.0 as usize]
+    }
+
+    /// The name behind an id.
+    pub fn type_name(&self, id: TypeId) -> &str {
+        self.types[id.0 as usize].name()
+    }
+
+    /// Number of named types.
+    pub fn type_count(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Register a function signature. Returns false if the name is taken.
+    pub fn add_fn(&mut self, sig: FnSig) -> bool {
+        if self.fns.contains_key(&sig.name) {
+            return false;
+        }
+        self.fns.insert(sig.name.clone(), sig);
+        true
+    }
+
+    /// Look up a function signature by (unqualified) name.
+    pub fn fn_sig(&self, name: &str) -> Option<&FnSig> {
+        self.fns.get(name)
+    }
+
+    /// Iterate all function signatures.
+    pub fn fns(&self) -> impl Iterator<Item = &FnSig> {
+        self.fns.values()
+    }
+
+    /// Find a constructor by name: the owning variant and ctor index.
+    pub fn ctor(&self, name: &str) -> Option<(TypeId, usize)> {
+        self.ctors.get(name).copied()
+    }
+
+    /// Register a global key.
+    pub fn add_global_key(&mut self, name: &str, key: GlobalKey) -> bool {
+        if self.globals.contains_key(name) {
+            return false;
+        }
+        self.globals.insert(name.to_string(), key);
+        true
+    }
+
+    /// Look up a global key by name.
+    pub fn global_key(&self, name: &str) -> Option<&GlobalKey> {
+        self.globals.get(name)
+    }
+
+    /// Iterate over global keys.
+    pub fn global_keys(&self) -> impl Iterator<Item = (&str, &GlobalKey)> {
+        self.globals.iter().map(|(n, g)| (n.as_str(), g))
+    }
+
+    /// Reverse lookup: the name of a global key id, if it is one.
+    pub fn global_key_name(&self, id: KeyId) -> Option<&str> {
+        self.globals
+            .iter()
+            .find(|(_, g)| g.id == id)
+            .map(|(n, _)| n.as_str())
+    }
+}
+
+impl fmt::Display for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_world() -> World {
+        let mut w = World::new();
+        w.add_type(TypeDef::Abstract(AbstractDef {
+            name: "region".into(),
+            params: vec![],
+        }))
+        .unwrap();
+        w.add_type(TypeDef::Struct(StructDef {
+            name: "point".into(),
+            params: vec![],
+            fields: vec![("x".into(), Ty::Int), ("y".into(), Ty::Int)],
+        }))
+        .unwrap();
+        w.add_type(TypeDef::Variant(VariantDef {
+            name: "opt_key".into(),
+            params: vec![ParamKind::Key("K".into())],
+            ctors: vec![
+                CtorDef {
+                    name: "NoKey".into(),
+                    exist_keys: vec![],
+                    args: vec![],
+                    captures: vec![],
+                },
+                CtorDef {
+                    name: "SomeKey".into(),
+                    exist_keys: vec![],
+                    args: vec![],
+                    captures: vec![("K".into(), StateReq::Any)],
+                },
+            ],
+        }))
+        .unwrap();
+        w
+    }
+
+    #[test]
+    fn type_registration_and_lookup() {
+        let w = sample_world();
+        let region = w.type_id("region").unwrap();
+        assert_eq!(w.type_name(region), "region");
+        assert!(w.type_id("nope").is_none());
+        assert_eq!(w.type_count(), 3);
+    }
+
+    #[test]
+    fn duplicate_type_rejected() {
+        let mut w = sample_world();
+        assert!(w
+            .add_type(TypeDef::Abstract(AbstractDef {
+                name: "region".into(),
+                params: vec![],
+            }))
+            .is_none());
+    }
+
+    #[test]
+    fn ctor_lookup_finds_variant() {
+        let w = sample_world();
+        let (vid, idx) = w.ctor("SomeKey").unwrap();
+        assert_eq!(w.type_name(vid), "opt_key");
+        assert_eq!(idx, 1);
+        assert!(w.ctor("Bogus").is_none());
+    }
+
+    #[test]
+    fn keyed_variant_detection() {
+        let w = sample_world();
+        let TypeDef::Variant(v) = w.typedef(w.type_id("opt_key").unwrap()) else {
+            panic!()
+        };
+        assert!(v.is_keyed());
+        let plain = VariantDef {
+            name: "domain".into(),
+            params: vec![],
+            ctors: vec![
+                CtorDef {
+                    name: "UNIX".into(),
+                    exist_keys: vec![],
+                    args: vec![],
+                    captures: vec![],
+                },
+                CtorDef {
+                    name: "INET".into(),
+                    exist_keys: vec![],
+                    args: vec![],
+                    captures: vec![],
+                },
+            ],
+        };
+        assert!(!plain.is_keyed());
+        let anon_carrying = VariantDef {
+            name: "reglist".into(),
+            params: vec![],
+            ctors: vec![CtorDef {
+                name: "Cons".into(),
+                exist_keys: vec![],
+                args: vec![Ty::TrackedAnon(Box::new(Ty::Var("r".into())))],
+                captures: vec![],
+            }],
+        };
+        assert!(anon_carrying.is_keyed());
+    }
+
+    #[test]
+    fn concrete_keys_collects_all_positions() {
+        let w = sample_world();
+        let point = w.type_id("point").unwrap();
+        let t = Ty::Tuple(vec![
+            Ty::tracked(KeyRef::Id(KeyId(1)), Ty::Named {
+                id: point,
+                args: vec![],
+            }),
+            Ty::guarded(
+                vec![GuardAtom {
+                    key: KeyRef::Id(KeyId(2)),
+                    req: StateReq::Any,
+                }],
+                Ty::Int,
+            ),
+            Ty::Named {
+                id: point,
+                args: vec![Arg::Key(KeyRef::Id(KeyId(3)))],
+            },
+        ]);
+        let mut keys = Vec::new();
+        t.concrete_keys(&mut keys);
+        assert_eq!(keys, vec![KeyId(1), KeyId(2), KeyId(3)]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let w = sample_world();
+        let point = w.type_id("point").unwrap();
+        let t = Ty::tracked(
+            KeyRef::var("R"),
+            Ty::Named {
+                id: point,
+                args: vec![],
+            },
+        );
+        assert_eq!(t.display(&w), "tracked(R) point");
+        let g = Ty::guarded(
+            vec![GuardAtom {
+                key: KeyRef::var("R"),
+                req: StateReq::Any,
+            }],
+            Ty::Int,
+        );
+        assert_eq!(g.display(&w), "R:int");
+    }
+
+    #[test]
+    fn global_keys_roundtrip() {
+        let mut w = sample_world();
+        assert!(w.add_global_key(
+            "IRQL",
+            GlobalKey {
+                id: KeyId(100),
+                stateset: StateTable::DEFAULT_SET,
+            }
+        ));
+        assert!(!w.add_global_key(
+            "IRQL",
+            GlobalKey {
+                id: KeyId(101),
+                stateset: StateTable::DEFAULT_SET,
+            }
+        ));
+        assert_eq!(w.global_key("IRQL").unwrap().id, KeyId(100));
+        assert_eq!(w.global_key_name(KeyId(100)), Some("IRQL"));
+        assert_eq!(w.global_key_name(KeyId(5)), None);
+    }
+
+    #[test]
+    fn fn_registration() {
+        let mut w = sample_world();
+        let sig = FnSig {
+            name: "create".into(),
+            params: vec![],
+            param_names: vec![],
+            ret: Ty::Void,
+            effect: vec![],
+            ty_params: vec![],
+        };
+        assert!(w.add_fn(sig.clone()));
+        assert!(!w.add_fn(sig));
+        assert!(w.fn_sig("create").is_some());
+        assert_eq!(w.fns().count(), 1);
+    }
+}

@@ -1,0 +1,817 @@
+//! Instantiation and matching of polymorphic signatures.
+//!
+//! Vault functions are polymorphic in the keys of their arguments, in key
+//! states, and in the rest of the held-key set (paper §3.2). At each call
+//! the checker *unifies* declared parameter types against actual argument
+//! types to discover the key/state/type bindings, then applies the effect
+//! clause under those bindings.
+
+use crate::key::{KeyId, KeyRef};
+use crate::state::StateVal;
+use crate::ty::{Arg, FnSig, GuardAtom, StateArg, Ty, World};
+use crate::StateReq;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Accumulated variable bindings from unification.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bindings {
+    /// Key variable → concrete key.
+    pub keys: BTreeMap<String, KeyId>,
+    /// State variable → state value.
+    pub states: BTreeMap<String, StateVal>,
+    /// Type variable → type.
+    pub tys: BTreeMap<String, Ty>,
+}
+
+impl Bindings {
+    /// Empty bindings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind a key variable; errors if already bound to a different key.
+    pub fn bind_key(&mut self, var: &str, key: KeyId) -> Result<(), UnifyErr> {
+        match self.keys.get(var) {
+            Some(&k) if k != key => Err(UnifyErr::KeyConflict {
+                var: var.to_string(),
+                first: k,
+                second: key,
+            }),
+            _ => {
+                self.keys.insert(var.to_string(), key);
+                Ok(())
+            }
+        }
+    }
+
+    /// Bind a state variable; errors on conflicting rebinding.
+    pub fn bind_state(&mut self, var: &str, val: StateVal) -> Result<(), UnifyErr> {
+        match self.states.get(var) {
+            Some(v) if *v != val => Err(UnifyErr::StateConflict(var.to_string())),
+            _ => {
+                self.states.insert(var.to_string(), val);
+                Ok(())
+            }
+        }
+    }
+
+    /// Bind a type variable; errors if already bound to a different type.
+    pub fn bind_ty(&mut self, var: &str, ty: Ty) -> Result<(), UnifyErr> {
+        match self.tys.get(var) {
+            Some(t) if *t != ty => Err(UnifyErr::TyConflict(var.to_string())),
+            _ => {
+                self.tys.insert(var.to_string(), ty);
+                Ok(())
+            }
+        }
+    }
+
+    /// Resolve a key reference under these bindings.
+    pub fn key(&self, k: &KeyRef) -> Option<KeyId> {
+        match k {
+            KeyRef::Id(id) => Some(*id),
+            KeyRef::Var(v) => self.keys.get(v).copied(),
+        }
+    }
+}
+
+/// Unification failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UnifyErr {
+    /// Structural mismatch between declared and actual type.
+    Mismatch {
+        /// Rendering of the declared type.
+        expected: String,
+        /// Rendering of the actual type.
+        found: String,
+    },
+    /// One key variable matched two different keys.
+    KeyConflict {
+        /// The variable.
+        var: String,
+        /// First key it matched.
+        first: KeyId,
+        /// Conflicting key.
+        second: KeyId,
+    },
+    /// One state variable matched two different states.
+    StateConflict(String),
+    /// One type variable matched two different types.
+    TyConflict(String),
+    /// A variable remained unresolved when instantiating.
+    Unresolved(String),
+}
+
+impl fmt::Display for UnifyErr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnifyErr::Mismatch { expected, found } => {
+                write!(f, "expected `{expected}`, found `{found}`")
+            }
+            UnifyErr::KeyConflict { var, first, second } => write!(
+                f,
+                "key variable `{var}` matched two distinct keys ({first} and {second})"
+            ),
+            UnifyErr::StateConflict(v) => {
+                write!(f, "state variable `{v}` matched two different states")
+            }
+            UnifyErr::TyConflict(v) => {
+                write!(f, "type variable `{v}` matched two different types")
+            }
+            UnifyErr::Unresolved(v) => write!(f, "variable `{v}` was not determined by the call"),
+        }
+    }
+}
+
+impl std::error::Error for UnifyErr {}
+
+/// Unify a declared (polymorphic) type against an actual (concrete) type,
+/// extending `binds`.
+pub fn unify(decl: &Ty, actual: &Ty, binds: &mut Bindings, world: &World) -> Result<(), UnifyErr> {
+    // Errors flow through silently so one bad expression doesn't cascade.
+    if decl.is_error() || actual.is_error() {
+        return Ok(());
+    }
+    match (decl, actual) {
+        (Ty::Var(v), t) => binds.bind_ty(v, t.clone()),
+        (Ty::Void, Ty::Void)
+        | (Ty::Int, Ty::Int)
+        | (Ty::Bool, Ty::Bool)
+        | (Ty::Byte, Ty::Byte)
+        | (Ty::Str, Ty::Str) => Ok(()),
+        // byte/int interchange keeps driver buffer code simple.
+        (Ty::Byte, Ty::Int) | (Ty::Int, Ty::Byte) => Ok(()),
+        (Ty::Array(d), Ty::Array(a)) => unify(d, a, binds, world),
+        (Ty::Tuple(ds), Ty::Tuple(as_)) if ds.len() == as_.len() => {
+            for (d, a) in ds.iter().zip(as_) {
+                unify(d, a, binds, world)?;
+            }
+            Ok(())
+        }
+        (
+            Ty::Tracked {
+                key: dk,
+                inner: di,
+            },
+            Ty::Tracked {
+                key: ak,
+                inner: ai,
+            },
+        ) => {
+            unify_key(dk, ak, binds, world, actual)?;
+            unify(di, ai, binds, world)
+        }
+        // An anonymous tracked parameter accepts any tracked value: the
+        // key is packed away (the checker consumes it separately).
+        (Ty::TrackedAnon(di), Ty::Tracked { inner: ai, .. }) => unify(di, ai, binds, world),
+        (Ty::TrackedAnon(di), Ty::TrackedAnon(ai)) => unify(di, ai, binds, world),
+        (
+            Ty::Guarded {
+                guards: dg,
+                inner: di,
+            },
+            Ty::Guarded {
+                guards: ag,
+                inner: ai,
+            },
+        ) if dg.len() == ag.len() => {
+            for (d, a) in dg.iter().zip(ag) {
+                unify_guard(d, a, binds, world, actual)?;
+            }
+            unify(di, ai, binds, world)
+        }
+        (
+            Ty::Named { id: did, args: da },
+            Ty::Named { id: aid, args: aa },
+        ) if did == aid && da.len() == aa.len() => {
+            for (d, a) in da.iter().zip(aa) {
+                unify_arg(d, a, binds, world, decl, actual)?;
+            }
+            Ok(())
+        }
+        (Ty::Fn(d), Ty::Fn(a)) => unify_fn(d, a, binds, world),
+        _ => Err(mismatch(decl, actual, world)),
+    }
+}
+
+fn mismatch(decl: &Ty, actual: &Ty, world: &World) -> UnifyErr {
+    UnifyErr::Mismatch {
+        expected: decl.display(world),
+        found: actual.display(world),
+    }
+}
+
+fn unify_key(
+    decl: &KeyRef,
+    actual: &KeyRef,
+    binds: &mut Bindings,
+    world: &World,
+    actual_ty: &Ty,
+) -> Result<(), UnifyErr> {
+    match (decl, actual) {
+        (KeyRef::Var(v), KeyRef::Id(k)) => binds.bind_key(v, *k),
+        (KeyRef::Id(a), KeyRef::Id(b)) if a == b => Ok(()),
+        (KeyRef::Var(v), KeyRef::Var(w)) if v == w => Ok(()),
+        _ => Err(UnifyErr::Mismatch {
+            expected: decl.to_string(),
+            found: actual_ty.display(world),
+        }),
+    }
+}
+
+fn unify_guard(
+    decl: &GuardAtom,
+    actual: &GuardAtom,
+    binds: &mut Bindings,
+    world: &World,
+    actual_ty: &Ty,
+) -> Result<(), UnifyErr> {
+    unify_key(&decl.key, &actual.key, binds, world, actual_ty)?;
+    // Guard state requirements must be compatible; state variables bind.
+    match (&decl.req, &actual.req) {
+        (StateReq::Any, _) | (_, StateReq::Any) => Ok(()),
+        (StateReq::Exact(a), StateReq::Exact(b)) if a == b => Ok(()),
+        (StateReq::Var(v), StateReq::Exact(s)) => binds.bind_state(v, StateVal::Token(*s)),
+        (StateReq::AtMost { .. }, _) | (_, StateReq::AtMost { .. }) => Ok(()),
+        _ => Err(UnifyErr::Mismatch {
+            expected: decl.display(&world.states),
+            found: actual.display(&world.states),
+        }),
+    }
+}
+
+fn unify_arg(
+    decl: &Arg,
+    actual: &Arg,
+    binds: &mut Bindings,
+    world: &World,
+    decl_ty: &Ty,
+    actual_ty: &Ty,
+) -> Result<(), UnifyErr> {
+    match (decl, actual) {
+        (Arg::Ty(d), Arg::Ty(a)) => unify(d, a, binds, world),
+        (Arg::Key(d), Arg::Key(a)) => unify_key(d, a, binds, world, actual_ty),
+        (Arg::State(d), Arg::State(a)) => {
+            let aval = match a {
+                StateArg::Val(v) => *v,
+                StateArg::Token(t) => StateVal::Token(*t),
+                StateArg::Var(_) => {
+                    return Err(mismatch(decl_ty, actual_ty, world));
+                }
+            };
+            match d {
+                StateArg::Var(v) => binds.bind_state(v, aval),
+                StateArg::Token(t) if StateVal::Token(*t) == aval => Ok(()),
+                StateArg::Val(v) if *v == aval => Ok(()),
+                _ => Err(mismatch(decl_ty, actual_ty, world)),
+            }
+        }
+        _ => Err(mismatch(decl_ty, actual_ty, world)),
+    }
+}
+
+/// Function types unify when they are alpha-equivalent over their key
+/// variables: same shapes, with a consistent bijection between the key
+/// variables of the two signatures. A key variable on the declared side may
+/// also bind to a concrete key on the actual side (a nested function over
+/// already-instantiated keys matching `COMPLETION_ROUTINE<I>`, §4.3).
+fn unify_fn(
+    decl: &FnSig,
+    actual: &FnSig,
+    binds: &mut Bindings,
+    world: &World,
+) -> Result<(), UnifyErr> {
+    if decl.params.len() != actual.params.len() || decl.effect.len() != actual.effect.len() {
+        return Err(UnifyErr::Mismatch {
+            expected: format!("fn with {} params", decl.params.len()),
+            found: format!("fn with {} params", actual.params.len()),
+        });
+    }
+    let mut alpha = Alpha {
+        fwd: BTreeMap::new(),
+        bwd: BTreeMap::new(),
+        binds,
+    };
+    for (d, a) in decl
+        .params
+        .iter()
+        .zip(&actual.params)
+        .chain(std::iter::once((&decl.ret, &actual.ret)))
+    {
+        alpha_eq(d, a, &mut alpha, world)?;
+    }
+    for (d, a) in decl.effect.iter().zip(&actual.effect) {
+        use crate::ty::EffItem::*;
+        let ok = match (d, a) {
+            (Keep { key: dk, .. }, Keep { key: ak, .. })
+            | (Consume { key: dk, .. }, Consume { key: ak, .. })
+            | (Produce { key: dk, .. }, Produce { key: ak, .. }) => alpha.key(dk, ak),
+            (Fresh { var: dv, .. }, Fresh { var: av, .. }) => {
+                alpha.key(&KeyRef::Var(dv.clone()), &KeyRef::Var(av.clone()))
+            }
+            _ => false,
+        };
+        if !ok {
+            return Err(UnifyErr::Mismatch {
+                expected: format!("fn effect of `{}`", decl.name),
+                found: format!("fn effect of `{}`", actual.name),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Tracks the variable correspondence while matching two function types.
+struct Alpha<'b> {
+    /// decl var → actual var (for var-var pairs).
+    fwd: BTreeMap<String, String>,
+    /// actual var → decl var.
+    bwd: BTreeMap<String, String>,
+    /// Outer bindings, for decl-var-to-concrete-key pairs.
+    binds: &'b mut Bindings,
+}
+
+impl Alpha<'_> {
+    fn key(&mut self, d: &KeyRef, a: &KeyRef) -> bool {
+        match (d, a) {
+            (KeyRef::Id(x), KeyRef::Id(y)) => x == y,
+            (KeyRef::Var(x), KeyRef::Id(y)) => self.binds.bind_key(x, *y).is_ok(),
+            (KeyRef::Var(x), KeyRef::Var(y)) => {
+                let f_ok = match self.fwd.get(x) {
+                    Some(mapped) => mapped == y,
+                    None => {
+                        self.fwd.insert(x.clone(), y.clone());
+                        true
+                    }
+                };
+                let b_ok = match self.bwd.get(y) {
+                    Some(mapped) => mapped == x,
+                    None => {
+                        self.bwd.insert(y.clone(), x.clone());
+                        true
+                    }
+                };
+                f_ok && b_ok
+            }
+            (KeyRef::Id(_), KeyRef::Var(_)) => false,
+        }
+    }
+}
+
+fn alpha_eq(d: &Ty, a: &Ty, alpha: &mut Alpha<'_>, world: &World) -> Result<(), UnifyErr> {
+    let fail = || {
+        Err(UnifyErr::Mismatch {
+            expected: d.display(world),
+            found: a.display(world),
+        })
+    };
+    match (d, a) {
+        (Ty::Void, Ty::Void)
+        | (Ty::Int, Ty::Int)
+        | (Ty::Bool, Ty::Bool)
+        | (Ty::Byte, Ty::Byte)
+        | (Ty::Str, Ty::Str)
+        | (Ty::Error, _)
+        | (_, Ty::Error) => Ok(()),
+        (Ty::Var(x), Ty::Var(y)) if x == y => Ok(()),
+        (Ty::Array(x), Ty::Array(y)) => alpha_eq(x, y, alpha, world),
+        (Ty::Tuple(xs), Ty::Tuple(ys)) if xs.len() == ys.len() => {
+            for (x, y) in xs.iter().zip(ys) {
+                alpha_eq(x, y, alpha, world)?;
+            }
+            Ok(())
+        }
+        (
+            Ty::Tracked { key: dk, inner: di },
+            Ty::Tracked { key: ak, inner: ai },
+        ) => {
+            if !alpha.key(dk, ak) {
+                return fail();
+            }
+            alpha_eq(di, ai, alpha, world)
+        }
+        (Ty::TrackedAnon(x), Ty::TrackedAnon(y)) => alpha_eq(x, y, alpha, world),
+        (
+            Ty::Guarded { guards: dg, inner: di },
+            Ty::Guarded { guards: ag, inner: ai },
+        ) if dg.len() == ag.len() => {
+            for (x, y) in dg.iter().zip(ag) {
+                if !alpha.key(&x.key, &y.key) {
+                    return fail();
+                }
+            }
+            alpha_eq(di, ai, alpha, world)
+        }
+        (
+            Ty::Named { id: di, args: da },
+            Ty::Named { id: ai, args: aa },
+        ) if di == ai && da.len() == aa.len() => {
+            for (x, y) in da.iter().zip(aa) {
+                match (x, y) {
+                    (Arg::Ty(x), Arg::Ty(y)) => alpha_eq(x, y, alpha, world)?,
+                    (Arg::Key(x), Arg::Key(y)) => {
+                        if !alpha.key(x, y) {
+                            return fail();
+                        }
+                    }
+                    (Arg::State(x), Arg::State(y)) if x == y => {}
+                    (Arg::State(StateArg::Var(_)), Arg::State(_))
+                    | (Arg::State(_), Arg::State(StateArg::Var(_))) => {}
+                    _ => return fail(),
+                }
+            }
+            Ok(())
+        }
+        (Ty::Fn(x), Ty::Fn(y)) => unify_fn(x, y, alpha.binds, world),
+        _ => fail(),
+    }
+}
+
+/// Instantiate a type under bindings: replace key/state/type variables by
+/// their bound values. Unbound key variables are an error (they would leave
+/// the caller unable to track the key).
+pub fn subst_ty(t: &Ty, binds: &Bindings) -> Result<Ty, UnifyErr> {
+    Ok(match t {
+        Ty::Void | Ty::Int | Ty::Bool | Ty::Byte | Ty::Str | Ty::Error => t.clone(),
+        Ty::Var(v) => match binds.tys.get(v) {
+            Some(b) => b.clone(),
+            None => Ty::Var(v.clone()),
+        },
+        Ty::Array(inner) => Ty::Array(Box::new(subst_ty(inner, binds)?)),
+        Ty::Tuple(ts) => Ty::Tuple(
+            ts.iter()
+                .map(|t| subst_ty(t, binds))
+                .collect::<Result<_, _>>()?,
+        ),
+        Ty::Tracked { key, inner } => Ty::Tracked {
+            key: subst_key(key, binds)?,
+            inner: Box::new(subst_ty(inner, binds)?),
+        },
+        Ty::TrackedAnon(inner) => Ty::TrackedAnon(Box::new(subst_ty(inner, binds)?)),
+        Ty::Guarded { guards, inner } => Ty::Guarded {
+            guards: guards
+                .iter()
+                .map(|g| {
+                    Ok(GuardAtom {
+                        key: subst_key(&g.key, binds)?,
+                        req: subst_req(&g.req, binds),
+                    })
+                })
+                .collect::<Result<_, UnifyErr>>()?,
+            inner: Box::new(subst_ty(inner, binds)?),
+        },
+        Ty::Named { id, args } => Ty::Named {
+            id: *id,
+            args: args
+                .iter()
+                .map(|a| {
+                    Ok(match a {
+                        Arg::Ty(t) => Arg::Ty(subst_ty(t, binds)?),
+                        Arg::Key(k) => Arg::Key(subst_key(k, binds)?),
+                        Arg::State(s) => Arg::State(subst_state(s, binds)),
+                    })
+                })
+                .collect::<Result<_, UnifyErr>>()?,
+        },
+        // Function values are not re-instantiated: their signatures stay
+        // polymorphic and are matched by alpha-equivalence.
+        Ty::Fn(sig) => Ty::Fn(sig.clone()),
+    })
+}
+
+fn subst_key(k: &KeyRef, binds: &Bindings) -> Result<KeyRef, UnifyErr> {
+    match k {
+        KeyRef::Id(_) => Ok(k.clone()),
+        KeyRef::Var(v) => match binds.keys.get(v) {
+            Some(id) => Ok(KeyRef::Id(*id)),
+            None => Err(UnifyErr::Unresolved(v.clone())),
+        },
+    }
+}
+
+fn subst_req(r: &StateReq, binds: &Bindings) -> StateReq {
+    match r {
+        StateReq::Var(v) => match binds.states.get(v) {
+            Some(StateVal::Token(t)) => StateReq::Exact(*t),
+            _ => r.clone(),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Resolve a state argument to a value under bindings.
+pub fn subst_state(s: &StateArg, binds: &Bindings) -> StateArg {
+    match s {
+        StateArg::Var(v) => match binds.states.get(v) {
+            Some(val) => StateArg::Val(*val),
+            None => s.clone(),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Structural equality of two concrete types modulo a *bijective* renaming
+/// of concrete keys, extending `map`/`rev`. This is the join-point
+/// abstraction (paper §3): two branches agree if their environments are
+/// identical once local key names are abstracted.
+pub fn ty_eq_mod_keys(
+    a: &Ty,
+    b: &Ty,
+    map: &mut BTreeMap<KeyId, KeyId>,
+    rev: &mut BTreeMap<KeyId, KeyId>,
+) -> bool {
+    fn key_eq(
+        a: &KeyRef,
+        b: &KeyRef,
+        map: &mut BTreeMap<KeyId, KeyId>,
+        rev: &mut BTreeMap<KeyId, KeyId>,
+    ) -> bool {
+        match (a, b) {
+            (KeyRef::Id(x), KeyRef::Id(y)) => {
+                let f_ok = match map.get(x) {
+                    Some(m) => m == y,
+                    None => {
+                        map.insert(*x, *y);
+                        true
+                    }
+                };
+                let b_ok = match rev.get(y) {
+                    Some(m) => m == x,
+                    None => {
+                        rev.insert(*y, *x);
+                        true
+                    }
+                };
+                f_ok && b_ok
+            }
+            (KeyRef::Var(x), KeyRef::Var(y)) => x == y,
+            _ => false,
+        }
+    }
+    match (a, b) {
+        (Ty::Void, Ty::Void)
+        | (Ty::Int, Ty::Int)
+        | (Ty::Bool, Ty::Bool)
+        | (Ty::Byte, Ty::Byte)
+        | (Ty::Str, Ty::Str)
+        | (Ty::Error, _)
+        | (_, Ty::Error) => true,
+        (Ty::Var(x), Ty::Var(y)) => x == y,
+        (Ty::Array(x), Ty::Array(y)) => ty_eq_mod_keys(x, y, map, rev),
+        (Ty::Tuple(xs), Ty::Tuple(ys)) => {
+            xs.len() == ys.len()
+                && xs
+                    .iter()
+                    .zip(ys)
+                    .all(|(x, y)| ty_eq_mod_keys(x, y, map, rev))
+        }
+        (
+            Ty::Tracked { key: ka, inner: ia },
+            Ty::Tracked { key: kb, inner: ib },
+        ) => key_eq(ka, kb, map, rev) && ty_eq_mod_keys(ia, ib, map, rev),
+        (Ty::TrackedAnon(x), Ty::TrackedAnon(y)) => ty_eq_mod_keys(x, y, map, rev),
+        (
+            Ty::Guarded { guards: ga, inner: ia },
+            Ty::Guarded { guards: gb, inner: ib },
+        ) => {
+            ga.len() == gb.len()
+                && ga
+                    .iter()
+                    .zip(gb)
+                    .all(|(x, y)| key_eq(&x.key, &y.key, map, rev) && x.req == y.req)
+                && ty_eq_mod_keys(ia, ib, map, rev)
+        }
+        (
+            Ty::Named { id: ia, args: aa },
+            Ty::Named { id: ib, args: ab },
+        ) => {
+            ia == ib
+                && aa.len() == ab.len()
+                && aa.iter().zip(ab).all(|(x, y)| match (x, y) {
+                    (Arg::Ty(x), Arg::Ty(y)) => ty_eq_mod_keys(x, y, map, rev),
+                    (Arg::Key(x), Arg::Key(y)) => key_eq(x, y, map, rev),
+                    (Arg::State(x), Arg::State(y)) => x == y,
+                    _ => false,
+                })
+        }
+        (Ty::Fn(x), Ty::Fn(y)) => x == y,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::{AbstractDef, TypeDef};
+
+    fn world() -> (World, crate::ty::TypeId) {
+        let mut w = World::new();
+        let region = w
+            .add_type(TypeDef::Abstract(AbstractDef {
+                name: "region".into(),
+                params: vec![],
+            }))
+            .unwrap();
+        (w, region)
+    }
+
+    fn named(id: crate::ty::TypeId) -> Ty {
+        Ty::Named { id, args: vec![] }
+    }
+
+    #[test]
+    fn unify_binds_key_vars() {
+        let (w, region) = world();
+        let decl = Ty::tracked(KeyRef::var("R"), named(region));
+        let actual = Ty::tracked(KeyRef::Id(KeyId(7)), named(region));
+        let mut b = Bindings::new();
+        unify(&decl, &actual, &mut b, &w).unwrap();
+        assert_eq!(b.keys.get("R"), Some(&KeyId(7)));
+    }
+
+    #[test]
+    fn unify_key_var_conflict() {
+        let (w, region) = world();
+        let decl = Ty::Tuple(vec![
+            Ty::tracked(KeyRef::var("R"), named(region)),
+            Ty::tracked(KeyRef::var("R"), named(region)),
+        ]);
+        let actual = Ty::Tuple(vec![
+            Ty::tracked(KeyRef::Id(KeyId(1)), named(region)),
+            Ty::tracked(KeyRef::Id(KeyId(2)), named(region)),
+        ]);
+        let mut b = Bindings::new();
+        assert!(matches!(
+            unify(&decl, &actual, &mut b, &w),
+            Err(UnifyErr::KeyConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn unify_anon_accepts_tracked() {
+        let (w, region) = world();
+        let decl = Ty::TrackedAnon(Box::new(named(region)));
+        let actual = Ty::tracked(KeyRef::Id(KeyId(3)), named(region));
+        let mut b = Bindings::new();
+        unify(&decl, &actual, &mut b, &w).unwrap();
+        assert!(b.keys.is_empty());
+    }
+
+    #[test]
+    fn unify_structural_mismatch() {
+        let (w, region) = world();
+        let mut b = Bindings::new();
+        assert!(matches!(
+            unify(&Ty::Int, &named(region), &mut b, &w),
+            Err(UnifyErr::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unify_ty_var_binds_and_conflicts() {
+        let (w, region) = world();
+        let decl = Ty::Tuple(vec![Ty::Var("T".into()), Ty::Var("T".into())]);
+        let ok = Ty::Tuple(vec![Ty::Int, Ty::Int]);
+        let bad = Ty::Tuple(vec![Ty::Int, named(region)]);
+        let mut b = Bindings::new();
+        unify(&decl, &ok, &mut b, &w).unwrap();
+        assert_eq!(b.tys.get("T"), Some(&Ty::Int));
+        let mut b2 = Bindings::new();
+        assert!(matches!(
+            unify(&decl, &bad, &mut b2, &w),
+            Err(UnifyErr::TyConflict(_))
+        ));
+    }
+
+    #[test]
+    fn subst_resolves_keys() {
+        let (_w, region) = world();
+        let mut b = Bindings::new();
+        b.bind_key("R", KeyId(4)).unwrap();
+        let decl = Ty::tracked(KeyRef::var("R"), named(region));
+        let t = subst_ty(&decl, &b).unwrap();
+        assert_eq!(t, Ty::tracked(KeyRef::Id(KeyId(4)), named(region)));
+    }
+
+    #[test]
+    fn subst_unbound_key_errors() {
+        let (_w, region) = world();
+        let decl = Ty::tracked(KeyRef::var("N"), named(region));
+        assert!(matches!(
+            subst_ty(&decl, &Bindings::new()),
+            Err(UnifyErr::Unresolved(_))
+        ));
+    }
+
+    #[test]
+    fn ty_eq_mod_keys_bijective() {
+        let (_w, region) = world();
+        let a = Ty::tracked(KeyRef::Id(KeyId(1)), named(region));
+        let b = Ty::tracked(KeyRef::Id(KeyId(9)), named(region));
+        let mut map = BTreeMap::new();
+        let mut rev = BTreeMap::new();
+        assert!(ty_eq_mod_keys(&a, &b, &mut map, &mut rev));
+        assert_eq!(map.get(&KeyId(1)), Some(&KeyId(9)));
+        // Non-injective renaming rejected: k1→k9 established, now k2→k9.
+        let c = Ty::tracked(KeyRef::Id(KeyId(2)), named(region));
+        assert!(!ty_eq_mod_keys(&c, &b, &mut map, &mut rev));
+    }
+
+    #[test]
+    fn ty_eq_mod_keys_consistency_across_positions() {
+        let (_w, region) = world();
+        let pair_a = Ty::Tuple(vec![
+            Ty::tracked(KeyRef::Id(KeyId(1)), named(region)),
+            Ty::guarded(
+                vec![GuardAtom {
+                    key: KeyRef::Id(KeyId(1)),
+                    req: StateReq::Any,
+                }],
+                Ty::Int,
+            ),
+        ]);
+        let pair_b_consistent = Ty::Tuple(vec![
+            Ty::tracked(KeyRef::Id(KeyId(5)), named(region)),
+            Ty::guarded(
+                vec![GuardAtom {
+                    key: KeyRef::Id(KeyId(5)),
+                    req: StateReq::Any,
+                }],
+                Ty::Int,
+            ),
+        ]);
+        let pair_b_mixed = Ty::Tuple(vec![
+            Ty::tracked(KeyRef::Id(KeyId(5)), named(region)),
+            Ty::guarded(
+                vec![GuardAtom {
+                    key: KeyRef::Id(KeyId(6)),
+                    req: StateReq::Any,
+                }],
+                Ty::Int,
+            ),
+        ]);
+        let mut m = BTreeMap::new();
+        let mut r = BTreeMap::new();
+        assert!(ty_eq_mod_keys(&pair_a, &pair_b_consistent, &mut m, &mut r));
+        let mut m2 = BTreeMap::new();
+        let mut r2 = BTreeMap::new();
+        assert!(!ty_eq_mod_keys(&pair_a, &pair_b_mixed, &mut m2, &mut r2));
+    }
+
+    #[test]
+    fn fn_sig_alpha_equivalence() {
+        let (w, region) = world();
+        let sig = |kv: &str| FnSig {
+            name: format!("f_{kv}"),
+            params: vec![Ty::tracked(KeyRef::var(kv), named(region))],
+            param_names: vec![None],
+            ret: Ty::Void,
+            effect: vec![crate::ty::EffItem::Consume {
+                key: KeyRef::var(kv),
+                from: StateReq::Any,
+            }],
+            ty_params: vec![],
+        };
+        let d = Ty::Fn(Box::new(sig("K")));
+        let a = Ty::Fn(Box::new(sig("J")));
+        let mut b = Bindings::new();
+        unify(&d, &a, &mut b, &w).unwrap();
+    }
+
+    #[test]
+    fn fn_sig_effect_shape_mismatch() {
+        let (w, region) = world();
+        let keep = FnSig {
+            name: "keep".into(),
+            params: vec![Ty::tracked(KeyRef::var("K"), named(region))],
+            param_names: vec![None],
+            ret: Ty::Void,
+            effect: vec![crate::ty::EffItem::Keep {
+                key: KeyRef::var("K"),
+                from: StateReq::Any,
+                to: None,
+            }],
+            ty_params: vec![],
+        };
+        let consume = FnSig {
+            name: "consume".into(),
+            params: vec![Ty::tracked(KeyRef::var("K"), named(region))],
+            param_names: vec![None],
+            ret: Ty::Void,
+            effect: vec![crate::ty::EffItem::Consume {
+                key: KeyRef::var("K"),
+                from: StateReq::Any,
+            }],
+            ty_params: vec![],
+        };
+        let mut b = Bindings::new();
+        assert!(unify(
+            &Ty::Fn(Box::new(keep)),
+            &Ty::Fn(Box::new(consume)),
+            &mut b,
+            &w
+        )
+        .is_err());
+    }
+}

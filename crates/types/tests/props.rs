@@ -1,0 +1,139 @@
+//! Property-based tests of the core algebraic invariants: key linearity
+//! in held-key sets, stateset partial-order laws, and the bijectivity of
+//! the join-point key abstraction.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use vault_types::{
+    ty_eq_mod_keys, AbstractDef, HeldErr, HeldSet, KeyId, KeyRef, StateId, StateTable, StateVal,
+    Ty, TypeDef, World,
+};
+
+fn key_strategy() -> impl Strategy<Value = KeyId> {
+    (0u32..32).prop_map(KeyId)
+}
+
+fn state_strategy() -> impl Strategy<Value = StateVal> {
+    prop_oneof![
+        (0u32..4).prop_map(|i| StateVal::Token(StateId(i))),
+        (0u32..8).prop_map(|id| StateVal::Abs { id, bound: None }),
+    ]
+}
+
+proptest! {
+    /// Keys are linear: after a successful insert, a second insert of the
+    /// same key always fails and leaves the set unchanged.
+    #[test]
+    fn held_set_never_duplicates(ops in proptest::collection::vec(
+        (key_strategy(), state_strategy(), any::<bool>()), 1..64))
+    {
+        let mut held = HeldSet::new();
+        let mut model: BTreeMap<KeyId, StateVal> = BTreeMap::new();
+        for (k, s, insert) in ops {
+            if insert {
+                match held.insert(k, s) {
+                    Ok(()) => {
+                        prop_assert!(!model.contains_key(&k));
+                        model.insert(k, s);
+                    }
+                    Err(HeldErr::Duplicate(d)) => {
+                        prop_assert_eq!(d, k);
+                        prop_assert!(model.contains_key(&k));
+                    }
+                    Err(e) => prop_assert!(false, "unexpected {e:?}"),
+                }
+            } else {
+                match held.remove(k) {
+                    Ok(prev) => {
+                        prop_assert_eq!(model.remove(&k), Some(prev));
+                    }
+                    Err(HeldErr::NotHeld(d)) => {
+                        prop_assert_eq!(d, k);
+                        prop_assert!(!model.contains_key(&k));
+                    }
+                    Err(e) => prop_assert!(false, "unexpected {e:?}"),
+                }
+            }
+            // The set always mirrors the model exactly.
+            prop_assert_eq!(held.len(), model.len());
+            for (&mk, &ms) in &model {
+                prop_assert_eq!(held.get(mk), Some(ms));
+            }
+        }
+    }
+
+    /// Renaming with an injective map preserves cardinality and states.
+    #[test]
+    fn held_set_rename_preserves_states(
+        keys in proptest::collection::btree_set(0u32..16, 1..10),
+        offset in 100u32..200)
+    {
+        let mut held = HeldSet::new();
+        for &k in &keys {
+            held.insert(KeyId(k), StateVal::Token(StateId(k % 3))).unwrap();
+        }
+        // Injective rename: shift everything by a constant.
+        let map: BTreeMap<KeyId, KeyId> =
+            keys.iter().map(|&k| (KeyId(k), KeyId(k + offset))).collect();
+        let renamed = held.rename(&map).unwrap();
+        prop_assert_eq!(renamed.len(), held.len());
+        for &k in &keys {
+            prop_assert_eq!(renamed.get(KeyId(k + offset)), held.get(KeyId(k)));
+        }
+    }
+
+    /// Stateset chains form a partial order: reflexive, transitive, and
+    /// antisymmetric.
+    #[test]
+    fn stateset_chain_is_partial_order(len in 2usize..8, a in 0usize..8, b in 0usize..8, c in 0usize..8) {
+        let mut t = StateTable::new();
+        let set = t.begin_stateset("S");
+        let mut ids = Vec::new();
+        for i in 0..len {
+            ids.push(t.add_state(set, &format!("s{i}")).unwrap());
+        }
+        for w in ids.windows(2) {
+            t.add_lt(w[0], w[1]);
+        }
+        t.finish_stateset(set).unwrap();
+        let a = ids[a % len];
+        let b = ids[b % len];
+        let c = ids[c % len];
+        // Reflexivity.
+        prop_assert!(t.le(a, a));
+        // Antisymmetry.
+        if t.le(a, b) && t.le(b, a) {
+            prop_assert_eq!(a, b);
+        }
+        // Transitivity.
+        if t.le(a, b) && t.le(b, c) {
+            prop_assert!(t.le(a, c));
+        }
+        // Chains are total: comparable either way.
+        prop_assert!(t.le(a, b) || t.le(b, a));
+    }
+
+    /// The join abstraction is symmetric: if A's types match B's under a
+    /// bijection, B's match A's.
+    #[test]
+    fn ty_eq_mod_keys_is_symmetric(ka in key_strategy(), kb in key_strategy()) {
+        let mut w = World::new();
+        let region = w
+            .add_type(TypeDef::Abstract(AbstractDef {
+                name: "region".into(),
+                params: vec![],
+            }))
+            .unwrap();
+        let named = Ty::Named { id: region, args: vec![] };
+        let a = Ty::tracked(KeyRef::Id(ka), named.clone());
+        let b = Ty::tracked(KeyRef::Id(kb), named);
+        let mut m1 = BTreeMap::new();
+        let mut r1 = BTreeMap::new();
+        let mut m2 = BTreeMap::new();
+        let mut r2 = BTreeMap::new();
+        prop_assert_eq!(
+            ty_eq_mod_keys(&a, &b, &mut m1, &mut r1),
+            ty_eq_mod_keys(&b, &a, &mut m2, &mut r2)
+        );
+    }
+}

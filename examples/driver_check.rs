@@ -1,0 +1,53 @@
+//! The §4 case study, static side: check the floppy driver written in
+//! Vault against the Windows 2000 kernel interface, then check every
+//! seeded-bug mutant and show each is rejected with the right diagnostic.
+//!
+//! Run with: `cargo run --example driver_check`
+
+use vault::core::{check_source, Verdict};
+use vault::corpus::{count_loc, floppy, programs_for, Expectation};
+
+fn main() {
+    // The clean driver.
+    let driver = floppy::driver_source();
+    let result = check_source("floppy.vlt", &driver);
+    println!("floppy driver: {} Vault LoC", count_loc(&driver));
+    match result.verdict() {
+        Verdict::Accepted => println!("verdict: accepted — all kernel protocols respected\n"),
+        Verdict::Rejected => {
+            print!("{}", result.render_diagnostics());
+            panic!("the clean driver must check");
+        }
+    }
+
+    // The mutants (experiment E12's static half).
+    println!("seeded-bug mutants:");
+    for p in programs_for("E12") {
+        let r = check_source(p.id, &p.source);
+        let expected = match &p.expect {
+            Expectation::Reject(codes) => codes
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            Expectation::Accept => "accept".into(),
+        };
+        let caught = r.verdict() == Verdict::Rejected;
+        println!(
+            "  {:32} expected {:6} → {:8}  ({})",
+            p.id,
+            expected,
+            if caught { "rejected" } else { "ACCEPTED" },
+            p.description
+        );
+        assert!(caught, "mutant escaped the checker");
+    }
+    println!("\nall mutants rejected — every seeded protocol bug is caught at compile time");
+
+    // Checker effort on the driver (paper: a single compilation unit).
+    println!(
+        "\nchecker effort: {} statements, {} calls, {} joins, {} keys",
+        result.stats.statements, result.stats.calls, result.stats.joins,
+        result.stats.keys_allocated
+    );
+}

@@ -1,0 +1,50 @@
+//! # vault
+//!
+//! A comprehensive Rust reproduction of **“Enforcing High-Level Protocols
+//! in Low-Level Software”** (Robert DeLine and Manuel Fähndrich,
+//! PLDI 2001) — the Vault programming language, whose type system
+//! statically enforces resource management protocols through *keys* and
+//! *type guards*.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`syntax`] — lexer, parser, AST, diagnostics for the Vault surface
+//!   language;
+//! * [`types`] — the internal type language (paper Fig. 6): keys, key
+//!   states, statesets, held-key sets, singleton/guarded/existential
+//!   types;
+//! * [`core`] — **the protocol checker** (the paper's contribution) and
+//!   the guard-erasing C back end;
+//! * [`runtime`] — executable substrates with dynamic oracles: the region
+//!   allocator (Figs. 1–2) and the socket simulator (Fig. 3);
+//! * [`kernel`] — the simulated Windows 2000 I/O substrate and floppy
+//!   driver of the §4 case study;
+//! * [`corpus`] — every program from the paper, the kernel interface in
+//!   Vault, the floppy driver, seeded-bug mutants, and a synthetic
+//!   program generator.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use vault::core::{check_source, Verdict};
+//!
+//! let result = check_source(
+//!     "leak.vlt",
+//!     "stateset FILE_STATE = [ open < closed ];
+//!      type FILE;
+//!      tracked(F) FILE fopen(string path) [new F@open];
+//!      void fclose(tracked(F) FILE f) [-F];
+//!      void forgot_to_close() {
+//!        tracked(F) FILE f = fopen(\"data\");
+//!      }",
+//! );
+//! assert_eq!(result.verdict(), Verdict::Rejected); // V304: key leak
+//! ```
+
+pub use vault_corpus as corpus;
+pub use vault_eval as eval;
+pub use vault_core as core;
+pub use vault_kernel as kernel;
+pub use vault_runtime as runtime;
+pub use vault_syntax as syntax;
+pub use vault_types as types;

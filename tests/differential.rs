@@ -1,0 +1,228 @@
+//! Differential testing: the static checker and the runtime oracles must
+//! agree on what is a protocol violation.
+//!
+//! * E1/E2: region and socket scenarios are run both as Vault source
+//!   (static) and against the runtime substrates (dynamic).
+//! * E12: each floppy mutant is rejected statically with a diagnostic
+//!   whose category matches the violation category the kernel oracle
+//!   observes when the equivalent buggy driver runs.
+
+use std::collections::BTreeSet;
+use vault::core::{check_source, Verdict};
+use vault::kernel::{run_floppy_workload, FloppyBugs, ViolationKind, WorkloadConfig};
+use vault::runtime::{CommStyle, Domain, Network, RegionError, RegionHeap, SocketError};
+use vault::syntax::Code;
+
+#[test]
+fn regions_static_and_dynamic_agree() {
+    // Scenario 1: okay — accepted statically, clean dynamically.
+    let okay = vault::corpus::programs_for("E1")
+        .into_iter()
+        .find(|p| p.id == "fig2_okay")
+        .unwrap();
+    assert_eq!(check_source("t", &okay.source).verdict(), Verdict::Accepted);
+    let mut heap = RegionHeap::new();
+    let rgn = heap.create();
+    let pt = heap.alloc(rgn, (1, 2)).unwrap();
+    heap.get_mut(pt).unwrap().0 += 1;
+    heap.delete(rgn).unwrap();
+    assert_eq!(heap.stats().violations, 0);
+    assert_eq!(heap.leaked(), 0);
+
+    // Scenario 2: dangling — rejected statically, faults dynamically.
+    let dangling = vault::corpus::programs_for("E1")
+        .into_iter()
+        .find(|p| p.id == "fig2_dangling")
+        .unwrap();
+    let r = check_source("t", &dangling.source);
+    assert!(r.has_code(Code::KeyNotHeld));
+    let mut heap = RegionHeap::new();
+    let rgn = heap.create();
+    let pt = heap.alloc(rgn, (1, 2)).unwrap();
+    heap.delete(rgn).unwrap();
+    assert_eq!(heap.get_mut(pt), Err(RegionError::UseAfterDelete));
+
+    // Scenario 3: leaky — rejected statically, leaks dynamically.
+    let leaky = vault::corpus::programs_for("E1")
+        .into_iter()
+        .find(|p| p.id == "fig2_leaky")
+        .unwrap();
+    assert!(check_source("t", &leaky.source).has_code(Code::KeyLeak));
+    let mut heap = RegionHeap::new();
+    let rgn = heap.create();
+    heap.alloc(rgn, (1, 2)).unwrap();
+    assert_eq!(heap.leaked(), 1);
+}
+
+#[test]
+fn sockets_static_and_dynamic_agree() {
+    // skip-bind rejected statically; the simulator faults on the same op.
+    let skip = vault::corpus::programs_for("E2")
+        .into_iter()
+        .find(|p| p.id == "sock_skip_bind")
+        .unwrap();
+    assert!(check_source("t", &skip.source).has_code(Code::WrongKeyState));
+    let mut net = Network::new();
+    let s = net.socket(Domain::Unix, CommStyle::Stream);
+    assert!(matches!(
+        net.listen(s, 4),
+        Err(SocketError::WrongState { .. })
+    ));
+
+    // The full correct sequence is accepted statically and runs cleanly.
+    let ok = vault::corpus::programs_for("E2")
+        .into_iter()
+        .find(|p| p.id == "sock_server_ok")
+        .unwrap();
+    assert_eq!(check_source("t", &ok.source).verdict(), Verdict::Accepted);
+    let mut net = Network::new();
+    let server = net.socket(Domain::Unix, CommStyle::Stream);
+    net.bind(server, 1).unwrap();
+    net.listen(server, 4).unwrap();
+    let client = net.socket(Domain::Unix, CommStyle::Stream);
+    net.connect(client, 1).unwrap();
+    let conn = net.accept(server).unwrap();
+    net.send(client, b"x").unwrap();
+    net.receive(conn).unwrap();
+    net.close(conn).unwrap();
+    net.close(client).unwrap();
+    net.close(server).unwrap();
+    assert_eq!(net.stats().violations, 0);
+}
+
+/// Map a static diagnostic code to the runtime violation category it
+/// corresponds to in the driver setting.
+fn static_category(codes: &[Code]) -> BTreeSet<ViolationKind> {
+    let mut out = BTreeSet::new();
+    for c in codes {
+        match c {
+            Code::KeyNotHeld | Code::DuplicateKey => {
+                // Could be IRP ownership or lock misuse; the mutant name
+                // disambiguates below — we accept either category here.
+                out.insert(ViolationKind::IrpOwnership);
+                out.insert(ViolationKind::SpinLock);
+            }
+            Code::KeyLeak | Code::MissingKeyAtExit => {
+                out.insert(ViolationKind::IrpOwnership);
+                out.insert(ViolationKind::SpinLock);
+                out.insert(ViolationKind::Device);
+            }
+            Code::StateBound => {
+                out.insert(ViolationKind::IrqlPaging);
+            }
+            Code::WrongKeyState => {
+                out.insert(ViolationKind::IrqlPaging);
+                out.insert(ViolationKind::Device);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[test]
+fn e12_detection_matrix_static_matches_dynamic() {
+    // Pair each corpus mutant with its runtime bug flag.
+    let pairs: Vec<(&str, FloppyBugs)> = vec![
+        (
+            "floppy_mut_missing_release",
+            FloppyBugs {
+                skip_release: true,
+                ..FloppyBugs::none()
+            },
+        ),
+        (
+            "floppy_mut_irp_dropped",
+            FloppyBugs {
+                drop_irp: true,
+                ..FloppyBugs::none()
+            },
+        ),
+        (
+            "floppy_mut_use_after_pass",
+            FloppyBugs {
+                use_after_pass: true,
+                ..FloppyBugs::none()
+            },
+        ),
+        (
+            "floppy_mut_no_wait",
+            FloppyBugs {
+                no_wait: true,
+                ..FloppyBugs::none()
+            },
+        ),
+        (
+            "floppy_mut_paged_under_lock",
+            FloppyBugs {
+                paged_under_lock: true,
+                ..FloppyBugs::none()
+            },
+        ),
+        (
+            "floppy_mut_double_complete",
+            FloppyBugs {
+                double_complete: true,
+                ..FloppyBugs::none()
+            },
+        ),
+        (
+            "floppy_mut_motor_not_started",
+            FloppyBugs {
+                motor_not_started: true,
+                ..FloppyBugs::none()
+            },
+        ),
+        (
+            "floppy_mut_motor_leaked",
+            FloppyBugs {
+                motor_leaked: true,
+                ..FloppyBugs::none()
+            },
+        ),
+    ];
+    let corpus = vault::corpus::programs_for("E12");
+    assert_eq!(corpus.len(), pairs.len(), "mutant sets out of sync");
+    for (id, bugs) in pairs {
+        // Static half.
+        let program = corpus.iter().find(|p| p.id == id).expect("mutant exists");
+        let sres = check_source(id, &program.source);
+        assert_eq!(sres.verdict(), Verdict::Rejected, "{id} accepted statically");
+        let static_kinds = static_category(&sres.error_codes());
+
+        // Dynamic half.
+        let dres = run_floppy_workload(&WorkloadConfig {
+            ops: 150,
+            seed: 4,
+            bugs,
+        });
+        assert!(!dres.clean(), "{id}: runtime oracle saw nothing");
+
+        // Agreement: at least one category detected dynamically is one the
+        // static diagnostics predict.
+        assert!(
+            dres.kinds.iter().any(|k| static_kinds.contains(k)),
+            "{id}: static {static_kinds:?} vs dynamic {:?}",
+            dres.kinds
+        );
+    }
+}
+
+#[test]
+fn clean_driver_agrees_everywhere() {
+    // Statically accepted...
+    let driver = vault::corpus::floppy::driver_source();
+    assert_eq!(
+        check_source("floppy", &driver).verdict(),
+        Verdict::Accepted
+    );
+    // ...and dynamically clean across several seeds.
+    for seed in [10u64, 20, 30] {
+        let r = run_floppy_workload(&WorkloadConfig {
+            ops: 150,
+            seed,
+            bugs: FloppyBugs::none(),
+        });
+        assert!(r.clean(), "seed {seed}: {:?}", r.violations);
+    }
+}
