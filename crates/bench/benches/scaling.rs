@@ -6,7 +6,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use vault_core::check_source;
-use vault_corpus::{count_loc, synth::{generate, Shape, SynthConfig}};
+use vault_corpus::{
+    count_loc,
+    synth::{generate, Shape, SynthConfig},
+};
 
 fn scaling_by_functions(c: &mut Criterion) {
     let mut group = c.benchmark_group("E13_scaling_functions");

@@ -21,15 +21,24 @@ fn main() {
 
     let verdict_experiments = [
         ("E1", "Fig. 2 regions: okay / dangling / leaky"),
-        ("E2", "Fig. 3 + §2.3 sockets: setup order, failure-aware bind"),
+        (
+            "E2",
+            "Fig. 3 + §2.3 sockets: setup order, failure-aware bind",
+        ),
         ("E3", "§2.1 keyed variants: opt_key flag discipline"),
         ("E4", "Fig. 4 collections: anonymization and the pair fix"),
-        ("E5", "Fig. 5 join points: data correlation vs keyed variant"),
+        (
+            "E5",
+            "Fig. 5 join points: data correlation vs keyed variant",
+        ),
         ("E7", "§4.1 IRP ownership: complete / pass / pend"),
         ("E8", "§4.2 events and spin locks"),
         ("E9", "§4.3 + Fig. 7 completion routines"),
         ("E10", "§4.4 IRQL statesets and paged memory"),
-        ("X1", "§6 extension: multi-stage pipeline, one region per stage"),
+        (
+            "X1",
+            "§6 extension: multi-stage pipeline, one region per stage",
+        ),
         ("X2", "footnote 7 extension: failure-aware allocation"),
         ("X3", "§4 extension: pass-through filter drivers"),
         ("X4", "§4.2 limitation: reentrant locks are inexpressible"),
@@ -57,7 +66,11 @@ fn main() {
         }
         println!(
             "paper-expected verdict shape {}",
-            if all_match { "REPRODUCED" } else { "NOT reproduced" }
+            if all_match {
+                "REPRODUCED"
+            } else {
+                "NOT reproduced"
+            }
         );
     }
 
@@ -137,7 +150,11 @@ fn main() {
         println!(
             "paper's claim — the driver runs successfully and the checker catches the\n\
              protocol bugs testing struggles with — {}",
-            if clean.clean() { "REPRODUCED" } else { "NOT reproduced" }
+            if clean.clean() {
+                "REPRODUCED"
+            } else {
+                "NOT reproduced"
+            }
         );
     }
 

@@ -1,0 +1,201 @@
+//! Throughput bench for the `vaultd` checking service (ISSUE 1).
+//!
+//! Replays the whole built-in corpus plus `vault-corpus` synthetic
+//! programs against the service's worker pool at several job counts,
+//! and measures cache-hit vs cache-miss latency. Writes the results to
+//! `BENCH_server.json` (pass a path argument to override) so future PRs
+//! have a perf trajectory to beat.
+//!
+//! ```text
+//! cargo run --release -p vault-bench --bin server_bench [out.json]
+//! ```
+//!
+//! Parallel speedup is bounded by the host: the JSON records
+//! `available_parallelism` so a single-core CI box reporting ~1x is
+//! interpretable. Cache-hit speedup is hardware-independent.
+
+use std::time::Instant;
+use vault_corpus::synth::{generate, Shape, SynthConfig};
+use vault_server::{CheckService, Json, ServiceConfig, UnitIn};
+
+/// The replayed workload: every corpus program plus synthetic programs
+/// of each shape (the E13 generator), large enough that pool dispatch
+/// overhead is noise.
+fn workload() -> Vec<UnitIn> {
+    let mut units: Vec<UnitIn> = vault_corpus::all_programs()
+        .into_iter()
+        .map(|p| UnitIn {
+            name: p.id.to_string(),
+            source: p.source,
+        })
+        .collect();
+    let shapes = [
+        Shape::Mixed,
+        Shape::Straight,
+        Shape::Branchy,
+        Shape::Loopy,
+        Shape::VariantHeavy,
+    ];
+    for (i, shape) in shapes.iter().cycle().take(20).enumerate() {
+        let program = generate(&SynthConfig {
+            functions: 24,
+            stmts_per_fn: 16,
+            seed: 0xBE9C + i as u64,
+            bug_rate: if i % 3 == 0 { 0.2 } else { 0.0 },
+            shape: *shape,
+        });
+        units.push(UnitIn {
+            name: format!("synth_{i}_{shape:?}.vlt"),
+            source: program.source,
+        });
+    }
+    units
+}
+
+/// Best-of-`runs` cold wall time for checking `units` at `jobs` workers.
+fn cold_batch_secs(units: &[UnitIn], jobs: usize, runs: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let svc = CheckService::new(ServiceConfig {
+            jobs,
+            cache_capacity: units.len() * 2,
+        });
+        let start = Instant::now();
+        let (reports, _) = svc.check_units(units.to_vec());
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(reports.len(), units.len());
+        best = best.min(secs);
+    }
+    best
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_server.json".to_string());
+    let units = workload();
+    let total_loc: usize = units
+        .iter()
+        .map(|u| vault_corpus::count_loc(&u.source))
+        .sum();
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "workload: {} units, {total_loc} LOC; host parallelism: {cpus}",
+        units.len()
+    );
+
+    // --- throughput at several job counts (cold cache each run) -------
+    let runs = 3;
+    let mut job_results: Vec<(usize, f64, f64)> = Vec::new(); // (jobs, secs, units/sec)
+    for jobs in [1usize, 2, 4] {
+        let secs = cold_batch_secs(&units, jobs, runs);
+        let ups = units.len() as f64 / secs;
+        println!("jobs={jobs}: {secs:.4} s  ({ups:.0} units/s)");
+        job_results.push((jobs, secs, ups));
+    }
+    let t1 = job_results[0].1;
+    for &(jobs, secs, _) in &job_results[1..] {
+        println!("speedup at {jobs} jobs: {:.2}x", t1 / secs);
+    }
+
+    // --- cache hit vs miss latency ------------------------------------
+    // Median per-unit latency: cold (checker runs) vs warm (pure cache).
+    let svc = CheckService::new(ServiceConfig {
+        jobs: 1,
+        cache_capacity: units.len() * 2,
+    });
+    let mut cold_us: Vec<f64> = Vec::new();
+    let mut warm_us: Vec<f64> = Vec::new();
+    for unit in &units {
+        let t = Instant::now();
+        let r = svc.check_unit(unit.clone());
+        cold_us.push(t.elapsed().as_secs_f64() * 1e6);
+        assert!(!r.cached);
+    }
+    for unit in &units {
+        let t = Instant::now();
+        let r = svc.check_unit(unit.clone());
+        warm_us.push(t.elapsed().as_secs_f64() * 1e6);
+        assert!(r.cached, "{} should hit", unit.name);
+    }
+    cold_us.sort_by(|a, b| a.total_cmp(b));
+    warm_us.sort_by(|a, b| a.total_cmp(b));
+    let cold_median = cold_us[cold_us.len() / 2];
+    let warm_median = warm_us[warm_us.len() / 2];
+    println!(
+        "cache: cold median {cold_median:.1} us, hit median {warm_median:.1} us ({:.0}x faster)",
+        cold_median / warm_median
+    );
+    let snap = svc.status();
+    assert_eq!(snap.cache_hits, units.len() as u64);
+    assert_eq!(snap.cache_misses, units.len() as u64);
+
+    // --- write BENCH_server.json --------------------------------------
+    let json = Json::Obj(vec![
+        (
+            "bench".to_string(),
+            Json::str("vaultd throughput (ISSUE 1)"),
+        ),
+        (
+            "command".to_string(),
+            Json::str("cargo run --release -p vault-bench --bin server_bench"),
+        ),
+        ("available_parallelism".to_string(), Json::num(cpus as u64)),
+        ("workload_units".to_string(), Json::num(units.len() as u64)),
+        ("workload_loc".to_string(), Json::num(total_loc as u64)),
+        ("runs_per_point".to_string(), Json::num(runs as u64)),
+        (
+            "throughput".to_string(),
+            Json::Arr(
+                job_results
+                    .iter()
+                    .map(|&(jobs, secs, ups)| {
+                        Json::Obj(vec![
+                            ("jobs".to_string(), Json::num(jobs as u64)),
+                            ("wall_secs".to_string(), Json::Num(secs)),
+                            ("units_per_sec".to_string(), Json::Num(ups.round())),
+                            (
+                                "speedup_vs_1_job".to_string(),
+                                Json::Num((t1 / secs * 100.0).round() / 100.0),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "cache".to_string(),
+            Json::Obj(vec![
+                (
+                    "cold_median_micros".to_string(),
+                    Json::Num(cold_median.round()),
+                ),
+                (
+                    "hit_median_micros".to_string(),
+                    Json::Num(warm_median.round()),
+                ),
+                (
+                    "hit_speedup".to_string(),
+                    Json::Num((cold_median / warm_median).round()),
+                ),
+            ]),
+        ),
+    ]);
+    // Pretty-ish: one top-level key per line keeps the file diffable.
+    let mut text = String::from("{\n");
+    if let Json::Obj(pairs) = &json {
+        for (i, (k, v)) in pairs.iter().enumerate() {
+            text.push_str(&format!(
+                "  {}: {}{}\n",
+                Json::str(k).to_line(),
+                v.to_line(),
+                if i + 1 < pairs.len() { "," } else { "" }
+            ));
+        }
+    }
+    text.push_str("}\n");
+    std::fs::write(&out_path, &text).expect("write bench json");
+    println!("wrote {out_path}");
+}

@@ -1,32 +1,38 @@
 //! `vaultc` — the Vault checker command line.
 //!
 //! ```text
-//! vaultc check <file.vlt>...      check protocols, print diagnostics
-//! vaultc emit-c <file.vlt>        check, then print the generated C
-//! vaultc dump-cfg <file.vlt>      print each function's CFG as dot
-//! vaultc stats <file.vlt>         checker-effort statistics per unit
-//! vaultc run <file.vlt> <entry>   check, then interpret an entry function
-//! vaultc explain <Vnnn>           explain a diagnostic code
-//! vaultc corpus [experiment]      run the built-in paper corpus
+//! vaultc check [--jobs N] <file.vlt>...   check protocols, print diagnostics
+//! vaultc emit-c <file.vlt>                check, then print the generated C
+//! vaultc dump-cfg <file.vlt>              print each function's CFG as dot
+//! vaultc stats <file.vlt>                 checker-effort statistics per unit
+//! vaultc run <file.vlt> <entry>           check, then interpret an entry function
+//! vaultc explain <Vnnn>                   explain a diagnostic code
+//! vaultc corpus [experiment]              run the built-in paper corpus
+//! vaultc serve [--socket PATH]            run the vaultd checking service
 //! ```
 //!
 //! Exit code 0 when every input is accepted, 1 on protocol violations,
-//! 2 on usage errors.
+//! 2 on usage errors or unreadable inputs. `check` with multiple files
+//! reports unreadable files and keeps going; if any file was unreadable
+//! the exit code is 2 even when the rest were accepted.
 
 use std::process::ExitCode;
-use vault_core::{check_source, Verdict};
+use std::sync::Arc;
+use vault_core::{check_source, CheckSummary, Verdict};
+use vault_server::{CheckService, ServiceConfig, UnitIn, UnixServer};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
         Some((cmd, rest)) => match cmd.as_str() {
-            "check" if !rest.is_empty() => check_files(rest),
+            "check" => check_cmd(rest),
             "emit-c" if rest.len() == 1 => emit_c(&rest[0]),
             "dump-cfg" if rest.len() == 1 => dump_cfg(&rest[0]),
             "stats" if rest.len() == 1 => stats(&rest[0]),
             "run" if rest.len() == 2 => run_entry(&rest[0], &rest[1]),
             "explain" if rest.len() == 1 => explain(&rest[0]),
             "corpus" => run_corpus(rest.first().map(String::as_str)),
+            "serve" => serve(rest),
             _ => usage(),
         },
         None => usage(),
@@ -35,10 +41,11 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  vaultc check <file.vlt>...\n  vaultc emit-c <file.vlt>\n  \
+        "usage:\n  vaultc check [--jobs N] <file.vlt>...\n  vaultc emit-c <file.vlt>\n  \
          vaultc dump-cfg <file.vlt>\n  vaultc stats <file.vlt>\n  \
          vaultc run <file.vlt> <entry>\n  \
-         vaultc explain <Vnnn>\n  vaultc corpus [E1..E13|X1..X5]"
+         vaultc explain <Vnnn>\n  vaultc corpus [E1..E13|X1..X5]\n  \
+         vaultc serve [--socket PATH] [--jobs N] [--cache N]"
     );
     ExitCode::from(2)
 }
@@ -50,27 +57,139 @@ fn read(path: &str) -> Result<String, ExitCode> {
     })
 }
 
-fn check_files(paths: &[String]) -> ExitCode {
+/// Parse `check` arguments: `--jobs N` / `-j N` anywhere among the paths.
+fn parse_check_args(rest: &[String]) -> Option<(usize, Vec<String>)> {
+    let mut jobs = 1usize;
+    let mut paths = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => return None,
+            },
+            flag if flag.starts_with('-') => return None,
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        return None;
+    }
+    Some((jobs, paths))
+}
+
+fn check_cmd(rest: &[String]) -> ExitCode {
+    let Some((jobs, paths)) = parse_check_args(rest) else {
+        return usage();
+    };
+
+    // Read every input up front; an unreadable file is reported and
+    // skipped rather than aborting the whole batch, but still forces
+    // exit code 2 at the end.
+    let mut any_unreadable = false;
+    let mut units: Vec<UnitIn> = Vec::new();
+    for path in &paths {
+        match read(path) {
+            Ok(source) => units.push(UnitIn {
+                name: path.clone(),
+                source,
+            }),
+            Err(_) => any_unreadable = true,
+        }
+    }
+
+    // jobs = 1 checks inline; jobs > 1 fans out across a worker pool.
+    // Both paths produce the same summaries in input order, so output
+    // is byte-identical regardless of parallelism.
+    let summaries: Vec<CheckSummary> = if jobs <= 1 {
+        units
+            .iter()
+            .map(|u| vault_core::check_summary(&u.name, &u.source))
+            .collect()
+    } else {
+        let svc = CheckService::new(ServiceConfig {
+            jobs,
+            cache_capacity: units.len().max(1),
+        });
+        let (reports, _) = svc.check_units(units);
+        reports.into_iter().map(|r| (*r.summary).clone()).collect()
+    };
+
     let mut any_rejected = false;
-    for path in paths {
-        let src = match read(path) {
-            Ok(s) => s,
-            Err(code) => return code,
-        };
-        let result = check_source(path, &src);
-        print!("{}", result.render_diagnostics());
-        match result.verdict() {
-            Verdict::Accepted => println!("{path}: accepted"),
+    for summary in &summaries {
+        print!("{}", summary.render_diagnostics());
+        match summary.verdict {
+            Verdict::Accepted => println!("{}: accepted", summary.name),
             Verdict::Rejected => {
-                println!("{path}: rejected ({} error(s))", result.error_codes().len());
+                println!(
+                    "{}: rejected ({} error(s))",
+                    summary.name,
+                    summary.error_codes().len()
+                );
                 any_rejected = true;
             }
         }
     }
-    if any_rejected {
+    if any_unreadable {
+        ExitCode::from(2)
+    } else if any_rejected {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+fn serve(rest: &[String]) -> ExitCode {
+    let mut socket: Option<String> = None;
+    let mut config = ServiceConfig::default();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => match it.next() {
+                Some(path) => socket = Some(path.clone()),
+                None => return usage(),
+            },
+            "--jobs" | "-j" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => config.jobs = n,
+                _ => return usage(),
+            },
+            "--cache" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => config.cache_capacity = n,
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let svc = Arc::new(CheckService::new(config));
+    match socket {
+        Some(path) => {
+            let server = match UnixServer::bind(Arc::clone(&svc), &path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("vaultc: cannot bind `{path}`: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            eprintln!(
+                "vaultc serve: listening on {path} ({} worker(s), cache {})",
+                svc.workers(),
+                svc.cache_capacity()
+            );
+            match server.run() {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("vaultc serve: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        None => match vault_server::serve_stdio(&svc) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("vaultc serve: {e}");
+                ExitCode::FAILURE
+            }
+        },
     }
 }
 
@@ -147,10 +266,8 @@ fn run_entry(path: &str, entry: &str) -> ExitCode {
         eprintln!("{path}: rejected; refusing to run (pass a protocol-clean program)");
         return ExitCode::from(1);
     }
-    let mut machine = vault_eval::Machine::new(
-        &result.program,
-        vault_eval::ExternTable::with_regions(),
-    );
+    let mut machine =
+        vault_eval::Machine::new(&result.program, vault_eval::ExternTable::with_regions());
     let out = machine.run(entry, vec![]);
     match out.result {
         Ok(v) => {

@@ -184,3 +184,129 @@ fn missing_file_reports_cleanly() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }
+
+#[test]
+fn check_continues_past_unreadable_files() {
+    // An unreadable file in the middle of a batch is reported, the
+    // remaining files are still checked, and the exit code is 2.
+    let good = write_temp("multi_good.vlt", GOOD);
+    let leaky = write_temp("multi_leaky.vlt", LEAKY);
+    let out = vaultc(&[
+        "check",
+        good.to_str().unwrap(),
+        "/nonexistent/nope.vlt",
+        leaky.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+    assert!(stdout.contains("multi_good.vlt: accepted"), "{stdout}");
+    assert!(stdout.contains("multi_leaky.vlt: rejected"), "{stdout}");
+    assert!(stdout.contains("V304"), "{stdout}");
+    std::fs::remove_file(good).ok();
+    std::fs::remove_file(leaky).ok();
+}
+
+#[test]
+fn check_jobs_output_is_identical_to_sequential() {
+    let good = write_temp("jobs_good.vlt", GOOD);
+    let leaky = write_temp("jobs_leaky.vlt", LEAKY);
+    let paths = [good.to_str().unwrap(), leaky.to_str().unwrap()];
+    let sequential = vaultc(&["check", paths[0], paths[1]]);
+    let parallel = vaultc(&["check", "--jobs", "4", paths[0], paths[1]]);
+    assert_eq!(sequential.status.code(), parallel.status.code());
+    assert_eq!(
+        String::from_utf8_lossy(&sequential.stdout),
+        String::from_utf8_lossy(&parallel.stdout)
+    );
+    assert_eq!(parallel.status.code(), Some(1));
+    std::fs::remove_file(good).ok();
+    std::fs::remove_file(leaky).ok();
+}
+
+#[test]
+fn check_rejects_bad_jobs_flag() {
+    let out = vaultc(&["check", "--jobs", "zero", "x.vlt"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+    let out = vaultc(&["check", "--jobs", "4"]); // flags but no paths
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn serve_stdio_speaks_the_wire_protocol() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_vaultc"))
+        .args(["serve", "--jobs", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("vaultc serve spawns");
+    let mut stdin = child.stdin.take().unwrap();
+    // Two checks of the same unit (second must be a cache hit), then
+    // status, then EOF ends the session.
+    let unit = r#"{"name":"wire.vlt","source":"void f() { }"}"#;
+    writeln!(stdin, r#"{{"op":"check","id":1,"units":[{unit}]}}"#).unwrap();
+    writeln!(stdin, r#"{{"op":"check","id":2,"units":[{unit}]}}"#).unwrap();
+    writeln!(stdin, r#"{{"op":"status","id":3}}"#).unwrap();
+    drop(stdin);
+    let out = child.wait_with_output().expect("vaultc serve exits");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "{stdout}");
+    assert!(lines[0].contains(r#""id":1"#), "{}", lines[0]);
+    assert!(lines[0].contains(r#""verdict":"accepted""#));
+    assert!(lines[0].contains(r#""cached":false"#));
+    assert!(lines[1].contains(r#""cached":true"#), "{}", lines[1]);
+    assert!(lines[2].contains(r#""cache_hits":1"#), "{}", lines[2]);
+    assert!(lines[2].contains(r#""workers":2"#), "{}", lines[2]);
+}
+
+#[test]
+fn serve_socket_checks_over_unix_socket() {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    use std::os::unix::net::UnixStream;
+    use std::process::Stdio;
+
+    let sock = std::env::temp_dir().join(format!("vaultc_serve_{}.sock", std::process::id()));
+    let mut child = Command::new(env!("CARGO_BIN_EXE_vaultc"))
+        .args(["serve", "--socket", sock.to_str().unwrap(), "--jobs", "2"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("vaultc serve spawns");
+
+    // Wait for the socket to come up.
+    let mut stream = None;
+    for _ in 0..200 {
+        if let Ok(s) = UnixStream::connect(&sock) {
+            stream = Some(s);
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let mut stream = stream.expect("daemon socket comes up");
+    writeln!(
+        stream,
+        r#"{{"op":"check","id":1,"units":[{{"name":"s.vlt","source":"void f() {{ }}"}}]}}"#
+    )
+    .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains(r#""verdict":"accepted""#), "{line}");
+    writeln!(stream, r#"{{"op":"shutdown"}}"#).unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains(r#""ok":true"#), "{line}");
+    // The daemon exits cleanly after shutdown.
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "{status:?}");
+    std::fs::remove_file(&sock).ok();
+}

@@ -86,11 +86,7 @@ impl Cfg {
             } else {
                 b.stmts.join("\\l")
             };
-            let _ = writeln!(
-                out,
-                "  bb{i} [label=\"{}\"];",
-                label.replace('"', "'")
-            );
+            let _ = writeln!(out, "  bb{i} [label=\"{}\"];", label.replace('"', "'"));
             for (s, kind) in &b.succs {
                 let style = match kind {
                     EdgeKind::Goto => String::new(),
@@ -199,7 +195,9 @@ impl Builder {
                 for arm in arms {
                     let entry = self.new_block();
                     self.edge(cur, entry, EdgeKind::Case);
-                    self.blocks[entry.0].stmts.push(format!("case '{}", arm.ctor));
+                    self.blocks[entry.0]
+                        .stmts
+                        .push(format!("case '{}", arm.ctor));
                     let mut end = entry;
                     for s in &arm.body {
                         end = self.stmt(end, s, exit);

@@ -15,7 +15,9 @@
 
 use crate::elaborate::lower_fn_decl_in;
 use crate::flow::{merge, states_agree, Binding, FlowState, Frame};
-use crate::lower::{is_keyed_variant, param_map, subst_by_name, subst_eff_by_name, AliasEntry, LowerCtx, Scope};
+use crate::lower::{
+    is_keyed_variant, param_map, subst_by_name, subst_eff_by_name, AliasEntry, LowerCtx, Scope,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use vault_syntax::ast::{self, Expr, ExprKind, Stmt, StmtKind};
 use vault_syntax::diag::{Code, DiagSink};
@@ -207,7 +209,9 @@ impl<'a, 'd> FnChecker<'a, 'd> {
         let mut svars: BTreeMap<String, Option<vault_types::StateId>> = BTreeMap::new();
         for tp in &f.tparams {
             if let ast::TParam::State { name, bound } = tp {
-                let b = bound.as_ref().and_then(|b| self.world.states.state(&b.name));
+                let b = bound
+                    .as_ref()
+                    .and_then(|b| self.world.states.state(&b.name));
                 svars.insert(name.name.clone(), b);
             }
         }
@@ -230,11 +234,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
         for (ty, name) in sig.params.iter().zip(&sig.param_names) {
             let mut cty = subst_by_name(ty, &imap);
             if let Ty::TrackedAnon(inner) = &cty {
-                let k = self.fresh_key(
-                    name.clone(),
-                    inner.display(self.world),
-                    KeyOrigin::Param,
-                );
+                let k = self.fresh_key(name.clone(), inner.display(self.world), KeyOrigin::Param);
                 entry_anon_keys.push(k);
                 cty = Ty::Tracked {
                     key: KeyRef::Id(k),
@@ -279,7 +279,10 @@ impl<'a, 'd> FnChecker<'a, 'd> {
                         None => entry,
                         Some(arg) => self.resolve_state_arg_val(arg, eff_span),
                     };
-                    self.expected_exit.push(ExitExpect::Key { key: k, state: exit });
+                    self.expected_exit.push(ExitExpect::Key {
+                        key: k,
+                        state: exit,
+                    });
                 }
                 EffItem::Consume { key, from } => {
                     let Some(k) = key.id() else { continue };
@@ -291,7 +294,8 @@ impl<'a, 'd> FnChecker<'a, 'd> {
                     let Some(k) = key.id() else { continue };
                     mentioned.insert(k);
                     let val = self.resolve_state_arg_val(state, eff_span);
-                    self.expected_exit.push(ExitExpect::Key { key: k, state: val });
+                    self.expected_exit
+                        .push(ExitExpect::Key { key: k, state: val });
                 }
                 EffItem::Fresh { var, state } => {
                     let val = self.resolve_state_arg_val(state, eff_span);
@@ -402,7 +406,10 @@ impl<'a, 'd> FnChecker<'a, 'd> {
         // Returning at anonymous tracked type packs the key (the caller
         // unpacks a fresh one).
         if let Ty::TrackedAnon(_) = &self.ret_ty {
-            if let Ty::Tracked { key: KeyRef::Id(k), .. } = &actual {
+            if let Ty::Tracked {
+                key: KeyRef::Id(k), ..
+            } = &actual
+            {
                 if st.held.remove(*k).is_err() {
                     self.diags.error(
                         Code::KeyNotHeld,
@@ -521,7 +528,10 @@ impl<'a, 'd> FnChecker<'a, 'd> {
                     self.diags.error(
                         Code::TypeMismatch,
                         e.span,
-                        format!("`++`/`--` requires an integer, found `{}`", t.display(self.world)),
+                        format!(
+                            "`++`/`--` requires an integer, found `{}`",
+                            t.display(self.world)
+                        ),
                     );
                 }
             }
@@ -545,7 +555,9 @@ impl<'a, 'd> FnChecker<'a, 'd> {
             StmtKind::Free(e) => {
                 let t = self.eval(st, e, None);
                 match t {
-                    Ty::Tracked { key: KeyRef::Id(k), .. } => {
+                    Ty::Tracked {
+                        key: KeyRef::Id(k), ..
+                    } => {
                         let info_global = self.keys.info(k).global;
                         if info_global {
                             self.diags.error(
@@ -669,7 +681,11 @@ impl<'a, 'd> FnChecker<'a, 'd> {
                 let stored = if ok && !actual.is_error() && !is_anon_decl(&lowered) {
                     // Prefer the declared shape with keys/states resolved.
                     let resolved = self.subst_binds(&lowered, &binds);
-                    if matches!(resolved, Ty::Error) { actual } else { resolved }
+                    if matches!(resolved, Ty::Error) {
+                        actual
+                    } else {
+                        resolved
+                    }
                 } else if ok {
                     actual
                 } else {
@@ -774,8 +790,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
                 if !lhs_ty.is_error()
                     && !actual.is_error()
                     && unify(&lhs_ty, &actual, &mut binds, self.world).is_err()
-                    && unify(value_ty(&lhs_ty), value_ty(&actual), &mut binds, self.world)
-                        .is_err()
+                    && unify(value_ty(&lhs_ty), value_ty(&actual), &mut binds, self.world).is_err()
                 {
                     self.diags.error(
                         Code::TypeMismatch,
@@ -882,7 +897,10 @@ impl<'a, 'd> FnChecker<'a, 'd> {
     ) {
         let sty = self.eval(st, scrutinee, None);
         let (vid, vargs, keyed) = match peel_guards(&sty) {
-            Ty::Tracked { key: KeyRef::Id(k), inner } => {
+            Ty::Tracked {
+                key: KeyRef::Id(k),
+                inner,
+            } => {
                 if st.held.remove(*k).is_err() {
                     self.diags.error(
                         Code::KeyNotHeld,
@@ -1049,11 +1067,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
             let binder = arm.binders.get(i);
             // Anonymous tracked components unpack to fresh keys.
             if let Ty::TrackedAnon(inner) = &ty {
-                let k = self.fresh_key(
-                    None,
-                    inner.display(self.world),
-                    KeyOrigin::Unpacked,
-                );
+                let k = self.fresh_key(None, inner.display(self.world), KeyOrigin::Unpacked);
                 let state = self.fresh_abs(None);
                 s.held.insert(k, state).expect("fresh key");
                 ty = Ty::Tracked {
@@ -1355,8 +1369,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
         match core {
             Ty::Named { id, args } => match self.world.typedef(id) {
                 TypeDef::Struct(sd) => {
-                    let Some((_, fty)) = sd.fields.iter().find(|(n, _)| n == &fname.name)
-                    else {
+                    let Some((_, fty)) = sd.fields.iter().find(|(n, _)| n == &fname.name) else {
                         self.diags.error(
                             Code::UnknownName,
                             fname.span,
@@ -1371,10 +1384,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
                     self.diags.error(
                         Code::TypeMismatch,
                         fname.span,
-                        format!(
-                            "type `{}` has no fields",
-                            self.world.type_name(id)
-                        ),
+                        format!("type `{}` has no fields", self.world.type_name(id)),
                     );
                     Ty::Error
                 }
@@ -1515,7 +1525,13 @@ impl<'a, 'd> FnChecker<'a, 'd> {
         }
         // Pack arguments passed at anonymous tracked type.
         for (decl, (aty, arg)) in sig.params.iter().zip(arg_tys.iter().zip(args)) {
-            if let (Ty::TrackedAnon(_), Ty::Tracked { key: KeyRef::Id(k), .. }) = (decl, aty) {
+            if let (
+                Ty::TrackedAnon(_),
+                Ty::Tracked {
+                    key: KeyRef::Id(k), ..
+                },
+            ) = (decl, aty)
+            {
                 if st.held.remove(*k).is_err() {
                     self.diags.error(
                         Code::KeyNotHeld,
@@ -1888,11 +1904,11 @@ impl<'a, 'd> FnChecker<'a, 'd> {
                 );
             }
             for ((pname, _), kref) in cdef.captures.iter().zip(keys) {
-                let resolved = self
-                    .keyenv
-                    .get(&kref.key.name)
-                    .cloned()
-                    .or_else(|| self.world.global_key(&kref.key.name).map(|g| KeyRef::Id(g.id)));
+                let resolved = self.keyenv.get(&kref.key.name).cloned().or_else(|| {
+                    self.world
+                        .global_key(&kref.key.name)
+                        .map(|g| KeyRef::Id(g.id))
+                });
                 match resolved {
                     Some(r) => {
                         if let Some(Arg::Key(prev)) = pmap.get(pname) {
@@ -1967,8 +1983,12 @@ impl<'a, 'd> FnChecker<'a, 'd> {
             }
             // Purely anonymous components consume the argument's key here;
             // named existentials are consumed below via `exist_keys`.
-            if let (Ty::TrackedAnon(_), Ty::Tracked { key: KeyRef::Id(k), .. }) =
-                (&decl_inst, &aty)
+            if let (
+                Ty::TrackedAnon(_),
+                Ty::Tracked {
+                    key: KeyRef::Id(k), ..
+                },
+            ) = (&decl_inst, &aty)
             {
                 if st.held.remove(*k).is_err() {
                     self.diags.error(
@@ -2092,9 +2112,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
         };
         if is_keyed_variant(self.world, vid) {
             let k = self.fresh_key(None, def.name.clone(), KeyOrigin::Fresh);
-            st.held
-                .insert(k, StateVal::DEFAULT)
-                .expect("fresh key");
+            st.held.insert(k, StateVal::DEFAULT).expect("fresh key");
             Ty::Tracked {
                 key: KeyRef::Id(k),
                 inner: Box::new(named),
@@ -2200,9 +2218,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
             None => {
                 // `new tracked T {...}`: fresh heap object with a fresh key.
                 let k = self.fresh_key(None, tyname.name.clone(), KeyOrigin::Fresh);
-                st.held
-                    .insert(k, StateVal::DEFAULT)
-                    .expect("fresh key");
+                st.held.insert(k, StateVal::DEFAULT).expect("fresh key");
                 Ty::Tracked {
                     key: KeyRef::Id(k),
                     inner: Box::new(lowered),
@@ -2212,7 +2228,10 @@ impl<'a, 'd> FnChecker<'a, 'd> {
                 // `new(rgn) T {...}`: guarded by the region's key.
                 let rty = self.eval(st, r, None);
                 match peel_guards(&rty) {
-                    Ty::Tracked { key: KeyRef::Id(rk), .. } => {
+                    Ty::Tracked {
+                        key: KeyRef::Id(rk),
+                        ..
+                    } => {
                         if !st.held.holds(*rk) {
                             self.diags.error(
                                 Code::KeyNotHeld,
@@ -2352,10 +2371,7 @@ fn collect_statevars_ty(t: &Ty, out: &mut BTreeMap<String, Option<vault_types::S
     }
 }
 
-fn collect_statevars_eff(
-    item: &EffItem,
-    out: &mut BTreeMap<String, Option<vault_types::StateId>>,
-) {
+fn collect_statevars_eff(item: &EffItem, out: &mut BTreeMap<String, Option<vault_types::StateId>>) {
     let mut add_req = |r: &StateReq| match r {
         StateReq::AtMost {
             var: Some(v),
@@ -2387,7 +2403,10 @@ fn collect_statevars_eff(
 fn key_resource(params: &[Ty], var: &str) -> Option<String> {
     fn find(t: &Ty, var: &str) -> Option<String> {
         match t {
-            Ty::Tracked { key: KeyRef::Var(v), inner } if v == var => Some(match &**inner {
+            Ty::Tracked {
+                key: KeyRef::Var(v),
+                inner,
+            } if v == var => Some(match &**inner {
                 Ty::Var(v) => v.clone(),
                 _ => "tracked object".to_string(),
             }),

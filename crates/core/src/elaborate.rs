@@ -474,7 +474,11 @@ mod tests {
     fn elab(src: &str) -> (Elaborated, DiagSink) {
         let mut diags = DiagSink::new();
         let prog = parse_program(src, &mut diags);
-        assert!(!diags.has_errors(), "parse failed: {:?}", diags.diagnostics());
+        assert!(
+            !diags.has_errors(),
+            "parse failed: {:?}",
+            diags.diagnostics()
+        );
         let e = elaborate(&prog, &mut diags);
         (e, diags)
     }

@@ -243,10 +243,7 @@ fn stateval_compat(
 ) -> bool {
     match (a, b) {
         (StateVal::Token(x), StateVal::Token(y)) => x == y,
-        (
-            StateVal::Abs { id: ia, bound: ba },
-            StateVal::Abs { id: ib, bound: bb },
-        ) => {
+        (StateVal::Abs { id: ia, bound: ba }, StateVal::Abs { id: ib, bound: bb }) => {
             if ba != bb {
                 return false;
             }

@@ -158,3 +158,68 @@ pub fn quick_check(src: &str) -> (Verdict, Vec<Code>) {
     let r = check_source("<input>", src);
     (r.verdict(), r.error_codes())
 }
+
+/// A self-contained, thread-friendly summary of checking one unit.
+///
+/// Unlike [`CheckResult`], this holds no AST or source map — only plain
+/// data (`Clone + Send + Sync + Eq`), so it can cross worker-thread
+/// channels, be memoized by content hash, and be serialized onto wire
+/// protocols. `vaultd` and `vaultc check --jobs` traffic exclusively in
+/// these.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckSummary {
+    /// The unit name the sources were checked under (diagnostics embed it).
+    pub name: String,
+    /// Accepted or rejected.
+    pub verdict: Verdict,
+    /// Every diagnostic, resolved to plain data, in discovery order.
+    pub diagnostics: Vec<vault_syntax::DiagView>,
+    /// Aggregate checker counters.
+    pub stats: CheckStats,
+}
+
+impl CheckSummary {
+    /// Flatten a full [`CheckResult`].
+    pub fn of(name: &str, r: &CheckResult) -> Self {
+        CheckSummary {
+            name: name.to_string(),
+            verdict: r.verdict(),
+            diagnostics: r
+                .diagnostics
+                .iter()
+                .map(|d| vault_syntax::DiagView::new(d, &r.source))
+                .collect(),
+            stats: r.stats,
+        }
+    }
+
+    /// All distinct error codes (stable string forms), first-occurrence order.
+    pub fn error_codes(&self) -> Vec<String> {
+        let mut seen: Vec<String> = Vec::new();
+        for d in &self.diagnostics {
+            if d.severity == "error" && !seen.iter().any(|c| c == &d.code) {
+                seen.push(d.code.clone());
+            }
+        }
+        seen
+    }
+
+    /// Concatenation of every rendered diagnostic (the `check_source`
+    /// render format), for clients that want human output.
+    pub fn render_diagnostics(&self) -> String {
+        self.diagnostics
+            .iter()
+            .map(|d| d.rendered.as_str())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Parse, elaborate, and check one unit, returning only plain data.
+///
+/// This is the thread-safe entry point the checking service fans out
+/// across its worker pool: it takes `&str`s, touches no shared state,
+/// and returns a [`CheckSummary`] that is `Send + Sync`.
+pub fn check_summary(name: &str, src: &str) -> CheckSummary {
+    CheckSummary::of(name, &check_source(name, src))
+}

@@ -577,11 +577,7 @@ pub fn subst_by_name(t: &Ty, map: &BTreeMap<String, Arg>) -> Ty {
             let mut s = (**sig).clone();
             s.params = s.params.iter().map(|p| subst_by_name(p, map)).collect();
             s.ret = subst_by_name(&s.ret, map);
-            s.effect = s
-                .effect
-                .iter()
-                .map(|e| subst_eff_by_name(e, map))
-                .collect();
+            s.effect = s.effect.iter().map(|e| subst_eff_by_name(e, map)).collect();
             Ty::Fn(Box::new(s))
         }
     }
@@ -601,9 +597,7 @@ fn subst_statereq(r: &StateReq, map: &BTreeMap<String, Arg>) -> StateReq {
     match r {
         StateReq::Var(v) => match map.get(v) {
             Some(Arg::State(StateArg::Token(t))) => StateReq::Exact(*t),
-            Some(Arg::State(StateArg::Val(vault_types::StateVal::Token(t)))) => {
-                StateReq::Exact(*t)
-            }
+            Some(Arg::State(StateArg::Val(vault_types::StateVal::Token(t)))) => StateReq::Exact(*t),
             _ => r.clone(),
         },
         other => other.clone(),

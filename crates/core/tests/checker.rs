@@ -145,10 +145,7 @@ fn free_tracked_heap_object() {
          }",
         Code::KeyNotHeld,
     );
-    rejects_with(
-        "void bad(int x) { free(x); }",
-        Code::FreeUntracked,
-    );
+    rejects_with("void bad(int x) { free(x); }", Code::FreeUntracked);
 }
 
 #[test]

@@ -16,7 +16,11 @@ fn accepts(src: &str) {
 
 fn rejects_with(src: &str, code: Code) {
     let r = check_source("<edge>", src);
-    assert_eq!(r.verdict(), Verdict::Rejected, "expected rejection with {code}");
+    assert_eq!(
+        r.verdict(),
+        Verdict::Rejected,
+        "expected rejection with {code}"
+    );
     assert!(
         r.has_code(code),
         "expected {code}, got {:?}:\n{}",

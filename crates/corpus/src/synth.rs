@@ -157,16 +157,10 @@ fn gen_function(
                 let _ = writeln!(src, "  pt.y = pt.x * 2;");
             }
             2 => {
-                let _ = writeln!(
-                    src,
-                    "  if (flag) {{ pt.x++; }} else {{ pt.y = pt.y - 1; }}"
-                );
+                let _ = writeln!(src, "  if (flag) {{ pt.x++; }} else {{ pt.y = pt.y - 1; }}");
             }
             3 => {
-                let _ = writeln!(
-                    src,
-                    "  while (n > 0) {{ pt.x = pt.x + 1; n = n - 1; }}"
-                );
+                let _ = writeln!(src, "  while (n > 0) {{ pt.x = pt.x + 1; n = n - 1; }}");
             }
             4 if index > 0 => {
                 let callee = rng.gen_range(0..index);
@@ -175,7 +169,10 @@ fn gen_function(
             _ => {
                 // A nested, balanced region lifetime.
                 let k = emitted;
-                let _ = writeln!(src, "  tracked(T{index}_{k}) region tmp{k} = Region.create();");
+                let _ = writeln!(
+                    src,
+                    "  tracked(T{index}_{k}) region tmp{k} = Region.create();"
+                );
                 let _ = writeln!(
                     src,
                     "  T{index}_{k}:point tp{k} = new(tmp{k}) point {{x=1; y=1;}};"

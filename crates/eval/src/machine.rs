@@ -4,10 +4,8 @@
 use crate::value::{Fields, Value};
 use std::collections::BTreeMap;
 use std::fmt;
-use vault_syntax::ast::{
-    self, BinOp, Expr, ExprKind, PatBinder, Program, Stmt, StmtKind, UnOp,
-};
 use vault_runtime::{RegionError, RegionHeap, RegionId};
+use vault_syntax::ast::{self, BinOp, Expr, ExprKind, PatBinder, Program, Stmt, StmtKind, UnOp};
 
 /// Default execution budget (statements + expressions).
 pub const DEFAULT_FUEL: u64 = 1_000_000;
@@ -54,16 +52,15 @@ impl std::error::Error for EvalError {}
 impl From<RegionError> for EvalError {
     fn from(e: RegionError) -> Self {
         match e {
-            RegionError::UseAfterDelete | RegionError::InvalidHandle => {
-                EvalError::UseAfterDelete
-            }
+            RegionError::UseAfterDelete | RegionError::InvalidHandle => EvalError::UseAfterDelete,
             RegionError::DoubleDelete => EvalError::DoubleDelete,
         }
     }
 }
 
 /// An external function provided by the embedding.
-pub type ExternFn = Box<dyn for<'p> FnMut(&mut Machine<'p>, Vec<Value>) -> Result<Value, EvalError>>;
+pub type ExternFn =
+    Box<dyn for<'p> FnMut(&mut Machine<'p>, Vec<Value>) -> Result<Value, EvalError>>;
 
 /// Named external functions (the implementations behind signature-only
 /// declarations such as the `REGION` interface).
@@ -93,17 +90,15 @@ impl ExternTable {
     pub fn with_regions() -> Self {
         let mut t = Self::new();
         t.insert("create", |m, _args| Ok(Value::Region(m.create_region())));
-        t.insert("delete", |m, mut args| {
-            match args.pop() {
-                Some(Value::Region(r)) => {
-                    m.delete_region(r)?;
-                    Ok(Value::Unit)
-                }
-                other => Err(EvalError::Type(format!(
-                    "delete expects a region, got {:?}",
-                    other.map(|v| v.describe())
-                ))),
+        t.insert("delete", |m, mut args| match args.pop() {
+            Some(Value::Region(r)) => {
+                m.delete_region(r)?;
+                Ok(Value::Unit)
             }
+            other => Err(EvalError::Type(format!(
+                "delete expects a region, got {:?}",
+                other.map(|v| v.describe())
+            ))),
         });
         t
     }
@@ -244,10 +239,7 @@ impl<'p> Machine<'p> {
         }
         // Signature-only: dispatch to the extern table (taken out during
         // the call so the extern can use the machine).
-        let mut table = self
-            .externs
-            .take()
-            .expect("extern table re-entered");
+        let mut table = self.externs.take().expect("extern table re-entered");
         let r = match table.map.get_mut(name) {
             Some(f) => f(self, args),
             None => Err(EvalError::UnknownFunction(name.to_string())),
@@ -256,11 +248,7 @@ impl<'p> Machine<'p> {
         r
     }
 
-    fn call_decl(
-        &mut self,
-        f: &'p ast::FunDecl,
-        args: Vec<Value>,
-    ) -> Result<Value, EvalError> {
+    fn call_decl(&mut self, f: &'p ast::FunDecl, args: Vec<Value>) -> Result<Value, EvalError> {
         let mut env: Vec<BTreeMap<String, Value>> = vec![BTreeMap::new()];
         let named: Vec<&ast::FunParam> = f.params.iter().collect();
         if args.len() != named.len() {
@@ -339,7 +327,11 @@ impl<'p> Machine<'p> {
                 Ok(Flow::Normal)
             }
             StmtKind::Incr(e) | StmtKind::Decr(e) => {
-                let delta = if matches!(s.kind, StmtKind::Incr(_)) { 1 } else { -1 };
+                let delta = if matches!(s.kind, StmtKind::Incr(_)) {
+                    1
+                } else {
+                    -1
+                };
                 let cur = self.eval(e, env)?;
                 let n = cur
                     .as_int()
@@ -431,12 +423,7 @@ impl<'p> Machine<'p> {
                     Value::Region(r) => {
                         self.heap.delete(r)?;
                     }
-                    other => {
-                        return Err(EvalError::Type(format!(
-                            "free on {}",
-                            other.describe()
-                        )))
-                    }
+                    other => return Err(EvalError::Type(format!("free on {}", other.describe()))),
                 }
                 Ok(Flow::Normal)
             }
@@ -555,10 +542,7 @@ impl<'p> Machine<'p> {
                         .get(i as usize)
                         .map(|b| Value::Int(*b as i64))
                         .ok_or_else(|| EvalError::Type(format!("index {i} out of bounds"))),
-                    other => Err(EvalError::Type(format!(
-                        "indexing {}",
-                        other.describe()
-                    ))),
+                    other => Err(EvalError::Type(format!("indexing {}", other.describe()))),
                 }
             }
             ExprKind::Call { callee, args, .. } => {
@@ -571,11 +555,7 @@ impl<'p> Machine<'p> {
                     {
                         f.name.clone()
                     }
-                    _ => {
-                        return Err(EvalError::Unsupported(
-                            "computed call targets".into(),
-                        ))
-                    }
+                    _ => return Err(EvalError::Unsupported("computed call targets".into())),
                 };
                 let mut argv = Vec::with_capacity(args.len());
                 for a in args {
@@ -594,11 +574,7 @@ impl<'p> Machine<'p> {
                     args: argv,
                 })
             }
-            ExprKind::New {
-                region,
-                inits,
-                ..
-            } => {
+            ExprKind::New { region, inits, .. } => {
                 let mut fields = Fields::new();
                 for init in inits {
                     let v = self.eval(&init.value, env)?;
@@ -839,10 +815,7 @@ mod tests {
 
     #[test]
     fn fuel_stops_runaway_loops() {
-        let (p, ext) = machine_for(
-            "void spin(bool b) { while (b) { } }",
-            ExternTable::new(),
-        );
+        let (p, ext) = machine_for("void spin(bool b) { while (b) { } }", ExternTable::new());
         let mut m = Machine::new(&p, ext);
         m.set_fuel(10_000);
         assert_eq!(

@@ -231,8 +231,9 @@ fn pipeline_leak_leaks_dynamically() {
 
 fn allocfail_externs(succeed: bool) -> ExternTable {
     let mut t = ExternTable::with_regions();
-    t.insert("try_new_point", move |m: &mut Machine<'_>, args: Vec<Value>| {
-        match &args[0] {
+    t.insert(
+        "try_new_point",
+        move |m: &mut Machine<'_>, args: Vec<Value>| match &args[0] {
             Value::Region(r) if succeed => {
                 let mut fields = vault_eval::value::Fields::new();
                 fields.insert("x".into(), args[1].clone());
@@ -251,8 +252,8 @@ fn allocfail_externs(succeed: bool) -> ExternTable {
                 "try_new_point expects a region, got {}",
                 other.describe()
             ))),
-        }
-    });
+        },
+    );
     t
 }
 

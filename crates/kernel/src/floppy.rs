@@ -9,8 +9,8 @@
 //! static and dynamic verdicts.
 
 use crate::kernel::{
-    CompletionDisposition, DeviceId, Driver, DriverStatus, IrpId, Kernel, Major, NtStatus,
-    PagedId, SpinLockId,
+    CompletionDisposition, DeviceId, Driver, DriverStatus, IrpId, Kernel, Major, NtStatus, PagedId,
+    SpinLockId,
 };
 use std::collections::VecDeque;
 
@@ -136,11 +136,7 @@ impl FloppyDisk {
 
     /// Read one sector. Requires the motor spinning and the head on the
     /// right cylinder.
-    pub fn read_sector(
-        &mut self,
-        cylinder: usize,
-        sector: usize,
-    ) -> Result<Vec<u8>, &'static str> {
+    pub fn read_sector(&mut self, cylinder: usize, sector: usize) -> Result<Vec<u8>, &'static str> {
         if self.motor != MotorState::Spinning {
             return Err("read with the motor off");
         }
@@ -261,9 +257,8 @@ impl FloppyDriver {
     fn read_write(&mut self, k: &mut Kernel, dev: DeviceId, irp: IrpId) -> DriverStatus {
         let (_, params) = k.irp_params(dev, irp);
         let end = params.offset + params.length as i64;
-        let invalid = params.length == 0
-            || params.offset < 0
-            || end as usize > CYLINDERS * SECTORS_PER_TRACK;
+        let invalid =
+            params.length == 0 || params.offset < 0 || end as usize > CYLINDERS * SECTORS_PER_TRACK;
         if invalid {
             if self.bugs.drop_irp {
                 // BUG: marked pending, never queued, never completed.
@@ -300,21 +295,18 @@ impl FloppyDriver {
             let lba = params.offset as usize + s;
             let cylinder = lba / SECTORS_PER_TRACK;
             let sector = lba % SECTORS_PER_TRACK;
-            let op = self
-                .disk
-                .seek(cylinder)
-                .and_then(|()| match major {
-                    Major::Write => {
-                        let start = s * BYTES_PER_SECTOR;
-                        let chunk: &[u8] = if start < params.data.len() {
-                            &params.data[start..params.data.len().min(start + BYTES_PER_SECTOR)]
-                        } else {
-                            &[]
-                        };
-                        self.disk.write_sector(cylinder, sector, chunk)
-                    }
-                    _ => self.disk.read_sector(cylinder, sector).map(|_| ()),
-                });
+            let op = self.disk.seek(cylinder).and_then(|()| match major {
+                Major::Write => {
+                    let start = s * BYTES_PER_SECTOR;
+                    let chunk: &[u8] = if start < params.data.len() {
+                        &params.data[start..params.data.len().min(start + BYTES_PER_SECTOR)]
+                    } else {
+                        &[]
+                    };
+                    self.disk.write_sector(cylinder, sector, chunk)
+                }
+                _ => self.disk.read_sector(cylinder, sector).map(|_| ()),
+            });
             match op {
                 Ok(()) => moved += 1,
                 Err(why) => {
@@ -514,7 +506,9 @@ impl Driver for FilterDriver {
     }
 
     fn dispatch(&mut self, k: &mut Kernel, dev: DeviceId, irp: IrpId) -> DriverStatus {
-        let lower = k.lower_device(dev).expect("filter sits above another device");
+        let lower = k
+            .lower_device(dev)
+            .expect("filter sits above another device");
         self.forwarded += 1;
         match k.call_driver(dev, lower, irp) {
             DriverStatus::Complete => DriverStatus::Complete,
@@ -714,9 +708,10 @@ mod tests {
         );
         k.submit(top, Major::Power, IrpParams::default());
         assert!(
-            k.violations()
-                .iter()
-                .any(|v| matches!(v, crate::kernel::Violation::IrpAccessWithoutOwnership { .. })),
+            k.violations().iter().any(|v| matches!(
+                v,
+                crate::kernel::Violation::IrpAccessWithoutOwnership { .. }
+            )),
             "{:?}",
             k.violations()
         );

@@ -787,9 +787,7 @@ mod tests {
         let mut k = Kernel::new(1);
         let dev = k.create_device("double", Box::new(DoubleDriver));
         let (irp, _) = k.submit(dev, Major::Close, IrpParams::default());
-        assert!(k
-            .violations()
-            .contains(&Violation::IrpDoubleComplete(irp)));
+        assert!(k.violations().contains(&Violation::IrpDoubleComplete(irp)));
     }
 
     #[test]
@@ -865,7 +863,9 @@ mod tests {
         k.read_paged(cell);
         assert!(k.violations().iter().any(|v| matches!(
             v,
-            Violation::PagedAccessAtHighIrql { irql: Irql::Dispatch }
+            Violation::PagedAccessAtHighIrql {
+                irql: Irql::Dispatch
+            }
         )));
         k.release_spinlock(lock, prev);
         // Paged out + passive: the fault is serviced.
@@ -920,7 +920,10 @@ mod tests {
         k.release_spinlock(lock, prev);
         assert!(k.violations().iter().any(|v| matches!(
             v,
-            Violation::IrqlTooHigh { service: "KeSetPriorityThread", .. }
+            Violation::IrqlTooHigh {
+                service: "KeSetPriorityThread",
+                ..
+            }
         )));
     }
 }

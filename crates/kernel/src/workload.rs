@@ -8,9 +8,7 @@
 //! checker produces on the corpus mutants.
 
 use crate::floppy::{ioctl, FloppyBugs, FloppyDriver, BYTES_PER_SECTOR};
-use crate::kernel::{
-    IrpParams, Kernel, KernelStats, Major, NtStatus, Violation, ViolationKind,
-};
+use crate::kernel::{IrpParams, Kernel, KernelStats, Major, NtStatus, Violation, ViolationKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;

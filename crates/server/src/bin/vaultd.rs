@@ -1,0 +1,73 @@
+//! `vaultd` — the Vault protocol-checking daemon.
+//!
+//! ```text
+//! vaultd [--socket PATH] [--jobs N] [--cache N]
+//! ```
+//!
+//! With `--socket`, serves the JSON-lines protocol on a Unix domain
+//! socket until a client sends `{"op":"shutdown"}`. Without it, serves
+//! a single session over stdin/stdout (exiting at EOF) — handy behind
+//! an inetd-style supervisor or for piping.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use vault_server::{CheckService, ServiceConfig, UnixServer};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: vaultd [--socket PATH] [--jobs N] [--cache N]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut socket: Option<String> = None;
+    let mut config = ServiceConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => match it.next() {
+                Some(path) => socket = Some(path.clone()),
+                None => return usage(),
+            },
+            "--jobs" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => config.jobs = n,
+                _ => return usage(),
+            },
+            "--cache" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => config.cache_capacity = n,
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let svc = Arc::new(CheckService::new(config));
+    match socket {
+        Some(path) => {
+            let server = match UnixServer::bind(Arc::clone(&svc), &path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("vaultd: cannot bind `{path}`: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            eprintln!(
+                "vaultd: listening on {path} ({} worker(s), cache {})",
+                svc.workers(),
+                svc.cache_capacity()
+            );
+            if let Err(e) = server.run() {
+                eprintln!("vaultd: serve error: {e}");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        None => match vault_server::serve_stdio(&svc) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("vaultd: stdio error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

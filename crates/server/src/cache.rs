@@ -1,0 +1,259 @@
+//! Content-hash memoization of check verdicts.
+//!
+//! Checking is a pure function of `(unit name, source text)`, so the
+//! service can memoize [`CheckSummary`] values under a 64-bit FNV-1a
+//! fingerprint of both. The cache is a classic LRU: a hash map into a
+//! slab of entries threaded on an intrusive doubly-linked recency list,
+//! giving O(1) lookup, insert, touch, and eviction with no non-std
+//! dependencies.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use vault_core::CheckSummary;
+
+/// 64-bit FNV-1a over an arbitrary byte stream.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of one compilation unit.
+///
+/// The unit name participates because rendered diagnostics embed it
+/// (`--> name:line:col`): two units with identical sources but different
+/// names must not share a cache entry. A `0x00` separator keeps
+/// `("ab", "c")` and `("a", "bc")` distinct.
+pub fn unit_fingerprint(name: &str, source: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= 0;
+    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    for &b in source.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const NONE: usize = usize::MAX;
+
+struct Entry {
+    key: u64,
+    value: Arc<CheckSummary>,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used map from fingerprints to
+/// memoized check summaries.
+pub struct LruCache {
+    map: HashMap<u64, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+}
+
+impl LruCache {
+    /// An empty cache holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        LruCache {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NONE,
+            tail: NONE,
+            capacity,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Unlink slot `i` from the recency list.
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        if prev == NONE {
+            self.head = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NONE {
+            self.tail = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+    }
+
+    /// Link slot `i` at the head (most recently used).
+    fn link_front(&mut self, i: usize) {
+        self.slab[i].prev = NONE;
+        self.slab[i].next = self.head;
+        if self.head != NONE {
+            self.slab[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NONE {
+            self.tail = i;
+        }
+    }
+
+    /// Look up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: u64) -> Option<Arc<CheckSummary>> {
+        let &i = self.map.get(&key)?;
+        if self.head != i {
+            self.unlink(i);
+            self.link_front(i);
+        }
+        Some(Arc::clone(&self.slab[i].value))
+    }
+
+    /// Insert (or refresh) `key`, evicting the least recently used
+    /// entry if the cache is full.
+    pub fn put(&mut self, key: u64, value: Arc<CheckSummary>) {
+        if let Some(&i) = self.map.get(&key) {
+            self.slab[i].value = value;
+            if self.head != i {
+                self.unlink(i);
+                self.link_front(i);
+            }
+            return;
+        }
+        if self.map.len() == self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NONE);
+            self.unlink(victim);
+            self.map.remove(&self.slab[victim].key);
+            self.free.push(victim);
+        }
+        let i = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot] = Entry {
+                    key,
+                    value,
+                    prev: NONE,
+                    next: NONE,
+                };
+                slot
+            }
+            None => {
+                self.slab.push(Entry {
+                    key,
+                    value,
+                    prev: NONE,
+                    next: NONE,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.link_front(i);
+    }
+
+    /// Drop every entry (counters elsewhere are unaffected).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NONE;
+        self.tail = NONE;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vault_core::Verdict;
+
+    fn summary(tag: &str) -> Arc<CheckSummary> {
+        Arc::new(CheckSummary {
+            name: tag.to_string(),
+            verdict: Verdict::Accepted,
+            diagnostics: Vec::new(),
+            stats: Default::default(),
+        })
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Canonical FNV-1a test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fingerprint_separates_name_and_source() {
+        assert_ne!(unit_fingerprint("ab", "c"), unit_fingerprint("a", "bc"));
+        assert_ne!(unit_fingerprint("x", "s"), unit_fingerprint("y", "s"));
+        assert_eq!(unit_fingerprint("x", "s"), unit_fingerprint("x", "s"));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.put(1, summary("one"));
+        c.put(2, summary("two"));
+        assert!(c.get(1).is_some()); // 1 is now MRU
+        c.put(3, summary("three")); // evicts 2
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn put_refreshes_existing_key() {
+        let mut c = LruCache::new(2);
+        c.put(1, summary("one"));
+        c.put(2, summary("two"));
+        c.put(1, summary("one'")); // refresh, 2 becomes LRU
+        c.put(3, summary("three")); // evicts 2
+        assert_eq!(c.get(1).unwrap().name, "one'");
+        assert!(c.get(2).is_none());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn clear_empties_and_slots_recycle() {
+        let mut c = LruCache::new(3);
+        for k in 0..10 {
+            c.put(k, summary("s"));
+        }
+        assert_eq!(c.len(), 3);
+        // Only the three most recent survive.
+        assert!(c.get(7).is_some());
+        assert!(c.get(8).is_some());
+        assert!(c.get(9).is_some());
+        assert!(c.get(6).is_none());
+        c.clear();
+        assert!(c.is_empty());
+        c.put(42, summary("s"));
+        assert!(c.get(42).is_some());
+    }
+
+    #[test]
+    fn capacity_one_works() {
+        let mut c = LruCache::new(1);
+        c.put(1, summary("a"));
+        c.put(2, summary("b"));
+        assert!(c.get(1).is_none());
+        assert!(c.get(2).is_some());
+    }
+}

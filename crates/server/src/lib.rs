@@ -1,0 +1,54 @@
+//! # vault-server
+//!
+//! `vaultd`: a persistent, parallel, incremental protocol-checking
+//! service over the `vault-core` checker.
+//!
+//! The paper's checker is a one-shot batch tool; this crate turns it
+//! into a long-running daemon many clients can hammer:
+//!
+//! * **Wire protocol** — JSON lines over a Unix domain socket or stdio
+//!   ([`proto`], [`server`]): `check`, `emit-c`, `stats`, `status`,
+//!   `clear-cache`, `shutdown`, with structured machine-readable
+//!   diagnostics (code, severity, span, rendered message).
+//! * **Parallelism** — each batch of compilation units fans out across
+//!   a std-only worker thread pool ([`pool`]); responses preserve input
+//!   order, so parallel checking is byte-identical to sequential.
+//! * **Incrementality** — per-unit verdicts are memoized in a
+//!   content-hash (FNV-1a) LRU cache ([`cache`]); re-checking unchanged
+//!   sources is a cache hit that skips the checker entirely.
+//! * **Observability** — per-request wall time, queue depth, and cache
+//!   hit/miss counters ([`metrics`]), served by the `status` request.
+//!
+//! ```
+//! use vault_server::{CheckService, ServiceConfig, UnitIn};
+//!
+//! let svc = CheckService::new(ServiceConfig { jobs: 2, cache_capacity: 64 });
+//! let report = svc.check_unit(UnitIn {
+//!     name: "f.vlt".into(),
+//!     source: "void f() { }".into(),
+//! });
+//! assert_eq!(report.summary.verdict, vault_core::Verdict::Accepted);
+//! assert!(!report.cached);
+//! assert!(svc.check_unit(UnitIn {
+//!     name: "f.vlt".into(),
+//!     source: "void f() { }".into(),
+//! }).cached);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod json;
+pub mod metrics;
+pub mod pool;
+pub mod proto;
+pub mod server;
+pub mod service;
+
+pub use cache::{fnv1a_64, unit_fingerprint, LruCache};
+pub use json::{parse as parse_json, Json};
+pub use metrics::{Metrics, StatusSnapshot};
+pub use pool::{CheckPool, ThreadPool, UnitIn};
+pub use proto::{Request, UnitReport};
+pub use server::{serve_connection, serve_stdio, UnixServer};
+pub use service::{CheckService, ServiceConfig};

@@ -1,0 +1,98 @@
+//! The daemon's observability surface.
+//!
+//! Plain atomic counters, shared by `Arc` between the service, the pool,
+//! and every connection thread. A [`StatusSnapshot`] is the consistent
+//! read the `status` request serializes. (Counters are monotonically
+//! increasing except `queue_depth`, which tracks outstanding jobs.)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Shared counters describing the life of the service.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Requests handled, by kind.
+    pub requests: AtomicU64,
+    /// Compilation units received for checking (hits + misses).
+    pub units_checked: AtomicU64,
+    /// Units answered from the verdict cache.
+    pub cache_hits: AtomicU64,
+    /// Units that had to run the checker.
+    pub cache_misses: AtomicU64,
+    /// Jobs currently queued or running in the pool.
+    pub queue_depth: AtomicU64,
+    /// High-water mark of `queue_depth`.
+    pub queue_peak: AtomicU64,
+    /// Total wall time spent inside the checker, in microseconds.
+    pub check_micros: AtomicU64,
+    /// Total wall time spent serving requests, in microseconds.
+    pub request_micros: AtomicU64,
+    started: Instant,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            requests: AtomicU64::new(0),
+            units_checked: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_peak: AtomicU64::new(0),
+            check_micros: AtomicU64::new(0),
+            request_micros: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+}
+
+impl Metrics {
+    /// Record a job entering the pool queue, updating the high-water mark.
+    pub fn job_enqueued(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Record a job leaving the pool (completed).
+    pub fn job_done(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time read of every counter.
+    pub fn snapshot(&self) -> StatusSnapshot {
+        StatusSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            units_checked: self.units_checked.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_peak: self.queue_peak.load(Ordering::Relaxed),
+            check_micros: self.check_micros.load(Ordering::Relaxed),
+            request_micros: self.request_micros.load(Ordering::Relaxed),
+            uptime_micros: self.started.elapsed().as_micros() as u64,
+        }
+    }
+}
+
+/// Point-in-time counter values, as served by the `status` request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatusSnapshot {
+    /// Requests handled.
+    pub requests: u64,
+    /// Units received for checking.
+    pub units_checked: u64,
+    /// Units answered from the cache.
+    pub cache_hits: u64,
+    /// Units that ran the checker.
+    pub cache_misses: u64,
+    /// Jobs queued or running right now.
+    pub queue_depth: u64,
+    /// Highest simultaneous queue depth seen.
+    pub queue_peak: u64,
+    /// Microseconds spent inside the checker.
+    pub check_micros: u64,
+    /// Microseconds spent serving requests.
+    pub request_micros: u64,
+    /// Microseconds since the service started.
+    pub uptime_micros: u64,
+}

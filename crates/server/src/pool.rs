@@ -1,0 +1,197 @@
+//! A std-only worker thread pool.
+//!
+//! `std::thread` workers pull boxed jobs off one shared `mpsc` channel
+//! (receiver behind a mutex — the standard single-consumer workaround).
+//! The pool is deliberately generic over `FnOnce` jobs rather than
+//! hard-wired to checking: the service submits check closures, the
+//! throughput bench submits its own workload, and the CLI's batch mode
+//! reuses it unchanged.
+//!
+//! Determinism note: jobs complete in whatever order the scheduler
+//! picks, so anything order-sensitive must carry its index and let the
+//! caller reassemble (see [`CheckPool::check_batch`]).
+
+use crate::metrics::Metrics;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use vault_core::{check_summary, CheckSummary};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads executing boxed jobs.
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    metrics: Arc<Metrics>,
+}
+
+impl ThreadPool {
+    /// Spawn `jobs` workers (min 1) reporting queue depth into `metrics`.
+    pub fn new(jobs: usize, metrics: Arc<Metrics>) -> Self {
+        let jobs = jobs.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..jobs)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let metrics = Arc::clone(&metrics);
+                std::thread::Builder::new()
+                    .name(format!("vaultd-worker-{i}"))
+                    .spawn(move || worker_loop(rx, metrics))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        ThreadPool {
+            tx: Some(tx),
+            workers,
+            metrics,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queue one job. Panics if the pool is shutting down.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.metrics.job_enqueued();
+        self.tx
+            .as_ref()
+            .expect("pool is live")
+            .send(Box::new(job))
+            .expect("workers alive");
+    }
+}
+
+fn worker_loop(rx: Arc<Mutex<Receiver<Job>>>, metrics: Arc<Metrics>) {
+    loop {
+        // Hold the lock only while pulling the next job.
+        let job = match rx.lock().expect("queue lock").recv() {
+            Ok(job) => job,
+            Err(_) => return, // channel closed: pool dropped
+        };
+        job();
+        metrics.job_done();
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // close the channel; workers drain and exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// One compilation unit submitted for checking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnitIn {
+    /// Name diagnostics are rendered under (usually a path).
+    pub name: String,
+    /// Vault source text.
+    pub source: String,
+}
+
+/// A checking-specialized facade over [`ThreadPool`].
+pub struct CheckPool {
+    pool: ThreadPool,
+}
+
+impl CheckPool {
+    /// A pool of `jobs` checker workers.
+    pub fn new(jobs: usize, metrics: Arc<Metrics>) -> Self {
+        CheckPool {
+            pool: ThreadPool::new(jobs, metrics),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Queue one raw job on the underlying pool.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.pool.submit(job)
+    }
+
+    /// Check every unit on the pool, returning summaries in **input
+    /// order** regardless of completion order, with the per-unit checker
+    /// wall time in microseconds.
+    pub fn check_batch(&self, units: Vec<UnitIn>) -> Vec<(CheckSummary, u64)> {
+        let n = units.len();
+        let (tx, rx) = channel::<(usize, CheckSummary, u64)>();
+        for (index, unit) in units.into_iter().enumerate() {
+            let tx = tx.clone();
+            self.pool.submit(move || {
+                let start = std::time::Instant::now();
+                let summary = check_summary(&unit.name, &unit.source);
+                let micros = start.elapsed().as_micros() as u64;
+                // Receiver hanging up just means the caller gave up.
+                let _ = tx.send((index, summary, micros));
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<(CheckSummary, u64)>> = (0..n).map(|_| None).collect();
+        for (index, summary, micros) in rx {
+            out[index] = Some((summary, micros));
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every unit reports"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pool_runs_all_jobs() {
+        let metrics = Arc::new(Metrics::default());
+        let pool = ThreadPool::new(4, Arc::clone(&metrics));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = channel();
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            });
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 100);
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        drop(pool);
+        assert_eq!(metrics.snapshot().queue_depth, 0);
+        assert!(metrics.snapshot().queue_peak >= 1);
+    }
+
+    #[test]
+    fn check_batch_preserves_input_order() {
+        let metrics = Arc::new(Metrics::default());
+        let pool = CheckPool::new(4, metrics);
+        let units: Vec<UnitIn> = (0..16)
+            .map(|i| UnitIn {
+                name: format!("u{i}.vlt"),
+                source: "void f() { }".to_string(),
+            })
+            .collect();
+        let results = pool.check_batch(units);
+        assert_eq!(results.len(), 16);
+        for (i, (summary, _)) in results.iter().enumerate() {
+            assert_eq!(summary.name, format!("u{i}.vlt"));
+        }
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one_worker() {
+        let pool = ThreadPool::new(0, Arc::new(Metrics::default()));
+        assert_eq!(pool.workers(), 1);
+    }
+}

@@ -1,0 +1,354 @@
+//! The `vaultd` JSON-lines wire protocol.
+//!
+//! One request per line, one response line per request, over stdio or a
+//! Unix domain socket. Every request is a JSON object with an `"op"`
+//! field and an optional numeric `"id"` echoed back in the response so
+//! clients may pipeline.
+//!
+//! Requests:
+//!
+//! ```json
+//! {"op":"check","id":1,"units":[{"name":"a.vlt","source":"..."}]}
+//! {"op":"emit-c","id":2,"unit":{"name":"a.vlt","source":"..."}}
+//! {"op":"stats","id":3,"unit":{"name":"a.vlt","source":"..."}}
+//! {"op":"status","id":4}
+//! {"op":"clear-cache","id":5}
+//! {"op":"shutdown","id":6}
+//! ```
+//!
+//! Responses carry `"ok":true` plus op-specific payload, or
+//! `"ok":false` with an `"error"` string. Diagnostics are structured
+//! (code, severity, span, line/col, message, rendered) so clients never
+//! parse human-readable output.
+
+use crate::json::Json;
+use crate::metrics::StatusSnapshot;
+use crate::pool::UnitIn;
+use vault_core::{CheckStats, CheckSummary, Verdict};
+use vault_syntax::DiagView;
+
+/// A decoded request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Check a batch of compilation units.
+    Check {
+        /// The units, checked concurrently, answered in order.
+        units: Vec<UnitIn>,
+    },
+    /// Check one unit and, if accepted, translate it to C.
+    EmitC {
+        /// The unit.
+        unit: UnitIn,
+    },
+    /// Check one unit and report checker-effort statistics.
+    Stats {
+        /// The unit.
+        unit: UnitIn,
+    },
+    /// Report service counters.
+    Status,
+    /// Drop every memoized verdict.
+    ClearCache,
+    /// Close this connection; when the daemon serves a socket, also stop
+    /// accepting new connections and exit.
+    Shutdown,
+}
+
+fn parse_unit(v: &Json) -> Result<UnitIn, String> {
+    let name = v
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("unit missing string field `name`")?;
+    let source = v
+        .get("source")
+        .and_then(Json::as_str)
+        .ok_or("unit missing string field `source`")?;
+    Ok(UnitIn {
+        name: name.to_string(),
+        source: source.to_string(),
+    })
+}
+
+/// Decode one request line. Returns the echoed id (if any) and the
+/// request; the id is returned even when decoding fails past it, so
+/// error responses can still correlate.
+pub fn parse_request(v: &Json) -> (Option<u64>, Result<Request, String>) {
+    let id = v.get("id").and_then(Json::as_u64);
+    let req = (|| {
+        let op = v
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("request missing string field `op`")?;
+        match op {
+            "check" => {
+                let units = v
+                    .get("units")
+                    .and_then(Json::as_arr)
+                    .ok_or("`check` missing array field `units`")?;
+                let units = units
+                    .iter()
+                    .map(parse_unit)
+                    .collect::<Result<Vec<_>, _>>()?;
+                if units.is_empty() {
+                    return Err("`check` requires at least one unit".to_string());
+                }
+                Ok(Request::Check { units })
+            }
+            "emit-c" => Ok(Request::EmitC {
+                unit: parse_unit(
+                    v.get("unit")
+                        .ok_or("`emit-c` missing object field `unit`")?,
+                )?,
+            }),
+            "stats" => Ok(Request::Stats {
+                unit: parse_unit(v.get("unit").ok_or("`stats` missing object field `unit`")?)?,
+            }),
+            "status" => Ok(Request::Status),
+            "clear-cache" => Ok(Request::ClearCache),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    })();
+    (id, req.map_err(|e: String| e))
+}
+
+fn base(id: Option<u64>, op: &str, ok: bool) -> Vec<(String, Json)> {
+    let mut pairs = Vec::new();
+    if let Some(id) = id {
+        pairs.push(("id".to_string(), Json::num(id)));
+    }
+    pairs.push(("op".to_string(), Json::str(op)));
+    pairs.push(("ok".to_string(), Json::Bool(ok)));
+    pairs
+}
+
+/// Encode a protocol-level failure.
+pub fn encode_error(id: Option<u64>, message: &str) -> Json {
+    let mut pairs = base(id, "error", false);
+    pairs.push(("error".to_string(), Json::str(message)));
+    Json::Obj(pairs)
+}
+
+fn verdict_str(v: Verdict) -> &'static str {
+    match v {
+        Verdict::Accepted => "accepted",
+        Verdict::Rejected => "rejected",
+    }
+}
+
+fn encode_diag(d: &DiagView) -> Json {
+    Json::Obj(vec![
+        ("code".to_string(), Json::str(&d.code)),
+        ("severity".to_string(), Json::str(&d.severity)),
+        ("message".to_string(), Json::str(&d.message)),
+        ("start".to_string(), Json::num(d.start as u64)),
+        ("end".to_string(), Json::num(d.end as u64)),
+        ("line".to_string(), Json::num(d.line as u64)),
+        ("col".to_string(), Json::num(d.col as u64)),
+        (
+            "labels".to_string(),
+            Json::Arr(
+                d.labels
+                    .iter()
+                    .map(|l| {
+                        Json::Obj(vec![
+                            ("message".to_string(), Json::str(&l.message)),
+                            ("line".to_string(), Json::num(l.line as u64)),
+                            ("col".to_string(), Json::num(l.col as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("rendered".to_string(), Json::str(&d.rendered)),
+    ])
+}
+
+fn encode_stats(s: &CheckStats) -> Json {
+    Json::Obj(vec![
+        ("statements".to_string(), Json::num(s.statements as u64)),
+        ("calls".to_string(), Json::num(s.calls as u64)),
+        ("joins".to_string(), Json::num(s.joins as u64)),
+        (
+            "loop_iterations".to_string(),
+            Json::num(s.loop_iterations as u64),
+        ),
+        (
+            "keys_allocated".to_string(),
+            Json::num(s.keys_allocated as u64),
+        ),
+    ])
+}
+
+/// The outcome of one unit within a `check` response.
+#[derive(Clone, Debug)]
+pub struct UnitReport {
+    /// The check summary (possibly from cache).
+    pub summary: std::sync::Arc<CheckSummary>,
+    /// Whether the verdict came from the cache.
+    pub cached: bool,
+    /// Checker wall time for this unit (0 for cache hits).
+    pub check_micros: u64,
+}
+
+/// Encode the response to a `check` request.
+pub fn encode_check(id: Option<u64>, reports: &[UnitReport], wall_micros: u64) -> Json {
+    let mut pairs = base(id, "check", true);
+    pairs.push(("wall_micros".to_string(), Json::num(wall_micros)));
+    pairs.push((
+        "units".to_string(),
+        Json::Arr(
+            reports
+                .iter()
+                .map(|r| {
+                    Json::Obj(vec![
+                        ("name".to_string(), Json::str(&r.summary.name)),
+                        (
+                            "verdict".to_string(),
+                            Json::str(verdict_str(r.summary.verdict)),
+                        ),
+                        ("cached".to_string(), Json::Bool(r.cached)),
+                        ("check_micros".to_string(), Json::num(r.check_micros)),
+                        (
+                            "error_codes".to_string(),
+                            Json::Arr(r.summary.error_codes().into_iter().map(Json::Str).collect()),
+                        ),
+                        (
+                            "diagnostics".to_string(),
+                            Json::Arr(r.summary.diagnostics.iter().map(encode_diag).collect()),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Json::Obj(pairs)
+}
+
+/// Encode the response to an `emit-c` request. `c` is `Some` only when
+/// the unit was accepted.
+pub fn encode_emit_c(id: Option<u64>, summary: &CheckSummary, c: Option<&str>) -> Json {
+    let mut pairs = base(id, "emit-c", true);
+    pairs.push(("name".to_string(), Json::str(&summary.name)));
+    pairs.push((
+        "verdict".to_string(),
+        Json::str(verdict_str(summary.verdict)),
+    ));
+    pairs.push((
+        "diagnostics".to_string(),
+        Json::Arr(summary.diagnostics.iter().map(encode_diag).collect()),
+    ));
+    if let Some(c) = c {
+        pairs.push(("c".to_string(), Json::str(c)));
+    }
+    Json::Obj(pairs)
+}
+
+/// Encode the response to a `stats` request.
+pub fn encode_stats_response(id: Option<u64>, summary: &CheckSummary) -> Json {
+    let mut pairs = base(id, "stats", true);
+    pairs.push(("name".to_string(), Json::str(&summary.name)));
+    pairs.push((
+        "verdict".to_string(),
+        Json::str(verdict_str(summary.verdict)),
+    ));
+    pairs.push(("stats".to_string(), encode_stats(&summary.stats)));
+    Json::Obj(pairs)
+}
+
+/// Encode the response to a `status` request.
+pub fn encode_status(
+    id: Option<u64>,
+    snap: &StatusSnapshot,
+    workers: usize,
+    cache_entries: usize,
+    cache_capacity: usize,
+) -> Json {
+    let mut pairs = base(id, "status", true);
+    for (key, value) in [
+        ("requests", snap.requests),
+        ("units_checked", snap.units_checked),
+        ("cache_hits", snap.cache_hits),
+        ("cache_misses", snap.cache_misses),
+        ("queue_depth", snap.queue_depth),
+        ("queue_peak", snap.queue_peak),
+        ("check_micros", snap.check_micros),
+        ("request_micros", snap.request_micros),
+        ("uptime_micros", snap.uptime_micros),
+        ("workers", workers as u64),
+        ("cache_entries", cache_entries as u64),
+        ("cache_capacity", cache_capacity as u64),
+    ] {
+        pairs.push((key.to_string(), Json::num(value)));
+    }
+    Json::Obj(pairs)
+}
+
+/// Encode the acknowledgement of `clear-cache` or `shutdown`.
+pub fn encode_ack(id: Option<u64>, op: &str) -> Json {
+    Json::Obj(base(id, op, true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn parses_every_op() {
+        let line = r#"{"op":"check","id":9,"units":[{"name":"a","source":"s"}]}"#;
+        let (id, req) = parse_request(&parse(line).unwrap());
+        assert_eq!(id, Some(9));
+        assert_eq!(
+            req.unwrap(),
+            Request::Check {
+                units: vec![UnitIn {
+                    name: "a".into(),
+                    source: "s".into()
+                }]
+            }
+        );
+        for (line, want) in [
+            (r#"{"op":"status"}"#, Request::Status),
+            (r#"{"op":"clear-cache"}"#, Request::ClearCache),
+            (r#"{"op":"shutdown"}"#, Request::Shutdown),
+        ] {
+            let (id, req) = parse_request(&parse(line).unwrap());
+            assert_eq!(id, None);
+            assert_eq!(req.unwrap(), want);
+        }
+        let (_, req) =
+            parse_request(&parse(r#"{"op":"emit-c","unit":{"name":"a","source":"s"}}"#).unwrap());
+        assert!(matches!(req.unwrap(), Request::EmitC { .. }));
+        let (_, req) =
+            parse_request(&parse(r#"{"op":"stats","unit":{"name":"a","source":"s"}}"#).unwrap());
+        assert!(matches!(req.unwrap(), Request::Stats { .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for line in [
+            r#"{}"#,
+            r#"{"op":"frobnicate"}"#,
+            r#"{"op":"check"}"#,
+            r#"{"op":"check","units":[]}"#,
+            r#"{"op":"check","units":[{"name":"a"}]}"#,
+            r#"{"op":"emit-c"}"#,
+        ] {
+            let (_, req) = parse_request(&parse(line).unwrap());
+            assert!(req.is_err(), "{line} should be rejected");
+        }
+        // The id survives even when the body is malformed.
+        let (id, req) = parse_request(&parse(r#"{"id":3,"op":"check"}"#).unwrap());
+        assert_eq!(id, Some(3));
+        assert!(req.is_err());
+    }
+
+    #[test]
+    fn error_encoding_is_flagged_not_ok() {
+        let e = encode_error(Some(5), "boom");
+        assert_eq!(e.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(e.get("id").and_then(Json::as_u64), Some(5));
+        assert_eq!(e.get("error").and_then(Json::as_str), Some("boom"));
+    }
+}

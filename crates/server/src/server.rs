@@ -1,0 +1,275 @@
+//! Serving the wire protocol: stdio and Unix-domain-socket front ends.
+//!
+//! Both front ends speak the same JSON-lines protocol (see
+//! [`crate::proto`]) against one shared [`CheckService`]. The socket
+//! server accepts any number of concurrent connections, each on its own
+//! thread; pool, cache, and counters are shared, so one client's checks
+//! warm the cache for every other client.
+
+use crate::json::{parse, Json};
+use crate::proto::{self, Request};
+use crate::service::CheckService;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Dispatch one decoded request. Returns the response and whether the
+/// client asked the daemon to shut down.
+pub fn handle_request(svc: &CheckService, id: Option<u64>, req: Request) -> (Json, bool) {
+    let start = Instant::now();
+    svc.metrics()
+        .requests
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let (response, shutdown) = match req {
+        Request::Check { units } => {
+            let (reports, wall) = svc.check_units(units);
+            (proto::encode_check(id, &reports, wall), false)
+        }
+        Request::EmitC { unit } => {
+            let (summary, c) = svc.emit_c(&unit);
+            (proto::encode_emit_c(id, &summary, c.as_deref()), false)
+        }
+        Request::Stats { unit } => {
+            let report = svc.check_unit(unit);
+            (proto::encode_stats_response(id, &report.summary), false)
+        }
+        Request::Status => {
+            let snap = svc.status();
+            (
+                proto::encode_status(
+                    id,
+                    &snap,
+                    svc.workers(),
+                    svc.cache_entries(),
+                    svc.cache_capacity(),
+                ),
+                false,
+            )
+        }
+        Request::ClearCache => {
+            svc.clear_cache();
+            (proto::encode_ack(id, "clear-cache"), false)
+        }
+        Request::Shutdown => (proto::encode_ack(id, "shutdown"), true),
+    };
+    svc.metrics().request_micros.fetch_add(
+        start.elapsed().as_micros() as u64,
+        std::sync::atomic::Ordering::Relaxed,
+    );
+    (response, shutdown)
+}
+
+/// Serve one JSON-lines connection until EOF or a `shutdown` request.
+/// Returns whether shutdown was requested.
+pub fn serve_connection<R: BufRead, W: Write>(
+    svc: &CheckService,
+    reader: R,
+    mut writer: W,
+) -> io::Result<bool> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = match parse(&line) {
+            Err(e) => (proto::encode_error(None, &format!("bad JSON: {e}")), false),
+            Ok(v) => {
+                let (id, req) = proto::parse_request(&v);
+                match req {
+                    Err(e) => (proto::encode_error(id, &e), false),
+                    Ok(req) => handle_request(svc, id, req),
+                }
+            }
+        };
+        writer.write_all(response.to_line().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Serve the protocol over stdin/stdout until EOF or `shutdown`.
+pub fn serve_stdio(svc: &CheckService) -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    serve_connection(svc, stdin.lock(), stdout.lock()).map(|_| ())
+}
+
+/// A bound Unix-domain-socket server (socket file exists once this is
+/// constructed; call [`UnixServer::run`] to start accepting).
+pub struct UnixServer {
+    listener: UnixListener,
+    svc: Arc<CheckService>,
+    path: PathBuf,
+}
+
+impl UnixServer {
+    /// Bind `path`, replacing any stale socket file left by a previous
+    /// daemon.
+    pub fn bind(svc: Arc<CheckService>, path: impl AsRef<Path>) -> io::Result<UnixServer> {
+        let path = path.as_ref().to_path_buf();
+        if path.exists() {
+            std::fs::remove_file(&path)?;
+        }
+        let listener = UnixListener::bind(&path)?;
+        Ok(UnixServer {
+            listener,
+            svc,
+            path,
+        })
+    }
+
+    /// The bound socket path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Accept connections (one thread each) until some client sends
+    /// `shutdown`; then stop accepting, unlink the socket file, and
+    /// return once in-flight connection threads have been detached.
+    pub fn run(self) -> io::Result<()> {
+        let stop = Arc::new(AtomicBool::new(false));
+        for conn in self.listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let svc = Arc::clone(&self.svc);
+            let stop = Arc::clone(&stop);
+            let path = self.path.clone();
+            std::thread::spawn(move || {
+                let reader = BufReader::new(match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(_) => return,
+                });
+                let writer = BufWriter::new(stream);
+                if let Ok(true) = serve_connection(&svc, reader, writer) {
+                    // Set the flag first, then poke the accept loop so
+                    // it observes the flag instead of a real client.
+                    stop.store(true, Ordering::SeqCst);
+                    let _ = UnixStream::connect(&path);
+                }
+            });
+        }
+        let _ = std::fs::remove_file(&self.path);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+
+    fn svc() -> CheckService {
+        CheckService::new(ServiceConfig {
+            jobs: 2,
+            cache_capacity: 64,
+        })
+    }
+
+    fn roundtrip(svc: &CheckService, input: &str) -> Vec<Json> {
+        let mut out = Vec::new();
+        serve_connection(svc, input.as_bytes(), &mut out).unwrap();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| parse(l).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn check_request_round_trips_with_structured_diagnostics() {
+        let svc = svc();
+        let req = r#"{"op":"check","id":1,"units":[{"name":"leak.vlt","source":"type FILE;\ntracked(F) FILE fopen(string p) [new F];\nvoid leak() {\n  tracked(F) FILE f = fopen(\"x\");\n}"}]}"#;
+        let responses = roundtrip(&svc, &format!("{req}\n"));
+        assert_eq!(responses.len(), 1);
+        let r = &responses[0];
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(r.get("id").and_then(Json::as_u64), Some(1));
+        let units = r.get("units").and_then(Json::as_arr).unwrap();
+        assert_eq!(units.len(), 1);
+        let u = &units[0];
+        assert_eq!(u.get("verdict").and_then(Json::as_str), Some("rejected"));
+        assert_eq!(u.get("cached").and_then(Json::as_bool), Some(false));
+        let diags = u.get("diagnostics").and_then(Json::as_arr).unwrap();
+        assert!(!diags.is_empty());
+        let d = &diags[0];
+        assert_eq!(d.get("code").and_then(Json::as_str), Some("V304"));
+        assert_eq!(d.get("severity").and_then(Json::as_str), Some("error"));
+        assert!(d.get("line").and_then(Json::as_u64).unwrap() >= 1);
+        assert!(d
+            .get("rendered")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("leak.vlt"));
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses_and_do_not_kill_the_stream() {
+        let svc = svc();
+        let input = "this is not json\n{\"op\":\"nope\"}\n{\"op\":\"status\"}\n";
+        let responses = roundtrip(&svc, input);
+        assert_eq!(responses.len(), 3);
+        assert_eq!(responses[0].get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(responses[1].get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(responses[2].get("ok").and_then(Json::as_bool), Some(true));
+        // The status response reflects only well-formed requests.
+        assert_eq!(responses[2].get("requests").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn status_reports_cache_counters() {
+        let svc = svc();
+        let unit = r#"{"name":"a.vlt","source":"void f() { }"}"#;
+        let input = format!(
+            "{{\"op\":\"check\",\"units\":[{unit}]}}\n{{\"op\":\"check\",\"units\":[{unit}]}}\n{{\"op\":\"status\"}}\n"
+        );
+        let responses = roundtrip(&svc, &input);
+        let status = &responses[2];
+        assert_eq!(status.get("cache_misses").and_then(Json::as_u64), Some(1));
+        assert_eq!(status.get("cache_hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(status.get("units_checked").and_then(Json::as_u64), Some(2));
+        assert_eq!(status.get("workers").and_then(Json::as_u64), Some(2));
+        assert_eq!(status.get("cache_entries").and_then(Json::as_u64), Some(1));
+        // Second check of identical content is flagged as cached.
+        let u = &responses[1].get("units").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(u.get("cached").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn shutdown_acks_then_closes() {
+        let svc = svc();
+        let responses = roundtrip(
+            &svc,
+            "{\"op\":\"shutdown\",\"id\":9}\n{\"op\":\"status\"}\n",
+        );
+        // The stream stops after the shutdown ack; the status line is
+        // never answered.
+        assert_eq!(responses.len(), 1);
+        assert_eq!(
+            responses[0].get("op").and_then(Json::as_str),
+            Some("shutdown")
+        );
+        assert_eq!(responses[0].get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn emit_c_over_the_wire() {
+        let svc = svc();
+        let req = r#"{"op":"emit-c","unit":{"name":"ok.vlt","source":"int f() { return 7; }"}}"#;
+        let responses = roundtrip(&svc, &format!("{req}\n"));
+        let r = &responses[0];
+        assert_eq!(r.get("verdict").and_then(Json::as_str), Some("accepted"));
+        assert!(r.get("c").and_then(Json::as_str).unwrap().contains("int f"));
+    }
+}

@@ -1,0 +1,294 @@
+//! The checking service: pool + cache + metrics behind one façade.
+//!
+//! [`CheckService`] is the engine `vaultd` (and `vaultc check --jobs`)
+//! runs on. It fans batches of compilation units across the worker
+//! pool, memoizes per-unit verdicts under a content-hash key, and keeps
+//! the counters the `status` request reports. It is `Send + Sync`; the
+//! socket server shares one instance across every connection thread, so
+//! all clients see one cache and one set of counters.
+
+use crate::cache::{unit_fingerprint, LruCache};
+use crate::metrics::{Metrics, StatusSnapshot};
+use crate::pool::{CheckPool, UnitIn};
+use crate::proto::UnitReport;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use vault_core::{check_source, CheckSummary, Verdict};
+
+/// Tunables for a [`CheckService`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads in the checking pool (min 1).
+    pub jobs: usize,
+    /// Maximum memoized verdicts (min 1).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            jobs: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// A parallel, incremental protocol-checking service.
+pub struct CheckService {
+    pool: CheckPool,
+    cache: Mutex<LruCache>,
+    cache_capacity: usize,
+    metrics: Arc<Metrics>,
+}
+
+impl CheckService {
+    /// Build a service with `config` tunables.
+    pub fn new(config: ServiceConfig) -> Self {
+        let metrics = Arc::new(Metrics::default());
+        CheckService {
+            pool: CheckPool::new(config.jobs, Arc::clone(&metrics)),
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            cache_capacity: config.cache_capacity.max(1),
+            metrics,
+        }
+    }
+
+    /// The shared counters.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Number of pool workers.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Check a batch of units: cache hits answer immediately, misses fan
+    /// out across the pool. Reports come back in **input order**; the
+    /// returned duration is the whole batch's wall time in microseconds.
+    pub fn check_units(&self, units: Vec<UnitIn>) -> (Vec<UnitReport>, u64) {
+        let start = Instant::now();
+        let n = units.len();
+        self.metrics
+            .units_checked
+            .fetch_add(n as u64, Ordering::Relaxed);
+
+        // Phase 1: consult the cache under one short lock.
+        let fingerprints: Vec<u64> = units
+            .iter()
+            .map(|u| unit_fingerprint(&u.name, &u.source))
+            .collect();
+        let mut reports: Vec<Option<UnitReport>> = (0..n).map(|_| None).collect();
+        let mut misses: Vec<(usize, UnitIn)> = Vec::new();
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            for (i, unit) in units.into_iter().enumerate() {
+                if let Some(summary) = cache.get(fingerprints[i]) {
+                    reports[i] = Some(UnitReport {
+                        summary,
+                        cached: true,
+                        check_micros: 0,
+                    });
+                } else {
+                    misses.push((i, unit));
+                }
+            }
+        }
+        let hits = n - misses.len();
+        self.metrics
+            .cache_hits
+            .fetch_add(hits as u64, Ordering::Relaxed);
+        self.metrics
+            .cache_misses
+            .fetch_add(misses.len() as u64, Ordering::Relaxed);
+
+        // Phase 2: fan misses out across the pool.
+        if !misses.is_empty() {
+            let (tx, rx) = channel::<(usize, CheckSummary, u64)>();
+            for (index, unit) in misses {
+                let tx = tx.clone();
+                self.pool.submit(move || {
+                    let t = Instant::now();
+                    let summary = vault_core::check_summary(&unit.name, &unit.source);
+                    let _ = tx.send((index, summary, t.elapsed().as_micros() as u64));
+                });
+            }
+            drop(tx);
+            let mut fresh: Vec<(usize, Arc<CheckSummary>, u64)> = rx
+                .into_iter()
+                .map(|(i, s, micros)| (i, Arc::new(s), micros))
+                .collect();
+            // Insert in slot order so concurrent batches populate the
+            // recency list deterministically given identical traffic.
+            fresh.sort_by_key(|(i, _, _)| *i);
+            let mut cache = self.cache.lock().expect("cache lock");
+            for (index, summary, micros) in fresh {
+                cache.put(fingerprints[index], Arc::clone(&summary));
+                self.metrics
+                    .check_micros
+                    .fetch_add(micros, Ordering::Relaxed);
+                reports[index] = Some(UnitReport {
+                    summary,
+                    cached: false,
+                    check_micros: micros,
+                });
+            }
+        }
+
+        let reports = reports
+            .into_iter()
+            .map(|r| r.expect("every unit answered"))
+            .collect();
+        (reports, start.elapsed().as_micros() as u64)
+    }
+
+    /// Check one unit through the cache (a one-element batch).
+    pub fn check_unit(&self, unit: UnitIn) -> UnitReport {
+        let (mut reports, _) = self.check_units(vec![unit]);
+        reports.remove(0)
+    }
+
+    /// Check one unit and, when accepted, translate it to C.
+    ///
+    /// Codegen needs the full AST, which the verdict cache deliberately
+    /// does not retain, so this always re-runs the front end in the
+    /// calling thread; only `check`/`stats` traffic is memoized.
+    pub fn emit_c(&self, unit: &UnitIn) -> (CheckSummary, Option<String>) {
+        let result = check_source(&unit.name, &unit.source);
+        let summary = CheckSummary::of(&unit.name, &result);
+        let c = (summary.verdict == Verdict::Accepted)
+            .then(|| vault_core::codegen::emit_c(&result.program, &result.elaborated));
+        (summary, c)
+    }
+
+    /// Drop every memoized verdict (counters are unaffected).
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("cache lock").clear();
+    }
+
+    /// Live cache entry count.
+    pub fn cache_entries(&self) -> usize {
+        self.cache.lock().expect("cache lock").len()
+    }
+
+    /// Configured cache capacity.
+    pub fn cache_capacity(&self) -> usize {
+        self.cache_capacity
+    }
+
+    /// Point-in-time counters.
+    pub fn status(&self) -> StatusSnapshot {
+        self.metrics.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "type FILE;
+stateset FS = [ open < closed ];
+tracked(F) FILE fopen(string p) [new F@open];
+void fclose(tracked(F) FILE f) [-F];
+void ok() {
+  tracked(F) FILE f = fopen(\"x\");
+  fclose(f);
+}";
+
+    const LEAKY: &str = "type FILE;
+stateset FS = [ open < closed ];
+tracked(F) FILE fopen(string p) [new F@open];
+void fclose(tracked(F) FILE f) [-F];
+void leak() {
+  tracked(F) FILE f = fopen(\"x\");
+}";
+
+    fn unit(name: &str, source: &str) -> UnitIn {
+        UnitIn {
+            name: name.to_string(),
+            source: source.to_string(),
+        }
+    }
+
+    #[test]
+    fn second_check_is_a_cache_hit_with_identical_summary() {
+        let svc = CheckService::new(ServiceConfig {
+            jobs: 2,
+            cache_capacity: 16,
+        });
+        let cold = svc.check_unit(unit("a.vlt", LEAKY));
+        assert!(!cold.cached);
+        assert_eq!(cold.summary.verdict, Verdict::Rejected);
+        let warm = svc.check_unit(unit("a.vlt", LEAKY));
+        assert!(warm.cached);
+        assert_eq!(*warm.summary, *cold.summary);
+        let snap = svc.status();
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.units_checked, 2);
+    }
+
+    #[test]
+    fn name_is_part_of_the_cache_key() {
+        let svc = CheckService::new(ServiceConfig {
+            jobs: 1,
+            cache_capacity: 16,
+        });
+        svc.check_unit(unit("a.vlt", GOOD));
+        let other = svc.check_unit(unit("b.vlt", GOOD));
+        assert!(!other.cached, "different name must not hit");
+        assert!(other.summary.render_diagnostics().is_empty());
+    }
+
+    #[test]
+    fn batch_order_is_input_order() {
+        let svc = CheckService::new(ServiceConfig {
+            jobs: 4,
+            cache_capacity: 64,
+        });
+        let units: Vec<UnitIn> = (0..12)
+            .map(|i| unit(&format!("u{i}.vlt"), if i % 2 == 0 { GOOD } else { LEAKY }))
+            .collect();
+        let (reports, _) = svc.check_units(units);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.summary.name, format!("u{i}.vlt"));
+            let want = if i % 2 == 0 {
+                Verdict::Accepted
+            } else {
+                Verdict::Rejected
+            };
+            assert_eq!(r.summary.verdict, want, "unit {i}");
+        }
+    }
+
+    #[test]
+    fn clear_cache_forces_recheck() {
+        let svc = CheckService::new(ServiceConfig {
+            jobs: 1,
+            cache_capacity: 16,
+        });
+        svc.check_unit(unit("a.vlt", GOOD));
+        assert_eq!(svc.cache_entries(), 1);
+        svc.clear_cache();
+        assert_eq!(svc.cache_entries(), 0);
+        assert!(!svc.check_unit(unit("a.vlt", GOOD)).cached);
+    }
+
+    #[test]
+    fn emit_c_only_for_accepted() {
+        let svc = CheckService::new(ServiceConfig {
+            jobs: 1,
+            cache_capacity: 4,
+        });
+        let (summary, c) = svc.emit_c(&unit("ok.vlt", GOOD));
+        assert_eq!(summary.verdict, Verdict::Accepted);
+        assert!(c.unwrap().contains("fopen"));
+        let (summary, c) = svc.emit_c(&unit("bad.vlt", LEAKY));
+        assert_eq!(summary.verdict, Verdict::Rejected);
+        assert!(c.is_none());
+    }
+}

@@ -168,52 +168,84 @@ impl Code {
             LexIntOverflow => "an integer literal does not fit in 64 bits",
             ParseUnexpected => "the parser met a token that no rule allows here",
             ParseMalformed => "a construct is syntactically malformed",
-            UnknownName => "reference to a type, function, constructor, field, or \
-                            variable that is not declared",
+            UnknownName => {
+                "reference to a type, function, constructor, field, or \
+                            variable that is not declared"
+            }
             DuplicateDecl => "the same name is declared twice in one scope",
-            BadTypeArgs => "a parameterized type or constructor is instantiated with the \
+            BadTypeArgs => {
+                "a parameterized type or constructor is instantiated with the \
                             wrong number or kinds of arguments, or a key parameter \
-                            cannot be inferred",
-            TypeMismatch => "an expression's type does not match what its context \
-                             requires",
-            BadStateset => "a stateset declaration does not describe a partial order \
-                            (cycles, or states reused across statesets)",
+                            cannot be inferred"
+            }
+            TypeMismatch => {
+                "an expression's type does not match what its context \
+                             requires"
+            }
+            BadStateset => {
+                "a stateset declaration does not describe a partial order \
+                            (cycles, or states reused across statesets)"
+            }
             UnknownState => "a state token that belongs to no declared stateset",
-            BadEffect => "a malformed effect clause: a key no parameter binds, a key \
-                          mentioned twice, or an undetermined state variable",
-            KeyNotHeld => "a guarded or tracked value was accessed while its key is not \
+            BadEffect => {
+                "a malformed effect clause: a key no parameter binds, a key \
+                          mentioned twice, or an undetermined state variable"
+            }
+            KeyNotHeld => {
+                "a guarded or tracked value was accessed while its key is not \
                            in the held-key set — a dangling reference (paper Fig. 2 \
                            `dangling`); keys leave the set when resources are freed, \
-                           consumed by an effect, or packed into a value",
-            WrongKeyState => "the key is held but in the wrong local state for this \
+                           consumed by an effect, or packed into a value"
+            }
+            WrongKeyState => {
+                "the key is held but in the wrong local state for this \
                               operation — a protocol-order violation (e.g. `listen` on \
-                              a socket that is still `raw`, paper Fig. 3)",
-            DuplicateKey => "an operation would add a key that is already in the \
+                              a socket that is still `raw`, paper Fig. 3)"
+            }
+            DuplicateKey => {
+                "an operation would add a key that is already in the \
                              held-key set; keys are linear, so this is e.g. acquiring a \
-                             spin lock twice (paper §4.2)",
-            KeyLeak => "a key is still held at function exit but the effect clause does \
+                             spin lock twice (paper §4.2)"
+            }
+            KeyLeak => {
+                "a key is still held at function exit but the effect clause does \
                         not return it — a leaked resource (paper Fig. 2 `leaky`, or a \
-                        missing lock release)",
-            MissingKeyAtExit => "the effect clause promises a key at exit that is not \
-                                 held there",
-            JoinMismatch => "two control-flow paths reach this point with different \
+                        missing lock release)"
+            }
+            MissingKeyAtExit => {
+                "the effect clause promises a key at exit that is not \
+                                 held there"
+            }
+            JoinMismatch => {
+                "two control-flow paths reach this point with different \
                              held-key sets; make the correlation explicit with a keyed \
-                             variant (paper Fig. 5)",
-            LoopInvariant => "the held-key set changes from one loop iteration to the \
-                              next, so no loop invariant exists",
-            StateBound => "a bounded state constraint is violated, e.g. calling a \
+                             variant (paper Fig. 5)"
+            }
+            LoopInvariant => {
+                "the held-key set changes from one loop iteration to the \
+                              next, so no loop invariant exists"
+            }
+            StateBound => {
+                "a bounded state constraint is violated, e.g. calling a \
                            function that requires IRQL <= DISPATCH_LEVEL at DIRQL, or \
-                           touching paged memory at DISPATCH_LEVEL (paper §4.4)",
+                           touching paged memory at DISPATCH_LEVEL (paper §4.4)"
+            }
             Uninitialized => "a variable may be used before it is assigned",
-            FnTypeMismatch => "a function value does not conform to the required \
-                               function type (completion routines, paper §4.3)",
+            FnTypeMismatch => {
+                "a function value does not conform to the required \
+                               function type (completion routines, paper §4.3)"
+            }
             FreeUntracked => "`free` applied to a value that is not tracked by a key",
-            GlobalKeyMisuse => "a global key such as IRQL cannot be consumed, created, \
-                                or captured into values — only its state changes",
+            GlobalKeyMisuse => {
+                "a global key such as IRQL cannot be consumed, created, \
+                                or captured into values — only its state changes"
+            }
             TrackedCopy => "copying this value would duplicate its key",
-            NonExhaustiveSwitch => "a switch over a keyed variant must cover every \
+            NonExhaustiveSwitch => {
+                "a switch over a keyed variant must cover every \
                                     constructor; uncovered paths would lose the \
-                                    captured keys",
+                                    captured keys"
+            }
             CodegenUnsupported => "the C back end cannot translate this construct",
         }
     }
@@ -236,13 +268,30 @@ pub enum Severity {
     Error,
 }
 
+impl Severity {
+    /// The stable lowercase string form used on wire protocols.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parse the stable string form back to a severity.
+    pub fn from_str_severity(s: &str) -> Option<Severity> {
+        Some(match s {
+            "note" => Severity::Note,
+            "warning" => Severity::Warning,
+            "error" => Severity::Error,
+            _ => return None,
+        })
+    }
+}
+
 impl fmt::Display for Severity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Severity::Note => f.write_str("note"),
-            Severity::Warning => f.write_str("warning"),
-            Severity::Error => f.write_str("error"),
-        }
+        f.write_str(self.as_str())
     }
 }
 
@@ -304,22 +353,100 @@ impl Diagnostic {
         use std::fmt::Write as _;
         let mut out = String::new();
         let lc = sm.line_col(self.span.start);
-        let _ = writeln!(
-            out,
-            "{}[{}]: {}",
-            self.severity, self.code, self.message
-        );
+        let _ = writeln!(out, "{}[{}]: {}", self.severity, self.code, self.message);
         let _ = writeln!(out, "  --> {}:{}", sm.name(), lc);
         let line = sm.line_text(self.span.start);
         let _ = writeln!(out, "   | {line}");
         let caret_start = (lc.col as usize).saturating_sub(1);
-        let caret_len = (self.span.len() as usize).max(1).min(line.len().saturating_sub(caret_start).max(1));
-        let _ = writeln!(out, "   | {}{}", " ".repeat(caret_start), "^".repeat(caret_len));
+        let caret_len = (self.span.len() as usize)
+            .max(1)
+            .min(line.len().saturating_sub(caret_start).max(1));
+        let _ = writeln!(
+            out,
+            "   | {}{}",
+            " ".repeat(caret_start),
+            "^".repeat(caret_len)
+        );
         for label in &self.labels {
             let llc = sm.line_col(label.span.start);
-            let _ = writeln!(out, "   = note: {} (at {}:{})", label.message, sm.name(), llc);
+            let _ = writeln!(
+                out,
+                "   = note: {} (at {}:{})",
+                label.message,
+                sm.name(),
+                llc
+            );
         }
         out
+    }
+}
+
+/// A secondary label resolved to plain data (see [`DiagView`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LabelView {
+    /// What the related source has to do with the primary message.
+    pub message: String,
+    /// 1-based line of the related source.
+    pub line: u32,
+    /// 1-based column of the related source.
+    pub col: u32,
+}
+
+/// A flattened, serialization-ready view of one [`Diagnostic`].
+///
+/// Every field is plain data (strings and integers) resolved against the
+/// unit's [`SourceMap`], so wire protocols and machine-readable output
+/// formats can emit diagnostics without re-implementing span resolution
+/// or rendering. This is what `vaultd` ships to clients as structured
+/// JSON.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiagView {
+    /// Stable code string, e.g. `"V301"`.
+    pub code: String,
+    /// Stable severity string: `"error"`, `"warning"`, or `"note"`.
+    pub severity: String,
+    /// The primary human-readable message.
+    pub message: String,
+    /// Primary span start, as a byte offset.
+    pub start: u32,
+    /// Primary span end (exclusive), as a byte offset.
+    pub end: u32,
+    /// 1-based line of the primary span.
+    pub line: u32,
+    /// 1-based column of the primary span.
+    pub col: u32,
+    /// Secondary labels, resolved to line/column.
+    pub labels: Vec<LabelView>,
+    /// The full rustc-style rendering against the source.
+    pub rendered: String,
+}
+
+impl DiagView {
+    /// Resolve `d` against `sm` into plain data.
+    pub fn new(d: &Diagnostic, sm: &SourceMap) -> Self {
+        let lc = sm.line_col(d.span.start);
+        DiagView {
+            code: d.code.as_str().to_string(),
+            severity: d.severity.as_str().to_string(),
+            message: d.message.clone(),
+            start: d.span.start,
+            end: d.span.end,
+            line: lc.line,
+            col: lc.col,
+            labels: d
+                .labels
+                .iter()
+                .map(|l| {
+                    let llc = sm.line_col(l.span.start);
+                    LabelView {
+                        message: l.message.clone(),
+                        line: llc.line,
+                        col: llc.col,
+                    }
+                })
+                .collect(),
+            rendered: d.render(sm),
+        }
     }
 }
 

@@ -440,8 +440,8 @@ mod tests {
         assert_eq!(
             kinds("== != <= >= && || ++ -- -> + - * / % ! = < >"),
             vec![
-                EqEq, NotEq, Le, Ge, AndAnd, OrOr, PlusPlus, MinusMinus, Arrow, Plus, Minus,
-                Star, Slash, Percent, Bang, Eq, Lt, Gt, Eof
+                EqEq, NotEq, Le, Ge, AndAnd, OrOr, PlusPlus, MinusMinus, Arrow, Plus, Minus, Star,
+                Slash, Percent, Bang, Eq, Lt, Gt, Eof
             ]
         );
     }
@@ -449,10 +449,7 @@ mod tests {
     #[test]
     fn numbers_including_hex() {
         use TokenKind::*;
-        assert_eq!(
-            kinds("0 42 0x1F"),
-            vec![Int(0), Int(42), Int(31), Eof]
-        );
+        assert_eq!(kinds("0 42 0x1F"), vec![Int(0), Int(42), Int(31), Eof]);
     }
 
     #[test]
@@ -467,10 +464,7 @@ mod tests {
     #[test]
     fn underscore_wildcard_vs_ident() {
         use TokenKind::*;
-        assert_eq!(
-            kinds("_ _tmp"),
-            vec![Underscore, Ident("_tmp".into()), Eof]
-        );
+        assert_eq!(kinds("_ _tmp"), vec![Underscore, Ident("_tmp".into()), Eof]);
     }
 
     #[test]

@@ -35,6 +35,6 @@ pub mod span;
 pub mod token;
 
 pub use ast::Program;
-pub use diag::{Code, DiagSink, Diagnostic, Severity};
+pub use diag::{Code, DiagSink, DiagView, Diagnostic, LabelView, Severity};
 pub use parser::{parse_expr, parse_program};
 pub use span::{SourceMap, Span};

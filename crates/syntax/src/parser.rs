@@ -105,7 +105,10 @@ impl<'d> Parser<'d> {
             let t = self.bump();
             Some(Ident::new(name, t.span))
         } else {
-            self.error_here(format!("expected identifier, found {}", self.peek().describe()));
+            self.error_here(format!(
+                "expected identifier, found {}",
+                self.peek().describe()
+            ));
             None
         }
     }
@@ -1414,7 +1417,10 @@ impl<'d> Parser<'d> {
                 Some(e)
             }
             other => {
-                self.error_here(format!("expected an expression, found {}", other.describe()));
+                self.error_here(format!(
+                    "expected an expression, found {}",
+                    other.describe()
+                ));
                 None
             }
         }
@@ -1482,9 +1488,11 @@ mod tests {
         assert_eq!(body.stmts.len(), 4);
         assert!(matches!(&body.stmts[0].kind, StmtKind::Local { ty, .. }
             if matches!(&ty.kind, TypeKind::Tracked { key: Some(k), .. } if k.name == "R")));
-        assert!(matches!(&body.stmts[1].kind, StmtKind::Local { ty, init: Some(init), .. }
+        assert!(
+            matches!(&body.stmts[1].kind, StmtKind::Local { ty, init: Some(init), .. }
             if matches!(&ty.kind, TypeKind::Guarded { .. })
-            && matches!(&init.kind, ExprKind::New { region: Some(_), .. })));
+            && matches!(&init.kind, ExprKind::New { region: Some(_), .. }))
+        );
         assert!(matches!(&body.stmts[2].kind, StmtKind::Incr(_)));
     }
 
@@ -1502,21 +1510,15 @@ mod tests {
 
     #[test]
     fn parses_status_variant_with_states() {
-        let p = parse_ok(
-            "variant status<key K> [ 'Ok {K@named} | 'Error(error_code){K@raw} ];",
-        );
+        let p = parse_ok("variant status<key K> [ 'Ok {K@named} | 'Error(error_code){K@raw} ];");
         let Decl::Variant(v) = &p.decls[0] else {
             panic!("expected variant");
         };
         let ok = &v.ctors[0];
-        assert!(
-            matches!(&ok.captures[0].state, Some(StateRef::Name(s)) if s.name == "named")
-        );
+        assert!(matches!(&ok.captures[0].state, Some(StateRef::Name(s)) if s.name == "named"));
         let err = &v.ctors[1];
         assert_eq!(err.args.len(), 1);
-        assert!(
-            matches!(&err.captures[0].state, Some(StateRef::Name(s)) if s.name == "raw")
-        );
+        assert!(matches!(&err.captures[0].state, Some(StateRef::Name(s)) if s.name == "raw"));
     }
 
     #[test]
@@ -1555,7 +1557,10 @@ mod tests {
             panic!("expected key decl");
         };
         assert_eq!(k.name.name, "IRQL");
-        assert_eq!(k.stateset.as_ref().map(|i| i.name.as_str()), Some("IRQ_LEVEL"));
+        assert_eq!(
+            k.stateset.as_ref().map(|i| i.name.as_str()),
+            Some("IRQ_LEVEL")
+        );
     }
 
     #[test]
@@ -1615,7 +1620,9 @@ mod tests {
         );
         let f = &p.functions()[0];
         let body = f.body.as_ref().unwrap();
-        assert!(matches!(&body.stmts[1].kind, StmtKind::NestedFun(nf) if nf.name.name == "RegainIrp"));
+        assert!(
+            matches!(&body.stmts[1].kind, StmtKind::NestedFun(nf) if nf.name.name == "RegainIrp")
+        );
     }
 
     #[test]

@@ -206,7 +206,11 @@ impl Printer {
             StmtKind::NestedFun(f) => self.fun(f),
             StmtKind::Expr(e) => self.line(&format!("{};", expr_to_string(e))),
             StmtKind::Assign { lhs, rhs } => {
-                self.line(&format!("{} = {};", expr_to_string(lhs), expr_to_string(rhs)));
+                self.line(&format!(
+                    "{} = {};",
+                    expr_to_string(lhs),
+                    expr_to_string(rhs)
+                ));
             }
             StmtKind::Incr(e) => self.line(&format!("{}++;", expr_to_string(e))),
             StmtKind::Decr(e) => self.line(&format!("{}--;", expr_to_string(e))),
@@ -327,8 +331,7 @@ impl Printer {
                 self.ty(inner);
             }
             TypeKind::Guarded { guards, inner } => {
-                if guards.len() == 1 && !matches!(guards[0].state, Some(StateRef::Bounded { .. }))
-                {
+                if guards.len() == 1 && !matches!(guards[0].state, Some(StateRef::Bounded { .. })) {
                     self.push(&key_state_ref(&guards[0]));
                 } else {
                     self.push("(");
@@ -551,7 +554,11 @@ mod tests {
     fn round_trip(src: &str) {
         let mut d1 = DiagSink::new();
         let p1 = parse_program(src, &mut d1);
-        assert!(!d1.has_errors(), "first parse failed: {:?}", d1.diagnostics());
+        assert!(
+            !d1.has_errors(),
+            "first parse failed: {:?}",
+            d1.diagnostics()
+        );
         let printed = program_to_string(&p1);
         let mut d2 = DiagSink::new();
         let p2 = parse_program(&printed, &mut d2);

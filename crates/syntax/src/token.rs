@@ -224,6 +224,9 @@ mod tests {
         assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
         assert_eq!(TokenKind::Arrow.describe(), "`->`");
         assert_eq!(TokenKind::Eof.describe(), "end of input");
-        assert_eq!(TokenKind::CtorIdent("Ok".into()).describe(), "constructor `'Ok`");
+        assert_eq!(
+            TokenKind::CtorIdent("Ok".into()).describe(),
+            "constructor `'Ok`"
+        );
     }
 }

@@ -2,6 +2,10 @@
 //! re-parsing it reaches a fixpoint, for randomly generated expressions,
 //! types, and effect clauses.
 
+// Requires the real `proptest` crate, unavailable in the offline build
+// environment; enable the `proptests` feature after vendoring it.
+#![cfg(feature = "proptests")]
+
 use proptest::prelude::*;
 use vault_syntax::{parse_expr, parse_program, pretty, DiagSink};
 
@@ -24,11 +28,22 @@ fn expr_src(depth: u32) -> BoxedStrategy<String> {
     ];
     leaf.prop_recursive(depth, 64, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just("+"), Just("-"), Just("*"), Just("/"),
-                Just("=="), Just("!="), Just("<"), Just("<="),
-                Just("&&"), Just("||"),
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just("+"),
+                    Just("-"),
+                    Just("*"),
+                    Just("/"),
+                    Just("=="),
+                    Just("!="),
+                    Just("<"),
+                    Just("<="),
+                    Just("&&"),
+                    Just("||"),
+                ]
+            )
                 .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
             (inner.clone(),).prop_map(|(a,)| format!("!({a})")),
             (ident(), proptest::collection::vec(inner.clone(), 0..3))

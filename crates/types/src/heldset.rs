@@ -161,10 +161,7 @@ mod tests {
     fn duplicate_insert_fails() {
         let mut h = HeldSet::new();
         h.insert(KeyId(1), StateVal::DEFAULT).unwrap();
-        assert_eq!(
-            h.insert(KeyId(1), S1),
-            Err(HeldErr::Duplicate(KeyId(1)))
-        );
+        assert_eq!(h.insert(KeyId(1), S1), Err(HeldErr::Duplicate(KeyId(1))));
         // Original state is preserved.
         assert_eq!(h.get(KeyId(1)), Some(StateVal::DEFAULT));
     }

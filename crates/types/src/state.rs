@@ -149,8 +149,7 @@ impl StateTable {
         for k in 0..n {
             for i in 0..n {
                 if reach[i][k] {
-                    let via: Vec<usize> =
-                        (0..n).filter(|&j| reach[k][j]).collect();
+                    let via: Vec<usize> = (0..n).filter(|&j| reach[k][j]).collect();
                     for j in via {
                         reach[i][j] = true;
                     }
@@ -210,10 +209,7 @@ impl StateTable {
         let info = &self.sets[set.0 as usize];
         let ia = info.members.iter().position(|&s| s == a).expect("member");
         let ib = info.members.iter().position(|&s| s == b).expect("member");
-        info.reach
-            .get(ia)
-            .map(|row| row[ib])
-            .unwrap_or(false)
+        info.reach.get(ia).map(|row| row[ib]).unwrap_or(false)
     }
 }
 
@@ -260,10 +256,7 @@ impl StateVal {
         match self {
             StateVal::Token(t) => table.state_name(*t).to_string(),
             StateVal::Abs { id, bound: None } => format!("?s{id}"),
-            StateVal::Abs {
-                id,
-                bound: Some(b),
-            } => format!("?s{id}<={}", table.state_name(*b)),
+            StateVal::Abs { id, bound: Some(b) } => format!("?s{id}<={}", table.state_name(*b)),
         }
     }
 }
@@ -362,10 +355,7 @@ mod tests {
         t.add_state(s1, "x").unwrap();
         t.finish_stateset(s1).unwrap();
         let s2 = t.begin_stateset("B");
-        assert_eq!(
-            t.add_state(s2, "x"),
-            Err(StatesetError::Reused("x".into()))
-        );
+        assert_eq!(t.add_state(s2, "x"), Err(StatesetError::Reused("x".into())));
     }
 
     #[test]

@@ -152,8 +152,7 @@ impl Ty {
                 if args.is_empty() {
                     name.to_string()
                 } else {
-                    let args: Vec<String> =
-                        args.iter().map(|a| a.display(world)).collect();
+                    let args: Vec<String> = args.iter().map(|a| a.display(world)).collect();
                     format!("{name}<{}>", args.join(", "))
                 }
             }
@@ -167,15 +166,11 @@ impl Ty {
             }
             Ty::TrackedAnon(inner) => format!("tracked {}", inner.display(world)),
             Ty::Guarded { guards, inner } => {
-                let gs: Vec<String> = guards
-                    .iter()
-                    .map(|g| g.display(&world.states))
-                    .collect();
+                let gs: Vec<String> = guards.iter().map(|g| g.display(&world.states)).collect();
                 format!("{}:{}", gs.join(","), inner.display(world))
             }
             Ty::Fn(sig) => {
-                let params: Vec<String> =
-                    sig.params.iter().map(|p| p.display(world)).collect();
+                let params: Vec<String> = sig.params.iter().map(|p| p.display(world)).collect();
                 format!("{} fn({})", sig.ret.display(world), params.join(", "))
             }
         }
@@ -385,18 +380,13 @@ impl VariantDef {
     /// variable is itself tracked").
     pub fn is_keyed(&self) -> bool {
         self.ctors.iter().any(|c| {
-            !c.captures.is_empty()
-                || !c.exist_keys.is_empty()
-                || c.args.iter().any(ty_carries_keys)
+            !c.captures.is_empty() || !c.exist_keys.is_empty() || c.args.iter().any(ty_carries_keys)
         })
     }
 
     /// Find a constructor by name.
     pub fn ctor(&self, name: &str) -> Option<(usize, &CtorDef)> {
-        self.ctors
-            .iter()
-            .enumerate()
-            .find(|(_, c)| c.name == name)
+        self.ctors.iter().enumerate().find(|(_, c)| c.name == name)
     }
 }
 
@@ -700,10 +690,13 @@ mod tests {
         let w = sample_world();
         let point = w.type_id("point").unwrap();
         let t = Ty::Tuple(vec![
-            Ty::tracked(KeyRef::Id(KeyId(1)), Ty::Named {
-                id: point,
-                args: vec![],
-            }),
+            Ty::tracked(
+                KeyRef::Id(KeyId(1)),
+                Ty::Named {
+                    id: point,
+                    args: vec![],
+                },
+            ),
             Ty::guarded(
                 vec![GuardAtom {
                     key: KeyRef::Id(KeyId(2)),

@@ -149,16 +149,7 @@ pub fn unify(decl: &Ty, actual: &Ty, binds: &mut Bindings, world: &World) -> Res
             }
             Ok(())
         }
-        (
-            Ty::Tracked {
-                key: dk,
-                inner: di,
-            },
-            Ty::Tracked {
-                key: ak,
-                inner: ai,
-            },
-        ) => {
+        (Ty::Tracked { key: dk, inner: di }, Ty::Tracked { key: ak, inner: ai }) => {
             unify_key(dk, ak, binds, world, actual)?;
             unify(di, ai, binds, world)
         }
@@ -181,10 +172,9 @@ pub fn unify(decl: &Ty, actual: &Ty, binds: &mut Bindings, world: &World) -> Res
             }
             unify(di, ai, binds, world)
         }
-        (
-            Ty::Named { id: did, args: da },
-            Ty::Named { id: aid, args: aa },
-        ) if did == aid && da.len() == aa.len() => {
+        (Ty::Named { id: did, args: da }, Ty::Named { id: aid, args: aa })
+            if did == aid && da.len() == aa.len() =>
+        {
             for (d, a) in da.iter().zip(aa) {
                 unify_arg(d, a, binds, world, decl, actual)?;
             }
@@ -382,10 +372,7 @@ fn alpha_eq(d: &Ty, a: &Ty, alpha: &mut Alpha<'_>, world: &World) -> Result<(), 
             }
             Ok(())
         }
-        (
-            Ty::Tracked { key: dk, inner: di },
-            Ty::Tracked { key: ak, inner: ai },
-        ) => {
+        (Ty::Tracked { key: dk, inner: di }, Ty::Tracked { key: ak, inner: ai }) => {
             if !alpha.key(dk, ak) {
                 return fail();
             }
@@ -393,8 +380,14 @@ fn alpha_eq(d: &Ty, a: &Ty, alpha: &mut Alpha<'_>, world: &World) -> Result<(), 
         }
         (Ty::TrackedAnon(x), Ty::TrackedAnon(y)) => alpha_eq(x, y, alpha, world),
         (
-            Ty::Guarded { guards: dg, inner: di },
-            Ty::Guarded { guards: ag, inner: ai },
+            Ty::Guarded {
+                guards: dg,
+                inner: di,
+            },
+            Ty::Guarded {
+                guards: ag,
+                inner: ai,
+            },
         ) if dg.len() == ag.len() => {
             for (x, y) in dg.iter().zip(ag) {
                 if !alpha.key(&x.key, &y.key) {
@@ -403,10 +396,9 @@ fn alpha_eq(d: &Ty, a: &Ty, alpha: &mut Alpha<'_>, world: &World) -> Result<(), 
             }
             alpha_eq(di, ai, alpha, world)
         }
-        (
-            Ty::Named { id: di, args: da },
-            Ty::Named { id: ai, args: aa },
-        ) if di == ai && da.len() == aa.len() => {
+        (Ty::Named { id: di, args: da }, Ty::Named { id: ai, args: aa })
+            if di == ai && da.len() == aa.len() =>
+        {
             for (x, y) in da.iter().zip(aa) {
                 match (x, y) {
                     (Arg::Ty(x), Arg::Ty(y)) => alpha_eq(x, y, alpha, world)?,
@@ -566,14 +558,19 @@ pub fn ty_eq_mod_keys(
                     .zip(ys)
                     .all(|(x, y)| ty_eq_mod_keys(x, y, map, rev))
         }
-        (
-            Ty::Tracked { key: ka, inner: ia },
-            Ty::Tracked { key: kb, inner: ib },
-        ) => key_eq(ka, kb, map, rev) && ty_eq_mod_keys(ia, ib, map, rev),
+        (Ty::Tracked { key: ka, inner: ia }, Ty::Tracked { key: kb, inner: ib }) => {
+            key_eq(ka, kb, map, rev) && ty_eq_mod_keys(ia, ib, map, rev)
+        }
         (Ty::TrackedAnon(x), Ty::TrackedAnon(y)) => ty_eq_mod_keys(x, y, map, rev),
         (
-            Ty::Guarded { guards: ga, inner: ia },
-            Ty::Guarded { guards: gb, inner: ib },
+            Ty::Guarded {
+                guards: ga,
+                inner: ia,
+            },
+            Ty::Guarded {
+                guards: gb,
+                inner: ib,
+            },
         ) => {
             ga.len() == gb.len()
                 && ga
@@ -582,10 +579,7 @@ pub fn ty_eq_mod_keys(
                     .all(|(x, y)| key_eq(&x.key, &y.key, map, rev) && x.req == y.req)
                 && ty_eq_mod_keys(ia, ib, map, rev)
         }
-        (
-            Ty::Named { id: ia, args: aa },
-            Ty::Named { id: ib, args: ab },
-        ) => {
+        (Ty::Named { id: ia, args: aa }, Ty::Named { id: ib, args: ab }) => {
             ia == ib
                 && aa.len() == ab.len()
                 && aa.iter().zip(ab).all(|(x, y)| match (x, y) {

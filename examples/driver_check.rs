@@ -47,7 +47,9 @@ fn main() {
     // Checker effort on the driver (paper: a single compilation unit).
     println!(
         "\nchecker effort: {} statements, {} calls, {} joins, {} keys",
-        result.stats.statements, result.stats.calls, result.stats.joins,
+        result.stats.statements,
+        result.stats.calls,
+        result.stats.joins,
         result.stats.keys_allocated
     );
 }

@@ -54,7 +54,8 @@ fn main() {
     let type_stage = heap.create();
     let typed = {
         let t = heap.get(tree).unwrap().clone();
-        heap.alloc(type_stage, format!("Typed({t}) : void")).unwrap()
+        heap.alloc(type_stage, format!("Typed({t}) : void"))
+            .unwrap()
     };
     heap.delete(parse_stage).unwrap();
     println!("  parser region freed after type checking");
@@ -72,5 +73,8 @@ fn main() {
     println!("  early-freed stage read back → UseAfterDelete (as the checker predicted)");
 
     assert_eq!(heap.leaked(), 0);
-    println!("\n  no regions leaked; {} allocations total", heap.stats().allocations);
+    println!(
+        "\n  no regions leaked; {} allocations total",
+        heap.stats().allocations
+    );
 }

@@ -21,7 +21,10 @@
 //!   driver of the §4 case study;
 //! * [`corpus`] — every program from the paper, the kernel interface in
 //!   Vault, the floppy driver, seeded-bug mutants, and a synthetic
-//!   program generator.
+//!   program generator;
+//! * [`server`] — `vaultd`, the persistent parallel checking service:
+//!   a JSON-lines wire protocol over Unix sockets or stdio, a worker
+//!   thread pool, and a content-hash LRU verdict cache.
 //!
 //! ## Quickstart
 //!
@@ -41,10 +44,11 @@
 //! assert_eq!(result.verdict(), Verdict::Rejected); // V304: key leak
 //! ```
 
+pub use vault_core as core;
 pub use vault_corpus as corpus;
 pub use vault_eval as eval;
-pub use vault_core as core;
 pub use vault_kernel as kernel;
 pub use vault_runtime as runtime;
+pub use vault_server as server;
 pub use vault_syntax as syntax;
 pub use vault_types as types;

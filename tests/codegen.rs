@@ -101,11 +101,7 @@ fn generated_c_passes_cc_syntax_check() {
     }
     let dir = std::env::temp_dir().join(format!("vault_cc_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
-    std::fs::write(
-        dir.join("vault_rt.h"),
-        vault::core::codegen::RUNTIME_HEADER,
-    )
-    .unwrap();
+    std::fs::write(dir.join("vault_rt.h"), vault::core::codegen::RUNTIME_HEADER).unwrap();
     let mut checked = 0;
     for p in all_programs() {
         if p.expect != Expectation::Accept {

@@ -187,7 +187,11 @@ fn e12_detection_matrix_static_matches_dynamic() {
         // Static half.
         let program = corpus.iter().find(|p| p.id == id).expect("mutant exists");
         let sres = check_source(id, &program.source);
-        assert_eq!(sres.verdict(), Verdict::Rejected, "{id} accepted statically");
+        assert_eq!(
+            sres.verdict(),
+            Verdict::Rejected,
+            "{id} accepted statically"
+        );
         let static_kinds = static_category(&sres.error_codes());
 
         // Dynamic half.
@@ -212,10 +216,7 @@ fn e12_detection_matrix_static_matches_dynamic() {
 fn clean_driver_agrees_everywhere() {
     // Statically accepted...
     let driver = vault::corpus::floppy::driver_source();
-    assert_eq!(
-        check_source("floppy", &driver).verdict(),
-        Verdict::Accepted
-    );
+    assert_eq!(check_source("floppy", &driver).verdict(), Verdict::Accepted);
     // ...and dynamically clean across several seeds.
     for seed in [10u64, 20, 30] {
         let r = run_floppy_workload(&WorkloadConfig {

