@@ -1,0 +1,174 @@
+//! Throughput under fault injection (ISSUE 2).
+//!
+//! Replays the corpus + synthetic workload through the checking service
+//! twice — chaos disarmed, then armed (5% injected panics, 5% injected
+//! 1 ms delays) — and records both throughputs plus the fault counters
+//! to `BENCH_chaos.json` (pass a path argument to override). The gap
+//! between the two numbers is the price of containment: how much
+//! throughput a daemon keeps while absorbing a steady fault rate.
+//!
+//! ```text
+//! cargo run --release -p vault-bench --features chaos --bin chaos_bench [out.json]
+//! ```
+
+use std::time::{Duration, Instant};
+use vault_corpus::synth::{generate, Shape, SynthConfig};
+use vault_server::chaos::{self, ChaosConfig};
+use vault_server::{CheckService, Json, ServiceConfig, UnitIn};
+
+fn workload() -> Vec<UnitIn> {
+    let mut units: Vec<UnitIn> = vault_corpus::all_programs()
+        .into_iter()
+        .map(|p| UnitIn {
+            name: p.id.to_string(),
+            source: p.source,
+        })
+        .collect();
+    let shapes = [Shape::Mixed, Shape::Straight, Shape::Branchy, Shape::Loopy];
+    for (i, shape) in shapes.iter().cycle().take(16).enumerate() {
+        let program = generate(&SynthConfig {
+            functions: 16,
+            stmts_per_fn: 12,
+            seed: 0xC405 + i as u64,
+            bug_rate: if i % 3 == 0 { 0.2 } else { 0.0 },
+            shape: *shape,
+        });
+        units.push(UnitIn {
+            name: format!("synth_{i}_{shape:?}.vlt"),
+            source: program.source,
+        });
+    }
+    units
+}
+
+/// Best-of-`runs` cold wall time plus the per-run fault tallies of the
+/// final run (fresh service each run, so counters are per-run).
+fn cold_batch(units: &[UnitIn], jobs: usize, runs: usize) -> (f64, u64, u64) {
+    let mut best = f64::INFINITY;
+    let mut panics = 0;
+    let mut internal_errors = 0;
+    for _ in 0..runs {
+        let svc = CheckService::new(ServiceConfig {
+            jobs,
+            cache_capacity: units.len() * 2,
+            ..Default::default()
+        });
+        let start = Instant::now();
+        let (reports, _) = svc.check_units(units.to_vec());
+        best = best.min(start.elapsed().as_secs_f64());
+        assert_eq!(reports.len(), units.len());
+        internal_errors = reports
+            .iter()
+            .filter(|r| r.summary.verdict == vault_core::Verdict::InternalError)
+            .count() as u64;
+        panics = svc.status().panics_caught;
+    }
+    (best, panics, internal_errors)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_chaos.json".to_string());
+    let units = workload();
+    let jobs = 4usize;
+    let runs = 3usize;
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "workload: {} units; jobs={jobs}; host parallelism: {cpus}",
+        units.len()
+    );
+
+    chaos::disarm();
+    let (off_secs, off_panics, off_errors) = cold_batch(&units, jobs, runs);
+    let off_ups = units.len() as f64 / off_secs;
+    assert_eq!(off_panics, 0, "panics without chaos armed");
+    assert_eq!(off_errors, 0, "internal errors without chaos armed");
+    println!("chaos off: {off_secs:.4} s  ({off_ups:.0} units/s)");
+
+    let cfg = ChaosConfig {
+        seed: 0xBE9C_C405,
+        panic_prob: 0.05,
+        delay_prob: 0.05,
+        delay: Duration::from_millis(1),
+        short_write_chunk: None, // no wire in this bench; service only
+    };
+    chaos::arm(cfg);
+    let (on_secs, on_panics, on_errors) = cold_batch(&units, jobs, runs);
+    chaos::disarm();
+    let on_ups = units.len() as f64 / on_secs;
+    println!(
+        "chaos on:  {on_secs:.4} s  ({on_ups:.0} units/s); last run: {on_panics} panic(s) caught, {on_errors} internal-error verdict(s)"
+    );
+    assert!(on_panics > 0, "chaos armed but no panics injected");
+    println!(
+        "containment overhead: {:.1}% throughput",
+        (1.0 - on_ups / off_ups) * 100.0
+    );
+
+    let json = Json::Obj(vec![
+        (
+            "bench".to_string(),
+            Json::str("vaultd throughput under fault injection (ISSUE 2)"),
+        ),
+        (
+            "command".to_string(),
+            Json::str("cargo run --release -p vault-bench --features chaos --bin chaos_bench"),
+        ),
+        ("available_parallelism".to_string(), Json::num(cpus as u64)),
+        ("workload_units".to_string(), Json::num(units.len() as u64)),
+        ("jobs".to_string(), Json::num(jobs as u64)),
+        ("runs_per_point".to_string(), Json::num(runs as u64)),
+        (
+            "chaos_config".to_string(),
+            Json::Obj(vec![
+                ("panic_prob".to_string(), Json::Num(cfg.panic_prob)),
+                ("delay_prob".to_string(), Json::Num(cfg.delay_prob)),
+                (
+                    "delay_millis".to_string(),
+                    Json::num(cfg.delay.as_millis() as u64),
+                ),
+                ("seed".to_string(), Json::num(cfg.seed)),
+            ]),
+        ),
+        (
+            "chaos_off".to_string(),
+            Json::Obj(vec![
+                ("wall_secs".to_string(), Json::Num(off_secs)),
+                ("units_per_sec".to_string(), Json::Num(off_ups.round())),
+            ]),
+        ),
+        (
+            "chaos_on".to_string(),
+            Json::Obj(vec![
+                ("wall_secs".to_string(), Json::Num(on_secs)),
+                ("units_per_sec".to_string(), Json::Num(on_ups.round())),
+                ("panics_caught_last_run".to_string(), Json::num(on_panics)),
+                (
+                    "internal_error_verdicts_last_run".to_string(),
+                    Json::num(on_errors),
+                ),
+            ]),
+        ),
+        (
+            "throughput_kept".to_string(),
+            Json::Num((on_ups / off_ups * 1000.0).round() / 1000.0),
+        ),
+    ]);
+    let mut text = String::from("{\n");
+    if let Json::Obj(pairs) = &json {
+        for (i, (k, v)) in pairs.iter().enumerate() {
+            text.push_str(&format!(
+                "  {}: {}{}\n",
+                Json::str(k).to_line(),
+                v.to_line(),
+                if i + 1 < pairs.len() { "," } else { "" }
+            ));
+        }
+    }
+    text.push_str("}\n");
+    std::fs::write(&out_path, &text).expect("write bench json");
+    println!("wrote {out_path}");
+}

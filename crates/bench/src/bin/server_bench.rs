@@ -59,6 +59,7 @@ fn cold_batch_secs(units: &[UnitIn], jobs: usize, runs: usize) -> f64 {
         let svc = CheckService::new(ServiceConfig {
             jobs,
             cache_capacity: units.len() * 2,
+            ..Default::default()
         });
         let start = Instant::now();
         let (reports, _) = svc.check_units(units.to_vec());
@@ -105,6 +106,7 @@ fn main() {
     let svc = CheckService::new(ServiceConfig {
         jobs: 1,
         cache_capacity: units.len() * 2,
+        ..Default::default()
     });
     let mut cold_us: Vec<f64> = Vec::new();
     let mut warm_us: Vec<f64> = Vec::new();

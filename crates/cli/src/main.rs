@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! vaultc check [--jobs N] <file.vlt>...   check protocols, print diagnostics
+//! vaultc check --socket PATH <file.vlt>...check on a running vaultd (retries)
 //! vaultc emit-c <file.vlt>                check, then print the generated C
 //! vaultc dump-cfg <file.vlt>              print each function's CFG as dot
 //! vaultc stats <file.vlt>                 checker-effort statistics per unit
@@ -11,6 +12,12 @@
 //! vaultc serve [--socket PATH]            run the vaultd checking service
 //! ```
 //!
+//! `serve` accepts resource bounds: `--max-request-bytes N` caps request
+//! lines, `--timeout-ms N` gives each unit a checking deadline, and
+//! `--fuel N` caps loop-invariant fixpoint iterations. `check --socket`
+//! retries transient connection failures with jittered exponential
+//! backoff (`--retries N` to tune, default 5).
+//!
 //! Exit code 0 when every input is accepted, 1 on protocol violations,
 //! 2 on usage errors or unreadable inputs. `check` with multiple files
 //! reports unreadable files and keeps going; if any file was unreadable
@@ -19,7 +26,7 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 use vault_core::{check_source, CheckSummary, Verdict};
-use vault_server::{CheckService, ServiceConfig, UnitIn, UnixServer};
+use vault_server::{CheckService, Client, Json, RetryPolicy, ServiceConfig, UnitIn, UnixServer};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,11 +48,13 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  vaultc check [--jobs N] <file.vlt>...\n  vaultc emit-c <file.vlt>\n  \
+        "usage:\n  vaultc check [--jobs N] [--socket PATH [--retries N]] <file.vlt>...\n  \
+         vaultc emit-c <file.vlt>\n  \
          vaultc dump-cfg <file.vlt>\n  vaultc stats <file.vlt>\n  \
          vaultc run <file.vlt> <entry>\n  \
          vaultc explain <Vnnn>\n  vaultc corpus [E1..E13|X1..X5]\n  \
-         vaultc serve [--socket PATH] [--jobs N] [--cache N]"
+         vaultc serve [--socket PATH] [--jobs N] [--cache N]\n               \
+         [--max-request-bytes N] [--timeout-ms N] [--fuel N]"
     );
     ExitCode::from(2)
 }
@@ -57,15 +66,26 @@ fn read(path: &str) -> Result<String, ExitCode> {
     })
 }
 
-/// Parse `check` arguments: `--jobs N` / `-j N` anywhere among the paths.
-fn parse_check_args(rest: &[String]) -> Option<(usize, Vec<String>)> {
+/// Parse `check` arguments: `--jobs N` / `-j N`, `--socket PATH`, and
+/// `--retries N` anywhere among the paths.
+fn parse_check_args(rest: &[String]) -> Option<(usize, Option<(String, u32)>, Vec<String>)> {
     let mut jobs = 1usize;
+    let mut socket: Option<String> = None;
+    let mut retries = 5u32;
     let mut paths = Vec::new();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--jobs" | "-j" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => jobs = n,
+                _ => return None,
+            },
+            "--socket" => match it.next() {
+                Some(path) => socket = Some(path.clone()),
+                None => return None,
+            },
+            "--retries" => match it.next().and_then(|n| n.parse::<u32>().ok()) {
+                Some(n) if n >= 1 => retries = n,
                 _ => return None,
             },
             flag if flag.starts_with('-') => return None,
@@ -75,11 +95,11 @@ fn parse_check_args(rest: &[String]) -> Option<(usize, Vec<String>)> {
     if paths.is_empty() {
         return None;
     }
-    Some((jobs, paths))
+    Some((jobs, socket.map(|s| (s, retries)), paths))
 }
 
 fn check_cmd(rest: &[String]) -> ExitCode {
-    let Some((jobs, paths)) = parse_check_args(rest) else {
+    let Some((jobs, remote, paths)) = parse_check_args(rest) else {
         return usage();
     };
 
@@ -98,6 +118,13 @@ fn check_cmd(rest: &[String]) -> ExitCode {
         }
     }
 
+    // With --socket, ship the batch to a running daemon instead of
+    // checking locally; transient connection failures are retried with
+    // jittered backoff.
+    if let Some((socket, retries)) = remote {
+        return check_remote(&socket, retries, units, any_unreadable);
+    }
+
     // jobs = 1 checks inline; jobs > 1 fans out across a worker pool.
     // Both paths produce the same summaries in input order, so output
     // is byte-identical regardless of parallelism.
@@ -110,6 +137,7 @@ fn check_cmd(rest: &[String]) -> ExitCode {
         let svc = CheckService::new(ServiceConfig {
             jobs,
             cache_capacity: units.len().max(1),
+            ..Default::default()
         });
         let (reports, _) = svc.check_units(units);
         reports.into_iter().map(|r| (*r.summary).clone()).collect()
@@ -126,6 +154,74 @@ fn check_cmd(rest: &[String]) -> ExitCode {
                     summary.name,
                     summary.error_codes().len()
                 );
+                any_rejected = true;
+            }
+            // Not a protocol violation, but not a clean bill of health
+            // either: the unit exhausted a resource bound or tripped an
+            // internal fault, so fail closed.
+            Verdict::ResourceLimit | Verdict::InternalError => {
+                println!("{}: {}", summary.name, summary.verdict.as_str());
+                any_rejected = true;
+            }
+        }
+    }
+    if any_unreadable {
+        ExitCode::from(2)
+    } else if any_rejected {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Check a batch on a running daemon, printing per-unit verdicts in the
+/// same shape as the local path.
+fn check_remote(socket: &str, retries: u32, units: Vec<UnitIn>, any_unreadable: bool) -> ExitCode {
+    let mut client = Client::with_policy(
+        socket,
+        RetryPolicy {
+            attempts: retries,
+            ..Default::default()
+        },
+    );
+    let response = match client.check(&units) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("vaultc: daemon at `{socket}` unreachable after {retries} attempt(s): {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if response.get("ok").and_then(Json::as_bool) != Some(true) {
+        let msg = response
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("malformed response");
+        eprintln!("vaultc: daemon refused the batch: {msg}");
+        return ExitCode::from(2);
+    }
+    let mut any_rejected = false;
+    for u in response.get("units").and_then(Json::as_arr).unwrap_or(&[]) {
+        let name = u.get("name").and_then(Json::as_str).unwrap_or("<unit>");
+        let verdict = u.get("verdict").and_then(Json::as_str).unwrap_or("?");
+        if let Some(diags) = u.get("diagnostics").and_then(Json::as_arr) {
+            for d in diags {
+                if let Some(rendered) = d.get("rendered").and_then(Json::as_str) {
+                    print!("{rendered}");
+                }
+            }
+        }
+        match verdict {
+            "accepted" => println!("{name}: accepted"),
+            "rejected" => {
+                let errors = u
+                    .get("error_codes")
+                    .and_then(Json::as_arr)
+                    .map_or(0, <[Json]>::len);
+                println!("{name}: rejected ({errors} error(s))");
+                any_rejected = true;
+            }
+            other => {
+                println!("{name}: {other}");
                 any_rejected = true;
             }
         }
@@ -155,6 +251,20 @@ fn serve(rest: &[String]) -> ExitCode {
             },
             "--cache" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => config.cache_capacity = n,
+                _ => return usage(),
+            },
+            "--max-request-bytes" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => config.limits.max_request_bytes = n,
+                _ => return usage(),
+            },
+            "--timeout-ms" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => {
+                    config.limits.timeout = Some(std::time::Duration::from_millis(n))
+                }
+                _ => return usage(),
+            },
+            "--fuel" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => config.limits.fixpoint_iters = n,
                 _ => return usage(),
             },
             _ => return usage(),
@@ -199,9 +309,9 @@ fn emit_c(path: &str) -> ExitCode {
         Err(code) => return code,
     };
     let result = check_source(path, &src);
-    if result.verdict() == Verdict::Rejected {
+    if result.verdict() != Verdict::Accepted {
         eprint!("{}", result.render_diagnostics());
-        eprintln!("{path}: rejected; not emitting C");
+        eprintln!("{path}: {}; not emitting C", result.verdict());
         return ExitCode::from(1);
     }
     print!(
@@ -261,9 +371,12 @@ fn run_entry(path: &str, entry: &str) -> ExitCode {
         Err(code) => return code,
     };
     let result = check_source(path, &src);
-    if result.verdict() == Verdict::Rejected {
+    if result.verdict() != Verdict::Accepted {
         eprint!("{}", result.render_diagnostics());
-        eprintln!("{path}: rejected; refusing to run (pass a protocol-clean program)");
+        eprintln!(
+            "{path}: {}; refusing to run (pass a protocol-clean program)",
+            result.verdict()
+        );
         return ExitCode::from(1);
     }
     let mut machine =

@@ -53,7 +53,8 @@ impl CheckStats {
     }
 }
 
-const MAX_LOOP_ITERATIONS: usize = 32;
+/// Default fuel for the loop-invariant fixpoint (see [`crate::Limits`]).
+pub const DEFAULT_FIXPOINT_ITERS: usize = 32;
 
 /// What the effect clause promises at function exit.
 #[derive(Clone, Debug)]
@@ -73,6 +74,30 @@ pub fn check_function(
     f: &ast::FunDecl,
     diags: &mut DiagSink,
 ) -> CheckStats {
+    check_function_with_limits(
+        world,
+        aliases,
+        qualifiers,
+        base_keys,
+        f,
+        diags,
+        &crate::Limits::default(),
+    )
+}
+
+/// [`check_function`] under explicit resource bounds: the loop-invariant
+/// fixpoint burns `limits.fixpoint_iters` fuel per loop, and the
+/// deadline is polled every few statements — exceeding it abandons the
+/// rest of the function with a [`Code::LimitExceeded`] diagnostic.
+pub fn check_function_with_limits(
+    world: &World,
+    aliases: &BTreeMap<String, AliasEntry>,
+    qualifiers: &BTreeSet<String>,
+    base_keys: &KeyGen,
+    f: &ast::FunDecl,
+    diags: &mut DiagSink,
+    limits: &crate::Limits,
+) -> CheckStats {
     let mut checker = FnChecker {
         world,
         aliases,
@@ -88,6 +113,8 @@ pub fn check_function(
         fn_name: f.name.name.clone(),
         expected_exit: Vec::new(),
         stats: CheckStats::default(),
+        limits: *limits,
+        gave_up: false,
     };
     checker.run(f);
     checker.stats
@@ -113,6 +140,10 @@ struct FnChecker<'a, 'd> {
     fn_name: String,
     expected_exit: Vec<ExitExpect>,
     stats: CheckStats,
+    /// Resource bounds (fixpoint fuel and the cooperative deadline).
+    limits: crate::Limits,
+    /// Set once the deadline trips; every further statement is skipped.
+    gave_up: bool,
 }
 
 impl<'a, 'd> FnChecker<'a, 'd> {
@@ -514,6 +545,24 @@ impl<'a, 'd> FnChecker<'a, 'd> {
 
     fn check_stmt(&mut self, st: &mut FlowState, s: &Stmt) {
         self.stats.statements += 1;
+        // Cooperative deadline: poll every 64 statements (an `Instant`
+        // read is cheap but not free), then drain the rest of the
+        // function as unreachable so we unwind without more work.
+        if self.gave_up || (self.stats.statements & 63 == 0 && self.limits.deadline_exceeded()) {
+            if !self.gave_up {
+                self.gave_up = true;
+                self.diags.error(
+                    Code::LimitExceeded,
+                    s.span,
+                    format!(
+                        "deadline exceeded while checking `{}`; the rest of the unit was not checked",
+                        self.fn_name
+                    ),
+                );
+            }
+            st.reachable = false;
+            return;
+        }
         match &s.kind {
             StmtKind::Local { ty, name, init } => self.check_local(st, ty, name, init.as_ref()),
             StmtKind::NestedFun(f) => self.check_nested_fun(st, f),
@@ -842,6 +891,8 @@ impl<'a, 'd> FnChecker<'a, 'd> {
             fn_name: f.name.name.clone(),
             expected_exit: Vec::new(),
             stats: CheckStats::default(),
+            limits: self.limits,
+            gave_up: self.gave_up,
         };
         child.run(f);
         let child_stats = child.stats;
@@ -851,8 +902,26 @@ impl<'a, 'd> FnChecker<'a, 'd> {
 
     fn check_while(&mut self, st: &mut FlowState, cond: &Expr, body: &Stmt, span: Span) {
         let mut cur = st.clone();
-        for _ in 0..MAX_LOOP_ITERATIONS {
+        for _ in 0..self.limits.fixpoint_iters {
             self.stats.loop_iterations += 1;
+            // Abandoning the fixpoint without a diagnostic could accept
+            // a program whose invariant never converged, so report here
+            // rather than relying on the statement-level poll.
+            if self.gave_up || self.limits.deadline_exceeded() {
+                if !self.gave_up {
+                    self.gave_up = true;
+                    self.diags.error(
+                        Code::LimitExceeded,
+                        span,
+                        format!(
+                            "deadline exceeded while checking `{}`; the rest of the unit was not checked",
+                            self.fn_name
+                        ),
+                    );
+                }
+                *st = cur;
+                return;
+            }
             let mut iter = cur.clone();
             self.expect_bool(&mut iter, cond);
             let exit_state = iter.clone();
@@ -881,9 +950,12 @@ impl<'a, 'd> FnChecker<'a, 'd> {
             cur = joined;
         }
         self.diags.error(
-            Code::LoopInvariant,
+            Code::LimitExceeded,
             span,
-            "loop invariant for the held-key set did not converge; annotate the loop",
+            format!(
+                "loop invariant did not converge within {} iteration(s) of fixpoint fuel",
+                self.limits.fixpoint_iters
+            ),
         );
         *st = cur;
     }

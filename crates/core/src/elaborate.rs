@@ -173,7 +173,20 @@ pub fn elaborate(program: &ast::Program, diags: &mut DiagSink) -> Elaborated {
     for d in &decls {
         match d {
             ast::Decl::Struct(s) => {
-                let id = world.type_id(&s.name.name).expect("pre-registered");
+                // Pass 3 registers every struct name; if it is missing the
+                // declaration tables are inconsistent — reject rather than
+                // crash, since this can only follow earlier errors.
+                let Some(id) = world.type_id(&s.name.name) else {
+                    diags.error(
+                        Code::InternalError,
+                        s.name.span,
+                        format!(
+                            "struct `{}` was never registered; its fields are ignored",
+                            s.name
+                        ),
+                    );
+                    continue;
+                };
                 let params = world.typedef(id).params().to_vec();
                 let mut scope = param_scope(&params);
                 let ctx = LowerCtx {
@@ -207,7 +220,17 @@ pub fn elaborate(program: &ast::Program, diags: &mut DiagSink) -> Elaborated {
                 );
             }
             ast::Decl::Variant(v) => {
-                let id = world.type_id(&v.name.name).expect("pre-registered");
+                let Some(id) = world.type_id(&v.name.name) else {
+                    diags.error(
+                        Code::InternalError,
+                        v.name.span,
+                        format!(
+                            "variant `{}` was never registered; its constructors are ignored",
+                            v.name
+                        ),
+                    );
+                    continue;
+                };
                 let params = world.typedef(id).params().to_vec();
                 let param_names: BTreeSet<String> =
                     params.iter().map(|p| p.name().to_string()).collect();

@@ -50,7 +50,7 @@ pub mod flow;
 pub mod lower;
 
 use vault_syntax::diag::{Code, DiagSink, Diagnostic, Severity};
-use vault_syntax::{ast, parse_program, SourceMap};
+use vault_syntax::{ast, SourceMap};
 
 pub use check::CheckStats;
 pub use elaborate::{elaborate, Elaborated};
@@ -62,14 +62,65 @@ pub enum Verdict {
     Accepted,
     /// At least one error diagnostic.
     Rejected,
+    /// Checking gave up against a resource limit (parser depth, fixpoint
+    /// fuel, or deadline); the program is neither accepted nor rejected.
+    ResourceLimit,
+    /// The checker itself failed (a contained panic); the verdict says
+    /// nothing about the program.
+    InternalError,
+}
+
+impl Verdict {
+    /// The stable lowercase string form used on wire protocols.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Accepted => "accepted",
+            Verdict::Rejected => "rejected",
+            Verdict::ResourceLimit => "resource-limit",
+            Verdict::InternalError => "internal-error",
+        }
+    }
 }
 
 impl std::fmt::Display for Verdict {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Verdict::Accepted => f.write_str("accepted"),
-            Verdict::Rejected => f.write_str("rejected"),
+        f.write_str(self.as_str())
+    }
+}
+
+/// Resource bounds for checking one compilation unit.
+///
+/// Hostile or pathological input must yield a diagnostic, never a hang
+/// or a stack overflow: the parser bounds its recursion, the
+/// loop-invariant fixpoint bounds its iterations, and the whole
+/// pipeline polls an optional wall-clock deadline. Exceeding any bound
+/// reports [`vault_syntax::Code::LimitExceeded`] and turns the verdict
+/// into [`Verdict::ResourceLimit`].
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Maximum grammar recursion depth in the parser.
+    pub parser_depth: usize,
+    /// Maximum loop-invariant fixpoint iterations ("fuel") per loop.
+    pub fixpoint_iters: usize,
+    /// Absolute wall-clock deadline for the whole unit, if any.
+    pub deadline: Option<std::time::Instant>,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            parser_depth: vault_syntax::DEFAULT_PARSER_DEPTH,
+            fixpoint_iters: check::DEFAULT_FIXPOINT_ITERS,
+            deadline: None,
         }
+    }
+}
+
+impl Limits {
+    /// Whether the deadline (if any) has passed.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
     }
 }
 
@@ -90,7 +141,9 @@ pub struct CheckResult {
 impl CheckResult {
     /// Accepted or rejected?
     pub fn verdict(&self) -> Verdict {
-        if self
+        if self.has_code(Code::LimitExceeded) {
+            Verdict::ResourceLimit
+        } else if self
             .diagnostics
             .iter()
             .any(|d| d.severity == Severity::Error)
@@ -129,20 +182,43 @@ impl CheckResult {
 
 /// Parse, elaborate, and check a Vault compilation unit.
 pub fn check_source(name: &str, src: &str) -> CheckResult {
+    check_source_with_limits(name, src, &Limits::default())
+}
+
+/// [`check_source`] under explicit resource bounds.
+///
+/// Exceeding any bound stops checking with a
+/// [`vault_syntax::Code::LimitExceeded`] diagnostic; the verdict becomes
+/// [`Verdict::ResourceLimit`]. The deadline is polled cooperatively —
+/// between functions, every few statements, and on every fixpoint
+/// iteration — so overruns are bounded by the cost of one statement.
+pub fn check_source_with_limits(name: &str, src: &str, limits: &Limits) -> CheckResult {
     let source = SourceMap::new(name, src);
     let mut diags = DiagSink::new();
-    let program = parse_program(src, &mut diags);
+    let program = vault_syntax::parse_program_with_depth(src, &mut diags, limits.parser_depth);
     let elaborated = elaborate(&program, &mut diags);
     let mut stats = CheckStats::default();
     for f in &elaborated.bodies {
-        stats.absorb(check::check_function(
+        if limits.deadline_exceeded() {
+            diags.error(
+                Code::LimitExceeded,
+                f.name.span,
+                "deadline exceeded; this function and the rest of the unit were not checked",
+            );
+            break;
+        }
+        stats.absorb(check::check_function_with_limits(
             &elaborated.world,
             &elaborated.aliases,
             &elaborated.qualifiers,
             &elaborated.base_keys,
             f,
             &mut diags,
+            limits,
         ));
+        if diags.has_code(Code::LimitExceeded) {
+            break;
+        }
     }
     CheckResult {
         source,
@@ -193,6 +269,30 @@ impl CheckSummary {
         }
     }
 
+    /// Synthesize the summary for a unit whose check **panicked**: the
+    /// panic was caught and contained, and this is the structured verdict
+    /// the caller reports instead of dying. `payload` is the panic
+    /// message (as much of it as was a string).
+    pub fn internal_error(name: &str, payload: &str) -> Self {
+        let message = format!("internal error while checking `{name}`: {payload}");
+        CheckSummary {
+            name: name.to_string(),
+            verdict: Verdict::InternalError,
+            diagnostics: vec![vault_syntax::DiagView {
+                code: Code::InternalError.as_str().to_string(),
+                severity: Severity::Error.as_str().to_string(),
+                message: message.clone(),
+                start: 0,
+                end: 0,
+                line: 1,
+                col: 1,
+                labels: Vec::new(),
+                rendered: format!("error[{}]: {message}\n", Code::InternalError),
+            }],
+            stats: CheckStats::default(),
+        }
+    }
+
     /// All distinct error codes (stable string forms), first-occurrence order.
     pub fn error_codes(&self) -> Vec<String> {
         let mut seen: Vec<String> = Vec::new();
@@ -222,4 +322,9 @@ impl CheckSummary {
 /// and returns a [`CheckSummary`] that is `Send + Sync`.
 pub fn check_summary(name: &str, src: &str) -> CheckSummary {
     CheckSummary::of(name, &check_source(name, src))
+}
+
+/// [`check_summary`] under explicit resource bounds.
+pub fn check_summary_with_limits(name: &str, src: &str, limits: &Limits) -> CheckSummary {
+    CheckSummary::of(name, &check_source_with_limits(name, src, limits))
 }

@@ -1,0 +1,108 @@
+//! Resource-limit verdicts: pathological units must yield a structured
+//! `resource-limit` verdict (code V501), never a hang, a stack overflow,
+//! or a silent wrong answer.
+
+use std::time::{Duration, Instant};
+use vault_core::{check_source, check_source_with_limits, Limits, Verdict};
+use vault_syntax::Code;
+
+const GOOD: &str = "type FILE;
+tracked(F) FILE fopen(string p) [new F];
+void fclose(tracked(F) FILE f) [-F];
+void ok() {
+  tracked(F) FILE f = fopen(\"x\");
+  fclose(f);
+}";
+
+#[test]
+fn deep_expression_nesting_yields_resource_limit_not_stack_overflow() {
+    let source = format!("void f() {{ int x = {}1; }}", "!".repeat(4_000));
+    let result = check_source("deep.vlt", &source);
+    assert_eq!(result.verdict(), Verdict::ResourceLimit);
+    assert!(result.has_code(Code::LimitExceeded));
+}
+
+#[test]
+fn parser_depth_is_tunable() {
+    // 40 levels of nesting: fine at the default bound, over a bound of 8.
+    let source = format!(
+        "void f() {{ int x = {}1{}; }}",
+        "(".repeat(40),
+        ")".repeat(40)
+    );
+    assert_eq!(check_source("ok.vlt", &source).verdict(), Verdict::Accepted);
+    let tight = Limits {
+        parser_depth: 8,
+        ..Limits::default()
+    };
+    let result = check_source_with_limits("deep.vlt", &source, &tight);
+    assert_eq!(result.verdict(), Verdict::ResourceLimit);
+    assert!(result.has_code(Code::LimitExceeded));
+}
+
+#[test]
+fn exhausted_fixpoint_fuel_yields_resource_limit() {
+    let source = "stateset S = [ a < b ];
+key G @ S;
+void step() [G@a -> G@b] { }
+void f() [G@a -> G@a] {
+  while (1) {
+    step();
+  }
+}";
+    // With fuel the loop is rejected for a real protocol reason (the
+    // body moves G irreversibly), not for running out of iterations.
+    let with_fuel = check_source("loop.vlt", source);
+    assert_eq!(with_fuel.verdict(), Verdict::Rejected);
+    assert!(!with_fuel.has_code(Code::LimitExceeded));
+
+    // With zero fuel the checker cannot even attempt the fixpoint and
+    // must say so as a resource limit.
+    let no_fuel = Limits {
+        fixpoint_iters: 0,
+        ..Limits::default()
+    };
+    let result = check_source_with_limits("loop.vlt", GOOD_LOOP, &no_fuel);
+    assert_eq!(result.verdict(), Verdict::ResourceLimit);
+    assert!(result.has_code(Code::LimitExceeded));
+}
+
+const GOOD_LOOP: &str = "void f() {
+  int i = 0;
+  while (i < 10) {
+    i = i + 1;
+  }
+}";
+
+#[test]
+fn expired_deadline_yields_resource_limit() {
+    let expired = Limits {
+        deadline: Some(Instant::now() - Duration::from_secs(1)),
+        ..Limits::default()
+    };
+    let result = check_source_with_limits("ok.vlt", GOOD, &expired);
+    assert_eq!(result.verdict(), Verdict::ResourceLimit);
+    assert!(result.has_code(Code::LimitExceeded));
+}
+
+#[test]
+fn generous_limits_change_nothing() {
+    let generous = Limits {
+        deadline: Some(Instant::now() + Duration::from_secs(60)),
+        ..Limits::default()
+    };
+    let bounded = check_source_with_limits("ok.vlt", GOOD, &generous);
+    let unbounded = check_source("ok.vlt", GOOD);
+    assert_eq!(bounded.verdict(), Verdict::Accepted);
+    assert_eq!(bounded.render_diagnostics(), unbounded.render_diagnostics());
+}
+
+#[test]
+fn limit_diagnostics_have_stable_explainable_codes() {
+    assert_eq!(Code::LimitExceeded.to_string(), "V501");
+    assert_eq!(Code::InternalError.to_string(), "V502");
+    assert_eq!(Code::from_str_code("V501"), Some(Code::LimitExceeded));
+    assert_eq!(Code::from_str_code("V502"), Some(Code::InternalError));
+    assert!(!Code::LimitExceeded.explain().is_empty());
+    assert!(!Code::InternalError.explain().is_empty());
+}

@@ -2,19 +2,31 @@
 //!
 //! ```text
 //! vaultd [--socket PATH] [--jobs N] [--cache N]
+//!        [--max-request-bytes N] [--timeout-ms N] [--fuel N]
 //! ```
 //!
 //! With `--socket`, serves the JSON-lines protocol on a Unix domain
 //! socket until a client sends `{"op":"shutdown"}`. Without it, serves
 //! a single session over stdin/stdout (exiting at EOF) — handy behind
 //! an inetd-style supervisor or for piping.
+//!
+//! `--max-request-bytes` caps how large one request line may grow,
+//! `--timeout-ms` gives every compilation unit a checking deadline, and
+//! `--fuel` caps loop-invariant fixpoint iterations; exceeding a
+//! per-unit bound yields a `resource-limit` verdict, exceeding a
+//! per-request bound a structured error reply. Shutdown drains
+//! in-flight work within a bounded grace period.
 
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 use vault_server::{CheckService, ServiceConfig, UnixServer};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: vaultd [--socket PATH] [--jobs N] [--cache N]");
+    eprintln!(
+        "usage: vaultd [--socket PATH] [--jobs N] [--cache N]\n              \
+         [--max-request-bytes N] [--timeout-ms N] [--fuel N]"
+    );
     ExitCode::from(2)
 }
 
@@ -35,6 +47,18 @@ fn main() -> ExitCode {
             },
             "--cache" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => config.cache_capacity = n,
+                _ => return usage(),
+            },
+            "--max-request-bytes" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => config.limits.max_request_bytes = n,
+                _ => return usage(),
+            },
+            "--timeout-ms" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => config.limits.timeout = Some(Duration::from_millis(n)),
+                _ => return usage(),
+            },
+            "--fuel" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => config.limits.fixpoint_iters = n,
                 _ => return usage(),
             },
             _ => return usage(),

@@ -1,0 +1,179 @@
+//! Fault injection for torture-testing the daemon.
+//!
+//! Compiled only under the `chaos` feature and armed only by an explicit
+//! [`arm`] call, so production builds carry none of this. Once armed,
+//! three fault families fire with configured probabilities from one
+//! seeded SplitMix64 stream (deterministic per seed):
+//!
+//! * **Injected panics** inside check jobs ([`perturb_job`]) — exercises
+//!   the `catch_unwind` containment and worker respawn paths; the unit
+//!   must come back as an `internal-error` verdict, never a dead worker.
+//! * **Injected delays** inside check jobs — long enough to blow any
+//!   configured deadline, exercising the `resource-limit` path.
+//! * **Short writes** on the response stream ([`ChaosWriter`]) — the
+//!   writer accepts only a few bytes per call, exercising every caller's
+//!   `write_all` looping; framing must survive byte-at-a-time output.
+//!
+//! The injected panic carries the fixed payload [`PANIC_PAYLOAD`] so
+//! tests (and operators reading diagnostics) can tell an injected fault
+//! from a genuine checker bug.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::io::{self, Write};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Payload of every chaos-injected panic; shows up verbatim in the
+/// `internal-error` diagnostic of the unit it hit.
+pub const PANIC_PAYLOAD: &str = "chaos: injected panic";
+
+/// Which faults fire, and how often.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Seed for the fault stream (same seed, same faults).
+    pub seed: u64,
+    /// Probability a check job panics.
+    pub panic_prob: f64,
+    /// Probability a check job sleeps for [`ChaosConfig::delay`] first.
+    pub delay_prob: f64,
+    /// How long a delayed job sleeps.
+    pub delay: Duration,
+    /// When set, [`ChaosWriter`] accepts at most this many bytes per
+    /// `write` call.
+    pub short_write_chunk: Option<usize>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0xC4A0_5EED,
+            panic_prob: 0.05,
+            delay_prob: 0.05,
+            delay: Duration::from_millis(5),
+            short_write_chunk: Some(7),
+        }
+    }
+}
+
+static STATE: Mutex<Option<(ChaosConfig, StdRng)>> = Mutex::new(None);
+
+/// The chaos state is trivially re-armable, so a panic mid-draw (which
+/// cannot happen — draws don't panic — but poisoning is contagious from
+/// the injected panics themselves if a guard were held) must not wedge it.
+fn state() -> MutexGuard<'static, Option<(ChaosConfig, StdRng)>> {
+    match STATE.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Start injecting faults process-wide.
+pub fn arm(cfg: ChaosConfig) {
+    *state() = Some((cfg, StdRng::seed_from_u64(cfg.seed)));
+}
+
+/// Stop injecting faults.
+pub fn disarm() {
+    *state() = None;
+}
+
+/// Whether [`arm`] is in effect.
+pub fn armed() -> bool {
+    state().is_some()
+}
+
+enum Fault {
+    None,
+    Panic,
+    Delay(Duration),
+}
+
+/// Called at the top of every check job. Draws the fault decision under
+/// the lock but acts after releasing it, so an injected panic never
+/// poisons the chaos state.
+pub fn perturb_job() {
+    let fault = {
+        let mut guard = state();
+        match guard.as_mut() {
+            None => Fault::None,
+            Some((cfg, rng)) => {
+                if rng.gen_bool(cfg.panic_prob) {
+                    Fault::Panic
+                } else if rng.gen_bool(cfg.delay_prob) {
+                    Fault::Delay(cfg.delay)
+                } else {
+                    Fault::None
+                }
+            }
+        }
+    };
+    match fault {
+        Fault::None => {}
+        Fault::Panic => panic!("{}", PANIC_PAYLOAD),
+        Fault::Delay(d) => std::thread::sleep(d),
+    }
+}
+
+/// Current short-write chunk, if armed with one.
+fn short_write_chunk() -> Option<usize> {
+    state().as_ref().and_then(|(cfg, _)| cfg.short_write_chunk)
+}
+
+/// A writer that, while chaos is armed with a `short_write_chunk`,
+/// accepts at most that many bytes per `write` call. Transparent
+/// pass-through otherwise.
+#[derive(Debug)]
+pub struct ChaosWriter<W: Write> {
+    inner: W,
+}
+
+impl<W: Write> ChaosWriter<W> {
+    /// Wrap `inner`.
+    pub fn new(inner: W) -> Self {
+        ChaosWriter { inner }
+    }
+}
+
+impl<W: Write> Write for ChaosWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match short_write_chunk() {
+            Some(chunk) if chunk > 0 && buf.len() > chunk => self.inner.write(&buf[..chunk]),
+            _ => self.inner.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_chaos_is_inert() {
+        disarm();
+        assert!(!armed());
+        perturb_job(); // must not panic
+        let mut out = Vec::new();
+        let mut w = ChaosWriter::new(&mut out);
+        assert_eq!(w.write(b"hello world").unwrap(), 11);
+    }
+
+    #[test]
+    fn short_writes_still_deliver_every_byte_through_write_all() {
+        arm(ChaosConfig {
+            panic_prob: 0.0,
+            delay_prob: 0.0,
+            short_write_chunk: Some(3),
+            ..Default::default()
+        });
+        let mut out = Vec::new();
+        let mut w = ChaosWriter::new(&mut out);
+        assert_eq!(w.write(b"hello world").unwrap(), 3);
+        w.write_all(b"hello world").unwrap();
+        disarm();
+        assert!(out.ends_with(b"hello world"));
+    }
+}

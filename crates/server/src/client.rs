@@ -1,0 +1,226 @@
+//! A retrying Unix-socket client for the vaultd wire protocol.
+//!
+//! Checking is side-effect-free on the daemon (verdicts are memoized,
+//! never mutated), so a request that dies mid-flight — daemon
+//! restarting, socket not bound yet, connection reset — is safe to
+//! resend verbatim. [`Client`] does exactly that: every round trip gets
+//! up to [`RetryPolicy::attempts`] tries over fresh connections, with
+//! exponential backoff and jitter between tries so a herd of clients
+//! hammering a restarting daemon spreads out instead of stampeding.
+
+use crate::json::{parse, Json};
+use crate::pool::UnitIn;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// How hard to try before reporting an error to the caller.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total tries per round trip, including the first (min 1).
+    pub attempts: u32,
+    /// Backoff before the second try; doubles each retry after.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `retry` (0-based): exponential,
+    /// capped, with uniform jitter in the upper half so concurrent
+    /// clients desynchronize.
+    fn backoff(&self, retry: u32, rng: &mut StdRng) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << retry.min(16))
+            .min(self.max_delay);
+        let micros = exp.as_micros() as u64;
+        if micros < 2 {
+            return exp;
+        }
+        Duration::from_micros(rng.gen_range(micros / 2..=micros))
+    }
+}
+
+/// A connection to `vaultd` that transparently reconnects and retries.
+#[derive(Debug)]
+pub struct Client {
+    path: PathBuf,
+    policy: RetryPolicy,
+    rng: StdRng,
+    conn: Option<BufReader<UnixStream>>,
+    next_id: u64,
+}
+
+impl Client {
+    /// A client for the daemon at `path` with default retry policy.
+    /// Does not touch the socket yet; connection is lazy and per-try.
+    pub fn new(path: impl AsRef<Path>) -> Self {
+        Client::with_policy(path, RetryPolicy::default())
+    }
+
+    /// A client with an explicit retry policy.
+    pub fn with_policy(path: impl AsRef<Path>, policy: RetryPolicy) -> Self {
+        Client {
+            path: path.as_ref().to_path_buf(),
+            policy,
+            // Jitter only shapes sleep lengths, so any per-client seed
+            // works; derive one from the pid to decorrelate clients.
+            rng: StdRng::seed_from_u64(u64::from(std::process::id()) | (1 << 32)),
+            conn: None,
+            next_id: 1,
+        }
+    }
+
+    fn connect(&mut self) -> io::Result<&mut BufReader<UnixStream>> {
+        if self.conn.is_none() {
+            let stream = UnixStream::connect(&self.path)?;
+            self.conn = Some(BufReader::new(stream));
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// Send one request line and read one response line, retrying over
+    /// fresh connections per the policy. Returns the parsed response.
+    pub fn roundtrip(&mut self, line: &str) -> io::Result<Json> {
+        let attempts = self.policy.attempts.max(1);
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let pause = self.policy.backoff(attempt - 1, &mut self.rng);
+                std::thread::sleep(pause);
+            }
+            match self.try_roundtrip(line) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    // Whatever broke, the stream state is unknowable;
+                    // the next try gets a fresh connection.
+                    self.conn = None;
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.expect("at least one attempt"))
+    }
+
+    fn try_roundtrip(&mut self, line: &str) -> io::Result<Json> {
+        let conn = self.connect()?;
+        let stream = conn.get_ref().try_clone()?;
+        let mut writer = stream;
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut response = String::new();
+        if conn.read_line(&mut response)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection mid-request",
+            ));
+        }
+        parse(response.trim_end()).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad response from daemon: {e}"),
+            )
+        })
+    }
+
+    /// Check a batch of units on the daemon, retrying per the policy.
+    pub fn check(&mut self, units: &[UnitIn]) -> io::Result<Json> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = Json::Obj(vec![
+            ("op".to_string(), Json::str("check")),
+            ("id".to_string(), Json::num(id)),
+            (
+                "units".to_string(),
+                Json::Arr(
+                    units
+                        .iter()
+                        .map(|u| {
+                            Json::Obj(vec![
+                                ("name".to_string(), Json::str(&u.name)),
+                                ("source".to_string(), Json::str(&u.source)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        self.roundtrip(&req.to_line())
+    }
+
+    /// Ask the daemon for its status counters, retrying per the policy.
+    pub fn status(&mut self) -> io::Result<Json> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = Json::Obj(vec![
+            ("op".to_string(), Json::str("status")),
+            ("id".to_string(), Json::num(id)),
+        ]);
+        self.roundtrip(&req.to_line())
+    }
+
+    /// Ask the daemon to shut down. Not retried: a dead daemon already
+    /// satisfies the intent, so connection errors report success-shaped
+    /// `Err` only when the first try fails outright.
+    pub fn shutdown(&mut self) -> io::Result<Json> {
+        let req = Json::Obj(vec![("op".to_string(), Json::str("shutdown"))]);
+        let out = self.try_roundtrip(&req.to_line());
+        self.conn = None;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential_capped_and_jittered() {
+        let policy = RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(60),
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        for retry in 0..8 {
+            let full = policy
+                .base_delay
+                .saturating_mul(1u32 << retry)
+                .min(policy.max_delay);
+            for _ in 0..50 {
+                let b = policy.backoff(retry, &mut rng);
+                assert!(b <= full, "retry {retry}: {b:?} > {full:?}");
+                assert!(b >= full / 2, "retry {retry}: {b:?} < {:?}", full / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_fails_after_exhausting_retries_on_a_dead_socket() {
+        let dir = std::env::temp_dir().join("vault-client-test-no-daemon");
+        let mut client = Client::with_policy(
+            dir.join("nonexistent.sock"),
+            RetryPolicy {
+                attempts: 3,
+                base_delay: Duration::from_micros(100),
+                max_delay: Duration::from_micros(200),
+            },
+        );
+        let err = client.roundtrip(r#"{"op":"status"}"#).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+}

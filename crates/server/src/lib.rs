@@ -16,13 +16,26 @@
 //! * **Incrementality** — per-unit verdicts are memoized in a
 //!   content-hash (FNV-1a) LRU cache ([`cache`]); re-checking unchanged
 //!   sources is a cache hit that skips the checker entirely.
-//! * **Observability** — per-request wall time, queue depth, and cache
-//!   hit/miss counters ([`metrics`]), served by the `status` request.
+//! * **Observability** — per-request wall time, queue depth, cache
+//!   hit/miss and fault counters ([`metrics`]), served by the `status`
+//!   request.
+//! * **Fault tolerance** — check jobs run under `catch_unwind`, so a
+//!   checker panic costs one `internal-error` verdict, not a worker or
+//!   the daemon; per-unit deadlines and fuel ([`service::ServiceLimits`])
+//!   turn pathological inputs into `resource-limit` verdicts; shutdown
+//!   drains in-flight work within a bounded grace period; and the
+//!   [`client`] retries over fresh connections with jittered backoff.
+//!   A `chaos` feature compiles in a fault-injection harness (`chaos`
+//!   module) for torture tests.
 //!
 //! ```
 //! use vault_server::{CheckService, ServiceConfig, UnitIn};
 //!
-//! let svc = CheckService::new(ServiceConfig { jobs: 2, cache_capacity: 64 });
+//! let svc = CheckService::new(ServiceConfig {
+//!     jobs: 2,
+//!     cache_capacity: 64,
+//!     ..Default::default()
+//! });
 //! let report = svc.check_unit(UnitIn {
 //!     name: "f.vlt".into(),
 //!     source: "void f() { }".into(),
@@ -38,6 +51,9 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+#[cfg(feature = "chaos")]
+pub mod chaos;
+pub mod client;
 pub mod json;
 pub mod metrics;
 pub mod pool;
@@ -46,9 +62,10 @@ pub mod server;
 pub mod service;
 
 pub use cache::{fnv1a_64, unit_fingerprint, LruCache};
+pub use client::{Client, RetryPolicy};
 pub use json::{parse as parse_json, Json};
 pub use metrics::{Metrics, StatusSnapshot};
-pub use pool::{CheckPool, ThreadPool, UnitIn};
+pub use pool::{CheckPool, SubmitError, ThreadPool, UnitIn};
 pub use proto::{Request, UnitReport};
-pub use server::{serve_connection, serve_stdio, UnixServer};
-pub use service::{CheckService, ServiceConfig};
+pub use server::{serve_connection, serve_stdio, UnixServer, SHUTDOWN_GRACE};
+pub use service::{CheckService, ServiceConfig, ServiceLimits};

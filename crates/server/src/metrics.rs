@@ -27,6 +27,15 @@ pub struct Metrics {
     pub check_micros: AtomicU64,
     /// Total wall time spent serving requests, in microseconds.
     pub request_micros: AtomicU64,
+    /// Requests answered with `"ok":false` (bad JSON, malformed or
+    /// oversized requests, internal failures).
+    pub requests_failed: AtomicU64,
+    /// Panics caught and contained (worker jobs or per-unit checks).
+    pub panics_caught: AtomicU64,
+    /// Units whose check hit a resource limit (deadline or fuel).
+    pub deadline_exceeded: AtomicU64,
+    /// Worker threads respawned after an unwind escaped a job.
+    pub workers_respawned: AtomicU64,
     started: Instant,
 }
 
@@ -41,6 +50,10 @@ impl Default for Metrics {
             queue_peak: AtomicU64::new(0),
             check_micros: AtomicU64::new(0),
             request_micros: AtomicU64::new(0),
+            requests_failed: AtomicU64::new(0),
+            panics_caught: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            workers_respawned: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -58,6 +71,26 @@ impl Metrics {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
     }
 
+    /// Record a panic caught and contained.
+    pub fn panic_caught(&self) {
+        self.panics_caught.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a unit that hit a resource limit (deadline or fuel).
+    pub fn deadline_hit(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a request answered with an error reply.
+    pub fn request_failed(&self) {
+        self.requests_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a worker thread respawned after an unwind.
+    pub fn worker_respawned(&self) {
+        self.workers_respawned.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough point-in-time read of every counter.
     pub fn snapshot(&self) -> StatusSnapshot {
         StatusSnapshot {
@@ -69,6 +102,10 @@ impl Metrics {
             queue_peak: self.queue_peak.load(Ordering::Relaxed),
             check_micros: self.check_micros.load(Ordering::Relaxed),
             request_micros: self.request_micros.load(Ordering::Relaxed),
+            requests_failed: self.requests_failed.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
             uptime_micros: self.started.elapsed().as_micros() as u64,
         }
     }
@@ -93,6 +130,14 @@ pub struct StatusSnapshot {
     pub check_micros: u64,
     /// Microseconds spent serving requests.
     pub request_micros: u64,
+    /// Requests answered with an error reply.
+    pub requests_failed: u64,
+    /// Panics caught and contained.
+    pub panics_caught: u64,
+    /// Units that hit a resource limit.
+    pub deadline_exceeded: u64,
+    /// Workers respawned after an unwind.
+    pub workers_respawned: u64,
     /// Microseconds since the service started.
     pub uptime_micros: u64,
 }

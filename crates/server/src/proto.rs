@@ -130,10 +130,7 @@ pub fn encode_error(id: Option<u64>, message: &str) -> Json {
 }
 
 fn verdict_str(v: Verdict) -> &'static str {
-    match v {
-        Verdict::Accepted => "accepted",
-        Verdict::Rejected => "rejected",
-    }
+    v.as_str()
 }
 
 fn encode_diag(d: &DiagView) -> Json {
@@ -274,6 +271,10 @@ pub fn encode_status(
         ("queue_peak", snap.queue_peak),
         ("check_micros", snap.check_micros),
         ("request_micros", snap.request_micros),
+        ("requests_failed", snap.requests_failed),
+        ("panics_caught", snap.panics_caught),
+        ("deadline_exceeded", snap.deadline_exceeded),
+        ("workers_respawned", snap.workers_respawned),
         ("uptime_micros", snap.uptime_micros),
         ("workers", workers as u64),
         ("cache_entries", cache_entries as u64),

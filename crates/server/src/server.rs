@@ -14,7 +14,11 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// How long a shutting-down daemon waits for in-flight checks before
+/// abandoning them. Bounded so one wedged unit can't hold the exit.
+pub const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
 
 /// Dispatch one decoded request. Returns the response and whether the
 /// client asked the daemon to shut down.
@@ -25,8 +29,23 @@ pub fn handle_request(svc: &CheckService, id: Option<u64>, req: Request) -> (Jso
         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let (response, shutdown) = match req {
         Request::Check { units } => {
-            let (reports, wall) = svc.check_units(units);
-            (proto::encode_check(id, &reports, wall), false)
+            let cap = svc.limits().max_units_per_batch;
+            if units.len() > cap {
+                svc.metrics().request_failed();
+                (
+                    proto::encode_error(
+                        id,
+                        &format!(
+                            "`check` carries {} unit(s); this daemon accepts at most {cap} per request",
+                            units.len()
+                        ),
+                    ),
+                    false,
+                )
+            } else {
+                let (reports, wall) = svc.check_units(units);
+                (proto::encode_check(id, &reports, wall), false)
+            }
         }
         Request::EmitC { unit } => {
             let (summary, c) = svc.emit_c(&unit);
@@ -62,24 +81,106 @@ pub fn handle_request(svc: &CheckService, id: Option<u64>, req: Request) -> (Jso
     (response, shutdown)
 }
 
+/// One request line, read under a byte bound.
+enum Line {
+    /// End of stream.
+    Eof,
+    /// A complete line within the bound.
+    Ok(String),
+    /// A line that exceeded the bound; it was discarded (stream is
+    /// positioned after its terminating newline, or at EOF). Carries at
+    /// least how many bytes it ran to.
+    TooLong(usize),
+}
+
+/// Read one `\n`-terminated line, refusing to buffer more than `max`
+/// bytes of it. An over-long line is *skipped* — consumed to its
+/// newline without being stored — so one hostile request can neither
+/// balloon memory nor desynchronize the framing for the rest of the
+/// connection.
+fn read_bounded_line<R: BufRead>(reader: &mut R, max: usize) -> io::Result<Line> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut overflowed = 0usize;
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(match (line.is_empty(), overflowed) {
+                (true, 0) => Line::Eof,
+                (_, 0) => Line::Ok(String::from_utf8_lossy(&line).into_owned()),
+                (_, n) => Line::TooLong(n + line.len()),
+            });
+        }
+        let newline = buf.iter().position(|&b| b == b'\n');
+        let take = newline.map(|i| i + 1).unwrap_or(buf.len());
+        if overflowed == 0 {
+            if line.len() + take <= max + 1 {
+                line.extend_from_slice(&buf[..take]);
+            } else {
+                overflowed = line.len() + take;
+                line.clear();
+            }
+        } else {
+            overflowed += take;
+        }
+        let done = newline.is_some();
+        reader.consume(take);
+        if done {
+            if overflowed > 0 {
+                return Ok(Line::TooLong(overflowed));
+            }
+            while line.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+                line.pop();
+            }
+            return Ok(Line::Ok(String::from_utf8_lossy(&line).into_owned()));
+        }
+    }
+}
+
 /// Serve one JSON-lines connection until EOF or a `shutdown` request.
 /// Returns whether shutdown was requested.
+///
+/// Every malformed, oversized, or otherwise unservable request gets a
+/// structured `"ok":false` reply (and bumps `requests_failed`) instead
+/// of killing the stream; only a transport error ends the connection.
 pub fn serve_connection<R: BufRead, W: Write>(
     svc: &CheckService,
-    reader: R,
+    mut reader: R,
     mut writer: W,
 ) -> io::Result<bool> {
-    for line in reader.lines() {
-        let line = line?;
+    let max_bytes = svc.limits().max_request_bytes;
+    loop {
+        let line = match read_bounded_line(&mut reader, max_bytes)? {
+            Line::Eof => return Ok(false),
+            Line::TooLong(n) => {
+                svc.metrics().request_failed();
+                let response = proto::encode_error(
+                    None,
+                    &format!(
+                        "request line of {n}+ bytes exceeds the {max_bytes}-byte limit; line skipped"
+                    ),
+                );
+                writer.write_all(response.to_line().as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                continue;
+            }
+            Line::Ok(line) => line,
+        };
         if line.trim().is_empty() {
             continue;
         }
         let (response, shutdown) = match parse(&line) {
-            Err(e) => (proto::encode_error(None, &format!("bad JSON: {e}")), false),
+            Err(e) => {
+                svc.metrics().request_failed();
+                (proto::encode_error(None, &format!("bad JSON: {e}")), false)
+            }
             Ok(v) => {
                 let (id, req) = proto::parse_request(&v);
                 match req {
-                    Err(e) => (proto::encode_error(id, &e), false),
+                    Err(e) => {
+                        svc.metrics().request_failed();
+                        (proto::encode_error(id, &e), false)
+                    }
                     Ok(req) => handle_request(svc, id, req),
                 }
             }
@@ -91,14 +192,22 @@ pub fn serve_connection<R: BufRead, W: Write>(
             return Ok(true);
         }
     }
-    Ok(false)
 }
 
-/// Serve the protocol over stdin/stdout until EOF or `shutdown`.
+/// Serve the protocol over stdin/stdout until EOF or `shutdown`, then
+/// drain in-flight work (bounded by [`SHUTDOWN_GRACE`]).
 pub fn serve_stdio(svc: &CheckService) -> io::Result<()> {
     let stdin = io::stdin();
     let stdout = io::stdout();
-    serve_connection(svc, stdin.lock(), stdout.lock()).map(|_| ())
+    #[cfg(feature = "chaos")]
+    let result = serve_connection(
+        svc,
+        stdin.lock(),
+        crate::chaos::ChaosWriter::new(stdout.lock()),
+    );
+    #[cfg(not(feature = "chaos"))]
+    let result = serve_connection(svc, stdin.lock(), stdout.lock());
+    result.map(|_| svc.drain(SHUTDOWN_GRACE)).map(|_| ())
 }
 
 /// A bound Unix-domain-socket server (socket file exists once this is
@@ -131,8 +240,10 @@ impl UnixServer {
     }
 
     /// Accept connections (one thread each) until some client sends
-    /// `shutdown`; then stop accepting, unlink the socket file, and
-    /// return once in-flight connection threads have been detached.
+    /// `shutdown`; then stop accepting, drain in-flight check jobs
+    /// (bounded by [`SHUTDOWN_GRACE`]), unlink the socket file, and
+    /// return. Connection threads are detached; jobs they had queued
+    /// are covered by the drain.
     pub fn run(self) -> io::Result<()> {
         let stop = Arc::new(AtomicBool::new(false));
         for conn in self.listener.incoming() {
@@ -152,6 +263,8 @@ impl UnixServer {
                     Err(_) => return,
                 });
                 let writer = BufWriter::new(stream);
+                #[cfg(feature = "chaos")]
+                let writer = crate::chaos::ChaosWriter::new(writer);
                 if let Ok(true) = serve_connection(&svc, reader, writer) {
                     // Set the flag first, then poke the accept loop so
                     // it observes the flag instead of a real client.
@@ -160,6 +273,7 @@ impl UnixServer {
                 }
             });
         }
+        self.svc.drain(SHUTDOWN_GRACE);
         let _ = std::fs::remove_file(&self.path);
         Ok(())
     }
@@ -174,6 +288,7 @@ mod tests {
         CheckService::new(ServiceConfig {
             jobs: 2,
             cache_capacity: 64,
+            ..Default::default()
         })
     }
 
@@ -261,6 +376,63 @@ mod tests {
             Some("shutdown")
         );
         assert_eq!(responses[0].get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn oversized_request_line_is_skipped_with_a_structured_error() {
+        use crate::service::{ServiceConfig, ServiceLimits};
+        let svc = CheckService::new(ServiceConfig {
+            jobs: 1,
+            cache_capacity: 4,
+            limits: ServiceLimits {
+                max_request_bytes: 64,
+                ..ServiceLimits::default()
+            },
+        });
+        let huge = format!(
+            "{{\"op\":\"check\",\"units\":[{{\"name\":\"big\",\"source\":\"{}\"}}]}}\n",
+            "x".repeat(4096)
+        );
+        let input = format!("{huge}{{\"op\":\"status\"}}\n");
+        let responses = roundtrip(&svc, &input);
+        assert_eq!(responses.len(), 2, "oversized line answered, then status");
+        assert_eq!(responses[0].get("ok").and_then(Json::as_bool), Some(false));
+        assert!(responses[0]
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("64-byte limit"));
+        // The stream stays framed: the next request is served normally
+        // and the failure is counted.
+        assert_eq!(responses[1].get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            responses[1].get("requests_failed").and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn over_cap_batches_are_refused_without_checking() {
+        use crate::service::{ServiceConfig, ServiceLimits};
+        let svc = CheckService::new(ServiceConfig {
+            jobs: 1,
+            cache_capacity: 4,
+            limits: ServiceLimits {
+                max_units_per_batch: 2,
+                ..ServiceLimits::default()
+            },
+        });
+        let unit = r#"{"name":"a.vlt","source":"void f() { }"}"#;
+        let req = format!("{{\"op\":\"check\",\"id\":7,\"units\":[{unit},{unit},{unit}]}}\n");
+        let responses = roundtrip(&svc, &req);
+        assert_eq!(responses[0].get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(responses[0].get("id").and_then(Json::as_u64), Some(7));
+        assert!(responses[0]
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("at most 2"));
+        assert_eq!(svc.status().units_checked, 0, "nothing was checked");
     }
 
     #[test]

@@ -9,13 +9,58 @@
 
 use crate::cache::{unit_fingerprint, LruCache};
 use crate::metrics::{Metrics, StatusSnapshot};
-use crate::pool::{CheckPool, UnitIn};
+use crate::pool::{panic_payload, CheckPool, UnitIn};
 use crate::proto::UnitReport;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::channel;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
-use vault_core::{check_source, CheckSummary, Verdict};
+use std::time::{Duration, Instant};
+use vault_core::{check_source_with_limits, CheckSummary, Limits, Verdict};
+
+/// Resource bounds on what one request may cost the daemon.
+///
+/// Defaults are generous for legitimate traffic; their purpose is
+/// keeping one hostile or pathological client from starving everyone
+/// else. Exceeding a per-unit bound yields a `resource-limit` verdict;
+/// exceeding a per-request bound yields a structured error reply.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceLimits {
+    /// Largest accepted request line, in bytes.
+    pub max_request_bytes: usize,
+    /// Most units one `check` request may carry.
+    pub max_units_per_batch: usize,
+    /// Wall-clock budget for checking one unit, if any.
+    pub timeout: Option<Duration>,
+    /// Parser recursion bound (see [`vault_syntax::DEFAULT_PARSER_DEPTH`]).
+    pub parser_depth: usize,
+    /// Loop-invariant fixpoint fuel per loop.
+    pub fixpoint_iters: usize,
+}
+
+impl Default for ServiceLimits {
+    fn default() -> Self {
+        let d = Limits::default();
+        ServiceLimits {
+            max_request_bytes: 8 * 1024 * 1024,
+            max_units_per_batch: 1024,
+            timeout: None,
+            parser_depth: d.parser_depth,
+            fixpoint_iters: d.fixpoint_iters,
+        }
+    }
+}
+
+impl ServiceLimits {
+    /// The per-unit checker bounds, with the deadline anchored at `now`.
+    pub fn checker_limits(&self, now: Instant) -> Limits {
+        Limits {
+            parser_depth: self.parser_depth,
+            fixpoint_iters: self.fixpoint_iters,
+            deadline: self.timeout.map(|t| now + t),
+        }
+    }
+}
 
 /// Tunables for a [`CheckService`].
 #[derive(Clone, Copy, Debug)]
@@ -24,6 +69,8 @@ pub struct ServiceConfig {
     pub jobs: usize,
     /// Maximum memoized verdicts (min 1).
     pub cache_capacity: usize,
+    /// Resource bounds per request/unit.
+    pub limits: ServiceLimits,
 }
 
 impl Default for ServiceConfig {
@@ -33,8 +80,24 @@ impl Default for ServiceConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             cache_capacity: 4096,
+            limits: ServiceLimits::default(),
         }
     }
+}
+
+/// Lock the verdict cache, recovering from poisoning: the cache holds
+/// no invariant a panicking inserter could have broken halfway (worst
+/// case a verdict is missing and gets re-checked).
+fn lock_cache(cache: &Mutex<LruCache>) -> std::sync::MutexGuard<'_, LruCache> {
+    match cache.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Check one unit under `limits`, folding checker stats into a summary.
+fn check_summary_bounded(name: &str, source: &str, limits: &Limits) -> CheckSummary {
+    CheckSummary::of(name, &check_source_with_limits(name, source, limits))
 }
 
 /// A parallel, incremental protocol-checking service.
@@ -42,6 +105,7 @@ pub struct CheckService {
     pool: CheckPool,
     cache: Mutex<LruCache>,
     cache_capacity: usize,
+    limits: ServiceLimits,
     metrics: Arc<Metrics>,
 }
 
@@ -53,6 +117,7 @@ impl CheckService {
             pool: CheckPool::new(config.jobs, Arc::clone(&metrics)),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             cache_capacity: config.cache_capacity.max(1),
+            limits: config.limits,
             metrics,
         }
     }
@@ -62,9 +127,20 @@ impl CheckService {
         &self.metrics
     }
 
+    /// The configured resource bounds.
+    pub fn limits(&self) -> &ServiceLimits {
+        &self.limits
+    }
+
     /// Number of pool workers.
     pub fn workers(&self) -> usize {
         self.pool.workers()
+    }
+
+    /// Stop accepting work and wait up to `grace` for in-flight jobs.
+    /// Returns `true` if the queue drained within the grace period.
+    pub fn drain(&self, grace: Duration) -> bool {
+        self.pool.shutdown(grace)
     }
 
     /// Check a batch of units: cache hits answer immediately, misses fan
@@ -85,7 +161,7 @@ impl CheckService {
         let mut reports: Vec<Option<UnitReport>> = (0..n).map(|_| None).collect();
         let mut misses: Vec<(usize, UnitIn)> = Vec::new();
         {
-            let mut cache = self.cache.lock().expect("cache lock");
+            let mut cache = lock_cache(&self.cache);
             for (i, unit) in units.into_iter().enumerate() {
                 if let Some(summary) = cache.get(fingerprints[i]) {
                     reports[i] = Some(UnitReport {
@@ -106,16 +182,40 @@ impl CheckService {
             .cache_misses
             .fetch_add(misses.len() as u64, Ordering::Relaxed);
 
-        // Phase 2: fan misses out across the pool.
+        // Phase 2: fan misses out across the pool. Every unit gets its
+        // own deadline and panic containment: one hostile unit costs
+        // only its own verdict, never a worker or the batch.
         if !misses.is_empty() {
             let (tx, rx) = channel::<(usize, CheckSummary, u64)>();
             for (index, unit) in misses {
-                let tx = tx.clone();
-                self.pool.submit(move || {
+                let job_tx = tx.clone();
+                let limits = self.limits.checker_limits(Instant::now());
+                let metrics = Arc::clone(&self.metrics);
+                let name = unit.name.clone();
+                let submitted = self.pool.submit(move || {
                     let t = Instant::now();
-                    let summary = vault_core::check_summary(&unit.name, &unit.source);
-                    let _ = tx.send((index, summary, t.elapsed().as_micros() as u64));
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        #[cfg(feature = "chaos")]
+                        crate::chaos::perturb_job();
+                        check_summary_bounded(&unit.name, &unit.source, &limits)
+                    }));
+                    let summary = match outcome {
+                        Ok(summary) => summary,
+                        Err(e) => {
+                            metrics.panic_caught();
+                            CheckSummary::internal_error(&unit.name, &panic_payload(&*e))
+                        }
+                    };
+                    let _ = job_tx.send((index, summary, t.elapsed().as_micros() as u64));
                 });
+                if let Err(e) = submitted {
+                    // Pool shutting down under us: answer rather than hang.
+                    let _ = tx.send((
+                        index,
+                        CheckSummary::internal_error(&name, &e.to_string()),
+                        0,
+                    ));
+                }
             }
             drop(tx);
             let mut fresh: Vec<(usize, Arc<CheckSummary>, u64)> = rx
@@ -125,9 +225,19 @@ impl CheckService {
             // Insert in slot order so concurrent batches populate the
             // recency list deterministically given identical traffic.
             fresh.sort_by_key(|(i, _, _)| *i);
-            let mut cache = self.cache.lock().expect("cache lock");
+            let mut cache = lock_cache(&self.cache);
             for (index, summary, micros) in fresh {
-                cache.put(fingerprints[index], Arc::clone(&summary));
+                match summary.verdict {
+                    // Deterministic verdicts are worth memoizing.
+                    Verdict::Accepted | Verdict::Rejected => {
+                        cache.put(fingerprints[index], Arc::clone(&summary));
+                    }
+                    // A deadline overrun depends on the wall clock and a
+                    // panic may be chaos-injected: caching either would
+                    // pin a transient failure onto healthy re-checks.
+                    Verdict::ResourceLimit => self.metrics.deadline_hit(),
+                    Verdict::InternalError => {}
+                }
                 self.metrics
                     .check_micros
                     .fetch_add(micros, Ordering::Relaxed);
@@ -141,7 +251,19 @@ impl CheckService {
 
         let reports = reports
             .into_iter()
-            .map(|r| r.expect("every unit answered"))
+            .enumerate()
+            .map(|(i, r)| {
+                r.unwrap_or_else(|| UnitReport {
+                    // Unreachable with containment in place, but a lost
+                    // slot must answer, not panic the connection.
+                    summary: Arc::new(CheckSummary::internal_error(
+                        &format!("unit-{i}"),
+                        "no worker reported a result",
+                    )),
+                    cached: false,
+                    check_micros: 0,
+                })
+            })
             .collect();
         (reports, start.elapsed().as_micros() as u64)
     }
@@ -156,23 +278,44 @@ impl CheckService {
     ///
     /// Codegen needs the full AST, which the verdict cache deliberately
     /// does not retain, so this always re-runs the front end in the
-    /// calling thread; only `check`/`stats` traffic is memoized.
+    /// calling thread; only `check`/`stats` traffic is memoized. Panics
+    /// anywhere in the pipeline are contained into an `internal-error`
+    /// summary — this runs on a connection thread, and one hostile unit
+    /// must not sever the connection.
     pub fn emit_c(&self, unit: &UnitIn) -> (CheckSummary, Option<String>) {
-        let result = check_source(&unit.name, &unit.source);
-        let summary = CheckSummary::of(&unit.name, &result);
-        let c = (summary.verdict == Verdict::Accepted)
-            .then(|| vault_core::codegen::emit_c(&result.program, &result.elaborated));
-        (summary, c)
+        let limits = self.limits.checker_limits(Instant::now());
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let result = check_source_with_limits(&unit.name, &unit.source, &limits);
+            let summary = CheckSummary::of(&unit.name, &result);
+            let c = (summary.verdict == Verdict::Accepted)
+                .then(|| vault_core::codegen::emit_c(&result.program, &result.elaborated));
+            (summary, c)
+        }));
+        match outcome {
+            Ok(r) => {
+                if r.0.verdict == Verdict::ResourceLimit {
+                    self.metrics.deadline_hit();
+                }
+                r
+            }
+            Err(e) => {
+                self.metrics.panic_caught();
+                (
+                    CheckSummary::internal_error(&unit.name, &panic_payload(&*e)),
+                    None,
+                )
+            }
+        }
     }
 
     /// Drop every memoized verdict (counters are unaffected).
     pub fn clear_cache(&self) {
-        self.cache.lock().expect("cache lock").clear();
+        lock_cache(&self.cache).clear();
     }
 
     /// Live cache entry count.
     pub fn cache_entries(&self) -> usize {
-        self.cache.lock().expect("cache lock").len()
+        lock_cache(&self.cache).len()
     }
 
     /// Configured cache capacity.
@@ -219,6 +362,7 @@ void leak() {
         let svc = CheckService::new(ServiceConfig {
             jobs: 2,
             cache_capacity: 16,
+            ..Default::default()
         });
         let cold = svc.check_unit(unit("a.vlt", LEAKY));
         assert!(!cold.cached);
@@ -237,6 +381,7 @@ void leak() {
         let svc = CheckService::new(ServiceConfig {
             jobs: 1,
             cache_capacity: 16,
+            ..Default::default()
         });
         svc.check_unit(unit("a.vlt", GOOD));
         let other = svc.check_unit(unit("b.vlt", GOOD));
@@ -249,6 +394,7 @@ void leak() {
         let svc = CheckService::new(ServiceConfig {
             jobs: 4,
             cache_capacity: 64,
+            ..Default::default()
         });
         let units: Vec<UnitIn> = (0..12)
             .map(|i| unit(&format!("u{i}.vlt"), if i % 2 == 0 { GOOD } else { LEAKY }))
@@ -270,6 +416,7 @@ void leak() {
         let svc = CheckService::new(ServiceConfig {
             jobs: 1,
             cache_capacity: 16,
+            ..Default::default()
         });
         svc.check_unit(unit("a.vlt", GOOD));
         assert_eq!(svc.cache_entries(), 1);
@@ -279,10 +426,45 @@ void leak() {
     }
 
     #[test]
+    fn timed_out_unit_reports_resource_limit_and_is_not_cached() {
+        let svc = CheckService::new(ServiceConfig {
+            jobs: 1,
+            cache_capacity: 16,
+            limits: ServiceLimits {
+                // Already-expired deadline for every unit.
+                timeout: Some(Duration::ZERO),
+                ..ServiceLimits::default()
+            },
+        });
+        let report = svc.check_unit(unit("slow.vlt", GOOD));
+        assert_eq!(report.summary.verdict, Verdict::ResourceLimit);
+        assert!(!report.cached);
+        // Non-deterministic verdicts must not be memoized: the same unit
+        // under a sane deadline would check fine.
+        assert_eq!(svc.cache_entries(), 0);
+        assert!(svc.status().deadline_exceeded >= 1);
+        let again = svc.check_unit(unit("slow.vlt", GOOD));
+        assert!(!again.cached, "resource-limit verdicts must be re-checked");
+    }
+
+    #[test]
+    fn drained_service_answers_internal_error_instead_of_hanging() {
+        let svc = CheckService::new(ServiceConfig {
+            jobs: 1,
+            cache_capacity: 4,
+            ..Default::default()
+        });
+        assert!(svc.drain(Duration::from_secs(1)));
+        let report = svc.check_unit(unit("late.vlt", GOOD));
+        assert_eq!(report.summary.verdict, Verdict::InternalError);
+    }
+
+    #[test]
     fn emit_c_only_for_accepted() {
         let svc = CheckService::new(ServiceConfig {
             jobs: 1,
             cache_capacity: 4,
+            ..Default::default()
         });
         let (summary, c) = svc.emit_c(&unit("ok.vlt", GOOD));
         assert_eq!(summary.verdict, Verdict::Accepted);

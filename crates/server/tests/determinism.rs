@@ -33,6 +33,7 @@ fn pool_matches_sequential_at_one_and_four_jobs() {
         let svc = CheckService::new(ServiceConfig {
             jobs,
             cache_capacity: units.len() * 2,
+            ..Default::default()
         });
         let (reports, _) = svc.check_units(units.clone());
         assert_eq!(reports.len(), baseline.len());
@@ -62,6 +63,7 @@ fn cache_hits_return_identical_diagnostics() {
     let svc = CheckService::new(ServiceConfig {
         jobs: 4,
         cache_capacity: units.len() * 2,
+        ..Default::default()
     });
     let (cold, _) = svc.check_units(units.clone());
     let (warm, _) = svc.check_units(units.clone());
@@ -91,6 +93,7 @@ fn wire_responses_are_byte_identical_across_job_counts() {
         let svc = CheckService::new(ServiceConfig {
             jobs,
             cache_capacity: units.len() * 2,
+            ..Default::default()
         });
         let (reports, _) = svc.check_units(units.clone());
         let encoded = vault_server::proto::encode_check(Some(1), &reports, 0);

@@ -1,0 +1,93 @@
+//! Crash-fuzz smoke test: the checker must be total over byte-mutated
+//! near-miss programs — structured verdicts in bounded time, no panics.
+//!
+//! Not a real fuzzer (no coverage feedback, fixed seed); this is the
+//! cheap regression net that keeps `check_summary` panic-free on the
+//! kind of garbage a misbehaving client can send the daemon. The seed
+//! is fixed so a failure reproduces exactly.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 0x5EED_F00D;
+const MUTANTS_PER_PROGRAM: usize = 24;
+const MUTATIONS_PER_MUTANT: usize = 8;
+
+/// Bytes a mutation may splice in: protocol-relevant punctuation plus
+/// raw bytes, so both parser and lexer edge cases get poked.
+const SPLICE: &[u8] = b"{}()[]<>;:@,'\"\\|!=+-*/ \n\t\0\xff";
+
+fn mutate(source: &str, rng: &mut StdRng) -> String {
+    let mut bytes = source.as_bytes().to_vec();
+    for _ in 0..MUTATIONS_PER_MUTANT {
+        if bytes.is_empty() {
+            break;
+        }
+        let at = rng.gen_range(0..bytes.len());
+        match rng.gen_range(0..4u8) {
+            0 => {
+                // Flip: overwrite one byte.
+                let b = SPLICE[rng.gen_range(0..SPLICE.len())];
+                bytes[at] = b;
+            }
+            1 => {
+                // Insert.
+                let b = SPLICE[rng.gen_range(0..SPLICE.len())];
+                bytes.insert(at, b);
+            }
+            2 => {
+                // Delete.
+                bytes.remove(at);
+            }
+            _ => {
+                // Truncate the tail — models a cut-off upload.
+                bytes.truncate(at);
+            }
+        }
+    }
+    // The checker takes &str; lossy conversion models what the JSON
+    // layer would hand it anyway.
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+#[test]
+fn checker_is_total_over_byte_mutated_corpus() {
+    let programs = vault_corpus::all_programs();
+    assert!(!programs.is_empty());
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let start = Instant::now();
+    let mut checked = 0usize;
+    for p in &programs {
+        for round in 0..MUTANTS_PER_PROGRAM {
+            let mutant = mutate(&p.source, &mut rng);
+            let name = format!("{}+m{round}", p.id);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                vault_core::check_summary(&name, &mutant)
+            }));
+            let summary = outcome.unwrap_or_else(|_| {
+                panic!(
+                    "checker panicked on mutant (seed {SEED:#x}, program {}, round {round}):\n{mutant}",
+                    p.id
+                )
+            });
+            // Whatever the verdict, it must be structured: a rejection
+            // carries at least one error diagnostic.
+            if summary.verdict == vault_core::Verdict::Rejected {
+                assert!(
+                    !summary.error_codes().is_empty(),
+                    "rejected without diagnostics: {}",
+                    name
+                );
+            }
+            checked += 1;
+        }
+    }
+    // Bounded time: mutants must not send the checker into pathological
+    // blowup. Generous ceiling for slow CI machines.
+    assert!(
+        start.elapsed() < Duration::from_secs(60),
+        "{checked} mutants took {:?}",
+        start.elapsed()
+    );
+}

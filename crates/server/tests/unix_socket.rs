@@ -11,6 +11,7 @@ fn start_server(jobs: usize) -> (Arc<CheckService>, std::path::PathBuf) {
     let svc = Arc::new(CheckService::new(ServiceConfig {
         jobs,
         cache_capacity: 1024,
+        ..Default::default()
     }));
     let path = std::env::temp_dir().join(format!(
         "vaultd_test_{}_{jobs}_{:?}.sock",
@@ -64,10 +65,7 @@ fn full_corpus_over_the_socket_matches_sequential() {
     // Every verdict over the wire equals the sequential checker's.
     for (u, p) in reported.iter().zip(&programs) {
         let sequential = vault_core::check_source(p.id, &p.source);
-        let want = match sequential.verdict() {
-            vault_core::Verdict::Accepted => "accepted",
-            vault_core::Verdict::Rejected => "rejected",
-        };
+        let want = sequential.verdict().as_str();
         assert_eq!(u.get("name").and_then(Json::as_str), Some(p.id));
         assert_eq!(
             u.get("verdict").and_then(Json::as_str),

@@ -84,6 +84,14 @@ pub enum Code {
     // --- code generation -------------------------------------------------
     /// The C emitter cannot translate a construct.
     CodegenUnsupported,
+
+    // --- resource limits / infrastructure --------------------------------
+    /// Checking gave up because a configured resource limit (parser
+    /// recursion depth, fixpoint fuel, or deadline) was exceeded.
+    LimitExceeded,
+    /// The checker itself failed (a caught panic); the verdict says
+    /// nothing about the program.
+    InternalError,
 }
 
 impl Code {
@@ -118,6 +126,8 @@ impl Code {
             TrackedCopy => "V313",
             NonExhaustiveSwitch => "V314",
             CodegenUnsupported => "V401",
+            LimitExceeded => "V501",
+            InternalError => "V502",
         }
     }
 }
@@ -154,6 +164,8 @@ impl Code {
             "V313" => TrackedCopy,
             "V314" => NonExhaustiveSwitch,
             "V401" => CodegenUnsupported,
+            "V501" => LimitExceeded,
+            "V502" => InternalError,
             _ => return None,
         })
     }
@@ -247,6 +259,18 @@ impl Code {
                                     captured keys"
             }
             CodegenUnsupported => "the C back end cannot translate this construct",
+            LimitExceeded => {
+                "checking stopped early because a configured resource limit \
+                               was exceeded (parser recursion depth, loop-invariant \
+                               fuel, or a request deadline); the program was neither \
+                               accepted nor rejected — raise the limit or simplify \
+                               the input"
+            }
+            InternalError => {
+                "the checker itself failed on this input (an internal \
+                                panic was caught and contained); the verdict says \
+                                nothing about the program — please report the payload"
+            }
         }
     }
 }
@@ -541,6 +565,8 @@ mod tests {
             TrackedCopy,
             NonExhaustiveSwitch,
             CodegenUnsupported,
+            LimitExceeded,
+            InternalError,
         ];
         let mut strs: Vec<_> = all.iter().map(|c| c.as_str()).collect();
         strs.sort_unstable();

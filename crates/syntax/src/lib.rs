@@ -36,5 +36,5 @@ pub mod token;
 
 pub use ast::Program;
 pub use diag::{Code, DiagSink, DiagView, Diagnostic, LabelView, Severity};
-pub use parser::{parse_expr, parse_program};
+pub use parser::{parse_expr, parse_program, parse_program_with_depth, DEFAULT_PARSER_DEPTH};
 pub use span::{SourceMap, Span};

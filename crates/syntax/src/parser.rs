@@ -12,16 +12,44 @@ use crate::lexer::lex;
 use crate::span::Span;
 use crate::token::{Token, TokenKind};
 
+/// Default bound on grammar recursion depth (see
+/// [`parse_program_with_depth`]). Generous for human-written code — the
+/// paper corpus peaks well under 40 — while keeping hostile inputs like
+/// ten thousand opening parentheses from overflowing the stack.
+pub const DEFAULT_PARSER_DEPTH: usize = 256;
+
 /// Parse a whole compilation unit. Returns the (possibly partial) program;
 /// callers should consult `diags` for errors.
 pub fn parse_program(src: &str, diags: &mut DiagSink) -> Program {
+    parse_program_with_depth(src, diags, DEFAULT_PARSER_DEPTH)
+}
+
+/// [`parse_program`] with an explicit recursion-depth bound. When nesting
+/// exceeds `max_depth` the parser reports one [`Code::LimitExceeded`]
+/// diagnostic and recovers instead of overflowing the stack.
+pub fn parse_program_with_depth(src: &str, diags: &mut DiagSink, max_depth: usize) -> Program {
     let tokens = lex(src, diags);
     let mut p = Parser {
         tokens,
         pos: 0,
         diags,
+        depth: 0,
+        max_depth: max_depth.max(1),
+        depth_exceeded: false,
     };
-    p.program()
+    let program = p.program();
+    // Depth overruns inside `speculate` have their diagnostics rolled
+    // back with the speculation; make sure the limit is reported exactly
+    // once regardless of where it tripped.
+    if p.depth_exceeded && !p.diags.has_code(Code::LimitExceeded) {
+        let span = p.span_here();
+        p.diags.error(
+            Code::LimitExceeded,
+            span,
+            format!("nesting exceeds the parser recursion limit of {max_depth}"),
+        );
+    }
+    program
 }
 
 /// Parse a single expression (useful in tests and the REPL-ish CLI mode).
@@ -31,6 +59,9 @@ pub fn parse_expr(src: &str, diags: &mut DiagSink) -> Option<Expr> {
         tokens,
         pos: 0,
         diags,
+        depth: 0,
+        max_depth: DEFAULT_PARSER_DEPTH,
+        depth_exceeded: false,
     };
     let e = p.expr()?;
     if !p.at(&TokenKind::Eof) {
@@ -43,6 +74,13 @@ struct Parser<'d> {
     tokens: Vec<Token>,
     pos: usize,
     diags: &'d mut DiagSink,
+    /// Current nesting depth across the recursive entry points
+    /// (`ty`/`stmt`/`unary_expr`).
+    depth: usize,
+    /// Bound on `depth`; exceeding it fails the enclosing construct.
+    max_depth: usize,
+    /// Whether the bound was ever hit (reported once, post-parse).
+    depth_exceeded: bool,
 }
 
 impl<'d> Parser<'d> {
@@ -116,6 +154,21 @@ impl<'d> Parser<'d> {
     fn error_here(&mut self, msg: impl Into<String>) {
         self.diags
             .error(Code::ParseUnexpected, self.span_here(), msg);
+    }
+
+    /// Enter one level of grammar recursion; `false` means the depth
+    /// bound is hit and the caller must fail instead of recursing.
+    fn enter(&mut self) -> bool {
+        if self.depth >= self.max_depth {
+            self.depth_exceeded = true;
+            return false;
+        }
+        self.depth += 1;
+        true
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
     }
 
     /// Run `f` speculatively: on `None`, restore the token position and drop
@@ -616,6 +669,15 @@ impl<'d> Parser<'d> {
     // ------------------------------------------------------------------
 
     fn ty(&mut self) -> Option<Type> {
+        if !self.enter() {
+            return None;
+        }
+        let t = self.ty_inner();
+        self.leave();
+        t
+    }
+
+    fn ty_inner(&mut self) -> Option<Type> {
         let start = self.span_here();
         // Guard prefix: `K : T`, `K@s : T`, `(g1, g2) : T`.
         if let Some(t) = self.speculate(|p| p.guarded_ty(start)) {
@@ -842,6 +904,15 @@ impl<'d> Parser<'d> {
     }
 
     fn stmt(&mut self) -> Option<Stmt> {
+        if !self.enter() {
+            return None;
+        }
+        let s = self.stmt_inner();
+        self.leave();
+        s
+    }
+
+    fn stmt_inner(&mut self) -> Option<Stmt> {
         let start = self.span_here();
         match self.peek().clone() {
             TokenKind::LBrace => {
@@ -1196,6 +1267,15 @@ impl<'d> Parser<'d> {
     }
 
     fn unary_expr(&mut self) -> Option<Expr> {
+        if !self.enter() {
+            return None;
+        }
+        let e = self.unary_expr_inner();
+        self.leave();
+        e
+    }
+
+    fn unary_expr_inner(&mut self) -> Option<Expr> {
         let start = self.span_here();
         match self.peek() {
             TokenKind::Bang => {

@@ -14,7 +14,7 @@ fn main() {
     println!("floppy driver: {} Vault LoC", count_loc(&driver));
     match result.verdict() {
         Verdict::Accepted => println!("verdict: accepted — all kernel protocols respected\n"),
-        Verdict::Rejected => {
+        _ => {
             print!("{}", result.render_diagnostics());
             panic!("the clean driver must check");
         }

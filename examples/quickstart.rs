@@ -51,7 +51,7 @@ fn main() {
         println!("── {name} ──────────────────────────────────");
         match result.verdict() {
             Verdict::Accepted => println!("accepted: every key is accounted for\n"),
-            Verdict::Rejected => {
+            _ => {
                 print!("{}", result.render_diagnostics());
                 println!();
             }
