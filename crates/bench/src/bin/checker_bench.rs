@@ -1,0 +1,300 @@
+//! Checker hot-path benchmark (ISSUE 3).
+//!
+//! Measures three things on a fixed, deterministic, check-heavy
+//! synthetic workload:
+//!
+//! 1. **cold** — whole-unit `check_summary` wall time (parse +
+//!    elaborate + check, no caches anywhere);
+//! 2. **warm** — re-checking the identical batch through the service's
+//!    whole-unit verdict cache (pure cache hit);
+//! 3. **incremental** — re-checking after a one-function, same-length
+//!    edit, where the function-granular cache lets the service re-check
+//!    only the edited function.
+//!
+//! Results go to `BENCH_checker.json` (first argument overrides the
+//! path). `--iters N` shrinks the measurement loops for CI smoke runs.
+//! The pre-optimization baseline (measured on the same workload at the
+//! commit before this overhaul) is recorded in the output so the
+//! speedup claims stay auditable.
+
+use std::time::Instant;
+use vault_server::{CheckService, Json, ServiceConfig, UnitIn};
+
+/// Pre-optimization numbers, measured with this binary's `cold` loop on
+/// this exact workload at the commit preceding the interning/CoW
+/// overhaul (String-keyed maps, deep-clone snapshots, whole-unit cache
+/// only). `one_fn_edit` equals `cold` there: any edit re-checked the
+/// whole unit.
+const BASELINE_COLD_SECS: f64 = 0.545720;
+const BASELINE_COMMIT: &str = "35506cf (pre-overhaul)";
+
+const PRELUDE: &str = r#"
+interface REGION {
+  type region;
+  tracked(R) region create() [new R];
+  void delete(tracked(R) region) [-R];
+}
+struct point { int x; int y; }
+"#;
+
+/// One join-heavy function: `keys` live tracked regions, then `joins`
+/// branches (each a join over the full frame + held set), a ladder of
+/// nested and triple-nested loops (fixpoint iterations over the same
+/// state), then teardown. The shape is frozen: the recorded baseline
+/// was measured on exactly this text.
+fn gen_fn(src: &mut String, f: usize, keys: usize, joins: usize, salt: usize) {
+    use std::fmt::Write as _;
+    let _ = writeln!(src, "void hot_{salt}_{f}(bool flag, int n) {{");
+    for k in 0..keys {
+        let _ = writeln!(src, "  tracked(K{f}_{k}) region r{k} = Region.create();");
+        let _ = writeln!(
+            src,
+            "  K{f}_{k}:point p{k} = new(r{k}) point {{x={k}; y=0;}};"
+        );
+    }
+    for j in 0..joins {
+        let k = j % keys;
+        let _ = writeln!(
+            src,
+            "  if (flag) {{ p{k}.x++; }} else {{ p{k}.y = p{k}.y - 1; }}"
+        );
+    }
+    let _ = writeln!(src, "  while (n > 0) {{ p0.x = p0.x + 1; n = n - 1; }}");
+    let _ = writeln!(src, "  while (n > 0) {{ p1.y = p1.y + 1; n = n - 1; }}");
+    let _ = writeln!(
+        src,
+        "  while (n > 0) {{ p2.x = p2.x + 1; while (p2.y > 0) {{ p2.y = p2.y - 1; if (flag) {{ p3.x++; }} else {{ p3.y++; }} }} n = n - 1; }}"
+    );
+    for t in 0..3usize {
+        let a = 4 + 2 * t;
+        let b = 5 + 2 * t;
+        let _ = writeln!(
+            src,
+            "  while (n > {t}) {{ p{a}.x = p{a}.x + 1; while (p{a}.y > 0) {{ p{a}.y = p{a}.y - 1; if (flag) {{ p{b}.x++; }} else {{ p{b}.y++; }} }} n = n - 1; }}"
+        );
+    }
+    for t in 0..4usize {
+        let a = 10 + 3 * (t % 2);
+        let b = 11 + 3 * (t % 2) + t / 2;
+        let c = 12 + 3 * (t % 2) + t / 2;
+        let _ = writeln!(
+            src,
+            "  while (n > {t}) {{ p{a}.x++; while (p{b}.x > 0) {{ p{b}.x = p{b}.x - 1; while (p{c}.y > 0) {{ p{c}.y = p{c}.y - 1; if (flag) {{ p{a}.y++; }} else {{ p{b}.y++; }} }} }} n = n - 1; }}"
+        );
+    }
+    for k in 0..keys {
+        let _ = writeln!(src, "  Region.delete(r{k});");
+    }
+    let _ = writeln!(src, "}}");
+}
+
+/// The measured workload: six units of 24 join/loop-heavy functions
+/// each, so checking dominates parsing (the front end is ~5% of cold).
+fn workload() -> Vec<UnitIn> {
+    (0..6)
+        .map(|i| {
+            let mut src = String::from(PRELUDE);
+            for f in 0..24 {
+                gen_fn(&mut src, f, 28, 22, i);
+            }
+            UnitIn {
+                name: format!("bench_{i}.vlt"),
+                source: src,
+            }
+        })
+        .collect()
+}
+
+/// A one-function, same-length edit: rewrite the **last** occurrence of
+/// a known statement fragment so exactly one function body changes and
+/// no other function's span moves. `digit` varies the replacement so
+/// successive edits produce distinct sources (each a genuine whole-unit
+/// cache miss).
+fn edit_one_function(source: &str, digit: char) -> String {
+    const PAT: &str = "{ p2.x = p2.x + 1;";
+    let at = source.rfind(PAT).expect("edit site present in workload");
+    let repl = format!("{{ p2.x = p2.x + {digit};");
+    debug_assert_eq!(repl.len(), PAT.len());
+    let mut edited = String::with_capacity(source.len());
+    edited.push_str(&source[..at]);
+    edited.push_str(&repl);
+    edited.push_str(&source[at + PAT.len()..]);
+    edited
+}
+
+/// Best-of-`iters` wall time for sequentially checking all `units`.
+fn cold_secs(units: &[UnitIn], iters: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        for u in units {
+            let s = vault_core::check_summary(&u.name, &u.source);
+            assert!(!s.name.is_empty());
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let mut out_path = "BENCH_checker.json".to_string();
+    let mut iters = 5usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--iters" => {
+                iters = args.next().and_then(|n| n.parse().ok()).expect("--iters N");
+            }
+            path => out_path = path.to_string(),
+        }
+    }
+
+    let units = workload();
+    let total_loc: usize = units
+        .iter()
+        .map(|u| vault_corpus::count_loc(&u.source))
+        .sum();
+    println!("workload: {} units, {total_loc} LOC", units.len());
+
+    // --- cold: the raw checker, no caches ------------------------------
+    let cold = cold_secs(&units, iters);
+    println!(
+        "cold:        {:.4} s ({:.1} us/unit)",
+        cold,
+        cold * 1e6 / units.len() as f64
+    );
+
+    // --- warm: whole-unit verdict cache hit ----------------------------
+    let svc = CheckService::new(ServiceConfig {
+        jobs: 1,
+        cache_capacity: units.len() * 4,
+        ..Default::default()
+    });
+    let (prime, _) = svc.check_units(units.clone());
+    assert!(prime.iter().all(|r| !r.cached));
+    let mut warm = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let (reports, _) = svc.check_units(units.clone());
+        warm = warm.min(start.elapsed().as_secs_f64());
+        assert!(reports.iter().all(|r| r.cached));
+    }
+    println!("warm (unit): {:.4} s", warm);
+
+    // --- incremental: one-function edit --------------------------------
+    // Each iteration applies a *distinct* same-length edit to one
+    // function per unit, so every run is a genuine whole-unit cache miss
+    // that exercises the function-granular engine: the edited function
+    // re-checks, the other 23 hit the per-function verdict cache.
+    let mut incremental = f64::INFINITY;
+    let mut edited: Vec<UnitIn> = Vec::new();
+    for i in 0..iters {
+        let digit = char::from(b'2' + (i % 8) as u8);
+        edited = units
+            .iter()
+            .map(|u| UnitIn {
+                name: u.name.clone(),
+                source: edit_one_function(&u.source, digit),
+            })
+            .collect();
+        let start = Instant::now();
+        let (reports, _) = svc.check_units(edited.clone());
+        let secs = start.elapsed().as_secs_f64();
+        assert!(
+            reports.iter().all(|r| !r.cached),
+            "edited units must miss the whole-unit cache"
+        );
+        incremental = incremental.min(secs);
+    }
+    println!("incremental: {:.4} s (one-fn edit per unit)", incremental);
+
+    let snap = svc.status();
+    println!(
+        "fn cache: {} hits / {} misses",
+        snap.fn_cache_hits, snap.fn_cache_misses
+    );
+
+    // --- verdicts must be unaffected by caching ------------------------
+    for u in &edited {
+        let direct = vault_core::check_summary(&u.name, &u.source);
+        let via_cache = svc.check_unit(u.clone());
+        assert_eq!(
+            *via_cache.summary, direct,
+            "incremental result diverged for {}",
+            u.name
+        );
+    }
+
+    let json = Json::Obj(vec![
+        ("bench".to_string(), Json::str("checker hot path (ISSUE 3)")),
+        (
+            "command".to_string(),
+            Json::str("cargo run --release -p vault-bench --bin checker_bench"),
+        ),
+        ("workload_units".to_string(), Json::num(units.len() as u64)),
+        ("workload_loc".to_string(), Json::num(total_loc as u64)),
+        ("iters".to_string(), Json::num(iters as u64)),
+        ("cold_secs".to_string(), Json::Num(round6(cold))),
+        ("warm_unit_cache_secs".to_string(), Json::Num(round6(warm))),
+        (
+            "one_fn_edit_incremental_secs".to_string(),
+            Json::Num(round6(incremental)),
+        ),
+        (
+            "incremental_speedup_vs_cold".to_string(),
+            Json::Num(round2(cold / incremental)),
+        ),
+        ("fn_cache_hits".to_string(), Json::num(snap.fn_cache_hits)),
+        (
+            "fn_cache_misses".to_string(),
+            Json::num(snap.fn_cache_misses),
+        ),
+        (
+            "baseline".to_string(),
+            Json::Obj(vec![
+                ("commit".to_string(), Json::str(BASELINE_COMMIT)),
+                (
+                    "cold_secs".to_string(),
+                    Json::Num(round6(BASELINE_COLD_SECS)),
+                ),
+                (
+                    "one_fn_edit_secs".to_string(),
+                    Json::Num(round6(BASELINE_COLD_SECS)),
+                ),
+                (
+                    "note".to_string(),
+                    Json::str(
+                        "pre-overhaul checker: String-keyed maps, deep-clone snapshots, \
+                         whole-unit cache only (an edit re-checks the whole unit)",
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "cold_speedup_vs_baseline".to_string(),
+            Json::Num(round2(BASELINE_COLD_SECS / cold)),
+        ),
+    ]);
+    let mut text = String::from("{\n");
+    if let Json::Obj(pairs) = &json {
+        for (i, (k, v)) in pairs.iter().enumerate() {
+            text.push_str(&format!(
+                "  {}: {}{}\n",
+                Json::str(k).to_line(),
+                v.to_line(),
+                if i + 1 < pairs.len() { "," } else { "" }
+            ));
+        }
+    }
+    text.push_str("}\n");
+    std::fs::write(&out_path, &text).expect("write bench json");
+    println!("wrote {out_path}");
+}
+
+fn round6(x: f64) -> f64 {
+    (x * 1e6).round() / 1e6
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}

@@ -7,8 +7,12 @@
 //! have a perf trajectory to beat.
 //!
 //! ```text
-//! cargo run --release -p vault-bench --bin server_bench [out.json]
+//! cargo run --release -p vault-bench --bin server_bench [--scale N] [out.json]
 //! ```
+//!
+//! `--scale N` multiplies the synthetic portion of the workload (N
+//! times as many generated units) to stress larger batches without
+//! changing the corpus portion.
 //!
 //! Parallel speedup is bounded by the host: the JSON records
 //! `available_parallelism` so a single-core CI box reporting ~1x is
@@ -18,10 +22,10 @@ use std::time::Instant;
 use vault_corpus::synth::{generate, Shape, SynthConfig};
 use vault_server::{CheckService, Json, ServiceConfig, UnitIn};
 
-/// The replayed workload: every corpus program plus synthetic programs
-/// of each shape (the E13 generator), large enough that pool dispatch
-/// overhead is noise.
-fn workload() -> Vec<UnitIn> {
+/// The replayed workload: every corpus program plus `20 * scale`
+/// synthetic programs of each shape (the E13 generator), large enough
+/// that pool dispatch overhead is noise.
+fn workload(scale: usize) -> Vec<UnitIn> {
     let mut units: Vec<UnitIn> = vault_corpus::all_programs()
         .into_iter()
         .map(|p| UnitIn {
@@ -36,7 +40,7 @@ fn workload() -> Vec<UnitIn> {
         Shape::Loopy,
         Shape::VariantHeavy,
     ];
-    for (i, shape) in shapes.iter().cycle().take(20).enumerate() {
+    for (i, shape) in shapes.iter().cycle().take(20 * scale.max(1)).enumerate() {
         let program = generate(&SynthConfig {
             functions: 24,
             stmts_per_fn: 16,
@@ -71,10 +75,22 @@ fn cold_batch_secs(units: &[UnitIn], jobs: usize, runs: usize) -> f64 {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_server.json".to_string());
-    let units = workload();
+    let mut out_path = "BENCH_server.json".to_string();
+    let mut scale = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--scale N (N >= 1)");
+            }
+            path => out_path = path.to_string(),
+        }
+    }
+    let units = workload(scale);
     let total_loc: usize = units
         .iter()
         .map(|u| vault_corpus::count_loc(&u.source))
@@ -145,6 +161,7 @@ fn main() {
             Json::str("cargo run --release -p vault-bench --bin server_bench"),
         ),
         ("available_parallelism".to_string(), Json::num(cpus as u64)),
+        ("scale".to_string(), Json::num(scale as u64)),
         ("workload_units".to_string(), Json::num(units.len() as u64)),
         ("workload_loc".to_string(), Json::num(total_loc as u64)),
         ("runs_per_point".to_string(), Json::num(runs as u64)),

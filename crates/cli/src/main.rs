@@ -340,7 +340,9 @@ fn stats(path: &str) -> ExitCode {
         Ok(s) => s,
         Err(code) => return code,
     };
+    let start = std::time::Instant::now();
     let result = check_source(path, &src);
+    let wall = start.elapsed();
     println!("{path}: {}", result.verdict());
     println!(
         "checker: {} statements, {} calls, {} join points, {} loop iterations, {} keys",
@@ -349,6 +351,12 @@ fn stats(path: &str) -> ExitCode {
         result.stats.joins,
         result.stats.loop_iterations,
         result.stats.keys_allocated
+    );
+    println!(
+        "flow:    {} snapshots, {} frames copied (copy-on-write), {} micros wall",
+        result.stats.snapshots,
+        result.stats.frames_copied,
+        wall.as_micros()
     );
     let mut blocks = 0usize;
     let mut edges = 0usize;

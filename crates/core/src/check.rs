@@ -14,17 +14,18 @@
 //!    extra keys are leaks, missing keys are broken promises.
 
 use crate::elaborate::lower_fn_decl_in;
-use crate::flow::{merge, states_agree, Binding, FlowState, Frame};
+use crate::flow::{frames_copied_count, merge, states_agree, Binding, FlowState, Frame};
 use crate::lower::{
     is_keyed_variant, param_map, subst_by_name, subst_eff_by_name, AliasEntry, LowerCtx, Scope,
 };
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use vault_syntax::ast::{self, Expr, ExprKind, Stmt, StmtKind};
 use vault_syntax::diag::{Code, DiagSink};
 use vault_syntax::span::Span;
 use vault_types::{
-    unify, Arg, Bindings, CtorDef, EffItem, FnSig, GuardAtom, KeyGen, KeyId, KeyInfo, KeyOrigin,
-    KeyRef, StateArg, StateReq, StateVal, Ty, TypeDef, VariantDef, World,
+    unify, Arg, Bindings, CtorDef, EffItem, FnSig, GuardAtom, Interner, KeyGen, KeyId, KeyInfo,
+    KeyOrigin, KeyRef, StateArg, StateReq, StateVal, Symbol, Ty, TypeDef, VariantDef, World,
 };
 
 /// Counters reported per function check (used by the scaling benches).
@@ -40,6 +41,11 @@ pub struct CheckStats {
     pub loop_iterations: usize,
     /// Keys allocated while checking.
     pub keys_allocated: usize,
+    /// Flow-state snapshots taken at branches, loops, and switch arms.
+    pub snapshots: usize,
+    /// Frames actually deep-copied by the copy-on-write machinery (a
+    /// fraction of `snapshots * frames`; the rest stayed shared).
+    pub frames_copied: usize,
 }
 
 impl CheckStats {
@@ -50,6 +56,8 @@ impl CheckStats {
         self.joins += other.joins;
         self.loop_iterations += other.loop_iterations;
         self.keys_allocated += other.keys_allocated;
+        self.snapshots += other.snapshots;
+        self.frames_copied += other.frames_copied;
     }
 }
 
@@ -68,14 +76,16 @@ enum ExitExpect {
 /// Check one function body against its signature.
 pub fn check_function(
     world: &World,
-    aliases: &BTreeMap<String, AliasEntry>,
-    qualifiers: &BTreeSet<String>,
+    syms: &Interner,
+    aliases: &BTreeMap<Symbol, AliasEntry>,
+    qualifiers: &BTreeSet<Symbol>,
     base_keys: &KeyGen,
     f: &ast::FunDecl,
     diags: &mut DiagSink,
 ) -> CheckStats {
     check_function_with_limits(
         world,
+        syms,
         aliases,
         qualifiers,
         base_keys,
@@ -89,10 +99,12 @@ pub fn check_function(
 /// fixpoint burns `limits.fixpoint_iters` fuel per loop, and the
 /// deadline is polled every few statements — exceeding it abandons the
 /// rest of the function with a [`Code::LimitExceeded`] diagnostic.
+#[allow(clippy::too_many_arguments)]
 pub fn check_function_with_limits(
     world: &World,
-    aliases: &BTreeMap<String, AliasEntry>,
-    qualifiers: &BTreeSet<String>,
+    syms: &Interner,
+    aliases: &BTreeMap<Symbol, AliasEntry>,
+    qualifiers: &BTreeSet<Symbol>,
     base_keys: &KeyGen,
     f: &ast::FunDecl,
     diags: &mut DiagSink,
@@ -100,6 +112,7 @@ pub fn check_function_with_limits(
 ) -> CheckStats {
     let mut checker = FnChecker {
         world,
+        syms,
         aliases,
         qualifiers,
         diags,
@@ -116,25 +129,32 @@ pub fn check_function_with_limits(
         limits: *limits,
         gave_up: false,
     };
+    // Copy-on-write accounting: the thread-local counter spans nested
+    // functions too, so only the top-level entry point reports the delta
+    // (child checkers leave `frames_copied` at zero).
+    let copied_before = frames_copied_count();
     checker.run(f);
+    checker.stats.frames_copied = (frames_copied_count() - copied_before) as usize;
     checker.stats
 }
 
 struct FnChecker<'a, 'd> {
     world: &'a World,
-    aliases: &'a BTreeMap<String, AliasEntry>,
-    qualifiers: &'a BTreeSet<String>,
+    /// The unit's frozen interner (symbol order == string order).
+    syms: &'a Interner,
+    aliases: &'a BTreeMap<Symbol, AliasEntry>,
+    qualifiers: &'a BTreeSet<Symbol>,
     diags: &'d mut DiagSink,
     keys: KeyGen,
     abs_counter: u32,
     /// Nested functions in scope, by name.
-    local_fns: BTreeMap<String, FnSig>,
+    local_fns: BTreeMap<Symbol, FnSig>,
     /// Read-only frames captured from an enclosing function.
-    captured: Vec<Frame>,
+    captured: Vec<Arc<Frame>>,
     /// Instantiated state variables of this function's signature.
-    statevars: BTreeMap<String, StateVal>,
+    statevars: BTreeMap<Symbol, StateVal>,
     /// Key names in scope (parameters, locals, enclosing keys).
-    keyenv: BTreeMap<String, KeyRef>,
+    keyenv: BTreeMap<Symbol, KeyRef>,
     /// Concrete return type (fresh keys still variables).
     ret_ty: Ty,
     fn_name: String,
@@ -150,8 +170,17 @@ impl<'a, 'd> FnChecker<'a, 'd> {
     fn ctx(&self) -> LowerCtx<'a> {
         LowerCtx {
             world: self.world,
+            syms: self.syms,
             aliases: self.aliases,
         }
+    }
+
+    /// Snapshot the flow state for a branch, loop, or switch arm. With
+    /// copy-on-write frames this is O(frames) `Arc` bumps; frames are
+    /// only deep-copied when a side later writes to them.
+    fn snapshot(&mut self, st: &FlowState) -> FlowState {
+        self.stats.snapshots += 1;
+        st.clone()
     }
 
     fn fresh_abs(&mut self, bound: Option<vault_types::StateId>) -> StateVal {
@@ -232,7 +261,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
         for v in &param_keyvars {
             let resource = key_resource(&sig.params, v).unwrap_or_else(|| "resource".into());
             let k = self.fresh_key(Some(v.clone()), resource, KeyOrigin::Param);
-            self.keyenv.insert(v.clone(), KeyRef::Id(k));
+            self.keyenv.insert(self.syms.sym(v), KeyRef::Id(k));
             imap.insert(v.clone(), Arg::Key(KeyRef::Id(k)));
         }
 
@@ -254,7 +283,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
         }
         for (v, bound) in &svars {
             let val = self.fresh_abs(*bound);
-            self.statevars.insert(v.clone(), val);
+            self.statevars.insert(self.syms.sym(v), val);
             imap.insert(v.clone(), Arg::State(StateArg::Val(val)));
         }
 
@@ -274,7 +303,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
             }
             if let Some(n) = name {
                 if !st.declare(
-                    n,
+                    self.syms.sym(n),
                     Binding {
                         decl_ty: cty.clone(),
                         ty: cty,
@@ -350,7 +379,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
         // Unmentioned global keys are held in a polymorphic state that the
         // function must not disturb.
         for (name, g) in self.world.global_keys() {
-            self.keyenv.insert(name.to_string(), KeyRef::Id(g.id));
+            self.keyenv.insert(self.syms.sym(name), KeyRef::Id(g.id));
             if !mentioned.contains(&g.id) {
                 let val = self.fresh_abs(None);
                 st.held.insert(g.id, val).expect("globals are distinct");
@@ -370,17 +399,17 @@ impl<'a, 'd> FnChecker<'a, 'd> {
             StateReq::Any => self.fresh_abs(None),
             StateReq::Exact(t) => StateVal::Token(*t),
             StateReq::AtMost { var, bound } => match var {
-                Some(v) => match self.statevars.get(v) {
+                Some(v) => match self.statevars.get(&self.syms.sym(v)) {
                     Some(val) => *val,
                     None => {
                         let val = self.fresh_abs(Some(*bound));
-                        self.statevars.insert(v.clone(), val);
+                        self.statevars.insert(self.syms.sym(v), val);
                         val
                     }
                 },
                 None => self.fresh_abs(Some(*bound)),
             },
-            StateReq::Var(v) => match self.statevars.get(v) {
+            StateReq::Var(v) => match self.statevars.get(&self.syms.sym(v)) {
                 Some(val) => *val,
                 None => {
                     self.diags.error(
@@ -398,7 +427,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
         match arg {
             StateArg::Token(t) => StateVal::Token(*t),
             StateArg::Val(v) => *v,
-            StateArg::Var(v) => match self.statevars.get(v) {
+            StateArg::Var(v) => match self.statevars.get(&self.syms.sym(v)) {
                 Some(val) => *val,
                 None => {
                     self.diags.error(
@@ -590,9 +619,9 @@ impl<'a, 'd> FnChecker<'a, 'd> {
                 else_branch,
             } => {
                 self.expect_bool(st, cond);
-                let mut then_st = st.clone();
+                let mut then_st = self.snapshot(st);
                 self.check_stmt(&mut then_st, then_branch);
-                let mut else_st = st.clone();
+                let mut else_st = self.snapshot(st);
                 if let Some(e) = else_branch {
                     self.check_stmt(&mut else_st, e);
                 }
@@ -644,7 +673,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
 
     fn join(&mut self, a: &FlowState, b: &FlowState, span: Span) -> FlowState {
         self.stats.joins += 1;
-        let m = merge(a, b, &self.keys, self.world);
+        let m = merge(a, b, &self.keys, self.world, self.syms);
         for p in &m.problems {
             self.diags.error(Code::JoinMismatch, span, p.clone());
         }
@@ -660,7 +689,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
     ) {
         let mut scope = Scope::body(self.keyenv.clone());
         scope.allow_state_binders = true;
-        scope.statevars = self.statevars.keys().cloned().collect();
+        scope.statevars = self.statevars.keys().copied().collect();
         let lowered = {
             let ctx = self.ctx();
             ctx.lower_type(&mut scope, ty, self.diags)
@@ -690,7 +719,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
                 for b in &binders {
                     match binds.keys.get(b) {
                         Some(k) => {
-                            self.keyenv.insert(b.clone(), KeyRef::Id(*k));
+                            self.keyenv.insert(self.syms.sym(b), KeyRef::Id(*k));
                             if self.keys.info(*k).name.is_none() {
                                 self.keys.info_mut(*k).name = Some(b.clone());
                             }
@@ -712,7 +741,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
                 for b in &state_binders {
                     match binds.states.get(b) {
                         Some(v) => {
-                            self.statevars.insert(b.clone(), *v);
+                            self.statevars.insert(self.syms.sym(b), *v);
                         }
                         None if ok => {
                             self.diags.error(
@@ -761,7 +790,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
             }
         };
         if !st.declare(
-            &name.name,
+            self.syms.sym(&name.name),
             Binding {
                 decl_ty,
                 ty: final_ty,
@@ -779,8 +808,9 @@ impl<'a, 'd> FnChecker<'a, 'd> {
     fn check_assign(&mut self, st: &mut FlowState, lhs: &Expr, rhs: &Expr, span: Span) {
         match &lhs.kind {
             ExprKind::Var(name) => {
-                let Some(binding) = st.lookup(&name.name).cloned() else {
-                    if self.captured.iter().any(|f| f.contains_key(&name.name)) {
+                let sym = self.syms.sym(&name.name);
+                let Some(binding) = st.lookup(sym).cloned() else {
+                    if self.captured.iter().any(|f| f.contains_key(&sym)) {
                         self.diags.error(
                             Code::TypeMismatch,
                             lhs.span,
@@ -821,7 +851,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
                         ),
                     );
                 }
-                if let Some(b) = st.lookup_mut(&name.name) {
+                if let Some(b) = st.lookup_mut(sym) {
                     b.init = ok || b.init;
                     if ok {
                         b.ty = if is_anon_decl(&expected) && !actual.is_error() {
@@ -878,6 +908,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
         crate::elaborate::validate_signature(&sig, f, self.diags);
         let mut child = FnChecker {
             world: self.world,
+            syms: self.syms,
             aliases: self.aliases,
             qualifiers: self.qualifiers,
             diags: self.diags,
@@ -897,11 +928,11 @@ impl<'a, 'd> FnChecker<'a, 'd> {
         child.run(f);
         let child_stats = child.stats;
         self.stats.absorb(child_stats);
-        self.local_fns.insert(f.name.name.clone(), sig);
+        self.local_fns.insert(self.syms.sym(&f.name.name), sig);
     }
 
     fn check_while(&mut self, st: &mut FlowState, cond: &Expr, body: &Stmt, span: Span) {
-        let mut cur = st.clone();
+        let mut cur = self.snapshot(st);
         for _ in 0..self.limits.fixpoint_iters {
             self.stats.loop_iterations += 1;
             // Abandoning the fixpoint without a diagnostic could accept
@@ -922,13 +953,13 @@ impl<'a, 'd> FnChecker<'a, 'd> {
                 *st = cur;
                 return;
             }
-            let mut iter = cur.clone();
+            let mut iter = self.snapshot(&cur);
             self.expect_bool(&mut iter, cond);
-            let exit_state = iter.clone();
+            let exit_state = self.snapshot(&iter);
             let mut after_body = iter;
             self.check_stmt(&mut after_body, body);
             self.stats.joins += 1;
-            let m = merge(&cur, &after_body, &self.keys, self.world);
+            let m = merge(&cur, &after_body, &self.keys, self.world, self.syms);
             if !m.problems.is_empty() {
                 // The back edge changes the held-key set every iteration:
                 // no invariant exists.
@@ -943,7 +974,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
                 return;
             }
             let joined = m.state;
-            if states_agree(&joined, &cur, &self.keys, self.world) {
+            if states_agree(&joined, &cur, &self.keys, self.world, self.syms) {
                 *st = exit_state;
                 return;
             }
@@ -1026,7 +1057,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
             return;
         };
         let def = def.clone();
-        let pre = st.clone();
+        let pre = self.snapshot(st);
         let mut covered: BTreeSet<String> = BTreeSet::new();
         let mut result: Option<FlowState> = None;
         for arm in arms {
@@ -1043,7 +1074,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
             };
             let cdef = cdef.clone();
             covered.insert(arm.ctor.name.clone());
-            let mut s = pre.clone();
+            let mut s = self.snapshot(&pre);
             self.check_arm(&mut s, &def, &cdef, &vargs, arm);
             result = Some(match result {
                 None => s,
@@ -1150,7 +1181,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
             match binder {
                 Some(ast::PatBinder::Name(n)) => {
                     if !s.declare(
-                        &n.name,
+                        self.syms.sym(&n.name),
                         Binding {
                             decl_ty: ty.clone(),
                             ty,
@@ -1309,25 +1340,28 @@ impl<'a, 'd> FnChecker<'a, 'd> {
         // guard is checked where the value is *used* (field access,
         // arithmetic, assignment). Passing a guarded reference to a
         // function that will acquire the guard itself is legal.
-        if let Some(b) = st.lookup(&name.name) {
-            let b = b.clone();
-            if !b.init {
+        let sym = self.syms.sym(&name.name);
+        if let Some(b) = st.lookup(sym) {
+            // Clone only what escapes the borrow (skip `decl_ty`).
+            let init = b.init;
+            let ty = b.ty.clone();
+            if !init {
                 self.diags.error(
                     Code::Uninitialized,
                     name.span,
                     format!("variable `{name}` may be used before it is assigned"),
                 );
             }
-            return b.ty;
+            return ty;
         }
         // Captured variables from an enclosing function.
         for frame in self.captured.iter().rev() {
-            if let Some(b) = frame.get(&name.name) {
+            if let Some(b) = frame.get(&sym) {
                 return b.ty.clone();
             }
         }
         // A function used as a value.
-        if let Some(sig) = self.local_fns.get(&name.name) {
+        if let Some(sig) = self.local_fns.get(&sym) {
             return Ty::Fn(Box::new(sig.clone()));
         }
         if let Some(sig) = self.world.fn_sig(&name.name) {
@@ -1392,7 +1426,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
                     }
                 }
                 StateReq::Var(v) => {
-                    let want = self.statevars.get(v).copied();
+                    let want = self.statevars.get(&self.syms.sym(v)).copied();
                     if want != Some(cur) {
                         self.diags.error(
                             Code::WrongKeyState,
@@ -1645,7 +1679,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
         match &callee.kind {
             ExprKind::Var(name) => {
                 // A local variable holding a function value.
-                if let Some(b) = st.lookup(&name.name) {
+                if let Some(b) = st.lookup(self.syms.sym(&name.name)) {
                     if let Ty::Fn(sig) = &b.ty {
                         return Some((**sig).clone());
                     }
@@ -1656,7 +1690,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
                     );
                     return None;
                 }
-                if let Some(sig) = self.local_fns.get(&name.name) {
+                if let Some(sig) = self.local_fns.get(&self.syms.sym(&name.name)) {
                     return Some(sig.clone());
                 }
                 if let Some(sig) = self.world.fn_sig(&name.name) {
@@ -1672,8 +1706,8 @@ impl<'a, 'd> FnChecker<'a, 'd> {
             ExprKind::Field(base, fname) => {
                 // Module-qualified call `Region.create(...)`.
                 if let ExprKind::Var(q) = &base.kind {
-                    if st.lookup(&q.name).is_none() {
-                        if !self.qualifiers.contains(&q.name) {
+                    if st.lookup(self.syms.sym(&q.name)).is_none() {
+                        if !self.qualifiers.contains(&self.syms.sym(&q.name)) {
                             // Unknown qualifier: still resolve by final
                             // segment, but note the suspicious module.
                         }
@@ -1872,7 +1906,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
                     .states
                     .get(v)
                     .copied()
-                    .or_else(|| self.statevars.get(v).copied());
+                    .or_else(|| self.statevars.get(&self.syms.sym(v)).copied());
                 match want {
                     Some(w) if w == cur => true,
                     Some(w) => {
@@ -1906,7 +1940,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
                 .states
                 .get(v)
                 .copied()
-                .or_else(|| self.statevars.get(v).copied())
+                .or_else(|| self.statevars.get(&self.syms.sym(v)).copied())
             {
                 Some(val) => val,
                 None => {
@@ -1976,11 +2010,15 @@ impl<'a, 'd> FnChecker<'a, 'd> {
                 );
             }
             for ((pname, _), kref) in cdef.captures.iter().zip(keys) {
-                let resolved = self.keyenv.get(&kref.key.name).cloned().or_else(|| {
-                    self.world
-                        .global_key(&kref.key.name)
-                        .map(|g| KeyRef::Id(g.id))
-                });
+                let resolved = self
+                    .keyenv
+                    .get(&self.syms.sym(&kref.key.name))
+                    .cloned()
+                    .or_else(|| {
+                        self.world
+                            .global_key(&kref.key.name)
+                            .map(|g| KeyRef::Id(g.id))
+                    });
                 match resolved {
                     Some(r) => {
                         if let Some(Arg::Key(prev)) = pmap.get(pname) {
@@ -2392,7 +2430,10 @@ impl FnChecker<'_, '_> {
             .map(|(n, k)| (n.clone(), Arg::Key(KeyRef::Id(*k))))
             .collect();
         for (n, v) in &self.statevars {
-            map.insert(n.clone(), Arg::State(StateArg::Val(*v)));
+            map.insert(
+                self.syms.resolve(*n).to_string(),
+                Arg::State(StateArg::Val(*v)),
+            );
         }
         for (n, v) in &binds.states {
             map.insert(n.clone(), Arg::State(StateArg::Val(*v)));

@@ -7,8 +7,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use vault_syntax::ast;
 use vault_syntax::diag::{Code, DiagSink};
 use vault_types::{
-    AbstractDef, CtorDef, FnSig, GlobalKey, KeyGen, KeyInfo, KeyOrigin, KeyRef, ParamKind,
-    StateTable, StructDef, Ty, TypeDef, VariantDef, World,
+    AbstractDef, CtorDef, FnSig, GlobalKey, Interner, KeyGen, KeyInfo, KeyOrigin, KeyRef,
+    ParamKind, StateTable, StructDef, Symbol, Ty, TypeDef, VariantDef, World,
 };
 
 /// The result of elaboration: the world plus everything the flow checker
@@ -16,20 +16,32 @@ use vault_types::{
 pub struct Elaborated {
     /// The declaration tables.
     pub world: World,
+    /// The unit's frozen interner: every identifier in the program, plus
+    /// the resolver's sentinels, in string order (so symbol order equals
+    /// string order everywhere downstream).
+    pub syms: Interner,
     /// Type aliases (expanded at use sites).
-    pub aliases: BTreeMap<String, AliasEntry>,
+    pub aliases: BTreeMap<Symbol, AliasEntry>,
     /// Global keys pre-allocated; function checks clone this generator.
     pub base_keys: KeyGen,
     /// Function declarations that have bodies, in source order.
     pub bodies: Vec<ast::FunDecl>,
     /// Names of interfaces/modules, accepted as call qualifiers.
-    pub qualifiers: BTreeSet<String>,
+    pub qualifiers: BTreeSet<Symbol>,
 }
 
 /// Elaborate a parsed program.
 pub fn elaborate(program: &ast::Program, diags: &mut DiagSink) -> Elaborated {
+    // The interner is frozen before anything else runs: every identifier
+    // in the unit, plus the sentinels lowering error paths can introduce
+    // (they participate in map ordering like any other name).
+    let mut names = vault_syntax::ident_names(program);
+    names.insert("<error>");
+    names.insert("<fn>");
+    let syms = Interner::from_sorted(names);
+
     let mut world = World::new();
-    let mut aliases: BTreeMap<String, AliasEntry> = BTreeMap::new();
+    let mut aliases: BTreeMap<Symbol, AliasEntry> = BTreeMap::new();
     let mut base_keys = KeyGen::new();
     let mut bodies = Vec::new();
     let mut qualifiers = BTreeSet::new();
@@ -39,19 +51,20 @@ pub fn elaborate(program: &ast::Program, diags: &mut DiagSink) -> Elaborated {
     fn flatten<'a>(
         ds: &'a [ast::Decl],
         out: &mut Vec<&'a ast::Decl>,
-        quals: &mut BTreeSet<String>,
+        quals: &mut BTreeSet<Symbol>,
+        syms: &Interner,
     ) {
         for d in ds {
             match d {
                 ast::Decl::Interface(i) => {
-                    quals.insert(i.name.name.clone());
-                    flatten(&i.decls, out, quals);
+                    quals.insert(syms.sym(&i.name.name));
+                    flatten(&i.decls, out, quals, syms);
                 }
                 other => out.push(other),
             }
         }
     }
-    flatten(&program.decls, &mut decls, &mut qualifiers);
+    flatten(&program.decls, &mut decls, &mut qualifiers, &syms);
 
     // Pass 1: statesets (state tokens must exist before anything refers to
     // them).
@@ -150,7 +163,9 @@ pub fn elaborate(program: &ast::Program, diags: &mut DiagSink) -> Elaborated {
     for d in &decls {
         if let ast::Decl::TypeAlias(a) = d {
             if let Some(body) = &a.body {
-                if world.type_id(&a.name.name).is_some() || aliases.contains_key(&a.name.name) {
+                if world.type_id(&a.name.name).is_some()
+                    || aliases.contains_key(&syms.sym(&a.name.name))
+                {
                     diags.error(
                         Code::DuplicateDecl,
                         a.name.span,
@@ -159,7 +174,7 @@ pub fn elaborate(program: &ast::Program, diags: &mut DiagSink) -> Elaborated {
                     continue;
                 }
                 aliases.insert(
-                    a.name.name.clone(),
+                    syms.sym(&a.name.name),
                     AliasEntry {
                         params: lower_params(&world, &a.params, diags),
                         body: body.clone(),
@@ -188,10 +203,11 @@ pub fn elaborate(program: &ast::Program, diags: &mut DiagSink) -> Elaborated {
                     continue;
                 };
                 let params = world.typedef(id).params().to_vec();
-                let mut scope = param_scope(&params);
+                let mut scope = param_scope(&params, &syms);
                 let ctx = LowerCtx {
                     world: &world,
                     aliases: &aliases,
+                    syms: &syms,
                 };
                 let mut fields = Vec::new();
                 for f in &s.fields {
@@ -239,10 +255,11 @@ pub fn elaborate(program: &ast::Program, diags: &mut DiagSink) -> Elaborated {
                     // Constructor arguments may mention keys that are not
                     // variant parameters: those are the constructor-scoped
                     // existential keys (paper §2.4 "anonymity").
-                    let mut scope = param_scope(&params);
+                    let mut scope = param_scope(&params, &syms);
                     let ctx = LowerCtx {
                         world: &world,
                         aliases: &aliases,
+                        syms: &syms,
                     };
                     let args: Vec<Ty> = c
                         .args
@@ -252,8 +269,9 @@ pub fn elaborate(program: &ast::Program, diags: &mut DiagSink) -> Elaborated {
                     let exist_keys: Vec<String> = scope
                         .keyvars
                         .iter()
+                        .map(|k| syms.resolve(*k))
                         .filter(|k| !param_names.contains(*k))
-                        .cloned()
+                        .map(str::to_string)
                         .collect();
                     let mut captures = Vec::new();
                     for cap in &c.captures {
@@ -297,6 +315,7 @@ pub fn elaborate(program: &ast::Program, diags: &mut DiagSink) -> Elaborated {
             let ctx = LowerCtx {
                 world: &world,
                 aliases: &aliases,
+                syms: &syms,
             };
             let sig = lower_fn_decl(&ctx, f, diags);
             validate_signature(&sig, f, diags);
@@ -315,6 +334,7 @@ pub fn elaborate(program: &ast::Program, diags: &mut DiagSink) -> Elaborated {
 
     Elaborated {
         world,
+        syms,
         aliases,
         base_keys,
         bodies,
@@ -341,14 +361,14 @@ pub fn lower_fn_decl_in(
     for tp in &f.tparams {
         match tp {
             ast::TParam::Type(n) => {
-                scope.tyvars.insert(n.name.clone());
+                scope.tyvars.insert(ctx.syms.sym(&n.name));
                 ty_params.push(n.name.clone());
             }
             ast::TParam::Key(n) => {
-                scope.keyvars.insert(n.name.clone());
+                scope.keyvars.insert(ctx.syms.sym(&n.name));
             }
             ast::TParam::State { name, .. } => {
-                scope.statevars.insert(name.name.clone());
+                scope.statevars.insert(ctx.syms.sym(&name.name));
             }
         }
     }
@@ -470,18 +490,18 @@ fn lower_params(world: &World, params: &[ast::TParam], diags: &mut DiagSink) -> 
 }
 
 /// A signature-mode scope with a type's parameters pre-bound.
-fn param_scope(params: &[ParamKind]) -> Scope {
+fn param_scope(params: &[ParamKind], syms: &Interner) -> Scope {
     let mut scope = Scope::signature();
     for p in params {
         match p {
             ParamKind::Type(n) => {
-                scope.tyvars.insert(n.clone());
+                scope.tyvars.insert(syms.sym(n));
             }
             ParamKind::Key(n) => {
-                scope.bound_keys.insert(n.clone(), KeyRef::var(n));
+                scope.bound_keys.insert(syms.sym(n), KeyRef::var(n));
             }
             ParamKind::State { name, .. } => {
-                scope.statevars.insert(name.clone());
+                scope.statevars.insert(syms.sym(name));
             }
         }
     }
@@ -524,7 +544,7 @@ mod tests {
         assert!(
             matches!(&delete.effect[0], EffItem::Consume { key: KeyRef::Var(v), .. } if v == "R")
         );
-        assert!(e.qualifiers.contains("REGION"));
+        assert!(e.qualifiers.contains(&e.syms.sym("REGION")));
     }
 
     #[test]

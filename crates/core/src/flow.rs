@@ -7,9 +7,20 @@
 //! key sets"). The renaming is discovered from the environment: variables
 //! live on both paths correlate the keys; leftover keys are paired in
 //! order. Any disagreement is the paper's Fig. 5 rejection.
+//!
+//! ## Copy-on-write snapshots
+//!
+//! Branching constructs snapshot the state once per arm and loops snapshot
+//! once per fixpoint iteration, so `FlowState::clone` is on the checker's
+//! hottest path. Each scope [`Frame`] therefore lives behind an [`Arc`]:
+//! a snapshot is O(frames) pointer bumps, and a frame's map is deep-copied
+//! only on the first write after a snapshot ([`frame_mut`]). Most arms
+//! touch one or two scopes, so untouched frames stay shared.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
-use vault_types::{ty_eq_mod_keys, HeldSet, KeyGen, KeyId, StateVal, Ty, World};
+use std::sync::Arc;
+use vault_types::{ty_eq_mod_keys, HeldSet, Interner, KeyGen, KeyId, StateVal, Symbol, Ty, World};
 
 /// What the checker knows about one variable.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -24,13 +35,35 @@ pub struct Binding {
 }
 
 /// One lexical scope of variables.
-pub type Frame = BTreeMap<String, Binding>;
+pub type Frame = BTreeMap<Symbol, Binding>;
+
+thread_local! {
+    static FRAMES_COPIED: Cell<u64> = const { Cell::new(0) };
+}
+
+/// How many shared frames this thread has deep-copied on first write
+/// (monotonic; callers take deltas). Feeds `CheckStats::frames_copied`.
+pub fn frames_copied_count() -> u64 {
+    FRAMES_COPIED.with(|c| c.get())
+}
+
+/// Mutable access to a possibly-shared frame, deep-copying it first if a
+/// snapshot still aliases it. The copy is counted in the thread's
+/// [`frames_copied_count`].
+pub fn frame_mut(frame: &mut Arc<Frame>) -> &mut Frame {
+    // Snapshots never cross threads, so the strong count is exact here.
+    if Arc::strong_count(frame) != 1 {
+        FRAMES_COPIED.with(|c| c.set(c.get() + 1));
+    }
+    Arc::make_mut(frame)
+}
 
 /// The abstract state at a program point.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FlowState {
-    /// Stack of scopes, innermost last.
-    pub frames: Vec<Frame>,
+    /// Stack of scopes, innermost last. Shared with snapshots until
+    /// written (see module docs); mutate only through [`frame_mut`].
+    pub frames: Vec<Arc<Frame>>,
     /// The held-key set.
     pub held: HeldSet,
     /// False after `return` (dead code is skipped).
@@ -41,7 +74,7 @@ impl FlowState {
     /// A fresh state with one empty scope.
     pub fn new() -> Self {
         FlowState {
-            frames: vec![Frame::new()],
+            frames: vec![Arc::new(Frame::new())],
             held: HeldSet::new(),
             reachable: true,
         }
@@ -49,7 +82,7 @@ impl FlowState {
 
     /// Enter a nested scope.
     pub fn push_frame(&mut self) {
-        self.frames.push(Frame::new());
+        self.frames.push(Arc::new(Frame::new()));
     }
 
     /// Leave the innermost scope, dropping its variables.
@@ -59,29 +92,30 @@ impl FlowState {
     }
 
     /// Look up a variable, innermost scope first.
-    pub fn lookup(&self, name: &str) -> Option<&Binding> {
-        self.frames.iter().rev().find_map(|f| f.get(name))
+    pub fn lookup(&self, name: Symbol) -> Option<&Binding> {
+        self.frames.iter().rev().find_map(|f| f.get(&name))
     }
 
-    /// Mutable lookup.
-    pub fn lookup_mut(&mut self, name: &str) -> Option<&mut Binding> {
-        self.frames.iter_mut().rev().find_map(|f| f.get_mut(name))
+    /// Mutable lookup (copies the owning frame if it is shared).
+    pub fn lookup_mut(&mut self, name: Symbol) -> Option<&mut Binding> {
+        let fi = self.frames.iter().rposition(|f| f.contains_key(&name))?;
+        frame_mut(&mut self.frames[fi]).get_mut(&name)
     }
 
     /// Declare a variable in the innermost scope. Returns false if the name
     /// already exists in that scope.
-    pub fn declare(&mut self, name: &str, binding: Binding) -> bool {
+    pub fn declare(&mut self, name: Symbol, binding: Binding) -> bool {
         let frame = self.frames.last_mut().expect("at least one frame");
-        if frame.contains_key(name) {
+        if frame.contains_key(&name) {
             return false;
         }
-        frame.insert(name.to_string(), binding);
+        frame_mut(frame).insert(name, binding);
         true
     }
 
     /// Iterate all visible bindings (outer to inner, shadowed ones too —
     /// join compares positionally per frame so shadowing is consistent).
-    pub fn bindings(&self) -> impl Iterator<Item = (&String, &Binding)> {
+    pub fn bindings(&self) -> impl Iterator<Item = (&Symbol, &Binding)> {
         self.frames.iter().flat_map(|f| f.iter())
     }
 }
@@ -113,7 +147,7 @@ impl Merge {
 }
 
 /// Merge two flow states at a join point.
-pub fn merge(a: &FlowState, b: &FlowState, keys: &KeyGen, world: &World) -> Merge {
+pub fn merge(a: &FlowState, b: &FlowState, keys: &KeyGen, world: &World, syms: &Interner) -> Merge {
     if !a.reachable {
         return Merge {
             state: b.clone(),
@@ -137,27 +171,36 @@ pub fn merge(a: &FlowState, b: &FlowState, keys: &KeyGen, world: &World) -> Merg
     let mut rev: BTreeMap<KeyId, KeyId> = BTreeMap::new(); // b → a
     debug_assert_eq!(a.frames.len(), b.frames.len(), "unbalanced scopes at join");
     for (fi, (fa, fb)) in a.frames.iter().zip(&b.frames).enumerate() {
-        for (name, ba) in fa {
+        if Arc::ptr_eq(fa, fb) {
+            // Shared snapshot: bindings are identical by construction, and
+            // identical bindings correlate each key to itself.
+            for ba in fa.values().filter(|b| b.init) {
+                ty_eq_mod_keys(&ba.ty, &ba.ty, &mut map, &mut rev);
+            }
+            continue;
+        }
+        for (name, ba) in fa.iter() {
             let Some(bb) = fb.get(name) else {
                 // Structurally impossible for well-formed traversal; be
                 // permissive and poison.
-                poisoned.push(name.clone());
+                poisoned.push(syms.resolve(*name).to_string());
                 continue;
             };
             match (ba.init, bb.init) {
                 (true, true) => {
                     if !ty_eq_mod_keys(&ba.ty, &bb.ty, &mut map, &mut rev) {
                         problems.push(format!(
-                            "variable `{name}` has type `{}` on one path but `{}` on the \
+                            "variable `{}` has type `{}` on one path but `{}` on the \
                              other",
+                            syms.resolve(*name),
                             ba.ty.display(world),
                             bb.ty.display(world)
                         ));
-                        poison(&mut out, fi, name, &mut poisoned);
+                        poison(&mut out, fi, *name, syms, &mut poisoned);
                     }
                 }
                 (false, false) => {}
-                _ => poison(&mut out, fi, name, &mut poisoned),
+                _ => poison(&mut out, fi, *name, syms, &mut poisoned),
             }
         }
     }
@@ -205,12 +248,18 @@ pub fn merge(a: &FlowState, b: &FlowState, keys: &KeyGen, world: &World) -> Merg
     }
 }
 
-fn poison(out: &mut FlowState, frame: usize, name: &str, poisoned: &mut Vec<String>) {
-    if let Some(b) = out.frames[frame].get_mut(name) {
+fn poison(
+    out: &mut FlowState,
+    frame: usize,
+    name: Symbol,
+    syms: &Interner,
+    poisoned: &mut Vec<String>,
+) {
+    if let Some(b) = frame_mut(&mut out.frames[frame]).get_mut(&name) {
         b.ty = Ty::Error;
         b.init = false;
     }
-    poisoned.push(name.to_string());
+    poisoned.push(syms.resolve(name).to_string());
 }
 
 fn held_disagreement(a: &FlowState, b: &FlowState, keys: &KeyGen, world: &World) -> String {
@@ -268,14 +317,20 @@ fn stateval_compat(
 }
 
 /// Whether two states agree (used for the loop-invariant fixpoint test).
-pub fn states_agree(a: &FlowState, b: &FlowState, keys: &KeyGen, world: &World) -> bool {
+pub fn states_agree(
+    a: &FlowState,
+    b: &FlowState,
+    keys: &KeyGen,
+    world: &World,
+    syms: &Interner,
+) -> bool {
     if a.reachable != b.reachable {
         return false;
     }
     if !a.reachable {
         return true;
     }
-    merge(a, b, keys, world).clean()
+    merge(a, b, keys, world, syms).clean()
 }
 
 #[cfg(test)]
@@ -283,7 +338,7 @@ mod tests {
     use super::*;
     use vault_types::{AbstractDef, KeyInfo, KeyOrigin, KeyRef, StateTable, TypeDef};
 
-    fn setup() -> (World, KeyGen, Ty) {
+    fn setup() -> (World, KeyGen, Ty, Interner) {
         let mut w = World::new();
         let region = w
             .add_type(TypeDef::Abstract(AbstractDef {
@@ -298,6 +353,7 @@ mod tests {
                 id: region,
                 args: vec![],
             },
+            Interner::from_sorted(["flag", "inner", "outer", "r", "rgn", "s", "x"]),
         )
     }
 
@@ -321,13 +377,16 @@ mod tests {
 
     #[test]
     fn merge_identical_states_is_clean() {
-        let (w, mut keys, region) = setup();
+        let (w, mut keys, region, syms) = setup();
         let k = fresh(&mut keys);
         let mut a = FlowState::new();
-        a.declare("r", bind(Ty::tracked(KeyRef::Id(k), region.clone())));
+        a.declare(
+            syms.sym("r"),
+            bind(Ty::tracked(KeyRef::Id(k), region.clone())),
+        );
         a.held.insert(k, StateVal::DEFAULT).unwrap();
         let b = a.clone();
-        let m = merge(&a, &b, &keys, &w);
+        let m = merge(&a, &b, &keys, &w, &syms);
         assert!(m.clean(), "{:?} / {:?}", m.problems, m.poisoned);
     }
 
@@ -335,16 +394,22 @@ mod tests {
     fn merge_renames_local_keys() {
         // Branch A made key k0 for `flag`; branch B made k1. The join
         // abstracts the names (the §2.1 opt_key example).
-        let (w, mut keys, region) = setup();
+        let (w, mut keys, region, syms) = setup();
         let k0 = fresh(&mut keys);
         let k1 = fresh(&mut keys);
         let mut a = FlowState::new();
-        a.declare("flag", bind(Ty::tracked(KeyRef::Id(k0), region.clone())));
+        a.declare(
+            syms.sym("flag"),
+            bind(Ty::tracked(KeyRef::Id(k0), region.clone())),
+        );
         a.held.insert(k0, StateVal::DEFAULT).unwrap();
         let mut b = FlowState::new();
-        b.declare("flag", bind(Ty::tracked(KeyRef::Id(k1), region.clone())));
+        b.declare(
+            syms.sym("flag"),
+            bind(Ty::tracked(KeyRef::Id(k1), region.clone())),
+        );
         b.held.insert(k1, StateVal::DEFAULT).unwrap();
-        let m = merge(&a, &b, &keys, &w);
+        let m = merge(&a, &b, &keys, &w, &syms);
         assert!(m.clean(), "{:?}", m.problems);
         assert!(m.state.held.holds(k0));
     }
@@ -352,22 +417,28 @@ mod tests {
     #[test]
     fn merge_detects_held_disagreement() {
         // Fig. 5: one branch deleted the region, the other did not.
-        let (w, mut keys, region) = setup();
+        let (w, mut keys, region, syms) = setup();
         let k = fresh(&mut keys);
         let mut a = FlowState::new();
-        a.declare("rgn", bind(Ty::tracked(KeyRef::Id(k), region.clone())));
+        a.declare(
+            syms.sym("rgn"),
+            bind(Ty::tracked(KeyRef::Id(k), region.clone())),
+        );
         a.held.insert(k, StateVal::DEFAULT).unwrap();
         let mut b = FlowState::new();
-        b.declare("rgn", bind(Ty::tracked(KeyRef::Id(k), region.clone())));
+        b.declare(
+            syms.sym("rgn"),
+            bind(Ty::tracked(KeyRef::Id(k), region.clone())),
+        );
         // b deleted the region: key not held.
-        let m = merge(&a, &b, &keys, &w);
+        let m = merge(&a, &b, &keys, &w, &syms);
         assert!(!m.clean());
         assert!(m.problems[0].contains("disagree"), "{:?}", m.problems);
     }
 
     #[test]
     fn merge_detects_state_disagreement() {
-        let (w, mut keys, region) = setup();
+        let (w, mut keys, region, syms) = setup();
         let mut states = StateTable::new();
         let set = states.begin_stateset("S");
         let s1 = states.add_state(set, "one").unwrap();
@@ -377,32 +448,35 @@ mod tests {
         world.states = states;
         let k = fresh(&mut keys);
         let mut a = FlowState::new();
-        a.declare("s", bind(Ty::tracked(KeyRef::Id(k), region.clone())));
+        a.declare(
+            syms.sym("s"),
+            bind(Ty::tracked(KeyRef::Id(k), region.clone())),
+        );
         a.held.insert(k, StateVal::Token(s1)).unwrap();
         let mut b = a.clone();
         b.held.set_state(k, StateVal::Token(s2)).unwrap();
-        let m = merge(&a, &b, &keys, &world);
+        let m = merge(&a, &b, &keys, &world, &syms);
         assert!(!m.clean());
         assert!(m.problems[0].contains("state"), "{:?}", m.problems);
     }
 
     #[test]
     fn merge_unreachable_picks_other() {
-        let (w, keys, _region) = setup();
+        let (w, keys, _region, syms) = setup();
         let mut a = FlowState::new();
         a.reachable = false;
         let b = FlowState::new();
-        let m = merge(&a, &b, &keys, &w);
+        let m = merge(&a, &b, &keys, &w, &syms);
         assert!(m.clean());
         assert!(m.state.reachable);
     }
 
     #[test]
     fn merge_poisons_partially_initialized() {
-        let (w, keys, _region) = setup();
+        let (w, keys, _region, syms) = setup();
         let mut a = FlowState::new();
         a.declare(
-            "x",
+            syms.sym("x"),
             Binding {
                 decl_ty: Ty::Int,
                 ty: Ty::Int,
@@ -411,44 +485,76 @@ mod tests {
         );
         let mut b = FlowState::new();
         b.declare(
-            "x",
+            syms.sym("x"),
             Binding {
                 decl_ty: Ty::Int,
                 ty: Ty::Int,
                 init: false,
             },
         );
-        let m = merge(&a, &b, &keys, &w);
+        let m = merge(&a, &b, &keys, &w, &syms);
         assert_eq!(m.poisoned, vec!["x".to_string()]);
-        assert!(!m.state.lookup("x").unwrap().init);
+        assert!(!m.state.lookup(syms.sym("x")).unwrap().init);
     }
 
     #[test]
     fn states_agree_modulo_renaming() {
-        let (w, mut keys, region) = setup();
+        let (w, mut keys, region, syms) = setup();
         let k0 = fresh(&mut keys);
         let k1 = fresh(&mut keys);
         let mut a = FlowState::new();
-        a.declare("r", bind(Ty::tracked(KeyRef::Id(k0), region.clone())));
+        a.declare(
+            syms.sym("r"),
+            bind(Ty::tracked(KeyRef::Id(k0), region.clone())),
+        );
         a.held.insert(k0, StateVal::DEFAULT).unwrap();
         let mut b = FlowState::new();
-        b.declare("r", bind(Ty::tracked(KeyRef::Id(k1), region.clone())));
+        b.declare(
+            syms.sym("r"),
+            bind(Ty::tracked(KeyRef::Id(k1), region.clone())),
+        );
         b.held.insert(k1, StateVal::DEFAULT).unwrap();
-        assert!(states_agree(&a, &b, &keys, &w));
+        assert!(states_agree(&a, &b, &keys, &w, &syms));
         b.held.remove(k1).unwrap();
-        assert!(!states_agree(&a, &b, &keys, &w));
+        assert!(!states_agree(&a, &b, &keys, &w, &syms));
     }
 
     #[test]
     fn scope_stack_operations() {
+        let (_w, _keys, _region, syms) = setup();
         let mut s = FlowState::new();
-        s.declare("outer", bind(Ty::Int));
+        s.declare(syms.sym("outer"), bind(Ty::Int));
         s.push_frame();
-        assert!(s.declare("inner", bind(Ty::Bool)));
-        assert!(!s.declare("inner", bind(Ty::Bool)), "redeclaration");
-        assert!(s.lookup("outer").is_some());
-        assert!(s.lookup("inner").is_some());
+        assert!(s.declare(syms.sym("inner"), bind(Ty::Bool)));
+        assert!(
+            !s.declare(syms.sym("inner"), bind(Ty::Bool)),
+            "redeclaration"
+        );
+        assert!(s.lookup(syms.sym("outer")).is_some());
+        assert!(s.lookup(syms.sym("inner")).is_some());
         s.pop_frame();
-        assert!(s.lookup("inner").is_none());
+        assert!(s.lookup(syms.sym("inner")).is_none());
+    }
+
+    #[test]
+    fn snapshots_share_frames_until_written() {
+        let (_w, _keys, _region, syms) = setup();
+        let mut s = FlowState::new();
+        s.declare(syms.sym("outer"), bind(Ty::Int));
+        s.push_frame();
+        s.declare(syms.sym("inner"), bind(Ty::Bool));
+        let snap = s.clone();
+        assert!(Arc::ptr_eq(&s.frames[0], &snap.frames[0]));
+        assert!(Arc::ptr_eq(&s.frames[1], &snap.frames[1]));
+        let before = frames_copied_count();
+        // Writing the inner frame unshares only the inner frame.
+        s.lookup_mut(syms.sym("inner")).unwrap().init = false;
+        assert!(Arc::ptr_eq(&s.frames[0], &snap.frames[0]));
+        assert!(!Arc::ptr_eq(&s.frames[1], &snap.frames[1]));
+        assert_eq!(frames_copied_count(), before + 1);
+        // A second write to the now-unshared frame copies nothing.
+        s.lookup_mut(syms.sym("inner")).unwrap().init = true;
+        assert_eq!(frames_copied_count(), before + 1);
+        assert!(snap.lookup(syms.sym("inner")).unwrap().init);
     }
 }

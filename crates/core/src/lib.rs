@@ -209,6 +209,7 @@ pub fn check_source_with_limits(name: &str, src: &str, limits: &Limits) -> Check
         }
         stats.absorb(check::check_function_with_limits(
             &elaborated.world,
+            &elaborated.syms,
             &elaborated.aliases,
             &elaborated.qualifiers,
             &elaborated.base_keys,

@@ -12,7 +12,8 @@ use vault_syntax::ast;
 use vault_syntax::diag::{Code, DiagSink};
 use vault_syntax::span::Span;
 use vault_types::{
-    Arg, EffItem, FnSig, GuardAtom, KeyRef, ParamKind, StateArg, StateReq, Ty, TypeDef, World,
+    Arg, EffItem, FnSig, GuardAtom, Interner, KeyRef, ParamKind, StateArg, StateReq, Symbol, Ty,
+    TypeDef, World,
 };
 
 /// A recorded `type name<params> = body;` alias, expanded at use sites.
@@ -29,24 +30,26 @@ pub struct LowerCtx<'a> {
     /// The world built so far (named types, statesets, globals).
     pub world: &'a World,
     /// Type aliases by name.
-    pub aliases: &'a BTreeMap<String, AliasEntry>,
+    pub aliases: &'a BTreeMap<Symbol, AliasEntry>,
+    /// The unit's interner (scope maps are symbol-keyed).
+    pub syms: &'a Interner,
 }
 
 /// A lexical scope for lowering.
 #[derive(Clone, Debug, Default)]
 pub struct Scope {
     /// `<type T>` variables in scope.
-    pub tyvars: BTreeSet<String>,
+    pub tyvars: BTreeSet<Symbol>,
     /// Alias-argument type bindings.
-    pub bound_tys: BTreeMap<String, Ty>,
+    pub bound_tys: BTreeMap<Symbol, Ty>,
     /// State variables in scope (from bounded effects or `<state S>`).
-    pub statevars: BTreeSet<String>,
+    pub statevars: BTreeSet<Symbol>,
     /// Alias-argument state bindings.
-    pub bound_states: BTreeMap<String, StateArg>,
+    pub bound_states: BTreeMap<Symbol, StateArg>,
     /// Signature key variables in scope (auto-collected in signature mode).
-    pub keyvars: BTreeSet<String>,
+    pub keyvars: BTreeSet<Symbol>,
     /// Bound key names: function-body key environment or alias arguments.
-    pub bound_keys: BTreeMap<String, KeyRef>,
+    pub bound_keys: BTreeMap<Symbol, KeyRef>,
     /// Whether unknown key/state names auto-bind as variables.
     pub sig_mode: bool,
     /// Key names freshly introduced by `tracked(K)` binder positions in
@@ -70,7 +73,7 @@ impl Scope {
     }
 
     /// A fresh body-mode scope with the given key environment.
-    pub fn body(bound_keys: BTreeMap<String, KeyRef>) -> Self {
+    pub fn body(bound_keys: BTreeMap<Symbol, KeyRef>) -> Self {
         Scope {
             bound_keys,
             ..Scope::default()
@@ -198,7 +201,7 @@ impl<'a> LowerCtx<'a> {
         span: Span,
         diags: &mut DiagSink,
     ) -> Ty {
-        if let Some(bound) = scope.bound_tys.get(&name.name) {
+        if let Some(bound) = scope.bound_tys.get(&self.syms.sym(&name.name)) {
             if !args.is_empty() {
                 diags.error(
                     Code::BadTypeArgs,
@@ -208,7 +211,7 @@ impl<'a> LowerCtx<'a> {
             }
             return bound.clone();
         }
-        if scope.tyvars.contains(&name.name) {
+        if scope.tyvars.contains(&self.syms.sym(&name.name)) {
             if !args.is_empty() {
                 diags.error(
                     Code::BadTypeArgs,
@@ -218,7 +221,7 @@ impl<'a> LowerCtx<'a> {
             }
             return Ty::Var(name.name.clone());
         }
-        if let Some(alias) = self.aliases.get(&name.name) {
+        if let Some(alias) = self.aliases.get(&self.syms.sym(&name.name)) {
             return self.expand_alias(scope, name, alias, args, span, diags);
         }
         let Some(id) = self.world.type_id(&name.name) else {
@@ -317,13 +320,13 @@ impl<'a> LowerCtx<'a> {
         for (param, arg) in alias.params.iter().zip(args) {
             match self.lower_arg(scope, param, arg, diags) {
                 Arg::Ty(t) => {
-                    child.bound_tys.insert(param.name().to_string(), t);
+                    child.bound_tys.insert(self.syms.sym(param.name()), t);
                 }
                 Arg::Key(k) => {
-                    child.bound_keys.insert(param.name().to_string(), k);
+                    child.bound_keys.insert(self.syms.sym(param.name()), k);
                 }
                 Arg::State(s) => {
-                    child.bound_states.insert(param.name().to_string(), s);
+                    child.bound_states.insert(self.syms.sym(param.name()), s);
                 }
             }
         }
@@ -344,20 +347,20 @@ impl<'a> LowerCtx<'a> {
         span: Span,
         diags: &mut DiagSink,
     ) -> KeyRef {
-        if let Some(k) = scope.bound_keys.get(name) {
+        if let Some(k) = scope.bound_keys.get(&self.syms.sym(name)) {
             return k.clone();
         }
         if let Some(g) = self.world.global_key(name) {
             return KeyRef::Id(g.id);
         }
         if scope.sig_mode {
-            scope.keyvars.insert(name.to_string());
+            scope.keyvars.insert(self.syms.sym(name));
             KeyRef::var(name)
         } else {
             // Body mode: a fresh binder, to be bound by the initializer.
             scope.binders.push(name.to_string());
             let r = KeyRef::var(name);
-            scope.bound_keys.insert(name.to_string(), r.clone());
+            scope.bound_keys.insert(self.syms.sym(name), r.clone());
             let _ = span;
             let _ = diags;
             r
@@ -371,14 +374,14 @@ impl<'a> LowerCtx<'a> {
         name: &ast::Ident,
         diags: &mut DiagSink,
     ) -> KeyRef {
-        if let Some(k) = scope.bound_keys.get(&name.name) {
+        if let Some(k) = scope.bound_keys.get(&self.syms.sym(&name.name)) {
             return k.clone();
         }
         if let Some(g) = self.world.global_key(&name.name) {
             return KeyRef::Id(g.id);
         }
         if scope.sig_mode {
-            scope.keyvars.insert(name.name.clone());
+            scope.keyvars.insert(self.syms.sym(&name.name));
             KeyRef::var(&name.name)
         } else {
             diags.error(
@@ -402,15 +405,15 @@ impl<'a> LowerCtx<'a> {
             Some(ast::StateRef::Name(n)) => {
                 if let Some(tok) = self.world.states.state(&n.name) {
                     StateReq::Exact(tok)
-                } else if scope.statevars.contains(&n.name)
-                    || scope.bound_states.contains_key(&n.name)
+                } else if scope.statevars.contains(&self.syms.sym(&n.name))
+                    || scope.bound_states.contains_key(&self.syms.sym(&n.name))
                 {
-                    match scope.bound_states.get(&n.name) {
+                    match scope.bound_states.get(&self.syms.sym(&n.name)) {
                         Some(StateArg::Token(t)) => StateReq::Exact(*t),
                         _ => StateReq::Var(n.name.clone()),
                     }
                 } else if scope.sig_mode {
-                    scope.statevars.insert(n.name.clone());
+                    scope.statevars.insert(self.syms.sym(&n.name));
                     StateReq::Var(n.name.clone())
                 } else {
                     diags.error(
@@ -430,7 +433,7 @@ impl<'a> LowerCtx<'a> {
                     );
                     return StateReq::Any;
                 };
-                scope.statevars.insert(var.name.clone());
+                scope.statevars.insert(self.syms.sym(&var.name));
                 StateReq::AtMost {
                     var: Some(var.name.clone()),
                     bound: tok,
@@ -450,17 +453,17 @@ impl<'a> LowerCtx<'a> {
         if let Some(tok) = self.world.states.state(name) {
             return StateArg::Token(tok);
         }
-        if let Some(bound) = scope.bound_states.get(name) {
+        if let Some(bound) = scope.bound_states.get(&self.syms.sym(name)) {
             return bound.clone();
         }
-        if scope.statevars.contains(name) {
+        if scope.statevars.contains(&self.syms.sym(name)) {
             return StateArg::Var(name.to_string());
         }
         if scope.sig_mode {
-            scope.statevars.insert(name.to_string());
+            scope.statevars.insert(self.syms.sym(name));
             StateArg::Var(name.to_string())
         } else if scope.allow_state_binders {
-            scope.statevars.insert(name.to_string());
+            scope.statevars.insert(self.syms.sym(name));
             scope.state_binders.push(name.to_string());
             StateArg::Var(name.to_string())
         } else {
@@ -507,10 +510,10 @@ impl<'a> LowerCtx<'a> {
                 ast::EffectItem::Fresh { key, state } => {
                     // The fresh key's name becomes a signature key variable
                     // (visible in the return type).
-                    scope.keyvars.insert(key.name.clone());
+                    scope.keyvars.insert(self.syms.sym(&key.name));
                     scope
                         .bound_keys
-                        .entry(key.name.clone())
+                        .entry(self.syms.sym(&key.name))
                         .or_insert_with(|| KeyRef::var(&key.name));
                     let state = match state {
                         Some(s) => self.resolve_state_arg(scope, &s.name, s.span, diags),

@@ -8,61 +8,60 @@
 //! dependencies.
 
 use std::collections::HashMap;
-use std::sync::Arc;
-use vault_core::CheckSummary;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Absorb a byte stream into a running FNV-1a state.
+pub fn fnv1a_absorb(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
 
 /// 64-bit FNV-1a over an arbitrary byte stream.
 pub fn fnv1a_64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    fnv1a_absorb(FNV_OFFSET, bytes)
 }
 
 /// Fingerprint of one compilation unit.
 ///
 /// The unit name participates because rendered diagnostics embed it
 /// (`--> name:line:col`): two units with identical sources but different
-/// names must not share a cache entry. A `0x00` separator keeps
-/// `("ab", "c")` and `("a", "bc")` distinct.
+/// names must not share a cache entry. An explicit `0x00` separator byte
+/// between the fields keeps `("ab", "c")` and `("a", "bc")` distinct
+/// (unit names cannot contain NUL, so the framing is unambiguous).
 pub fn unit_fingerprint(name: &str, source: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in name.as_bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h ^= 0;
-    h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    for &b in source.as_bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    let h = fnv1a_absorb(FNV_OFFSET, name.as_bytes());
+    let h = fnv1a_absorb(h, &[0x00]);
+    fnv1a_absorb(h, source.as_bytes())
 }
 
 const NONE: usize = usize::MAX;
 
-struct Entry {
+struct Entry<V> {
     key: u64,
-    value: Arc<CheckSummary>,
+    value: V,
     prev: usize,
     next: usize,
 }
 
-/// A fixed-capacity least-recently-used map from fingerprints to
-/// memoized check summaries.
-pub struct LruCache {
+/// A fixed-capacity least-recently-used map from 64-bit fingerprints to
+/// cached values (whole-unit summaries, per-function verdicts, or
+/// elaboration environments — anything cheap to clone, typically an
+/// `Arc`).
+pub struct LruCache<V> {
     map: HashMap<u64, usize>,
-    slab: Vec<Entry>,
+    slab: Vec<Entry<V>>,
     free: Vec<usize>,
     head: usize, // most recently used
     tail: usize, // least recently used
     capacity: usize,
 }
 
-impl LruCache {
+impl<V: Clone> LruCache<V> {
     /// An empty cache holding at most `capacity` entries (min 1).
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
@@ -115,18 +114,18 @@ impl LruCache {
     }
 
     /// Look up `key`, marking it most recently used on a hit.
-    pub fn get(&mut self, key: u64) -> Option<Arc<CheckSummary>> {
+    pub fn get(&mut self, key: u64) -> Option<V> {
         let &i = self.map.get(&key)?;
         if self.head != i {
             self.unlink(i);
             self.link_front(i);
         }
-        Some(Arc::clone(&self.slab[i].value))
+        Some(self.slab[i].value.clone())
     }
 
     /// Insert (or refresh) `key`, evicting the least recently used
     /// entry if the cache is full.
-    pub fn put(&mut self, key: u64, value: Arc<CheckSummary>) {
+    pub fn put(&mut self, key: u64, value: V) {
         if let Some(&i) = self.map.get(&key) {
             self.slab[i].value = value;
             if self.head != i {
@@ -179,7 +178,8 @@ impl LruCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vault_core::Verdict;
+    use std::sync::Arc;
+    use vault_core::{CheckSummary, Verdict};
 
     fn summary(tag: &str) -> Arc<CheckSummary> {
         Arc::new(CheckSummary {
@@ -203,6 +203,9 @@ mod tests {
         assert_ne!(unit_fingerprint("ab", "c"), unit_fingerprint("a", "bc"));
         assert_ne!(unit_fingerprint("x", "s"), unit_fingerprint("y", "s"));
         assert_eq!(unit_fingerprint("x", "s"), unit_fingerprint("x", "s"));
+        // The separator is a real 0x00 round, not just field order:
+        // hashing name ++ source with no separator must differ.
+        assert_ne!(unit_fingerprint("ab", "c"), fnv1a_64(b"abc"));
     }
 
     #[test]

@@ -1,0 +1,622 @@
+//! Function-granular incremental re-checking.
+//!
+//! The whole-unit verdict cache (see [`crate::cache`]) answers only
+//! *exact* re-submissions. This module recovers most of the work for the
+//! far more common case — a unit resubmitted after a small edit — by
+//! splitting the pipeline's memoization in two:
+//!
+//! 1. **Declaration environment.** Parsing + elaboration produce an
+//!    [`Elaborated`] (declaration tables, frozen interner, base keys)
+//!    that depends only on the unit's *declarations*, never on function
+//!    body content. Its fingerprint (`env_hash`) therefore hashes the
+//!    source with every top-level function body blanked out.
+//! 2. **Per-function verdicts.** Checking one function is a pure
+//!    function of the environment plus that function's own declaration
+//!    text and position (rendered diagnostics embed line numbers and
+//!    source lines, so position matters). Each body gets a fingerprint
+//!    (`fn_fp`) over `env_hash`, the declaration's byte offsets and
+//!    start line/column, and the line-expanded declaration text; the
+//!    verdict — the function's diagnostics as [`DiagView`]s plus its
+//!    [`CheckStats`] — is memoized under that key in an LRU.
+//!
+//! On a re-check, two paths exist:
+//!
+//! * **Fast path** — the edit preserved source length, left every byte
+//!   outside function bodies intact, and the cached parse was clean: the
+//!   cached [`Elaborated`] is reused outright (no parse, no elaboration)
+//!   and only functions whose fingerprint misses are re-checked, each
+//!   via a *mini-parse* of just its own declaration (everything else
+//!   blanked to spaces, newlines preserved so spans and line numbers
+//!   stay absolute).
+//! * **Full path** — anything else: parse + elaborate fresh, but still
+//!   probe the per-function cache before checking each body.
+//!
+//! Either way the assembled [`CheckSummary`] is **byte-identical** to
+//! what a monolithic [`vault_core::check_summary_with_limits`] run would
+//! produce — same diagnostics in the same order with the same rendering,
+//! same counters, same verdict. The differential test suite holds the
+//! engine to that.
+//!
+//! Deadline-bounded checks bypass the engine entirely: a wall-clock
+//! verdict is not a pure function of the input, so caching any part of
+//! it could pin a transient timeout onto healthy re-checks.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use vault_core::check::{check_function_with_limits, CheckStats};
+use vault_core::{check_summary_with_limits, elaborate, CheckSummary, Elaborated, Limits, Verdict};
+use vault_syntax::{
+    ast, parse_program_with_depth, Code, DiagSink, DiagView, Severity, SourceMap, Span,
+};
+
+use crate::cache::{fnv1a_64, fnv1a_absorb, LruCache};
+use crate::metrics::Metrics;
+
+/// Headroom subtracted from the parser depth for a mini-parse. A
+/// declaration nested inside `interface { ... }` sits a few grammar
+/// levels deeper in the full parse than it does standing alone; parsing
+/// the standalone form with *less* fuel guarantees the mini-parse never
+/// succeeds where the full parse would have reported
+/// [`Code::LimitExceeded`] (the failure direction is harmless — it just
+/// falls back to the full path).
+const MINI_PARSE_DEPTH_MARGIN: usize = 8;
+
+/// The memoized front half of the pipeline for one unit name.
+struct CachedEnv {
+    /// Fingerprint of the declaration environment (name, limits, and the
+    /// body-blanked source).
+    env_hash: u64,
+    /// Length of the source this entry was built from; the fast path
+    /// only applies to same-length edits (so every cached span is still
+    /// a valid byte range).
+    source_len: usize,
+    /// `(whole-declaration span, body span including braces)` for each
+    /// checked function, in check order.
+    slots: Vec<(Span, Span)>,
+    /// The reusable elaboration output.
+    elaborated: Arc<Elaborated>,
+    /// Parse + elaboration diagnostics. The fast path requires this to
+    /// be empty: partial parses have unstable declaration tables, and
+    /// the monolithic checker's early-exit rules key off these.
+    pre_views: Vec<DiagView>,
+}
+
+/// The memoized verdict for one function body.
+struct FnVerdict {
+    /// The function's diagnostics, rendered, in discovery order.
+    views: Vec<DiagView>,
+    /// The function's checker counters.
+    stats: CheckStats,
+}
+
+/// Shared function-granular incremental checking state.
+///
+/// `Send + Sync`; one instance is shared by every worker thread. Both
+/// caches recover from mutex poisoning the same way the whole-unit
+/// verdict cache does: no entry holds an invariant a panicking inserter
+/// could break halfway, so the worst case is a missing entry.
+pub struct IncrementalEngine {
+    envs: Mutex<LruCache<Arc<CachedEnv>>>,
+    fns: Mutex<LruCache<Arc<FnVerdict>>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Fingerprint of the declaration environment: the unit name, the
+/// limits that shape parsing/checking, and the source with every
+/// function body blanked.
+fn env_hash(name: &str, limits: &Limits, excised: &[u8]) -> u64 {
+    let h = fnv1a_64(name.as_bytes());
+    let h = fnv1a_absorb(h, &[0x00]);
+    let h = fnv1a_absorb(h, &(limits.parser_depth as u64).to_le_bytes());
+    let h = fnv1a_absorb(h, &(limits.fixpoint_iters as u64).to_le_bytes());
+    fnv1a_absorb(h, excised)
+}
+
+/// The source with every function-body byte range overwritten by `0x00`
+/// (the length is preserved, so declaration offsets stay comparable).
+fn excise_bodies(source: &str, slots: &[(Span, Span)]) -> Vec<u8> {
+    let mut bytes = source.as_bytes().to_vec();
+    for &(_, body) in slots {
+        for b in &mut bytes[body.start as usize..body.end as usize] {
+            *b = 0x00;
+        }
+    }
+    bytes
+}
+
+/// Fingerprint of one function: everything its diagnostics and stats
+/// can depend on besides the environment. Byte offsets and the start
+/// line/column pin the position; the *line-expanded* declaration text
+/// (whole source lines, because rendered diagnostics quote whole lines)
+/// pins the content.
+fn fn_fingerprint(env_hash: u64, source: &str, sm: &SourceMap, decl: Span) -> u64 {
+    let lc = sm.line_col(decl.start);
+    let line_start = source[..decl.start as usize]
+        .rfind('\n')
+        .map_or(0, |i| i + 1);
+    let line_end = source[decl.end as usize..]
+        .find('\n')
+        .map_or(source.len(), |i| decl.end as usize + i + 1);
+    let h = fnv1a_absorb(env_hash, &decl.start.to_le_bytes());
+    let h = fnv1a_absorb(h, &decl.end.to_le_bytes());
+    let h = fnv1a_absorb(h, &lc.line.to_le_bytes());
+    let h = fnv1a_absorb(h, &lc.col.to_le_bytes());
+    fnv1a_absorb(h, source[line_start..line_end].as_bytes())
+}
+
+/// The source with everything *outside* `keep` blanked to spaces
+/// (newlines preserved), so a parse of the result sees one declaration
+/// at its original offsets and line numbers.
+fn blank_outside(source: &str, keep: Span) -> String {
+    let keep = keep.start as usize..keep.end as usize;
+    let mut bytes = source.as_bytes().to_vec();
+    for (i, b) in bytes.iter_mut().enumerate() {
+        if !keep.contains(&i) && *b != b'\n' {
+            *b = b' ';
+        }
+    }
+    // Every replacement is ASCII and the kept range is untouched, so
+    // the result is still valid UTF-8.
+    String::from_utf8(bytes).expect("blanking preserves UTF-8")
+}
+
+/// Fold a function's absorbed diagnostics + stats into the running
+/// summary state. Returns `true` when checking must stop after this
+/// function (the monolithic checker breaks its loop on the first
+/// [`Code::LimitExceeded`] anywhere in the sink).
+fn splice(
+    views: &mut Vec<DiagView>,
+    stats: &mut CheckStats,
+    verdict: &FnVerdict,
+    pre_limit: bool,
+) -> bool {
+    views.extend(verdict.views.iter().cloned());
+    stats.absorb(verdict.stats);
+    pre_limit
+        || verdict
+            .views
+            .iter()
+            .any(|d| d.code == Code::LimitExceeded.as_str())
+}
+
+/// Recompute the verdict from assembled diagnostics, mirroring
+/// `CheckResult::verdict` over the same set.
+fn verdict_of(views: &[DiagView]) -> Verdict {
+    if views.iter().any(|d| d.code == Code::LimitExceeded.as_str()) {
+        Verdict::ResourceLimit
+    } else if views.iter().any(|d| d.severity == Severity::Error.as_str()) {
+        Verdict::Rejected
+    } else {
+        Verdict::Accepted
+    }
+}
+
+impl IncrementalEngine {
+    /// An engine whose environment cache holds `env_capacity` units and
+    /// whose per-function cache holds `fn_capacity` verdicts.
+    pub fn new(env_capacity: usize, fn_capacity: usize) -> Self {
+        IncrementalEngine {
+            envs: Mutex::new(LruCache::new(env_capacity)),
+            fns: Mutex::new(LruCache::new(fn_capacity)),
+        }
+    }
+
+    /// Check one unit, reusing whatever the caches already know.
+    ///
+    /// The result is byte-identical to
+    /// [`vault_core::check_summary_with_limits`] on the same inputs.
+    pub fn check_unit(
+        &self,
+        name: &str,
+        source: &str,
+        limits: &Limits,
+        metrics: &Metrics,
+    ) -> CheckSummary {
+        if limits.deadline.is_some() {
+            // Wall-clock verdicts are not pure functions of the input.
+            return check_summary_with_limits(name, source, limits);
+        }
+        if let Some(summary) = self.try_fast_path(name, source, limits, metrics) {
+            return summary;
+        }
+        self.full_check(name, source, limits, metrics)
+    }
+
+    /// Live entry counts `(environments, function verdicts)`.
+    pub fn entries(&self) -> (usize, usize) {
+        (lock(&self.envs).len(), lock(&self.fns).len())
+    }
+
+    /// Drop every cached environment and function verdict.
+    pub fn clear(&self) {
+        lock(&self.envs).clear();
+        lock(&self.fns).clear();
+    }
+
+    /// Same-length edit path: reuse the cached elaboration, re-check
+    /// only the functions whose fingerprints miss. `None` means the
+    /// preconditions failed and the full path must run.
+    fn try_fast_path(
+        &self,
+        name: &str,
+        source: &str,
+        limits: &Limits,
+        metrics: &Metrics,
+    ) -> Option<CheckSummary> {
+        let env = lock(&self.envs).get(fnv1a_64(name.as_bytes()))?;
+        if env.source_len != source.len() || !env.pre_views.is_empty() {
+            return None;
+        }
+        // Same length, so every cached span is still in range; equal
+        // excised hashes mean the edit stayed inside function bodies.
+        let excised = excise_bodies(source, &env.slots);
+        if env_hash(name, limits, &excised) != env.env_hash {
+            return None;
+        }
+
+        let sm = SourceMap::new(name, source);
+        let mut views: Vec<DiagView> = Vec::new();
+        let mut stats = CheckStats::default();
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut aborted = false;
+        for &(decl, _) in &env.slots {
+            let fp = fn_fingerprint(env.env_hash, source, &sm, decl);
+            // Bind the probe result first: a guard living in a match
+            // scrutinee would still be held when the miss arm re-locks.
+            let probed = lock(&self.fns).get(fp);
+            let verdict = match probed {
+                Some(v) => {
+                    hits += 1;
+                    v
+                }
+                None => {
+                    misses += 1;
+                    match self.check_standalone(source, &sm, decl, &env.elaborated, limits) {
+                        Some(v) => {
+                            lock(&self.fns).put(fp, Arc::clone(&v));
+                            v
+                        }
+                        None => {
+                            // The edit confused the mini-parse (syntax
+                            // error, span drift, or a brand-new
+                            // identifier): only the full pipeline can
+                            // say what the unit means now.
+                            aborted = true;
+                            break;
+                        }
+                    }
+                }
+            };
+            if splice(&mut views, &mut stats, &verdict, false) {
+                break;
+            }
+        }
+        metrics.fn_cache_hits.fetch_add(hits, Ordering::Relaxed);
+        metrics.fn_cache_misses.fetch_add(misses, Ordering::Relaxed);
+        if aborted {
+            return None;
+        }
+        Some(CheckSummary {
+            name: name.to_string(),
+            verdict: verdict_of(&views),
+            diagnostics: views,
+            stats,
+        })
+    }
+
+    /// Parse and check exactly one declaration of `source` (everything
+    /// else blanked), against a cached environment. `None` when the
+    /// mini-parse is not pristine — any diagnostic, a span that moved,
+    /// a vanished body, or an identifier the frozen interner has never
+    /// seen.
+    fn check_standalone(
+        &self,
+        source: &str,
+        sm: &SourceMap,
+        decl: Span,
+        elab: &Elaborated,
+        limits: &Limits,
+    ) -> Option<Arc<FnVerdict>> {
+        let mini = blank_outside(source, decl);
+        let mut parse_diags = DiagSink::new();
+        let depth = limits.parser_depth.saturating_sub(MINI_PARSE_DEPTH_MARGIN);
+        let program = parse_program_with_depth(&mini, &mut parse_diags, depth);
+        if !parse_diags.diagnostics().is_empty() {
+            return None;
+        }
+        let f = match program.decls.as_slice() {
+            [ast::Decl::Fun(f)] => f,
+            _ => return None,
+        };
+        if f.span != decl || f.body.is_none() {
+            return None;
+        }
+        // The cached interner was frozen over the *previous* parse; an
+        // edit that introduces a new identifier would check it as
+        // `Symbol::UNKNOWN` and could alias another new name. Every
+        // name must round-trip through the interner.
+        for n in vault_syntax::ident_names(&program) {
+            if elab.syms.resolve(elab.syms.sym(n)) != n {
+                return None;
+            }
+        }
+        let mut sink = DiagSink::new();
+        let stats = check_function_with_limits(
+            &elab.world,
+            &elab.syms,
+            &elab.aliases,
+            &elab.qualifiers,
+            &elab.base_keys,
+            f,
+            &mut sink,
+            limits,
+        );
+        let views = sink
+            .into_vec()
+            .iter()
+            .map(|d| DiagView::new(d, sm))
+            .collect();
+        Some(Arc::new(FnVerdict { views, stats }))
+    }
+
+    /// Parse + elaborate fresh, probe the per-function cache before
+    /// checking each body, and refresh the environment cache.
+    fn full_check(
+        &self,
+        name: &str,
+        source: &str,
+        limits: &Limits,
+        metrics: &Metrics,
+    ) -> CheckSummary {
+        let sm = SourceMap::new(name, source);
+        let mut pre = DiagSink::new();
+        let program = parse_program_with_depth(source, &mut pre, limits.parser_depth);
+        let elaborated = Arc::new(elaborate(&program, &mut pre));
+        let pre_limit = pre.has_code(Code::LimitExceeded);
+        let pre_views: Vec<DiagView> = pre
+            .into_vec()
+            .iter()
+            .map(|d| DiagView::new(d, &sm))
+            .collect();
+
+        let slots: Vec<(Span, Span)> = elaborated
+            .bodies
+            .iter()
+            .map(|f| (f.span, f.body.as_ref().expect("collected with body").span))
+            .collect();
+        let excised = excise_bodies(source, &slots);
+        let eh = env_hash(name, limits, &excised);
+
+        let mut views = pre_views.clone();
+        let mut stats = CheckStats::default();
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for f in &elaborated.bodies {
+            let fp = fn_fingerprint(eh, source, &sm, f.span);
+            let probed = lock(&self.fns).get(fp);
+            let verdict = match probed {
+                Some(v) => {
+                    hits += 1;
+                    v
+                }
+                None => {
+                    misses += 1;
+                    let mut sink = DiagSink::new();
+                    let fn_stats = check_function_with_limits(
+                        &elaborated.world,
+                        &elaborated.syms,
+                        &elaborated.aliases,
+                        &elaborated.qualifiers,
+                        &elaborated.base_keys,
+                        f,
+                        &mut sink,
+                        limits,
+                    );
+                    let v = Arc::new(FnVerdict {
+                        views: sink
+                            .into_vec()
+                            .iter()
+                            .map(|d| DiagView::new(d, &sm))
+                            .collect(),
+                        stats: fn_stats,
+                    });
+                    lock(&self.fns).put(fp, Arc::clone(&v));
+                    v
+                }
+            };
+            if splice(&mut views, &mut stats, &verdict, pre_limit) {
+                break;
+            }
+        }
+        metrics.fn_cache_hits.fetch_add(hits, Ordering::Relaxed);
+        metrics.fn_cache_misses.fetch_add(misses, Ordering::Relaxed);
+
+        lock(&self.envs).put(
+            fnv1a_64(name.as_bytes()),
+            Arc::new(CachedEnv {
+                env_hash: eh,
+                source_len: source.len(),
+                slots,
+                elaborated,
+                pre_views,
+            }),
+        );
+
+        CheckSummary {
+            name: name.to_string(),
+            verdict: verdict_of(&views),
+            diagnostics: views,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UNIT: &str = "\
+interface REGION {
+  type region;
+  tracked(R) region create() [new R];
+  void delete(tracked(R) region) [-R];
+}
+struct point { int x; int y; }
+void alpha(bool flag) {
+  tracked(A) region r = Region.create();
+  A:point p = new(r) point {x=1; y=2;};
+  if (flag) { p.x++; } else { p.y++; }
+  Region.delete(r);
+}
+void beta() {
+  tracked(B) region r = Region.create();
+  B:point p = new(r) point {x=3; y=4;};
+  Region.delete(r);
+  p.x++;
+}
+";
+
+    fn reference(name: &str, source: &str, limits: &Limits) -> CheckSummary {
+        check_summary_with_limits(name, source, limits)
+    }
+
+    fn engine() -> (IncrementalEngine, Metrics) {
+        (IncrementalEngine::new(64, 1024), Metrics::default())
+    }
+
+    #[test]
+    fn matches_monolithic_cold() {
+        let (eng, m) = engine();
+        let limits = Limits::default();
+        let got = eng.check_unit("u.vlt", UNIT, &limits, &m);
+        assert_eq!(got, reference("u.vlt", UNIT, &limits));
+        assert_eq!(got.verdict, Verdict::Rejected); // beta dangles
+    }
+
+    #[test]
+    fn same_length_body_edit_takes_the_fast_path() {
+        let (eng, m) = engine();
+        let limits = Limits::default();
+        eng.check_unit("u.vlt", UNIT, &limits, &m);
+        let baseline_misses = m.snapshot().fn_cache_misses;
+        // Same-length edit inside `alpha`'s body only.
+        let edited = UNIT.replace("{x=1; y=2;}", "{x=7; y=2;}");
+        assert_eq!(edited.len(), UNIT.len());
+        let got = eng.check_unit("u.vlt", &edited, &limits, &m);
+        assert_eq!(got, reference("u.vlt", &edited, &limits));
+        let snap = m.snapshot();
+        assert_eq!(snap.fn_cache_hits, 1, "beta was untouched");
+        assert_eq!(
+            snap.fn_cache_misses - baseline_misses,
+            1,
+            "alpha re-checked"
+        );
+    }
+
+    #[test]
+    fn signature_edit_falls_back_to_the_full_path_and_still_matches() {
+        let (eng, m) = engine();
+        let limits = Limits::default();
+        eng.check_unit("u.vlt", UNIT, &limits, &m);
+        // Same length, but the edit is outside every body (a struct
+        // field rename), so elaboration must rerun — and every function
+        // fingerprint changes with the environment.
+        let edited = UNIT.replace("struct point { int x;", "struct paint { int x;");
+        assert_eq!(edited.len(), UNIT.len());
+        let got = eng.check_unit("u.vlt", &edited, &limits, &m);
+        assert_eq!(got, reference("u.vlt", &edited, &limits));
+    }
+
+    #[test]
+    fn adding_a_declaration_invalidates_every_function() {
+        let (eng, m) = engine();
+        let limits = Limits::default();
+        eng.check_unit("u.vlt", UNIT, &limits, &m);
+        // A new top-level function is a new *signature*: it changes the
+        // declaration environment every body is checked against, so no
+        // cached function verdict may survive — a new declaration can
+        // change name resolution anywhere in the unit.
+        let edited = format!("{UNIT}void gamma() {{ }}\n");
+        let before = m.snapshot();
+        let got = eng.check_unit("u.vlt", &edited, &limits, &m);
+        assert_eq!(got, reference("u.vlt", &edited, &limits));
+        let snap = m.snapshot();
+        assert_eq!(snap.fn_cache_hits - before.fn_cache_hits, 0);
+        assert_eq!(snap.fn_cache_misses - before.fn_cache_misses, 3);
+    }
+
+    #[test]
+    fn evicted_unit_recovers_function_verdicts_from_the_fn_cache() {
+        // The fn cache outlives whole-unit eviction: re-checking the
+        // exact same source through the full path hits every function.
+        let (eng, m) = engine();
+        let limits = Limits::default();
+        eng.check_unit("u.vlt", UNIT, &limits, &m);
+        lock(&eng.envs).clear(); // simulate env eviction, keep fn cache
+        let before = m.snapshot();
+        let got = eng.check_unit("u.vlt", UNIT, &limits, &m);
+        assert_eq!(got, reference("u.vlt", UNIT, &limits));
+        let snap = m.snapshot();
+        assert_eq!(snap.fn_cache_hits - before.fn_cache_hits, 2);
+        assert_eq!(snap.fn_cache_misses - before.fn_cache_misses, 0);
+    }
+
+    #[test]
+    fn new_identifier_in_same_length_edit_is_checked_correctly() {
+        let (eng, m) = engine();
+        let limits = Limits::default();
+        eng.check_unit("u.vlt", UNIT, &limits, &m);
+        // `qv` never appeared in the original unit, so the frozen
+        // interner cannot intern it: the engine must fall back rather
+        // than check with an unknown symbol.
+        let edited = UNIT.replace("{ p.x++; } else", "{ qv.x++;} else");
+        assert_eq!(edited.len(), UNIT.len());
+        let got = eng.check_unit("u.vlt", &edited, &limits, &m);
+        assert_eq!(got, reference("u.vlt", &edited, &limits));
+    }
+
+    #[test]
+    fn syntax_breaking_same_length_edit_matches_monolithic() {
+        let (eng, m) = engine();
+        let limits = Limits::default();
+        eng.check_unit("u.vlt", UNIT, &limits, &m);
+        let edited = UNIT.replace("if (flag) { p.x++; }", "if (flag) { p.x+(; }");
+        assert_eq!(edited.len(), UNIT.len());
+        let got = eng.check_unit("u.vlt", &edited, &limits, &m);
+        assert_eq!(got, reference("u.vlt", &edited, &limits));
+    }
+
+    #[test]
+    fn deadline_checks_bypass_the_caches() {
+        let (eng, m) = engine();
+        let limits = Limits {
+            deadline: Some(std::time::Instant::now() + std::time::Duration::from_secs(60)),
+            ..Limits::default()
+        };
+        let got = eng.check_unit("u.vlt", UNIT, &limits, &m);
+        assert_eq!(got, reference("u.vlt", UNIT, &limits));
+        assert_eq!(eng.entries(), (0, 0));
+        assert_eq!(m.snapshot().fn_cache_hits, 0);
+        assert_eq!(m.snapshot().fn_cache_misses, 0);
+    }
+
+    #[test]
+    fn clear_drops_both_caches() {
+        let (eng, m) = engine();
+        let limits = Limits::default();
+        eng.check_unit("u.vlt", UNIT, &limits, &m);
+        let (envs, fns) = eng.entries();
+        assert_eq!(envs, 1);
+        assert_eq!(fns, 2);
+        eng.clear();
+        assert_eq!(eng.entries(), (0, 0));
+    }
+}

@@ -15,7 +15,10 @@
 //!   order, so parallel checking is byte-identical to sequential.
 //! * **Incrementality** — per-unit verdicts are memoized in a
 //!   content-hash (FNV-1a) LRU cache ([`cache`]); re-checking unchanged
-//!   sources is a cache hit that skips the checker entirely.
+//!   sources is a cache hit that skips the checker entirely. On a unit
+//!   miss, a function-granular engine ([`incremental`]) reuses the
+//!   cached elaboration environment and per-function verdicts, so an
+//!   edit inside one function body re-checks only that function.
 //! * **Observability** — per-request wall time, queue depth, cache
 //!   hit/miss and fault counters ([`metrics`]), served by the `status`
 //!   request.
@@ -54,6 +57,7 @@ pub mod cache;
 #[cfg(feature = "chaos")]
 pub mod chaos;
 pub mod client;
+pub mod incremental;
 pub mod json;
 pub mod metrics;
 pub mod pool;
@@ -63,6 +67,7 @@ pub mod service;
 
 pub use cache::{fnv1a_64, unit_fingerprint, LruCache};
 pub use client::{Client, RetryPolicy};
+pub use incremental::IncrementalEngine;
 pub use json::{parse as parse_json, Json};
 pub use metrics::{Metrics, StatusSnapshot};
 pub use pool::{CheckPool, SubmitError, ThreadPool, UnitIn};

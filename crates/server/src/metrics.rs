@@ -19,6 +19,11 @@ pub struct Metrics {
     pub cache_hits: AtomicU64,
     /// Units that had to run the checker.
     pub cache_misses: AtomicU64,
+    /// Function bodies answered from the per-function verdict cache
+    /// during an incremental (unit-cache-miss) re-check.
+    pub fn_cache_hits: AtomicU64,
+    /// Function bodies that had to be re-checked.
+    pub fn_cache_misses: AtomicU64,
     /// Jobs currently queued or running in the pool.
     pub queue_depth: AtomicU64,
     /// High-water mark of `queue_depth`.
@@ -46,6 +51,8 @@ impl Default for Metrics {
             units_checked: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            fn_cache_hits: AtomicU64::new(0),
+            fn_cache_misses: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             queue_peak: AtomicU64::new(0),
             check_micros: AtomicU64::new(0),
@@ -98,6 +105,8 @@ impl Metrics {
             units_checked: self.units_checked.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            fn_cache_hits: self.fn_cache_hits.load(Ordering::Relaxed),
+            fn_cache_misses: self.fn_cache_misses.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_peak: self.queue_peak.load(Ordering::Relaxed),
             check_micros: self.check_micros.load(Ordering::Relaxed),
@@ -122,6 +131,10 @@ pub struct StatusSnapshot {
     pub cache_hits: u64,
     /// Units that ran the checker.
     pub cache_misses: u64,
+    /// Function bodies answered from the per-function verdict cache.
+    pub fn_cache_hits: u64,
+    /// Function bodies that had to be re-checked.
+    pub fn_cache_misses: u64,
     /// Jobs queued or running right now.
     pub queue_depth: u64,
     /// Highest simultaneous queue depth seen.

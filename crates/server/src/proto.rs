@@ -174,6 +174,11 @@ fn encode_stats(s: &CheckStats) -> Json {
             "keys_allocated".to_string(),
             Json::num(s.keys_allocated as u64),
         ),
+        ("snapshots".to_string(), Json::num(s.snapshots as u64)),
+        (
+            "frames_copied".to_string(),
+            Json::num(s.frames_copied as u64),
+        ),
     ])
 }
 
@@ -241,14 +246,19 @@ pub fn encode_emit_c(id: Option<u64>, summary: &CheckSummary, c: Option<&str>) -
     Json::Obj(pairs)
 }
 
-/// Encode the response to a `stats` request.
-pub fn encode_stats_response(id: Option<u64>, summary: &CheckSummary) -> Json {
+/// Encode the response to a `stats` request. The report carries the
+/// unit's check wall time (zero when answered from the cache) so
+/// clients can relate effort counters to elapsed time.
+pub fn encode_stats_response(id: Option<u64>, report: &UnitReport) -> Json {
+    let summary = &report.summary;
     let mut pairs = base(id, "stats", true);
     pairs.push(("name".to_string(), Json::str(&summary.name)));
     pairs.push((
         "verdict".to_string(),
         Json::str(verdict_str(summary.verdict)),
     ));
+    pairs.push(("cached".to_string(), Json::Bool(report.cached)));
+    pairs.push(("check_micros".to_string(), Json::num(report.check_micros)));
     pairs.push(("stats".to_string(), encode_stats(&summary.stats)));
     Json::Obj(pairs)
 }
@@ -267,6 +277,8 @@ pub fn encode_status(
         ("units_checked", snap.units_checked),
         ("cache_hits", snap.cache_hits),
         ("cache_misses", snap.cache_misses),
+        ("fn_cache_hits", snap.fn_cache_hits),
+        ("fn_cache_misses", snap.fn_cache_misses),
         ("queue_depth", snap.queue_depth),
         ("queue_peak", snap.queue_peak),
         ("check_micros", snap.check_micros),

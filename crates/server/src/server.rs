@@ -53,7 +53,7 @@ pub fn handle_request(svc: &CheckService, id: Option<u64>, req: Request) -> (Jso
         }
         Request::Stats { unit } => {
             let report = svc.check_unit(unit);
-            (proto::encode_stats_response(id, &report.summary), false)
+            (proto::encode_stats_response(id, &report), false)
         }
         Request::Status => {
             let snap = svc.status();

@@ -8,6 +8,7 @@
 //! all clients see one cache and one set of counters.
 
 use crate::cache::{unit_fingerprint, LruCache};
+use crate::incremental::IncrementalEngine;
 use crate::metrics::{Metrics, StatusSnapshot};
 use crate::pool::{panic_payload, CheckPool, UnitIn};
 use crate::proto::UnitReport;
@@ -85,25 +86,29 @@ impl Default for ServiceConfig {
     }
 }
 
+/// The whole-unit verdict cache type: fingerprints to shared summaries.
+type UnitCache = LruCache<Arc<CheckSummary>>;
+
 /// Lock the verdict cache, recovering from poisoning: the cache holds
 /// no invariant a panicking inserter could have broken halfway (worst
 /// case a verdict is missing and gets re-checked).
-fn lock_cache(cache: &Mutex<LruCache>) -> std::sync::MutexGuard<'_, LruCache> {
+fn lock_cache(cache: &Mutex<UnitCache>) -> std::sync::MutexGuard<'_, UnitCache> {
     match cache.lock() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
     }
 }
 
-/// Check one unit under `limits`, folding checker stats into a summary.
-fn check_summary_bounded(name: &str, source: &str, limits: &Limits) -> CheckSummary {
-    CheckSummary::of(name, &check_source_with_limits(name, source, limits))
-}
+/// How many per-function verdicts to keep per whole-unit cache slot.
+/// Function entries are small (rendered diagnostics plus counters), and
+/// a typical unit holds many functions.
+const FN_CACHE_FACTOR: usize = 16;
 
 /// A parallel, incremental protocol-checking service.
 pub struct CheckService {
     pool: CheckPool,
-    cache: Mutex<LruCache>,
+    cache: Mutex<UnitCache>,
+    incremental: Arc<IncrementalEngine>,
     cache_capacity: usize,
     limits: ServiceLimits,
     metrics: Arc<Metrics>,
@@ -113,10 +118,15 @@ impl CheckService {
     /// Build a service with `config` tunables.
     pub fn new(config: ServiceConfig) -> Self {
         let metrics = Arc::new(Metrics::default());
+        let cache_capacity = config.cache_capacity.max(1);
         CheckService {
             pool: CheckPool::new(config.jobs, Arc::clone(&metrics)),
-            cache: Mutex::new(LruCache::new(config.cache_capacity)),
-            cache_capacity: config.cache_capacity.max(1),
+            cache: Mutex::new(LruCache::new(cache_capacity)),
+            incremental: Arc::new(IncrementalEngine::new(
+                cache_capacity,
+                cache_capacity.saturating_mul(FN_CACHE_FACTOR),
+            )),
+            cache_capacity,
             limits: config.limits,
             metrics,
         }
@@ -191,13 +201,14 @@ impl CheckService {
                 let job_tx = tx.clone();
                 let limits = self.limits.checker_limits(Instant::now());
                 let metrics = Arc::clone(&self.metrics);
+                let engine = Arc::clone(&self.incremental);
                 let name = unit.name.clone();
                 let submitted = self.pool.submit(move || {
                     let t = Instant::now();
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         #[cfg(feature = "chaos")]
                         crate::chaos::perturb_job();
-                        check_summary_bounded(&unit.name, &unit.source, &limits)
+                        engine.check_unit(&unit.name, &unit.source, &limits, &metrics)
                     }));
                     let summary = match outcome {
                         Ok(summary) => summary,
@@ -308,9 +319,12 @@ impl CheckService {
         }
     }
 
-    /// Drop every memoized verdict (counters are unaffected).
+    /// Drop every memoized verdict — whole-unit summaries, cached
+    /// elaboration environments, and per-function verdicts (counters
+    /// are unaffected).
     pub fn clear_cache(&self) {
         lock_cache(&self.cache).clear();
+        self.incremental.clear();
     }
 
     /// Live cache entry count.

@@ -1,0 +1,128 @@
+//! Differential test for the optimized checker (ISSUE 3).
+//!
+//! The symbol-interning + copy-on-write flow-state overhaul must be
+//! invisible in the output: every diagnostic the checker renders has to
+//! be **byte-identical** to what the pre-optimization checker produced.
+//! The golden file under `tests/golden/` was generated at the
+//! pre-optimization commit (`UPDATE_GOLDEN=1 cargo test -p vault-server
+//! --test differential`) and is the frozen reference; this test replays
+//! the whole built-in corpus plus a spread of deterministic synthetic
+//! programs and diffs the rendered output against it.
+//!
+//! The incremental (function-granular) service path is covered too:
+//! reassembled summaries must match the monolithic checker byte for
+//! byte on the same workload.
+
+use std::fmt::Write as _;
+use vault_core::check_summary;
+use vault_corpus::synth::{generate, Shape, SynthConfig};
+use vault_server::{CheckService, ServiceConfig, UnitIn};
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/corpus_diagnostics.txt"
+);
+
+/// Every corpus program plus deterministic synthetic units of each
+/// shape, some with seeded bugs so rejection diagnostics are covered.
+fn workload() -> Vec<UnitIn> {
+    let mut units: Vec<UnitIn> = vault_corpus::all_programs()
+        .into_iter()
+        .map(|p| UnitIn {
+            name: p.id.to_string(),
+            source: p.source,
+        })
+        .collect();
+    let shapes = [
+        Shape::Mixed,
+        Shape::Straight,
+        Shape::Branchy,
+        Shape::Loopy,
+        Shape::VariantHeavy,
+    ];
+    for (i, shape) in shapes.iter().cycle().take(10).enumerate() {
+        let program = generate(&SynthConfig {
+            functions: 6,
+            stmts_per_fn: 10,
+            seed: 0xD1FF + i as u64,
+            bug_rate: if i % 2 == 0 { 0.4 } else { 0.0 },
+            shape: *shape,
+        });
+        units.push(UnitIn {
+            name: format!("synth_{i}_{shape:?}.vlt"),
+            source: program.source,
+        });
+    }
+    units
+}
+
+/// One canonical text rendering of checking the whole workload: unit
+/// name, verdict, then every rendered diagnostic verbatim.
+fn render_workload() -> String {
+    let mut out = String::new();
+    for u in workload() {
+        let s = check_summary(&u.name, &u.source);
+        let _ = writeln!(out, "=== {} ({}) ===", u.name, s.verdict.as_str());
+        let rendered = s.render_diagnostics();
+        if !rendered.is_empty() {
+            out.push_str(&rendered);
+            if !rendered.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn diagnostics_byte_identical_to_pre_optimization_golden() {
+    let got = render_workload();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN)
+        .expect("golden file missing; regenerate with UPDATE_GOLDEN=1 at a known-good commit");
+    if got != want {
+        // Point at the first diverging line rather than dumping both
+        // multi-thousand-line strings.
+        for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            assert_eq!(
+                g,
+                w,
+                "first divergence at golden line {} (run with UPDATE_GOLDEN=1 only if the change is intended)",
+                i + 1
+            );
+        }
+        assert_eq!(
+            got.lines().count(),
+            want.lines().count(),
+            "rendered output length diverged from golden"
+        );
+        panic!("outputs differ in whitespace only — still a byte-level divergence");
+    }
+}
+
+#[test]
+fn incremental_service_matches_monolithic_checker() {
+    // The function-granular service path must reassemble summaries that
+    // are structurally identical (diagnostics, verdicts, rendered text)
+    // to the plain sequential checker.
+    let units = workload();
+    let svc = CheckService::new(ServiceConfig {
+        jobs: 2,
+        cache_capacity: units.len() * 2,
+        ..Default::default()
+    });
+    let (reports, _) = svc.check_units(units.clone());
+    for (r, u) in reports.iter().zip(&units) {
+        let want = check_summary(&u.name, &u.source);
+        assert_eq!(*r.summary, want, "unit {} diverged", u.name);
+        assert_eq!(
+            r.summary.render_diagnostics(),
+            want.render_diagnostics(),
+            "unit {} rendered output diverged",
+            u.name
+        );
+    }
+}

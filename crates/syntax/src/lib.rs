@@ -28,6 +28,7 @@
 
 pub mod ast;
 pub mod diag;
+pub mod idents;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
@@ -36,5 +37,6 @@ pub mod token;
 
 pub use ast::Program;
 pub use diag::{Code, DiagSink, DiagView, Diagnostic, LabelView, Severity};
+pub use idents::ident_names;
 pub use parser::{parse_expr, parse_program, parse_program_with_depth, DEFAULT_PARSER_DEPTH};
 pub use span::{SourceMap, Span};

@@ -1,0 +1,181 @@
+//! Symbol interning for the checker's hot maps.
+//!
+//! The checker used to key every environment map (`Frame`, `keyenv`,
+//! `statevars`, …) by `String`: every lookup was a byte-wise compare
+//! and every snapshot cloned the key text. A [`Symbol`] is a `u32`
+//! handle into a per-unit [`Interner`], so comparisons are integer ops
+//! and map keys are `Copy`.
+//!
+//! ## Ordering discipline
+//!
+//! The checker's diagnostics depend on `BTreeMap`/`BTreeSet` iteration
+//! order in several places (fresh-key numbering, join attribution), so
+//! symbol order **must** equal string order or output changes. The
+//! interner is therefore built once per unit from the **sorted** set of
+//! every identifier in the AST (plus the resolver's internal sentinel
+//! names): `Symbol(a) < Symbol(b)` iff the interned strings satisfy
+//! `a < b`. After construction the interner is frozen — it is never
+//! mutated, which also makes it `Sync` and lets elaboration output be
+//! shared across worker threads.
+//!
+//! Names that were never interned (e.g. a reference to an undeclared
+//! variable) resolve to [`Symbol::UNKNOWN`]. That is sound for lookups
+//! (no map ever contains `UNKNOWN`) but would be a collision hazard for
+//! inserts, so insert paths only ever use identifiers that came from
+//! the unit's own AST — exactly the set the interner was built from.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// An interned identifier: a dense `u32` whose ordering matches the
+/// string ordering of the underlying names (see module docs).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The sentinel for names absent from the interner. Never stored in
+    /// any map; compares greater than every real symbol.
+    pub const UNKNOWN: Symbol = Symbol(u32::MAX);
+
+    /// Dense index of this symbol (unusable for `UNKNOWN`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if *self == Symbol::UNKNOWN {
+            write!(f, "Symbol(<unknown>)")
+        } else {
+            write!(f, "Symbol({})", self.0)
+        }
+    }
+}
+
+/// 64-bit FNV-1a, the workspace's standard content hash (no external
+/// hasher crates; identifiers are short, where FNV shines).
+#[derive(Default)]
+pub struct FnvHasher(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        if self.0 == 0 {
+            FNV_OFFSET
+        } else {
+            self.0
+        }
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { FNV_OFFSET } else { self.0 };
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+}
+
+/// `BuildHasher` plugging [`FnvHasher`] into `std::collections::HashMap`.
+pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
+
+/// A frozen, per-unit string interner (see module docs for the ordering
+/// and immutability discipline).
+#[derive(Debug, Default)]
+pub struct Interner {
+    names: Vec<Box<str>>,
+    map: HashMap<Box<str>, u32, FnvBuildHasher>,
+}
+
+impl Interner {
+    /// Build from names in **non-decreasing** string order, so that
+    /// symbol order equals string order. Duplicates are ignored.
+    pub fn from_sorted<'a, I: IntoIterator<Item = &'a str>>(names: I) -> Self {
+        let mut interner = Interner::default();
+        for name in names {
+            debug_assert!(
+                interner.names.last().map_or(true, |p| &**p <= name),
+                "interner input must be sorted: `{name}` after `{}`",
+                interner.names.last().map_or("", |p| p)
+            );
+            if interner.names.last().map(|p| &**p) == Some(name) {
+                continue;
+            }
+            let id = interner.names.len() as u32;
+            interner.names.push(name.into());
+            interner.map.insert(name.into(), id);
+        }
+        interner
+    }
+
+    /// The symbol for `name`, or [`Symbol::UNKNOWN`] if it was never
+    /// interned. Read-only: a frozen interner never grows.
+    pub fn sym(&self, name: &str) -> Symbol {
+        match self.map.get(name) {
+            Some(&id) => Symbol(id),
+            None => Symbol::UNKNOWN,
+        }
+    }
+
+    /// The string a symbol stands for (`"<unknown>"` for the sentinel).
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        self.names.get(sym.0 as usize).map_or("<unknown>", |n| &**n)
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_order_matches_string_order() {
+        let i = Interner::from_sorted(["<error>", "alpha", "beta", "gamma"]);
+        assert!(i.sym("<error>") < i.sym("alpha"));
+        assert!(i.sym("alpha") < i.sym("beta"));
+        assert!(i.sym("beta") < i.sym("gamma"));
+        assert!(i.sym("gamma") < Symbol::UNKNOWN);
+    }
+
+    #[test]
+    fn unknown_names_resolve_to_sentinel() {
+        let i = Interner::from_sorted(["x"]);
+        assert_eq!(i.sym("y"), Symbol::UNKNOWN);
+        assert_eq!(i.resolve(Symbol::UNKNOWN), "<unknown>");
+        assert_eq!(i.resolve(i.sym("x")), "x");
+    }
+
+    #[test]
+    fn duplicates_are_collapsed() {
+        let i = Interner::from_sorted(["a", "a", "b"]);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.sym("a").index(), 0);
+        assert_eq!(i.sym("b").index(), 1);
+    }
+
+    #[test]
+    fn fnv_hasher_matches_reference_vectors() {
+        fn hash(bytes: &[u8]) -> u64 {
+            let mut h = FnvHasher::default();
+            h.write(bytes);
+            h.finish()
+        }
+        // Standard FNV-1a test vectors.
+        assert_eq!(hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(hash(b"foobar"), 0x85944171f73967e8);
+    }
+}

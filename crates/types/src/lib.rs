@@ -34,12 +34,14 @@
 #![warn(missing_docs)]
 
 pub mod heldset;
+pub mod intern;
 pub mod key;
 pub mod state;
 pub mod ty;
 pub mod unify;
 
 pub use heldset::{HeldErr, HeldSet};
+pub use intern::{FnvBuildHasher, Interner, Symbol};
 pub use key::{KeyGen, KeyId, KeyInfo, KeyOrigin, KeyRef};
 pub use state::{StateId, StateReq, StateTable, StateVal, StatesetError, StatesetId};
 pub use ty::{
