@@ -53,7 +53,7 @@ fn usage() -> ExitCode {
          vaultc dump-cfg <file.vlt>\n  vaultc stats <file.vlt>\n  \
          vaultc run <file.vlt> <entry>\n  \
          vaultc explain <Vnnn>\n  vaultc corpus [E1..E13|X1..X5]\n  \
-         vaultc serve [--socket PATH] [--jobs N] [--cache N]\n               \
+         vaultc serve [--socket PATH] [--jobs N] [--cache N] [--cache-dir PATH]\n               \
          [--max-request-bytes N] [--timeout-ms N] [--fuel N]"
     );
     ExitCode::from(2)
@@ -253,6 +253,10 @@ fn serve(rest: &[String]) -> ExitCode {
                 Some(n) if n >= 1 => config.cache_capacity = n,
                 _ => return usage(),
             },
+            "--cache-dir" => match it.next() {
+                Some(dir) => config.cache_dir = Some(dir.into()),
+                None => return usage(),
+            },
             "--max-request-bytes" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => config.limits.max_request_bytes = n,
                 _ => return usage(),
@@ -357,6 +361,14 @@ fn stats(path: &str) -> ExitCode {
         result.stats.snapshots,
         result.stats.frames_copied,
         wall.as_micros()
+    );
+    println!(
+        "phases:  lex {}us, parse {}us, elaborate {}us, lower {}us, check {}us",
+        result.stats.lex_micros,
+        result.stats.parse_micros,
+        result.stats.elaborate_micros,
+        result.stats.lower_micros,
+        result.stats.check_micros
     );
     let mut blocks = 0usize;
     let mut edges = 0usize;

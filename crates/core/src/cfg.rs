@@ -118,7 +118,7 @@ pub fn build_cfg(f: &FunDecl) -> Cfg {
         b.edge(end, exit, EdgeKind::Goto);
     }
     Cfg {
-        name: f.name.name.clone(),
+        name: f.name.name.to_string(),
         blocks: b.blocks,
         exit,
     }

@@ -29,7 +29,14 @@ use vault_types::{
 };
 
 /// Counters reported per function check (used by the scaling benches).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// The `*_micros` fields break the run down by phase (lex, parse,
+/// elaborate, lower, check) so perf work can see where cold time goes.
+/// They are wall-clock measurements and therefore vary run to run;
+/// `PartialEq` deliberately ignores them so that two checks of the same
+/// source still compare equal (the incremental engine asserts exactly
+/// that).
+#[derive(Clone, Copy, Debug, Default)]
 pub struct CheckStats {
     /// Statements visited.
     pub statements: usize,
@@ -46,7 +53,33 @@ pub struct CheckStats {
     /// Frames actually deep-copied by the copy-on-write machinery (a
     /// fraction of `snapshots * frames`; the rest stayed shared).
     pub frames_copied: usize,
+    /// Microseconds spent lexing the unit.
+    pub lex_micros: u64,
+    /// Microseconds spent parsing (token stream → AST).
+    pub parse_micros: u64,
+    /// Microseconds spent elaborating declarations (passes 1–3).
+    pub elaborate_micros: u64,
+    /// Microseconds spent lowering signatures and types (passes 4–5).
+    pub lower_micros: u64,
+    /// Microseconds spent in the flow checker proper.
+    pub check_micros: u64,
 }
+
+impl PartialEq for CheckStats {
+    fn eq(&self, other: &Self) -> bool {
+        // Timing fields are excluded on purpose: they are wall-clock
+        // noise, not semantic output.
+        self.statements == other.statements
+            && self.calls == other.calls
+            && self.joins == other.joins
+            && self.loop_iterations == other.loop_iterations
+            && self.keys_allocated == other.keys_allocated
+            && self.snapshots == other.snapshots
+            && self.frames_copied == other.frames_copied
+    }
+}
+
+impl Eq for CheckStats {}
 
 impl CheckStats {
     /// Accumulate another function's counters.
@@ -58,6 +91,20 @@ impl CheckStats {
         self.keys_allocated += other.keys_allocated;
         self.snapshots += other.snapshots;
         self.frames_copied += other.frames_copied;
+        self.lex_micros += other.lex_micros;
+        self.parse_micros += other.parse_micros;
+        self.elaborate_micros += other.elaborate_micros;
+        self.lower_micros += other.lower_micros;
+        self.check_micros += other.check_micros;
+    }
+
+    /// Total front-end + checker time in microseconds.
+    pub fn total_micros(&self) -> u64 {
+        self.lex_micros
+            + self.parse_micros
+            + self.elaborate_micros
+            + self.lower_micros
+            + self.check_micros
     }
 }
 
@@ -123,7 +170,7 @@ pub fn check_function_with_limits(
         statevars: BTreeMap::new(),
         keyenv: BTreeMap::new(),
         ret_ty: Ty::Void,
-        fn_name: f.name.name.clone(),
+        fn_name: f.name.name.to_string(),
         expected_exit: Vec::new(),
         stats: CheckStats::default(),
         limits: *limits,
@@ -133,7 +180,9 @@ pub fn check_function_with_limits(
     // functions too, so only the top-level entry point reports the delta
     // (child checkers leave `frames_copied` at zero).
     let copied_before = frames_copied_count();
+    let started = std::time::Instant::now();
     checker.run(f);
+    checker.stats.check_micros = started.elapsed().as_micros() as u64;
     checker.stats.frames_copied = (frames_copied_count() - copied_before) as usize;
     checker.stats
 }
@@ -272,7 +321,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
                 let b = bound
                     .as_ref()
                     .and_then(|b| self.world.states.state(&b.name));
-                svars.insert(name.name.clone(), b);
+                svars.insert(name.name.to_string(), b);
             }
         }
         for item in &sig.effect {
@@ -919,7 +968,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
             statevars: self.statevars.clone(),
             keyenv: self.keyenv.clone(),
             ret_ty: Ty::Void,
-            fn_name: f.name.name.clone(),
+            fn_name: f.name.name.to_string(),
             expected_exit: Vec::new(),
             stats: CheckStats::default(),
             limits: self.limits,
@@ -1073,7 +1122,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
                 continue;
             };
             let cdef = cdef.clone();
-            covered.insert(arm.ctor.name.clone());
+            covered.insert(arm.ctor.name.to_string());
             let mut s = self.snapshot(&pre);
             self.check_arm(&mut s, &def, &cdef, &vargs, arm);
             result = Some(match result {
@@ -2269,7 +2318,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
                 for init in inits {
                     match sd.fields.iter().find(|(n, _)| n == &init.name.name) {
                         Some((_, fty)) => {
-                            if !seen.insert(init.name.name.clone()) {
+                            if !seen.insert(init.name.name.to_string()) {
                                 self.diags.error(
                                     Code::DuplicateDecl,
                                     init.name.span,
@@ -2327,7 +2376,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
         match region {
             None => {
                 // `new tracked T {...}`: fresh heap object with a fresh key.
-                let k = self.fresh_key(None, tyname.name.clone(), KeyOrigin::Fresh);
+                let k = self.fresh_key(None, tyname.name.to_string(), KeyOrigin::Fresh);
                 st.held.insert(k, StateVal::DEFAULT).expect("fresh key");
                 Ty::Tracked {
                     key: KeyRef::Id(k),

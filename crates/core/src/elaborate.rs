@@ -4,6 +4,7 @@
 
 use crate::lower::{AliasEntry, LowerCtx, Scope};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use vault_syntax::ast;
 use vault_syntax::diag::{Code, DiagSink};
 use vault_types::{
@@ -18,8 +19,10 @@ pub struct Elaborated {
     pub world: World,
     /// The unit's frozen interner: every identifier in the program, plus
     /// the resolver's sentinels, in string order (so symbol order equals
-    /// string order everywhere downstream).
-    pub syms: Interner,
+    /// string order everywhere downstream). Shared with the parse that
+    /// produced the program — elaboration no longer re-walks the AST to
+    /// build it.
+    pub syms: Arc<Interner>,
     /// Type aliases (expanded at use sites).
     pub aliases: BTreeMap<Symbol, AliasEntry>,
     /// Global keys pre-allocated; function checks clone this generator.
@@ -28,18 +31,31 @@ pub struct Elaborated {
     pub bodies: Vec<ast::FunDecl>,
     /// Names of interfaces/modules, accepted as call qualifiers.
     pub qualifiers: BTreeSet<Symbol>,
+    /// Microseconds spent in declaration collection (passes 1–3).
+    pub elaborate_micros: u64,
+    /// Microseconds spent lowering fields, constructors, and function
+    /// signatures into the checker's representation (passes 4–5).
+    pub lower_micros: u64,
 }
 
 /// Elaborate a parsed program.
 pub fn elaborate(program: &ast::Program, diags: &mut DiagSink) -> Elaborated {
-    // The interner is frozen before anything else runs: every identifier
-    // in the unit, plus the sentinels lowering error paths can introduce
-    // (they participate in map ordering like any other name).
-    let mut names = vault_syntax::ident_names(program);
-    names.insert("<error>");
-    names.insert("<fn>");
-    let syms = Interner::from_sorted(names);
+    // The parser interned every identifier at lex time — plus the
+    // `<error>`/`<fn>` sentinels lowering error paths can introduce —
+    // and froze the interner into string order, so elaboration reuses
+    // it instead of re-walking the whole AST to collect names. ASTs
+    // built by hand (tests) bypass the parser and arrive with an empty
+    // interner; rebuild it from the AST in that case.
+    let syms: Arc<Interner> = if program.syms.is_empty() && !program.decls.is_empty() {
+        let mut names = vault_syntax::ident_names(program);
+        names.insert("<error>");
+        names.insert("<fn>");
+        Arc::new(Interner::from_sorted(names))
+    } else {
+        Arc::clone(&program.syms)
+    };
 
+    let started = std::time::Instant::now();
     let mut world = World::new();
     let mut aliases: BTreeMap<Symbol, AliasEntry> = BTreeMap::new();
     let mut base_keys = KeyGen::new();
@@ -120,7 +136,7 @@ pub fn elaborate(program: &ast::Program, diags: &mut DiagSink) -> Elaborated {
                 None => StateTable::DEFAULT_SET,
             };
             let id = base_keys.fresh(KeyInfo {
-                name: Some(k.name.name.clone()),
+                name: Some(k.name.name.to_string()),
                 resource: format!("global key {}", k.name),
                 origin: KeyOrigin::Global,
                 stateset,
@@ -147,7 +163,7 @@ pub fn elaborate(program: &ast::Program, diags: &mut DiagSink) -> Elaborated {
         let params = lower_params(&world, params, diags);
         if world
             .add_type(TypeDef::Abstract(AbstractDef {
-                name: name.name.clone(),
+                name: name.name.to_string(),
                 params,
             }))
             .is_none()
@@ -183,6 +199,9 @@ pub fn elaborate(program: &ast::Program, diags: &mut DiagSink) -> Elaborated {
             }
         }
     }
+
+    let elaborate_micros = started.elapsed().as_micros() as u64;
+    let started = std::time::Instant::now();
 
     // Pass 4: lower struct fields and variant constructors.
     for d in &decls {
@@ -224,12 +243,12 @@ pub fn elaborate(program: &ast::Program, diags: &mut DiagSink) -> Elaborated {
                             ),
                         );
                     }
-                    fields.push((f.name.name.clone(), ty));
+                    fields.push((f.name.name.to_string(), ty));
                 }
                 world.replace_type(
                     id,
                     TypeDef::Struct(StructDef {
-                        name: s.name.name.clone(),
+                        name: s.name.name.to_string(),
                         params,
                         fields,
                     }),
@@ -275,7 +294,7 @@ pub fn elaborate(program: &ast::Program, diags: &mut DiagSink) -> Elaborated {
                         .collect();
                     let mut captures = Vec::new();
                     for cap in &c.captures {
-                        if !param_names.contains(&cap.key.name) {
+                        if !param_names.contains(cap.key.name.as_str()) {
                             diags.error(
                                 Code::UnknownName,
                                 cap.key.span,
@@ -287,10 +306,10 @@ pub fn elaborate(program: &ast::Program, diags: &mut DiagSink) -> Elaborated {
                             continue;
                         }
                         let req = ctx.lower_state_req(&mut scope, cap.state.as_ref(), diags);
-                        captures.push((cap.key.name.clone(), req));
+                        captures.push((cap.key.name.to_string(), req));
                     }
                     ctors.push(CtorDef {
-                        name: c.name.name.clone(),
+                        name: c.name.name.to_string(),
                         exist_keys,
                         args,
                         captures,
@@ -299,7 +318,7 @@ pub fn elaborate(program: &ast::Program, diags: &mut DiagSink) -> Elaborated {
                 world.replace_type(
                     id,
                     TypeDef::Variant(VariantDef {
-                        name: v.name.name.clone(),
+                        name: v.name.name.to_string(),
                         params,
                         ctors,
                     }),
@@ -339,6 +358,8 @@ pub fn elaborate(program: &ast::Program, diags: &mut DiagSink) -> Elaborated {
         base_keys,
         bodies,
         qualifiers,
+        elaborate_micros,
+        lower_micros: started.elapsed().as_micros() as u64,
     }
 }
 
@@ -362,7 +383,7 @@ pub fn lower_fn_decl_in(
         match tp {
             ast::TParam::Type(n) => {
                 scope.tyvars.insert(ctx.syms.sym(&n.name));
-                ty_params.push(n.name.clone());
+                ty_params.push(n.name.to_string());
             }
             ast::TParam::Key(n) => {
                 scope.keyvars.insert(ctx.syms.sym(&n.name));
@@ -376,7 +397,7 @@ pub fn lower_fn_decl_in(
     let mut param_names = Vec::with_capacity(f.params.len());
     for p in &f.params {
         params.push(ctx.lower_type(&mut scope, &p.ty, diags));
-        param_names.push(p.name.as_ref().map(|n| n.name.clone()));
+        param_names.push(p.name.as_ref().map(|n| n.name.to_string()));
     }
     // Effects lowered before the return type so `new K` keys are in scope
     // when the return type mentions them (they typically are by textual
@@ -387,7 +408,7 @@ pub fn lower_fn_decl_in(
     };
     let ret = ctx.lower_type(&mut scope, &f.ret, diags);
     FnSig {
-        name: f.name.name.clone(),
+        name: f.name.name.to_string(),
         params,
         param_names,
         ret,
@@ -466,8 +487,8 @@ fn lower_params(world: &World, params: &[ast::TParam], diags: &mut DiagSink) -> 
     params
         .iter()
         .map(|p| match p {
-            ast::TParam::Type(n) => ParamKind::Type(n.name.clone()),
-            ast::TParam::Key(n) => ParamKind::Key(n.name.clone()),
+            ast::TParam::Type(n) => ParamKind::Type(n.name.to_string()),
+            ast::TParam::Key(n) => ParamKind::Key(n.name.to_string()),
             ast::TParam::State { name, bound } => {
                 let bound = bound.as_ref().and_then(|b| {
                     let tok = world.states.state(&b.name);
@@ -481,7 +502,7 @@ fn lower_params(world: &World, params: &[ast::TParam], diags: &mut DiagSink) -> 
                     tok
                 });
                 ParamKind::State {
-                    name: name.name.clone(),
+                    name: name.name.to_string(),
                     bound,
                 }
             }

@@ -195,9 +195,16 @@ pub fn check_source(name: &str, src: &str) -> CheckResult {
 pub fn check_source_with_limits(name: &str, src: &str, limits: &Limits) -> CheckResult {
     let source = SourceMap::new(name, src);
     let mut diags = DiagSink::new();
-    let program = vault_syntax::parse_program_with_depth(src, &mut diags, limits.parser_depth);
+    let (program, front) =
+        vault_syntax::parse_program_with_depth_timed(src, &mut diags, limits.parser_depth);
     let elaborated = elaborate(&program, &mut diags);
-    let mut stats = CheckStats::default();
+    let mut stats = CheckStats {
+        lex_micros: front.lex_micros,
+        parse_micros: front.parse_micros,
+        elaborate_micros: elaborated.elaborate_micros,
+        lower_micros: elaborated.lower_micros,
+        ..CheckStats::default()
+    };
     for f in &elaborated.bodies {
         if limits.deadline_exceeded() {
             diags.error(

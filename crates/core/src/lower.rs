@@ -219,7 +219,7 @@ impl<'a> LowerCtx<'a> {
                     format!("type variable `{name}` takes no arguments"),
                 );
             }
-            return Ty::Var(name.name.clone());
+            return Ty::Var(name.name.to_string());
         }
         if let Some(alias) = self.aliases.get(&self.syms.sym(&name.name)) {
             return self.expand_alias(scope, name, alias, args, span, diags);
@@ -382,14 +382,14 @@ impl<'a> LowerCtx<'a> {
         }
         if scope.sig_mode {
             scope.keyvars.insert(self.syms.sym(&name.name));
-            KeyRef::var(&name.name)
+            KeyRef::var(name.name.as_str())
         } else {
             diags.error(
                 Code::UnknownName,
                 name.span,
                 format!("unknown key `{name}` in guard"),
             );
-            KeyRef::var(&name.name)
+            KeyRef::var(name.name.as_str())
         }
     }
 
@@ -410,11 +410,11 @@ impl<'a> LowerCtx<'a> {
                 {
                     match scope.bound_states.get(&self.syms.sym(&n.name)) {
                         Some(StateArg::Token(t)) => StateReq::Exact(*t),
-                        _ => StateReq::Var(n.name.clone()),
+                        _ => StateReq::Var(n.name.to_string()),
                     }
                 } else if scope.sig_mode {
                     scope.statevars.insert(self.syms.sym(&n.name));
-                    StateReq::Var(n.name.clone())
+                    StateReq::Var(n.name.to_string())
                 } else {
                     diags.error(
                         Code::UnknownState,
@@ -435,7 +435,7 @@ impl<'a> LowerCtx<'a> {
                 };
                 scope.statevars.insert(self.syms.sym(&var.name));
                 StateReq::AtMost {
-                    var: Some(var.name.clone()),
+                    var: Some(var.name.to_string()),
                     bound: tok,
                 }
             }
@@ -514,13 +514,13 @@ impl<'a> LowerCtx<'a> {
                     scope
                         .bound_keys
                         .entry(self.syms.sym(&key.name))
-                        .or_insert_with(|| KeyRef::var(&key.name));
+                        .or_insert_with(|| KeyRef::var(key.name.as_str()));
                     let state = match state {
                         Some(s) => self.resolve_state_arg(scope, &s.name, s.span, diags),
                         None => StateArg::Token(vault_types::StateTable::DEFAULT),
                     };
                     items.push(EffItem::Fresh {
-                        var: key.name.clone(),
+                        var: key.name.to_string(),
                         state,
                     });
                 }

@@ -141,7 +141,7 @@ impl<'p> Machine<'p> {
     pub fn new(program: &'p Program, externs: ExternTable) -> Self {
         let mut fns = BTreeMap::new();
         for f in program.functions() {
-            fns.insert(f.name.name.clone(), f);
+            fns.insert(f.name.name.to_string(), f);
         }
         Machine {
             fns,
@@ -261,7 +261,7 @@ impl<'p> Machine<'p> {
         }
         for (p, v) in named.iter().zip(args) {
             if let Some(n) = &p.name {
-                env[0].insert(n.name.clone(), v);
+                env[0].insert(n.name.to_string(), v);
             }
         }
         let body = f.body.as_ref().expect("checked by caller");
@@ -304,7 +304,9 @@ impl<'p> Machine<'p> {
                     Some(e) => self.eval(e, env)?,
                     None => Value::Unit,
                 };
-                env.last_mut().expect("scope").insert(name.name.clone(), v);
+                env.last_mut()
+                    .expect("scope")
+                    .insert(name.name.to_string(), v);
                 Ok(Flow::Normal)
             }
             StmtKind::NestedFun(f) => {
@@ -314,7 +316,7 @@ impl<'p> Machine<'p> {
                 // for Fig. 7. Calling one here is unsupported.
                 env.last_mut()
                     .expect("scope")
-                    .insert(f.name.name.clone(), Value::Fn(f.name.name.clone()));
+                    .insert(f.name.name.to_string(), Value::Fn(f.name.name.to_string()));
                 Ok(Flow::Normal)
             }
             StmtKind::Expr(e) => {
@@ -388,7 +390,7 @@ impl<'p> Machine<'p> {
                                 let component = args.get(i).cloned().unwrap_or(Value::Unit);
                                 env.last_mut()
                                     .expect("scope")
-                                    .insert(n.name.clone(), component);
+                                    .insert(n.name.to_string(), component);
                             }
                         }
                         let mut flow = Flow::Normal;
@@ -440,7 +442,7 @@ impl<'p> Machine<'p> {
         match &lhs.kind {
             ExprKind::Var(name) => {
                 for frame in env.iter_mut().rev() {
-                    if let Some(slot) = frame.get_mut(&name.name) {
+                    if let Some(slot) = frame.get_mut(name.name.as_str()) {
                         *slot = v;
                         return Ok(());
                     }
@@ -452,7 +454,7 @@ impl<'p> Machine<'p> {
                 match b {
                     Value::Obj { ptr, .. } => {
                         let fields = self.heap.get_mut(ptr)?;
-                        fields.insert(field.name.clone(), v);
+                        fields.insert(field.name.to_string(), v);
                         Ok(())
                     }
                     other => Err(EvalError::Type(format!(
@@ -503,12 +505,12 @@ impl<'p> Machine<'p> {
             ExprKind::StrLit(s) => Ok(Value::Str(s.clone())),
             ExprKind::Var(name) => {
                 for frame in env.iter().rev() {
-                    if let Some(v) = frame.get(&name.name) {
+                    if let Some(v) = frame.get(name.name.as_str()) {
                         return Ok(v.clone());
                     }
                 }
-                if self.fns.contains_key(&name.name) {
-                    return Ok(Value::Fn(name.name.clone()));
+                if self.fns.contains_key(name.name.as_str()) {
+                    return Ok(Value::Fn(name.name.to_string()));
                 }
                 Err(EvalError::Type(format!("unknown variable `{name}`")))
             }
@@ -517,7 +519,10 @@ impl<'p> Machine<'p> {
                 match b {
                     Value::Obj { ptr, .. } => {
                         let fields = self.heap.get(ptr)?;
-                        Ok(fields.get(&field.name).cloned().unwrap_or(Value::Unit))
+                        Ok(fields
+                            .get(field.name.as_str())
+                            .cloned()
+                            .unwrap_or(Value::Unit))
                     }
                     other => Err(EvalError::Type(format!(
                         "field access on {}",
@@ -551,7 +556,7 @@ impl<'p> Machine<'p> {
                     // Module-qualified: `Region.create`.
                     ExprKind::Field(base, f)
                         if matches!(&base.kind, ExprKind::Var(q)
-                            if !env.iter().any(|fr| fr.contains_key(&q.name))) =>
+                            if !env.iter().any(|fr| fr.contains_key(q.name.as_str()))) =>
                     {
                         f.name.clone()
                     }
@@ -570,7 +575,7 @@ impl<'p> Machine<'p> {
                     argv.push(self.eval(a, env)?);
                 }
                 Ok(Value::Variant {
-                    ctor: name.name.clone(),
+                    ctor: name.name.to_string(),
                     args: argv,
                 })
             }
@@ -578,7 +583,7 @@ impl<'p> Machine<'p> {
                 let mut fields = Fields::new();
                 for init in inits {
                     let v = self.eval(&init.value, env)?;
-                    fields.insert(init.name.name.clone(), v);
+                    fields.insert(init.name.name.to_string(), v);
                 }
                 match region {
                     // `new tracked`: a private region per object so `free`

@@ -1,7 +1,7 @@
 //! `vaultd` — the Vault protocol-checking daemon.
 //!
 //! ```text
-//! vaultd [--socket PATH] [--jobs N] [--cache N]
+//! vaultd [--socket PATH] [--jobs N] [--cache N] [--cache-dir PATH]
 //!        [--max-request-bytes N] [--timeout-ms N] [--fuel N]
 //! ```
 //!
@@ -9,6 +9,12 @@
 //! socket until a client sends `{"op":"shutdown"}`. Without it, serves
 //! a single session over stdin/stdout (exiting at EOF) — handy behind
 //! an inetd-style supervisor or for piping.
+//!
+//! `--cache-dir` names a directory for the persistent warm-start cache:
+//! verdicts journaled there by a previous run are replayed at boot, so
+//! a restarted daemon answers its first requests at warm-cache speed
+//! (a corrupt or version-mismatched log falls back to a cold start and
+//! shows up as `cache_load_errors` in `status`).
 //!
 //! `--max-request-bytes` caps how large one request line may grow,
 //! `--timeout-ms` gives every compilation unit a checking deadline, and
@@ -24,7 +30,7 @@ use vault_server::{CheckService, ServiceConfig, UnixServer};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: vaultd [--socket PATH] [--jobs N] [--cache N]\n              \
+        "usage: vaultd [--socket PATH] [--jobs N] [--cache N] [--cache-dir PATH]\n              \
          [--max-request-bytes N] [--timeout-ms N] [--fuel N]"
     );
     ExitCode::from(2)
@@ -48,6 +54,10 @@ fn main() -> ExitCode {
             "--cache" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => config.cache_capacity = n,
                 _ => return usage(),
+            },
+            "--cache-dir" => match it.next() {
+                Some(dir) => config.cache_dir = Some(dir.into()),
+                None => return usage(),
             },
             "--max-request-bytes" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => config.limits.max_request_bytes = n,

@@ -47,7 +47,8 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use vault_core::check::{check_function_with_limits, CheckStats};
 use vault_core::{check_summary_with_limits, elaborate, CheckSummary, Elaborated, Limits, Verdict};
 use vault_syntax::{
-    ast, parse_program_with_depth, Code, DiagSink, DiagView, Severity, SourceMap, Span,
+    ast, parse_program_with_depth, parse_program_with_depth_timed, Code, DiagSink, DiagView,
+    Severity, SourceMap, Span,
 };
 
 use crate::cache::{fnv1a_64, fnv1a_absorb, LruCache};
@@ -99,6 +100,13 @@ struct FnVerdict {
 pub struct IncrementalEngine {
     envs: Mutex<LruCache<Arc<CachedEnv>>>,
     fns: Mutex<LruCache<Arc<FnVerdict>>>,
+    /// When set (persistence enabled), every fresh function verdict is
+    /// also pushed onto `dirty` for the service to drain into the
+    /// on-disk log. Off by default so a daemon without `--cache-dir`
+    /// never accumulates an unbounded list.
+    track_dirty: std::sync::atomic::AtomicBool,
+    /// Fresh `(fingerprint, verdict)` pairs not yet persisted.
+    dirty: Mutex<Vec<(u64, Arc<FnVerdict>)>>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -205,7 +213,39 @@ impl IncrementalEngine {
         IncrementalEngine {
             envs: Mutex::new(LruCache::new(env_capacity)),
             fns: Mutex::new(LruCache::new(fn_capacity)),
+            track_dirty: std::sync::atomic::AtomicBool::new(false),
+            dirty: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Start recording fresh function verdicts for [`Self::take_dirty`].
+    /// Called once by the service when a persistent cache is attached.
+    pub fn enable_dirty_tracking(&self) {
+        self.track_dirty.store(true, Ordering::Relaxed);
+    }
+
+    /// Record a fresh verdict for the persistence layer, when enabled.
+    fn note_dirty(&self, fp: u64, verdict: &Arc<FnVerdict>) {
+        if self.track_dirty.load(Ordering::Relaxed) {
+            lock(&self.dirty).push((fp, Arc::clone(verdict)));
+        }
+    }
+
+    /// Drain every function verdict computed since the last drain, as
+    /// `(fingerprint, diagnostics, stats)` rows ready to journal.
+    pub fn take_dirty(&self) -> Vec<(u64, Vec<DiagView>, CheckStats)> {
+        std::mem::take(&mut *lock(&self.dirty))
+            .into_iter()
+            .map(|(fp, v)| (fp, v.views.clone(), v.stats))
+            .collect()
+    }
+
+    /// Install a function verdict replayed from the persistent cache.
+    /// The fingerprint recipe is stable across restarts (environment
+    /// hash plus declaration text), so a later check of the same
+    /// function under the same declarations hits this entry.
+    pub fn seed_fn(&self, fp: u64, views: Vec<DiagView>, stats: CheckStats) {
+        lock(&self.fns).put(fp, Arc::new(FnVerdict { views, stats }));
     }
 
     /// Check one unit, reusing whatever the caches already know.
@@ -234,10 +274,13 @@ impl IncrementalEngine {
         (lock(&self.envs).len(), lock(&self.fns).len())
     }
 
-    /// Drop every cached environment and function verdict.
+    /// Drop every cached environment and function verdict, plus any
+    /// verdicts queued for persistence (the caller is about to wipe the
+    /// disk log too — journaling them afterwards would resurrect them).
     pub fn clear(&self) {
         lock(&self.envs).clear();
         lock(&self.fns).clear();
+        lock(&self.dirty).clear();
     }
 
     /// Same-length edit path: reuse the cached elaboration, re-check
@@ -282,6 +325,7 @@ impl IncrementalEngine {
                     match self.check_standalone(source, &sm, decl, &env.elaborated, limits) {
                         Some(v) => {
                             lock(&self.fns).put(fp, Arc::clone(&v));
+                            self.note_dirty(fp, &v);
                             v
                         }
                         None => {
@@ -332,21 +376,30 @@ impl IncrementalEngine {
         if !parse_diags.diagnostics().is_empty() {
             return None;
         }
-        let f = match program.decls.as_slice() {
-            [ast::Decl::Fun(f)] => f,
-            _ => return None,
+        let mut decls = program.decls;
+        if decls.len() != 1 {
+            return None;
+        }
+        let Some(ast::Decl::Fun(mut f)) = decls.pop() else {
+            return None;
         };
         if f.span != decl || f.body.is_none() {
             return None;
         }
-        // The cached interner was frozen over the *previous* parse; an
-        // edit that introduces a new identifier would check it as
-        // `Symbol::UNKNOWN` and could alias another new name. Every
-        // name must round-trip through the interner.
-        for n in vault_syntax::ident_names(&program) {
-            if elab.syms.resolve(elab.syms.sym(n)) != n {
-                return None;
-            }
+        // The mini-parse interned into its own throwaway interner, so
+        // the declaration's symbols live in the wrong symbol space.
+        // Re-intern every identifier against the cached unit's frozen
+        // interner. An edit that introduces a brand-new identifier
+        // cannot be interned into a frozen table (symbols are numbered
+        // in string order); it would check as `Symbol::UNKNOWN` and
+        // could alias another new name, so fall back to the full path.
+        let mut unknown = false;
+        vault_syntax::remap_idents_fun(&mut f, &mut |id| {
+            id.sym = elab.syms.sym(&id.name);
+            unknown |= id.sym == vault_syntax::Symbol::UNKNOWN;
+        });
+        if unknown {
+            return None;
         }
         let mut sink = DiagSink::new();
         let stats = check_function_with_limits(
@@ -355,7 +408,7 @@ impl IncrementalEngine {
             &elab.aliases,
             &elab.qualifiers,
             &elab.base_keys,
-            f,
+            &f,
             &mut sink,
             limits,
         );
@@ -378,7 +431,8 @@ impl IncrementalEngine {
     ) -> CheckSummary {
         let sm = SourceMap::new(name, source);
         let mut pre = DiagSink::new();
-        let program = parse_program_with_depth(source, &mut pre, limits.parser_depth);
+        let (program, front) =
+            parse_program_with_depth_timed(source, &mut pre, limits.parser_depth);
         let elaborated = Arc::new(elaborate(&program, &mut pre));
         let pre_limit = pre.has_code(Code::LimitExceeded);
         let pre_views: Vec<DiagView> = pre
@@ -396,7 +450,13 @@ impl IncrementalEngine {
         let eh = env_hash(name, limits, &excised);
 
         let mut views = pre_views.clone();
-        let mut stats = CheckStats::default();
+        let mut stats = CheckStats {
+            lex_micros: front.lex_micros,
+            parse_micros: front.parse_micros,
+            elaborate_micros: elaborated.elaborate_micros,
+            lower_micros: elaborated.lower_micros,
+            ..CheckStats::default()
+        };
         let mut hits = 0u64;
         let mut misses = 0u64;
         for f in &elaborated.bodies {
@@ -429,6 +489,7 @@ impl IncrementalEngine {
                         stats: fn_stats,
                     });
                     lock(&self.fns).put(fp, Arc::clone(&v));
+                    self.note_dirty(fp, &v);
                     v
                 }
             };

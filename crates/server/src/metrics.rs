@@ -41,6 +41,17 @@ pub struct Metrics {
     pub deadline_exceeded: AtomicU64,
     /// Worker threads respawned after an unwind escaped a job.
     pub workers_respawned: AtomicU64,
+    /// Cumulative microseconds spent lexing (cache misses only).
+    pub lex_micros: AtomicU64,
+    /// Cumulative microseconds spent parsing.
+    pub parse_micros: AtomicU64,
+    /// Cumulative microseconds spent elaborating declarations.
+    pub elaborate_micros: AtomicU64,
+    /// Cumulative microseconds spent lowering signatures and types.
+    pub lower_micros: AtomicU64,
+    /// Frames of the persistent cache that failed to load (truncated,
+    /// corrupt, or version-mismatched — each such frame fell back cold).
+    pub cache_load_errors: AtomicU64,
     started: Instant,
 }
 
@@ -61,6 +72,11 @@ impl Default for Metrics {
             panics_caught: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
             workers_respawned: AtomicU64::new(0),
+            lex_micros: AtomicU64::new(0),
+            parse_micros: AtomicU64::new(0),
+            elaborate_micros: AtomicU64::new(0),
+            lower_micros: AtomicU64::new(0),
+            cache_load_errors: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -115,8 +131,25 @@ impl Metrics {
             panics_caught: self.panics_caught.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
+            lex_micros: self.lex_micros.load(Ordering::Relaxed),
+            parse_micros: self.parse_micros.load(Ordering::Relaxed),
+            elaborate_micros: self.elaborate_micros.load(Ordering::Relaxed),
+            lower_micros: self.lower_micros.load(Ordering::Relaxed),
+            cache_load_errors: self.cache_load_errors.load(Ordering::Relaxed),
             uptime_micros: self.started.elapsed().as_micros() as u64,
         }
+    }
+
+    /// Accumulate one unit's per-phase front-end timings.
+    pub fn absorb_phases(&self, stats: &vault_core::check::CheckStats) {
+        self.lex_micros
+            .fetch_add(stats.lex_micros, Ordering::Relaxed);
+        self.parse_micros
+            .fetch_add(stats.parse_micros, Ordering::Relaxed);
+        self.elaborate_micros
+            .fetch_add(stats.elaborate_micros, Ordering::Relaxed);
+        self.lower_micros
+            .fetch_add(stats.lower_micros, Ordering::Relaxed);
     }
 }
 
@@ -151,6 +184,16 @@ pub struct StatusSnapshot {
     pub deadline_exceeded: u64,
     /// Workers respawned after an unwind.
     pub workers_respawned: u64,
+    /// Microseconds spent lexing (cache misses only).
+    pub lex_micros: u64,
+    /// Microseconds spent parsing.
+    pub parse_micros: u64,
+    /// Microseconds spent elaborating declarations.
+    pub elaborate_micros: u64,
+    /// Microseconds spent lowering signatures and types.
+    pub lower_micros: u64,
+    /// Persistent-cache frames that failed to load (cold fallback).
+    pub cache_load_errors: u64,
     /// Microseconds since the service started.
     pub uptime_micros: u64,
 }

@@ -1,0 +1,718 @@
+//! The persistent warm-start cache: an append-only verdict log.
+//!
+//! A daemon restart used to mean paying the whole cold path again —
+//! every unit re-lexed, re-parsed, re-elaborated, re-checked. With
+//! `--cache-dir` the service journals every deterministic verdict
+//! (whole-unit summaries and per-function verdicts) to an append-only
+//! log and replays it at boot, so the first request after a restart is
+//! answered at warm-cache speed.
+//!
+//! ## File format
+//!
+//! One file, `verdicts.vcache`, in the configured directory:
+//!
+//! ```text
+//! [8-byte magic "VAULTCCH"][u32 LE format version]
+//! [u32 LE payload len][u32 LE CRC-32 of payload][payload bytes] ...
+//! ```
+//!
+//! Each payload is one JSON object (the same hand-rolled [`Json`] the
+//! wire protocol uses) describing either a whole-unit record
+//! (`"kind":"unit"`) or a per-function record (`"kind":"fn"`). Keys are
+//! 64-bit fingerprints; they are serialized as 16-digit hex strings
+//! because [`Json`] holds numbers as `f64`, which silently loses
+//! precision above 2^53.
+//!
+//! ## Integrity: cold fallback, never a wrong verdict
+//!
+//! The cache is a pure performance artifact, so every defect in the
+//! file degrades to a cold start, never to an incorrect answer:
+//!
+//! * a missing file, bad magic, or version mismatch discards the whole
+//!   log and starts fresh;
+//! * a truncated or bit-flipped frame (length overrun, CRC mismatch,
+//!   malformed JSON, missing fields) stops the replay at the last good
+//!   frame and truncates the file there, so later appends never land
+//!   after garbage;
+//! * every failure increments a load-error count surfaced as
+//!   `cache_load_errors` in the `status` response.
+//!
+//! Verdicts that are not pure functions of the source are never
+//! written: only `accepted`/`rejected` summaries qualify, and any
+//! record mentioning `V501` (resource limit) or `V502` (internal
+//! error) is refused at append time.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use vault_core::check::CheckStats;
+use vault_core::{CheckSummary, Verdict};
+use vault_syntax::{DiagView, LabelView};
+
+use crate::json::{self, Json};
+
+/// Identifies a Vault verdict-cache file.
+const MAGIC: &[u8; 8] = b"VAULTCCH";
+
+/// Format version; a mismatch (older or newer) discards the log.
+/// Bump whenever the payload schema or the fingerprint recipe changes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Magic plus version.
+const HEADER_LEN: u64 = 12;
+
+/// Frames larger than this are treated as corruption (a length field
+/// hit by a bit flip can claim gigabytes; no real record comes close).
+const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// The log file's name inside the cache directory.
+pub const FILE_NAME: &str = "verdicts.vcache";
+
+/// One replayable cache entry.
+pub enum Record {
+    /// A whole-unit verdict, keyed by `unit_fingerprint(name, source)`.
+    Unit {
+        /// The unit fingerprint.
+        fp: u64,
+        /// The memoized summary.
+        summary: CheckSummary,
+    },
+    /// A per-function verdict, keyed by the incremental engine's
+    /// `fn_fingerprint` (environment hash plus declaration text).
+    Fn {
+        /// The function fingerprint.
+        fp: u64,
+        /// The function's diagnostics.
+        views: Vec<DiagView>,
+        /// The function's checker counters.
+        stats: CheckStats,
+    },
+}
+
+/// Everything a successful load recovered, plus how many frames (or
+/// whole files) had to be discarded on the way.
+#[derive(Default)]
+pub struct Loaded {
+    /// Whole-unit records, in append order (later wins on duplicates).
+    pub units: Vec<(u64, CheckSummary)>,
+    /// Per-function records, in append order.
+    pub fns: Vec<(u64, Vec<DiagView>, CheckStats)>,
+    /// Load failures survived: bad header, truncated or corrupt frames.
+    pub errors: u64,
+}
+
+/// The open verdict log: loads once at construction, then appends.
+pub struct PersistentCache {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl PersistentCache {
+    /// Open (creating if necessary) the log under `dir`, replaying
+    /// whatever it holds. Corruption is consumed here: the returned
+    /// [`Loaded`] carries the error count and the file is truncated to
+    /// its last good frame, ready for appends.
+    pub fn open(dir: &Path) -> std::io::Result<(PersistentCache, Loaded)> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(FILE_NAME);
+        let mut bytes = Vec::new();
+        if let Ok(mut f) = File::open(&path) {
+            f.read_to_end(&mut bytes)?;
+        }
+        let (loaded, good_len) = replay(&bytes);
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(&path)?;
+        if good_len < HEADER_LEN {
+            // Empty, headerless, or version-mismatched: start fresh.
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(MAGIC)?;
+            file.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        } else {
+            // Drop any trailing garbage so appends extend good data.
+            file.set_len(good_len)?;
+            file.seek(SeekFrom::Start(good_len))?;
+        }
+        file.sync_data()?;
+        Ok((
+            PersistentCache {
+                path,
+                file: Mutex::new(file),
+            },
+            loaded,
+        ))
+    }
+
+    /// The log file's path (tests reach in to corrupt it).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append a batch of records as CRC-framed payloads, then fsync
+    /// once. Records that must never be persisted (non-deterministic
+    /// verdicts, `V501`/`V502` diagnostics) are silently skipped.
+    pub fn append(&self, records: &[Record]) -> std::io::Result<()> {
+        let mut buf = Vec::new();
+        for record in records {
+            let Some(payload) = encode_record(record) else {
+                continue;
+            };
+            let line = payload.to_line();
+            let bytes = line.as_bytes();
+            buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&crc32(bytes).to_le_bytes());
+            buf.extend_from_slice(bytes);
+        }
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let mut file = lock(&self.file);
+        file.write_all(&buf)?;
+        file.sync_data()
+    }
+
+    /// Discard every persisted verdict, keeping the file open with a
+    /// fresh header (`clear-cache` reaches the disk through this).
+    pub fn wipe(&self) -> std::io::Result<()> {
+        let mut file = lock(&self.file);
+        file.set_len(0)?;
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(MAGIC)?;
+        file.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        file.sync_data()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Walk the raw file image, decoding every intact frame. Returns what
+/// was recovered and the byte length of the good prefix (0 when even
+/// the header is unusable).
+fn replay(bytes: &[u8]) -> (Loaded, u64) {
+    let mut loaded = Loaded::default();
+    if bytes.is_empty() {
+        // A file that never existed is not an error; it is just cold.
+        return (loaded, 0);
+    }
+    if bytes.len() < HEADER_LEN as usize
+        || &bytes[..8] != MAGIC
+        || u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) != FORMAT_VERSION
+    {
+        loaded.errors = 1;
+        return (loaded, 0);
+    }
+    let mut pos = HEADER_LEN as usize;
+    loop {
+        if pos == bytes.len() {
+            break; // clean end of log
+        }
+        if bytes.len() - pos < 8 {
+            loaded.errors += 1; // truncated frame header
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if len > MAX_FRAME_LEN || bytes.len() - pos - 8 < len as usize {
+            loaded.errors += 1; // truncated or absurd payload
+            break;
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len as usize];
+        if crc32(payload) != crc {
+            loaded.errors += 1; // bit flip
+            break;
+        }
+        let Some(record) = std::str::from_utf8(payload)
+            .ok()
+            .and_then(|s| json::parse(s).ok())
+            .and_then(|j| decode_record(&j))
+        else {
+            loaded.errors += 1; // CRC fine but schema violated
+            break;
+        };
+        match record {
+            Record::Unit { fp, summary } => loaded.units.push((fp, summary)),
+            Record::Fn { fp, views, stats } => loaded.fns.push((fp, views, stats)),
+        }
+        pos += 8 + len as usize;
+    }
+    (loaded, pos as u64)
+}
+
+/// Whether a record is a pure function of the source and safe to
+/// replay on a later boot. `V501` depends on the wall clock / fuel and
+/// `V502` may be chaos-injected; neither may survive a restart.
+fn persistable(verdict: Option<Verdict>, views: &[DiagView]) -> bool {
+    if !matches!(
+        verdict,
+        None | Some(Verdict::Accepted) | Some(Verdict::Rejected)
+    ) {
+        return false;
+    }
+    views.iter().all(|d| d.code != "V501" && d.code != "V502")
+}
+
+fn encode_record(record: &Record) -> Option<Json> {
+    match record {
+        Record::Unit { fp, summary } => {
+            if !persistable(Some(summary.verdict), &summary.diagnostics) {
+                return None;
+            }
+            Some(Json::Obj(vec![
+                ("kind".to_string(), Json::str("unit")),
+                ("fp".to_string(), Json::str(format!("{fp:016x}"))),
+                ("name".to_string(), Json::str(&summary.name)),
+                (
+                    "verdict".to_string(),
+                    Json::str(match summary.verdict {
+                        Verdict::Accepted => "accepted",
+                        _ => "rejected",
+                    }),
+                ),
+                (
+                    "diagnostics".to_string(),
+                    Json::Arr(summary.diagnostics.iter().map(encode_diag).collect()),
+                ),
+                ("stats".to_string(), encode_stats(&summary.stats)),
+            ]))
+        }
+        Record::Fn { fp, views, stats } => {
+            if !persistable(None, views) {
+                return None;
+            }
+            Some(Json::Obj(vec![
+                ("kind".to_string(), Json::str("fn")),
+                ("fp".to_string(), Json::str(format!("{fp:016x}"))),
+                (
+                    "views".to_string(),
+                    Json::Arr(views.iter().map(encode_diag).collect()),
+                ),
+                ("stats".to_string(), encode_stats(stats)),
+            ]))
+        }
+    }
+}
+
+fn decode_record(j: &Json) -> Option<Record> {
+    let fp = u64::from_str_radix(j.get("fp")?.as_str()?, 16).ok()?;
+    match j.get("kind")?.as_str()? {
+        "unit" => {
+            let verdict = match j.get("verdict")?.as_str()? {
+                "accepted" => Verdict::Accepted,
+                "rejected" => Verdict::Rejected,
+                _ => return None,
+            };
+            let diagnostics = decode_diags(j.get("diagnostics")?)?;
+            let summary = CheckSummary {
+                name: j.get("name")?.as_str()?.to_string(),
+                verdict,
+                diagnostics,
+                stats: decode_stats(j.get("stats")?)?,
+            };
+            if !persistable(Some(summary.verdict), &summary.diagnostics) {
+                return None;
+            }
+            Some(Record::Unit { fp, summary })
+        }
+        "fn" => {
+            let views = decode_diags(j.get("views")?)?;
+            if !persistable(None, &views) {
+                return None;
+            }
+            Some(Record::Fn {
+                fp,
+                views,
+                stats: decode_stats(j.get("stats")?)?,
+            })
+        }
+        _ => None,
+    }
+}
+
+fn encode_diag(d: &DiagView) -> Json {
+    Json::Obj(vec![
+        ("code".to_string(), Json::str(&d.code)),
+        ("severity".to_string(), Json::str(&d.severity)),
+        ("message".to_string(), Json::str(&d.message)),
+        ("start".to_string(), Json::num(d.start as u64)),
+        ("end".to_string(), Json::num(d.end as u64)),
+        ("line".to_string(), Json::num(d.line as u64)),
+        ("col".to_string(), Json::num(d.col as u64)),
+        (
+            "labels".to_string(),
+            Json::Arr(
+                d.labels
+                    .iter()
+                    .map(|l| {
+                        Json::Obj(vec![
+                            ("message".to_string(), Json::str(&l.message)),
+                            ("line".to_string(), Json::num(l.line as u64)),
+                            ("col".to_string(), Json::num(l.col as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("rendered".to_string(), Json::str(&d.rendered)),
+    ])
+}
+
+fn decode_diags(j: &Json) -> Option<Vec<DiagView>> {
+    j.as_arr()?.iter().map(decode_diag).collect()
+}
+
+fn decode_diag(j: &Json) -> Option<DiagView> {
+    Some(DiagView {
+        code: j.get("code")?.as_str()?.to_string(),
+        severity: j.get("severity")?.as_str()?.to_string(),
+        message: j.get("message")?.as_str()?.to_string(),
+        start: j.get("start")?.as_u64()? as u32,
+        end: j.get("end")?.as_u64()? as u32,
+        line: j.get("line")?.as_u64()? as u32,
+        col: j.get("col")?.as_u64()? as u32,
+        labels: j
+            .get("labels")?
+            .as_arr()?
+            .iter()
+            .map(|l| {
+                Some(LabelView {
+                    message: l.get("message")?.as_str()?.to_string(),
+                    line: l.get("line")?.as_u64()? as u32,
+                    col: l.get("col")?.as_u64()? as u32,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?,
+        rendered: j.get("rendered")?.as_str()?.to_string(),
+    })
+}
+
+fn encode_stats(s: &CheckStats) -> Json {
+    Json::Obj(vec![
+        ("statements".to_string(), Json::num(s.statements as u64)),
+        ("calls".to_string(), Json::num(s.calls as u64)),
+        ("joins".to_string(), Json::num(s.joins as u64)),
+        (
+            "loop_iterations".to_string(),
+            Json::num(s.loop_iterations as u64),
+        ),
+        (
+            "keys_allocated".to_string(),
+            Json::num(s.keys_allocated as u64),
+        ),
+        ("snapshots".to_string(), Json::num(s.snapshots as u64)),
+        (
+            "frames_copied".to_string(),
+            Json::num(s.frames_copied as u64),
+        ),
+    ])
+}
+
+fn decode_stats(j: &Json) -> Option<CheckStats> {
+    // Timing fields are deliberately not persisted: a replayed verdict
+    // did zero work on this boot, so its phase times are zero.
+    Some(CheckStats {
+        statements: j.get("statements")?.as_u64()? as usize,
+        calls: j.get("calls")?.as_u64()? as usize,
+        joins: j.get("joins")?.as_u64()? as usize,
+        loop_iterations: j.get("loop_iterations")?.as_u64()? as usize,
+        keys_allocated: j.get("keys_allocated")?.as_u64()? as usize,
+        snapshots: j.get("snapshots")?.as_u64()? as usize,
+        frames_copied: j.get("frames_copied")?.as_u64()? as usize,
+        ..CheckStats::default()
+    })
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`), the same
+/// checksum gzip and PNG use. Table-driven; the table is built at
+/// compile time.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vault-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn summary(name: &str, verdict: Verdict) -> CheckSummary {
+        CheckSummary {
+            name: name.to_string(),
+            verdict,
+            diagnostics: Vec::new(),
+            stats: CheckStats {
+                statements: 7,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // Canonical check values for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn round_trips_unit_and_fn_records() {
+        let dir = tmp_dir("roundtrip");
+        let (cache, loaded) = PersistentCache::open(&dir).unwrap();
+        assert_eq!(loaded.errors, 0);
+        assert!(loaded.units.is_empty());
+        cache
+            .append(&[
+                Record::Unit {
+                    fp: 0xDEAD_BEEF_0000_0001,
+                    summary: summary("a.vlt", Verdict::Accepted),
+                },
+                Record::Fn {
+                    fp: 2,
+                    views: vec![DiagView {
+                        code: "V301".to_string(),
+                        severity: "error".to_string(),
+                        message: "leak".to_string(),
+                        start: 1,
+                        end: 2,
+                        line: 3,
+                        col: 4,
+                        labels: vec![LabelView {
+                            message: "opened here".to_string(),
+                            line: 1,
+                            col: 1,
+                        }],
+                        rendered: "error: leak".to_string(),
+                    }],
+                    stats: CheckStats {
+                        calls: 3,
+                        ..Default::default()
+                    },
+                },
+            ])
+            .unwrap();
+        drop(cache);
+
+        let (_cache, loaded) = PersistentCache::open(&dir).unwrap();
+        assert_eq!(loaded.errors, 0);
+        assert_eq!(loaded.units.len(), 1);
+        assert_eq!(loaded.units[0].0, 0xDEAD_BEEF_0000_0001);
+        assert_eq!(loaded.units[0].1, summary("a.vlt", Verdict::Accepted));
+        assert_eq!(loaded.fns.len(), 1);
+        assert_eq!(loaded.fns[0].0, 2);
+        assert_eq!(loaded.fns[0].1[0].labels[0].message, "opened here");
+        assert_eq!(loaded.fns[0].2.calls, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn nondeterministic_verdicts_are_never_written() {
+        let dir = tmp_dir("nondet");
+        let (cache, _) = PersistentCache::open(&dir).unwrap();
+        cache
+            .append(&[
+                Record::Unit {
+                    fp: 1,
+                    summary: summary("a.vlt", Verdict::ResourceLimit),
+                },
+                Record::Unit {
+                    fp: 2,
+                    summary: summary("b.vlt", Verdict::InternalError),
+                },
+                Record::Fn {
+                    fp: 3,
+                    views: vec![DiagView {
+                        code: "V501".to_string(),
+                        severity: "error".to_string(),
+                        message: "deadline exceeded".to_string(),
+                        start: 0,
+                        end: 0,
+                        line: 1,
+                        col: 1,
+                        labels: Vec::new(),
+                        rendered: String::new(),
+                    }],
+                    stats: CheckStats::default(),
+                },
+            ])
+            .unwrap();
+        drop(cache);
+        let (_cache, loaded) = PersistentCache::open(&dir).unwrap();
+        assert_eq!(loaded.errors, 0);
+        assert!(loaded.units.is_empty());
+        assert!(loaded.fns.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_log_replays_the_good_prefix_and_counts_one_error() {
+        let dir = tmp_dir("trunc");
+        let (cache, _) = PersistentCache::open(&dir).unwrap();
+        cache
+            .append(&[
+                Record::Unit {
+                    fp: 1,
+                    summary: summary("a.vlt", Verdict::Accepted),
+                },
+                Record::Unit {
+                    fp: 2,
+                    summary: summary("b.vlt", Verdict::Rejected),
+                },
+            ])
+            .unwrap();
+        let path = cache.path().to_path_buf();
+        drop(cache);
+
+        // Chop mid-way through the second frame (a crash mid-append).
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 11).unwrap();
+        drop(f);
+
+        let (cache, loaded) = PersistentCache::open(&dir).unwrap();
+        assert_eq!(loaded.errors, 1);
+        assert_eq!(loaded.units.len(), 1);
+        assert_eq!(loaded.units[0].0, 1);
+        // The torn tail was truncated away: appends extend good data.
+        cache
+            .append(&[Record::Unit {
+                fp: 3,
+                summary: summary("c.vlt", Verdict::Accepted),
+            }])
+            .unwrap();
+        drop(cache);
+        let (_cache, loaded) = PersistentCache::open(&dir).unwrap();
+        assert_eq!(loaded.errors, 0);
+        assert_eq!(
+            loaded.units.iter().map(|(fp, _)| *fp).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_stops_replay_at_the_corrupt_frame() {
+        let dir = tmp_dir("flip");
+        let (cache, _) = PersistentCache::open(&dir).unwrap();
+        cache
+            .append(&[
+                Record::Unit {
+                    fp: 1,
+                    summary: summary("a.vlt", Verdict::Accepted),
+                },
+                Record::Unit {
+                    fp: 2,
+                    summary: summary("b.vlt", Verdict::Rejected),
+                },
+            ])
+            .unwrap();
+        let path = cache.path().to_path_buf();
+        drop(cache);
+
+        // Flip one payload bit in the *first* frame: everything after
+        // it must be dropped too (appends are not self-synchronizing).
+        let mut bytes = std::fs::read(&path).unwrap();
+        let target = HEADER_LEN as usize + 8 + 5;
+        bytes[target] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_cache, loaded) = PersistentCache::open(&dir).unwrap();
+        assert_eq!(loaded.errors, 1);
+        assert!(loaded.units.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatch_discards_the_whole_log() {
+        let dir = tmp_dir("version");
+        let (cache, _) = PersistentCache::open(&dir).unwrap();
+        cache
+            .append(&[Record::Unit {
+                fp: 1,
+                summary: summary("a.vlt", Verdict::Accepted),
+            }])
+            .unwrap();
+        let path = cache.path().to_path_buf();
+        drop(cache);
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] = bytes[8].wrapping_add(1); // future format version
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (cache, loaded) = PersistentCache::open(&dir).unwrap();
+        assert_eq!(loaded.errors, 1);
+        assert!(loaded.units.is_empty());
+        // The file was reinitialized under the current version.
+        drop(cache);
+        let (_cache, loaded) = PersistentCache::open(&dir).unwrap();
+        assert_eq!(loaded.errors, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wipe_empties_the_log_on_disk() {
+        let dir = tmp_dir("wipe");
+        let (cache, _) = PersistentCache::open(&dir).unwrap();
+        cache
+            .append(&[Record::Unit {
+                fp: 1,
+                summary: summary("a.vlt", Verdict::Accepted),
+            }])
+            .unwrap();
+        cache.wipe().unwrap();
+        // Appends after a wipe still land on a valid header.
+        cache
+            .append(&[Record::Unit {
+                fp: 2,
+                summary: summary("b.vlt", Verdict::Rejected),
+            }])
+            .unwrap();
+        drop(cache);
+        let (_cache, loaded) = PersistentCache::open(&dir).unwrap();
+        assert_eq!(loaded.errors, 0);
+        assert_eq!(
+            loaded.units.iter().map(|(fp, _)| *fp).collect::<Vec<_>>(),
+            vec![2]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -179,6 +179,14 @@ fn encode_stats(s: &CheckStats) -> Json {
             "frames_copied".to_string(),
             Json::num(s.frames_copied as u64),
         ),
+        ("lex_micros".to_string(), Json::num(s.lex_micros)),
+        ("parse_micros".to_string(), Json::num(s.parse_micros)),
+        (
+            "elaborate_micros".to_string(),
+            Json::num(s.elaborate_micros),
+        ),
+        ("lower_micros".to_string(), Json::num(s.lower_micros)),
+        ("check_micros".to_string(), Json::num(s.check_micros)),
     ])
 }
 
@@ -287,6 +295,11 @@ pub fn encode_status(
         ("panics_caught", snap.panics_caught),
         ("deadline_exceeded", snap.deadline_exceeded),
         ("workers_respawned", snap.workers_respawned),
+        ("lex_micros", snap.lex_micros),
+        ("parse_micros", snap.parse_micros),
+        ("elaborate_micros", snap.elaborate_micros),
+        ("lower_micros", snap.lower_micros),
+        ("cache_load_errors", snap.cache_load_errors),
         ("uptime_micros", snap.uptime_micros),
         ("workers", workers as u64),
         ("cache_entries", cache_entries as u64),

@@ -388,6 +388,7 @@ mod tests {
                 max_request_bytes: 64,
                 ..ServiceLimits::default()
             },
+            ..Default::default()
         });
         let huge = format!(
             "{{\"op\":\"check\",\"units\":[{{\"name\":\"big\",\"source\":\"{}\"}}]}}\n",
@@ -421,6 +422,7 @@ mod tests {
                 max_units_per_batch: 2,
                 ..ServiceLimits::default()
             },
+            ..Default::default()
         });
         let unit = r#"{"name":"a.vlt","source":"void f() { }"}"#;
         let req = format!("{{\"op\":\"check\",\"id\":7,\"units\":[{unit},{unit},{unit}]}}\n");

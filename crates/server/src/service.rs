@@ -10,6 +10,7 @@
 use crate::cache::{unit_fingerprint, LruCache};
 use crate::incremental::IncrementalEngine;
 use crate::metrics::{Metrics, StatusSnapshot};
+use crate::persist::{PersistentCache, Record};
 use crate::pool::{panic_payload, CheckPool, UnitIn};
 use crate::proto::UnitReport;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -64,7 +65,7 @@ impl ServiceLimits {
 }
 
 /// Tunables for a [`CheckService`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Worker threads in the checking pool (min 1).
     pub jobs: usize,
@@ -72,6 +73,9 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Resource bounds per request/unit.
     pub limits: ServiceLimits,
+    /// Directory for the persistent warm-start cache (`--cache-dir`).
+    /// `None` keeps all memoization in memory, as before.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -82,6 +86,7 @@ impl Default for ServiceConfig {
                 .unwrap_or(4),
             cache_capacity: 4096,
             limits: ServiceLimits::default(),
+            cache_dir: None,
         }
     }
 }
@@ -112,23 +117,58 @@ pub struct CheckService {
     cache_capacity: usize,
     limits: ServiceLimits,
     metrics: Arc<Metrics>,
+    /// The on-disk verdict log, when `--cache-dir` was given and the
+    /// directory was usable. Purely best-effort: append failures are
+    /// swallowed (the in-memory caches still answer), and a failure to
+    /// open falls back to memory-only with a `cache_load_errors` tick.
+    persist: Option<PersistentCache>,
 }
 
 impl CheckService {
-    /// Build a service with `config` tunables.
+    /// Build a service with `config` tunables. When `config.cache_dir`
+    /// is set, the persistent verdict log found there is replayed into
+    /// the in-memory caches (a warm start) and every deterministic
+    /// verdict computed from here on is journaled back to it.
     pub fn new(config: ServiceConfig) -> Self {
         let metrics = Arc::new(Metrics::default());
         let cache_capacity = config.cache_capacity.max(1);
+        let mut cache = LruCache::new(cache_capacity);
+        let incremental = Arc::new(IncrementalEngine::new(
+            cache_capacity,
+            cache_capacity.saturating_mul(FN_CACHE_FACTOR),
+        ));
+        let mut persist = None;
+        if let Some(dir) = &config.cache_dir {
+            match PersistentCache::open(dir) {
+                Ok((log, loaded)) => {
+                    metrics
+                        .cache_load_errors
+                        .fetch_add(loaded.errors, Ordering::Relaxed);
+                    for (fp, summary) in loaded.units {
+                        cache.put(fp, Arc::new(summary));
+                    }
+                    for (fp, views, stats) in loaded.fns {
+                        incremental.seed_fn(fp, views, stats);
+                    }
+                    incremental.enable_dirty_tracking();
+                    persist = Some(log);
+                }
+                Err(_) => {
+                    // An unusable directory must not take the daemon
+                    // down; run memory-only and make the failure
+                    // visible in `status`.
+                    metrics.cache_load_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         CheckService {
             pool: CheckPool::new(config.jobs, Arc::clone(&metrics)),
-            cache: Mutex::new(LruCache::new(cache_capacity)),
-            incremental: Arc::new(IncrementalEngine::new(
-                cache_capacity,
-                cache_capacity.saturating_mul(FN_CACHE_FACTOR),
-            )),
+            cache: Mutex::new(cache),
+            incremental,
             cache_capacity,
             limits: config.limits,
             metrics,
+            persist,
         }
     }
 
@@ -236,27 +276,49 @@ impl CheckService {
             // Insert in slot order so concurrent batches populate the
             // recency list deterministically given identical traffic.
             fresh.sort_by_key(|(i, _, _)| *i);
-            let mut cache = lock_cache(&self.cache);
-            for (index, summary, micros) in fresh {
-                match summary.verdict {
-                    // Deterministic verdicts are worth memoizing.
-                    Verdict::Accepted | Verdict::Rejected => {
-                        cache.put(fingerprints[index], Arc::clone(&summary));
+            let mut to_persist: Vec<Record> = Vec::new();
+            {
+                let mut cache = lock_cache(&self.cache);
+                for (index, summary, micros) in fresh {
+                    match summary.verdict {
+                        // Deterministic verdicts are worth memoizing.
+                        Verdict::Accepted | Verdict::Rejected => {
+                            cache.put(fingerprints[index], Arc::clone(&summary));
+                            if self.persist.is_some() {
+                                to_persist.push(Record::Unit {
+                                    fp: fingerprints[index],
+                                    summary: (*summary).clone(),
+                                });
+                            }
+                        }
+                        // A deadline overrun depends on the wall clock and a
+                        // panic may be chaos-injected: caching either would
+                        // pin a transient failure onto healthy re-checks.
+                        Verdict::ResourceLimit => self.metrics.deadline_hit(),
+                        Verdict::InternalError => {}
                     }
-                    // A deadline overrun depends on the wall clock and a
-                    // panic may be chaos-injected: caching either would
-                    // pin a transient failure onto healthy re-checks.
-                    Verdict::ResourceLimit => self.metrics.deadline_hit(),
-                    Verdict::InternalError => {}
+                    self.metrics
+                        .check_micros
+                        .fetch_add(micros, Ordering::Relaxed);
+                    self.metrics.absorb_phases(&summary.stats);
+                    reports[index] = Some(UnitReport {
+                        summary,
+                        cached: false,
+                        check_micros: micros,
+                    });
                 }
-                self.metrics
-                    .check_micros
-                    .fetch_add(micros, Ordering::Relaxed);
-                reports[index] = Some(UnitReport {
-                    summary,
-                    cached: false,
-                    check_micros: micros,
-                });
+            }
+            // Journal the batch (plus any fresh function verdicts the
+            // incremental engine produced) outside the cache lock; one
+            // fsync covers the whole batch. Best-effort by design.
+            if let Some(log) = &self.persist {
+                to_persist.extend(
+                    self.incremental
+                        .take_dirty()
+                        .into_iter()
+                        .map(|(fp, views, stats)| Record::Fn { fp, views, stats }),
+                );
+                let _ = log.append(&to_persist);
             }
         }
 
@@ -320,11 +382,15 @@ impl CheckService {
     }
 
     /// Drop every memoized verdict — whole-unit summaries, cached
-    /// elaboration environments, and per-function verdicts (counters
-    /// are unaffected).
+    /// elaboration environments, per-function verdicts, and the
+    /// persistent on-disk log, if one is attached (counters are
+    /// unaffected).
     pub fn clear_cache(&self) {
         lock_cache(&self.cache).clear();
         self.incremental.clear();
+        if let Some(log) = &self.persist {
+            let _ = log.wipe();
+        }
     }
 
     /// Live cache entry count.
@@ -364,11 +430,178 @@ void leak() {
   tracked(F) FILE f = fopen(\"x\");
 }";
 
+    /// Two independent function bodies, so a restart plus a one-body
+    /// edit can demonstrate per-function verdict recovery.
+    const TWO_FNS: &str = "type FILE;
+stateset FS = [ open < closed ];
+tracked(F) FILE fopen(string p) [new F@open];
+void fclose(tracked(F) FILE f) [-F];
+void one() {
+  tracked(F) FILE f = fopen(\"x\");
+  fclose(f);
+}
+void two() {
+  tracked(F) FILE g = fopen(\"z\");
+  fclose(g);
+}";
+
     fn unit(name: &str, source: &str) -> UnitIn {
         UnitIn {
             name: name.to_string(),
             source: source.to_string(),
         }
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("vault-svc-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn persistent_config(dir: &std::path::Path) -> ServiceConfig {
+        ServiceConfig {
+            jobs: 2,
+            cache_capacity: 16,
+            cache_dir: Some(dir.to_path_buf()),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn restart_answers_from_the_persisted_cache() {
+        let dir = tmp_dir("warm-start");
+        let cold = {
+            let svc = CheckService::new(persistent_config(&dir));
+            let cold = svc.check_unit(unit("a.vlt", LEAKY));
+            assert!(!cold.cached);
+            cold
+        };
+        // A fresh service on the same directory — a daemon restart.
+        let svc = CheckService::new(persistent_config(&dir));
+        assert_eq!(svc.status().cache_load_errors, 0);
+        let warm = svc.check_unit(unit("a.vlt", LEAKY));
+        assert!(warm.cached, "restart must answer from the persisted log");
+        assert_eq!(*warm.summary, *cold.summary);
+        assert_eq!(svc.status().cache_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_recovers_function_verdicts_for_edited_units() {
+        let dir = tmp_dir("warm-fns");
+        {
+            let svc = CheckService::new(persistent_config(&dir));
+            svc.check_unit(unit("a.vlt", TWO_FNS));
+        }
+        // Same-length edit inside `one`'s body: the unit fingerprint
+        // changes (whole-unit miss) but `two` is untouched, so its
+        // persisted per-function verdict must be rehit after restart.
+        let edited = TWO_FNS.replace("fopen(\"x\")", "fopen(\"q\")");
+        assert_eq!(edited.len(), TWO_FNS.len());
+        let svc = CheckService::new(persistent_config(&dir));
+        let report = svc.check_unit(unit("a.vlt", &edited));
+        assert!(!report.cached);
+        assert_eq!(report.summary.verdict, Verdict::Accepted);
+        let direct = vault_core::check_summary("a.vlt", &edited);
+        assert_eq!(*report.summary, direct);
+        assert!(
+            svc.status().fn_cache_hits >= 1,
+            "the unedited function must hit the replayed per-function cache"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_cache_purges_the_disk_log_too() {
+        let dir = tmp_dir("clear-disk");
+        {
+            let svc = CheckService::new(persistent_config(&dir));
+            svc.check_unit(unit("a.vlt", GOOD));
+            svc.check_unit(unit("b.vlt", LEAKY));
+            svc.clear_cache();
+            // In-memory entries are gone immediately...
+            assert_eq!(svc.cache_entries(), 0);
+            assert_eq!(svc.incremental.entries(), (0, 0));
+        }
+        // ...and so are the persisted ones: a restart starts cold.
+        let svc = CheckService::new(persistent_config(&dir));
+        assert_eq!(svc.status().cache_load_errors, 0);
+        let report = svc.check_unit(unit("a.vlt", GOOD));
+        assert!(!report.cached, "clear-cache must also purge the disk log");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_log_falls_back_cold_with_the_same_verdicts() {
+        let dir = tmp_dir("corrupt");
+        {
+            let svc = CheckService::new(persistent_config(&dir));
+            assert_eq!(
+                svc.check_unit(unit("a.vlt", LEAKY)).summary.verdict,
+                Verdict::Rejected
+            );
+            assert_eq!(
+                svc.check_unit(unit("b.vlt", GOOD)).summary.verdict,
+                Verdict::Accepted
+            );
+        }
+        // Flip a payload bit — a disk fault between restarts.
+        let path = dir.join(crate::persist::FILE_NAME);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let target = bytes.len() / 2;
+        bytes[target] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let svc = CheckService::new(persistent_config(&dir));
+        let snap = svc.status();
+        assert!(
+            snap.cache_load_errors >= 1,
+            "the load failure must be visible in status"
+        );
+        // Cold fallback, never a wrong verdict.
+        let a = svc.check_unit(unit("a.vlt", LEAKY));
+        let b = svc.check_unit(unit("b.vlt", GOOD));
+        assert_eq!(a.summary.verdict, Verdict::Rejected);
+        assert_eq!(b.summary.verdict, Verdict::Accepted);
+        assert_eq!(*a.summary, vault_core::check_summary("a.vlt", LEAKY));
+        assert_eq!(*b.summary, vault_core::check_summary("b.vlt", GOOD));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn log_rewritten_under_a_live_service_does_not_change_answers() {
+        let dir = tmp_dir("rewrite");
+        let svc = CheckService::new(persistent_config(&dir));
+        let first = svc.check_unit(unit("a.vlt", LEAKY));
+        // Another process scribbles over the log while we hold it.
+        let path = dir.join(crate::persist::FILE_NAME);
+        std::fs::write(&path, b"not a cache file at all").unwrap();
+        // The live service answers from memory, unaffected.
+        let warm = svc.check_unit(unit("a.vlt", LEAKY));
+        assert!(warm.cached);
+        assert_eq!(*warm.summary, *first.summary);
+        drop(svc);
+        // The next boot sees garbage: one load error, cold, correct.
+        let svc = CheckService::new(persistent_config(&dir));
+        assert_eq!(svc.status().cache_load_errors, 1);
+        let cold = svc.check_unit(unit("a.vlt", LEAKY));
+        assert!(!cold.cached);
+        assert_eq!(*cold.summary, *first.summary);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unusable_cache_dir_degrades_to_memory_only() {
+        // A file where the directory should be: open() fails, the
+        // service must still come up and answer correctly.
+        let dir = tmp_dir("unusable");
+        std::fs::create_dir_all(dir.parent().unwrap()).unwrap();
+        std::fs::write(&dir, b"occupied").unwrap();
+        let svc = CheckService::new(persistent_config(&dir));
+        assert_eq!(svc.status().cache_load_errors, 1);
+        let report = svc.check_unit(unit("a.vlt", GOOD));
+        assert_eq!(report.summary.verdict, Verdict::Accepted);
+        let _ = std::fs::remove_file(&dir);
     }
 
     #[test]
@@ -449,6 +682,7 @@ void leak() {
                 timeout: Some(Duration::ZERO),
                 ..ServiceLimits::default()
             },
+            ..Default::default()
         });
         let report = svc.check_unit(unit("slow.vlt", GOOD));
         assert_eq!(report.summary.verdict, Verdict::ResourceLimit);

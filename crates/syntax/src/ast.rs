@@ -6,29 +6,56 @@
 //! `tracked`/guarded types, `new tracked`/`new(rgn)` allocation, `free`, and
 //! `switch` over variant constructors.
 
+use crate::intern::{IStr, Interner, Symbol};
 use crate::span::Span;
 use std::fmt;
+use std::sync::Arc;
 
 /// An identifier with its source location.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Parser-built identifiers carry both the shared text (`name`, an
+/// [`IStr`] refcount into the unit's interner — no per-occurrence heap
+/// copy) and the interned [`Symbol`], renumbered into string order when
+/// the parser freezes the interner. Synthesized identifiers (built
+/// outside a parse, e.g. in tests or lowering) carry
+/// [`Symbol::UNKNOWN`]; anything resolving them must go through the
+/// name, which is why equality ignores the symbol.
+#[derive(Clone, Debug, Eq)]
 pub struct Ident {
     /// The name as written.
-    pub name: String,
+    pub name: IStr,
+    /// The interned symbol (`Symbol::UNKNOWN` for synthesized idents).
+    pub sym: Symbol,
     /// Where it was written.
     pub span: Span,
 }
 
+impl PartialEq for Ident {
+    /// Text + location identity; the symbol is a cache of `name` and
+    /// deliberately excluded so synthesized and parsed identifiers with
+    /// the same spelling compare equal.
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.span == other.span
+    }
+}
+
 impl Ident {
-    /// Construct an identifier.
-    pub fn new(name: impl Into<String>, span: Span) -> Self {
+    /// Construct an identifier with no interned symbol.
+    pub fn new(name: impl Into<IStr>, span: Span) -> Self {
         Ident {
             name: name.into(),
+            sym: Symbol::UNKNOWN,
             span,
         }
     }
 
+    /// Construct an identifier carrying its interned symbol.
+    pub fn with_sym(name: IStr, sym: Symbol, span: Span) -> Self {
+        Ident { name, sym, span }
+    }
+
     /// A synthesized identifier with a dummy span.
-    pub fn synthetic(name: impl Into<String>) -> Self {
+    pub fn synthetic(name: impl Into<IStr>) -> Self {
         Ident::new(name, Span::DUMMY)
     }
 }
@@ -40,11 +67,25 @@ impl fmt::Display for Ident {
 }
 
 /// A whole compilation unit.
-#[derive(Clone, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Program {
     /// Top-level declarations in source order.
     pub decls: Vec<Decl>,
+    /// The unit's interner, frozen into string order by the parser
+    /// (empty for hand-built programs). Shared with elaboration and the
+    /// checker, which no longer rebuild it from the AST.
+    pub syms: Arc<Interner>,
 }
+
+impl PartialEq for Program {
+    /// Structural equality over the declarations; the interner is a
+    /// derived index and ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.decls == other.decls
+    }
+}
+
+impl Eq for Program {}
 
 /// A top-level (or interface-nested) declaration.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -725,6 +766,7 @@ mod tests {
                     ..f.clone()
                 }),
             ],
+            syms: Arc::default(),
         };
         let names: Vec<_> = prog
             .functions()

@@ -1,0 +1,366 @@
+//! Symbol interning for the front end and the checker's hot maps.
+//!
+//! The checker used to key every environment map (`Frame`, `keyenv`,
+//! `statevars`, …) by `String`: every lookup was a byte-wise compare
+//! and every snapshot cloned the key text. A [`Symbol`] is a `u32`
+//! handle into a per-unit [`Interner`], so comparisons are integer ops
+//! and map keys are `Copy`.
+//!
+//! Since the zero-copy front-end overhaul the interner also serves the
+//! lexer: identifiers are interned *at lex time* (one shared [`IStr`]
+//! per distinct name instead of one `String` per occurrence), so the
+//! interner must be growable while a unit is being lexed and parsed.
+//! [`Interner::freeze_sorted`] then re-numbers the symbols into string
+//! order and the parser rewrites the AST through the returned remap
+//! table; after that the interner is frozen and shared (`Arc`) by
+//! elaboration and the checker.
+//!
+//! ## Ordering discipline
+//!
+//! The checker's diagnostics depend on `BTreeMap`/`BTreeSet` iteration
+//! order in several places (fresh-key numbering, join attribution), so
+//! symbol order **must** equal string order or output changes. A frozen
+//! interner guarantees `Symbol(a) < Symbol(b)` iff the interned strings
+//! satisfy `a < b`. Freezing never removes names, so the frozen set is
+//! a superset of the AST's identifiers (it also holds names that only
+//! occur in token soup the parser discarded); that is harmless because
+//! nothing depends on the *absolute* dense index of a symbol, only on
+//! the relative order.
+//!
+//! Names that were never interned (e.g. a reference to an undeclared
+//! variable) resolve to [`Symbol::UNKNOWN`]. That is sound for lookups
+//! (no map ever contains `UNKNOWN`) but would be a collision hazard for
+//! inserts, so insert paths only ever use identifiers that came from
+//! the unit's own AST — exactly a subset of what the interner holds.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
+
+/// An interned identifier: a dense `u32` whose ordering, once the
+/// interner is frozen, matches the string ordering of the underlying
+/// names (see module docs).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The sentinel for names absent from the interner. Never stored in
+    /// any map; compares greater than every real symbol.
+    pub const UNKNOWN: Symbol = Symbol(u32::MAX);
+
+    /// Dense index of this symbol (unusable for `UNKNOWN`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if *self == Symbol::UNKNOWN {
+            write!(f, "Symbol(<unknown>)")
+        } else {
+            write!(f, "Symbol({})", self.0)
+        }
+    }
+}
+
+/// 64-bit FNV-1a, the workspace's standard content hash (no external
+/// hasher crates; identifiers are short, where FNV shines).
+#[derive(Default)]
+pub struct FnvHasher(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        if self.0 == 0 {
+            FNV_OFFSET
+        } else {
+            self.0
+        }
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { FNV_OFFSET } else { self.0 };
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+}
+
+/// `BuildHasher` plugging [`FnvHasher`] into `std::collections::HashMap`.
+pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
+
+/// An immutable, cheaply cloneable interned string (a shared
+/// `Arc<str>`). The AST keeps one per identifier so diagnostics and the
+/// pretty-printer still read `.name` as text, while cloning an [`IStr`]
+/// is a refcount bump instead of a heap copy.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IStr(Arc<str>);
+
+impl IStr {
+    /// The underlying text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for IStr {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::borrow::Borrow<str> for IStr {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for IStr {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for IStr {
+    fn from(s: &str) -> Self {
+        IStr(Arc::from(s))
+    }
+}
+
+impl From<String> for IStr {
+    fn from(s: String) -> Self {
+        IStr(Arc::from(s))
+    }
+}
+
+impl From<Arc<str>> for IStr {
+    fn from(s: Arc<str>) -> Self {
+        IStr(s)
+    }
+}
+
+impl PartialEq<str> for IStr {
+    fn eq(&self, other: &str) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<&str> for IStr {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.0 == *other
+    }
+}
+
+impl PartialEq<String> for IStr {
+    fn eq(&self, other: &String) -> bool {
+        &*self.0 == other.as_str()
+    }
+}
+
+impl PartialEq<IStr> for String {
+    fn eq(&self, other: &IStr) -> bool {
+        self.as_str() == &*other.0
+    }
+}
+
+impl PartialEq<IStr> for str {
+    fn eq(&self, other: &IStr) -> bool {
+        self == &*other.0
+    }
+}
+
+impl PartialEq<IStr> for &str {
+    fn eq(&self, other: &IStr) -> bool {
+        *self == &*other.0
+    }
+}
+
+impl std::fmt::Display for IStr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::fmt::Debug for IStr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", &*self.0)
+    }
+}
+
+/// A per-unit string interner: growable while the lexer runs, then
+/// frozen into string order (see module docs for the ordering and
+/// immutability discipline).
+#[derive(Debug, Default)]
+pub struct Interner {
+    names: Vec<Arc<str>>,
+    map: HashMap<Arc<str>, u32, FnvBuildHasher>,
+}
+
+impl Interner {
+    /// An empty, growable interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Intern `name`, growing the table if it is new. Symbols handed
+    /// out before [`Interner::freeze_sorted`] are in first-seen order
+    /// and must not be compared for order.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&id) = self.map.get(name) {
+            return Symbol(id);
+        }
+        let id = self.names.len() as u32;
+        let arc: Arc<str> = Arc::from(name);
+        self.names.push(Arc::clone(&arc));
+        self.map.insert(arc, id);
+        Symbol(id)
+    }
+
+    /// Re-number every symbol into string order and return the remap
+    /// table: `remap[old.index()]` is the new symbol. After this call
+    /// the interner satisfies the ordering discipline and must not be
+    /// grown again.
+    pub fn freeze_sorted(&mut self) -> Vec<Symbol> {
+        let mut order: Vec<u32> = (0..self.names.len() as u32).collect();
+        order.sort_by(|&a, &b| self.names[a as usize].cmp(&self.names[b as usize]));
+        let mut remap = vec![Symbol::UNKNOWN; self.names.len()];
+        let mut names = Vec::with_capacity(self.names.len());
+        for (new, &old) in order.iter().enumerate() {
+            remap[old as usize] = Symbol(new as u32);
+            names.push(Arc::clone(&self.names[old as usize]));
+        }
+        for (name, id) in self.map.iter_mut() {
+            *id = remap[*id as usize].0;
+            debug_assert_eq!(&*names[*id as usize], &**name);
+        }
+        self.names = names;
+        remap
+    }
+
+    /// Build from names in **non-decreasing** string order, so that
+    /// symbol order equals string order. Duplicates are ignored.
+    pub fn from_sorted<'a, I: IntoIterator<Item = &'a str>>(names: I) -> Self {
+        let mut interner = Interner::default();
+        for name in names {
+            debug_assert!(
+                interner.names.last().map_or(true, |p| &**p <= name),
+                "interner input must be sorted: `{name}` after `{}`",
+                interner.names.last().map_or("", |p| p)
+            );
+            interner.intern(name);
+        }
+        interner
+    }
+
+    /// The symbol for `name`, or [`Symbol::UNKNOWN`] if it was never
+    /// interned.
+    pub fn sym(&self, name: &str) -> Symbol {
+        match self.map.get(name) {
+            Some(&id) => Symbol(id),
+            None => Symbol::UNKNOWN,
+        }
+    }
+
+    /// The string a symbol stands for (`"<unknown>"` for the sentinel).
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        self.names.get(sym.0 as usize).map_or("<unknown>", |n| n)
+    }
+
+    /// The shared text of a symbol — a refcount bump, not a copy
+    /// (`"<unknown>"` is allocated fresh for the sentinel).
+    pub fn resolve_istr(&self, sym: Symbol) -> IStr {
+        match self.names.get(sym.0 as usize) {
+            Some(n) => IStr(Arc::clone(n)),
+            None => IStr::from("<unknown>"),
+        }
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_order_matches_string_order() {
+        let i = Interner::from_sorted(["<error>", "alpha", "beta", "gamma"]);
+        assert!(i.sym("<error>") < i.sym("alpha"));
+        assert!(i.sym("alpha") < i.sym("beta"));
+        assert!(i.sym("beta") < i.sym("gamma"));
+        assert!(i.sym("gamma") < Symbol::UNKNOWN);
+    }
+
+    #[test]
+    fn unknown_names_resolve_to_sentinel() {
+        let i = Interner::from_sorted(["x"]);
+        assert_eq!(i.sym("y"), Symbol::UNKNOWN);
+        assert_eq!(i.resolve(Symbol::UNKNOWN), "<unknown>");
+        assert_eq!(i.resolve(i.sym("x")), "x");
+    }
+
+    #[test]
+    fn duplicates_are_collapsed() {
+        let i = Interner::from_sorted(["a", "a", "b"]);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.sym("a").index(), 0);
+        assert_eq!(i.sym("b").index(), 1);
+    }
+
+    #[test]
+    fn freeze_sorted_renumbers_into_string_order() {
+        let mut i = Interner::new();
+        let zulu = i.intern("zulu");
+        let alpha = i.intern("alpha");
+        let mike = i.intern("mike");
+        assert_eq!(i.intern("alpha"), alpha, "re-interning is stable");
+        let remap = i.freeze_sorted();
+        assert_eq!(remap[zulu.index()], i.sym("zulu"));
+        assert_eq!(remap[alpha.index()], i.sym("alpha"));
+        assert_eq!(remap[mike.index()], i.sym("mike"));
+        assert!(i.sym("alpha") < i.sym("mike"));
+        assert!(i.sym("mike") < i.sym("zulu"));
+        assert_eq!(i.resolve(i.sym("zulu")), "zulu");
+        assert_eq!(i.len(), 3);
+    }
+
+    #[test]
+    fn istr_round_trips_and_compares_with_str() {
+        let mut i = Interner::new();
+        let s = i.intern("hello");
+        i.freeze_sorted();
+        let text = i.resolve_istr(s);
+        assert_eq!(text, "hello");
+        assert_eq!("hello", text);
+        assert_eq!(text.as_str(), "hello");
+        assert_eq!(text.to_string(), "hello");
+        assert_eq!(i.resolve_istr(Symbol::UNKNOWN), "<unknown>");
+    }
+
+    #[test]
+    fn fnv_hasher_matches_reference_vectors() {
+        fn hash(bytes: &[u8]) -> u64 {
+            let mut h = FnvHasher::default();
+            h.write(bytes);
+            h.finish()
+        }
+        // Standard FNV-1a test vectors.
+        assert_eq!(hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(hash(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -4,18 +4,36 @@
 //! line and `/* ... */` block) and whitespace are skipped. Lexical errors are
 //! reported through a [`DiagSink`] and the offending characters skipped, so a
 //! single pass can report multiple errors.
+//!
+//! Identifiers are interned *at lex time* into the caller's
+//! [`Interner`]: tokenizing a 10 kLOC unit allocates one `Arc<str>` per
+//! distinct name instead of one `String` per identifier occurrence
+//! (see [`lex_into`]).
 
 use crate::diag::{Code, DiagSink};
+use crate::intern::Interner;
 use crate::span::Span;
 use crate::token::{Token, TokenKind};
 
-/// Lex `src` into tokens, reporting lexical errors into `diags`.
+/// Lex `src` into tokens with a throwaway interner. Convenience for
+/// tests and token-shape probes; anything that later resolves the
+/// interned names must use [`lex_into`] and keep the interner.
 pub fn lex(src: &str, diags: &mut DiagSink) -> Vec<Token> {
+    let mut interner = Interner::new();
+    lex_into(src, diags, &mut interner)
+}
+
+/// Lex `src` into tokens, reporting lexical errors into `diags` and
+/// interning every identifier into `interner` (first-seen order; call
+/// [`Interner::freeze_sorted`] afterwards to establish the checker's
+/// ordering discipline).
+pub fn lex_into(src: &str, diags: &mut DiagSink, interner: &mut Interner) -> Vec<Token> {
     Lexer {
         src,
         bytes: src.as_bytes(),
         pos: 0,
         diags,
+        interner,
     }
     .run()
 }
@@ -25,6 +43,7 @@ struct Lexer<'a, 'd> {
     bytes: &'a [u8],
     pos: usize,
     diags: &'d mut DiagSink,
+    interner: &'d mut Interner,
 }
 
 impl<'a, 'd> Lexer<'a, 'd> {
@@ -126,7 +145,7 @@ impl<'a, 'd> Lexer<'a, 'd> {
                 {
                     let istart = self.pos;
                     self.eat_ident_tail();
-                    Some(CtorIdent(self.src[istart..self.pos].to_string()))
+                    Some(CtorIdent(self.interner.intern(&self.src[istart..self.pos])))
                 } else {
                     self.diags.error(
                         Code::LexInvalidChar,
@@ -236,7 +255,7 @@ impl<'a, 'd> Lexer<'a, 'd> {
         self.bump();
         self.eat_ident_tail();
         let text = &self.src[start..self.pos];
-        TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()))
+        TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(self.interner.intern(text)))
     }
 
     fn number(&mut self, start: usize) -> TokenKind {
@@ -343,29 +362,34 @@ fn utf8_len(first: u8) -> usize {
 mod tests {
     use super::*;
 
-    fn kinds(src: &str) -> Vec<TokenKind> {
+    /// Lex error-free source, returning the kinds plus the interner so
+    /// tests can look up expected identifier symbols by name.
+    fn kinds(src: &str) -> (Vec<TokenKind>, Interner) {
         let mut diags = DiagSink::new();
-        let toks = lex(src, &mut diags);
+        let mut interner = Interner::new();
+        let toks = lex_into(src, &mut diags, &mut interner);
         assert!(!diags.has_errors(), "unexpected lex errors: {:?}", diags);
-        toks.into_iter().map(|t| t.kind).collect()
+        (toks.into_iter().map(|t| t.kind).collect(), interner)
     }
 
     #[test]
     fn lexes_declaration() {
         use TokenKind::*;
+        let (toks, i) = kinds("tracked(R) region rgn = Region.create();");
+        let id = |n: &str| Ident(i.sym(n));
         assert_eq!(
-            kinds("tracked(R) region rgn = Region.create();"),
+            toks,
             vec![
                 KwTracked,
                 LParen,
-                Ident("R".into()),
+                id("R"),
                 RParen,
-                Ident("region".into()),
-                Ident("rgn".into()),
+                id("region"),
+                id("rgn"),
                 Eq,
-                Ident("Region".into()),
+                id("Region"),
                 Dot,
-                Ident("create".into()),
+                id("create"),
                 LParen,
                 RParen,
                 Semi,
@@ -377,28 +401,30 @@ mod tests {
     #[test]
     fn lexes_effect_clause() {
         use TokenKind::*;
+        let (toks, i) = kinds("[S@raw->named, -K, +N@ready, new R@b]");
+        let id = |n: &str| Ident(i.sym(n));
         assert_eq!(
-            kinds("[S@raw->named, -K, +N@ready, new R@b]"),
+            toks,
             vec![
                 LBracket,
-                Ident("S".into()),
+                id("S"),
                 At,
-                Ident("raw".into()),
+                id("raw"),
                 Arrow,
-                Ident("named".into()),
+                id("named"),
                 Comma,
                 Minus,
-                Ident("K".into()),
+                id("K"),
                 Comma,
                 Plus,
-                Ident("N".into()),
+                id("N"),
                 At,
-                Ident("ready".into()),
+                id("ready"),
                 Comma,
                 KwNew,
-                Ident("R".into()),
+                id("R"),
                 At,
-                Ident("b".into()),
+                id("b"),
                 RBracket,
                 Eof
             ]
@@ -408,17 +434,19 @@ mod tests {
     #[test]
     fn lexes_ctor_and_bounds() {
         use TokenKind::*;
+        let (toks, i) = kinds("'SomeKey{F} (level <= DISPATCH_LEVEL)");
+        let id = |n: &str| Ident(i.sym(n));
         assert_eq!(
-            kinds("'SomeKey{F} (level <= DISPATCH_LEVEL)"),
+            toks,
             vec![
-                CtorIdent("SomeKey".into()),
+                CtorIdent(i.sym("SomeKey")),
                 LBrace,
-                Ident("F".into()),
+                id("F"),
                 RBrace,
                 LParen,
-                Ident("level".into()),
+                id("level"),
                 Le,
-                Ident("DISPATCH_LEVEL".into()),
+                id("DISPATCH_LEVEL"),
                 RParen,
                 Eof
             ]
@@ -428,17 +456,16 @@ mod tests {
     #[test]
     fn comments_are_skipped() {
         use TokenKind::*;
-        assert_eq!(
-            kinds("x // line\n /* block\n over lines */ y"),
-            vec![Ident("x".into()), Ident("y".into()), Eof]
-        );
+        let (toks, i) = kinds("x // line\n /* block\n over lines */ y");
+        assert_eq!(toks, vec![Ident(i.sym("x")), Ident(i.sym("y")), Eof]);
     }
 
     #[test]
     fn operators() {
         use TokenKind::*;
+        let (toks, _) = kinds("== != <= >= && || ++ -- -> + - * / % ! = < >");
         assert_eq!(
-            kinds("== != <= >= && || ++ -- -> + - * / % ! = < >"),
+            toks,
             vec![
                 EqEq, NotEq, Le, Ge, AndAnd, OrOr, PlusPlus, MinusMinus, Arrow, Plus, Minus, Star,
                 Slash, Percent, Bang, Eq, Lt, Gt, Eof
@@ -449,22 +476,28 @@ mod tests {
     #[test]
     fn numbers_including_hex() {
         use TokenKind::*;
-        assert_eq!(kinds("0 42 0x1F"), vec![Int(0), Int(42), Int(31), Eof]);
+        let (toks, _) = kinds("0 42 0x1F");
+        assert_eq!(toks, vec![Int(0), Int(42), Int(31), Eof]);
     }
 
     #[test]
     fn strings_with_escapes() {
         use TokenKind::*;
-        assert_eq!(
-            kinds(r#""hi\n\"there\"""#),
-            vec![Str("hi\n\"there\"".into()), Eof]
-        );
+        let (toks, _) = kinds(r#""hi\n\"there\"""#);
+        assert_eq!(toks, vec![Str("hi\n\"there\"".into()), Eof]);
     }
 
     #[test]
     fn underscore_wildcard_vs_ident() {
         use TokenKind::*;
-        assert_eq!(kinds("_ _tmp"), vec![Underscore, Ident("_tmp".into()), Eof]);
+        let (toks, i) = kinds("_ _tmp");
+        assert_eq!(toks, vec![Underscore, Ident(i.sym("_tmp")), Eof]);
+    }
+
+    #[test]
+    fn identifiers_are_interned_once() {
+        let (_, i) = kinds("a b a b a c");
+        assert_eq!(i.len(), 3, "one interner entry per distinct name");
     }
 
     #[test]

@@ -29,6 +29,7 @@
 pub mod ast;
 pub mod diag;
 pub mod idents;
+pub mod intern;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
@@ -37,6 +38,10 @@ pub mod token;
 
 pub use ast::Program;
 pub use diag::{Code, DiagSink, DiagView, Diagnostic, LabelView, Severity};
-pub use idents::ident_names;
-pub use parser::{parse_expr, parse_program, parse_program_with_depth, DEFAULT_PARSER_DEPTH};
+pub use idents::{ident_names, remap_idents, remap_idents_expr, remap_idents_fun};
+pub use intern::{FnvBuildHasher, IStr, Interner, Symbol};
+pub use parser::{
+    parse_expr, parse_program, parse_program_with_depth, parse_program_with_depth_timed,
+    FrontEndTiming, DEFAULT_PARSER_DEPTH,
+};
 pub use span::{SourceMap, Span};

@@ -8,9 +8,12 @@
 
 use crate::ast::*;
 use crate::diag::{Code, DiagSink};
-use crate::lexer::lex;
+use crate::idents::{remap_idents, remap_idents_expr};
+use crate::intern::{Interner, Symbol};
+use crate::lexer::lex_into;
 use crate::span::Span;
 use crate::token::{Token, TokenKind};
+use std::sync::Arc;
 
 /// Default bound on grammar recursion depth (see
 /// [`parse_program_with_depth`]). Generous for human-written code — the
@@ -24,11 +27,37 @@ pub fn parse_program(src: &str, diags: &mut DiagSink) -> Program {
     parse_program_with_depth(src, diags, DEFAULT_PARSER_DEPTH)
 }
 
+/// Wall-clock breakdown of the front end, reported by
+/// [`parse_program_with_depth_timed`]. Lexing and parsing are measured
+/// separately so the per-phase stats can show where cold time goes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FrontEndTiming {
+    /// Microseconds spent lexing (including identifier interning).
+    pub lex_micros: u64,
+    /// Microseconds spent parsing, freezing the interner, and remapping
+    /// the AST's symbols into string order.
+    pub parse_micros: u64,
+}
+
 /// [`parse_program`] with an explicit recursion-depth bound. When nesting
 /// exceeds `max_depth` the parser reports one [`Code::LimitExceeded`]
 /// diagnostic and recovers instead of overflowing the stack.
 pub fn parse_program_with_depth(src: &str, diags: &mut DiagSink, max_depth: usize) -> Program {
-    let tokens = lex(src, diags);
+    parse_program_with_depth_timed(src, diags, max_depth).0
+}
+
+/// [`parse_program_with_depth`] plus a per-phase timing breakdown.
+pub fn parse_program_with_depth_timed(
+    src: &str,
+    diags: &mut DiagSink,
+    max_depth: usize,
+) -> (Program, FrontEndTiming) {
+    let mut timing = FrontEndTiming::default();
+    let started = std::time::Instant::now();
+    let mut interner = Interner::new();
+    let tokens = lex_into(src, diags, &mut interner);
+    timing.lex_micros = started.elapsed().as_micros() as u64;
+    let started = std::time::Instant::now();
     let mut p = Parser {
         tokens,
         pos: 0,
@@ -36,8 +65,9 @@ pub fn parse_program_with_depth(src: &str, diags: &mut DiagSink, max_depth: usiz
         depth: 0,
         max_depth: max_depth.max(1),
         depth_exceeded: false,
+        interner,
     };
-    let program = p.program();
+    let mut program = p.program();
     // Depth overruns inside `speculate` have their diagnostics rolled
     // back with the speculation; make sure the limit is reported exactly
     // once regardless of where it tripped.
@@ -49,12 +79,27 @@ pub fn parse_program_with_depth(src: &str, diags: &mut DiagSink, max_depth: usiz
             format!("nesting exceeds the parser recursion limit of {max_depth}"),
         );
     }
-    program
+    // Freeze the interner: add the resolver's sentinel names, renumber
+    // every symbol into string order (the checker's ordering
+    // discipline), and rewrite the AST through the remap table.
+    let mut interner = p.interner;
+    interner.intern("<error>");
+    interner.intern("<fn>");
+    let remap = interner.freeze_sorted();
+    remap_idents(&mut program, &mut |id| {
+        if id.sym != Symbol::UNKNOWN {
+            id.sym = remap[id.sym.index()];
+        }
+    });
+    program.syms = Arc::new(interner);
+    timing.parse_micros = started.elapsed().as_micros() as u64;
+    (program, timing)
 }
 
 /// Parse a single expression (useful in tests and the REPL-ish CLI mode).
 pub fn parse_expr(src: &str, diags: &mut DiagSink) -> Option<Expr> {
-    let tokens = lex(src, diags);
+    let mut interner = Interner::new();
+    let tokens = lex_into(src, diags, &mut interner);
     let mut p = Parser {
         tokens,
         pos: 0,
@@ -62,11 +107,19 @@ pub fn parse_expr(src: &str, diags: &mut DiagSink) -> Option<Expr> {
         depth: 0,
         max_depth: DEFAULT_PARSER_DEPTH,
         depth_exceeded: false,
+        interner,
     };
-    let e = p.expr()?;
+    let mut e = p.expr()?;
     if !p.at(&TokenKind::Eof) {
         p.error_here("expected end of input after expression");
     }
+    let mut interner = p.interner;
+    let remap = interner.freeze_sorted();
+    remap_idents_expr(&mut e, &mut |id| {
+        if id.sym != Symbol::UNKNOWN {
+            id.sym = remap[id.sym.index()];
+        }
+    });
     Some(e)
 }
 
@@ -81,6 +134,9 @@ struct Parser<'d> {
     max_depth: usize,
     /// Whether the bound was ever hit (reported once, post-parse).
     depth_exceeded: bool,
+    /// The unit's interner: grown by the lexer, consulted here to turn
+    /// token symbols back into shared text, frozen after the parse.
+    interner: Interner,
 }
 
 impl<'d> Parser<'d> {
@@ -131,21 +187,27 @@ impl<'d> Parser<'d> {
         } else {
             self.error_here(format!(
                 "expected {}, found {}",
-                kind.describe(),
-                self.peek().describe()
+                kind.describe(&self.interner),
+                self.peek().describe(&self.interner)
             ));
             None
         }
     }
 
+    /// Build an AST identifier from an interned token symbol: the text
+    /// is a refcount bump on the interner's shared string.
+    fn mk_ident(&self, sym: Symbol, span: Span) -> Ident {
+        Ident::with_sym(self.interner.resolve_istr(sym), sym, span)
+    }
+
     fn ident(&mut self) -> Option<Ident> {
-        if let TokenKind::Ident(name) = self.peek().clone() {
+        if let TokenKind::Ident(sym) = *self.peek() {
             let t = self.bump();
-            Some(Ident::new(name, t.span))
+            Some(self.mk_ident(sym, t.span))
         } else {
             self.error_here(format!(
                 "expected identifier, found {}",
-                self.peek().describe()
+                self.peek().describe(&self.interner)
             ));
             None
         }
@@ -230,7 +292,10 @@ impl<'d> Parser<'d> {
                 }
             }
         }
-        Program { decls }
+        Program {
+            decls,
+            syms: Arc::default(),
+        }
     }
 
     fn decl(&mut self) -> Option<Decl> {
@@ -333,10 +398,13 @@ impl<'d> Parser<'d> {
         let (name, start) = match self.peek().clone() {
             TokenKind::CtorIdent(n) => {
                 let t = self.bump();
-                (Ident::new(n, t.span), t.span)
+                (self.mk_ident(n, t.span), t.span)
             }
             other => {
-                self.error_here(format!("expected constructor, found {}", other.describe()));
+                self.error_here(format!(
+                    "expected constructor, found {}",
+                    other.describe(&self.interner)
+                ));
                 return None;
             }
         };
@@ -536,7 +604,7 @@ impl<'d> Parser<'d> {
                 other => {
                     self.error_here(format!(
                         "expected `type`, `key`, or `state` parameter, found {}",
-                        other.describe()
+                        other.describe(&self.interner)
                     ));
                     return None;
                 }
@@ -658,7 +726,10 @@ impl<'d> Parser<'d> {
                 Some(EffectItem::Keep { key, from, to })
             }
             other => {
-                self.error_here(format!("expected effect item, found {}", other.describe()));
+                self.error_here(format!(
+                    "expected effect item, found {}",
+                    other.describe(&self.interner)
+                ));
                 None
             }
         }
@@ -721,7 +792,7 @@ impl<'d> Parser<'d> {
     fn key_state_ref_quiet(&mut self) -> Option<KeyStateRef> {
         let key = if let TokenKind::Ident(n) = self.peek().clone() {
             let t = self.bump();
-            Ident::new(n, t.span)
+            self.mk_ident(n, t.span)
         } else {
             return None;
         };
@@ -819,7 +890,10 @@ impl<'d> Parser<'d> {
                 }
             }
             other => {
-                self.error_here(format!("expected a type, found {}", other.describe()));
+                self.error_here(format!(
+                    "expected a type, found {}",
+                    other.describe(&self.interner)
+                ));
                 return None;
             }
         };
@@ -1022,7 +1096,7 @@ impl<'d> Parser<'d> {
         let ty = self.ty_quiet()?;
         let name = if let TokenKind::Ident(n) = self.peek().clone() {
             let t = self.bump();
-            Ident::new(n, t.span)
+            self.mk_ident(n, t.span)
         } else {
             return None;
         };
@@ -1064,7 +1138,7 @@ impl<'d> Parser<'d> {
                         let pty = self.ty_quiet()?;
                         let pname = if let TokenKind::Ident(n) = self.peek().clone() {
                             let t = self.bump();
-                            Some(Ident::new(n, t.span))
+                            Some(self.mk_ident(n, t.span))
                         } else {
                             None
                         };
@@ -1115,12 +1189,12 @@ impl<'d> Parser<'d> {
             let ctor = match self.peek().clone() {
                 TokenKind::CtorIdent(n) => {
                     let t = self.bump();
-                    Ident::new(n, t.span)
+                    self.mk_ident(n, t.span)
                 }
                 other => {
                     self.error_here(format!(
                         "expected constructor pattern after `case`, found {}",
-                        other.describe()
+                        other.describe(&self.interner)
                     ));
                     return None;
                 }
@@ -1136,12 +1210,12 @@ impl<'d> Parser<'d> {
                             }
                             TokenKind::Ident(n) => {
                                 let t = self.bump();
-                                binders.push(PatBinder::Name(Ident::new(n, t.span)));
+                                binders.push(PatBinder::Name(self.mk_ident(n, t.span)));
                             }
                             other => {
                                 self.error_here(format!(
                                     "expected pattern binder, found {}",
-                                    other.describe()
+                                    other.describe(&self.interner)
                                 ));
                                 return None;
                             }
@@ -1425,13 +1499,13 @@ impl<'d> Parser<'d> {
             TokenKind::Ident(n) => {
                 self.bump();
                 Some(Expr {
-                    kind: ExprKind::Var(Ident::new(n, start)),
+                    kind: ExprKind::Var(self.mk_ident(n, start)),
                     span: start,
                 })
             }
             TokenKind::CtorIdent(n) => {
                 self.bump();
-                let name = Ident::new(n, start);
+                let name = self.mk_ident(n, start);
                 let mut args = Vec::new();
                 if self.at(&TokenKind::LParen) {
                     self.bump();
@@ -1499,7 +1573,7 @@ impl<'d> Parser<'d> {
             other => {
                 self.error_here(format!(
                     "expected an expression, found {}",
-                    other.describe()
+                    other.describe(&self.interner)
                 ));
                 None
             }

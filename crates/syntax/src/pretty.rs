@@ -241,7 +241,7 @@ impl Printer {
                             .binders
                             .iter()
                             .map(|b| match b {
-                                PatBinder::Name(n) => n.name.clone(),
+                                PatBinder::Name(n) => n.name.to_string(),
                                 PatBinder::Wild(_) => "_".to_string(),
                             })
                             .collect();
@@ -380,7 +380,7 @@ fn ctor_decl(c: &CtorDecl) -> String {
 
 fn key_state_ref(k: &KeyStateRef) -> String {
     match &k.state {
-        None => k.key.name.clone(),
+        None => k.key.name.to_string(),
         Some(StateRef::Name(s)) => format!("{}@{}", k.key, s),
         Some(StateRef::Bounded { var, bound }) => {
             format!("{}@({} <= {})", k.key, var, bound)
@@ -413,7 +413,7 @@ fn effect(e: &Effect) -> String {
         .iter()
         .map(|i| match i {
             EffectItem::Keep { key, from, to } => {
-                let mut s = key.name.clone();
+                let mut s = key.name.to_string();
                 if let Some(f) = from {
                     s.push('@');
                     s.push_str(&state_ref(f));
@@ -443,7 +443,7 @@ fn effect(e: &Effect) -> String {
 
 fn state_ref(s: &StateRef) -> String {
     match s {
-        StateRef::Name(n) => n.name.clone(),
+        StateRef::Name(n) => n.name.to_string(),
         StateRef::Bounded { var, bound } => format!("({var} <= {bound})"),
     }
 }
@@ -454,7 +454,7 @@ fn expr_str(e: &Expr, parent_prec: u8) -> String {
         ExprKind::IntLit(n) => n.to_string(),
         ExprKind::BoolLit(b) => b.to_string(),
         ExprKind::StrLit(s) => format!("{s:?}"),
-        ExprKind::Var(i) => i.name.clone(),
+        ExprKind::Var(i) => i.name.to_string(),
         ExprKind::Field(base, f) => format!("{}.{}", expr_str(base, 100), f),
         ExprKind::Index(base, i) => format!("{}[{}]", expr_str(base, 100), expr_str(i, 0)),
         ExprKind::Call { callee, args, .. } => {

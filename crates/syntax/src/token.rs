@@ -1,19 +1,26 @@
 //! Token definitions for the Vault surface language.
 
+use crate::intern::{Interner, Symbol};
 use crate::span::Span;
-use std::fmt;
 
 /// The kind of a lexical token.
+///
+/// Identifier-shaped tokens carry an interned [`Symbol`] instead of an
+/// owned `String`: the lexer interns each name once into the unit's
+/// [`Interner`], so tokenizing allocates nothing per occurrence and the
+/// parser can put symbols straight into the AST.
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[allow(missing_docs)] // keyword and punctuation variants are self-describing
 pub enum TokenKind {
-    /// An identifier such as `rgn` or `Region`.
-    Ident(String),
-    /// A constructor name including its leading tick, e.g. `'SomeKey`.
-    CtorIdent(String),
+    /// An identifier such as `rgn` or `Region` (interned).
+    Ident(Symbol),
+    /// A constructor name (without its leading tick), e.g. the `SomeKey`
+    /// of `'SomeKey` (interned).
+    CtorIdent(Symbol),
     /// An integer literal.
     Int(i64),
-    /// A string literal (contents, unescaped).
+    /// A string literal (contents, unescaped). String literals are rare
+    /// enough that owning the unescaped text is not a hot-path cost.
     Str(String),
 
     // keywords
@@ -114,12 +121,13 @@ impl TokenKind {
         })
     }
 
-    /// Short human-readable description used in parse errors.
-    pub fn describe(&self) -> String {
+    /// Short human-readable description used in parse errors. Interned
+    /// identifier names are resolved against the unit's `interner`.
+    pub fn describe(&self, interner: &Interner) -> String {
         use TokenKind::*;
         match self {
-            Ident(s) => format!("identifier `{s}`"),
-            CtorIdent(s) => format!("constructor `'{s}`"),
+            Ident(s) => format!("identifier `{}`", interner.resolve(*s)),
+            CtorIdent(s) => format!("constructor `'{}`", interner.resolve(*s)),
             Int(n) => format!("integer `{n}`"),
             Str(_) => "string literal".to_string(),
             Eof => "end of input".to_string(),
@@ -192,12 +200,6 @@ impl TokenKind {
     }
 }
 
-impl fmt::Display for TokenKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.describe())
-    }
-}
-
 /// A token paired with its source span.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Token {
@@ -221,11 +223,14 @@ mod tests {
 
     #[test]
     fn describe_is_informative() {
-        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
-        assert_eq!(TokenKind::Arrow.describe(), "`->`");
-        assert_eq!(TokenKind::Eof.describe(), "end of input");
+        let mut interner = Interner::new();
+        let x = interner.intern("x");
+        let ok = interner.intern("Ok");
+        assert_eq!(TokenKind::Ident(x).describe(&interner), "identifier `x`");
+        assert_eq!(TokenKind::Arrow.describe(&interner), "`->`");
+        assert_eq!(TokenKind::Eof.describe(&interner), "end of input");
         assert_eq!(
-            TokenKind::CtorIdent("Ok".into()).describe(),
+            TokenKind::CtorIdent(ok).describe(&interner),
             "constructor `'Ok`"
         );
     }

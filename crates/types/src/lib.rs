@@ -34,14 +34,15 @@
 #![warn(missing_docs)]
 
 pub mod heldset;
-pub mod intern;
 pub mod key;
 pub mod state;
 pub mod ty;
 pub mod unify;
 
 pub use heldset::{HeldErr, HeldSet};
-pub use intern::{FnvBuildHasher, Interner, Symbol};
+// Interning moved into `vault-syntax` so the lexer can intern at lex
+// time (the zero-copy front end); re-exported here so the checker's
+// existing `vault_types::{Interner, Symbol}` imports keep working.
 pub use key::{KeyGen, KeyId, KeyInfo, KeyOrigin, KeyRef};
 pub use state::{StateId, StateReq, StateTable, StateVal, StatesetError, StatesetId};
 pub use ty::{
@@ -49,3 +50,4 @@ pub use ty::{
     StructDef, Ty, TypeDef, TypeId, VariantDef, World,
 };
 pub use unify::{subst_state, subst_ty, ty_eq_mod_keys, unify, Bindings, UnifyErr};
+pub use vault_syntax::intern::{FnvBuildHasher, Interner, Symbol};
