@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! vaultc check [--jobs N] <file.vlt>...   check protocols, print diagnostics
+//! vaultc check --project <vault.toml>     check a multi-unit project manifest
 //! vaultc check --socket PATH <file.vlt>...check on a running vaultd (retries)
 //! vaultc emit-c <file.vlt>                check, then print the generated C
 //! vaultc dump-cfg <file.vlt>              print each function's CFG as dot
@@ -17,6 +18,11 @@
 //! `--fuel N` caps loop-invariant fixpoint iterations. `check --socket`
 //! retries transient connection failures with jittered exponential
 //! backoff (`--retries N` to tune, default 5).
+//!
+//! `check` defaults `--jobs` to the number of available hardware
+//! threads, dedupes repeated input paths (after canonicalization), and
+//! with `--project` checks a whole manifest of importing units through
+//! the DAG scheduler. `--verbose` echoes the resolved job count.
 //!
 //! Exit code 0 when every input is accepted, 1 on protocol violations,
 //! 2 on usage errors or unreadable inputs. `check` with multiple files
@@ -48,7 +54,8 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  vaultc check [--jobs N] [--socket PATH [--retries N]] <file.vlt>...\n  \
+        "usage:\n  vaultc check [--jobs N] [--verbose] [--socket PATH [--retries N]] <file.vlt>...\n  \
+         vaultc check --project <vault.toml> [--jobs N] [--verbose]\n  \
          vaultc emit-c <file.vlt>\n  \
          vaultc dump-cfg <file.vlt>\n  vaultc stats <file.vlt>\n  \
          vaultc run <file.vlt> <entry>\n  \
@@ -66,12 +73,30 @@ fn read(path: &str) -> Result<String, ExitCode> {
     })
 }
 
-/// Parse `check` arguments: `--jobs N` / `-j N`, `--socket PATH`, and
-/// `--retries N` anywhere among the paths.
-fn parse_check_args(rest: &[String]) -> Option<(usize, Option<(String, u32)>, Vec<String>)> {
-    let mut jobs = 1usize;
+/// Parsed `check` arguments.
+struct CheckArgs {
+    jobs: usize,
+    verbose: bool,
+    remote: Option<(String, u32)>,
+    project: Option<String>,
+    paths: Vec<String>,
+}
+
+/// The default worker count when `--jobs` is not given: one job per
+/// available hardware thread.
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Parse `check` arguments: `--jobs N` / `-j N`, `--socket PATH`,
+/// `--retries N`, `--project MANIFEST`, and `--verbose` anywhere among
+/// the paths.
+fn parse_check_args(rest: &[String]) -> Option<CheckArgs> {
+    let mut jobs = default_jobs();
+    let mut verbose = false;
     let mut socket: Option<String> = None;
     let mut retries = 5u32;
+    let mut project: Option<String> = None;
     let mut paths = Vec::new();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -80,6 +105,7 @@ fn parse_check_args(rest: &[String]) -> Option<(usize, Option<(String, u32)>, Ve
                 Some(n) if n >= 1 => jobs = n,
                 _ => return None,
             },
+            "--verbose" | "-v" => verbose = true,
             "--socket" => match it.next() {
                 Some(path) => socket = Some(path.clone()),
                 None => return None,
@@ -88,24 +114,62 @@ fn parse_check_args(rest: &[String]) -> Option<(usize, Option<(String, u32)>, Ve
                 Some(n) if n >= 1 => retries = n,
                 _ => return None,
             },
+            "--project" => match it.next() {
+                Some(manifest) => project = Some(manifest.clone()),
+                None => return None,
+            },
             flag if flag.starts_with('-') => return None,
             path => paths.push(path.to_string()),
         }
     }
-    if paths.is_empty() {
-        return None;
+    // A project manifest supplies the unit list itself; mixing it with
+    // loose paths (or a remote daemon) is a usage error.
+    match &project {
+        Some(_) if !paths.is_empty() || socket.is_some() => return None,
+        Some(_) => {}
+        None if paths.is_empty() => return None,
+        None => {}
     }
-    Some((jobs, socket.map(|s| (s, retries)), paths))
+    Some(CheckArgs {
+        jobs,
+        verbose,
+        remote: socket.map(|s| (s, retries)),
+        project,
+        paths,
+    })
+}
+
+/// Drop repeated inputs: the same file named twice (even via different
+/// spellings — `./a.vlt` vs `a.vlt` vs an absolute path) is checked
+/// once, under its first spelling. Unresolvable paths dedupe on the raw
+/// string and are reported by the read loop below.
+fn dedupe_paths(paths: Vec<String>) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    let mut kept = Vec::new();
+    for path in paths {
+        let key = std::fs::canonicalize(&path)
+            .map(|p| p.to_string_lossy().into_owned())
+            .unwrap_or_else(|_| path.clone());
+        if seen.insert(key) {
+            kept.push(path);
+        }
+    }
+    kept
 }
 
 fn check_cmd(rest: &[String]) -> ExitCode {
-    let Some((jobs, remote, paths)) = parse_check_args(rest) else {
+    let Some(args) = parse_check_args(rest) else {
         return usage();
     };
+
+    if let Some(manifest) = &args.project {
+        return check_project_cmd(manifest, args.jobs, args.verbose);
+    }
 
     // Read every input up front; an unreadable file is reported and
     // skipped rather than aborting the whole batch, but still forces
     // exit code 2 at the end.
+    let paths = dedupe_paths(args.paths);
     let mut any_unreadable = false;
     let mut units: Vec<UnitIn> = Vec::new();
     for path in &paths {
@@ -117,25 +181,32 @@ fn check_cmd(rest: &[String]) -> ExitCode {
             Err(_) => any_unreadable = true,
         }
     }
+    if args.verbose {
+        eprintln!(
+            "vaultc: checking {} unit(s) with {} job(s)",
+            units.len(),
+            args.jobs
+        );
+    }
 
     // With --socket, ship the batch to a running daemon instead of
     // checking locally; transient connection failures are retried with
     // jittered backoff.
-    if let Some((socket, retries)) = remote {
+    if let Some((socket, retries)) = args.remote {
         return check_remote(&socket, retries, units, any_unreadable);
     }
 
     // jobs = 1 checks inline; jobs > 1 fans out across a worker pool.
     // Both paths produce the same summaries in input order, so output
     // is byte-identical regardless of parallelism.
-    let summaries: Vec<CheckSummary> = if jobs <= 1 {
+    let summaries: Vec<CheckSummary> = if args.jobs <= 1 {
         units
             .iter()
             .map(|u| vault_core::check_summary(&u.name, &u.source))
             .collect()
     } else {
         let svc = CheckService::new(ServiceConfig {
-            jobs,
+            jobs: args.jobs,
             cache_capacity: units.len().max(1),
             ..Default::default()
         });
@@ -143,8 +214,54 @@ fn check_cmd(rest: &[String]) -> ExitCode {
         reports.into_iter().map(|r| (*r.summary).clone()).collect()
     };
 
+    let code = render_summaries(&summaries);
+    if any_unreadable {
+        ExitCode::from(2)
+    } else {
+        code
+    }
+}
+
+/// Check a whole project manifest: load the ordered unit list, schedule
+/// it across the worker pool, and print per-unit verdicts in manifest
+/// order — byte-identical at any `--jobs`.
+fn check_project_cmd(manifest: &str, jobs: usize, verbose: bool) -> ExitCode {
+    let units = match vault_project::Manifest::load_units(std::path::Path::new(manifest)) {
+        Ok(units) => units,
+        Err(e) => {
+            eprintln!("vaultc: cannot load project `{manifest}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if verbose {
+        eprintln!(
+            "vaultc: checking project `{manifest}` ({} unit(s)) with {} job(s)",
+            units.len(),
+            jobs
+        );
+    }
+    let svc = CheckService::new(ServiceConfig {
+        jobs,
+        cache_capacity: (units.len() * 2).max(1),
+        ..Default::default()
+    });
+    let wire: Vec<UnitIn> = units
+        .into_iter()
+        .map(|u| UnitIn {
+            name: u.name,
+            source: u.source,
+        })
+        .collect();
+    let (reports, _) = svc.check_project(wire);
+    let summaries: Vec<CheckSummary> = reports.into_iter().map(|r| (*r.summary).clone()).collect();
+    render_summaries(&summaries)
+}
+
+/// Print each summary's diagnostics and verdict line; exit 1 if any
+/// unit is not cleanly accepted.
+fn render_summaries(summaries: &[CheckSummary]) -> ExitCode {
     let mut any_rejected = false;
-    for summary in &summaries {
+    for summary in summaries {
         print!("{}", summary.render_diagnostics());
         match summary.verdict {
             Verdict::Accepted => println!("{}: accepted", summary.name),
@@ -165,9 +282,7 @@ fn check_cmd(rest: &[String]) -> ExitCode {
             }
         }
     }
-    if any_unreadable {
-        ExitCode::from(2)
-    } else if any_rejected {
+    if any_rejected {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS

@@ -336,3 +336,33 @@ pub fn check_summary(name: &str, src: &str) -> CheckSummary {
 pub fn check_summary_with_limits(name: &str, src: &str, limits: &Limits) -> CheckSummary {
     CheckSummary::of(name, &check_source_with_limits(name, src, limits))
 }
+
+/// Check a unit *against a prelude* of its dependencies' export surfaces.
+///
+/// Project mode elaborates each unit with the signatures its imports
+/// export in scope. The prelude (dependency export surfaces, in
+/// dependency topological order) is prepended textually, the combined
+/// text is checked as one unit, and every diagnostic that falls inside
+/// the unit proper is re-attributed to the unit's own coordinates via
+/// [`vault_syntax::Attribution`], so callers see the same spans and
+/// line numbers they would for the unit file on its own. Diagnostics
+/// that point into the prelude (e.g. a redeclaration clash with an
+/// imported interface) stay in combined coordinates.
+///
+/// With an empty prelude this is byte-identical to
+/// [`check_summary_with_limits`].
+pub fn check_summary_with_prelude(
+    name: &str,
+    prelude: &str,
+    src: &str,
+    limits: &Limits,
+) -> CheckSummary {
+    let attr = vault_syntax::Attribution::with_prelude(name, prelude, src);
+    let r = check_source_with_limits(name, attr.full_text(), limits);
+    CheckSummary {
+        name: name.to_string(),
+        verdict: r.verdict(),
+        diagnostics: r.diagnostics.iter().map(|d| attr.view(d)).collect(),
+        stats: r.stats,
+    }
+}

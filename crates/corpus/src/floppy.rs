@@ -288,6 +288,50 @@ pub fn driver_source() -> String {
     format!("{KERNEL_IFACE}\n{FLOPPY_HW_IFACE}\n{FLOPPY_DRIVER}")
 }
 
+/// The same case study split into project-mode units: the kernel
+/// interface, the driver-internal hardware interface (which needs the
+/// kernel's `IRQL` protocol), and the driver itself. Unit order matches
+/// the [`driver_source`] concatenation, so a flattened check and a
+/// project check see the same declarations in the same order.
+pub fn project_units() -> Vec<(&'static str, String)> {
+    vec![
+        ("kernel", KERNEL_IFACE.to_string()),
+        (
+            "floppy_hw",
+            format!("import \"kernel\";\n{FLOPPY_HW_IFACE}"),
+        ),
+        (
+            "driver",
+            format!("import \"kernel\";\nimport \"floppy_hw\";\n{FLOPPY_DRIVER}"),
+        ),
+    ]
+}
+
+/// Multi-unit mutants: each seeded bug from [`programs`] applied to the
+/// *driver unit* of the project split. Returns
+/// `(id, units, expected code)` rows — the interface units are always
+/// pristine, so every expected diagnostic must surface in the driver
+/// unit's report.
+pub fn project_mutants() -> Vec<(&'static str, Vec<(&'static str, String)>, Code)> {
+    MUTANTS
+        .iter()
+        .map(|m| {
+            assert!(
+                FLOPPY_DRIVER.contains(m.from),
+                "mutant {} marker drifted out of the driver source",
+                m.id
+            );
+            let mutated = FLOPPY_DRIVER.replacen(m.from, m.to, 1);
+            let mut units = project_units();
+            units[2] = (
+                "driver",
+                format!("import \"kernel\";\nimport \"floppy_hw\";\n{mutated}"),
+            );
+            (m.id, units, m.code)
+        })
+        .collect()
+}
+
 /// A seeded-bug mutant: one protocol violation applied to the driver.
 struct Mutant {
     id: &'static str,
@@ -399,6 +443,20 @@ mod tests {
     fn all_mutant_markers_present() {
         // `programs` panics on drift; this makes it a named test.
         assert_eq!(programs().len(), 1 + MUTANTS.len());
+    }
+
+    #[test]
+    fn project_split_covers_the_whole_driver() {
+        let units = project_units();
+        assert_eq!(units.len(), 3);
+        assert!(units[0].1.contains("IRQL"));
+        assert!(units[1].1.starts_with("import \"kernel\";"));
+        assert!(units[2].1.contains("FloppyDispatch"));
+        assert_eq!(project_mutants().len(), MUTANTS.len());
+        for (id, units, _) in project_mutants() {
+            assert_eq!(units.len(), 3, "{id}");
+            assert_ne!(units[2].1, project_units()[2].1, "{id} did not mutate");
+        }
     }
 
     #[test]

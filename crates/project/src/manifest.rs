@@ -1,0 +1,200 @@
+//! The `vault.toml` project manifest: a deterministic, ordered list of
+//! units. Only the tiny TOML subset the manifest needs is parsed —
+//! `[[unit]]` tables with `path` and optional `name` string keys — so
+//! the crate stays dependency-free.
+//!
+//! ```toml
+//! # vault.toml
+//! [[unit]]
+//! path = "kernel.vlt"          # name defaults to the file stem: "kernel"
+//!
+//! [[unit]]
+//! name = "floppy_hw"
+//! path = "hw/floppy_hw.vlt"
+//! ```
+//!
+//! Manifest order is meaningful: it is the order results are reported
+//! in, and it breaks ties in the topological schedule.
+
+use std::path::Path;
+
+use crate::ProjectUnit;
+
+/// One `[[unit]]` table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// The unit name imports refer to. Defaults to the `path` file stem.
+    pub name: String,
+    /// Path to the `.vlt` source, relative to the manifest file.
+    pub path: String,
+}
+
+/// A parsed project manifest: an ordered list of unit entries.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Entries in file order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+/// The file stem of a path string ("hw/floppy_hw.vlt" → "floppy_hw").
+fn stem(path: &str) -> String {
+    Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string())
+}
+
+/// Parse a `key = "value"` line; `None` if it is not shaped like one.
+fn parse_assignment(line: &str) -> Option<(&str, &str)> {
+    let (key, rest) = line.split_once('=')?;
+    let rest = rest.trim();
+    let value = rest.strip_prefix('"')?.strip_suffix('"')?;
+    if value.contains('"') {
+        return None;
+    }
+    Some((key.trim(), value))
+}
+
+impl Manifest {
+    /// Parse manifest text. Errors carry the 1-based line number.
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        let mut entries: Vec<(Option<String>, Option<String>)> = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let lineno = lineno + 1;
+            // Strip comments outside strings; manifest strings never
+            // contain `#` in practice, so a plain split is enough.
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[unit]]" {
+                entries.push((None, None));
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!(
+                    "vault.toml:{lineno}: unknown table `{line}` (only [[unit]] is supported)"
+                ));
+            }
+            let Some((key, value)) = parse_assignment(line) else {
+                return Err(format!(
+                    "vault.toml:{lineno}: expected `key = \"value\"`, got `{line}`"
+                ));
+            };
+            let Some(current) = entries.last_mut() else {
+                return Err(format!(
+                    "vault.toml:{lineno}: `{key}` appears before any [[unit]] table"
+                ));
+            };
+            match key {
+                "name" => current.0 = Some(value.to_string()),
+                "path" => current.1 = Some(value.to_string()),
+                other => {
+                    return Err(format!(
+                        "vault.toml:{lineno}: unknown key `{other}` (expected `name` or `path`)"
+                    ))
+                }
+            }
+        }
+
+        let mut out = Vec::with_capacity(entries.len());
+        let mut seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for (i, (name, path)) in entries.into_iter().enumerate() {
+            let Some(path) = path else {
+                return Err(format!("vault.toml: [[unit]] #{} has no `path`", i + 1));
+            };
+            let name = name.unwrap_or_else(|| stem(&path));
+            if !seen.insert(name.clone()) {
+                return Err(format!(
+                    "vault.toml: duplicate unit name `{name}` (unit names must be unique)"
+                ));
+            }
+            out.push(ManifestEntry { name, path });
+        }
+        Ok(Manifest { entries: out })
+    }
+
+    /// Read and parse a manifest file, then read every unit source
+    /// (paths resolved relative to the manifest's directory).
+    pub fn load_units(manifest_path: &Path) -> Result<Vec<ProjectUnit>, String> {
+        let text = std::fs::read_to_string(manifest_path)
+            .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+        let manifest = Manifest::parse(&text)?;
+        let base = manifest_path.parent().unwrap_or_else(|| Path::new("."));
+        let mut units = Vec::with_capacity(manifest.entries.len());
+        for entry in &manifest.entries {
+            let path = base.join(&entry.path);
+            let source = std::fs::read_to_string(&path).map_err(|e| {
+                format!(
+                    "cannot read unit `{}` at {}: {e}",
+                    entry.name,
+                    path.display()
+                )
+            })?;
+            units.push(ProjectUnit {
+                name: entry.name.clone(),
+                source,
+            });
+        }
+        Ok(units)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_units_in_order_with_default_names() {
+        let m = Manifest::parse(
+            "# project\n[[unit]]\npath = \"kernel.vlt\"\n\n[[unit]]\nname = \"hw\"\npath = \"sub/floppy_hw.vlt\"  # hardware\n",
+        )
+        .unwrap();
+        assert_eq!(
+            m.entries,
+            vec![
+                ManifestEntry {
+                    name: "kernel".into(),
+                    path: "kernel.vlt".into()
+                },
+                ManifestEntry {
+                    name: "hw".into(),
+                    path: "sub/floppy_hw.vlt".into()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_manifests() {
+        for bad in [
+            "path = \"a.vlt\"\n",       // key before [[unit]]
+            "[[unit]]\n",               // missing path
+            "[[unit]]\njobs = \"4\"\n", // unknown key
+            "[unit]\n",                 // wrong table form
+            "[[unit]]\npath = a.vlt\n", // unquoted value
+            "[[unit]]\npath = \"a.vlt\"\n[[unit]]\npath = \"b/a.vlt\"\n", // dup names
+        ] {
+            assert!(Manifest::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn load_units_reads_relative_to_manifest() {
+        let dir = std::env::temp_dir().join(format!("vault-manifest-test-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("sub")).unwrap();
+        std::fs::write(dir.join("a.vlt"), "void a() {}\n").unwrap();
+        std::fs::write(dir.join("sub/b.vlt"), "import \"a\";\nvoid b() {}\n").unwrap();
+        std::fs::write(
+            dir.join("vault.toml"),
+            "[[unit]]\npath = \"a.vlt\"\n[[unit]]\npath = \"sub/b.vlt\"\n",
+        )
+        .unwrap();
+        let units = Manifest::load_units(&dir.join("vault.toml")).unwrap();
+        assert_eq!(units.len(), 2);
+        assert_eq!(units[0].name, "a");
+        assert_eq!(units[1].name, "b");
+        assert!(units[1].source.contains("import"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

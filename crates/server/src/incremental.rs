@@ -45,10 +45,13 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use vault_core::check::{check_function_with_limits, CheckStats};
-use vault_core::{check_summary_with_limits, elaborate, CheckSummary, Elaborated, Limits, Verdict};
+use vault_core::{
+    check_summary_with_limits, check_summary_with_prelude, elaborate, CheckSummary, Elaborated,
+    Limits, Verdict,
+};
 use vault_syntax::{
-    ast, parse_program_with_depth, parse_program_with_depth_timed, Code, DiagSink, DiagView,
-    Severity, SourceMap, Span,
+    ast, parse_program_with_depth, parse_program_with_depth_timed, Attribution, Code, DiagSink,
+    DiagView, Severity, SourceMap, Span,
 };
 
 use crate::cache::{fnv1a_64, fnv1a_absorb, LruCache};
@@ -117,13 +120,16 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 /// Fingerprint of the declaration environment: the unit name, the
-/// limits that shape parsing/checking, and the source with every
-/// function body blanked.
-fn env_hash(name: &str, limits: &Limits, excised: &[u8]) -> u64 {
+/// limits that shape parsing/checking, the prelude length (project mode
+/// prepends dependency signatures; two different prelude/unit splits of
+/// the same concatenation must not share attributed verdicts), and the
+/// checked text with every function body blanked.
+fn env_hash(name: &str, limits: &Limits, prelude_len: u32, excised: &[u8]) -> u64 {
     let h = fnv1a_64(name.as_bytes());
     let h = fnv1a_absorb(h, &[0x00]);
     let h = fnv1a_absorb(h, &(limits.parser_depth as u64).to_le_bytes());
     let h = fnv1a_absorb(h, &(limits.fixpoint_iters as u64).to_le_bytes());
+    let h = fnv1a_absorb(h, &(prelude_len as u64).to_le_bytes());
     fnv1a_absorb(h, excised)
 }
 
@@ -259,14 +265,37 @@ impl IncrementalEngine {
         limits: &Limits,
         metrics: &Metrics,
     ) -> CheckSummary {
+        self.check_unit_with_prelude(name, "", source, limits, metrics)
+    }
+
+    /// [`Self::check_unit`] against a dependency-signature prelude
+    /// (project mode). The checker runs over `prelude + source`, every
+    /// diagnostic is re-attributed to unit coordinates through
+    /// [`Attribution`], and both the environment hash and the
+    /// per-function fingerprints absorb the prelude, so a unit keeps its
+    /// per-function cache across body edits even inside a project. With
+    /// an empty prelude the result is byte-identical to
+    /// [`vault_core::check_summary_with_limits`].
+    pub fn check_unit_with_prelude(
+        &self,
+        name: &str,
+        prelude: &str,
+        source: &str,
+        limits: &Limits,
+        metrics: &Metrics,
+    ) -> CheckSummary {
         if limits.deadline.is_some() {
             // Wall-clock verdicts are not pure functions of the input.
-            return check_summary_with_limits(name, source, limits);
+            if prelude.is_empty() {
+                return check_summary_with_limits(name, source, limits);
+            }
+            return check_summary_with_prelude(name, prelude, source, limits);
         }
-        if let Some(summary) = self.try_fast_path(name, source, limits, metrics) {
+        let attr = Attribution::with_prelude(name, prelude, source);
+        if let Some(summary) = self.try_fast_path(name, &attr, limits, metrics) {
             return summary;
         }
-        self.full_check(name, source, limits, metrics)
+        self.full_check(name, &attr, limits, metrics)
     }
 
     /// Live entry counts `(environments, function verdicts)`.
@@ -289,10 +318,11 @@ impl IncrementalEngine {
     fn try_fast_path(
         &self,
         name: &str,
-        source: &str,
+        attr: &Attribution,
         limits: &Limits,
         metrics: &Metrics,
     ) -> Option<CheckSummary> {
+        let source = attr.full_text();
         let env = lock(&self.envs).get(fnv1a_64(name.as_bytes()))?;
         if env.source_len != source.len() || !env.pre_views.is_empty() {
             return None;
@@ -300,18 +330,18 @@ impl IncrementalEngine {
         // Same length, so every cached span is still in range; equal
         // excised hashes mean the edit stayed inside function bodies.
         let excised = excise_bodies(source, &env.slots);
-        if env_hash(name, limits, &excised) != env.env_hash {
+        if env_hash(name, limits, attr.prelude_len(), &excised) != env.env_hash {
             return None;
         }
 
-        let sm = SourceMap::new(name, source);
+        let sm = attr.full_map();
         let mut views: Vec<DiagView> = Vec::new();
         let mut stats = CheckStats::default();
         let mut hits = 0u64;
         let mut misses = 0u64;
         let mut aborted = false;
         for &(decl, _) in &env.slots {
-            let fp = fn_fingerprint(env.env_hash, source, &sm, decl);
+            let fp = fn_fingerprint(env.env_hash, source, sm, decl);
             // Bind the probe result first: a guard living in a match
             // scrutinee would still be held when the miss arm re-locks.
             let probed = lock(&self.fns).get(fp);
@@ -322,7 +352,7 @@ impl IncrementalEngine {
                 }
                 None => {
                     misses += 1;
-                    match self.check_standalone(source, &sm, decl, &env.elaborated, limits) {
+                    match self.check_standalone(attr, decl, &env.elaborated, limits) {
                         Some(v) => {
                             lock(&self.fns).put(fp, Arc::clone(&v));
                             self.note_dirty(fp, &v);
@@ -363,12 +393,12 @@ impl IncrementalEngine {
     /// seen.
     fn check_standalone(
         &self,
-        source: &str,
-        sm: &SourceMap,
+        attr: &Attribution,
         decl: Span,
         elab: &Elaborated,
         limits: &Limits,
     ) -> Option<Arc<FnVerdict>> {
+        let source = attr.full_text();
         let mini = blank_outside(source, decl);
         let mut parse_diags = DiagSink::new();
         let depth = limits.parser_depth.saturating_sub(MINI_PARSE_DEPTH_MARGIN);
@@ -412,11 +442,7 @@ impl IncrementalEngine {
             &mut sink,
             limits,
         );
-        let views = sink
-            .into_vec()
-            .iter()
-            .map(|d| DiagView::new(d, sm))
-            .collect();
+        let views = sink.into_vec().iter().map(|d| attr.view(d)).collect();
         Some(Arc::new(FnVerdict { views, stats }))
     }
 
@@ -425,21 +451,18 @@ impl IncrementalEngine {
     fn full_check(
         &self,
         name: &str,
-        source: &str,
+        attr: &Attribution,
         limits: &Limits,
         metrics: &Metrics,
     ) -> CheckSummary {
-        let sm = SourceMap::new(name, source);
+        let source = attr.full_text();
+        let sm = attr.full_map();
         let mut pre = DiagSink::new();
         let (program, front) =
             parse_program_with_depth_timed(source, &mut pre, limits.parser_depth);
         let elaborated = Arc::new(elaborate(&program, &mut pre));
         let pre_limit = pre.has_code(Code::LimitExceeded);
-        let pre_views: Vec<DiagView> = pre
-            .into_vec()
-            .iter()
-            .map(|d| DiagView::new(d, &sm))
-            .collect();
+        let pre_views: Vec<DiagView> = pre.into_vec().iter().map(|d| attr.view(d)).collect();
 
         let slots: Vec<(Span, Span)> = elaborated
             .bodies
@@ -447,7 +470,7 @@ impl IncrementalEngine {
             .map(|f| (f.span, f.body.as_ref().expect("collected with body").span))
             .collect();
         let excised = excise_bodies(source, &slots);
-        let eh = env_hash(name, limits, &excised);
+        let eh = env_hash(name, limits, attr.prelude_len(), &excised);
 
         let mut views = pre_views.clone();
         let mut stats = CheckStats {
@@ -460,7 +483,7 @@ impl IncrementalEngine {
         let mut hits = 0u64;
         let mut misses = 0u64;
         for f in &elaborated.bodies {
-            let fp = fn_fingerprint(eh, source, &sm, f.span);
+            let fp = fn_fingerprint(eh, source, sm, f.span);
             let probed = lock(&self.fns).get(fp);
             let verdict = match probed {
                 Some(v) => {
@@ -481,11 +504,7 @@ impl IncrementalEngine {
                         limits,
                     );
                     let v = Arc::new(FnVerdict {
-                        views: sink
-                            .into_vec()
-                            .iter()
-                            .map(|d| DiagView::new(d, &sm))
-                            .collect(),
+                        views: sink.into_vec().iter().map(|d| attr.view(d)).collect(),
                         stats: fn_stats,
                     });
                     lock(&self.fns).put(fp, Arc::clone(&v));
@@ -667,6 +686,75 @@ void beta() {
         assert_eq!(eng.entries(), (0, 0));
         assert_eq!(m.snapshot().fn_cache_hits, 0);
         assert_eq!(m.snapshot().fn_cache_misses, 0);
+    }
+
+    #[test]
+    fn prelude_check_matches_core_reference() {
+        let (eng, m) = engine();
+        let limits = Limits::default();
+        let prelude = "interface FS {\n  type FILE;\n  tracked(F) FILE fopen() [new F];\n  void fclose(tracked(F) FILE f) [-F];\n}\n";
+        let unit = "import \"fs\";\nvoid use_file() {\n  tracked(F) FILE f = FS.fopen();\n}\n";
+        let got = eng.check_unit_with_prelude("app", prelude, unit, &limits, &m);
+        let want = check_summary_with_prelude("app", prelude, unit, &limits);
+        assert_eq!(got, want);
+        assert_eq!(got.verdict, Verdict::Rejected); // leaked F
+        let d = &got.diagnostics[0];
+        assert!(
+            d.line <= 4,
+            "attributed to unit coordinates, got line {}",
+            d.line
+        );
+    }
+
+    #[test]
+    fn prelude_body_edit_reuses_untouched_function_verdicts() {
+        let (eng, m) = engine();
+        let limits = Limits::default();
+        let prelude = "interface FS {\n  type FILE;\n  tracked(F) FILE fopen() [new F];\n  void fclose(tracked(F) FILE f) [-F];\n}\n";
+        let unit = "void touched(int k) {\n  int x = 1;\n}\nvoid untouched() {\n  tracked(F) FILE f = FS.fopen();\n  FS.fclose(f);\n}\n";
+        eng.check_unit_with_prelude("app", prelude, unit, &limits, &m);
+        let before = m.snapshot();
+        // Same-length edit inside `touched`'s body only.
+        let edited = unit.replace("int x = 1;", "int x = 7;");
+        assert_eq!(edited.len(), unit.len());
+        let got = eng.check_unit_with_prelude("app", prelude, &edited, &limits, &m);
+        assert_eq!(
+            got,
+            check_summary_with_prelude("app", prelude, &edited, &limits)
+        );
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.fn_cache_hits - before.fn_cache_hits,
+            1,
+            "untouched reused"
+        );
+        assert_eq!(snap.fn_cache_misses - before.fn_cache_misses, 1);
+    }
+
+    #[test]
+    fn same_full_text_different_split_does_not_share_attributed_views() {
+        // `prelude + unit` concatenations that are byte-identical but
+        // split at different offsets must not reuse each other's cached
+        // views: attribution (line numbers in `rendered`) depends on the
+        // split, which the environment hash absorbs.
+        let (eng, m) = engine();
+        let limits = Limits::default();
+        let iface = "interface FS {\n  type FILE;\n  tracked(F) FILE fopen() [new F];\n  void fclose(tracked(F) FILE f) [-F];\n}\n";
+        let leaky = "void leak() {\n  tracked(F) FILE f = FS.fopen();\n}\n";
+        let s1 = eng.check_unit_with_prelude("u", iface, leaky, &limits, &m);
+        assert_eq!(s1, check_summary_with_prelude("u", iface, leaky, &limits));
+        // Same full text, prelude extended by the first line of `leak`.
+        let prelude2 = format!("{iface}void leak() {{\n");
+        let unit2 = "  tracked(F) FILE f = FS.fopen();\n}\n";
+        let s2 = eng.check_unit_with_prelude("u", &prelude2, unit2, &limits, &m);
+        assert_eq!(
+            s2,
+            check_summary_with_prelude("u", &prelude2, unit2, &limits)
+        );
+        assert_ne!(
+            s1.diagnostics[0].rendered, s2.diagnostics[0].rendered,
+            "splits attribute differently"
+        );
     }
 
     #[test]

@@ -52,6 +52,17 @@ pub struct Metrics {
     /// Frames of the persistent cache that failed to load (truncated,
     /// corrupt, or version-mismatched — each such frame fell back cold).
     pub cache_load_errors: AtomicU64,
+    /// Project-mode units fanned out to the worker pool (cache misses
+    /// plus cyclic rejections are excluded; this counts real checks).
+    pub units_scheduled: AtomicU64,
+    /// Project-mode units answered from the verdict cache without
+    /// re-checking.
+    pub units_reused: AtomicU64,
+    /// Project-mode cache reuses that happened *while at least one
+    /// transitive dependency was re-checked in the same request* — the
+    /// early-cutoff wins: a body edit upstream left this unit's
+    /// interface-derived key unchanged.
+    pub cutoff_hits: AtomicU64,
     started: Instant,
 }
 
@@ -77,6 +88,9 @@ impl Default for Metrics {
             elaborate_micros: AtomicU64::new(0),
             lower_micros: AtomicU64::new(0),
             cache_load_errors: AtomicU64::new(0),
+            units_scheduled: AtomicU64::new(0),
+            units_reused: AtomicU64::new(0),
+            cutoff_hits: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -136,6 +150,9 @@ impl Metrics {
             elaborate_micros: self.elaborate_micros.load(Ordering::Relaxed),
             lower_micros: self.lower_micros.load(Ordering::Relaxed),
             cache_load_errors: self.cache_load_errors.load(Ordering::Relaxed),
+            units_scheduled: self.units_scheduled.load(Ordering::Relaxed),
+            units_reused: self.units_reused.load(Ordering::Relaxed),
+            cutoff_hits: self.cutoff_hits.load(Ordering::Relaxed),
             uptime_micros: self.started.elapsed().as_micros() as u64,
         }
     }
@@ -194,6 +211,13 @@ pub struct StatusSnapshot {
     pub lower_micros: u64,
     /// Persistent-cache frames that failed to load (cold fallback).
     pub cache_load_errors: u64,
+    /// Project-mode units fanned out to the worker pool.
+    pub units_scheduled: u64,
+    /// Project-mode units answered from the verdict cache.
+    pub units_reused: u64,
+    /// Project-mode cache reuses with a re-checked transitive
+    /// dependency in the same request (interface-cutoff wins).
+    pub cutoff_hits: u64,
     /// Microseconds since the service started.
     pub uptime_micros: u64,
 }

@@ -9,12 +9,17 @@
 //!
 //! ```json
 //! {"op":"check","id":1,"units":[{"name":"a.vlt","source":"..."}]}
-//! {"op":"emit-c","id":2,"unit":{"name":"a.vlt","source":"..."}}
-//! {"op":"stats","id":3,"unit":{"name":"a.vlt","source":"..."}}
-//! {"op":"status","id":4}
-//! {"op":"clear-cache","id":5}
-//! {"op":"shutdown","id":6}
+//! {"op":"check-project","id":2,"units":[{"name":"kernel","source":"..."},{"name":"driver","source":"import \"kernel\";..."}]}
+//! {"op":"emit-c","id":3,"unit":{"name":"a.vlt","source":"..."}}
+//! {"op":"stats","id":4,"unit":{"name":"a.vlt","source":"..."}}
+//! {"op":"status","id":5}
+//! {"op":"clear-cache","id":6}
+//! {"op":"shutdown","id":7}
 //! ```
+//!
+//! `check-project` treats the units as an ordered project manifest:
+//! units may `import` one another's export surfaces, the import DAG is
+//! scheduled topologically, and replies come back in manifest order.
 //!
 //! Responses carry `"ok":true` plus op-specific payload, or
 //! `"ok":false` with an `"error"` string. Diagnostics are structured
@@ -33,6 +38,12 @@ pub enum Request {
     /// Check a batch of compilation units.
     Check {
         /// The units, checked concurrently, answered in order.
+        units: Vec<UnitIn>,
+    },
+    /// Check an ordered project manifest of units that may `import`
+    /// one another.
+    CheckProject {
+        /// The units, in manifest order; answered in manifest order.
         units: Vec<UnitIn>,
     },
     /// Check one unit and, if accepted, translate it to C.
@@ -93,6 +104,20 @@ pub fn parse_request(v: &Json) -> (Option<u64>, Result<Request, String>) {
                     return Err("`check` requires at least one unit".to_string());
                 }
                 Ok(Request::Check { units })
+            }
+            "check-project" => {
+                let units = v
+                    .get("units")
+                    .and_then(Json::as_arr)
+                    .ok_or("`check-project` missing array field `units`")?;
+                let units = units
+                    .iter()
+                    .map(parse_unit)
+                    .collect::<Result<Vec<_>, _>>()?;
+                if units.is_empty() {
+                    return Err("`check-project` requires at least one unit".to_string());
+                }
+                Ok(Request::CheckProject { units })
             }
             "emit-c" => Ok(Request::EmitC {
                 unit: parse_unit(
@@ -203,7 +228,18 @@ pub struct UnitReport {
 
 /// Encode the response to a `check` request.
 pub fn encode_check(id: Option<u64>, reports: &[UnitReport], wall_micros: u64) -> Json {
-    let mut pairs = base(id, "check", true);
+    encode_check_as(id, "check", reports, wall_micros)
+}
+
+/// Encode the response to a `check-project` request: the same per-unit
+/// report shape as `check`, in manifest order, under the
+/// `check-project` op.
+pub fn encode_check_project(id: Option<u64>, reports: &[UnitReport], wall_micros: u64) -> Json {
+    encode_check_as(id, "check-project", reports, wall_micros)
+}
+
+fn encode_check_as(id: Option<u64>, op: &str, reports: &[UnitReport], wall_micros: u64) -> Json {
+    let mut pairs = base(id, op, true);
     pairs.push(("wall_micros".to_string(), Json::num(wall_micros)));
     pairs.push((
         "units".to_string(),
@@ -271,13 +307,16 @@ pub fn encode_stats_response(id: Option<u64>, report: &UnitReport) -> Json {
     Json::Obj(pairs)
 }
 
-/// Encode the response to a `status` request.
+/// Encode the response to a `status` request. `cache_disk_bytes` is the
+/// on-disk size of the persistent verdict log; the key is present only
+/// when the daemon runs with `--cache-dir`.
 pub fn encode_status(
     id: Option<u64>,
     snap: &StatusSnapshot,
     workers: usize,
     cache_entries: usize,
     cache_capacity: usize,
+    cache_disk_bytes: Option<u64>,
 ) -> Json {
     let mut pairs = base(id, "status", true);
     for (key, value) in [
@@ -287,6 +326,9 @@ pub fn encode_status(
         ("cache_misses", snap.cache_misses),
         ("fn_cache_hits", snap.fn_cache_hits),
         ("fn_cache_misses", snap.fn_cache_misses),
+        ("units_scheduled", snap.units_scheduled),
+        ("units_reused", snap.units_reused),
+        ("cutoff_hits", snap.cutoff_hits),
         ("queue_depth", snap.queue_depth),
         ("queue_peak", snap.queue_peak),
         ("check_micros", snap.check_micros),
@@ -301,11 +343,15 @@ pub fn encode_status(
         ("lower_micros", snap.lower_micros),
         ("cache_load_errors", snap.cache_load_errors),
         ("uptime_micros", snap.uptime_micros),
+        ("uptime_seconds", snap.uptime_micros / 1_000_000),
         ("workers", workers as u64),
         ("cache_entries", cache_entries as u64),
         ("cache_capacity", cache_capacity as u64),
     ] {
         pairs.push((key.to_string(), Json::num(value)));
+    }
+    if let Some(bytes) = cache_disk_bytes {
+        pairs.push(("cache_disk_bytes".to_string(), Json::num(bytes)));
     }
     Json::Obj(pairs)
 }
@@ -349,6 +395,20 @@ mod tests {
         let (_, req) =
             parse_request(&parse(r#"{"op":"stats","unit":{"name":"a","source":"s"}}"#).unwrap());
         assert!(matches!(req.unwrap(), Request::Stats { .. }));
+        let (id, req) = parse_request(
+            &parse(r#"{"op":"check-project","id":11,"units":[{"name":"a","source":"s"}]}"#)
+                .unwrap(),
+        );
+        assert_eq!(id, Some(11));
+        assert_eq!(
+            req.unwrap(),
+            Request::CheckProject {
+                units: vec![UnitIn {
+                    name: "a".into(),
+                    source: "s".into()
+                }]
+            }
+        );
     }
 
     #[test]
@@ -359,6 +419,8 @@ mod tests {
             r#"{"op":"check"}"#,
             r#"{"op":"check","units":[]}"#,
             r#"{"op":"check","units":[{"name":"a"}]}"#,
+            r#"{"op":"check-project"}"#,
+            r#"{"op":"check-project","units":[]}"#,
             r#"{"op":"emit-c"}"#,
         ] {
             let (_, req) = parse_request(&parse(line).unwrap());
@@ -368,6 +430,28 @@ mod tests {
         let (id, req) = parse_request(&parse(r#"{"id":3,"op":"check"}"#).unwrap());
         assert_eq!(id, Some(3));
         assert!(req.is_err());
+    }
+
+    #[test]
+    fn status_reports_uptime_seconds_and_optional_disk_bytes() {
+        let snap = StatusSnapshot {
+            uptime_micros: 3_500_000, // 3.5s → 3 whole seconds
+            ..StatusSnapshot::default()
+        };
+        // Memory-only daemon: no cache_disk_bytes key at all.
+        let without = encode_status(Some(1), &snap, 2, 0, 16, None);
+        assert_eq!(
+            without.get("uptime_seconds").and_then(Json::as_u64),
+            Some(3)
+        );
+        assert!(without.get("cache_disk_bytes").is_none());
+        // With --cache-dir: the key carries the log's on-disk size.
+        let with = encode_status(Some(2), &snap, 2, 0, 16, Some(4096));
+        assert_eq!(
+            with.get("cache_disk_bytes").and_then(Json::as_u64),
+            Some(4096)
+        );
+        assert_eq!(with.get("uptime_seconds").and_then(Json::as_u64), Some(3));
     }
 
     #[test]

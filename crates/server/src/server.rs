@@ -47,6 +47,25 @@ pub fn handle_request(svc: &CheckService, id: Option<u64>, req: Request) -> (Jso
                 (proto::encode_check(id, &reports, wall), false)
             }
         }
+        Request::CheckProject { units } => {
+            let cap = svc.limits().max_units_per_batch;
+            if units.len() > cap {
+                svc.metrics().request_failed();
+                (
+                    proto::encode_error(
+                        id,
+                        &format!(
+                            "`check-project` carries {} unit(s); this daemon accepts at most {cap} per request",
+                            units.len()
+                        ),
+                    ),
+                    false,
+                )
+            } else {
+                let (reports, wall) = svc.check_project(units);
+                (proto::encode_check_project(id, &reports, wall), false)
+            }
+        }
         Request::EmitC { unit } => {
             let (summary, c) = svc.emit_c(&unit);
             (proto::encode_emit_c(id, &summary, c.as_deref()), false)
@@ -64,6 +83,7 @@ pub fn handle_request(svc: &CheckService, id: Option<u64>, req: Request) -> (Jso
                     svc.workers(),
                     svc.cache_entries(),
                     svc.cache_capacity(),
+                    svc.cache_disk_bytes(),
                 ),
                 false,
             )

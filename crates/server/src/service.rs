@@ -347,6 +347,212 @@ impl CheckService {
         reports.remove(0)
     }
 
+    /// Check a *project*: an ordered manifest of units that may `import`
+    /// one another's export surfaces.
+    ///
+    /// The import DAG is planned up front (cycles become stable `V601`
+    /// rejections, unresolved imports `V602`), each unit's verdict is
+    /// memoized under its **project fingerprint** — its own source plus
+    /// the export fingerprints of its transitive dependencies — and
+    /// misses fan out across the worker pool in topological order, each
+    /// checked against its dependency-signature prelude through the
+    /// incremental engine. Reports come back in **manifest order**, byte
+    /// for byte what [`vault_project::check_project`] produces
+    /// sequentially.
+    ///
+    /// The fingerprint split is the *early cutoff*: a body edit upstream
+    /// changes that unit's own key but no export surface, so every
+    /// downstream unit re-hits the cache (counted in `cutoff_hits`);
+    /// only an interface edit invalidates dependents.
+    pub fn check_project(&self, units: Vec<UnitIn>) -> (Vec<UnitReport>, u64) {
+        let start = Instant::now();
+        let n = units.len();
+        self.metrics
+            .units_checked
+            .fetch_add(n as u64, Ordering::Relaxed);
+
+        let project_units: Vec<vault_project::ProjectUnit> = units
+            .iter()
+            .map(|u| vault_project::ProjectUnit::new(u.name.clone(), u.source.clone()))
+            .collect();
+        let plan = Arc::new(vault_project::ProjectPlan::build(
+            &project_units,
+            self.limits.parser_depth,
+        ));
+
+        // Phase 1: consult the cache under one short lock. The project
+        // fingerprint is a complete key of the unit's output (source,
+        // transitive export surfaces, and any graph diagnostics), so a
+        // hit is always the right answer regardless of which manifest
+        // computed it.
+        let fingerprints: Vec<u64> = plan.units.iter().map(|u| u.project_fingerprint).collect();
+        let mut reports: Vec<Option<UnitReport>> = (0..n).map(|_| None).collect();
+        let mut missed = vec![false; n];
+        {
+            let mut cache = lock_cache(&self.cache);
+            for i in 0..n {
+                if let Some(summary) = cache.get(fingerprints[i]) {
+                    reports[i] = Some(UnitReport {
+                        summary,
+                        cached: true,
+                        check_micros: 0,
+                    });
+                } else {
+                    missed[i] = true;
+                }
+            }
+        }
+        let miss_count = missed.iter().filter(|&&m| m).count();
+        let hits = n - miss_count;
+        self.metrics
+            .cache_hits
+            .fetch_add(hits as u64, Ordering::Relaxed);
+        self.metrics
+            .cache_misses
+            .fetch_add(miss_count as u64, Ordering::Relaxed);
+        self.metrics
+            .units_reused
+            .fetch_add(hits as u64, Ordering::Relaxed);
+        // A hit whose transitive closure contains a re-checked unit is a
+        // cutoff win: something upstream changed, but not its interface.
+        let cutoffs = (0..n)
+            .filter(|&i| !missed[i])
+            .filter(|&i| plan.units[i].transitive.iter().any(|&d| missed[d]))
+            .count();
+        self.metrics
+            .cutoff_hits
+            .fetch_add(cutoffs as u64, Ordering::Relaxed);
+
+        // Phase 2: fan the misses out across the pool, in topological
+        // order. Every unit's verdict is a pure function of its own
+        // source and its precomputed prelude (export surfaces come from
+        // parsing, never from checking), so units carry no data
+        // dependencies at check time and the schedule order cannot
+        // change any answer — only the reassembly below is ordered.
+        if miss_count > 0 {
+            let (tx, rx) = channel::<(usize, CheckSummary, u64)>();
+            let mut scheduled = 0u64;
+            let topo_then_cyclic: Vec<usize> = plan
+                .order
+                .iter()
+                .copied()
+                .chain((0..n).filter(|&i| plan.units[i].cyclic))
+                .collect();
+            for index in topo_then_cyclic {
+                if !missed[index] {
+                    continue;
+                }
+                let up = &plan.units[index];
+                if up.cyclic {
+                    // Nothing to check: the V601 summary is assembled
+                    // inline on the connection thread.
+                    let _ = tx.send((index, vault_project::cyclic_summary(up), 0));
+                    continue;
+                }
+                scheduled += 1;
+                let job_tx = tx.clone();
+                let limits = self.limits.checker_limits(Instant::now());
+                let metrics = Arc::clone(&self.metrics);
+                let engine = Arc::clone(&self.incremental);
+                let job_plan = Arc::clone(&plan);
+                let unit = project_units[index].clone();
+                let submitted = self.pool.submit(move || {
+                    let t = Instant::now();
+                    let up = &job_plan.units[index];
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        #[cfg(feature = "chaos")]
+                        crate::chaos::perturb_job();
+                        let s = engine.check_unit_with_prelude(
+                            &unit.name,
+                            &up.prelude,
+                            &unit.source,
+                            &limits,
+                            &metrics,
+                        );
+                        vault_project::fold_graph_diags(up, s)
+                    }));
+                    let summary = match outcome {
+                        Ok(summary) => summary,
+                        Err(e) => {
+                            metrics.panic_caught();
+                            CheckSummary::internal_error(&unit.name, &panic_payload(&*e))
+                        }
+                    };
+                    let _ = job_tx.send((index, summary, t.elapsed().as_micros() as u64));
+                });
+                if let Err(e) = submitted {
+                    let _ = tx.send((
+                        index,
+                        CheckSummary::internal_error(&plan.units[index].name, &e.to_string()),
+                        0,
+                    ));
+                }
+            }
+            drop(tx);
+            self.metrics
+                .units_scheduled
+                .fetch_add(scheduled, Ordering::Relaxed);
+            let mut fresh: Vec<(usize, Arc<CheckSummary>, u64)> = rx
+                .into_iter()
+                .map(|(i, s, micros)| (i, Arc::new(s), micros))
+                .collect();
+            fresh.sort_by_key(|(i, _, _)| *i);
+            let mut to_persist: Vec<Record> = Vec::new();
+            {
+                let mut cache = lock_cache(&self.cache);
+                for (index, summary, micros) in fresh {
+                    match summary.verdict {
+                        Verdict::Accepted | Verdict::Rejected => {
+                            cache.put(fingerprints[index], Arc::clone(&summary));
+                            if self.persist.is_some() {
+                                to_persist.push(Record::Unit {
+                                    fp: fingerprints[index],
+                                    summary: (*summary).clone(),
+                                });
+                            }
+                        }
+                        Verdict::ResourceLimit => self.metrics.deadline_hit(),
+                        Verdict::InternalError => {}
+                    }
+                    self.metrics
+                        .check_micros
+                        .fetch_add(micros, Ordering::Relaxed);
+                    self.metrics.absorb_phases(&summary.stats);
+                    reports[index] = Some(UnitReport {
+                        summary,
+                        cached: false,
+                        check_micros: micros,
+                    });
+                }
+            }
+            if let Some(log) = &self.persist {
+                to_persist.extend(
+                    self.incremental
+                        .take_dirty()
+                        .into_iter()
+                        .map(|(fp, views, stats)| Record::Fn { fp, views, stats }),
+                );
+                let _ = log.append(&to_persist);
+            }
+        }
+
+        let reports = reports
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.unwrap_or_else(|| UnitReport {
+                    summary: Arc::new(CheckSummary::internal_error(
+                        &format!("unit-{i}"),
+                        "no worker reported a result",
+                    )),
+                    cached: false,
+                    check_micros: 0,
+                })
+            })
+            .collect();
+        (reports, start.elapsed().as_micros() as u64)
+    }
+
     /// Check one unit and, when accepted, translate it to C.
     ///
     /// Codegen needs the full AST, which the verdict cache deliberately
@@ -406,6 +612,16 @@ impl CheckService {
     /// Point-in-time counters.
     pub fn status(&self) -> StatusSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// On-disk size of the persistent verdict log in bytes, when a
+    /// `--cache-dir` is attached (`None` when running memory-only). A
+    /// log that vanished out from under us reads as 0 rather than
+    /// erroring — `status` must never fail over observability.
+    pub fn cache_disk_bytes(&self) -> Option<u64> {
+        self.persist
+            .as_ref()
+            .map(|log| std::fs::metadata(log.path()).map(|m| m.len()).unwrap_or(0))
     }
 }
 
@@ -720,5 +936,112 @@ void two() {
         let (summary, c) = svc.emit_c(&unit("bad.vlt", LEAKY));
         assert_eq!(summary.verdict, Verdict::Rejected);
         assert!(c.is_none());
+    }
+
+    fn floppy_project() -> Vec<UnitIn> {
+        vault_corpus::floppy::project_units()
+            .into_iter()
+            .map(|(name, source)| unit(name, &source))
+            .collect()
+    }
+
+    #[test]
+    fn project_check_matches_sequential_reference() {
+        let units = floppy_project();
+        let reference = vault_project::check_project(
+            &units
+                .iter()
+                .map(|u| vault_project::ProjectUnit::new(&u.name, &u.source))
+                .collect::<Vec<_>>(),
+            &Limits::default(),
+        );
+        let svc = CheckService::new(ServiceConfig {
+            jobs: 4,
+            ..Default::default()
+        });
+        let (reports, _) = svc.check_project(units);
+        assert_eq!(reports.len(), reference.len());
+        for (r, w) in reports.iter().zip(&reference) {
+            assert!(!r.cached);
+            assert_eq!(*r.summary, *w, "unit {}", w.name);
+        }
+        let snap = svc.status();
+        assert_eq!(snap.units_scheduled, 3);
+        assert_eq!(snap.units_reused, 0);
+        assert_eq!(snap.cutoff_hits, 0);
+    }
+
+    #[test]
+    fn non_interface_edit_hits_the_cutoff() {
+        let svc = CheckService::new(ServiceConfig {
+            jobs: 4,
+            ..Default::default()
+        });
+        let cold_units = floppy_project();
+        let (cold, _) = svc.check_project(cold_units.clone());
+        assert!(cold.iter().all(|r| !r.cached));
+
+        // Edit the root unit (`kernel`) without touching its export
+        // surface: both dependents must be answered from the project
+        // cache even though their dependency re-checked.
+        let mut edited = cold_units.clone();
+        edited[0].source.push_str("\n// tuning note\n");
+        assert_ne!(edited[0].source, cold_units[0].source);
+        let (warm, _) = svc.check_project(edited);
+        assert!(!warm[0].cached, "edited unit must re-check");
+        assert!(warm[1].cached, "body edit upstream must not invalidate");
+        assert!(warm[2].cached, "body edit upstream must not invalidate");
+        for (w, c) in warm.iter().zip(&cold) {
+            assert_eq!(w.summary.verdict, c.summary.verdict);
+        }
+        let snap = svc.status();
+        assert_eq!(snap.units_reused, 2);
+        assert_eq!(
+            snap.cutoff_hits, 2,
+            "both dependents sit downstream of a re-checked unit"
+        );
+        assert_eq!(snap.units_scheduled, 4); // 3 cold + 1 re-check
+    }
+
+    #[test]
+    fn interface_edit_invalidates_dependents() {
+        let svc = CheckService::new(ServiceConfig {
+            jobs: 4,
+            ..Default::default()
+        });
+        let cold_units = floppy_project();
+        let (_, _) = svc.check_project(cold_units.clone());
+
+        // Add a declaration to `kernel`'s export surface: every
+        // transitive dependent must re-check.
+        let mut edited = cold_units;
+        edited[0].source.push_str("\nvoid brand_new_export();\n");
+        let (warm, _) = svc.check_project(edited);
+        assert!(warm.iter().all(|r| !r.cached));
+        let snap = svc.status();
+        assert_eq!(snap.units_scheduled, 6); // 3 cold + all 3 again
+        assert_eq!(snap.cutoff_hits, 0);
+    }
+
+    #[test]
+    fn cyclic_units_are_rejected_without_scheduling() {
+        let svc = CheckService::new(ServiceConfig {
+            jobs: 2,
+            ..Default::default()
+        });
+        let units = vec![
+            unit("a", "import \"b\";\ntype T;\n"),
+            unit("b", "import \"a\";\ntype U;\n"),
+        ];
+        let (reports, _) = svc.check_project(units.clone());
+        for r in &reports {
+            assert_eq!(r.summary.verdict, Verdict::Rejected);
+            assert!(r.summary.error_codes().contains(&"V601".to_string()));
+        }
+        assert_eq!(svc.status().units_scheduled, 0);
+        // The V601 verdict is keyed on the graph shape too, so a
+        // re-check answers from the cache.
+        let (again, _) = svc.check_project(units);
+        assert!(again.iter().all(|r| r.cached));
     }
 }

@@ -103,6 +103,97 @@ fn diagnostics_byte_identical_to_pre_optimization_golden() {
     }
 }
 
+/// The `(code, severity, message)` projection of a summary's
+/// diagnostics — everything except attribution (file/line/col and the
+/// rendered source quote), which legitimately differs between a
+/// flattened single-unit check and a project-mode check of the same
+/// program text.
+fn triples(s: &vault_core::CheckSummary) -> Vec<(String, String, String)> {
+    s.diagnostics
+        .iter()
+        .map(|d| (d.code.clone(), d.severity.clone(), d.message.clone()))
+        .collect()
+}
+
+#[test]
+fn project_split_floppy_matches_flattened_modulo_attribution() {
+    use vault_project::{check_project, ProjectUnit};
+    let limits = vault_core::Limits::default();
+
+    // The clean driver: flattened and split must agree — accepted, no
+    // diagnostics anywhere.
+    let flat = check_summary("floppy_driver", &vault_corpus::floppy::driver_source());
+    let units: Vec<ProjectUnit> = vault_corpus::floppy::project_units()
+        .into_iter()
+        .map(|(name, source)| ProjectUnit::new(name, source))
+        .collect();
+    let split = check_project(&units, &limits);
+    assert_eq!(split.len(), 3);
+    for s in &split {
+        assert_eq!(s.verdict, flat.verdict, "unit {}", s.name);
+    }
+    let split_triples: Vec<_> = split.iter().flat_map(|s| triples(s)).collect();
+    assert_eq!(split_triples, triples(&flat));
+
+    // Every seeded-bug mutant: the flattened corpus entry and the
+    // project split of the same mutation must produce identical
+    // diagnostic sequences (interface units stay silent, so the
+    // concatenation in manifest order lines up with the single unit).
+    let flattened_mutants: Vec<_> = vault_corpus::floppy::programs().split_off(1);
+    let project_mutants = vault_corpus::floppy::project_mutants();
+    assert_eq!(flattened_mutants.len(), project_mutants.len());
+    for (flat_prog, (id, units, code)) in flattened_mutants.iter().zip(project_mutants) {
+        assert_eq!(flat_prog.id, id, "corpus orders diverged");
+        let flat = check_summary(id, &flat_prog.source);
+        let units: Vec<ProjectUnit> = units
+            .into_iter()
+            .map(|(name, source)| ProjectUnit::new(name, source))
+            .collect();
+        let split = check_project(&units, &limits);
+        assert_eq!(split[0].diagnostics.len(), 0, "{id}: kernel unit not clean");
+        assert_eq!(split[1].diagnostics.len(), 0, "{id}: hw unit not clean");
+        let split_triples: Vec<_> = split.iter().flat_map(|s| triples(s)).collect();
+        assert_eq!(split_triples, triples(&flat), "{id} diverged");
+        assert!(
+            split[2].diagnostics.iter().any(|d| d.code == code.as_str()),
+            "{id}: expected {code} in the driver unit"
+        );
+    }
+}
+
+#[test]
+fn project_service_matches_sequential_reference() {
+    // The parallel project scheduler must be byte-identical to the
+    // sequential reference implementation, cold and warm.
+    use vault_project::{check_project, ProjectUnit};
+    let units: Vec<ProjectUnit> = vault_corpus::floppy::project_units()
+        .into_iter()
+        .map(|(name, source)| ProjectUnit::new(name, source))
+        .collect();
+    let want = check_project(&units, &vault_core::Limits::default());
+    let svc = CheckService::new(ServiceConfig {
+        jobs: 4,
+        ..Default::default()
+    });
+    let wire: Vec<UnitIn> = units
+        .iter()
+        .map(|u| UnitIn {
+            name: u.name.clone(),
+            source: u.source.clone(),
+        })
+        .collect();
+    for round in 0..2 {
+        let (reports, _) = svc.check_project(wire.clone());
+        for (r, w) in reports.iter().zip(&want) {
+            assert_eq!(*r.summary, *w, "round {round}, unit {}", w.name);
+        }
+        // Second round answers entirely from the project cache.
+        if round == 1 {
+            assert!(reports.iter().all(|r| r.cached));
+        }
+    }
+}
+
 #[test]
 fn incremental_service_matches_monolithic_checker() {
     // The function-granular service path must reassemble summaries that

@@ -107,6 +107,10 @@ pub enum Decl {
     GlobalKey(GlobalKeyDecl),
     /// A function signature (no body) or definition (with body).
     Fun(FunDecl),
+    /// `import "unit";` — pull another project unit's exported
+    /// declarations into scope. Resolved by the project build graph;
+    /// a standalone check treats the declaration as inert.
+    Import(ImportDecl),
 }
 
 impl Decl {
@@ -120,6 +124,7 @@ impl Decl {
             Decl::Stateset(d) => d.span,
             Decl::GlobalKey(d) => d.span,
             Decl::Fun(d) => d.span,
+            Decl::Import(d) => d.span,
         }
     }
 
@@ -133,8 +138,22 @@ impl Decl {
             Decl::Stateset(d) => Some(&d.name),
             Decl::GlobalKey(d) => Some(&d.name),
             Decl::Fun(d) => Some(&d.name),
+            Decl::Import(_) => None,
         }
     }
+}
+
+/// `import "unit";` — a reference to another unit of the same project,
+/// whose exported declarations (signatures, types, statesets, global
+/// keys — never bodies) form part of this unit's checking environment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ImportDecl {
+    /// The imported unit's manifest name, exactly as written.
+    pub path: String,
+    /// Span of the path string literal.
+    pub path_span: Span,
+    /// Whole-declaration span.
+    pub span: Span,
 }
 
 /// `interface NAME { decls }`

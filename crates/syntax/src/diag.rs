@@ -85,6 +85,13 @@ pub enum Code {
     /// The C emitter cannot translate a construct.
     CodegenUnsupported,
 
+    // --- project / build graph --------------------------------------------
+    /// A unit participates in (or depends on) an `import` cycle, so no
+    /// signature environment can be built for it.
+    ImportCycle,
+    /// An `import "path";` names no unit in the project manifest.
+    UnresolvedImport,
+
     // --- resource limits / infrastructure --------------------------------
     /// Checking gave up because a configured resource limit (parser
     /// recursion depth, fixpoint fuel, or deadline) was exceeded.
@@ -128,6 +135,8 @@ impl Code {
             CodegenUnsupported => "V401",
             LimitExceeded => "V501",
             InternalError => "V502",
+            ImportCycle => "V601",
+            UnresolvedImport => "V602",
         }
     }
 }
@@ -166,6 +175,8 @@ impl Code {
             "V401" => CodegenUnsupported,
             "V501" => LimitExceeded,
             "V502" => InternalError,
+            "V601" => ImportCycle,
+            "V602" => UnresolvedImport,
             _ => return None,
         })
     }
@@ -270,6 +281,17 @@ impl Code {
                 "the checker itself failed on this input (an internal \
                                 panic was caught and contained); the verdict says \
                                 nothing about the program — please report the payload"
+            }
+            ImportCycle => {
+                "this unit imports itself, directly or through a chain of \
+                             imports (or depends on units that do); a project's \
+                             import graph must be acyclic so each unit can be \
+                             checked against its dependencies' exported signatures"
+            }
+            UnresolvedImport => {
+                "an `import \"path\";` declaration names no unit in the \
+                                  project manifest; check the spelling against the \
+                                  manifest's unit names"
             }
         }
     }
@@ -474,6 +496,85 @@ impl DiagView {
     }
 }
 
+/// Re-attributes diagnostics for a unit that was checked as the
+/// concatenation `prelude + unit source` (project mode: the prelude is
+/// the exported signatures of the unit's dependencies).
+///
+/// Diagnostics that land wholly inside the unit's own text — the vast
+/// majority — are shifted back into the unit's coordinates and rendered
+/// against the unit's own source, so project-mode output matches a
+/// standalone check of the unit. Diagnostics touching the prelude (e.g.
+/// a duplicate declaration whose first site is imported) keep the
+/// concatenated coordinates so their rendering can quote the imported
+/// line. With an empty prelude this is exactly [`DiagView::new`].
+#[derive(Debug)]
+pub struct Attribution {
+    /// Byte length of the prelude; 0 means plain (no re-attribution).
+    prelude_len: u32,
+    /// The unit's own source, for shifted rendering (`None` when plain).
+    unit_map: Option<SourceMap>,
+    /// The text the checker actually saw (prelude + unit source).
+    full_map: SourceMap,
+}
+
+impl Attribution {
+    /// Attribution for a standalone unit: views resolve unshifted.
+    pub fn plain(name: &str, source: &str) -> Self {
+        Attribution {
+            prelude_len: 0,
+            unit_map: None,
+            full_map: SourceMap::new(name, source),
+        }
+    }
+
+    /// Attribution for a unit checked against a signature prelude. The
+    /// text to check is `prelude + unit_source` (see [`Self::full_text`]).
+    pub fn with_prelude(name: &str, prelude: &str, unit_source: &str) -> Self {
+        if prelude.is_empty() {
+            return Attribution::plain(name, unit_source);
+        }
+        let full = format!("{prelude}{unit_source}");
+        Attribution {
+            prelude_len: prelude.len() as u32,
+            unit_map: Some(SourceMap::new(name, unit_source)),
+            full_map: SourceMap::new(name, &full),
+        }
+    }
+
+    /// The concatenated text the checker must run on.
+    pub fn full_text(&self) -> &str {
+        self.full_map.text()
+    }
+
+    /// The source map over [`Self::full_text`].
+    pub fn full_map(&self) -> &SourceMap {
+        &self.full_map
+    }
+
+    /// Byte length of the prelude (0 for a plain attribution).
+    pub fn prelude_len(&self) -> u32 {
+        self.prelude_len
+    }
+
+    /// Resolve one diagnostic, re-attributed into unit coordinates when
+    /// its primary span and every label land inside the unit's text.
+    pub fn view(&self, d: &Diagnostic) -> DiagView {
+        if let Some(unit_map) = &self.unit_map {
+            let p = self.prelude_len;
+            let inside_unit = d.span.start >= p && d.labels.iter().all(|l| l.span.start >= p);
+            if inside_unit {
+                let mut shifted = d.clone();
+                shifted.span = Span::new(d.span.start - p, d.span.end - p);
+                for l in &mut shifted.labels {
+                    l.span = Span::new(l.span.start - p, l.span.end - p);
+                }
+                return DiagView::new(&shifted, unit_map);
+            }
+        }
+        DiagView::new(d, &self.full_map)
+    }
+}
+
 /// Accumulates diagnostics during a pass.
 #[derive(Clone, Debug, Default)]
 pub struct DiagSink {
@@ -567,6 +668,8 @@ mod tests {
             CodegenUnsupported,
             LimitExceeded,
             InternalError,
+            ImportCycle,
+            UnresolvedImport,
         ];
         let mut strs: Vec<_> = all.iter().map(|c| c.as_str()).collect();
         strs.sort_unstable();

@@ -78,6 +78,8 @@ fn decl<'a>(d: &'a Decl, out: &mut BTreeSet<&'a str>) {
             }
         }
         Decl::Fun(f) => fun_decl(f, out),
+        // The import path is a string literal, not an identifier.
+        Decl::Import(_) => {}
     }
 }
 
@@ -414,6 +416,8 @@ fn decl_mut(d: &mut Decl, f: &mut impl FnMut(&mut Ident)) {
             }
         }
         Decl::Fun(fun) => fun_decl_mut(fun, f),
+        // The import path is a string literal, not an identifier.
+        Decl::Import(_) => {}
     }
 }
 

@@ -36,8 +36,8 @@ pub mod pretty;
 pub mod span;
 pub mod token;
 
-pub use ast::Program;
-pub use diag::{Code, DiagSink, DiagView, Diagnostic, LabelView, Severity};
+pub use ast::{ImportDecl, Program};
+pub use diag::{Attribution, Code, DiagSink, DiagView, Diagnostic, LabelView, Severity};
 pub use idents::{ident_names, remap_idents, remap_idents_expr, remap_idents_fun};
 pub use intern::{FnvBuildHasher, IStr, Interner, Symbol};
 pub use parser::{

@@ -308,8 +308,37 @@ impl<'d> Parser<'d> {
             TokenKind::KwType => self.type_alias_decl().map(Decl::TypeAlias),
             TokenKind::KwStateset => self.stateset_decl().map(Decl::Stateset),
             TokenKind::KwKey => self.global_key_decl().map(Decl::GlobalKey),
-            _ => self.fun_decl().map(Decl::Fun),
+            _ => {
+                // `import` is contextual, not a keyword: an identifier
+                // spelling "import" directly followed by a string
+                // literal can never start any other declaration, and
+                // keeping it out of the keyword table leaves every
+                // existing program's tokens (and frozen interner)
+                // untouched.
+                if let TokenKind::Ident(sym) = *self.peek() {
+                    if self.interner.resolve(sym) == "import"
+                        && matches!(self.nth(1), TokenKind::Str(_))
+                    {
+                        return self.import_decl().map(Decl::Import);
+                    }
+                }
+                self.fun_decl().map(Decl::Fun)
+            }
         }
+    }
+
+    fn import_decl(&mut self) -> Option<ImportDecl> {
+        let start = self.bump().span; // the `import` identifier
+        let path_tok = self.bump();
+        let TokenKind::Str(path) = path_tok.kind else {
+            unreachable!("import_decl is only entered when a string follows");
+        };
+        let end = self.expect(&TokenKind::Semi)?;
+        Some(ImportDecl {
+            path,
+            path_span: path_tok.span,
+            span: start.to(end),
+        })
     }
 
     fn interface_decl(&mut self) -> Option<InterfaceDecl> {

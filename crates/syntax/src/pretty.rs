@@ -145,6 +145,7 @@ impl Printer {
                 None => self.line(&format!("key {};", k.name)),
             },
             Decl::Fun(f) => self.fun(f),
+            Decl::Import(i) => self.line(&format!("import \"{}\";", i.path)),
         }
     }
 
