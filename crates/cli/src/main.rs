@@ -7,7 +7,8 @@
 //! vaultc emit-c <file.vlt>                check, then print the generated C
 //! vaultc dump-cfg <file.vlt>              print each function's CFG as dot
 //! vaultc stats <file.vlt>                 checker-effort statistics per unit
-//! vaultc run <file.vlt> <entry>           check, then interpret an entry function
+//! vaultc run [--engine interp|vm] [--fuel N] <file.vlt> <entry>
+//!                                         check, then execute an entry function
 //! vaultc explain <Vnnn>                   explain a diagnostic code
 //! vaultc corpus [experiment]              run the built-in paper corpus
 //! vaultc serve [--socket PATH]            run the vaultd checking service
@@ -24,10 +25,17 @@
 //! with `--project` checks a whole manifest of importing units through
 //! the DAG scheduler. `--verbose` echoes the resolved job count.
 //!
+//! `run` executes through the tree-walking interpreter by default;
+//! `--engine vm` compiles the checked program to register bytecode and
+//! runs it on the `vault-vm` backend — same fault vocabulary, same fuel
+//! accounting, proven outcome-identical by the differential suite.
+//! `--fuel N` bounds execution; exhaustion is a distinct verdict.
+//!
 //! Exit code 0 when every input is accepted, 1 on protocol violations,
-//! 2 on usage errors or unreadable inputs. `check` with multiple files
-//! reports unreadable files and keeps going; if any file was unreadable
-//! the exit code is 2 even when the rest were accepted.
+//! 2 on usage errors or unreadable inputs, and — for `run` only — 3 when
+//! the entry ran out of fuel. `check` with multiple files reports
+//! unreadable files and keeps going; if any file was unreadable the
+//! exit code is 2 even when the rest were accepted.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -42,7 +50,7 @@ fn main() -> ExitCode {
             "emit-c" if rest.len() == 1 => emit_c(&rest[0]),
             "dump-cfg" if rest.len() == 1 => dump_cfg(&rest[0]),
             "stats" if rest.len() == 1 => stats(&rest[0]),
-            "run" if rest.len() == 2 => run_entry(&rest[0], &rest[1]),
+            "run" => run_cmd(rest),
             "explain" if rest.len() == 1 => explain(&rest[0]),
             "corpus" => run_corpus(rest.first().map(String::as_str)),
             "serve" => serve(rest),
@@ -58,8 +66,8 @@ fn usage() -> ExitCode {
          vaultc check --project <vault.toml> [--jobs N] [--verbose]\n  \
          vaultc emit-c <file.vlt>\n  \
          vaultc dump-cfg <file.vlt>\n  vaultc stats <file.vlt>\n  \
-         vaultc run <file.vlt> <entry>\n  \
-         vaultc explain <Vnnn>\n  vaultc corpus [E1..E13|X1..X5]\n  \
+         vaultc run [--engine interp|vm] [--fuel N] <file.vlt> <entry>\n  \
+         vaultc explain <Vnnn>\n  vaultc corpus [E1..E13|X1..X6]\n  \
          vaultc serve [--socket PATH] [--jobs N] [--cache N] [--cache-dir PATH]\n               \
          [--max-request-bytes N] [--timeout-ms N] [--fuel N]"
     );
@@ -500,12 +508,51 @@ fn stats(path: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn run_entry(path: &str, entry: &str) -> ExitCode {
-    let src = match read(path) {
+/// Which execution engine `run` uses.
+enum Engine {
+    /// The `vault-eval` tree-walking interpreter.
+    Interp,
+    /// The `vault-vm` register-bytecode backend.
+    Vm,
+}
+
+/// Parse `run` arguments: `--engine interp|vm` and `--fuel N` anywhere
+/// around the two positional arguments `<file.vlt> <entry>`.
+fn parse_run_args(rest: &[String]) -> Option<(Engine, Option<u64>, String, String)> {
+    let mut engine = Engine::Interp;
+    let mut fuel: Option<u64> = None;
+    let mut positional = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--engine" => match it.next().map(String::as_str) {
+                Some("interp") => engine = Engine::Interp,
+                Some("vm") => engine = Engine::Vm,
+                _ => return None,
+            },
+            "--fuel" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => fuel = Some(n),
+                None => return None,
+            },
+            flag if flag.starts_with('-') => return None,
+            path => positional.push(path.to_string()),
+        }
+    }
+    let [path, entry] = positional.as_slice() else {
+        return None;
+    };
+    Some((engine, fuel, path.clone(), entry.clone()))
+}
+
+fn run_cmd(rest: &[String]) -> ExitCode {
+    let Some((engine, fuel, path, entry)) = parse_run_args(rest) else {
+        return usage();
+    };
+    let src = match read(&path) {
         Ok(s) => s,
         Err(code) => return code,
     };
-    let result = check_source(path, &src);
+    let result = check_source(&path, &src);
     if result.verdict() != Verdict::Accepted {
         eprint!("{}", result.render_diagnostics());
         eprintln!(
@@ -514,16 +561,40 @@ fn run_entry(path: &str, entry: &str) -> ExitCode {
         );
         return ExitCode::from(1);
     }
-    let mut machine =
-        vault_eval::Machine::new(&result.program, vault_eval::ExternTable::with_regions());
-    let out = machine.run(entry, vec![]);
+    // Both engines share fault vocabulary, extern table, and fuel
+    // accounting — the differential suite in `vault-vm` holds them
+    // outcome-identical, so `--engine` only selects speed.
+    let out = match engine {
+        Engine::Interp => {
+            let mut machine =
+                vault_eval::Machine::new(&result.program, vault_eval::ExternTable::with_regions());
+            if let Some(fuel) = fuel {
+                machine.set_fuel(fuel);
+            }
+            machine.run(&entry, vec![])
+        }
+        Engine::Vm => {
+            let compiled = vault_vm::compile(&result.program);
+            let mut vm = vault_vm::Vm::new(&compiled, vault_eval::ExternTable::with_regions());
+            if let Some(fuel) = fuel {
+                vm.set_fuel(fuel);
+            }
+            vm.run(&entry, vec![])
+        }
+    };
     match out.result {
         Ok(v) => {
-            println!("{entry} returned {v}");
+            println!("{entry} returned {v} ({} fuel)", out.fuel_used);
             if out.leaked_regions > 0 {
                 println!("warning: {} region(s) leaked", out.leaked_regions);
             }
             ExitCode::SUCCESS
+        }
+        // Fuel exhaustion is a resource verdict, not a protocol fault —
+        // callers scripting `--fuel` budgets need to tell them apart.
+        Err(vault_eval::EvalError::OutOfFuel) => {
+            eprintln!("{entry} ran out of fuel after {} step(s)", out.fuel_used);
+            ExitCode::from(3)
         }
         Err(e) => {
             eprintln!("{entry} faulted: {e}");

@@ -1,0 +1,88 @@
+//! X6: execution-heavy kernels for the runtime benchmarks.
+//!
+//! The rest of the corpus exists to exercise the *checker*; these
+//! programs exist to exercise the *engines*. Each is a statically
+//! accepted, zero-argument kernel that burns a six-figure fuel count in
+//! a steady-state loop, so `BENCH_exec.json` measures throughput rather
+//! than startup, and the differential suite covers hot loops:
+//!
+//! * `exec_loop_sum` — tight arithmetic loop (register pressure, `Bin`
+//!   dispatch).
+//! * `exec_branch_mix` — branch-heavy collatz-style stepping (jumps,
+//!   short-circuit logic, increments).
+//! * `exec_region_churn` — region create/alloc/access/delete per
+//!   iteration (the generation-checked oracle on the hot path).
+
+use crate::figures::REGION_IFACE;
+use crate::{CorpusProgram, Expectation};
+
+/// All execution-kernel programs.
+pub fn programs() -> Vec<CorpusProgram> {
+    vec![
+        CorpusProgram {
+            id: "exec_loop_sum",
+            experiment: "X6",
+            description: "steady-state arithmetic loop kernel (throughput baseline)",
+            source: "
+int main() {
+  int acc = 0;
+  int i = 0;
+  while (i < 10000) {
+    acc = acc + i * 3 - i / 2;
+    acc = acc % 1000003;
+    i++;
+  }
+  return acc;
+}"
+            .to_string(),
+            expect: Expectation::Accept,
+        },
+        CorpusProgram {
+            id: "exec_branch_mix",
+            experiment: "X6",
+            description: "branch-heavy collatz-style kernel (jumps and short-circuit logic)",
+            source: "
+int main() {
+  int x = 7;
+  int odd_steps = 0;
+  int rounds = 0;
+  while (rounds < 4000) {
+    if (x % 2 == 0) {
+      x = x / 2;
+    } else {
+      x = 3 * x + 1;
+      odd_steps++;
+    }
+    if (x == 1 || x < 0) x = rounds + 7;
+    rounds++;
+  }
+  return x + odd_steps;
+}"
+            .to_string(),
+            expect: Expectation::Accept,
+        },
+        CorpusProgram {
+            id: "exec_region_churn",
+            experiment: "X6",
+            description: "region create/alloc/access/delete per iteration (oracle on the hot path)",
+            source: format!(
+                "{REGION_IFACE}
+int main() {{
+  int acc = 0;
+  int i = 0;
+  while (i < 1500) {{
+    tracked(R) region rgn = Region.create();
+    R:point pt = new(rgn) point {{x=i; y=i+i;}};
+    pt.x++;
+    acc = acc + pt.x + pt.y;
+    acc = acc % 1000003;
+    Region.delete(rgn);
+    i++;
+  }}
+  return acc;
+}}"
+            ),
+            expect: Expectation::Accept,
+        },
+    ]
+}

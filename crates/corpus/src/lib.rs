@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod extensions;
 pub mod figures;
 pub mod floppy;
@@ -73,6 +74,7 @@ pub fn all_programs() -> Vec<CorpusProgram> {
     v.extend(kernel::programs());
     v.extend(floppy::programs());
     v.extend(extensions::programs());
+    v.extend(exec::programs());
     v
 }
 

@@ -1,0 +1,185 @@
+//! The shared execution substrate: everything both engines — the
+//! tree-walking interpreter ([`crate::Machine`]) and the `vault-vm`
+//! bytecode backend — must agree on. Fault vocabulary, extern dispatch,
+//! outcome shape, and the [`Host`] interface that externs program
+//! against all live here, so a single [`ExternTable`] can drive either
+//! engine and the differential suite can compare [`EvalOutcome`]s
+//! byte-for-byte.
+
+use crate::value::{Fields, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+use vault_runtime::{RegionError, RegionId};
+
+/// Default execution budget (statements + expressions).
+pub const DEFAULT_FUEL: u64 = 1_000_000;
+
+/// Default bound on nested Vault-level calls. The interpreter consumes
+/// Rust stack per Vault frame, so runaway recursion must become a
+/// structured [`EvalError::StackOverflow`] before it aborts the process;
+/// the VM enforces the same bound on its (heap-allocated) frame stack so
+/// the two engines fault identically.
+pub const DEFAULT_CALL_DEPTH: usize = 128;
+
+/// Evaluation errors. `UseAfterDelete`/`DoubleDelete` are the dynamic
+/// resource faults that the static checker's `V301` rejections predict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// A region object was accessed after its region was deleted.
+    UseAfterDelete,
+    /// A region was deleted twice.
+    DoubleDelete,
+    /// No function or extern with this name.
+    UnknownFunction(String),
+    /// An extern reported a failure.
+    Extern(String),
+    /// Dynamic type confusion (cannot happen for checked programs).
+    Type(String),
+    /// Integer division by zero.
+    DivideByZero,
+    /// The fuel budget was exhausted (runaway loop).
+    OutOfFuel,
+    /// The call-depth bound was exceeded (runaway recursion).
+    StackOverflow,
+    /// A construct the engine does not model.
+    Unsupported(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UseAfterDelete => f.write_str("use after region delete"),
+            EvalError::DoubleDelete => f.write_str("region deleted twice"),
+            EvalError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            EvalError::Extern(m) => write!(f, "extern failure: {m}"),
+            EvalError::Type(m) => write!(f, "dynamic type error: {m}"),
+            EvalError::DivideByZero => f.write_str("division by zero"),
+            EvalError::OutOfFuel => f.write_str("out of fuel"),
+            EvalError::StackOverflow => f.write_str("call depth limit exceeded"),
+            EvalError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<RegionError> for EvalError {
+    fn from(e: RegionError) -> Self {
+        match e {
+            RegionError::UseAfterDelete | RegionError::InvalidHandle => EvalError::UseAfterDelete,
+            RegionError::DoubleDelete => EvalError::DoubleDelete,
+        }
+    }
+}
+
+/// The machine-independent surface an extern programs against: region
+/// creation/deletion and object allocation, backed by whichever engine
+/// is running. Both the interpreter and the VM implement this over the
+/// same `vault_runtime::RegionHeap` oracle, which is what makes a single
+/// extern table usable — and comparable — across engines.
+pub trait Host {
+    /// Create a region.
+    fn create_region(&mut self) -> RegionId;
+
+    /// Delete a region.
+    fn delete_region(&mut self, r: RegionId) -> Result<(), EvalError>;
+
+    /// Allocate an object in a region.
+    fn alloc_in(&mut self, r: RegionId, fields: Fields) -> Result<Value, EvalError>;
+
+    /// Verify an object value is still reachable (externs use this to
+    /// model *reading* their guarded inputs — a deleted backing region
+    /// faults, exactly like a dereference would).
+    fn touch_object(&self, v: &Value) -> Result<(), EvalError>;
+
+    /// Allocate a harness-owned object (parameters, fixtures); its
+    /// backing region does not count as a leak.
+    fn alloc_ambient(&mut self, fields: Fields) -> Value;
+
+    /// Create a harness-owned region, excluded from leak accounting.
+    fn create_ambient_region(&mut self) -> RegionId;
+}
+
+/// An external function provided by the embedding. It receives the
+/// running engine through the [`Host`] interface, so the same closure
+/// serves the interpreter and the VM.
+pub type ExternFn = Box<dyn FnMut(&mut dyn Host, Vec<Value>) -> Result<Value, EvalError>>;
+
+/// Named external functions (the implementations behind signature-only
+/// declarations such as the `REGION` interface).
+#[derive(Default)]
+pub struct ExternTable {
+    map: BTreeMap<String, ExternFn>,
+}
+
+impl ExternTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an extern.
+    pub fn insert(
+        &mut self,
+        name: &str,
+        f: impl FnMut(&mut dyn Host, Vec<Value>) -> Result<Value, EvalError> + 'static,
+    ) -> &mut Self {
+        self.map.insert(name.to_string(), Box::new(f));
+        self
+    }
+
+    /// Dispatch a call to the named extern, or fault with
+    /// [`EvalError::UnknownFunction`]. Both engines route signature-only
+    /// calls through here so the miss behaviour is shared too.
+    pub fn dispatch(
+        &mut self,
+        host: &mut dyn Host,
+        name: &str,
+        args: Vec<Value>,
+    ) -> Result<Value, EvalError> {
+        match self.map.get_mut(name) {
+            Some(f) => f(host, args),
+            None => Err(EvalError::UnknownFunction(name.to_string())),
+        }
+    }
+
+    /// A table implementing the paper's `REGION` interface (`create`,
+    /// `delete`) against the engine's region heap.
+    pub fn with_regions() -> Self {
+        let mut t = Self::new();
+        t.insert("create", |h, _args| Ok(Value::Region(h.create_region())));
+        t.insert("delete", |h, mut args| match args.pop() {
+            Some(Value::Region(r)) => {
+                h.delete_region(r)?;
+                Ok(Value::Unit)
+            }
+            other => Err(EvalError::Type(format!(
+                "delete expects a region, got {:?}",
+                other.map(|v| v.describe())
+            ))),
+        });
+        t
+    }
+}
+
+/// The result of a run, with resource accounting. `PartialEq` so the
+/// differential harness can assert two engines produced the *same*
+/// outcome — result, leaks, and fuel.
+#[derive(Debug, PartialEq)]
+pub struct EvalOutcome {
+    /// The entry function's return value, or the fault.
+    pub result: Result<Value, EvalError>,
+    /// Regions still live when the entry function finished (leaks) —
+    /// ambient objects created by the harness are not counted.
+    pub leaked_regions: usize,
+    /// Fuel consumed so far by this engine (cumulative across runs on
+    /// the same engine instance). Asserted identical across engines.
+    pub fuel_used: u64,
+}
+
+impl EvalOutcome {
+    /// Ran to completion with no faults and no leaks.
+    pub fn clean(&self) -> bool {
+        self.result.is_ok() && self.leaked_regions == 0
+    }
+}

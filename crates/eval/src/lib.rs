@@ -19,8 +19,13 @@
 
 #![warn(missing_docs)]
 
+pub mod host;
 pub mod machine;
+pub mod ops;
 pub mod value;
 
-pub use machine::{EvalError, EvalOutcome, ExternFn, ExternTable, Machine, DEFAULT_FUEL};
+pub use host::{
+    EvalError, EvalOutcome, ExternFn, ExternTable, Host, DEFAULT_CALL_DEPTH, DEFAULT_FUEL,
+};
+pub use machine::Machine;
 pub use value::Value;

@@ -1,125 +1,16 @@
 //! The interpreter proper: an environment machine over the AST, with
 //! regions backed by the generation-checked [`RegionHeap`].
+//!
+//! Fault vocabulary, extern dispatch, and operator semantics live in
+//! [`crate::host`] and [`crate::ops`], shared with the `vault-vm`
+//! bytecode backend; this module is only the tree-walking control flow.
 
+use crate::host::{EvalError, EvalOutcome, ExternTable, Host, DEFAULT_CALL_DEPTH, DEFAULT_FUEL};
+use crate::ops;
 use crate::value::{Fields, Value};
 use std::collections::BTreeMap;
-use std::fmt;
-use vault_runtime::{RegionError, RegionHeap, RegionId};
-use vault_syntax::ast::{self, BinOp, Expr, ExprKind, PatBinder, Program, Stmt, StmtKind, UnOp};
-
-/// Default execution budget (statements + expressions).
-pub const DEFAULT_FUEL: u64 = 1_000_000;
-
-/// Evaluation errors. `UseAfterDelete`/`DoubleDelete` are the dynamic
-/// resource faults that the static checker's `V301` rejections predict.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum EvalError {
-    /// A region object was accessed after its region was deleted.
-    UseAfterDelete,
-    /// A region was deleted twice.
-    DoubleDelete,
-    /// No function or extern with this name.
-    UnknownFunction(String),
-    /// An extern reported a failure.
-    Extern(String),
-    /// Dynamic type confusion (cannot happen for checked programs).
-    Type(String),
-    /// Integer division by zero.
-    DivideByZero,
-    /// The fuel budget was exhausted (runaway loop).
-    OutOfFuel,
-    /// A construct the interpreter does not model.
-    Unsupported(String),
-}
-
-impl fmt::Display for EvalError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            EvalError::UseAfterDelete => f.write_str("use after region delete"),
-            EvalError::DoubleDelete => f.write_str("region deleted twice"),
-            EvalError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
-            EvalError::Extern(m) => write!(f, "extern failure: {m}"),
-            EvalError::Type(m) => write!(f, "dynamic type error: {m}"),
-            EvalError::DivideByZero => f.write_str("division by zero"),
-            EvalError::OutOfFuel => f.write_str("out of fuel"),
-            EvalError::Unsupported(m) => write!(f, "unsupported: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for EvalError {}
-
-impl From<RegionError> for EvalError {
-    fn from(e: RegionError) -> Self {
-        match e {
-            RegionError::UseAfterDelete | RegionError::InvalidHandle => EvalError::UseAfterDelete,
-            RegionError::DoubleDelete => EvalError::DoubleDelete,
-        }
-    }
-}
-
-/// An external function provided by the embedding.
-pub type ExternFn =
-    Box<dyn for<'p> FnMut(&mut Machine<'p>, Vec<Value>) -> Result<Value, EvalError>>;
-
-/// Named external functions (the implementations behind signature-only
-/// declarations such as the `REGION` interface).
-#[derive(Default)]
-pub struct ExternTable {
-    map: BTreeMap<String, ExternFn>,
-}
-
-impl ExternTable {
-    /// An empty table.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Register an extern.
-    pub fn insert(
-        &mut self,
-        name: &str,
-        f: impl for<'p> FnMut(&mut Machine<'p>, Vec<Value>) -> Result<Value, EvalError> + 'static,
-    ) -> &mut Self {
-        self.map.insert(name.to_string(), Box::new(f));
-        self
-    }
-
-    /// A table implementing the paper's `REGION` interface (`create`,
-    /// `delete`) against the machine's region heap.
-    pub fn with_regions() -> Self {
-        let mut t = Self::new();
-        t.insert("create", |m, _args| Ok(Value::Region(m.create_region())));
-        t.insert("delete", |m, mut args| match args.pop() {
-            Some(Value::Region(r)) => {
-                m.delete_region(r)?;
-                Ok(Value::Unit)
-            }
-            other => Err(EvalError::Type(format!(
-                "delete expects a region, got {:?}",
-                other.map(|v| v.describe())
-            ))),
-        });
-        t
-    }
-}
-
-/// The result of a run, with resource accounting.
-#[derive(Debug)]
-pub struct EvalOutcome {
-    /// The entry function's return value, or the fault.
-    pub result: Result<Value, EvalError>,
-    /// Regions still live when the entry function finished (leaks) —
-    /// ambient objects created by the harness are not counted.
-    pub leaked_regions: usize,
-}
-
-impl EvalOutcome {
-    /// Ran to completion with no faults and no leaks.
-    pub fn clean(&self) -> bool {
-        self.result.is_ok() && self.leaked_regions == 0
-    }
-}
+use vault_runtime::{RegionHeap, RegionId};
+use vault_syntax::ast::{self, BinOp, Expr, ExprKind, PatBinder, Program, Stmt, StmtKind};
 
 enum Flow {
     Normal,
@@ -134,6 +25,9 @@ pub struct Machine<'p> {
     ambient: std::collections::BTreeSet<RegionId>,
     externs: Option<ExternTable>,
     fuel: u64,
+    budget: u64,
+    depth: usize,
+    depth_limit: usize,
 }
 
 impl<'p> Machine<'p> {
@@ -149,58 +43,26 @@ impl<'p> Machine<'p> {
             ambient: std::collections::BTreeSet::new(),
             externs: Some(externs),
             fuel: DEFAULT_FUEL,
+            budget: DEFAULT_FUEL,
+            depth: 0,
+            depth_limit: DEFAULT_CALL_DEPTH,
         }
     }
 
     /// Override the fuel budget.
     pub fn set_fuel(&mut self, fuel: u64) {
         self.fuel = fuel;
+        self.budget = fuel;
     }
 
-    /// Create a region (used by externs).
-    pub fn create_region(&mut self) -> RegionId {
-        self.heap.create()
+    /// Override the call-depth bound.
+    pub fn set_call_depth_limit(&mut self, limit: usize) {
+        self.depth_limit = limit;
     }
 
-    /// Delete a region (used by externs).
-    pub fn delete_region(&mut self, r: RegionId) -> Result<(), EvalError> {
-        self.heap.delete(r)?;
-        Ok(())
-    }
-
-    /// Allocate an object in a region (used by externs).
-    pub fn alloc_in(&mut self, r: RegionId, fields: Fields) -> Result<Value, EvalError> {
-        let ptr = self.heap.alloc(r, fields)?;
-        Ok(Value::Obj { region: r, ptr })
-    }
-
-    /// Verify an object value is still reachable (externs use this to
-    /// model *reading* their guarded inputs — a deleted backing region
-    /// faults, exactly like a dereference would).
-    pub fn touch_object(&self, v: &Value) -> Result<(), EvalError> {
-        match v {
-            Value::Obj { ptr, .. } => {
-                self.heap.get(*ptr)?;
-                Ok(())
-            }
-            Value::Region(r) => {
-                if self.heap.is_live(*r) {
-                    Ok(())
-                } else {
-                    Err(EvalError::UseAfterDelete)
-                }
-            }
-            _ => Ok(()),
-        }
-    }
-
-    /// Allocate a harness-owned object (parameters, fixtures); its backing
-    /// region does not count as a leak.
-    pub fn alloc_ambient(&mut self, fields: Fields) -> Value {
-        let r = self.heap.create();
-        self.ambient.insert(r);
-        let ptr = self.heap.alloc(r, fields).expect("fresh region");
-        Value::Obj { region: r, ptr }
+    /// Fuel consumed so far (cumulative across runs).
+    pub fn fuel_used(&self) -> u64 {
+        self.budget - self.fuel
     }
 
     fn leaked(&self) -> usize {
@@ -218,6 +80,7 @@ impl<'p> Machine<'p> {
         EvalOutcome {
             result,
             leaked_regions: self.leaked(),
+            fuel_used: self.fuel_used(),
         }
     }
 
@@ -238,12 +101,14 @@ impl<'p> Machine<'p> {
             }
         }
         // Signature-only: dispatch to the extern table (taken out during
-        // the call so the extern can use the machine).
-        let mut table = self.externs.take().expect("extern table re-entered");
-        let r = match table.map.get_mut(name) {
-            Some(f) => f(self, args),
-            None => Err(EvalError::UnknownFunction(name.to_string())),
+        // the call so the extern can use the machine as a `Host`). The
+        // `Host` interface cannot re-enter `call`, so the table is always
+        // present here; a structured fault keeps even a broken embedding
+        // from aborting the process.
+        let Some(mut table) = self.externs.take() else {
+            return Err(EvalError::Extern("extern table re-entered".into()));
         };
+        let r = table.dispatch(self, name, args);
         self.externs = Some(table);
         r
     }
@@ -252,12 +117,10 @@ impl<'p> Machine<'p> {
         let mut env: Vec<BTreeMap<String, Value>> = vec![BTreeMap::new()];
         let named: Vec<&ast::FunParam> = f.params.iter().collect();
         if args.len() != named.len() {
-            return Err(EvalError::Type(format!(
-                "`{}` expects {} argument(s), got {}",
-                f.name,
-                named.len(),
-                args.len()
-            )));
+            return Err(ops::err_arity(&f.name.name, named.len(), args.len()));
+        }
+        if self.depth >= self.depth_limit {
+            return Err(EvalError::StackOverflow);
         }
         for (p, v) in named.iter().zip(args) {
             if let Some(n) = &p.name {
@@ -265,7 +128,10 @@ impl<'p> Machine<'p> {
             }
         }
         let body = f.body.as_ref().expect("checked by caller");
-        match self.exec_block(body, &mut env)? {
+        self.depth += 1;
+        let flow = self.exec_block(body, &mut env);
+        self.depth -= 1;
+        match flow? {
             Flow::Return(v) => Ok(v),
             Flow::Normal => Ok(Value::Unit),
         }
@@ -335,10 +201,8 @@ impl<'p> Machine<'p> {
                     -1
                 };
                 let cur = self.eval(e, env)?;
-                let n = cur
-                    .as_int()
-                    .ok_or_else(|| EvalError::Type("++ on a non-integer".into()))?;
-                self.assign(e, Value::Int(n + delta), env)?;
+                let next = ops::incr(&cur, delta)?;
+                self.assign(e, next, env)?;
                 Ok(Flow::Normal)
             }
             StmtKind::If {
@@ -349,7 +213,7 @@ impl<'p> Machine<'p> {
                 let c = self
                     .eval(cond, env)?
                     .as_bool()
-                    .ok_or_else(|| EvalError::Type("non-bool condition".into()))?;
+                    .ok_or_else(ops::err_non_bool_cond)?;
                 if c {
                     self.exec_stmt(then_branch, env)
                 } else if let Some(e) = else_branch {
@@ -364,7 +228,7 @@ impl<'p> Machine<'p> {
                     let c = self
                         .eval(cond, env)?
                         .as_bool()
-                        .ok_or_else(|| EvalError::Type("non-bool condition".into()))?;
+                        .ok_or_else(ops::err_non_bool_cond)?;
                     if !c {
                         break;
                     }
@@ -377,10 +241,7 @@ impl<'p> Machine<'p> {
             StmtKind::Switch { scrutinee, arms } => {
                 let v = self.eval(scrutinee, env)?;
                 let Value::Variant { ctor, args } = v else {
-                    return Err(EvalError::Type(format!(
-                        "switch on a non-variant ({})",
-                        v.describe()
-                    )));
+                    return Err(ops::err_switch_non_variant(&v));
                 };
                 for arm in arms {
                     if arm.ctor.name == ctor {
@@ -425,7 +286,7 @@ impl<'p> Machine<'p> {
                     Value::Region(r) => {
                         self.heap.delete(r)?;
                     }
-                    other => return Err(EvalError::Type(format!("free on {}", other.describe()))),
+                    other => return Err(ops::err_free_on(&other)),
                 }
                 Ok(Flow::Normal)
             }
@@ -447,7 +308,7 @@ impl<'p> Machine<'p> {
                         return Ok(());
                     }
                 }
-                Err(EvalError::Type(format!("unknown variable `{name}`")))
+                Err(ops::err_unknown_var(&name.name))
             }
             ExprKind::Field(base, field) => {
                 let b = self.eval(base, env)?;
@@ -457,10 +318,7 @@ impl<'p> Machine<'p> {
                         fields.insert(field.name.to_string(), v);
                         Ok(())
                     }
-                    other => Err(EvalError::Type(format!(
-                        "field assignment on {}",
-                        other.describe()
-                    ))),
+                    other => Err(ops::err_field_assign_on(&other)),
                 }
             }
             ExprKind::Index(base, idx) => {
@@ -468,24 +326,21 @@ impl<'p> Machine<'p> {
                 let i = self
                     .eval(idx, env)?
                     .as_int()
-                    .ok_or_else(|| EvalError::Type("non-integer index".into()))?;
+                    .ok_or_else(ops::err_non_int_index)?;
                 match b {
                     Value::Array(a) => {
                         let mut a = a.borrow_mut();
                         let len = a.len();
-                        let slot = a.get_mut(i as usize).ok_or_else(|| {
-                            EvalError::Type(format!("index {i} out of bounds ({len})"))
-                        })?;
+                        let slot = a
+                            .get_mut(i as usize)
+                            .ok_or_else(|| ops::err_index_oob_write(i, len))?;
                         *slot = v;
                         Ok(())
                     }
-                    other => Err(EvalError::Type(format!(
-                        "index assignment on {}",
-                        other.describe()
-                    ))),
+                    other => Err(ops::err_index_assign_on(&other)),
                 }
             }
-            _ => Err(EvalError::Type("assignment to a non-place".into())),
+            _ => Err(ops::err_assign_non_place()),
         }
     }
 
@@ -512,7 +367,7 @@ impl<'p> Machine<'p> {
                 if self.fns.contains_key(name.name.as_str()) {
                     return Ok(Value::Fn(name.name.to_string()));
                 }
-                Err(EvalError::Type(format!("unknown variable `{name}`")))
+                Err(ops::err_unknown_var(&name.name))
             }
             ExprKind::Field(base, field) => {
                 let b = self.eval(base, env)?;
@@ -524,10 +379,7 @@ impl<'p> Machine<'p> {
                             .cloned()
                             .unwrap_or(Value::Unit))
                     }
-                    other => Err(EvalError::Type(format!(
-                        "field access on {}",
-                        other.describe()
-                    ))),
+                    other => Err(ops::err_field_access_on(&other)),
                 }
             }
             ExprKind::Index(base, idx) => {
@@ -535,19 +387,19 @@ impl<'p> Machine<'p> {
                 let i = self
                     .eval(idx, env)?
                     .as_int()
-                    .ok_or_else(|| EvalError::Type("non-integer index".into()))?;
+                    .ok_or_else(ops::err_non_int_index)?;
                 match b {
                     Value::Array(a) => a
                         .borrow()
                         .get(i as usize)
                         .cloned()
-                        .ok_or_else(|| EvalError::Type(format!("index {i} out of bounds"))),
+                        .ok_or_else(|| ops::err_index_oob_read(i)),
                     Value::Str(s) => s
                         .as_bytes()
                         .get(i as usize)
                         .map(|b| Value::Int(*b as i64))
-                        .ok_or_else(|| EvalError::Type(format!("index {i} out of bounds"))),
-                    other => Err(EvalError::Type(format!("indexing {}", other.describe()))),
+                        .ok_or_else(|| ops::err_index_oob_read(i)),
+                    other => Err(ops::err_indexing(&other)),
                 }
             }
             ExprKind::Call { callee, args, .. } => {
@@ -560,7 +412,7 @@ impl<'p> Machine<'p> {
                     {
                         f.name.clone()
                     }
-                    _ => return Err(EvalError::Unsupported("computed call targets".into())),
+                    _ => return Err(ops::err_computed_call()),
                 };
                 let mut argv = Vec::with_capacity(args.len());
                 for a in args {
@@ -596,26 +448,14 @@ impl<'p> Machine<'p> {
                         let rv = self.eval(rexpr, env)?;
                         match rv {
                             Value::Region(r) => self.alloc_in(r, fields),
-                            other => Err(EvalError::Type(format!(
-                                "allocation from {}",
-                                other.describe()
-                            ))),
+                            other => Err(ops::err_alloc_from(&other)),
                         }
                     }
                 }
             }
             ExprKind::Unary(op, inner) => {
                 let v = self.eval(inner, env)?;
-                match op {
-                    UnOp::Not => v
-                        .as_bool()
-                        .map(|b| Value::Bool(!b))
-                        .ok_or_else(|| EvalError::Type("! on non-bool".into())),
-                    UnOp::Neg => v
-                        .as_int()
-                        .map(|n| Value::Int(-n))
-                        .ok_or_else(|| EvalError::Type("- on non-int".into())),
-                }
+                ops::unop(*op, v)
             }
             ExprKind::Binary(op, l, r) => {
                 // Short-circuit logic first.
@@ -623,65 +463,66 @@ impl<'p> Machine<'p> {
                     let lv = self
                         .eval(l, env)?
                         .as_bool()
-                        .ok_or_else(|| EvalError::Type("logic on non-bool".into()))?;
+                        .ok_or_else(ops::err_logic_non_bool)?;
                     return Ok(Value::Bool(match op {
                         BinOp::And if !lv => false,
                         BinOp::Or if lv => true,
                         _ => self
                             .eval(r, env)?
                             .as_bool()
-                            .ok_or_else(|| EvalError::Type("logic on non-bool".into()))?,
+                            .ok_or_else(ops::err_logic_non_bool)?,
                     }));
                 }
                 let lv = self.eval(l, env)?;
                 let rv = self.eval(r, env)?;
-                self.binop(*op, lv, rv)
+                ops::binop(*op, lv, rv)
             }
         }
     }
+}
 
-    fn binop(&self, op: BinOp, l: Value, r: Value) -> Result<Value, EvalError> {
-        use BinOp::*;
-        if op.is_arith() {
-            let (a, b) = match (l.as_int(), r.as_int()) {
-                (Some(a), Some(b)) => (a, b),
-                _ => return Err(EvalError::Type("arithmetic on non-integers".into())),
-            };
-            return Ok(Value::Int(match op {
-                Add => a.wrapping_add(b),
-                Sub => a.wrapping_sub(b),
-                Mul => a.wrapping_mul(b),
-                Div => {
-                    if b == 0 {
-                        return Err(EvalError::DivideByZero);
-                    }
-                    a.wrapping_div(b)
-                }
-                Rem => {
-                    if b == 0 {
-                        return Err(EvalError::DivideByZero);
-                    }
-                    a.wrapping_rem(b)
-                }
-                _ => unreachable!(),
-            }));
-        }
-        let result = match (op, &l, &r) {
-            (Eq, a, b) => a == b,
-            (Ne, a, b) => a != b,
-            (Lt, Value::Int(a), Value::Int(b)) => a < b,
-            (Le, Value::Int(a), Value::Int(b)) => a <= b,
-            (Gt, Value::Int(a), Value::Int(b)) => a > b,
-            (Ge, Value::Int(a), Value::Int(b)) => a >= b,
-            _ => {
-                return Err(EvalError::Type(format!(
-                    "cannot compare {} with {}",
-                    l.describe(),
-                    r.describe()
-                )))
+impl<'p> Host for Machine<'p> {
+    fn create_region(&mut self) -> RegionId {
+        self.heap.create()
+    }
+
+    fn delete_region(&mut self, r: RegionId) -> Result<(), EvalError> {
+        self.heap.delete(r)?;
+        Ok(())
+    }
+
+    fn alloc_in(&mut self, r: RegionId, fields: Fields) -> Result<Value, EvalError> {
+        let ptr = self.heap.alloc(r, fields)?;
+        Ok(Value::Obj { region: r, ptr })
+    }
+
+    fn touch_object(&self, v: &Value) -> Result<(), EvalError> {
+        match v {
+            Value::Obj { ptr, .. } => {
+                self.heap.get(*ptr)?;
+                Ok(())
             }
-        };
-        Ok(Value::Bool(result))
+            Value::Region(r) => {
+                if self.heap.is_live(*r) {
+                    Ok(())
+                } else {
+                    Err(EvalError::UseAfterDelete)
+                }
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn alloc_ambient(&mut self, fields: Fields) -> Value {
+        let r = self.create_ambient_region();
+        let ptr = self.heap.alloc(r, fields).expect("fresh region");
+        Value::Obj { region: r, ptr }
+    }
+
+    fn create_ambient_region(&mut self) -> RegionId {
+        let r = self.heap.create();
+        self.ambient.insert(r);
+        r
     }
 }
 
@@ -811,7 +652,7 @@ mod tests {
              int f() { return triple(14); }",
             ExternTable::new(),
         );
-        ext.insert("triple", |_m, args| {
+        ext.insert("triple", |_h, args| {
             Ok(Value::Int(args[0].as_int().unwrap() * 3))
         });
         let mut m = Machine::new(&p, ext);
@@ -823,19 +664,77 @@ mod tests {
         let (p, ext) = machine_for("void spin(bool b) { while (b) { } }", ExternTable::new());
         let mut m = Machine::new(&p, ext);
         m.set_fuel(10_000);
+        let out = m.run("spin", vec![Value::Bool(true)]);
+        assert_eq!(out.result, Err(EvalError::OutOfFuel));
+        assert_eq!(out.fuel_used, 10_000, "exhaustion consumes the budget");
+    }
+
+    #[test]
+    fn fuel_accounting_is_deterministic() {
+        let src = "int fib(int n) {
+                     if (n <= 1) { return n; }
+                     return fib(n - 1) + fib(n - 2);
+                   }";
+        let used: Vec<u64> = (0..2)
+            .map(|_| {
+                let (p, ext) = machine_for(src, ExternTable::new());
+                let mut m = Machine::new(&p, ext);
+                let out = m.run("fib", vec![Value::Int(10)]);
+                assert!(out.result.is_ok());
+                out.fuel_used
+            })
+            .collect();
+        assert!(used[0] > 0);
+        assert_eq!(used[0], used[1]);
+    }
+
+    #[test]
+    fn deep_recursion_is_a_structured_fault() {
+        // Regression: unbounded Vault recursion used to exhaust the Rust
+        // stack and abort the process; now it is a reportable outcome.
+        let (p, ext) = machine_for(
+            "int down(int n) {
+               if (n <= 0) { return 0; }
+               return down(n - 1);
+             }",
+            ExternTable::new(),
+        );
+        let mut m = Machine::new(&p, ext);
         assert_eq!(
-            m.run("spin", vec![Value::Bool(true)]).result,
-            Err(EvalError::OutOfFuel)
+            m.run("down", vec![Value::Int(1_000_000)]).result,
+            Err(EvalError::StackOverflow)
         );
     }
 
     #[test]
-    fn division_by_zero_faults() {
-        let (p, ext) = machine_for("int f(int a) { return a / 0; }", ExternTable::new());
+    fn increment_wraps_instead_of_panicking() {
+        // Regression: `n + 1` overflowed (debug abort) on i64::MAX.
+        let (p, ext) = machine_for("int f(int n) { n++; return n; }", ExternTable::new());
         let mut m = Machine::new(&p, ext);
         assert_eq!(
-            m.run("f", vec![Value::Int(5)]).result,
-            Err(EvalError::DivideByZero)
+            m.run("f", vec![Value::Int(i64::MAX)]).result,
+            Ok(Value::Int(i64::MIN))
+        );
+    }
+
+    #[test]
+    fn decrement_wraps_instead_of_panicking() {
+        let (p, ext) = machine_for("int f(int n) { n--; return n; }", ExternTable::new());
+        let mut m = Machine::new(&p, ext);
+        assert_eq!(
+            m.run("f", vec![Value::Int(i64::MIN)]).result,
+            Ok(Value::Int(i64::MAX))
+        );
+    }
+
+    #[test]
+    fn negation_wraps_instead_of_panicking() {
+        // Regression: `-n` overflowed (debug abort) on i64::MIN.
+        let (p, ext) = machine_for("int f(int n) { return -n; }", ExternTable::new());
+        let mut m = Machine::new(&p, ext);
+        assert_eq!(
+            m.run("f", vec![Value::Int(i64::MIN)]).result,
+            Ok(Value::Int(i64::MIN))
         );
     }
 
@@ -855,6 +754,16 @@ mod tests {
         assert_eq!(
             m.run("f", vec![Value::Bool(false)]).result,
             Err(EvalError::UnknownFunction("boom".into()))
+        );
+    }
+
+    #[test]
+    fn division_by_zero_faults() {
+        let (p, ext) = machine_for("int f(int a) { return a / 0; }", ExternTable::new());
+        let mut m = Machine::new(&p, ext);
+        assert_eq!(
+            m.run("f", vec![Value::Int(5)]).result,
+            Err(EvalError::DivideByZero)
         );
     }
 }

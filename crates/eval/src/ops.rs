@@ -1,0 +1,170 @@
+//! Shared operator semantics and fault messages.
+//!
+//! The differential suite asserts the interpreter and the bytecode VM
+//! produce byte-for-byte identical [`EvalError`]s, so every dynamic
+//! fault message and every operator's edge behaviour (wrapping
+//! arithmetic, division by zero, comparison rules) is defined exactly
+//! once, here, and called from both engines. Adding a message inline in
+//! one engine is how the two drift apart — don't.
+
+use crate::host::EvalError;
+use crate::value::Value;
+use vault_syntax::ast::{BinOp, UnOp};
+
+/// Apply a non-short-circuit binary operator. Arithmetic wraps (the
+/// paper's target is C; overflow is not a protocol fault), division and
+/// remainder by zero fault, `==`/`!=` use structural value equality, and
+/// ordered comparisons are integer-only.
+pub fn binop(op: BinOp, l: Value, r: Value) -> Result<Value, EvalError> {
+    use BinOp::*;
+    if op.is_arith() {
+        let (a, b) = match (l.as_int(), r.as_int()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return Err(EvalError::Type("arithmetic on non-integers".into())),
+        };
+        return Ok(Value::Int(match op {
+            Add => a.wrapping_add(b),
+            Sub => a.wrapping_sub(b),
+            Mul => a.wrapping_mul(b),
+            Div => {
+                if b == 0 {
+                    return Err(EvalError::DivideByZero);
+                }
+                a.wrapping_div(b)
+            }
+            Rem => {
+                if b == 0 {
+                    return Err(EvalError::DivideByZero);
+                }
+                a.wrapping_rem(b)
+            }
+            _ => unreachable!(),
+        }));
+    }
+    let result = match (op, &l, &r) {
+        (Eq, a, b) => a == b,
+        (Ne, a, b) => a != b,
+        (Lt, Value::Int(a), Value::Int(b)) => a < b,
+        (Le, Value::Int(a), Value::Int(b)) => a <= b,
+        (Gt, Value::Int(a), Value::Int(b)) => a > b,
+        (Ge, Value::Int(a), Value::Int(b)) => a >= b,
+        _ => return Err(err_cannot_compare(&l, &r)),
+    };
+    Ok(Value::Bool(result))
+}
+
+/// Apply a unary operator. Negation wraps (`-i64::MIN` is `i64::MIN`,
+/// not a process abort).
+pub fn unop(op: UnOp, v: Value) -> Result<Value, EvalError> {
+    match op {
+        UnOp::Not => v
+            .as_bool()
+            .map(|b| Value::Bool(!b))
+            .ok_or_else(|| EvalError::Type("! on non-bool".into())),
+        UnOp::Neg => v
+            .as_int()
+            .map(|n| Value::Int(n.wrapping_neg()))
+            .ok_or_else(|| EvalError::Type("- on non-int".into())),
+    }
+}
+
+/// `x++` / `x--`: the current value must be an integer; the step wraps.
+/// (Both directions report the same historical `++` message.)
+pub fn incr(cur: &Value, delta: i64) -> Result<Value, EvalError> {
+    let n = cur.as_int().ok_or_else(err_incr_non_int)?;
+    Ok(Value::Int(n.wrapping_add(delta)))
+}
+
+/// Arity mismatch at a call.
+pub fn err_arity(fname: &str, expect: usize, got: usize) -> EvalError {
+    EvalError::Type(format!("`{fname}` expects {expect} argument(s), got {got}"))
+}
+
+/// Read or write of a name with no binding in scope.
+pub fn err_unknown_var(name: &str) -> EvalError {
+    EvalError::Type(format!("unknown variable `{name}`"))
+}
+
+/// `++`/`--` on a non-integer current value.
+pub fn err_incr_non_int() -> EvalError {
+    EvalError::Type("++ on a non-integer".into())
+}
+
+/// `if`/`while` condition that is not a boolean.
+pub fn err_non_bool_cond() -> EvalError {
+    EvalError::Type("non-bool condition".into())
+}
+
+/// `&&`/`||` operand that is not a boolean.
+pub fn err_logic_non_bool() -> EvalError {
+    EvalError::Type("logic on non-bool".into())
+}
+
+/// `switch` scrutinee that is not a variant value.
+pub fn err_switch_non_variant(v: &Value) -> EvalError {
+    EvalError::Type(format!("switch on a non-variant ({})", v.describe()))
+}
+
+/// `free` of a value kind that owns nothing.
+pub fn err_free_on(v: &Value) -> EvalError {
+    EvalError::Type(format!("free on {}", v.describe()))
+}
+
+/// Field write through a non-object base.
+pub fn err_field_assign_on(v: &Value) -> EvalError {
+    EvalError::Type(format!("field assignment on {}", v.describe()))
+}
+
+/// Field read through a non-object base.
+pub fn err_field_access_on(v: &Value) -> EvalError {
+    EvalError::Type(format!("field access on {}", v.describe()))
+}
+
+/// Index expression that is not an integer.
+pub fn err_non_int_index() -> EvalError {
+    EvalError::Type("non-integer index".into())
+}
+
+/// Out-of-bounds read (arrays and strings).
+pub fn err_index_oob_read(i: i64) -> EvalError {
+    EvalError::Type(format!("index {i} out of bounds"))
+}
+
+/// Out-of-bounds array write (the write path also reports the length).
+pub fn err_index_oob_write(i: i64, len: usize) -> EvalError {
+    EvalError::Type(format!("index {i} out of bounds ({len})"))
+}
+
+/// Index write through a non-array base.
+pub fn err_index_assign_on(v: &Value) -> EvalError {
+    EvalError::Type(format!("index assignment on {}", v.describe()))
+}
+
+/// Index read through a non-indexable base.
+pub fn err_indexing(v: &Value) -> EvalError {
+    EvalError::Type(format!("indexing {}", v.describe()))
+}
+
+/// `new(e)` where `e` is not a region.
+pub fn err_alloc_from(v: &Value) -> EvalError {
+    EvalError::Type(format!("allocation from {}", v.describe()))
+}
+
+/// Assignment whose left-hand side is not a place expression.
+pub fn err_assign_non_place() -> EvalError {
+    EvalError::Type("assignment to a non-place".into())
+}
+
+/// Call through anything but a (possibly module-qualified) name.
+pub fn err_computed_call() -> EvalError {
+    EvalError::Unsupported("computed call targets".into())
+}
+
+/// Ordered comparison on unsupported operand kinds.
+pub fn err_cannot_compare(l: &Value, r: &Value) -> EvalError {
+    EvalError::Type(format!(
+        "cannot compare {} with {}",
+        l.describe(),
+        r.describe()
+    ))
+}

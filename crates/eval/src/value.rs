@@ -10,7 +10,7 @@ use vault_runtime::{RegionId, RegionPtr};
 pub type Fields = BTreeMap<String, Value>;
 
 /// A runtime value.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub enum Value {
     /// `void` / no value.
     Unit,
@@ -52,8 +52,40 @@ pub enum Value {
     Fn(String),
 }
 
+// Hand-written so it carries `#[inline]`: both engines clone values on
+// every variable read, and the VM's dispatch loop lives in another
+// crate — without the attribute each `Move` pays a function call.
+impl Clone for Value {
+    #[inline]
+    fn clone(&self) -> Value {
+        match self {
+            Value::Unit => Value::Unit,
+            Value::Int(n) => Value::Int(*n),
+            Value::Bool(b) => Value::Bool(*b),
+            Value::Str(s) => Value::Str(s.clone()),
+            Value::Array(a) => Value::Array(a.clone()),
+            Value::Obj { region, ptr } => Value::Obj {
+                region: *region,
+                ptr: *ptr,
+            },
+            Value::Region(r) => Value::Region(*r),
+            Value::Variant { ctor, args } => Value::Variant {
+                ctor: ctor.clone(),
+                args: args.clone(),
+            },
+            Value::Opaque(s) => Value::Opaque(s.clone()),
+            Value::Handle { kind, id } => Value::Handle {
+                kind: kind.clone(),
+                id: *id,
+            },
+            Value::Fn(name) => Value::Fn(name.clone()),
+        }
+    }
+}
+
 impl Value {
     /// The integer inside, if any.
+    #[inline]
     pub fn as_int(&self) -> Option<i64> {
         match self {
             Value::Int(n) => Some(*n),
@@ -62,6 +94,7 @@ impl Value {
     }
 
     /// The boolean inside, if any.
+    #[inline]
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             Value::Bool(b) => Some(*b),

@@ -13,7 +13,7 @@
 
 use vault_core::{check_source, Verdict};
 
-use vault_eval::{EvalError, ExternTable, Machine, Value};
+use vault_eval::{EvalError, ExternTable, Host, Machine, Value};
 use vault_syntax::{parse_program, DiagSink};
 
 fn run_region_program(src: &str, entry: &str) -> vault_eval::EvalOutcome {
@@ -163,7 +163,7 @@ fn pipeline_externs() -> ExternTable {
     // Each stage reads its guarded input (faulting if the stage region is
     // gone) and allocates its output in the given stage region.
     let stage_fn = |name: &'static str| {
-        move |m: &mut Machine<'_>, args: Vec<Value>| {
+        move |m: &mut dyn Host, args: Vec<Value>| {
             // args[0] is the stage region; later args are guarded inputs.
             for input in &args[1..] {
                 m.touch_object(input)?;
@@ -185,7 +185,7 @@ fn pipeline_externs() -> ExternTable {
     t.insert("parse", stage_fn("parse"));
     t.insert("typecheck", stage_fn("typecheck"));
     t.insert("emit", stage_fn("emit"));
-    t.insert("write_output", |m: &mut Machine<'_>, args: Vec<Value>| {
+    t.insert("write_output", |m: &mut dyn Host, args: Vec<Value>| {
         m.touch_object(&args[0])?;
         Ok(Value::Unit)
     });
@@ -233,7 +233,7 @@ fn allocfail_externs(succeed: bool) -> ExternTable {
     let mut t = ExternTable::with_regions();
     t.insert(
         "try_new_point",
-        move |m: &mut Machine<'_>, args: Vec<Value>| match &args[0] {
+        move |m: &mut dyn Host, args: Vec<Value>| match &args[0] {
             Value::Region(r) if succeed => {
                 let mut fields = vault_eval::value::Fields::new();
                 fields.insert("x".into(), args[1].clone());

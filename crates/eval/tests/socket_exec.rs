@@ -4,7 +4,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 use vault_core::{check_source, Verdict};
-use vault_eval::{EvalError, ExternTable, Machine, Value};
+use vault_eval::{EvalError, ExternTable, Host, Machine, Value};
 use vault_runtime::{CommStyle, Domain, Network, SockId, SocketError};
 use vault_syntax::{parse_program, DiagSink};
 

@@ -1,0 +1,353 @@
+//! The Vault register bytecode: a dense `u32` ISA.
+//!
+//! Every instruction is one head word `[op:8 | a:8 | b:8 | c:8]` plus
+//! zero or more full-width operand words (call targets, constant-pool
+//! indices, jump targets, interned names, trap payloads). Registers are
+//! function-local and at most 255 per function; wide operands index the
+//! program-level pools on [`CompiledProgram`], so the instruction stream
+//! itself carries no strings and no pointers — symbols are interned at
+//! compile time, call targets pre-resolved to function indices.
+//!
+//! Fuel is explicit in the ISA: the compiler coalesces the interpreter's
+//! per-AST-node burns over runs of *pure* instructions (loads, moves,
+//! jumps, value construction) and emits a single [`Op::Fuel`] flush
+//! before every observable instruction — one branch in the dispatch
+//! loop where the tree-walker pays one per node. See `compile.rs` for
+//! the parity argument.
+
+use std::collections::BTreeMap;
+use vault_eval::{EvalError, Value};
+use vault_syntax::ast::BinOp;
+
+/// Opcodes. The `a`/`b`/`c` head fields are register numbers unless
+/// noted; `w1`/`w2` are the following operand words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Op {
+    /// `w1 = n`: burn `n` fuel, faulting with `OutOfFuel` at zero.
+    Fuel = 0,
+    /// `a = dst, w1 = const index`: load a constant-pool value.
+    LoadK = 1,
+    /// `a = dst, b = src`: copy a register.
+    Move = 2,
+    /// `w1 = target`: unconditional jump.
+    Jmp = 3,
+    /// `a = cond, w1 = target`: jump when false; faults `non-bool
+    /// condition` on a non-boolean.
+    JmpIfNot = 4,
+    /// `a = cond, w1 = target`: jump when true (operand pre-validated).
+    JmpIfTrue = 5,
+    /// `a = src`: fault `logic on non-bool` unless the register holds a
+    /// boolean (validates `&&`/`||` operands).
+    CheckBool = 6,
+    /// `a = dst, b = src`: boolean negation.
+    Not = 7,
+    /// `a = dst, b = src`: integer negation (wrapping).
+    Neg = 8,
+    /// `a = dst, b = lhs, c = rhs, w1 = operator`: non-short-circuit
+    /// binary operator (see [`encode_binop`]).
+    Bin = 9,
+    /// `a = dst, b = src, c = 0 (++) / 1 (--)`: checked wrapping step.
+    IncrChk = 10,
+    /// `a = dst, b = obj, w1 = name`: field read (missing fields yield
+    /// `void`, like the interpreter).
+    GetField = 11,
+    /// `a = obj, b = val, w1 = name`: field write.
+    SetField = 12,
+    /// `a = dst, b = base, c = idx`: array/string index read.
+    GetIndex = 13,
+    /// `a = base, b = idx, c = val`: array index write.
+    SetIndex = 14,
+    /// `a = dst, b = arg base, c = argc, w1 = name`: build a variant.
+    Ctor = 15,
+    /// `a = dst, b = field base, w1 = shape`: `new tracked` — fresh
+    /// private region plus allocation.
+    NewObj = 16,
+    /// `a = dst, b = region, c = field base, w1 = shape`: `new(rgn)`.
+    NewIn = 17,
+    /// `a = src`: `free(v)` — deletes the backing region.
+    FreeV = 18,
+    /// `a = src`: fault `switch on a non-variant` unless a variant.
+    CheckVariant = 19,
+    /// `a = scrutinee, w1 = ctor name, w2 = target`: jump unless the
+    /// variant's tag matches.
+    TestTag = 20,
+    /// `a = dst, b = scrutinee, c = component index`: bind a switch-arm
+    /// component (`void` when the payload is shorter).
+    BindArg = 21,
+    /// `a = dst, b = arg base, c = argc, w1 = function index`: call a
+    /// compiled function (pre-resolved target).
+    CallFn = 22,
+    /// `a = dst, b = arg base, c = argc, w1 = name`: dispatch to the
+    /// extern table.
+    CallExt = 23,
+    /// `a = src`: return a value, popping the frame.
+    Ret = 24,
+    /// Return `void`.
+    RetUnit = 25,
+    /// `w1 = error index`: raise a pre-built fault (deferred
+    /// compile-time findings — unknown variables, arity mismatches,
+    /// unsupported constructs — fault only if reached, as in the
+    /// interpreter).
+    Trap = 26,
+    /// `a = reg`: mark a conditionally-bound register defined.
+    Def = 27,
+    /// `a = reg`: mark a conditionally-bound register undefined (block
+    /// entry reset; models a name not yet inserted in its scope frame).
+    Undef = 28,
+    /// `a = reg, w1 = target`: jump when the register is undefined
+    /// (resolution chains for conditionally-bound names).
+    JmpUndef = 29,
+}
+
+impl Op {
+    /// Decode an opcode byte. The compiler is the only producer, so an
+    /// unknown byte is a corrupt program, not user input.
+    pub fn from_u8(b: u8) -> Option<Op> {
+        if b <= Op::JmpUndef as u8 {
+            // Safety not needed: exhaustive match keeps this honest.
+            Some(match b {
+                0 => Op::Fuel,
+                1 => Op::LoadK,
+                2 => Op::Move,
+                3 => Op::Jmp,
+                4 => Op::JmpIfNot,
+                5 => Op::JmpIfTrue,
+                6 => Op::CheckBool,
+                7 => Op::Not,
+                8 => Op::Neg,
+                9 => Op::Bin,
+                10 => Op::IncrChk,
+                11 => Op::GetField,
+                12 => Op::SetField,
+                13 => Op::GetIndex,
+                14 => Op::SetIndex,
+                15 => Op::Ctor,
+                16 => Op::NewObj,
+                17 => Op::NewIn,
+                18 => Op::FreeV,
+                19 => Op::CheckVariant,
+                20 => Op::TestTag,
+                21 => Op::BindArg,
+                22 => Op::CallFn,
+                23 => Op::CallExt,
+                24 => Op::Ret,
+                25 => Op::RetUnit,
+                26 => Op::Trap,
+                27 => Op::Def,
+                28 => Op::Undef,
+                _ => Op::JmpUndef,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Number of full-width operand words following the head word.
+    pub fn words(self) -> usize {
+        match self {
+            Op::Fuel
+            | Op::LoadK
+            | Op::Jmp
+            | Op::JmpIfNot
+            | Op::JmpIfTrue
+            | Op::Bin
+            | Op::GetField
+            | Op::SetField
+            | Op::Ctor
+            | Op::NewObj
+            | Op::NewIn
+            | Op::CallFn
+            | Op::CallExt
+            | Op::Trap
+            | Op::JmpUndef => 1,
+            Op::TestTag => 2,
+            Op::Move
+            | Op::CheckBool
+            | Op::Not
+            | Op::Neg
+            | Op::IncrChk
+            | Op::GetIndex
+            | Op::SetIndex
+            | Op::FreeV
+            | Op::CheckVariant
+            | Op::BindArg
+            | Op::Ret
+            | Op::RetUnit
+            | Op::Def
+            | Op::Undef => 0,
+        }
+    }
+}
+
+/// Pack a head word.
+pub fn pack(op: Op, a: u8, b: u8, c: u8) -> u32 {
+    ((op as u32) << 24) | ((a as u32) << 16) | ((b as u32) << 8) | c as u32
+}
+
+/// Unpack a head word into `(op byte, a, b, c)`.
+pub fn unpack(w: u32) -> (u8, u8, u8, u8) {
+    ((w >> 24) as u8, (w >> 16) as u8, (w >> 8) as u8, w as u8)
+}
+
+/// Encode a non-short-circuit binary operator for [`Op::Bin`].
+pub fn encode_binop(op: BinOp) -> u32 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Rem => 4,
+        BinOp::Eq => 5,
+        BinOp::Ne => 6,
+        BinOp::Lt => 7,
+        BinOp::Le => 8,
+        BinOp::Gt => 9,
+        BinOp::Ge => 10,
+        // `&&`/`||` are control flow, never `Bin`.
+        BinOp::And | BinOp::Or => unreachable!("short-circuit ops are compiled to branches"),
+    }
+}
+
+/// Decode an [`Op::Bin`] operator word.
+pub fn decode_binop(w: u32) -> BinOp {
+    match w {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::Rem,
+        5 => BinOp::Eq,
+        6 => BinOp::Ne,
+        7 => BinOp::Lt,
+        8 => BinOp::Le,
+        9 => BinOp::Gt,
+        _ => BinOp::Ge,
+    }
+}
+
+/// How a call by name resolves: a compiled function or the extern table.
+/// Mirrors the interpreter's last-declaration-wins function map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CallTarget {
+    /// Index into [`CompiledProgram::functions`].
+    Compiled(usize),
+    /// Signature-only (or undeclared): dispatched to the extern table.
+    Extern,
+}
+
+/// One compiled function.
+#[derive(Clone, Debug)]
+pub struct CompiledFn {
+    /// Source-level name (diagnostics, disassembly).
+    pub name: String,
+    /// Number of parameters (checked at the `run` boundary; call sites
+    /// are checked at compile time).
+    pub arity: usize,
+    /// Registers this function needs (params in `0..arity`).
+    pub nregs: u32,
+    /// The instruction stream. Always ends in `Ret`/`RetUnit`/`Trap`.
+    pub code: Vec<u32>,
+}
+
+/// A compiled program: bytecode plus the interned operand pools.
+#[derive(Clone, Debug, Default)]
+pub struct CompiledProgram {
+    /// Compiled function bodies.
+    pub functions: Vec<CompiledFn>,
+    /// Name → call resolution, last declaration wins (the interpreter's
+    /// dispatch map, frozen at compile time).
+    pub targets: BTreeMap<String, CallTarget>,
+    /// Constant pool (literals, `void`, function values).
+    pub consts: Vec<Value>,
+    /// Interned strings: field names, constructor tags, extern names.
+    pub names: Vec<String>,
+    /// Field-list shapes for `NewObj`/`NewIn` (indices into `names`,
+    /// initializer order).
+    pub shapes: Vec<Vec<u32>>,
+    /// Pre-built faults for `Trap`.
+    pub errors: Vec<EvalError>,
+    /// Functions whose bodies exceeded the 255-register file and were
+    /// compiled to a trap stub. Empty for every real program; the
+    /// differential harness skips programs listed here.
+    pub overflowed: Vec<String>,
+}
+
+impl CompiledProgram {
+    /// Total instruction words across all functions.
+    pub fn code_words(&self) -> usize {
+        self.functions.iter().map(|f| f.code.len()).sum()
+    }
+}
+
+/// Render a compiled program as assembly-ish text (docs and debugging;
+/// the ISA appendix in DESIGN.md is produced from this).
+pub fn disasm(p: &CompiledProgram) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for f in &p.functions {
+        let _ = writeln!(out, "fn {} (arity {}, {} regs):", f.name, f.arity, f.nregs);
+        let mut pc = 0;
+        while pc < f.code.len() {
+            let (opb, a, b, c) = unpack(f.code[pc]);
+            let Some(op) = Op::from_u8(opb) else {
+                let _ = writeln!(out, "  {pc:4}: ?? {:#010x}", f.code[pc]);
+                pc += 1;
+                continue;
+            };
+            let w = |i: usize| f.code.get(pc + 1 + i).copied().unwrap_or(0);
+            let txt = match op {
+                Op::Fuel => format!("fuel {}", w(0)),
+                Op::LoadK => format!("loadk r{a}, {}", pool(&p.consts, w(0))),
+                Op::Move => format!("move r{a}, r{b}"),
+                Op::Jmp => format!("jmp {}", w(0)),
+                Op::JmpIfNot => format!("jf r{a}, {}", w(0)),
+                Op::JmpIfTrue => format!("jt r{a}, {}", w(0)),
+                Op::CheckBool => format!("ckbool r{a}"),
+                Op::Not => format!("not r{a}, r{b}"),
+                Op::Neg => format!("neg r{a}, r{b}"),
+                Op::Bin => format!("bin.{:?} r{a}, r{b}, r{c}", decode_binop(w(0))),
+                Op::IncrChk => format!("incr r{a}, r{b}, {}", if c == 0 { "+1" } else { "-1" }),
+                Op::GetField => format!("getf r{a}, r{b}.{}", pool(&p.names, w(0))),
+                Op::SetField => format!("setf r{a}.{}, r{b}", pool(&p.names, w(0))),
+                Op::GetIndex => format!("geti r{a}, r{b}[r{c}]"),
+                Op::SetIndex => format!("seti r{a}[r{b}], r{c}"),
+                Op::Ctor => format!("ctor r{a}, '{} r{b}..{}", pool(&p.names, w(0)), argc(b, c)),
+                Op::NewObj => format!("new r{a}, shape#{} r{b}..", w(0)),
+                Op::NewIn => format!("newin r{a}, rgn r{b}, shape#{} r{c}..", w(0)),
+                Op::FreeV => format!("free r{a}"),
+                Op::CheckVariant => format!("ckvar r{a}"),
+                Op::TestTag => format!("tag r{a} != '{} -> {}", pool(&p.names, w(0)), w(1)),
+                Op::BindArg => format!("bind r{a}, r{b}.{c}"),
+                Op::CallFn => {
+                    let name = p
+                        .functions
+                        .get(w(0) as usize)
+                        .map(|f| f.name.as_str())
+                        .unwrap_or("?");
+                    format!("call r{a}, {name} r{b}..{}", argc(b, c))
+                }
+                Op::CallExt => format!("callx r{a}, {} r{b}..{}", pool(&p.names, w(0)), argc(b, c)),
+                Op::Ret => format!("ret r{a}"),
+                Op::RetUnit => "ret".into(),
+                Op::Trap => format!("trap {}", pool(&p.errors, w(0))),
+                Op::Def => format!("def r{a}"),
+                Op::Undef => format!("undef r{a}"),
+                Op::JmpUndef => format!("ju r{a}, {}", w(0)),
+            };
+            let _ = writeln!(out, "  {pc:4}: {txt}");
+            pc += 1 + op.words();
+        }
+    }
+    out
+}
+
+fn argc(base: u8, n: u8) -> String {
+    format!("r{}", base as u32 + n as u32)
+}
+
+fn pool<T: std::fmt::Debug>(pool: &[T], idx: u32) -> String {
+    pool.get(idx as usize)
+        .map(|v| format!("{v:?}"))
+        .unwrap_or_else(|| format!("#{idx}"))
+}

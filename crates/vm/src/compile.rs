@@ -1,0 +1,965 @@
+//! AST → bytecode. The contract is *outcome identity* with the
+//! `vault-eval` tree-walker: for any program and entry, the compiled
+//! code must produce the same `EvalOutcome` — value or fault (same
+//! variant, same message), same leak count, same fuel consumption.
+//! That drives three design points worth spelling out:
+//!
+//! ## Fuel parity
+//!
+//! The interpreter burns one fuel per AST node it visits (each `call`,
+//! each statement, each expression, plus one per `while` iteration).
+//! The compiler replays that accounting symbolically: it keeps a
+//! `pending` counter of burns owed, incremented exactly where the
+//! interpreter burns, and emits a single `Fuel(pending)` flush before
+//! every *observable* instruction — anything that can fault or touch
+//! the heap/extern world — and at every label and branch. Runs of pure
+//! instructions (loads, moves, value construction, jumps) are covered
+//! by one batched check. This is sound for outcome identity: within a
+//! pure run the interpreter either completes all the burns or dies with
+//! the budget exactly exhausted, and either way no observable effect
+//! separates the batched check from the step-by-step one — the result,
+//! the leak set, and `fuel_used` (= budget on exhaustion) all agree.
+//!
+//! ## Names resolve like a frame stack, not like a symbol table
+//!
+//! The interpreter binds locals *when their declaration executes*, into
+//! a per-block map. A declaration sitting in a non-block `if` branch
+//! therefore binds into the enclosing block only on some executions,
+//! and reads fall through to an outer binding (or to a function
+//! constant, or to an `unknown variable` fault) when it didn't. The
+//! compiler assigns every name declared anywhere in a block one
+//! register at block entry, marks it `Undef`, flips it to defined when
+//! (and only on paths where) the declaration runs, and compiles reads
+//! and writes of possibly-undefined names to `JmpUndef` resolution
+//! chains that walk outward exactly like the interpreter's frame scan.
+//! Once a straight-line declaration has executed, the binding is
+//! statically known to be defined and accesses collapse to plain
+//! register moves — the fast path for real programs.
+//!
+//! ## Compile-time findings fault at run time
+//!
+//! The interpreter only reports what it reaches: an unknown variable in
+//! dead code is not an error. Anything the compiler can already see —
+//! unknown names, call-arity mismatches, computed call targets — is
+//! compiled to a `Trap` carrying the exact fault the interpreter would
+//! raise, placed where the interpreter would raise it.
+
+use crate::bytecode::{encode_binop, pack, CallTarget, CompiledFn, CompiledProgram, Op};
+use std::collections::BTreeMap;
+use vault_eval::{ops, EvalError, Value};
+use vault_syntax::ast::{
+    self, BinOp, Block, Expr, ExprKind, PatBinder, Program, Stmt, StmtKind, UnOp,
+};
+
+/// Compile a program. Never fails: a function body that exceeds the
+/// 255-register file (no real program does) becomes a trap stub and is
+/// listed in [`CompiledProgram::overflowed`].
+pub fn compile(program: &Program) -> CompiledProgram {
+    // The interpreter's dispatch map: every declaration by name, last
+    // one wins — including signature-only decls shadowing bodies.
+    let mut decls: BTreeMap<String, &ast::FunDecl> = BTreeMap::new();
+    for f in program.functions() {
+        decls.insert(f.name.name.to_string(), f);
+    }
+    let mut prog = CompiledProgram::default();
+    let mut body_fns = Vec::new();
+    for (name, f) in &decls {
+        if f.body.is_some() {
+            prog.targets
+                .insert(name.clone(), CallTarget::Compiled(body_fns.len()));
+            body_fns.push((name.clone(), *f));
+        } else {
+            prog.targets.insert(name.clone(), CallTarget::Extern);
+        }
+    }
+    let mut pools = Pools::default();
+    for (name, f) in body_fns {
+        let c = FnCompiler::new(&decls, &prog.targets, &mut pools);
+        match c.compile_fn(f) {
+            Ok(cf) => prog.functions.push(cf),
+            Err(()) => {
+                prog.overflowed.push(name.clone());
+                prog.functions.push(trap_stub(name, f, &mut pools));
+            }
+        }
+    }
+    prog.consts = pools.consts;
+    prog.names = pools.names;
+    prog.shapes = pools.shapes;
+    prog.errors = pools.errors;
+    prog
+}
+
+fn trap_stub(name: String, f: &ast::FunDecl, pools: &mut Pools) -> CompiledFn {
+    let err = pools.error(EvalError::Unsupported(format!(
+        "register file exceeded compiling `{name}`"
+    )));
+    CompiledFn {
+        name,
+        arity: f.params.len(),
+        nregs: f.params.len().max(1) as u32,
+        code: vec![pack(Op::Trap, 0, 0, 0), err],
+    }
+}
+
+/// Interned operand pools, shared across all functions of a program.
+#[derive(Default)]
+struct Pools {
+    consts: Vec<Value>,
+    cmap: BTreeMap<ConstKey, u32>,
+    names: Vec<String>,
+    nmap: BTreeMap<String, u32>,
+    shapes: Vec<Vec<u32>>,
+    errors: Vec<EvalError>,
+}
+
+/// Hashable identity for pooled constants.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum ConstKey {
+    Unit,
+    Int(i64),
+    Bool(bool),
+    Str(String),
+    Fn(String),
+}
+
+impl Pools {
+    fn konst(&mut self, k: ConstKey) -> u32 {
+        if let Some(i) = self.cmap.get(&k) {
+            return *i;
+        }
+        let v = match &k {
+            ConstKey::Unit => Value::Unit,
+            ConstKey::Int(n) => Value::Int(*n),
+            ConstKey::Bool(b) => Value::Bool(*b),
+            ConstKey::Str(s) => Value::Str(s.clone()),
+            ConstKey::Fn(n) => Value::Fn(n.clone()),
+        };
+        let i = self.consts.len() as u32;
+        self.consts.push(v);
+        self.cmap.insert(k, i);
+        i
+    }
+
+    fn name(&mut self, s: &str) -> u32 {
+        if let Some(i) = self.nmap.get(s) {
+            return *i;
+        }
+        let i = self.names.len() as u32;
+        self.names.push(s.to_string());
+        self.nmap.insert(s.to_string(), i);
+        i
+    }
+
+    fn shape(&mut self, fields: Vec<u32>) -> u32 {
+        if let Some(i) = self.shapes.iter().position(|s| *s == fields) {
+            return i as u32;
+        }
+        self.shapes.push(fields);
+        self.shapes.len() as u32 - 1
+    }
+
+    fn error(&mut self, e: EvalError) -> u32 {
+        if let Some(i) = self.errors.iter().position(|x| *x == e) {
+            return i as u32;
+        }
+        self.errors.push(e);
+        self.errors.len() as u32 - 1
+    }
+}
+
+/// A name binding inside the compiler's scope stack.
+#[derive(Clone, Copy)]
+struct Binding {
+    reg: u32,
+    /// Whether the binding may be undefined at run time (declared on a
+    /// conditional path and not yet, on this straight line, executed).
+    conditional: bool,
+}
+
+struct Scope {
+    watermark: u32,
+    entries: Vec<(String, Binding)>,
+}
+
+struct FnCompiler<'a, 'p> {
+    decls: &'a BTreeMap<String, &'p ast::FunDecl>,
+    targets: &'a BTreeMap<String, CallTarget>,
+    pools: &'a mut Pools,
+    code: Vec<u32>,
+    pending: u64,
+    scopes: Vec<Scope>,
+    next: u32,
+    max: u32,
+    labels: Vec<Option<u32>>,
+    patches: Vec<(usize, usize)>,
+    overflow: bool,
+}
+
+impl<'a, 'p> FnCompiler<'a, 'p> {
+    fn new(
+        decls: &'a BTreeMap<String, &'p ast::FunDecl>,
+        targets: &'a BTreeMap<String, CallTarget>,
+        pools: &'a mut Pools,
+    ) -> Self {
+        FnCompiler {
+            decls,
+            targets,
+            pools,
+            code: Vec::new(),
+            pending: 0,
+            scopes: Vec::new(),
+            next: 0,
+            max: 0,
+            labels: Vec::new(),
+            patches: Vec::new(),
+            overflow: false,
+        }
+    }
+
+    fn compile_fn(mut self, f: &'p ast::FunDecl) -> Result<CompiledFn, ()> {
+        self.push_scope();
+        for p in &f.params {
+            let r = self.alloc();
+            if let Some(n) = &p.name {
+                self.bind(
+                    n.name.as_str(),
+                    Binding {
+                        reg: r,
+                        conditional: false,
+                    },
+                );
+            }
+        }
+        let body = f.body.as_ref().expect("only body functions compile");
+        self.block(body);
+        self.pop_scope();
+        // Falling off the end returns void, as in the interpreter.
+        self.flush();
+        self.emit(Op::RetUnit, 0, 0, 0);
+        for (pos, label) in std::mem::take(&mut self.patches) {
+            self.code[pos] = self.labels[label].expect("label bound");
+        }
+        if self.overflow {
+            return Err(());
+        }
+        Ok(CompiledFn {
+            name: f.name.name.to_string(),
+            arity: f.params.len(),
+            nregs: self.max.max(1),
+            code: self.code,
+        })
+    }
+
+    // --------------------------------------------------------------
+    // Emission plumbing
+    // --------------------------------------------------------------
+
+    fn emit(&mut self, op: Op, a: u32, b: u32, c: u32) {
+        if a > 0xff || b > 0xff || c > 0xff {
+            self.overflow = true;
+        }
+        self.code.push(pack(op, a as u8, b as u8, c as u8));
+    }
+
+    fn word(&mut self, w: u32) {
+        self.code.push(w);
+    }
+
+    /// One fuel owed — placed exactly where the interpreter burns.
+    fn tick(&mut self) {
+        self.pending += 1;
+    }
+
+    /// Discharge owed fuel. Required before any instruction that can
+    /// fault or produce an observable effect, and at every label or
+    /// branch so all paths agree on the balance.
+    fn flush(&mut self) {
+        if self.pending > 0 {
+            debug_assert!(self.pending <= u32::MAX as u64);
+            self.emit(Op::Fuel, 0, 0, 0);
+            let n = self.pending as u32;
+            self.word(n);
+            self.pending = 0;
+        }
+    }
+
+    fn label(&mut self) -> usize {
+        self.labels.push(None);
+        self.labels.len() - 1
+    }
+
+    /// Bind a label at the current position (flushes first, so every
+    /// jump lands with a zero fuel balance).
+    fn bind_label(&mut self, l: usize) {
+        self.flush();
+        self.labels[l] = Some(self.code.len() as u32);
+    }
+
+    /// Emit the operand word of a branch targeting `l`.
+    fn target(&mut self, l: usize) {
+        match self.labels[l] {
+            Some(pc) => self.word(pc),
+            None => {
+                self.patches.push((self.code.len(), l));
+                self.word(0);
+            }
+        }
+    }
+
+    fn jmp(&mut self, l: usize) {
+        self.flush();
+        self.emit(Op::Jmp, 0, 0, 0);
+        self.target(l);
+    }
+
+    // --------------------------------------------------------------
+    // Registers and scopes
+    // --------------------------------------------------------------
+
+    fn alloc(&mut self) -> u32 {
+        let r = self.next;
+        self.next += 1;
+        self.max = self.max.max(self.next);
+        if r > 0xff {
+            self.overflow = true;
+        }
+        r
+    }
+
+    fn push_scope(&mut self) {
+        self.scopes.push(Scope {
+            watermark: self.next,
+            entries: Vec::new(),
+        });
+    }
+
+    fn pop_scope(&mut self) {
+        let s = self.scopes.pop().expect("scope");
+        self.next = s.watermark;
+    }
+
+    fn bind(&mut self, name: &str, b: Binding) {
+        self.scopes
+            .last_mut()
+            .expect("scope")
+            .entries
+            .push((name.to_string(), b));
+    }
+
+    /// The visible binding per scope level, innermost first, truncated
+    /// after the first unconditional one (resolution stops there).
+    /// The bool is whether the chain ends in an unconditional binding.
+    fn chain(&self, name: &str) -> (Vec<Binding>, bool) {
+        let mut out = Vec::new();
+        for scope in self.scopes.iter().rev() {
+            if let Some((_, b)) = scope.entries.iter().rev().find(|(n, _)| n == name) {
+                out.push(*b);
+                if !b.conditional {
+                    return (out, true);
+                }
+            }
+        }
+        (out, false)
+    }
+
+    /// The binding for `name` in the innermost scope that has one —
+    /// used by `Local`, which always targets its enclosing block.
+    fn innermost(&mut self, name: &str) -> &mut Binding {
+        for scope in self.scopes.iter_mut().rev() {
+            if let Some((_, b)) = scope.entries.iter_mut().rev().find(|(n, _)| n == name) {
+                return b;
+            }
+        }
+        unreachable!("declared names are pre-registered")
+    }
+
+    /// Register every name this statement list can declare into the
+    /// current scope — one register per name, mirroring one frame slot
+    /// per name — and reset their defined flags. Descends into `if` and
+    /// `while` branches (which bind into the *enclosing* frame when
+    /// their branch is not a block) but not into nested blocks or
+    /// switch arms, which push frames of their own.
+    fn prescan(&mut self, stmts: &[Stmt]) {
+        fn collect<'p>(s: &'p Stmt, out: &mut Vec<&'p str>) {
+            match &s.kind {
+                StmtKind::Local { name, .. } => out.push(name.name.as_str()),
+                StmtKind::NestedFun(f) => out.push(f.name.name.as_str()),
+                StmtKind::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    collect(then_branch, out);
+                    if let Some(e) = else_branch {
+                        collect(e, out);
+                    }
+                }
+                StmtKind::While { body, .. } => collect(body, out),
+                _ => {}
+            }
+        }
+        let mut names = Vec::new();
+        for s in stmts {
+            collect(s, &mut names);
+        }
+        let mut seen = Vec::new();
+        for n in names {
+            if seen.contains(&n) {
+                continue;
+            }
+            seen.push(n);
+            // A switch-arm binder of the same name shares its slot.
+            let already = self
+                .scopes
+                .last()
+                .expect("scope")
+                .entries
+                .iter()
+                .any(|(en, _)| en == n);
+            if already {
+                continue;
+            }
+            let reg = self.alloc();
+            self.emit(Op::Undef, reg, 0, 0);
+            self.bind(
+                n,
+                Binding {
+                    reg,
+                    conditional: true,
+                },
+            );
+        }
+    }
+
+    // --------------------------------------------------------------
+    // Statements
+    // --------------------------------------------------------------
+
+    fn block(&mut self, b: &'p Block) {
+        self.push_scope();
+        self.prescan(&b.stmts);
+        for s in &b.stmts {
+            self.stmt(s, true);
+        }
+        self.pop_scope();
+    }
+
+    /// `direct` is true when this statement executes unconditionally in
+    /// its enclosing block's straight line (not inside an `if`/`while`
+    /// branch) — the point after which a declaration is statically
+    /// known to be bound.
+    fn stmt(&mut self, s: &'p Stmt, direct: bool) {
+        self.tick();
+        match &s.kind {
+            StmtKind::Local { name, init, .. } => {
+                let reg = self.innermost(name.name.as_str()).reg;
+                match init {
+                    Some(e) => self.expr(e, reg),
+                    None => {
+                        let k = self.pools.konst(ConstKey::Unit);
+                        self.emit(Op::LoadK, reg, 0, 0);
+                        self.word(k);
+                    }
+                }
+                self.emit(Op::Def, reg, 0, 0);
+                if direct {
+                    self.innermost(name.name.as_str()).conditional = false;
+                }
+            }
+            StmtKind::NestedFun(f) => {
+                let name = f.name.name.as_str();
+                let reg = self.innermost(name).reg;
+                let k = self.pools.konst(ConstKey::Fn(name.to_string()));
+                self.emit(Op::LoadK, reg, 0, 0);
+                self.word(k);
+                self.emit(Op::Def, reg, 0, 0);
+                if direct {
+                    self.innermost(name).conditional = false;
+                }
+            }
+            StmtKind::Expr(e) => {
+                let save = self.next;
+                let t = self.alloc();
+                self.expr(e, t);
+                self.next = save;
+            }
+            StmtKind::Assign { lhs, rhs } => {
+                // Peephole: a store to a statically-known slot compiles
+                // the value directly into the variable's register —
+                // sound because every expression form writes its
+                // destination exactly once, as its final instruction.
+                if let Some(reg) = self.grounded_slot(lhs) {
+                    self.expr(rhs, reg);
+                } else {
+                    let save = self.next;
+                    let t = self.operand(rhs);
+                    self.assign(lhs, t);
+                    self.next = save;
+                }
+            }
+            StmtKind::Incr(e) | StmtKind::Decr(e) => {
+                let down = matches!(s.kind, StmtKind::Decr(_));
+                // Peephole: `x++` on a statically-known slot is one
+                // in-place instruction. The tick is the place's `Var`
+                // evaluation; the write-back re-resolves to the same
+                // slot and burns nothing, as in the interpreter.
+                if let Some(reg) = self.grounded_slot(e) {
+                    self.tick();
+                    self.flush();
+                    self.emit(Op::IncrChk, reg, reg, down as u32);
+                } else {
+                    let save = self.next;
+                    let t = self.alloc();
+                    self.expr(e, t);
+                    self.flush();
+                    self.emit(Op::IncrChk, t, t, down as u32);
+                    // The interpreter re-evaluates the place's base when
+                    // writing back; so do we, by recompiling the lhs path.
+                    self.assign(e, t);
+                    self.next = save;
+                }
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let save = self.next;
+                let t = self.operand(cond);
+                let lelse = self.label();
+                let lend = self.label();
+                self.flush();
+                self.emit(Op::JmpIfNot, t, 0, 0);
+                self.target(lelse);
+                self.next = save;
+                self.stmt(then_branch, false);
+                self.jmp(lend);
+                self.bind_label(lelse);
+                if let Some(e) = else_branch {
+                    self.stmt(e, false);
+                }
+                self.bind_label(lend);
+            }
+            StmtKind::While { cond, body } => {
+                let lhead = self.label();
+                let lend = self.label();
+                self.bind_label(lhead);
+                self.tick(); // the interpreter burns once per iteration
+                let save = self.next;
+                let t = self.operand(cond);
+                self.flush();
+                self.emit(Op::JmpIfNot, t, 0, 0);
+                self.target(lend);
+                self.next = save;
+                self.stmt(body, false);
+                self.jmp(lhead);
+                self.bind_label(lend);
+            }
+            StmtKind::Switch { scrutinee, arms } => {
+                let save = self.next;
+                let t = self.alloc();
+                self.expr(scrutinee, t);
+                self.flush();
+                self.emit(Op::CheckVariant, t, 0, 0);
+                let lend = self.label();
+                for arm in arms {
+                    let lnext = self.label();
+                    let tag = self.pools.name(arm.ctor.name.as_str());
+                    self.emit(Op::TestTag, t, 0, 0);
+                    self.word(tag);
+                    self.target(lnext);
+                    self.push_scope();
+                    for (i, binder) in arm.binders.iter().enumerate() {
+                        if let PatBinder::Name(n) = binder {
+                            let r = self.alloc();
+                            self.emit(Op::BindArg, r, t, i as u32);
+                            self.bind(
+                                n.name.as_str(),
+                                Binding {
+                                    reg: r,
+                                    conditional: false,
+                                },
+                            );
+                        }
+                    }
+                    self.prescan(&arm.body);
+                    for st in &arm.body {
+                        self.stmt(st, true);
+                    }
+                    self.pop_scope();
+                    self.jmp(lend);
+                    self.bind_label(lnext);
+                }
+                self.bind_label(lend);
+                self.next = save;
+            }
+            StmtKind::Return(e) => match e {
+                Some(e) => {
+                    let save = self.next;
+                    let t = self.operand(e);
+                    self.flush();
+                    self.emit(Op::Ret, t, 0, 0);
+                    self.next = save;
+                }
+                None => {
+                    self.flush();
+                    self.emit(Op::RetUnit, 0, 0, 0);
+                }
+            },
+            StmtKind::Free(e) => {
+                let save = self.next;
+                let t = self.operand(e);
+                self.flush();
+                self.emit(Op::FreeV, t, 0, 0);
+                self.next = save;
+            }
+            StmtKind::Block(b) => self.block(b),
+        }
+    }
+
+    /// The register of `e` when it is a variable with exactly one,
+    /// unconditionally-bound binding — the only case where a slot is
+    /// statically known.
+    fn grounded_slot(&mut self, e: &Expr) -> Option<u32> {
+        let ExprKind::Var(n) = &e.kind else {
+            return None;
+        };
+        let (chain, grounded) = self.chain(n.name.as_str());
+        match chain[..] {
+            [only] if grounded => Some(only.reg),
+            _ => None,
+        }
+    }
+
+    /// Compile `e` as a read-only operand. A variable with one grounded
+    /// binding is used in place — expression evaluation can never mutate
+    /// a local's register (only `Assign`/`Incr` statements do), so the
+    /// slot is stable until the instruction that consumes it. Anything
+    /// else lands in a fresh temp. The `Var` node's fuel tick is burned
+    /// either way.
+    fn operand(&mut self, e: &'p Expr) -> u32 {
+        if let Some(reg) = self.grounded_slot(e) {
+            self.tick();
+            reg
+        } else {
+            let t = self.alloc();
+            self.expr(e, t);
+            t
+        }
+    }
+
+    /// Store `src` into a place expression (assignment right-to-left:
+    /// the value is already evaluated).
+    fn assign(&mut self, lhs: &'p Expr, src: u32) {
+        match &lhs.kind {
+            ExprKind::Var(name) => self.write_var(name.name.as_str(), src),
+            ExprKind::Field(base, field) => {
+                let save = self.next;
+                let t = self.operand(base);
+                let n = self.pools.name(field.name.as_str());
+                self.flush();
+                self.emit(Op::SetField, t, src, 0);
+                self.word(n);
+                self.next = save;
+            }
+            ExprKind::Index(base, idx) => {
+                let save = self.next;
+                let tb = self.operand(base);
+                let ti = self.operand(idx);
+                self.flush();
+                self.emit(Op::SetIndex, tb, ti, src);
+                self.next = save;
+            }
+            _ => {
+                let err = self.pools.error(ops::err_assign_non_place());
+                self.flush();
+                self.emit(Op::Trap, 0, 0, 0);
+                self.word(err);
+            }
+        }
+    }
+
+    /// Store to a name: the innermost *defined* binding wins; with no
+    /// binding anywhere the interpreter faults (assignment never falls
+    /// back to function constants).
+    fn write_var(&mut self, name: &str, src: u32) {
+        let (chain, grounded) = self.chain(name);
+        if let [only] = chain[..] {
+            if grounded {
+                self.emit(Op::Move, only.reg, src, 0);
+                return;
+            }
+        }
+        let ldone = self.label();
+        self.flush();
+        for b in &chain {
+            if !b.conditional {
+                self.emit(Op::Move, b.reg, src, 0);
+                self.jmp(ldone);
+                break;
+            }
+            let lnext = self.label();
+            self.emit(Op::JmpUndef, b.reg, 0, 0);
+            self.target(lnext);
+            self.emit(Op::Move, b.reg, src, 0);
+            self.jmp(ldone);
+            self.bind_label(lnext);
+        }
+        if !grounded {
+            let err = self.pools.error(ops::err_unknown_var(name));
+            self.emit(Op::Trap, 0, 0, 0);
+            self.word(err);
+        }
+        self.bind_label(ldone);
+    }
+
+    /// Load a name: innermost defined binding, then function constant,
+    /// then `unknown variable`.
+    fn read_var(&mut self, name: &str, dst: u32) {
+        let (chain, grounded) = self.chain(name);
+        if let [only] = chain[..] {
+            if grounded {
+                if only.reg != dst {
+                    self.emit(Op::Move, dst, only.reg, 0);
+                }
+                return;
+            }
+        }
+        let ldone = self.label();
+        self.flush();
+        for b in &chain {
+            if !b.conditional {
+                self.emit(Op::Move, dst, b.reg, 0);
+                self.jmp(ldone);
+                break;
+            }
+            let lnext = self.label();
+            self.emit(Op::JmpUndef, b.reg, 0, 0);
+            self.target(lnext);
+            self.emit(Op::Move, dst, b.reg, 0);
+            self.jmp(ldone);
+            self.bind_label(lnext);
+        }
+        if !grounded {
+            if self.decls.contains_key(name) {
+                let k = self.pools.konst(ConstKey::Fn(name.to_string()));
+                self.emit(Op::LoadK, dst, 0, 0);
+                self.word(k);
+            } else {
+                let err = self.pools.error(ops::err_unknown_var(name));
+                self.emit(Op::Trap, 0, 0, 0);
+                self.word(err);
+            }
+        }
+        self.bind_label(ldone);
+    }
+
+    // --------------------------------------------------------------
+    // Expressions
+    // --------------------------------------------------------------
+
+    fn expr(&mut self, e: &'p Expr, dst: u32) {
+        self.tick();
+        match &e.kind {
+            ExprKind::IntLit(n) => {
+                let k = self.pools.konst(ConstKey::Int(*n));
+                self.emit(Op::LoadK, dst, 0, 0);
+                self.word(k);
+            }
+            ExprKind::BoolLit(b) => {
+                let k = self.pools.konst(ConstKey::Bool(*b));
+                self.emit(Op::LoadK, dst, 0, 0);
+                self.word(k);
+            }
+            ExprKind::StrLit(s) => {
+                let k = self.pools.konst(ConstKey::Str(s.clone()));
+                self.emit(Op::LoadK, dst, 0, 0);
+                self.word(k);
+            }
+            ExprKind::Var(name) => self.read_var(name.name.as_str(), dst),
+            ExprKind::Field(base, field) => {
+                let save = self.next;
+                let t = self.operand(base);
+                let n = self.pools.name(field.name.as_str());
+                self.flush();
+                self.emit(Op::GetField, dst, t, 0);
+                self.word(n);
+                self.next = save;
+            }
+            ExprKind::Index(base, idx) => {
+                let save = self.next;
+                let tb = self.operand(base);
+                let ti = self.operand(idx);
+                self.flush();
+                self.emit(Op::GetIndex, dst, tb, ti);
+                self.next = save;
+            }
+            ExprKind::Call { callee, args, .. } => self.call(callee, args, dst),
+            ExprKind::Ctor { name, args, .. } => {
+                let save = self.next;
+                let base = self.next;
+                for a in args {
+                    let t = self.alloc();
+                    self.expr(a, t);
+                }
+                let n = self.pools.name(name.name.as_str());
+                // Pure: building a variant cannot fault.
+                self.emit(Op::Ctor, dst, base, args.len() as u32);
+                self.word(n);
+                self.next = save;
+            }
+            ExprKind::New { region, inits, .. } => {
+                let save = self.next;
+                let base = self.next;
+                let mut shape = Vec::with_capacity(inits.len());
+                for init in inits {
+                    let t = self.alloc();
+                    self.expr(&init.value, t);
+                    shape.push(self.pools.name(init.name.name.as_str()));
+                }
+                let shape = self.pools.shape(shape);
+                match region {
+                    None => {
+                        self.flush();
+                        self.emit(Op::NewObj, dst, base, 0);
+                        self.word(shape);
+                    }
+                    Some(rexpr) => {
+                        // Field initializers evaluate before the region
+                        // expression, as in the interpreter.
+                        let tr = self.operand(rexpr);
+                        self.flush();
+                        self.emit(Op::NewIn, dst, tr, base);
+                        self.word(shape);
+                    }
+                }
+                self.next = save;
+            }
+            ExprKind::Unary(op, inner) => {
+                let save = self.next;
+                let t = self.operand(inner);
+                self.flush();
+                match op {
+                    UnOp::Not => self.emit(Op::Not, dst, t, 0),
+                    UnOp::Neg => self.emit(Op::Neg, dst, t, 0),
+                }
+                self.next = save;
+            }
+            ExprKind::Binary(op, l, r) => match op {
+                BinOp::And | BinOp::Or => self.short_circuit(*op, l, r, dst),
+                _ => {
+                    let save = self.next;
+                    let tl = self.operand(l);
+                    let tr = self.operand(r);
+                    self.flush();
+                    self.emit(Op::Bin, dst, tl, tr);
+                    self.word(encode_binop(*op));
+                    self.next = save;
+                }
+            },
+        }
+    }
+
+    fn short_circuit(&mut self, op: BinOp, l: &'p Expr, r: &'p Expr, dst: u32) {
+        let save = self.next;
+        let t = self.alloc();
+        self.expr(l, t);
+        self.flush();
+        self.emit(Op::CheckBool, t, 0, 0);
+        let lshort = self.label();
+        let lend = self.label();
+        // `t` holds a verified boolean; these jumps cannot fault.
+        match op {
+            BinOp::And => self.emit(Op::JmpIfNot, t, 0, 0),
+            _ => self.emit(Op::JmpIfTrue, t, 0, 0),
+        }
+        self.target(lshort);
+        self.expr(r, t);
+        self.flush();
+        self.emit(Op::CheckBool, t, 0, 0);
+        self.emit(Op::Move, dst, t, 0);
+        self.jmp(lend);
+        self.bind_label(lshort);
+        let k = self.pools.konst(ConstKey::Bool(matches!(op, BinOp::Or)));
+        self.emit(Op::LoadK, dst, 0, 0);
+        self.word(k);
+        self.bind_label(lend);
+        self.next = save;
+    }
+
+    /// A call expression. The interpreter resolves the callee *name*
+    /// first (burning only the `Call` node), evaluates arguments, then
+    /// burns once more inside `call` before dispatching.
+    fn call(&mut self, callee: &'p Expr, args: &'p [Expr], dst: u32) {
+        let fname: &str = match &callee.kind {
+            ExprKind::Var(n) => n.name.as_str(),
+            ExprKind::Field(base, f) => {
+                let ExprKind::Var(q) = &base.kind else {
+                    return self.trap_computed_call();
+                };
+                let (chain, grounded) = self.chain(q.name.as_str());
+                if grounded {
+                    // `q` is definitely a local — a computed target.
+                    return self.trap_computed_call();
+                }
+                if !chain.is_empty() {
+                    // `q` is bound only on some paths: the interpreter
+                    // decides per execution. If any candidate slot is
+                    // defined, this is a computed target; otherwise the
+                    // qualifier is a module name and the call is `f`.
+                    self.flush();
+                    for b in &chain {
+                        let lnext = self.label();
+                        self.emit(Op::JmpUndef, b.reg, 0, 0);
+                        self.target(lnext);
+                        let err = self.pools.error(ops::err_computed_call());
+                        self.emit(Op::Trap, 0, 0, 0);
+                        self.word(err);
+                        self.bind_label(lnext);
+                    }
+                }
+                f.name.as_str()
+            }
+            _ => return self.trap_computed_call(),
+        };
+        let save = self.next;
+        let base = self.next;
+        for a in args {
+            let t = self.alloc();
+            self.expr(a, t);
+        }
+        self.tick(); // the burn inside `Machine::call`
+        match self.targets.get(fname) {
+            Some(CallTarget::Compiled(fidx)) => {
+                let decl = self.decls[fname];
+                if decl.params.len() != args.len() {
+                    let err =
+                        self.pools
+                            .error(ops::err_arity(fname, decl.params.len(), args.len()));
+                    self.flush();
+                    self.emit(Op::Trap, 0, 0, 0);
+                    self.word(err);
+                } else {
+                    self.flush();
+                    self.emit(Op::CallFn, dst, base, args.len() as u32);
+                    self.word(*fidx as u32);
+                }
+            }
+            _ => {
+                let n = self.pools.name(fname);
+                self.flush();
+                self.emit(Op::CallExt, dst, base, args.len() as u32);
+                self.word(n);
+            }
+        }
+        self.next = save;
+    }
+
+    fn trap_computed_call(&mut self) {
+        let err = self.pools.error(ops::err_computed_call());
+        self.flush();
+        self.emit(Op::Trap, 0, 0, 0);
+        self.word(err);
+    }
+}

@@ -1,0 +1,174 @@
+//! The differential harness: run a program's entry points on the
+//! tree-walking interpreter and on the bytecode VM and demand the exact
+//! same [`EvalOutcome`] — value or fault (variant *and* message), leaked
+//! region count, and fuel consumed. This is the proof of the erasure
+//! story: the compiled ISA is semantics-preserving across the whole
+//! corpus, including programs the static checker rejects.
+//!
+//! Arguments are synthesized from surface parameter types through the
+//! [`Host`] interface, so both engines construct their fixtures the same
+//! way (ambient regions/objects in identical creation order yield equal
+//! `RegionId`s on both fresh heaps).
+
+use crate::bytecode::CompiledProgram;
+use crate::compile::compile;
+use crate::vm::Vm;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use vault_eval::value::Fields;
+use vault_eval::{EvalOutcome, ExternTable, Host, Machine, Value};
+use vault_syntax::ast::{FunDecl, Program, TypeKind};
+use vault_syntax::{parse_program, DiagSink};
+
+/// A per-entry comparison that disagreed.
+pub struct Divergence {
+    /// The entry function name.
+    pub entry: String,
+    /// What the interpreter produced.
+    pub interp: EvalOutcome,
+    /// What the VM produced.
+    pub vm: EvalOutcome,
+}
+
+impl std::fmt::Debug for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "entry `{}`:\n  interp: {:?}\n  vm:     {:?}",
+            self.entry, self.interp, self.vm
+        )
+    }
+}
+
+/// Why a program could not be compared at all.
+#[derive(Debug)]
+pub enum Skip {
+    /// The source did not parse (mutants often don't); nothing to run.
+    Parse,
+    /// A function overflowed the register file; the VM declares it
+    /// unsupported rather than diverging silently, and the harness skips.
+    RegisterOverflow(Vec<String>),
+}
+
+/// Synthesize a call argument for a surface parameter type, creating any
+/// needed fixtures through the engine's [`Host`] interface.
+pub fn synth_arg(host: &mut dyn Host, ty: &TypeKind) -> Value {
+    match ty {
+        TypeKind::Int | TypeKind::Byte => Value::Int(7),
+        TypeKind::Bool => Value::Bool(true),
+        TypeKind::Str => Value::Str("x".into()),
+        TypeKind::Array(_) => Value::Array(Rc::new(RefCell::new(vec![Value::Int(0); 8]))),
+        TypeKind::Tracked { inner, .. } | TypeKind::Guarded { inner, .. } => {
+            synth_arg(host, &inner.kind)
+        }
+        TypeKind::Named { name, .. } if name.name.as_str() == "region" => {
+            Value::Region(host.create_ambient_region())
+        }
+        TypeKind::Named { .. } => host.alloc_ambient(Fields::new()),
+        TypeKind::Void | TypeKind::Tuple(_) | TypeKind::Fn(_) => Value::Unit,
+    }
+}
+
+fn synth_args(host: &mut dyn Host, f: &FunDecl) -> Vec<Value> {
+    f.params
+        .iter()
+        .map(|p| synth_arg(host, &p.ty.kind))
+        .collect()
+}
+
+/// The callable body functions of a program, in dispatch order — the
+/// last declaration per name wins, exactly as both engines dispatch.
+pub fn entries(program: &Program) -> Vec<&FunDecl> {
+    let mut by_name: BTreeMap<String, &FunDecl> = BTreeMap::new();
+    for f in program.functions() {
+        by_name.insert(f.name.name.to_string(), f);
+    }
+    by_name.into_values().filter(|f| f.body.is_some()).collect()
+}
+
+/// Run every entry of `program` on both engines with the given fuel and
+/// collect any divergences. `mk_externs` is called once per engine per
+/// entry so each run gets fresh extern state.
+pub fn diff_program(
+    program: &Program,
+    compiled: &CompiledProgram,
+    fuel: u64,
+    mk_externs: &dyn Fn() -> ExternTable,
+) -> Result<Vec<Divergence>, Skip> {
+    if !compiled.overflowed.is_empty() {
+        return Err(Skip::RegisterOverflow(compiled.overflowed.clone()));
+    }
+    let mut divergences = Vec::new();
+    for f in entries(program) {
+        let entry = f.name.name.to_string();
+
+        let mut interp = Machine::new(program, mk_externs());
+        interp.set_fuel(fuel);
+        let args = synth_args(&mut interp, f);
+        let interp_out = interp.run(&entry, args);
+
+        let mut vm = Vm::new(compiled, mk_externs());
+        vm.set_fuel(fuel);
+        let args = synth_args(&mut vm, f);
+        let vm_out = vm.run(&entry, args);
+
+        if interp_out != vm_out {
+            divergences.push(Divergence {
+                entry,
+                interp: interp_out,
+                vm: vm_out,
+            });
+        }
+    }
+    Ok(divergences)
+}
+
+/// Parse-compile-and-diff a source text. Returns the number of entries
+/// compared; unparseable sources and register overflows are [`Skip`]s,
+/// divergences are collected for the caller to assert on.
+pub fn diff_source(
+    src: &str,
+    fuel: u64,
+    mk_externs: &dyn Fn() -> ExternTable,
+) -> Result<(usize, Vec<Divergence>), Skip> {
+    let mut diags = DiagSink::new();
+    let program = parse_program(src, &mut diags);
+    if diags.has_errors() {
+        return Err(Skip::Parse);
+    }
+    let compiled = compile(&program);
+    let n = entries(&program).len();
+    let divergences = diff_program(&program, &compiled, fuel, mk_externs)?;
+    Ok((n, divergences))
+}
+
+/// Assert a source program is outcome-identical across engines on every
+/// entry, panicking with a full report (including the disassembly) if a
+/// divergence is found. Returns the number of entries compared.
+pub fn assert_identical(
+    label: &str,
+    src: &str,
+    fuel: u64,
+    mk_externs: &dyn Fn() -> ExternTable,
+) -> usize {
+    let mut diags = DiagSink::new();
+    let program = parse_program(src, &mut diags);
+    assert!(
+        !diags.has_errors(),
+        "[{label}] does not parse: {:?}",
+        diags.diagnostics()
+    );
+    let compiled = compile(&program);
+    match diff_program(&program, &compiled, fuel, mk_externs) {
+        Err(skip) => panic!("[{label}] not comparable: {skip:?}"),
+        Ok(divergences) => {
+            assert!(
+                divergences.is_empty(),
+                "[{label}] engines diverged:\n{divergences:#?}\n\n{}",
+                crate::bytecode::disasm(&compiled)
+            );
+        }
+    }
+    entries(&program).len()
+}

@@ -1,0 +1,40 @@
+//! `vault-vm`: a register-bytecode backend for checked Vault programs.
+//!
+//! The paper's erasure theorem says a checked Vault program needs *no*
+//! runtime protocol machinery — keys, guards, and tracked types all
+//! compile away. The tree-walking interpreter in `vault-eval`
+//! demonstrates that semantically; this crate demonstrates it at
+//! machine-model fidelity: the elaborated AST compiles to a dense
+//! `u32`-encoded register ISA ([`bytecode`]) with interned symbols,
+//! pre-resolved call targets and field shapes, and explicit fuel ticks,
+//! executed by a dispatch-loop VM ([`vm`]) over the same
+//! generation-checked region heap. Use-after-delete, double-delete,
+//! leaks, fuel exhaustion, and call-depth faults surface *identically*
+//! to the interpreter — proven by the differential [`harness`] across
+//! the whole corpus, including statically rejected programs.
+//!
+//! ```
+//! use vault_eval::{ExternTable, Value};
+//! use vault_syntax::{parse_program, DiagSink};
+//!
+//! let mut diags = DiagSink::new();
+//! let program = parse_program(
+//!     "int add(int a, int b) { return a + b; }",
+//!     &mut diags,
+//! );
+//! let compiled = vault_vm::compile(&program);
+//! let mut vm = vault_vm::Vm::new(&compiled, ExternTable::new());
+//! let out = vm.run("add", vec![Value::Int(40), Value::Int(2)]);
+//! assert_eq!(out.result, Ok(Value::Int(42)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bytecode;
+pub mod compile;
+pub mod harness;
+pub mod vm;
+
+pub use bytecode::{disasm, CallTarget, CompiledFn, CompiledProgram, Op};
+pub use compile::compile;
+pub use vm::Vm;

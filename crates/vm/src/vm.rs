@@ -1,0 +1,506 @@
+//! The dispatch-loop VM: executes [`CompiledProgram`] bytecode over the
+//! same generation-checked `RegionHeap` oracle as the interpreter, with
+//! the same extern table, fuel accounting, and call-depth bound — so a
+//! checked program runs at register-machine speed while use-after-delete,
+//! leaks, and every other dynamic fault surface identically.
+
+use crate::bytecode::{decode_binop, unpack, CallTarget, CompiledProgram, Op};
+use vault_eval::value::Fields;
+use vault_eval::{
+    ops, EvalError, EvalOutcome, ExternTable, Host, Value, DEFAULT_CALL_DEPTH, DEFAULT_FUEL,
+};
+use vault_runtime::{RegionHeap, RegionId};
+
+/// A suspended caller: where to resume and where the callee's result goes.
+struct Frame {
+    fidx: usize,
+    ret_pc: usize,
+    base: usize,
+    dst: usize,
+}
+
+/// The bytecode engine. API mirrors `vault_eval::Machine`: construct over
+/// a compiled program and an extern table, then [`Vm::run`] entry points;
+/// heap, fuel, and extern state persist across runs on one instance.
+pub struct Vm<'p> {
+    prog: &'p CompiledProgram,
+    heap: RegionHeap<Fields>,
+    ambient: std::collections::BTreeSet<RegionId>,
+    externs: Option<ExternTable>,
+    fuel: u64,
+    budget: u64,
+    depth_limit: usize,
+    regs: Vec<Value>,
+    defined: Vec<bool>,
+    frames: Vec<Frame>,
+}
+
+impl<'p> Vm<'p> {
+    /// Build a VM over a compiled program and an extern table.
+    pub fn new(prog: &'p CompiledProgram, externs: ExternTable) -> Self {
+        Vm {
+            prog,
+            heap: RegionHeap::new(),
+            ambient: std::collections::BTreeSet::new(),
+            externs: Some(externs),
+            fuel: DEFAULT_FUEL,
+            budget: DEFAULT_FUEL,
+            depth_limit: DEFAULT_CALL_DEPTH,
+            regs: Vec::new(),
+            defined: Vec::new(),
+            frames: Vec::new(),
+        }
+    }
+
+    /// Override the fuel budget.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+        self.budget = fuel;
+    }
+
+    /// Override the call-depth bound.
+    pub fn set_call_depth_limit(&mut self, limit: usize) {
+        self.depth_limit = limit;
+    }
+
+    /// Fuel consumed so far (cumulative across runs).
+    pub fn fuel_used(&self) -> u64 {
+        self.budget - self.fuel
+    }
+
+    fn leaked(&self) -> usize {
+        let ambient_live = self
+            .ambient
+            .iter()
+            .filter(|r| self.heap.is_live(**r))
+            .count();
+        self.heap.leaked() - ambient_live
+    }
+
+    /// Run an entry function to completion, with resource accounting.
+    pub fn run(&mut self, entry: &str, args: Vec<Value>) -> EvalOutcome {
+        let result = self.call(entry, args);
+        EvalOutcome {
+            result,
+            leaked_regions: self.leaked(),
+            fuel_used: self.fuel_used(),
+        }
+    }
+
+    fn burn(&mut self) -> Result<(), EvalError> {
+        if self.fuel == 0 {
+            return Err(EvalError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    /// Call a compiled function or extern by name.
+    pub fn call(&mut self, name: &str, args: Vec<Value>) -> Result<Value, EvalError> {
+        self.burn()?;
+        match self.prog.targets.get(name) {
+            Some(CallTarget::Compiled(fidx)) => {
+                let f = &self.prog.functions[*fidx];
+                if args.len() != f.arity {
+                    return Err(ops::err_arity(&f.name, f.arity, args.len()));
+                }
+                if self.depth_limit == 0 {
+                    return Err(EvalError::StackOverflow);
+                }
+                self.exec(*fidx, args)
+            }
+            _ => self.call_extern(name, args),
+        }
+    }
+
+    fn call_extern(&mut self, name: &str, args: Vec<Value>) -> Result<Value, EvalError> {
+        let Some(mut table) = self.externs.take() else {
+            return Err(EvalError::Extern("extern table re-entered".into()));
+        };
+        let r = table.dispatch(self, name, args);
+        self.externs = Some(table);
+        r
+    }
+
+    /// The dispatch loop. One `Vec<Value>` register stack shared by all
+    /// frames (`base`-relative addressing), a parallel defined-flag stack
+    /// for conditional bindings, and an explicit frame stack in place of
+    /// the interpreter's Rust recursion — which is why the depth bound
+    /// here protects fidelity, not the process stack.
+    ///
+    /// Hot-path layout: the current function's code slice is held in a
+    /// local (re-fetched only at calls and returns), every arm advances
+    /// `pc` itself so straight-line ops pay no width lookup, and the
+    /// all-integer cases of `Bin`/`IncrChk` and the boolean branches are
+    /// computed in place — same semantics as the `ops` helpers (which
+    /// remain the fallback, so fault behaviour is shared, not forked).
+    fn exec(&mut self, entry: usize, args: Vec<Value>) -> Result<Value, EvalError> {
+        self.regs.clear();
+        self.defined.clear();
+        self.frames.clear();
+        let prog = self.prog;
+        let mut fidx = entry;
+        let mut code: &[u32] = &prog.functions[entry].code;
+        let mut pc = 0usize;
+        let mut base = 0usize;
+        self.regs
+            .resize(prog.functions[entry].nregs as usize, Value::Unit);
+        for (i, v) in args.into_iter().enumerate() {
+            self.regs[i] = v;
+        }
+        self.defined.resize(self.regs.len(), true);
+
+        loop {
+            let (opb, a, b, c) = unpack(code[pc]);
+            let op = Op::from_u8(opb).expect("compiler emits only valid opcodes");
+            let (a, b, c) = (a as usize, b as usize, c as usize);
+            match op {
+                Op::Fuel => {
+                    let n = code[pc + 1] as u64;
+                    if self.fuel < n {
+                        self.fuel = 0;
+                        return Err(EvalError::OutOfFuel);
+                    }
+                    self.fuel -= n;
+                    pc += 2;
+                }
+                Op::LoadK => {
+                    self.regs[base + a] = prog.consts[code[pc + 1] as usize].clone();
+                    pc += 2;
+                }
+                Op::Move => {
+                    self.regs[base + a] = self.regs[base + b].clone();
+                    pc += 1;
+                }
+                Op::Jmp => pc = code[pc + 1] as usize,
+                Op::JmpIfNot => match self.regs[base + a] {
+                    Value::Bool(true) => pc += 2,
+                    Value::Bool(false) => pc = code[pc + 1] as usize,
+                    _ => return Err(ops::err_non_bool_cond()),
+                },
+                Op::JmpIfTrue => match self.regs[base + a] {
+                    Value::Bool(true) => pc = code[pc + 1] as usize,
+                    Value::Bool(false) => pc += 2,
+                    _ => return Err(ops::err_non_bool_cond()),
+                },
+                Op::CheckBool => {
+                    if self.regs[base + a].as_bool().is_none() {
+                        return Err(ops::err_logic_non_bool());
+                    }
+                    pc += 1;
+                }
+                Op::Not => {
+                    let v = self.regs[base + b].clone();
+                    self.regs[base + a] = ops::unop(vault_syntax::ast::UnOp::Not, v)?;
+                    pc += 1;
+                }
+                Op::Neg => {
+                    let v = self.regs[base + b].clone();
+                    self.regs[base + a] = ops::unop(vault_syntax::ast::UnOp::Neg, v)?;
+                    pc += 1;
+                }
+                Op::Bin => {
+                    let w = code[pc + 1];
+                    let v = match (&self.regs[base + b], &self.regs[base + c]) {
+                        (&Value::Int(x), &Value::Int(y)) => int_bin(w, x, y)?,
+                        (l, r) => ops::binop(decode_binop(w), l.clone(), r.clone())?,
+                    };
+                    self.regs[base + a] = v;
+                    pc += 2;
+                }
+                Op::IncrChk => {
+                    let v = match self.regs[base + b] {
+                        Value::Int(n) => Value::Int(n.wrapping_add(if c == 0 { 1 } else { -1 })),
+                        _ => return Err(ops::err_incr_non_int()),
+                    };
+                    self.regs[base + a] = v;
+                    pc += 1;
+                }
+                Op::GetField => {
+                    let name = prog.names[code[pc + 1] as usize].as_str();
+                    let v = match &self.regs[base + b] {
+                        Value::Obj { ptr, .. } => {
+                            let fields = self.heap.get(*ptr)?;
+                            fields.get(name).cloned().unwrap_or(Value::Unit)
+                        }
+                        other => return Err(ops::err_field_access_on(other)),
+                    };
+                    self.regs[base + a] = v;
+                    pc += 2;
+                }
+                Op::SetField => {
+                    let name = prog.names[code[pc + 1] as usize].clone();
+                    let v = self.regs[base + b].clone();
+                    match self.regs[base + a].clone() {
+                        Value::Obj { ptr, .. } => {
+                            let fields = self.heap.get_mut(ptr)?;
+                            fields.insert(name, v);
+                        }
+                        other => return Err(ops::err_field_assign_on(&other)),
+                    }
+                    pc += 2;
+                }
+                Op::GetIndex => {
+                    let i = self.regs[base + c]
+                        .as_int()
+                        .ok_or_else(ops::err_non_int_index)?;
+                    let v = match &self.regs[base + b] {
+                        Value::Array(arr) => arr
+                            .borrow()
+                            .get(i as usize)
+                            .cloned()
+                            .ok_or_else(|| ops::err_index_oob_read(i))?,
+                        Value::Str(s) => s
+                            .as_bytes()
+                            .get(i as usize)
+                            .map(|byte| Value::Int(*byte as i64))
+                            .ok_or_else(|| ops::err_index_oob_read(i))?,
+                        other => return Err(ops::err_indexing(other)),
+                    };
+                    self.regs[base + a] = v;
+                    pc += 1;
+                }
+                Op::SetIndex => {
+                    let i = self.regs[base + b]
+                        .as_int()
+                        .ok_or_else(ops::err_non_int_index)?;
+                    let v = self.regs[base + c].clone();
+                    match &self.regs[base + a] {
+                        Value::Array(arr) => {
+                            let mut arr = arr.borrow_mut();
+                            let len = arr.len();
+                            let slot = arr
+                                .get_mut(i as usize)
+                                .ok_or_else(|| ops::err_index_oob_write(i, len))?;
+                            *slot = v;
+                        }
+                        other => return Err(ops::err_index_assign_on(other)),
+                    }
+                    pc += 1;
+                }
+                Op::Ctor => {
+                    let args: Vec<Value> = self.regs[base + b..base + b + c].to_vec();
+                    self.regs[base + a] = Value::Variant {
+                        ctor: prog.names[code[pc + 1] as usize].clone(),
+                        args,
+                    };
+                    pc += 2;
+                }
+                Op::NewObj => {
+                    let fields = self.gather_fields(code[pc + 1], base + b);
+                    let r = self.heap.create();
+                    self.regs[base + a] = self.alloc_in(r, fields)?;
+                    pc += 2;
+                }
+                Op::NewIn => {
+                    let fields = self.gather_fields(code[pc + 1], base + c);
+                    match self.regs[base + b].clone() {
+                        Value::Region(r) => {
+                            self.regs[base + a] = self.alloc_in(r, fields)?;
+                        }
+                        other => return Err(ops::err_alloc_from(&other)),
+                    }
+                    pc += 2;
+                }
+                Op::FreeV => {
+                    match self.regs[base + a].clone() {
+                        Value::Obj { region, .. } => {
+                            self.heap.delete(region)?;
+                        }
+                        Value::Variant { .. } | Value::Opaque(_) => {}
+                        Value::Region(r) => {
+                            self.heap.delete(r)?;
+                        }
+                        other => return Err(ops::err_free_on(&other)),
+                    }
+                    pc += 1;
+                }
+                Op::CheckVariant => {
+                    if !matches!(self.regs[base + a], Value::Variant { .. }) {
+                        return Err(ops::err_switch_non_variant(&self.regs[base + a]));
+                    }
+                    pc += 1;
+                }
+                Op::TestTag => match &self.regs[base + a] {
+                    Value::Variant { ctor, .. } => {
+                        if *ctor == prog.names[code[pc + 1] as usize] {
+                            pc += 3;
+                        } else {
+                            pc = code[pc + 2] as usize;
+                        }
+                    }
+                    other => return Err(ops::err_switch_non_variant(other)),
+                },
+                Op::BindArg => {
+                    let v = match &self.regs[base + b] {
+                        Value::Variant { args, .. } => args.get(c).cloned().unwrap_or(Value::Unit),
+                        other => return Err(ops::err_switch_non_variant(other)),
+                    };
+                    self.regs[base + a] = v;
+                    pc += 1;
+                }
+                Op::CallFn => {
+                    // Active frames = suspended callers + the current one.
+                    if self.frames.len() + 1 >= self.depth_limit {
+                        return Err(EvalError::StackOverflow);
+                    }
+                    let callee = code[pc + 1] as usize;
+                    let new_base = self.regs.len();
+                    for i in 0..c {
+                        let v = self.regs[base + b + i].clone();
+                        self.regs.push(v);
+                    }
+                    self.regs.resize(
+                        new_base + prog.functions[callee].nregs as usize,
+                        Value::Unit,
+                    );
+                    self.defined.resize(self.regs.len(), true);
+                    self.frames.push(Frame {
+                        fidx,
+                        ret_pc: pc + 2,
+                        base,
+                        dst: base + a,
+                    });
+                    fidx = callee;
+                    code = &prog.functions[callee].code;
+                    base = new_base;
+                    pc = 0;
+                }
+                Op::CallExt => {
+                    // The dispatch burn is already in the preceding
+                    // Fuel flush; burning here would double-count.
+                    let name = prog.names[code[pc + 1] as usize].as_str();
+                    let mut args = Vec::with_capacity(c);
+                    for i in 0..c {
+                        args.push(self.regs[base + b + i].clone());
+                    }
+                    let v = self.call_extern(name, args)?;
+                    self.regs[base + a] = v;
+                    pc += 2;
+                }
+                Op::Ret | Op::RetUnit => {
+                    let v = if matches!(op, Op::Ret) {
+                        std::mem::replace(&mut self.regs[base + a], Value::Unit)
+                    } else {
+                        Value::Unit
+                    };
+                    self.regs.truncate(base);
+                    self.defined.truncate(base);
+                    match self.frames.pop() {
+                        None => return Ok(v),
+                        Some(f) => {
+                            fidx = f.fidx;
+                            code = &prog.functions[f.fidx].code;
+                            pc = f.ret_pc;
+                            base = f.base;
+                            self.regs[f.dst] = v;
+                        }
+                    }
+                }
+                Op::Trap => return Err(prog.errors[code[pc + 1] as usize].clone()),
+                Op::Def => {
+                    self.defined[base + a] = true;
+                    pc += 1;
+                }
+                Op::Undef => {
+                    self.defined[base + a] = false;
+                    pc += 1;
+                }
+                Op::JmpUndef => {
+                    if self.defined[base + a] {
+                        pc += 2;
+                    } else {
+                        pc = code[pc + 1] as usize;
+                    }
+                }
+            }
+        }
+    }
+
+    fn gather_fields(&self, shape: u32, base: usize) -> Fields {
+        let mut fields = Fields::new();
+        for (k, name) in self.prog.shapes[shape as usize].iter().enumerate() {
+            fields.insert(
+                self.prog.names[*name as usize].clone(),
+                self.regs[base + k].clone(),
+            );
+        }
+        fields
+    }
+}
+
+/// [`Op::Bin`] on two integers: `ops::binop`'s exact semantics (wrapping
+/// arithmetic, `DivideByZero` on `/ 0` and `% 0`, structural `==`),
+/// computed without routing two cloned `Value`s through the general
+/// path. The operator encoding is `encode_binop`'s.
+#[inline]
+fn int_bin(w: u32, a: i64, b: i64) -> Result<Value, EvalError> {
+    Ok(match w {
+        0 => Value::Int(a.wrapping_add(b)),
+        1 => Value::Int(a.wrapping_sub(b)),
+        2 => Value::Int(a.wrapping_mul(b)),
+        3 => {
+            if b == 0 {
+                return Err(EvalError::DivideByZero);
+            }
+            Value::Int(a.wrapping_div(b))
+        }
+        4 => {
+            if b == 0 {
+                return Err(EvalError::DivideByZero);
+            }
+            Value::Int(a.wrapping_rem(b))
+        }
+        5 => Value::Bool(a == b),
+        6 => Value::Bool(a != b),
+        7 => Value::Bool(a < b),
+        8 => Value::Bool(a <= b),
+        9 => Value::Bool(a > b),
+        _ => Value::Bool(a >= b),
+    })
+}
+
+impl<'p> Host for Vm<'p> {
+    fn create_region(&mut self) -> RegionId {
+        self.heap.create()
+    }
+
+    fn delete_region(&mut self, r: RegionId) -> Result<(), EvalError> {
+        self.heap.delete(r)?;
+        Ok(())
+    }
+
+    fn alloc_in(&mut self, r: RegionId, fields: Fields) -> Result<Value, EvalError> {
+        let ptr = self.heap.alloc(r, fields)?;
+        Ok(Value::Obj { region: r, ptr })
+    }
+
+    fn touch_object(&self, v: &Value) -> Result<(), EvalError> {
+        match v {
+            Value::Obj { ptr, .. } => {
+                self.heap.get(*ptr)?;
+                Ok(())
+            }
+            Value::Region(r) => {
+                if self.heap.is_live(*r) {
+                    Ok(())
+                } else {
+                    Err(EvalError::UseAfterDelete)
+                }
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn alloc_ambient(&mut self, fields: Fields) -> Value {
+        let r = self.create_ambient_region();
+        let ptr = self.heap.alloc(r, fields).expect("fresh region");
+        Value::Obj { region: r, ptr }
+    }
+
+    fn create_ambient_region(&mut self) -> RegionId {
+        let r = self.heap.create();
+        self.ambient.insert(r);
+        r
+    }
+}

@@ -1,0 +1,75 @@
+//! The erasure proof: every corpus program — paper figures, kernel
+//! interface, floppy driver and its seeded-bug mutants, extensions,
+//! execution kernels; statically accepted and rejected alike — runs on
+//! both engines, at several fuel budgets, and every entry must produce
+//! a byte-for-byte identical `EvalOutcome`: result or fault (variant
+//! and message), leaked-region count, and fuel consumed.
+//!
+//! Entries whose externs aren't modelled by the plain region table fault
+//! with `UnknownFunction` — on both engines, at the same point, with the
+//! same fuel spent, which is exactly the assertion. The richer extern
+//! worlds (pipeline, failure-aware allocation, sockets) are compared in
+//! `differential_workloads.rs`.
+
+use vault_eval::{ExternTable, DEFAULT_FUEL};
+use vault_vm::harness::assert_identical;
+
+/// Tiny budgets force `OutOfFuel` inside argument evaluation, call
+/// setup, and loop headers; the default budget lets everything that
+/// terminates terminate. Identical `fuel_used` is asserted throughout.
+const BUDGETS: [u64; 3] = [7, 101, DEFAULT_FUEL];
+
+#[test]
+fn every_corpus_program_is_outcome_identical_across_engines() {
+    let mut entries_compared = 0usize;
+    let programs = vault_corpus::all_programs();
+    assert!(programs.len() >= 30, "corpus shrank? {}", programs.len());
+    for p in &programs {
+        for fuel in BUDGETS {
+            entries_compared += assert_identical(
+                &format!("{} @fuel={fuel}", p.id),
+                &p.source,
+                fuel,
+                &ExternTable::with_regions,
+            );
+        }
+    }
+    // A meaningful sweep, not a vacuous loop.
+    assert!(
+        entries_compared >= 100,
+        "only {entries_compared} entry comparisons ran"
+    );
+}
+
+#[test]
+fn execution_kernels_complete_identically_at_default_fuel() {
+    // The X6 kernels must actually *finish* under the default budget on
+    // both engines (they exist to measure steady-state throughput), and
+    // agree on the result.
+    for p in vault_corpus::programs_for("X6") {
+        let n = assert_identical(p.id, &p.source, DEFAULT_FUEL, &ExternTable::with_regions);
+        assert!(n >= 1);
+        let mut diags = vault_syntax::DiagSink::new();
+        let program = vault_syntax::parse_program(&p.source, &mut diags);
+        assert!(!diags.has_errors());
+        let mut m = vault_eval::Machine::new(&program, ExternTable::with_regions());
+        let out = m.run("main", vec![]);
+        assert!(
+            matches!(out.result, Ok(vault_eval::Value::Int(_))),
+            "[{}] kernel did not complete: {:?}",
+            p.id,
+            out.result
+        );
+        assert!(
+            out.fuel_used < DEFAULT_FUEL,
+            "[{}] kernel exhausted its budget",
+            p.id
+        );
+        assert!(
+            out.fuel_used > 10_000,
+            "[{}] kernel too light to measure throughput ({} fuel)",
+            p.id,
+            out.fuel_used
+        );
+    }
+}

@@ -1,0 +1,358 @@
+//! Differential execution under the rich extern worlds: the staged
+//! compiler pipeline (X1), failure-aware allocation (X2, both extern
+//! behaviours), and the Fig. 3 socket programs over the in-memory
+//! network simulator (E2). The same `&mut dyn Host` extern closures
+//! drive both engines — the point of the shared `Host` interface — and
+//! every run must agree on outcome, world-level leak accounting, and
+//! protocol-violation counts.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use vault_eval::value::Fields;
+use vault_eval::{EvalError, EvalOutcome, ExternTable, Host, Machine, Value};
+use vault_runtime::{CommStyle, Domain, Network, SockId, SocketError};
+use vault_syntax::{parse_program, DiagSink};
+use vault_vm::Vm;
+
+fn corpus(id: &str) -> vault_corpus::CorpusProgram {
+    vault_corpus::all_programs()
+        .into_iter()
+        .find(|p| p.id == id)
+        .unwrap_or_else(|| panic!("no corpus program `{id}`"))
+}
+
+/// Run one entry on both engines with per-engine extern tables and
+/// assert identical outcomes. `mk_args` synthesizes the entry arguments
+/// through the engine's `Host` so fixtures are built identically.
+fn diff_with(
+    id: &str,
+    entry: &str,
+    mk_externs: &dyn Fn() -> ExternTable,
+    mk_args: &dyn Fn(&mut dyn Host) -> Vec<Value>,
+) -> (EvalOutcome, EvalOutcome) {
+    let p = corpus(id);
+    let mut diags = DiagSink::new();
+    let program = parse_program(&p.source, &mut diags);
+    assert!(!diags.has_errors(), "[{id}] {:?}", diags.diagnostics());
+    let compiled = vault_vm::compile(&program);
+
+    let mut m = Machine::new(&program, mk_externs());
+    let args = mk_args(&mut m);
+    let a = m.run(entry, args);
+
+    let mut v = Vm::new(&compiled, mk_externs());
+    let args = mk_args(&mut v);
+    let b = v.run(entry, args);
+
+    assert_eq!(a, b, "[{id}::{entry}] engines diverged");
+    (a, b)
+}
+
+// ---------------------------------------------------------------------
+// X1: the staged pipeline
+// ---------------------------------------------------------------------
+
+fn pipeline_externs() -> ExternTable {
+    let mut t = ExternTable::with_regions();
+    let stage_fn = |name: &'static str| {
+        move |m: &mut dyn Host, args: Vec<Value>| {
+            for input in &args[1..] {
+                m.touch_object(input)?;
+            }
+            match &args[0] {
+                Value::Region(r) => {
+                    let mut fields = Fields::new();
+                    fields.insert("stage".into(), Value::Str(name.into()));
+                    m.alloc_in(*r, fields)
+                }
+                other => Err(EvalError::Type(format!(
+                    "{name} expects a region, got {}",
+                    other.describe()
+                ))),
+            }
+        }
+    };
+    t.insert("lex", stage_fn("lex"));
+    t.insert("parse", stage_fn("parse"));
+    t.insert("typecheck", stage_fn("typecheck"));
+    t.insert("emit", stage_fn("emit"));
+    t.insert("write_output", |m: &mut dyn Host, args: Vec<Value>| {
+        m.touch_object(&args[0])?;
+        Ok(Value::Unit)
+    });
+    t
+}
+
+fn src_arg(_h: &mut dyn Host) -> Vec<Value> {
+    vec![Value::Str("void f() {}".into())]
+}
+
+#[test]
+fn pipeline_clean_early_free_and_leak_are_identical() {
+    let (a, _) = diff_with(
+        "pipeline_staged_regions",
+        "compile",
+        &pipeline_externs,
+        &src_arg,
+    );
+    assert_eq!(a.result, Ok(Value::Unit));
+    assert_eq!(a.leaked_regions, 0);
+
+    let (a, _) = diff_with(
+        "pipeline_stage_freed_too_early",
+        "compile",
+        &pipeline_externs,
+        &src_arg,
+    );
+    assert_eq!(a.result, Err(EvalError::UseAfterDelete));
+
+    let (a, _) = diff_with(
+        "pipeline_stage_leaked",
+        "compile",
+        &pipeline_externs,
+        &src_arg,
+    );
+    assert_eq!(a.result, Ok(Value::Unit));
+    assert!(a.leaked_regions >= 1);
+}
+
+// ---------------------------------------------------------------------
+// X2: failure-aware allocation, both extern behaviours
+// ---------------------------------------------------------------------
+
+fn allocfail_externs(succeed: bool) -> ExternTable {
+    let mut t = ExternTable::with_regions();
+    t.insert(
+        "try_new_point",
+        move |m: &mut dyn Host, args: Vec<Value>| match &args[0] {
+            Value::Region(r) if succeed => {
+                let mut fields = Fields::new();
+                fields.insert("x".into(), args[1].clone());
+                fields.insert("y".into(), args[2].clone());
+                let obj = m.alloc_in(*r, fields)?;
+                Ok(Value::Variant {
+                    ctor: "Alloc".into(),
+                    args: vec![obj],
+                })
+            }
+            Value::Region(_) => Ok(Value::Variant {
+                ctor: "OutOfMemory".into(),
+                args: vec![],
+            }),
+            other => Err(EvalError::Type(format!(
+                "try_new_point expects a region, got {}",
+                other.describe()
+            ))),
+        },
+    );
+    t
+}
+
+#[test]
+fn allocfail_is_identical_on_both_extern_behaviours() {
+    for succeed in [true, false] {
+        let (a, _) = diff_with(
+            "allocfail_checked",
+            "robust",
+            &|| allocfail_externs(succeed),
+            &|_| vec![],
+        );
+        assert_eq!(a.result, Ok(Value::Unit), "succeed={succeed}");
+        assert_eq!(a.leaked_regions, 0, "succeed={succeed}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// E2: Fig. 3 sockets over the network simulator
+// ---------------------------------------------------------------------
+
+struct SocketWorld {
+    net: Network,
+    harness: Vec<SockId>,
+    socks: Vec<SockId>,
+}
+
+impl SocketWorld {
+    fn fresh() -> Rc<RefCell<SocketWorld>> {
+        Rc::new(RefCell::new(SocketWorld {
+            net: Network::new(),
+            harness: Vec::new(),
+            socks: Vec::new(),
+        }))
+    }
+
+    fn handle(&mut self, s: SockId) -> Value {
+        self.socks.push(s);
+        Value::Handle {
+            kind: "sock".into(),
+            id: self.socks.len() as u64 - 1,
+        }
+    }
+
+    fn resolve(&self, v: &Value) -> Result<SockId, EvalError> {
+        match v {
+            Value::Handle { kind, id } if kind == "sock" => self
+                .socks
+                .get(*id as usize)
+                .copied()
+                .ok_or_else(|| EvalError::Extern("bad socket handle".into())),
+            other => Err(EvalError::Type(format!(
+                "expected a socket, got {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    fn program_leaks(&self) -> usize {
+        let harness_live = self
+            .harness
+            .iter()
+            .filter(|s| {
+                self.net
+                    .state(**s)
+                    .map(|st| st != vault_runtime::SockState::Closed)
+                    .unwrap_or(false)
+            })
+            .count();
+        self.net.leaked() - harness_live
+    }
+}
+
+fn map_err(e: SocketError) -> EvalError {
+    EvalError::Extern(e.to_string())
+}
+
+fn socket_externs(world: Rc<RefCell<SocketWorld>>) -> ExternTable {
+    let mut t = ExternTable::new();
+    {
+        let w = world.clone();
+        t.insert("socket", move |_m, _args| {
+            let mut w = w.borrow_mut();
+            let s = w.net.socket(Domain::Unix, CommStyle::Stream);
+            Ok(w.handle(s))
+        });
+    }
+    {
+        let w = world.clone();
+        t.insert("bind", move |m, args| {
+            let mut w = w.borrow_mut();
+            let s = w.resolve(&args[0])?;
+            m.touch_object(&args[1])?;
+            w.net.bind(s, 4242).map_err(map_err)?;
+            Ok(Value::Unit)
+        });
+    }
+    {
+        let w = world.clone();
+        t.insert("listen", move |_m, args| {
+            let mut w = w.borrow_mut();
+            let s = w.resolve(&args[0])?;
+            w.net.listen(s, 8).map_err(map_err)?;
+            let client = w.net.socket(Domain::Unix, CommStyle::Stream);
+            w.harness.push(client);
+            w.net.connect(client, 4242).map_err(map_err)?;
+            Ok(Value::Unit)
+        });
+    }
+    {
+        let w = world.clone();
+        t.insert("accept", move |m, args| {
+            let mut w = w.borrow_mut();
+            let s = w.resolve(&args[0])?;
+            m.touch_object(&args[1])?;
+            let conn = w.net.accept(s).map_err(map_err)?;
+            if let Some(&client) = w.harness.last() {
+                w.net.send(client, b"hello").map_err(map_err)?;
+            }
+            Ok(w.handle(conn))
+        });
+    }
+    {
+        let w = world.clone();
+        t.insert("receive", move |_m, args| {
+            let mut w = w.borrow_mut();
+            let s = w.resolve(&args[0])?;
+            w.net.receive(s).map_err(map_err)?;
+            Ok(Value::Unit)
+        });
+    }
+    {
+        let w = world.clone();
+        t.insert("close", move |_m, args| {
+            let mut w = w.borrow_mut();
+            let s = w.resolve(&args[0])?;
+            w.net.close(s).map_err(map_err)?;
+            Ok(Value::Unit)
+        });
+    }
+    t
+}
+
+fn addr_and_buf(h: &mut dyn Host, addrs: usize, with_buf: bool) -> Vec<Value> {
+    let mut args = Vec::new();
+    for _ in 0..addrs {
+        let mut fields = Fields::new();
+        fields.insert("addr".into(), Value::Int(1));
+        fields.insert("port".into(), Value::Int(4242));
+        args.push(h.alloc_ambient(fields));
+    }
+    if with_buf {
+        args.push(Value::Array(Rc::new(RefCell::new(vec![Value::Int(0); 16]))));
+    }
+    args
+}
+
+/// Run a socket corpus program on both engines, each against its own
+/// fresh simulated network, and assert outcome *and* network-level
+/// accounting (socket leaks, protocol violations) agree.
+fn diff_socket(id: &str, entry: &str, addrs: usize, with_buf: bool) -> (EvalOutcome, usize, u64) {
+    let p = corpus(id);
+    let mut diags = DiagSink::new();
+    let program = parse_program(&p.source, &mut diags);
+    assert!(!diags.has_errors());
+    let compiled = vault_vm::compile(&program);
+
+    let world_a = SocketWorld::fresh();
+    let mut m = Machine::new(&program, socket_externs(world_a.clone()));
+    let args = addr_and_buf(&mut m, addrs, with_buf);
+    let a = m.run(entry, args);
+
+    let world_b = SocketWorld::fresh();
+    let mut v = Vm::new(&compiled, socket_externs(world_b.clone()));
+    let args = addr_and_buf(&mut v, addrs, with_buf);
+    let b = v.run(entry, args);
+
+    assert_eq!(a, b, "[{id}::{entry}] engines diverged");
+    let (wa, wb) = (world_a.borrow(), world_b.borrow());
+    assert_eq!(
+        wa.program_leaks(),
+        wb.program_leaks(),
+        "[{id}] socket leak accounting diverged"
+    );
+    assert_eq!(
+        wa.net.stats().violations,
+        wb.net.stats().violations,
+        "[{id}] violation counts diverged"
+    );
+    let leaks = wa.program_leaks();
+    let violations = wa.net.stats().violations;
+    (a, leaks, violations)
+}
+
+#[test]
+fn socket_programs_agree_on_outcome_leaks_and_violations() {
+    let (out, leaks, violations) = diff_socket("sock_server_ok", "server", 1, true);
+    assert_eq!(out.result, Ok(Value::Unit));
+    assert_eq!((leaks, violations), (0, 0));
+
+    let (out, _, violations) = diff_socket("sock_skip_bind", "bad", 1, false);
+    assert!(matches!(&out.result, Err(EvalError::Extern(m)) if m.contains("named")));
+    assert!(violations >= 1);
+
+    let (out, _, _) = diff_socket("sock_recv_unready", "bad", 1, true);
+    assert!(matches!(&out.result, Err(EvalError::Extern(m)) if m.contains("ready")));
+
+    let (out, leaks, _) = diff_socket("sock_leak", "bad", 1, false);
+    assert_eq!(out.result, Ok(Value::Unit));
+    assert_eq!(leaks, 1, "the raw socket must leak on both engines");
+}

@@ -1,0 +1,264 @@
+//! Targeted differential smoke tests: small programs chosen to hit the
+//! compiler's hard corners — conditional bindings, shadowing, dynamic
+//! module-qualifier resolution, short-circuiting, deferred traps — each
+//! swept across *every* fuel budget from zero to completion, which
+//! exhaustively validates the batched-fuel flush discipline against the
+//! interpreter's one-burn-per-node accounting.
+
+use vault_eval::{ExternTable, Machine, Value};
+use vault_syntax::{parse_program, DiagSink};
+use vault_vm::harness::assert_identical;
+use vault_vm::Vm;
+
+/// Diff every entry at every budget in `0..=limit` plus the default.
+fn sweep(label: &str, src: &str) {
+    // Find a budget that lets the program finish, then sweep past it.
+    let mut diags = DiagSink::new();
+    let program = parse_program(src, &mut diags);
+    assert!(!diags.has_errors(), "[{label}] {:?}", diags.diagnostics());
+    let mut m = Machine::new(&program, ExternTable::with_regions());
+    drop(m.run("main", vec![]));
+    let full = m.fuel_used() + 10;
+    for fuel in 0..=full {
+        assert_identical(
+            &format!("{label} @fuel={fuel}"),
+            src,
+            fuel,
+            &ExternTable::with_regions,
+        );
+    }
+}
+
+#[test]
+fn arithmetic_loops_and_recursion() {
+    sweep(
+        "fib+loop",
+        "
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+int main() {
+  int acc = 0;
+  int i = 0;
+  while (i < 8) { acc = acc + fib(i); i++; }
+  return acc;
+}",
+    );
+}
+
+#[test]
+fn conditional_bindings_resolve_like_frames() {
+    // `x` declared only on one branch: reads after the `if` must fall
+    // back to the outer binding when the branch didn't run — and the
+    // same-frame shadow (`int x = 2` inside the branch) must reuse the
+    // very same slot the second read sees.
+    sweep(
+        "cond-binding",
+        "
+int pick(bool c) {
+  int x = 1;
+  if (c) int x = 2;
+  return x;
+}
+int outer(bool c) {
+  int y = 10;
+  {
+    if (c) int y = 20;
+    y = y + 1;
+  }
+  return y;
+}
+int main() { return pick(true) + pick(false) + outer(true) + outer(false); }",
+    );
+}
+
+#[test]
+fn short_circuit_and_increments() {
+    sweep(
+        "logic",
+        "
+bool nope() { return false; }
+int main() {
+  int n = 0;
+  if (true || nope()) n++;
+  if (false && nope()) n = 100;
+  bool b = n > 0 && n < 5;
+  if (b) n--;
+  n++;
+  return n;
+}",
+    );
+}
+
+#[test]
+fn switch_binders_and_fallthrough() {
+    sweep(
+        "switch",
+        "
+variant shape [ 'Dot | 'Line(int) | 'Rect(int, int) ];
+int area(shape s) {
+  switch (s) {
+    case 'Rect(w, h): return w * h;
+    case 'Line(len): { int w = len; return w; }
+    case 'Dot:
+  }
+  return 0;
+}
+int main() {
+  return area('Rect(3, 4)) + area('Line(5)) + area('Dot);
+}",
+    );
+}
+
+#[test]
+fn regions_structs_and_free() {
+    sweep(
+        "regions",
+        "
+interface REGION {
+  type region;
+  tracked(R) region create() [new R];
+  void delete(tracked(R) region) [-R];
+}
+struct point { int x; int y; }
+int main() {
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {x=4; y=2;};
+  int got = pt.x + pt.y;
+  Region.delete(rgn);
+  return got;
+}",
+    );
+}
+
+#[test]
+fn dangling_and_double_delete_fault_identically() {
+    sweep(
+        "dangling",
+        "
+interface REGION {
+  type region;
+  tracked(R) region create() [new R];
+  void delete(tracked(R) region) [-R];
+}
+struct point { int x; }
+int main() {
+  tracked(R) region rgn = Region.create();
+  R:point pt = new(rgn) point {x=1;};
+  Region.delete(rgn);
+  return pt.x;
+}",
+    );
+    sweep(
+        "double-delete",
+        "
+interface REGION {
+  type region;
+  tracked(R) region create() [new R];
+  void delete(tracked(R) region) [-R];
+}
+void main() {
+  tracked(R) region rgn = Region.create();
+  Region.delete(rgn);
+  Region.delete(rgn);
+}",
+    );
+}
+
+#[test]
+fn module_qualified_calls_respect_lexical_shadowing() {
+    // `Region.create` is a module call only when `Region` is not bound;
+    // a conditional local decides that *dynamically*.
+    sweep(
+        "qualified",
+        "
+interface REGION {
+  type region;
+  tracked(R) region create() [new R];
+  void delete(tracked(R) region) [-R];
+}
+int main() {
+  if (false) int Region = 1;
+  tracked(R) region rgn = Region.create();
+  Region.delete(rgn);
+  return 7;
+}",
+    );
+}
+
+#[test]
+fn deferred_faults_fire_only_when_reached() {
+    // Unknown variables and arity mismatches in dead code are not
+    // errors; reached, they fault with the interpreter's message.
+    sweep(
+        "deferred",
+        "
+int two(int a, int b) { return a + b; }
+int main(bool c) {
+  if (c) return 1;
+  return two(1) + missing;
+}",
+    );
+}
+
+#[test]
+fn runaway_recursion_overflows_both_engines() {
+    let src = "int down(int n) { return down(n - 1); }
+int main() { return down(0); }";
+    assert_identical("overflow", src, 1_000_000, &ExternTable::new);
+}
+
+#[test]
+fn vm_state_persists_across_runs_like_the_interpreter() {
+    let src = "
+interface REGION {
+  type region;
+  tracked(R) region create() [new R];
+  void delete(tracked(R) region) [-R];
+}
+void leak() { tracked(R) region rgn = Region.create(); }
+int main() { return 1; }";
+    let mut diags = DiagSink::new();
+    let program = parse_program(src, &mut diags);
+    assert!(!diags.has_errors());
+    let compiled = vault_vm::compile(&program);
+
+    let mut m = Machine::new(&program, ExternTable::with_regions());
+    let mut v = Vm::new(&compiled, ExternTable::with_regions());
+    for _ in 0..3 {
+        let a = m.run("leak", vec![]);
+        let b = v.run("leak", vec![]);
+        assert_eq!(a, b);
+    }
+    // Cumulative leaks and fuel survive across runs on both engines.
+    let a = m.run("main", vec![]);
+    let b = v.run("main", vec![]);
+    assert_eq!(a, b);
+    assert_eq!(a.leaked_regions, 3);
+    assert_eq!(a.result, Ok(Value::Int(1)));
+}
+
+#[test]
+fn disasm_renders_every_opcode_family() {
+    let src = "
+variant opt [ 'Some(int) | 'None ];
+int main(bool c, int n) {
+  int acc = 0;
+  int i = 0;
+  while (i < n) { acc = acc + i; i++; }
+  if (c) acc = -acc;
+  switch ('Some(acc)) { case 'Some(v): return v; case 'None: }
+  return 0;
+}";
+    let mut diags = DiagSink::new();
+    let program = parse_program(src, &mut diags);
+    assert!(!diags.has_errors());
+    let compiled = vault_vm::compile(&program);
+    let asm = vault_vm::disasm(&compiled);
+    for needle in [
+        "fuel", "loadk", "jmp", "bin.Lt", "incr", "tag", "bind", "ret",
+    ] {
+        assert!(asm.contains(needle), "disasm missing `{needle}`:\n{asm}");
+    }
+}

@@ -22,6 +22,9 @@
 //! * [`corpus`] — every program from the paper, the kernel interface in
 //!   Vault, the floppy driver, seeded-bug mutants, and a synthetic
 //!   program generator;
+//! * [`vm`] — the register-bytecode execution backend: an AST→bytecode
+//!   compiler and dispatch-loop VM, differentially proven
+//!   outcome-identical to the interpreter over the whole corpus;
 //! * [`server`] — `vaultd`, the persistent parallel checking service:
 //!   a JSON-lines wire protocol over Unix sockets or stdio, a worker
 //!   thread pool, and a content-hash LRU verdict cache.
@@ -52,3 +55,4 @@ pub use vault_runtime as runtime;
 pub use vault_server as server;
 pub use vault_syntax as syntax;
 pub use vault_types as types;
+pub use vault_vm as vm;
