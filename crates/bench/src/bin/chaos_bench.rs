@@ -94,6 +94,7 @@ fn main() {
         delay_prob: 0.05,
         delay: Duration::from_millis(1),
         short_write_chunk: None, // no wire in this bench; service only
+        ..Default::default()
     };
     chaos::arm(cfg);
     let (on_secs, on_panics, on_errors) = cold_batch(&units, jobs, runs);

@@ -69,7 +69,7 @@ fn usage() -> ExitCode {
          vaultc run [--engine interp|vm] [--fuel N] <file.vlt> <entry>\n  \
          vaultc explain <Vnnn>\n  vaultc corpus [E1..E13|X1..X6]\n  \
          vaultc serve [--socket PATH] [--jobs N] [--cache N] [--cache-dir PATH]\n               \
-         [--max-request-bytes N] [--timeout-ms N] [--fuel N]"
+         [--cache-max-bytes N] [--max-request-bytes N] [--timeout-ms N] [--fuel N]"
     );
     ExitCode::from(2)
 }
@@ -379,6 +379,10 @@ fn serve(rest: &[String]) -> ExitCode {
             "--cache-dir" => match it.next() {
                 Some(dir) => config.cache_dir = Some(dir.into()),
                 None => return usage(),
+            },
+            "--cache-max-bytes" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => config.cache_max_bytes = Some(n),
+                _ => return usage(),
             },
             "--max-request-bytes" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => config.limits.max_request_bytes = n,

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! vaultd [--socket PATH] [--jobs N] [--cache N] [--cache-dir PATH]
-//!        [--max-request-bytes N] [--timeout-ms N] [--fuel N]
+//!        [--cache-max-bytes N] [--max-request-bytes N] [--timeout-ms N]
+//!        [--fuel N]
 //! ```
 //!
 //! With `--socket`, serves the JSON-lines protocol on a Unix domain
@@ -13,8 +14,12 @@
 //! `--cache-dir` names a directory for the persistent warm-start cache:
 //! verdicts journaled there by a previous run are replayed at boot, so
 //! a restarted daemon answers its first requests at warm-cache speed
-//! (a corrupt or version-mismatched log falls back to a cold start and
-//! shows up as `cache_load_errors` in `status`).
+//! (a corrupt or version-mismatched segment falls back to a cold start
+//! for the affected frames and shows up as `cache_load_errors` /
+//! `segments_quarantined` in `status`). `--cache-max-bytes` bounds that
+//! directory's size: the store compacts superseded frames first and then
+//! evicts whole oldest segments until it fits — evictions only cost
+//! warmth, never answers.
 //!
 //! `--max-request-bytes` caps how large one request line may grow,
 //! `--timeout-ms` gives every compilation unit a checking deadline, and
@@ -31,7 +36,7 @@ use vault_server::{CheckService, ServiceConfig, UnixServer};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: vaultd [--socket PATH] [--jobs N] [--cache N] [--cache-dir PATH]\n              \
-         [--max-request-bytes N] [--timeout-ms N] [--fuel N]"
+         [--cache-max-bytes N] [--max-request-bytes N] [--timeout-ms N] [--fuel N]"
     );
     ExitCode::from(2)
 }
@@ -58,6 +63,10 @@ fn main() -> ExitCode {
             "--cache-dir" => match it.next() {
                 Some(dir) => config.cache_dir = Some(dir.into()),
                 None => return usage(),
+            },
+            "--cache-max-bytes" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => config.cache_max_bytes = Some(n),
+                _ => return usage(),
             },
             "--max-request-bytes" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => config.limits.max_request_bytes = n,

@@ -41,6 +41,15 @@ pub struct ChaosConfig {
     /// When set, [`ChaosWriter`] accepts at most this many bytes per
     /// `write` call.
     pub short_write_chunk: Option<usize>,
+    /// Probability a verdict-store fault point fires ([`persist_fault`]).
+    /// Zero (the default) draws nothing from the RNG, so arming chaos
+    /// without persistence faults leaves the existing seeded fault
+    /// streams byte-identical.
+    pub persist_fault_prob: f64,
+    /// When set, only the named fault point (e.g. `"append.write"`,
+    /// `"compact.rename"`) may fire; every other point is inert. Lets
+    /// a test crash the store at one exact place, deterministically.
+    pub persist_fault_only: Option<&'static str>,
 }
 
 impl Default for ChaosConfig {
@@ -51,8 +60,46 @@ impl Default for ChaosConfig {
             delay_prob: 0.05,
             delay: Duration::from_millis(5),
             short_write_chunk: Some(7),
+            persist_fault_prob: 0.0,
+            persist_fault_only: None,
         }
     }
+}
+
+/// What a verdict-store fault point does when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PersistFault {
+    /// The operation fails cleanly before touching the file.
+    Error,
+    /// A torn write: part of the data lands on disk, then the
+    /// operation dies — the on-disk image a crash mid-write leaves.
+    ShortWrite,
+}
+
+/// Called at every verdict-store fault point (`append.write`,
+/// `append.sync`, `seal`, `compact.write`, `compact.sync`,
+/// `compact.rename`, `index.write`). Returns the fault to inject, if
+/// any. Draws from the shared seeded stream only when
+/// [`ChaosConfig::persist_fault_prob`] is nonzero.
+pub fn persist_fault(point: &str) -> Option<PersistFault> {
+    let mut guard = state();
+    let (cfg, rng) = guard.as_mut()?;
+    if cfg.persist_fault_prob <= 0.0 {
+        return None;
+    }
+    if let Some(only) = cfg.persist_fault_only {
+        if only != point {
+            return None;
+        }
+    }
+    if !rng.gen_bool(cfg.persist_fault_prob) {
+        return None;
+    }
+    Some(if rng.gen_bool(0.5) {
+        PersistFault::ShortWrite
+    } else {
+        PersistFault::Error
+    })
 }
 
 static STATE: Mutex<Option<(ChaosConfig, StdRng)>> = Mutex::new(None);

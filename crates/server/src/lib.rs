@@ -71,7 +71,7 @@ pub use client::{Client, RetryPolicy};
 pub use incremental::IncrementalEngine;
 pub use json::{parse as parse_json, Json};
 pub use metrics::{Metrics, StatusSnapshot};
-pub use persist::PersistentCache;
+pub use persist::{StoreConfig, StoreHealth, VerdictStore};
 pub use pool::{CheckPool, SubmitError, ThreadPool, UnitIn};
 pub use proto::{Request, UnitReport};
 pub use server::{serve_connection, serve_stdio, UnixServer, SHUTDOWN_GRACE};

@@ -52,6 +52,9 @@ pub struct Metrics {
     /// Frames of the persistent cache that failed to load (truncated,
     /// corrupt, or version-mismatched — each such frame fell back cold).
     pub cache_load_errors: AtomicU64,
+    /// Verdict-store appends or maintenance passes that failed (the
+    /// in-memory caches keep answering; only warmth is at risk).
+    pub cache_append_errors: AtomicU64,
     /// Project-mode units fanned out to the worker pool (cache misses
     /// plus cyclic rejections are excluded; this counts real checks).
     pub units_scheduled: AtomicU64,
@@ -88,6 +91,7 @@ impl Default for Metrics {
             elaborate_micros: AtomicU64::new(0),
             lower_micros: AtomicU64::new(0),
             cache_load_errors: AtomicU64::new(0),
+            cache_append_errors: AtomicU64::new(0),
             units_scheduled: AtomicU64::new(0),
             units_reused: AtomicU64::new(0),
             cutoff_hits: AtomicU64::new(0),
@@ -128,6 +132,11 @@ impl Metrics {
         self.workers_respawned.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a verdict-store append or maintenance failure.
+    pub fn cache_append_error(&self) {
+        self.cache_append_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough point-in-time read of every counter.
     pub fn snapshot(&self) -> StatusSnapshot {
         StatusSnapshot {
@@ -150,6 +159,7 @@ impl Metrics {
             elaborate_micros: self.elaborate_micros.load(Ordering::Relaxed),
             lower_micros: self.lower_micros.load(Ordering::Relaxed),
             cache_load_errors: self.cache_load_errors.load(Ordering::Relaxed),
+            cache_append_errors: self.cache_append_errors.load(Ordering::Relaxed),
             units_scheduled: self.units_scheduled.load(Ordering::Relaxed),
             units_reused: self.units_reused.load(Ordering::Relaxed),
             cutoff_hits: self.cutoff_hits.load(Ordering::Relaxed),
@@ -211,6 +221,8 @@ pub struct StatusSnapshot {
     pub lower_micros: u64,
     /// Persistent-cache frames that failed to load (cold fallback).
     pub cache_load_errors: u64,
+    /// Verdict-store appends or maintenance passes that failed.
+    pub cache_append_errors: u64,
     /// Project-mode units fanned out to the worker pool.
     pub units_scheduled: u64,
     /// Project-mode units answered from the verdict cache.

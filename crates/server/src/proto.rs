@@ -307,8 +307,9 @@ pub fn encode_stats_response(id: Option<u64>, report: &UnitReport) -> Json {
     Json::Obj(pairs)
 }
 
-/// Encode the response to a `status` request. `cache_disk_bytes` is the
-/// on-disk size of the persistent verdict log; the key is present only
+/// Encode the response to a `status` request. `store` carries the
+/// verdict store's health counters (on-disk size, sealed/compacted/
+/// quarantined segments, live frames); those keys are present only
 /// when the daemon runs with `--cache-dir`.
 pub fn encode_status(
     id: Option<u64>,
@@ -316,7 +317,7 @@ pub fn encode_status(
     workers: usize,
     cache_entries: usize,
     cache_capacity: usize,
-    cache_disk_bytes: Option<u64>,
+    store: Option<crate::persist::StoreHealth>,
 ) -> Json {
     let mut pairs = base(id, "status", true);
     for (key, value) in [
@@ -342,6 +343,7 @@ pub fn encode_status(
         ("elaborate_micros", snap.elaborate_micros),
         ("lower_micros", snap.lower_micros),
         ("cache_load_errors", snap.cache_load_errors),
+        ("cache_append_errors", snap.cache_append_errors),
         ("uptime_micros", snap.uptime_micros),
         ("uptime_seconds", snap.uptime_micros / 1_000_000),
         ("workers", workers as u64),
@@ -350,8 +352,17 @@ pub fn encode_status(
     ] {
         pairs.push((key.to_string(), Json::num(value)));
     }
-    if let Some(bytes) = cache_disk_bytes {
-        pairs.push(("cache_disk_bytes".to_string(), Json::num(bytes)));
+    if let Some(h) = store {
+        for (key, value) in [
+            ("cache_disk_bytes", h.disk_bytes),
+            ("segments_sealed", h.segments_sealed),
+            ("compactions_run", h.compactions_run),
+            ("bytes_reclaimed", h.bytes_reclaimed),
+            ("segments_quarantined", h.segments_quarantined),
+            ("live_frames", h.live_frames),
+        ] {
+            pairs.push((key.to_string(), Json::num(value)));
+        }
     }
     Json::Obj(pairs)
 }
@@ -433,24 +444,47 @@ mod tests {
     }
 
     #[test]
-    fn status_reports_uptime_seconds_and_optional_disk_bytes() {
+    fn status_reports_uptime_seconds_and_optional_store_health() {
         let snap = StatusSnapshot {
             uptime_micros: 3_500_000, // 3.5s → 3 whole seconds
             ..StatusSnapshot::default()
         };
-        // Memory-only daemon: no cache_disk_bytes key at all.
+        // Memory-only daemon: no store-health keys at all.
         let without = encode_status(Some(1), &snap, 2, 0, 16, None);
         assert_eq!(
             without.get("uptime_seconds").and_then(Json::as_u64),
             Some(3)
         );
-        assert!(without.get("cache_disk_bytes").is_none());
-        // With --cache-dir: the key carries the log's on-disk size.
-        let with = encode_status(Some(2), &snap, 2, 0, 16, Some(4096));
-        assert_eq!(
-            with.get("cache_disk_bytes").and_then(Json::as_u64),
-            Some(4096)
-        );
+        for key in [
+            "cache_disk_bytes",
+            "segments_sealed",
+            "compactions_run",
+            "bytes_reclaimed",
+            "segments_quarantined",
+            "live_frames",
+        ] {
+            assert!(without.get(key).is_none(), "{key} must be absent");
+        }
+        // With --cache-dir: every store-health key is carried.
+        let health = crate::persist::StoreHealth {
+            segments_sealed: 3,
+            compactions_run: 2,
+            bytes_reclaimed: 512,
+            segments_quarantined: 1,
+            live_frames: 40,
+            disk_bytes: 4096,
+        };
+        let with = encode_status(Some(2), &snap, 2, 0, 16, Some(health));
+        for (key, want) in [
+            ("cache_disk_bytes", 4096),
+            ("segments_sealed", 3),
+            ("compactions_run", 2),
+            ("bytes_reclaimed", 512),
+            ("segments_quarantined", 1),
+            ("live_frames", 40),
+        ] {
+            assert_eq!(with.get(key).and_then(Json::as_u64), Some(want), "{key}");
+        }
         assert_eq!(with.get("uptime_seconds").and_then(Json::as_u64), Some(3));
     }
 

@@ -83,7 +83,7 @@ pub fn handle_request(svc: &CheckService, id: Option<u64>, req: Request) -> (Jso
                     svc.workers(),
                     svc.cache_entries(),
                     svc.cache_capacity(),
-                    svc.cache_disk_bytes(),
+                    svc.store_health(),
                 ),
                 false,
             )

@@ -10,7 +10,7 @@
 use crate::cache::{unit_fingerprint, LruCache};
 use crate::incremental::IncrementalEngine;
 use crate::metrics::{Metrics, StatusSnapshot};
-use crate::persist::{PersistentCache, Record};
+use crate::persist::{Record, StoreConfig, StoreHealth, VerdictStore};
 use crate::pool::{panic_payload, CheckPool, UnitIn};
 use crate::proto::UnitReport;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -76,6 +76,10 @@ pub struct ServiceConfig {
     /// Directory for the persistent warm-start cache (`--cache-dir`).
     /// `None` keeps all memoization in memory, as before.
     pub cache_dir: Option<std::path::PathBuf>,
+    /// Total on-disk bound for the verdict store (`--cache-max-bytes`).
+    /// Background maintenance compacts and then evicts oldest segments
+    /// first until the store fits. `None` leaves it unbounded.
+    pub cache_max_bytes: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -87,6 +91,7 @@ impl Default for ServiceConfig {
             cache_capacity: 4096,
             limits: ServiceLimits::default(),
             cache_dir: None,
+            cache_max_bytes: None,
         }
     }
 }
@@ -117,11 +122,13 @@ pub struct CheckService {
     cache_capacity: usize,
     limits: ServiceLimits,
     metrics: Arc<Metrics>,
-    /// The on-disk verdict log, when `--cache-dir` was given and the
-    /// directory was usable. Purely best-effort: append failures are
-    /// swallowed (the in-memory caches still answer), and a failure to
-    /// open falls back to memory-only with a `cache_load_errors` tick.
-    persist: Option<PersistentCache>,
+    /// The on-disk verdict store, when `--cache-dir` was given and the
+    /// directory was usable. Purely best-effort: append failures only
+    /// tick `cache_append_errors` (the in-memory caches still answer),
+    /// and a failure to open falls back to memory-only with a
+    /// `cache_load_errors` tick. Shared (`Arc`) because compaction
+    /// runs as background jobs on the worker pool.
+    persist: Option<Arc<VerdictStore>>,
 }
 
 impl CheckService {
@@ -139,8 +146,12 @@ impl CheckService {
         ));
         let mut persist = None;
         if let Some(dir) = &config.cache_dir {
-            match PersistentCache::open(dir) {
-                Ok((log, loaded)) => {
+            let store_cfg = StoreConfig {
+                max_bytes: config.cache_max_bytes,
+                ..StoreConfig::default()
+            };
+            match VerdictStore::open(dir, store_cfg) {
+                Ok((store, loaded)) => {
                     metrics
                         .cache_load_errors
                         .fetch_add(loaded.errors, Ordering::Relaxed);
@@ -151,7 +162,7 @@ impl CheckService {
                         incremental.seed_fn(fp, views, stats);
                     }
                     incremental.enable_dirty_tracking();
-                    persist = Some(log);
+                    persist = Some(Arc::new(store));
                 }
                 Err(_) => {
                     // An unusable directory must not take the daemon
@@ -311,15 +322,7 @@ impl CheckService {
             // Journal the batch (plus any fresh function verdicts the
             // incremental engine produced) outside the cache lock; one
             // fsync covers the whole batch. Best-effort by design.
-            if let Some(log) = &self.persist {
-                to_persist.extend(
-                    self.incremental
-                        .take_dirty()
-                        .into_iter()
-                        .map(|(fp, views, stats)| Record::Fn { fp, views, stats }),
-                );
-                let _ = log.append(&to_persist);
-            }
+            self.journal(to_persist);
         }
 
         let reports = reports
@@ -525,15 +528,7 @@ impl CheckService {
                     });
                 }
             }
-            if let Some(log) = &self.persist {
-                to_persist.extend(
-                    self.incremental
-                        .take_dirty()
-                        .into_iter()
-                        .map(|(fp, views, stats)| Record::Fn { fp, views, stats }),
-                );
-                let _ = log.append(&to_persist);
-            }
+            self.journal(to_persist);
         }
 
         let reports = reports
@@ -587,16 +582,75 @@ impl CheckService {
         }
     }
 
+    /// Journal a batch of fresh verdicts (plus any per-function
+    /// verdicts the incremental engine produced) to the verdict store,
+    /// then schedule a background maintenance pass on the worker pool
+    /// when the store has accumulated enough dead bytes — or exceeds
+    /// its size bound — to be worth compacting. Best-effort by design:
+    /// an append failure ticks `cache_append_errors` and the in-memory
+    /// caches keep answering.
+    fn journal(&self, mut to_persist: Vec<Record>) {
+        let Some(store) = &self.persist else {
+            return;
+        };
+        to_persist.extend(
+            self.incremental
+                .take_dirty()
+                .into_iter()
+                .map(|(fp, views, stats)| Record::Fn { fp, views, stats }),
+        );
+        if store.append(&to_persist).is_err() {
+            self.metrics.cache_append_error();
+        }
+        if store.needs_maintenance() {
+            let store = Arc::clone(store);
+            let metrics = Arc::clone(&self.metrics);
+            // `maintain` is single-flight, so over-scheduling is cheap;
+            // a full pool refusing the job just defers compaction to
+            // the next batch.
+            let _ = self.pool.submit(move || {
+                if store.maintain().is_err() {
+                    metrics.cache_append_error();
+                }
+            });
+        }
+    }
+
     /// Drop every memoized verdict — whole-unit summaries, cached
     /// elaboration environments, per-function verdicts, and the
-    /// persistent on-disk log, if one is attached (counters are
-    /// unaffected).
+    /// persistent on-disk store, if one is attached (counters are
+    /// unaffected). The store's generation counter makes this atomic
+    /// with respect to an in-flight compaction: a compaction that
+    /// planned before the wipe abandons its commit instead of
+    /// resurrecting wiped verdicts.
     pub fn clear_cache(&self) {
         lock_cache(&self.cache).clear();
         self.incremental.clear();
-        if let Some(log) = &self.persist {
-            let _ = log.wipe();
+        if let Some(store) = &self.persist {
+            let _ = store.wipe();
         }
+    }
+
+    /// Run one verdict-store maintenance pass synchronously (tests and
+    /// the bench harness call this for deterministic compaction; the
+    /// daemon itself schedules passes on the worker pool). Returns
+    /// `false` when no store is attached.
+    pub fn maintain_store(&self) -> bool {
+        match &self.persist {
+            Some(store) => {
+                if store.maintain().is_err() {
+                    self.metrics.cache_append_error();
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Verdict-store health counters for `status`, when a store is
+    /// attached (`None` when running memory-only).
+    pub fn store_health(&self) -> Option<StoreHealth> {
+        self.persist.as_ref().map(|s| s.health())
     }
 
     /// Live cache entry count.
@@ -614,14 +668,10 @@ impl CheckService {
         self.metrics.snapshot()
     }
 
-    /// On-disk size of the persistent verdict log in bytes, when a
-    /// `--cache-dir` is attached (`None` when running memory-only). A
-    /// log that vanished out from under us reads as 0 rather than
-    /// erroring — `status` must never fail over observability.
+    /// On-disk size of the persistent verdict store in bytes, when a
+    /// `--cache-dir` is attached (`None` when running memory-only).
     pub fn cache_disk_bytes(&self) -> Option<u64> {
-        self.persist
-            .as_ref()
-            .map(|log| std::fs::metadata(log.path()).map(|m| m.len()).unwrap_or(0))
+        self.store_health().map(|h| h.disk_bytes)
     }
 }
 
@@ -762,7 +812,7 @@ void two() {
             );
         }
         // Flip a payload bit — a disk fault between restarts.
-        let path = dir.join(crate::persist::FILE_NAME);
+        let path = dir.join(crate::persist::segment_file_name(0));
         let mut bytes = std::fs::read(&path).unwrap();
         let target = bytes.len() / 2;
         bytes[target] ^= 0x40;
@@ -789,8 +839,8 @@ void two() {
         let dir = tmp_dir("rewrite");
         let svc = CheckService::new(persistent_config(&dir));
         let first = svc.check_unit(unit("a.vlt", LEAKY));
-        // Another process scribbles over the log while we hold it.
-        let path = dir.join(crate::persist::FILE_NAME);
+        // Another process scribbles over the store while we hold it.
+        let path = dir.join(crate::persist::segment_file_name(0));
         std::fs::write(&path, b"not a cache file at all").unwrap();
         // The live service answers from memory, unaffected.
         let warm = svc.check_unit(unit("a.vlt", LEAKY));

@@ -72,6 +72,7 @@ fn daemon_survives_a_thousand_chaos_requests_and_stays_correct() {
         delay_prob: 0.05,
         delay: Duration::from_millis(1),
         short_write_chunk: Some(5),
+        ..Default::default()
     });
 
     let svc = Arc::new(CheckService::new(ServiceConfig {
@@ -80,6 +81,7 @@ fn daemon_survives_a_thousand_chaos_requests_and_stays_correct() {
         // instead of everything being a warm hit after round one.
         cache_capacity: 2,
         limits: ServiceLimits::default(),
+        ..Default::default()
     }));
     let path = std::env::temp_dir().join(format!("vaultd_chaos_{}.sock", std::process::id()));
     let server = UnixServer::bind(Arc::clone(&svc), &path).expect("bind socket");
