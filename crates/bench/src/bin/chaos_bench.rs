@@ -114,6 +114,7 @@ fn main() {
             "bench".to_string(),
             Json::str("vaultd throughput under fault injection (ISSUE 2)"),
         ),
+        ("host".to_string(), vault_bench::host_meta()),
         (
             "command".to_string(),
             Json::str("cargo run --release -p vault-bench --features chaos --bin chaos_bench"),

@@ -14,7 +14,21 @@
 //! 4. **restart-warm** — killing the service (dropping it) and booting
 //!    a fresh one on the same `--cache-dir`, then re-checking the
 //!    identical batch: the persisted verdict log must answer at close
-//!    to warm-cache speed instead of paying the cold path again.
+//!    to warm-cache speed instead of paying the cold path again;
+//! 5. **jobs scaling** (ISSUE 8) — a cold service check of a ~100 kLOC
+//!    workload at `jobs` ∈ {1, 2, 4, 8}, where units outnumber workers
+//!    only at the low end, so the curve exercises the per-function
+//!    fan-out, not just unit-level parallelism. On a 1-core host the
+//!    curve is honestly flat (the `host` block records the core count).
+//!
+//! The cold run also audits its own phase accounting: lex + parse +
+//! elaborate + lower + check + other must equal the measured wall
+//! total (the `other` bucket is the remainder — summary assembly,
+//! interner teardown, the measurement loop itself), asserted at run
+//! time so the breakdown can never silently misattribute time again.
+//! The `sparse_fixpoint` block compares this run's check phase against
+//! the pre-sparse baseline recorded below (ISSUE 8's worklist fixpoint
+//! + `Arc` pointer-equality merge fast path).
 //!
 //! Results go to `BENCH_checker.json` (first argument overrides the
 //! path). `--iters N` shrinks the measurement loops for CI smoke runs.
@@ -33,6 +47,13 @@ use vault_server::{CheckService, Json, ServiceConfig, UnitIn};
 /// `restart_warm` equals the baseline `cold`).
 const BASELINE_COLD_SECS: f64 = 0.175328;
 const BASELINE_COMMIT: &str = "33ddf53 (pre-overhaul)";
+
+/// Check-phase micros of the cold run on this exact workload at the
+/// commit before the sparse fixpoint (re-check-until-`states_agree`
+/// loops, no pointer-equality merge fast path), measured on the same
+/// 1-core host that recorded the current numbers.
+const SPARSE_BASELINE_CHECK_MICROS: u64 = 95757;
+const SPARSE_BASELINE_COMMIT: &str = "b28fa92 (pre-sparse)";
 
 const PRELUDE: &str = r#"
 interface REGION {
@@ -111,6 +132,25 @@ fn workload() -> Vec<UnitIn> {
         .collect()
 }
 
+/// The scaling workload: four units of 212 functions each (~100 kLOC
+/// total), frozen like [`workload`]. Four units at `--jobs 8` leaves
+/// workers idle under unit-level parallelism alone, so any slope past
+/// jobs=4 can only come from the per-function fan-out.
+fn scaling_workload() -> Vec<UnitIn> {
+    (0..4)
+        .map(|i| {
+            let mut src = String::from(PRELUDE);
+            for f in 0..212 {
+                gen_fn(&mut src, f, 28, 22, 100 + i);
+            }
+            UnitIn {
+                name: format!("scale_{i}.vlt"),
+                source: src,
+            }
+        })
+        .collect()
+}
+
 /// A one-function, same-length edit: rewrite the **last** occurrence of
 /// a known statement fragment so exactly one function body changes and
 /// no other function's span moves. `digit` varies the replacement so
@@ -177,13 +217,35 @@ fn main() {
         cold,
         cold * 1e6 / units.len() as f64
     );
+    // Phase-accounting audit (ISSUE 8): the breakdown plus an explicit
+    // `other` remainder must account for every wall microsecond of the
+    // best cold run — a sum that exceeds the total means double
+    // counting, a silent shortfall means misattribution.
+    let cold_total_micros = (cold * 1e6) as u64;
+    let phase_sum = phases.lex_micros
+        + phases.parse_micros
+        + phases.elaborate_micros
+        + phases.lower_micros
+        + phases.check_micros;
+    assert!(
+        phase_sum <= cold_total_micros,
+        "phase breakdown ({phase_sum}us) exceeds the cold wall total ({cold_total_micros}us)"
+    );
+    let other_micros = cold_total_micros - phase_sum;
+    assert_eq!(
+        phase_sum + other_micros,
+        cold_total_micros,
+        "phases + other must equal the cold total"
+    );
     println!(
-        "  phases:    lex {}us, parse {}us, elaborate {}us, lower {}us, check {}us",
+        "  phases:    lex {}us, parse {}us, elaborate {}us, lower {}us, check {}us, other {}us (= {}us total)",
         phases.lex_micros,
         phases.parse_micros,
         phases.elaborate_micros,
         phases.lower_micros,
-        phases.check_micros
+        phases.check_micros,
+        other_micros,
+        cold_total_micros
     );
 
     // --- warm: whole-unit verdict cache hit ----------------------------
@@ -288,19 +350,74 @@ fn main() {
     );
     let _ = std::fs::remove_dir_all(&cache_dir);
 
+    // --- jobs scaling: per-function fan-out over ~100 kLOC -------------
+    // A fresh-cold service check per iteration (`clear_cache` between
+    // runs), best-of-`iters` per job count. Output determinism across
+    // job counts is asserted inline: every summary must equal the
+    // jobs=1 reference byte for byte.
+    let scale_units = scaling_workload();
+    let scale_loc: usize = scale_units
+        .iter()
+        .map(|u| vault_corpus::count_loc(&u.source))
+        .sum();
+    println!(
+        "scaling workload: {} units, {scale_loc} LOC",
+        scale_units.len()
+    );
+    let mut curve: Vec<(usize, f64)> = Vec::new();
+    let mut scale_reference: Option<Vec<vault_core::CheckSummary>> = None;
+    for jobs in [1usize, 2, 4, 8] {
+        let svc = CheckService::new(ServiceConfig {
+            jobs,
+            cache_capacity: scale_units.len() * 4,
+            ..Default::default()
+        });
+        let mut best = f64::INFINITY;
+        for _ in 0..iters {
+            svc.clear_cache();
+            let start = Instant::now();
+            let (reports, _) = svc.check_units(scale_units.clone());
+            best = best.min(start.elapsed().as_secs_f64());
+            assert!(reports.iter().all(|r| !r.cached));
+            let summaries: Vec<vault_core::CheckSummary> =
+                reports.into_iter().map(|r| (*r.summary).clone()).collect();
+            match &scale_reference {
+                None => scale_reference = Some(summaries),
+                Some(want) => assert_eq!(
+                    summaries, *want,
+                    "jobs={jobs} diverged from the jobs=1 reference"
+                ),
+            }
+        }
+        println!("  jobs={jobs}: {best:.4} s");
+        curve.push((jobs, best));
+    }
+    let jobs1_secs = curve[0].1;
+
+    let sparse_speedup = SPARSE_BASELINE_CHECK_MICROS as f64 / phases.check_micros.max(1) as f64;
+    println!(
+        "sparse fixpoint: check {}us vs {}us baseline ({:.2}x)",
+        phases.check_micros, SPARSE_BASELINE_CHECK_MICROS, sparse_speedup
+    );
+
     let json = Json::Obj(vec![
         (
             "bench".to_string(),
-            Json::str("checker hot + cold path (ISSUEs 3, 4)"),
+            Json::str("checker hot + cold path, sparse fixpoint + jobs scaling (ISSUEs 3, 4, 8)"),
         ),
         (
             "command".to_string(),
             Json::str("cargo run --release -p vault-bench --bin checker_bench"),
         ),
+        ("host".to_string(), vault_bench::host_meta()),
         ("workload_units".to_string(), Json::num(units.len() as u64)),
         ("workload_loc".to_string(), Json::num(total_loc as u64)),
         ("iters".to_string(), Json::num(iters as u64)),
         ("cold_secs".to_string(), Json::Num(round6(cold))),
+        (
+            "cold_total_micros".to_string(),
+            Json::num(cold_total_micros),
+        ),
         (
             "cold_phase_micros".to_string(),
             Json::Obj(vec![
@@ -309,6 +426,7 @@ fn main() {
                 ("elaborate".to_string(), Json::num(phases.elaborate_micros)),
                 ("lower".to_string(), Json::num(phases.lower_micros)),
                 ("check".to_string(), Json::num(phases.check_micros)),
+                ("other".to_string(), Json::num(other_micros)),
             ]),
         ),
         ("warm_unit_cache_secs".to_string(), Json::Num(round6(warm))),
@@ -362,6 +480,57 @@ fn main() {
         (
             "cold_speedup_vs_baseline".to_string(),
             Json::Num(round2(BASELINE_COLD_SECS / cold)),
+        ),
+        (
+            "sparse_fixpoint".to_string(),
+            Json::Obj(vec![
+                (
+                    "baseline_commit".to_string(),
+                    Json::str(SPARSE_BASELINE_COMMIT),
+                ),
+                (
+                    "baseline_check_micros".to_string(),
+                    Json::num(SPARSE_BASELINE_CHECK_MICROS),
+                ),
+                ("check_micros".to_string(), Json::num(phases.check_micros)),
+                ("speedup".to_string(), Json::Num(round2(sparse_speedup))),
+            ]),
+        ),
+        (
+            "jobs_scaling".to_string(),
+            Json::Obj(vec![
+                (
+                    "workload_units".to_string(),
+                    Json::num(scale_units.len() as u64),
+                ),
+                ("workload_loc".to_string(), Json::num(scale_loc as u64)),
+                (
+                    "curve".to_string(),
+                    Json::Arr(
+                        curve
+                            .iter()
+                            .map(|&(jobs, secs)| {
+                                Json::Obj(vec![
+                                    ("jobs".to_string(), Json::num(jobs as u64)),
+                                    ("secs".to_string(), Json::Num(round6(secs))),
+                                    (
+                                        "speedup_vs_jobs1".to_string(),
+                                        Json::Num(round2(jobs1_secs / secs)),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "note".to_string(),
+                    Json::str(
+                        "fresh-cold service check per iteration; outputs asserted \
+                         byte-identical across job counts; interpret the slope \
+                         against host.cores",
+                    ),
+                ),
+            ]),
         ),
     ]);
     let mut text = String::from("{\n");

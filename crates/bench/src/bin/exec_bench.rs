@@ -140,6 +140,7 @@ fn main() {
             "bench".to_string(),
             Json::str("interpreter vs register-bytecode VM on the X6 execution kernels"),
         ),
+        ("host".to_string(), vault_bench::host_meta()),
         (
             "command".to_string(),
             Json::str("cargo run --release -p vault-bench --bin exec_bench"),

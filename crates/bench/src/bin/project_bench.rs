@@ -196,6 +196,7 @@ fn main() {
             "bench".to_string(),
             Json::str("project-mode incremental rebuilds (ISSUE 5)"),
         ),
+        ("host".to_string(), vault_bench::host_meta()),
         (
             "command".to_string(),
             Json::str("cargo run --release -p vault-bench --bin project_bench"),

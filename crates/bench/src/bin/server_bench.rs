@@ -156,6 +156,7 @@ fn main() {
             "bench".to_string(),
             Json::str("vaultd throughput (ISSUE 1)"),
         ),
+        ("host".to_string(), vault_bench::host_meta()),
         (
             "command".to_string(),
             Json::str("cargo run --release -p vault-bench --bin server_bench"),

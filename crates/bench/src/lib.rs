@@ -54,6 +54,39 @@ pub fn run_experiment(experiment: &str) -> Vec<ProgramOutcome> {
         .collect()
 }
 
+/// Host metadata for every `BENCH_*.json`: core count, source commit,
+/// and toolchain. The recorded numbers depend on the machine (often a
+/// 1-core container), and that caveat must travel with the data rather
+/// than living only in prose.
+pub fn host_meta() -> vault_server::Json {
+    use vault_server::Json;
+    fn cmd(bin: &str, args: &[&str]) -> String {
+        std::process::Command::new(bin)
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string())
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(0);
+    let mut commit = cmd("git", &["rev-parse", "--short", "HEAD"]);
+    // Uncommitted changes mean the numbers may not reproduce from the
+    // named commit; say so instead of misattributing them.
+    if commit != "unknown" && cmd("git", &["status", "--porcelain"]) != "unknown" {
+        commit.push_str("-dirty");
+    }
+    Json::Obj(vec![
+        ("cores".to_string(), Json::num(cores)),
+        ("commit".to_string(), Json::str(commit)),
+        ("rustc".to_string(), Json::str(cmd("rustc", &["--version"]))),
+    ])
+}
+
 /// Simple monotonic wall-clock measurement of a closure, in seconds,
 /// amortized over `iters` runs.
 pub fn time_secs(iters: u32, mut f: impl FnMut()) -> f64 {

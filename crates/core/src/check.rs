@@ -14,7 +14,7 @@
 //!    extra keys are leaks, missing keys are broken promises.
 
 use crate::elaborate::lower_fn_decl_in;
-use crate::flow::{frames_copied_count, merge, states_agree, Binding, FlowState, Frame};
+use crate::flow::{merge, states_agree, Binding, FlowState, Frame};
 use crate::lower::{
     is_keyed_variant, param_map, subst_by_name, subst_eff_by_name, AliasEntry, LowerCtx, Scope,
 };
@@ -176,14 +176,18 @@ pub fn check_function_with_limits(
         limits: *limits,
         gave_up: false,
     };
-    // Copy-on-write accounting: the thread-local counter spans nested
-    // functions too, so only the top-level entry point reports the delta
-    // (child checkers leave `frames_copied` at zero).
-    let copied_before = frames_copied_count();
+    // Copy-on-write accounting: one function check is one job, and the
+    // scope windows the thread-local counter over exactly this call, so
+    // the delta is correct even when other function jobs from the same
+    // unit run concurrently on other pool workers. The window spans
+    // nested functions too, so only the top-level entry point reports
+    // the delta (child checkers leave `frames_copied` at zero);
+    // reassembly sums the per-job deltas.
+    let copies = crate::flow::FrameCopyScope::begin();
     let started = std::time::Instant::now();
     checker.run(f);
     checker.stats.check_micros = started.elapsed().as_micros() as u64;
-    checker.stats.frames_copied = (frames_copied_count() - copied_before) as usize;
+    checker.stats.frames_copied = copies.delta() as usize;
     checker.stats
 }
 
@@ -980,6 +984,20 @@ impl<'a, 'd> FnChecker<'a, 'd> {
         self.local_fns.insert(self.syms.sym(&f.name.name), sig);
     }
 
+    /// The loop-invariant fixpoint, iterated sparsely.
+    ///
+    /// The loop's CFG is `entry → head ⇄ body, head → exit` with one
+    /// back edge; [`crate::cfg::reverse_post_order`] visits the head
+    /// before the body, which is exactly the order the structural
+    /// re-check below performs, so the generic worklist discipline
+    /// ([`crate::cfg::Worklist`]) degenerates to "re-run the body while
+    /// the entry state still changes". What makes the iteration sparse
+    /// is convergence detection on the merge itself: a clean merge with
+    /// nothing poisoned leaves the joined state literally identical to
+    /// `cur` (the join only rewrites poisoned bindings), so the fixpoint
+    /// has converged without a second field-by-field comparison — and
+    /// when the body never wrote a frame, the merge is a pure `Arc`
+    /// pointer-identity check ([`crate::flow::merge`]'s fast path).
     fn check_while(&mut self, st: &mut FlowState, cond: &Expr, body: &Stmt, span: Span) {
         let mut cur = self.snapshot(st);
         for _ in 0..self.limits.fixpoint_iters {
@@ -1019,6 +1037,13 @@ impl<'a, 'd> FnChecker<'a, 'd> {
                         format!("cannot infer a loop invariant for the held-key set: {p}"),
                     );
                 }
+                *st = exit_state;
+                return;
+            }
+            if m.poisoned.is_empty() {
+                // Clean and unpoisoned: the join rewrote nothing, so
+                // `m.state` is `cur` unchanged — converged, no
+                // re-comparison needed.
                 *st = exit_state;
                 return;
             }

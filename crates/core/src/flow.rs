@@ -47,6 +47,32 @@ pub fn frames_copied_count() -> u64 {
     FRAMES_COPIED.with(|c| c.get())
 }
 
+/// A per-job window over [`frames_copied_count`].
+///
+/// One function check is one job: the counter is thread-local and a
+/// check runs start to finish on a single thread, so the delta between
+/// `begin` and `delta` is exactly the copies that job caused — even
+/// when many function jobs from the same unit run concurrently on
+/// different pool workers. Reassembly sums the per-job deltas, which
+/// equals the single-thread total by construction.
+pub struct FrameCopyScope {
+    start: u64,
+}
+
+impl FrameCopyScope {
+    /// Open a window at the current thread's counter.
+    pub fn begin() -> Self {
+        FrameCopyScope {
+            start: frames_copied_count(),
+        }
+    }
+
+    /// Copies on this thread since [`FrameCopyScope::begin`].
+    pub fn delta(&self) -> u64 {
+        frames_copied_count() - self.start
+    }
+}
+
 /// Mutable access to a possibly-shared frame, deep-copying it first if a
 /// snapshot still aliases it. The copy is counted in the thread's
 /// [`frames_copied_count`].
@@ -146,6 +172,17 @@ impl Merge {
     }
 }
 
+/// Whether every frame of `a` is the *same allocation* as the
+/// corresponding frame of `b` — the copy-on-write identity that holds
+/// whenever neither side wrote since they were snapshots of one state.
+fn frames_identical(a: &FlowState, b: &FlowState) -> bool {
+    a.frames.len() == b.frames.len()
+        && a.frames
+            .iter()
+            .zip(&b.frames)
+            .all(|(fa, fb)| Arc::ptr_eq(fa, fb))
+}
+
 /// Merge two flow states at a join point.
 pub fn merge(a: &FlowState, b: &FlowState, keys: &KeyGen, world: &World, syms: &Interner) -> Merge {
     if !a.reachable {
@@ -156,6 +193,21 @@ pub fn merge(a: &FlowState, b: &FlowState, keys: &KeyGen, world: &World, syms: &
         };
     }
     if !b.reachable {
+        return Merge {
+            state: a.clone(),
+            problems: Vec::new(),
+            poisoned: Vec::new(),
+        };
+    }
+    // Sparse fast path: if neither side wrote any frame since the two
+    // states diverged (every frame is still the shared snapshot
+    // allocation) and the held-key sets are equal, the slow path below
+    // is a foregone conclusion — identical bindings correlate every key
+    // to itself, orphans pair identically in id order, the identity
+    // renaming reproduces `b.held` verbatim, and equal states are
+    // abs-bijection-compatible with themselves. Skip the whole
+    // field-by-field walk and return `a` unchanged.
+    if frames_identical(a, b) && a.held == b.held {
         return Merge {
             state: a.clone(),
             problems: Vec::new(),
@@ -328,6 +380,11 @@ pub fn states_agree(
         return false;
     }
     if !a.reachable {
+        return true;
+    }
+    // Same sparse shortcut as `merge`, without paying for the joined
+    // state it would clone and discard.
+    if frames_identical(a, b) && a.held == b.held {
         return true;
     }
     merge(a, b, keys, world, syms).clean()
@@ -534,6 +591,85 @@ mod tests {
         assert!(s.lookup(syms.sym("inner")).is_some());
         s.pop_frame();
         assert!(s.lookup(syms.sym("inner")).is_none());
+    }
+
+    #[test]
+    fn shared_snapshot_merge_takes_the_identity_fast_path() {
+        // A state merged with its own snapshot must be clean without
+        // deep-copying a single frame — this is the convergence check
+        // every loop fixpoint iteration performs.
+        let (w, mut keys, region, syms) = setup();
+        let k = fresh(&mut keys);
+        let mut a = FlowState::new();
+        a.declare(
+            syms.sym("r"),
+            bind(Ty::tracked(KeyRef::Id(k), region.clone())),
+        );
+        a.held.insert(k, StateVal::DEFAULT).unwrap();
+        let snap = a.clone();
+        assert!(frames_identical(&a, &snap));
+        let before = frames_copied_count();
+        let m = merge(&a, &snap, &keys, &w, &syms);
+        assert!(m.clean());
+        assert_eq!(frames_copied_count(), before, "fast path must not copy");
+        assert!(states_agree(&a, &snap, &keys, &w, &syms));
+    }
+
+    #[test]
+    fn fast_path_agrees_with_the_slow_path_on_equal_states() {
+        // Break pointer identity by rewriting a binding with its own
+        // value: the slow path must reach the same clean verdict and
+        // the same joined state the fast path returns.
+        let (w, mut keys, region, syms) = setup();
+        let k = fresh(&mut keys);
+        let mut a = FlowState::new();
+        a.declare(
+            syms.sym("r"),
+            bind(Ty::tracked(KeyRef::Id(k), region.clone())),
+        );
+        a.held.insert(k, StateVal::DEFAULT).unwrap();
+        let mut b = a.clone();
+        b.lookup_mut(syms.sym("r")).unwrap().init = true; // same value, new frame
+        assert!(!frames_identical(&a, &b));
+        let slow = merge(&a, &b, &keys, &w, &syms);
+        let fast = merge(&a, &a.clone(), &keys, &w, &syms);
+        assert!(slow.clean() && fast.clean());
+        assert_eq!(slow.state, fast.state);
+        assert!(states_agree(&a, &b, &keys, &w, &syms));
+    }
+
+    #[test]
+    fn fast_path_does_not_mask_held_disagreement() {
+        // Identical frames but diverged held sets must still fall
+        // through to the full comparison (and may legitimately agree
+        // via renaming, or disagree as here).
+        let (w, mut keys, region, syms) = setup();
+        let k = fresh(&mut keys);
+        let mut a = FlowState::new();
+        a.declare(
+            syms.sym("r"),
+            bind(Ty::tracked(KeyRef::Id(k), region.clone())),
+        );
+        a.held.insert(k, StateVal::DEFAULT).unwrap();
+        let mut b = a.clone();
+        b.held.remove(k).unwrap();
+        assert!(frames_identical(&a, &b));
+        let m = merge(&a, &b, &keys, &w, &syms);
+        assert!(!m.clean());
+        assert!(!states_agree(&a, &b, &keys, &w, &syms));
+    }
+
+    #[test]
+    fn frame_copy_scope_windows_the_thread_counter() {
+        let (_w, _keys, _region, syms) = setup();
+        let mut s = FlowState::new();
+        s.declare(syms.sym("x"), bind(Ty::Int));
+        let snap = s.clone();
+        let scope = FrameCopyScope::begin();
+        assert_eq!(scope.delta(), 0);
+        s.lookup_mut(syms.sym("x")).unwrap().init = false;
+        assert_eq!(scope.delta(), 1);
+        drop(snap);
     }
 
     #[test]

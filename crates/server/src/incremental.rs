@@ -40,8 +40,34 @@
 //! Deadline-bounded checks bypass the engine entirely: a wall-clock
 //! verdict is not a pure function of the input, so caching any part of
 //! it could pin a transient timeout onto healthy re-checks.
+//!
+//! # Parallel per-function checking
+//!
+//! Function bodies are independent given the environment, so a full
+//! check can fan them out across the worker pool
+//! ([`IncrementalEngine::check_unit_parallel`]): the *driver* (the
+//! thread already running the unit's job) and up to `workers - 1`
+//! helper jobs claim function indices from a shared atomic counter
+//! (work stealing — the driver always participates, so the fan-out
+//! makes progress even when every other worker is busy and can never
+//! deadlock on its own queue). Outcomes are collected per index and
+//! **assembled strictly in function order**, replicating the
+//! sequential loop byte for byte: cache hits/misses are counted only
+//! up to the point where assembly stops (the sequential loop's
+//! early-exit on [`Code::LimitExceeded`]), per-function
+//! `frames_copied` counters are exact because each body runs start to
+//! finish on one thread against a thread-local counter (see
+//! [`vault_core::flow::FrameCopyScope`]) and are summed by
+//! `CheckStats::absorb` at assembly, and a panicking function re-panics
+//! on the driver in function order so the service's containment
+//! produces the same `internal-error` summary the sequential path
+//! would. The one divergence is warmth, not output: functions past a
+//! sequential early exit (or past a panic) may still be checked and
+//! cached by helpers that already claimed them.
 
-use std::sync::atomic::Ordering;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use vault_core::check::{check_function_with_limits, CheckStats};
@@ -56,6 +82,7 @@ use vault_syntax::{
 
 use crate::cache::{fnv1a_64, fnv1a_absorb, LruCache};
 use crate::metrics::Metrics;
+use crate::pool::{panic_payload, CheckPool};
 
 /// Headroom subtracted from the parser depth for a mini-parse. A
 /// declaration nested inside `interface { ... }` sits a few grammar
@@ -209,6 +236,113 @@ fn verdict_of(views: &[DiagView]) -> Verdict {
         Verdict::Rejected
     } else {
         Verdict::Accepted
+    }
+}
+
+/// Check one elaborated function body and render its diagnostics.
+/// Pure given its inputs; safe to run on any thread.
+fn check_body(
+    elab: &Elaborated,
+    attr: &Attribution,
+    f: &ast::FunDecl,
+    limits: &Limits,
+) -> FnVerdict {
+    let mut sink = DiagSink::new();
+    let stats = check_function_with_limits(
+        &elab.world,
+        &elab.syms,
+        &elab.aliases,
+        &elab.qualifiers,
+        &elab.base_keys,
+        f,
+        &mut sink,
+        limits,
+    );
+    FnVerdict {
+        views: sink.into_vec().iter().map(|d| attr.view(d)).collect(),
+        stats,
+    }
+}
+
+/// The front half of a full check: parse + elaborate, plus everything
+/// derived from them that body checking needs.
+struct FrontEnd {
+    elaborated: Arc<Elaborated>,
+    pre_views: Vec<DiagView>,
+    pre_limit: bool,
+    slots: Vec<(Span, Span)>,
+    env_hash: u64,
+    /// Per-function fingerprints, in check order.
+    fps: Vec<u64>,
+    /// Stats seeded with the front-end phase timings.
+    stats: CheckStats,
+}
+
+/// What one claimed function produced during a parallel fan-out.
+enum FnOutcome {
+    /// The per-function cache already had the verdict.
+    Hit(Arc<FnVerdict>),
+    /// Freshly checked (and now cached).
+    Fresh(Arc<FnVerdict>),
+    /// The check panicked; the payload re-panics at assembly, in
+    /// function order, so containment matches the sequential path.
+    Panicked(String),
+}
+
+/// Shared state of one unit's parallel fan-out. The driver and every
+/// helper claim function indices from `next` until the range is
+/// exhausted; results travel back over an `mpsc` channel keyed by
+/// index.
+struct FanOut {
+    engine: Arc<IncrementalEngine>,
+    elaborated: Arc<Elaborated>,
+    attr: Arc<Attribution>,
+    fps: Vec<u64>,
+    limits: Limits,
+    next: AtomicUsize,
+}
+
+impl FanOut {
+    /// Claim and check functions until none are left.
+    fn run(&self, tx: &Sender<(usize, FnOutcome)>) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.fps.len() {
+                return;
+            }
+            // The receiver only hangs up after collecting every
+            // result, and every claimed index sends exactly once, so a
+            // failed send is unreachable; ignoring it is still the
+            // right degradation.
+            let _ = tx.send((i, self.check_one(i)));
+        }
+    }
+
+    /// Probe the per-function cache, checking on a miss — the parallel
+    /// twin of one iteration of the sequential assembly loop.
+    fn check_one(&self, i: usize) -> FnOutcome {
+        let fp = self.fps[i];
+        let probed = lock(&self.engine.fns).get(fp);
+        if let Some(v) = probed {
+            return FnOutcome::Hit(v);
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            check_body(
+                &self.elaborated,
+                &self.attr,
+                &self.elaborated.bodies[i],
+                &self.limits,
+            )
+        }));
+        match outcome {
+            Ok(v) => {
+                let v = Arc::new(v);
+                lock(&self.engine.fns).put(fp, Arc::clone(&v));
+                self.engine.note_dirty(fp, &v);
+                FnOutcome::Fresh(v)
+            }
+            Err(e) => FnOutcome::Panicked(panic_payload(&*e)),
+        }
     }
 }
 
@@ -446,15 +580,9 @@ impl IncrementalEngine {
         Some(Arc::new(FnVerdict { views, stats }))
     }
 
-    /// Parse + elaborate fresh, probe the per-function cache before
-    /// checking each body, and refresh the environment cache.
-    fn full_check(
-        &self,
-        name: &str,
-        attr: &Attribution,
-        limits: &Limits,
-        metrics: &Metrics,
-    ) -> CheckSummary {
+    /// Parse + elaborate the unit and fingerprint every function body:
+    /// everything a full check does before touching a body.
+    fn front(&self, name: &str, attr: &Attribution, limits: &Limits) -> FrontEnd {
         let source = attr.full_text();
         let sm = attr.full_map();
         let mut pre = DiagSink::new();
@@ -471,19 +599,71 @@ impl IncrementalEngine {
             .collect();
         let excised = excise_bodies(source, &slots);
         let eh = env_hash(name, limits, attr.prelude_len(), &excised);
-
-        let mut views = pre_views.clone();
-        let mut stats = CheckStats {
+        let fps = elaborated
+            .bodies
+            .iter()
+            .map(|f| fn_fingerprint(eh, source, sm, f.span))
+            .collect();
+        let stats = CheckStats {
             lex_micros: front.lex_micros,
             parse_micros: front.parse_micros,
             elaborate_micros: elaborated.elaborate_micros,
             lower_micros: elaborated.lower_micros,
             ..CheckStats::default()
         };
+        FrontEnd {
+            elaborated,
+            pre_views,
+            pre_limit,
+            slots,
+            env_hash: eh,
+            fps,
+            stats,
+        }
+    }
+
+    /// Refresh the environment cache from a finished front end.
+    fn store_env(&self, name: &str, source_len: usize, fe: FrontEnd) {
+        lock(&self.envs).put(
+            fnv1a_64(name.as_bytes()),
+            Arc::new(CachedEnv {
+                env_hash: fe.env_hash,
+                source_len,
+                slots: fe.slots,
+                elaborated: fe.elaborated,
+                pre_views: fe.pre_views,
+            }),
+        );
+    }
+
+    /// Parse + elaborate fresh, probe the per-function cache before
+    /// checking each body, and refresh the environment cache.
+    fn full_check(
+        &self,
+        name: &str,
+        attr: &Attribution,
+        limits: &Limits,
+        metrics: &Metrics,
+    ) -> CheckSummary {
+        let fe = self.front(name, attr, limits);
+        self.assemble_sequential(name, attr, limits, metrics, fe)
+    }
+
+    /// The sequential body loop over a finished front end — the
+    /// reference order every parallel assembly must reproduce.
+    fn assemble_sequential(
+        &self,
+        name: &str,
+        attr: &Attribution,
+        limits: &Limits,
+        metrics: &Metrics,
+        fe: FrontEnd,
+    ) -> CheckSummary {
+        let mut views = fe.pre_views.clone();
+        let mut stats = fe.stats;
         let mut hits = 0u64;
         let mut misses = 0u64;
-        for f in &elaborated.bodies {
-            let fp = fn_fingerprint(eh, source, sm, f.span);
+        for (f, &fp) in fe.elaborated.bodies.iter().zip(&fe.fps) {
             let probed = lock(&self.fns).get(fp);
             let verdict = match probed {
                 Some(v) => {
@@ -492,44 +672,160 @@ impl IncrementalEngine {
                 }
                 None => {
                     misses += 1;
-                    let mut sink = DiagSink::new();
-                    let fn_stats = check_function_with_limits(
-                        &elaborated.world,
-                        &elaborated.syms,
-                        &elaborated.aliases,
-                        &elaborated.qualifiers,
-                        &elaborated.base_keys,
-                        f,
-                        &mut sink,
-                        limits,
-                    );
-                    let v = Arc::new(FnVerdict {
-                        views: sink.into_vec().iter().map(|d| attr.view(d)).collect(),
-                        stats: fn_stats,
-                    });
+                    let v = Arc::new(check_body(&fe.elaborated, attr, f, limits));
                     lock(&self.fns).put(fp, Arc::clone(&v));
                     self.note_dirty(fp, &v);
                     v
                 }
             };
-            if splice(&mut views, &mut stats, &verdict, pre_limit) {
+            if splice(&mut views, &mut stats, &verdict, fe.pre_limit) {
                 break;
             }
         }
         metrics.fn_cache_hits.fetch_add(hits, Ordering::Relaxed);
         metrics.fn_cache_misses.fetch_add(misses, Ordering::Relaxed);
+        self.store_env(name, attr.full_text().len(), fe);
+        CheckSummary {
+            name: name.to_string(),
+            verdict: verdict_of(&views),
+            diagnostics: views,
+            stats,
+        }
+    }
 
-        lock(&self.envs).put(
-            fnv1a_64(name.as_bytes()),
-            Arc::new(CachedEnv {
-                env_hash: eh,
-                source_len: source.len(),
-                slots,
-                elaborated,
-                pre_views,
-            }),
-        );
+    /// [`Self::check_unit`], with cache misses fanned out per function
+    /// across `pool`. Byte-identical to the sequential entry on every
+    /// input (see the module docs for the determinism argument).
+    pub fn check_unit_parallel(
+        self: &Arc<Self>,
+        name: &str,
+        source: &str,
+        limits: &Limits,
+        metrics: &Metrics,
+        pool: &Arc<CheckPool>,
+    ) -> CheckSummary {
+        self.check_unit_with_prelude_parallel(name, "", source, limits, metrics, pool)
+    }
 
+    /// [`Self::check_unit_with_prelude`], with cache misses fanned out
+    /// per function across `pool`.
+    pub fn check_unit_with_prelude_parallel(
+        self: &Arc<Self>,
+        name: &str,
+        prelude: &str,
+        source: &str,
+        limits: &Limits,
+        metrics: &Metrics,
+        pool: &Arc<CheckPool>,
+    ) -> CheckSummary {
+        if limits.deadline.is_some() {
+            // Wall-clock verdicts bypass all memoization; they stay on
+            // the calling thread, same as the sequential entry.
+            if prelude.is_empty() {
+                return check_summary_with_limits(name, source, limits);
+            }
+            return check_summary_with_prelude(name, prelude, source, limits);
+        }
+        let attr = Arc::new(Attribution::with_prelude(name, prelude, source));
+        if let Some(summary) = self.try_fast_path(name, &attr, limits, metrics) {
+            return summary;
+        }
+        self.full_check_parallel(name, &attr, limits, metrics, pool)
+    }
+
+    /// Parallel twin of [`Self::full_check`]: claim-based fan-out over
+    /// the pool, in-order assembly.
+    fn full_check_parallel(
+        self: &Arc<Self>,
+        name: &str,
+        attr: &Arc<Attribution>,
+        limits: &Limits,
+        metrics: &Metrics,
+        pool: &Arc<CheckPool>,
+    ) -> CheckSummary {
+        let fe = self.front(name, attr, limits);
+        let n = fe.elaborated.bodies.len();
+        // A pre-existing `LimitExceeded` stops the sequential loop at
+        // the first body; nothing to parallelize there (or for tiny
+        // units, or on a single-worker pool).
+        if fe.pre_limit || n < 2 || pool.workers() < 2 {
+            return self.assemble_sequential(name, attr, limits, metrics, fe);
+        }
+
+        let fan = Arc::new(FanOut {
+            engine: Arc::clone(self),
+            elaborated: Arc::clone(&fe.elaborated),
+            attr: Arc::clone(attr),
+            fps: fe.fps.clone(),
+            limits: limits.clone(),
+            next: AtomicUsize::new(0),
+        });
+        let (tx, rx) = channel::<(usize, FnOutcome)>();
+        // The driver participates, so helpers are an accelerant, never
+        // a dependency: a refused submission (pool draining) or a
+        // helper stuck behind queued work just means the driver claims
+        // more itself.
+        let helpers = pool.workers().saturating_sub(1).min(n - 1);
+        for _ in 0..helpers {
+            let fan = Arc::clone(&fan);
+            let tx = tx.clone();
+            let _ = pool.submit(move || fan.run(&tx));
+        }
+        fan.run(&tx);
+        drop(tx);
+
+        // Collect exactly `n` results — every claimed index sends once
+        // — rather than draining the channel, so a helper closure still
+        // queued behind other units' work cannot delay assembly.
+        let mut outcomes: Vec<Option<FnOutcome>> = (0..n).map(|_| None).collect();
+        let mut received = 0usize;
+        while received < n {
+            match rx.recv() {
+                Ok((i, out)) => {
+                    outcomes[i] = Some(out);
+                    received += 1;
+                }
+                // Unreachable (senders outlive their claims); the
+                // in-order fallback below re-checks any missing slot.
+                Err(_) => break,
+            }
+        }
+
+        let mut views = fe.pre_views.clone();
+        let mut stats = fe.stats;
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut panicked: Option<String> = None;
+        for (i, slot) in outcomes.into_iter().enumerate() {
+            let outcome = slot.unwrap_or_else(|| fan.check_one(i));
+            let verdict = match outcome {
+                FnOutcome::Hit(v) => {
+                    hits += 1;
+                    v
+                }
+                FnOutcome::Fresh(v) => {
+                    misses += 1;
+                    v
+                }
+                FnOutcome::Panicked(msg) => {
+                    panicked = Some(msg);
+                    break;
+                }
+            };
+            if splice(&mut views, &mut stats, &verdict, false) {
+                break;
+            }
+        }
+        if let Some(msg) = panicked {
+            // Sequentially, the panic unwinds out of the engine before
+            // the metrics adds and the env-cache write; re-panic at the
+            // same point so the service's containment sees the same
+            // payload.
+            resume_unwind(Box::new(msg));
+        }
+        metrics.fn_cache_hits.fetch_add(hits, Ordering::Relaxed);
+        metrics.fn_cache_misses.fetch_add(misses, Ordering::Relaxed);
+        self.store_env(name, attr.full_text().len(), fe);
         CheckSummary {
             name: name.to_string(),
             verdict: verdict_of(&views),

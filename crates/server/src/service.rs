@@ -116,7 +116,9 @@ const FN_CACHE_FACTOR: usize = 16;
 
 /// A parallel, incremental protocol-checking service.
 pub struct CheckService {
-    pool: CheckPool,
+    /// Shared (`Arc`) because unit-level check jobs fan their own
+    /// per-function work back out onto the same pool.
+    pool: Arc<CheckPool>,
     cache: Mutex<UnitCache>,
     incremental: Arc<IncrementalEngine>,
     cache_capacity: usize,
@@ -173,7 +175,7 @@ impl CheckService {
             }
         }
         CheckService {
-            pool: CheckPool::new(config.jobs, Arc::clone(&metrics)),
+            pool: Arc::new(CheckPool::new(config.jobs, Arc::clone(&metrics))),
             cache: Mutex::new(cache),
             incremental,
             cache_capacity,
@@ -253,13 +255,20 @@ impl CheckService {
                 let limits = self.limits.checker_limits(Instant::now());
                 let metrics = Arc::clone(&self.metrics);
                 let engine = Arc::clone(&self.incremental);
+                let pool = Arc::clone(&self.pool);
                 let name = unit.name.clone();
                 let submitted = self.pool.submit(move || {
                     let t = Instant::now();
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         #[cfg(feature = "chaos")]
                         crate::chaos::perturb_job();
-                        engine.check_unit(&unit.name, &unit.source, &limits, &metrics)
+                        engine.check_unit_parallel(
+                            &unit.name,
+                            &unit.source,
+                            &limits,
+                            &metrics,
+                            &pool,
+                        )
                     }));
                     let summary = match outcome {
                         Ok(summary) => summary,
@@ -457,6 +466,7 @@ impl CheckService {
                 let limits = self.limits.checker_limits(Instant::now());
                 let metrics = Arc::clone(&self.metrics);
                 let engine = Arc::clone(&self.incremental);
+                let pool = Arc::clone(&self.pool);
                 let job_plan = Arc::clone(&plan);
                 let unit = project_units[index].clone();
                 let submitted = self.pool.submit(move || {
@@ -465,12 +475,13 @@ impl CheckService {
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         #[cfg(feature = "chaos")]
                         crate::chaos::perturb_job();
-                        let s = engine.check_unit_with_prelude(
+                        let s = engine.check_unit_with_prelude_parallel(
                             &unit.name,
                             &up.prelude,
                             &unit.source,
                             &limits,
                             &metrics,
+                            &pool,
                         );
                         vault_project::fold_graph_diags(up, s)
                     }));
