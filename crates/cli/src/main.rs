@@ -4,6 +4,7 @@
 //! vaultc check [--jobs N] <file.vlt>...   check protocols, print diagnostics
 //! vaultc check --project <vault.toml>     check a multi-unit project manifest
 //! vaultc check --socket PATH <file.vlt>...check on a running vaultd (retries)
+//! vaultc check --connect ADDR:PORT <f>... same, over TCP
 //! vaultc emit-c <file.vlt>                check, then print the generated C
 //! vaultc dump-cfg <file.vlt>              print each function's CFG as dot
 //! vaultc stats <file.vlt>                 checker-effort statistics per unit
@@ -11,14 +12,17 @@
 //!                                         check, then execute an entry function
 //! vaultc explain <Vnnn>                   explain a diagnostic code
 //! vaultc corpus [experiment]              run the built-in paper corpus
-//! vaultc serve [--socket PATH]            run the vaultd checking service
+//! vaultc serve [--socket PATH] [--listen ADDR:PORT]
+//!                                         run the vaultd checking service
 //! ```
 //!
 //! `serve` accepts resource bounds: `--max-request-bytes N` caps request
 //! lines, `--timeout-ms N` gives each unit a checking deadline, and
-//! `--fuel N` caps loop-invariant fixpoint iterations. `check --socket`
-//! retries transient connection failures with jittered exponential
-//! backoff (`--retries N` to tune, default 5).
+//! `--fuel N` caps loop-invariant fixpoint iterations. With `--socket`
+//! and/or `--listen` it serves event-driven: one readiness loop
+//! multiplexes every connection onto a bounded executor pool. `check
+//! --socket` / `check --connect` retry transient connection failures
+//! with jittered exponential backoff (`--retries N` to tune, default 5).
 //!
 //! `check` defaults `--jobs` to the number of available hardware
 //! threads, dedupes repeated input paths (after canonicalization), and
@@ -40,7 +44,9 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 use vault_core::{check_source, CheckSummary, Verdict};
-use vault_server::{CheckService, Client, Json, RetryPolicy, ServiceConfig, UnitIn, UnixServer};
+use vault_server::{
+    CheckService, Client, Json, MuxConfig, MuxServer, RetryPolicy, ServiceConfig, UnitIn,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,14 +68,16 @@ fn main() -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  vaultc check [--jobs N] [--verbose] [--socket PATH [--retries N]] <file.vlt>...\n  \
+        "usage:\n  vaultc check [--jobs N] [--verbose] [--socket PATH | --connect ADDR:PORT]\n               \
+         [--retries N] <file.vlt>...\n  \
          vaultc check --project <vault.toml> [--jobs N] [--verbose]\n  \
          vaultc emit-c <file.vlt>\n  \
          vaultc dump-cfg <file.vlt>\n  vaultc stats <file.vlt>\n  \
          vaultc run [--engine interp|vm] [--fuel N] <file.vlt> <entry>\n  \
          vaultc explain <Vnnn>\n  vaultc corpus [E1..E13|X1..X6]\n  \
-         vaultc serve [--socket PATH] [--jobs N] [--cache N] [--cache-dir PATH]\n               \
-         [--cache-max-bytes N] [--max-request-bytes N] [--timeout-ms N] [--fuel N]"
+         vaultc serve [--socket PATH] [--listen ADDR:PORT] [--jobs N] [--cache N]\n               \
+         [--cache-dir PATH] [--cache-max-bytes N] [--executors N]\n               \
+         [--max-request-bytes N] [--timeout-ms N] [--fuel N]"
     );
     ExitCode::from(2)
 }
@@ -81,11 +89,28 @@ fn read(path: &str) -> Result<String, ExitCode> {
     })
 }
 
+/// Where a remote `check` ships its batch.
+enum Remote {
+    /// A vaultd Unix socket path (`--socket`).
+    Socket(String),
+    /// A vaultd TCP address (`--connect`).
+    Tcp(String),
+}
+
+impl Remote {
+    fn describe(&self) -> &str {
+        match self {
+            Remote::Socket(path) => path,
+            Remote::Tcp(addr) => addr,
+        }
+    }
+}
+
 /// Parsed `check` arguments.
 struct CheckArgs {
     jobs: usize,
     verbose: bool,
-    remote: Option<(String, u32)>,
+    remote: Option<(Remote, u32)>,
     project: Option<String>,
     paths: Vec<String>,
 }
@@ -96,13 +121,14 @@ fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
-/// Parse `check` arguments: `--jobs N` / `-j N`, `--socket PATH`,
-/// `--retries N`, `--project MANIFEST`, and `--verbose` anywhere among
-/// the paths.
+/// Parse `check` arguments: `--jobs N` / `-j N`, `--socket PATH` or
+/// `--connect ADDR:PORT` (mutually exclusive), `--retries N`,
+/// `--project MANIFEST`, and `--verbose` anywhere among the paths.
 fn parse_check_args(rest: &[String]) -> Option<CheckArgs> {
     let mut jobs = default_jobs();
     let mut verbose = false;
     let mut socket: Option<String> = None;
+    let mut connect: Option<String> = None;
     let mut retries = 5u32;
     let mut project: Option<String> = None;
     let mut paths = Vec::new();
@@ -118,6 +144,10 @@ fn parse_check_args(rest: &[String]) -> Option<CheckArgs> {
                 Some(path) => socket = Some(path.clone()),
                 None => return None,
             },
+            "--connect" => match it.next() {
+                Some(addr) => connect = Some(addr.clone()),
+                None => return None,
+            },
             "--retries" => match it.next().and_then(|n| n.parse::<u32>().ok()) {
                 Some(n) if n >= 1 => retries = n,
                 _ => return None,
@@ -130,10 +160,16 @@ fn parse_check_args(rest: &[String]) -> Option<CheckArgs> {
             path => paths.push(path.to_string()),
         }
     }
+    let remote = match (socket, connect) {
+        (Some(_), Some(_)) => return None, // one transport at a time
+        (Some(path), None) => Some(Remote::Socket(path)),
+        (None, Some(addr)) => Some(Remote::Tcp(addr)),
+        (None, None) => None,
+    };
     // A project manifest supplies the unit list itself; mixing it with
     // loose paths (or a remote daemon) is a usage error.
     match &project {
-        Some(_) if !paths.is_empty() || socket.is_some() => return None,
+        Some(_) if !paths.is_empty() || remote.is_some() => return None,
         Some(_) => {}
         None if paths.is_empty() => return None,
         None => {}
@@ -141,7 +177,7 @@ fn parse_check_args(rest: &[String]) -> Option<CheckArgs> {
     Some(CheckArgs {
         jobs,
         verbose,
-        remote: socket.map(|s| (s, retries)),
+        remote: remote.map(|r| (r, retries)),
         project,
         paths,
     })
@@ -197,11 +233,11 @@ fn check_cmd(rest: &[String]) -> ExitCode {
         );
     }
 
-    // With --socket, ship the batch to a running daemon instead of
-    // checking locally; transient connection failures are retried with
-    // jittered backoff.
-    if let Some((socket, retries)) = args.remote {
-        return check_remote(&socket, retries, units, any_unreadable);
+    // With --socket or --connect, ship the batch to a running daemon
+    // instead of checking locally; transient connection failures are
+    // retried with jittered backoff.
+    if let Some((remote, retries)) = args.remote {
+        return check_remote(&remote, retries, units, any_unreadable);
     }
 
     // jobs = 1 checks inline; jobs > 1 fans out across a worker pool.
@@ -298,19 +334,29 @@ fn render_summaries(summaries: &[CheckSummary]) -> ExitCode {
 }
 
 /// Check a batch on a running daemon, printing per-unit verdicts in the
-/// same shape as the local path.
-fn check_remote(socket: &str, retries: u32, units: Vec<UnitIn>, any_unreadable: bool) -> ExitCode {
-    let mut client = Client::with_policy(
-        socket,
-        RetryPolicy {
-            attempts: retries,
-            ..Default::default()
-        },
-    );
+/// same shape as the local path. Both transports answer byte-identically;
+/// only the connect step differs.
+fn check_remote(
+    remote: &Remote,
+    retries: u32,
+    units: Vec<UnitIn>,
+    any_unreadable: bool,
+) -> ExitCode {
+    let policy = RetryPolicy {
+        attempts: retries,
+        ..Default::default()
+    };
+    let mut client = match remote {
+        Remote::Socket(path) => Client::with_policy(path, policy),
+        Remote::Tcp(addr) => Client::tcp_with_policy(addr.clone(), policy),
+    };
     let response = match client.check(&units) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("vaultc: daemon at `{socket}` unreachable after {retries} attempt(s): {e}");
+            eprintln!(
+                "vaultc: daemon at `{}` unreachable after {retries} attempt(s): {e}",
+                remote.describe()
+            );
             return ExitCode::from(2);
         }
     };
@@ -360,13 +406,23 @@ fn check_remote(socket: &str, retries: u32, units: Vec<UnitIn>, any_unreadable: 
 
 fn serve(rest: &[String]) -> ExitCode {
     let mut socket: Option<String> = None;
+    let mut listen: Option<String> = None;
     let mut config = ServiceConfig::default();
+    let mut mux_config = MuxConfig::default();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--socket" => match it.next() {
                 Some(path) => socket = Some(path.clone()),
                 None => return usage(),
+            },
+            "--listen" => match it.next() {
+                Some(addr) => listen = Some(addr.clone()),
+                None => return usage(),
+            },
+            "--executors" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => mux_config.executors = n,
+                _ => return usage(),
             },
             "--jobs" | "-j" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => config.jobs = n,
@@ -402,35 +458,46 @@ fn serve(rest: &[String]) -> ExitCode {
         }
     }
     let svc = Arc::new(CheckService::new(config));
-    match socket {
-        Some(path) => {
-            let server = match UnixServer::bind(Arc::clone(&svc), &path) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("vaultc: cannot bind `{path}`: {e}");
-                    return ExitCode::from(2);
-                }
-            };
-            eprintln!(
-                "vaultc serve: listening on {path} ({} worker(s), cache {})",
-                svc.workers(),
-                svc.cache_capacity()
-            );
-            match server.run() {
-                Ok(()) => ExitCode::SUCCESS,
-                Err(e) => {
-                    eprintln!("vaultc serve: {e}");
-                    ExitCode::FAILURE
-                }
-            }
-        }
-        None => match vault_server::serve_stdio(&svc) {
+    if socket.is_none() && listen.is_none() {
+        return match vault_server::serve_stdio(&svc) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("vaultc serve: {e}");
                 ExitCode::FAILURE
             }
-        },
+        };
+    }
+    let mut mux = MuxServer::new(Arc::clone(&svc), mux_config);
+    if let Some(path) = &socket {
+        if let Err(e) = mux.bind_unix(path) {
+            eprintln!("vaultc: cannot bind `{path}`: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "vaultc serve: listening on {path} ({} worker(s), cache {})",
+            svc.workers(),
+            svc.cache_capacity()
+        );
+    }
+    if let Some(addr) = &listen {
+        match mux.bind_tcp(addr) {
+            Ok(local) => eprintln!(
+                "vaultc serve: listening on tcp {local} ({} worker(s), cache {})",
+                svc.workers(),
+                svc.cache_capacity()
+            ),
+            Err(e) => {
+                eprintln!("vaultc: cannot listen on `{addr}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match mux.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("vaultc serve: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

@@ -1,15 +1,19 @@
 //! `vaultd` — the Vault protocol-checking daemon.
 //!
 //! ```text
-//! vaultd [--socket PATH] [--jobs N] [--cache N] [--cache-dir PATH]
-//!        [--cache-max-bytes N] [--max-request-bytes N] [--timeout-ms N]
-//!        [--fuel N]
+//! vaultd [--socket PATH] [--listen ADDR:PORT] [--jobs N] [--cache N]
+//!        [--cache-dir PATH] [--cache-max-bytes N] [--executors N]
+//!        [--max-request-bytes N] [--timeout-ms N] [--fuel N]
 //! ```
 //!
-//! With `--socket`, serves the JSON-lines protocol on a Unix domain
-//! socket until a client sends `{"op":"shutdown"}`. Without it, serves
-//! a single session over stdin/stdout (exiting at EOF) — handy behind
-//! an inetd-style supervisor or for piping.
+//! With `--socket` and/or `--listen`, serves the JSON-lines protocol on
+//! a Unix domain socket and/or a TCP listener until a client sends
+//! `{"op":"shutdown"}`. Serving is event-driven: one readiness loop
+//! multiplexes every connection onto a bounded executor pool
+//! (`--executors`, default derived from `--jobs`), with per-connection
+//! backpressure so a stalled reader wedges only itself. Without either
+//! flag, serves a single session over stdin/stdout (exiting at EOF) —
+//! handy behind an inetd-style supervisor or for piping.
 //!
 //! `--cache-dir` names a directory for the persistent warm-start cache:
 //! verdicts journaled there by a previous run are replayed at boot, so
@@ -31,12 +35,13 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
-use vault_server::{CheckService, ServiceConfig, UnixServer};
+use vault_server::{CheckService, MuxConfig, MuxServer, ServiceConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: vaultd [--socket PATH] [--jobs N] [--cache N] [--cache-dir PATH]\n              \
-         [--cache-max-bytes N] [--max-request-bytes N] [--timeout-ms N] [--fuel N]"
+        "usage: vaultd [--socket PATH] [--listen ADDR:PORT] [--jobs N] [--cache N]\n              \
+         [--cache-dir PATH] [--cache-max-bytes N] [--executors N]\n              \
+         [--max-request-bytes N] [--timeout-ms N] [--fuel N]"
     );
     ExitCode::from(2)
 }
@@ -44,13 +49,23 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut socket: Option<String> = None;
+    let mut listen: Option<String> = None;
     let mut config = ServiceConfig::default();
+    let mut mux_config = MuxConfig::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--socket" => match it.next() {
                 Some(path) => socket = Some(path.clone()),
                 None => return usage(),
+            },
+            "--listen" => match it.next() {
+                Some(addr) => listen = Some(addr.clone()),
+                None => return usage(),
+            },
+            "--executors" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => mux_config.executors = n,
+                _ => return usage(),
             },
             "--jobs" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => config.jobs = n,
@@ -85,32 +100,43 @@ fn main() -> ExitCode {
     }
 
     let svc = Arc::new(CheckService::new(config));
-    match socket {
-        Some(path) => {
-            let server = match UnixServer::bind(Arc::clone(&svc), &path) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("vaultd: cannot bind `{path}`: {e}");
-                    return ExitCode::from(2);
-                }
-            };
-            eprintln!(
-                "vaultd: listening on {path} ({} worker(s), cache {})",
-                svc.workers(),
-                svc.cache_capacity()
-            );
-            if let Err(e) = server.run() {
-                eprintln!("vaultd: serve error: {e}");
-                return ExitCode::FAILURE;
-            }
-            ExitCode::SUCCESS
-        }
-        None => match vault_server::serve_stdio(&svc) {
+    if socket.is_none() && listen.is_none() {
+        return match vault_server::serve_stdio(&svc) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("vaultd: stdio error: {e}");
                 ExitCode::FAILURE
             }
-        },
+        };
     }
+    let mut mux = MuxServer::new(Arc::clone(&svc), mux_config);
+    if let Some(path) = &socket {
+        if let Err(e) = mux.bind_unix(path) {
+            eprintln!("vaultd: cannot bind `{path}`: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "vaultd: listening on {path} ({} worker(s), cache {})",
+            svc.workers(),
+            svc.cache_capacity()
+        );
+    }
+    if let Some(addr) = &listen {
+        match mux.bind_tcp(addr) {
+            Ok(local) => eprintln!(
+                "vaultd: listening on tcp {local} ({} worker(s), cache {})",
+                svc.workers(),
+                svc.cache_capacity()
+            ),
+            Err(e) => {
+                eprintln!("vaultd: cannot listen on `{addr}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Err(e) = mux.run() {
+        eprintln!("vaultd: serve error: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

@@ -50,6 +50,22 @@ pub struct ChaosConfig {
     /// `"compact.rename"`) may fire; every other point is inert. Lets
     /// a test crash the store at one exact place, deterministically.
     pub persist_fault_only: Option<&'static str>,
+    /// Probability an accepted connection is dropped on the floor
+    /// ([`accept_fault`]) — the client sees an immediate hangup and
+    /// must retry. Zero (the default) draws nothing from the RNG, so
+    /// older seeded fault streams stay byte-identical.
+    pub accept_fail_prob: f64,
+    /// Probability a connection dies mid-response flush
+    /// ([`disconnect_fault`]): a torn prefix is delivered, then the
+    /// socket closes. Zero (the default) draws nothing.
+    pub disconnect_prob: f64,
+    /// Probability a request handler stalls for [`ChaosConfig::stall`]
+    /// after computing its response ([`stall`]) — a slow executor the
+    /// multiplexer must not let wedge other connections. Zero (the
+    /// default) draws nothing.
+    pub stall_prob: f64,
+    /// How long a stalled handler sleeps.
+    pub stall: Duration,
 }
 
 impl Default for ChaosConfig {
@@ -62,7 +78,58 @@ impl Default for ChaosConfig {
             short_write_chunk: Some(7),
             persist_fault_prob: 0.0,
             persist_fault_only: None,
+            accept_fail_prob: 0.0,
+            disconnect_prob: 0.0,
+            stall_prob: 0.0,
+            stall: Duration::from_millis(10),
         }
+    }
+}
+
+/// Draw one connection-level fault decision with probability `prob`.
+/// Probability zero short-circuits before touching the RNG (same
+/// contract as [`persist_fault`]): arming chaos without connection
+/// faults leaves existing seeded streams byte-identical.
+fn connection_fault(pick: impl FnOnce(&ChaosConfig) -> f64) -> bool {
+    let mut guard = state();
+    let Some((cfg, rng)) = guard.as_mut() else {
+        return false;
+    };
+    let prob = pick(cfg);
+    if prob <= 0.0 {
+        return false;
+    }
+    rng.gen_bool(prob)
+}
+
+/// Called after each `accept`: `true` means drop the fresh connection
+/// (the client sees an immediate hangup and must retry). Counted as an
+/// `accept_errors` metric by the servers.
+pub fn accept_fault() -> bool {
+    connection_fault(|cfg| cfg.accept_fail_prob)
+}
+
+/// Called before a response flush: `true` means deliver a torn prefix
+/// and kill the connection mid-response.
+pub fn disconnect_fault() -> bool {
+    connection_fault(|cfg| cfg.disconnect_prob)
+}
+
+/// Called after a request handler computes its response: sleeps for the
+/// configured stall, if one fires. A stalled executor must slow only
+/// its own connection.
+pub fn stall() {
+    let delay = {
+        let mut guard = state();
+        match guard.as_mut() {
+            Some((cfg, rng)) if cfg.stall_prob > 0.0 => {
+                rng.gen_bool(cfg.stall_prob).then_some(cfg.stall)
+            }
+            _ => None,
+        }
+    };
+    if let Some(d) = delay {
+        std::thread::sleep(d);
     }
 }
 
@@ -161,8 +228,10 @@ pub fn perturb_job() {
     }
 }
 
-/// Current short-write chunk, if armed with one.
-fn short_write_chunk() -> Option<usize> {
+/// Current short-write chunk, if armed with one. Public so the
+/// multiplexer's nonblocking flush path can cap its writes the same way
+/// [`ChaosWriter`] caps blocking ones.
+pub fn short_write_chunk() -> Option<usize> {
     state().as_ref().and_then(|(cfg, _)| cfg.short_write_chunk)
 }
 

@@ -1,4 +1,5 @@
-//! A retrying Unix-socket client for the vaultd wire protocol.
+//! A retrying client for the vaultd wire protocol, over a Unix socket
+//! or TCP.
 //!
 //! Checking is side-effect-free on the daemon (verdicts are memoized,
 //! never mutated), so a request that dies mid-flight — daemon
@@ -7,11 +8,14 @@
 //! up to [`RetryPolicy::attempts`] tries over fresh connections, with
 //! exponential backoff and jitter between tries so a herd of clients
 //! hammering a restarting daemon spreads out instead of stampeding.
+//! Both transports share every bit of the retry machinery; only the
+//! connect step differs.
 
 use crate::json::{parse, Json};
 use crate::pool::UnitIn;
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -54,27 +58,104 @@ impl RetryPolicy {
     }
 }
 
+/// Where the daemon lives: a Unix socket path or a TCP address.
+#[derive(Clone, Debug)]
+enum Endpoint {
+    Unix(PathBuf),
+    Tcp(String),
+}
+
+impl Endpoint {
+    fn connect(&self) -> io::Result<Stream> {
+        match self {
+            Endpoint::Unix(path) => UnixStream::connect(path).map(Stream::Unix),
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr.as_str())?;
+                let _ = stream.set_nodelay(true);
+                Ok(Stream::Tcp(stream))
+            }
+        }
+    }
+}
+
+/// A connected transport; reads and writes uniformly over either kind.
+#[derive(Debug)]
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
 /// A connection to `vaultd` that transparently reconnects and retries.
 #[derive(Debug)]
 pub struct Client {
-    path: PathBuf,
+    endpoint: Endpoint,
     policy: RetryPolicy,
     rng: StdRng,
-    conn: Option<BufReader<UnixStream>>,
+    conn: Option<BufReader<Stream>>,
     next_id: u64,
 }
 
 impl Client {
-    /// A client for the daemon at `path` with default retry policy.
-    /// Does not touch the socket yet; connection is lazy and per-try.
+    /// A client for the daemon at Unix socket `path` with default retry
+    /// policy. Does not touch the socket yet; connection is lazy and
+    /// per-try.
     pub fn new(path: impl AsRef<Path>) -> Self {
         Client::with_policy(path, RetryPolicy::default())
     }
 
-    /// A client with an explicit retry policy.
+    /// A Unix-socket client with an explicit retry policy.
     pub fn with_policy(path: impl AsRef<Path>, policy: RetryPolicy) -> Self {
+        Client::for_endpoint(Endpoint::Unix(path.as_ref().to_path_buf()), policy)
+    }
+
+    /// A client for the daemon listening on TCP at `addr`
+    /// (`host:port`), with default retry policy.
+    pub fn tcp(addr: impl Into<String>) -> Self {
+        Client::tcp_with_policy(addr, RetryPolicy::default())
+    }
+
+    /// A TCP client with an explicit retry policy.
+    pub fn tcp_with_policy(addr: impl Into<String>, policy: RetryPolicy) -> Self {
+        Client::for_endpoint(Endpoint::Tcp(addr.into()), policy)
+    }
+
+    fn for_endpoint(endpoint: Endpoint, policy: RetryPolicy) -> Self {
         Client {
-            path: path.as_ref().to_path_buf(),
+            endpoint,
             policy,
             // Jitter only shapes sleep lengths, so any per-client seed
             // works; derive one from the pid to decorrelate clients.
@@ -84,9 +165,9 @@ impl Client {
         }
     }
 
-    fn connect(&mut self) -> io::Result<&mut BufReader<UnixStream>> {
+    fn connect(&mut self) -> io::Result<&mut BufReader<Stream>> {
         if self.conn.is_none() {
-            let stream = UnixStream::connect(&self.path)?;
+            let stream = self.endpoint.connect()?;
             self.conn = Some(BufReader::new(stream));
         }
         Ok(self.conn.as_mut().expect("just connected"))

@@ -339,12 +339,20 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is &str, so valid).
+                    // Bulk-copy the run up to the next structural byte.
+                    // Validating from here to end-of-input per character
+                    // made large strings O(n^2); one validation per run
+                    // keeps parsing linear. `"` and `\` are ASCII, so a
+                    // run always ends on a character boundary.
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    let run = rest
+                        .iter()
+                        .position(|&b| b == b'"' || b == b'\\')
+                        .unwrap_or(rest.len());
+                    let s =
+                        std::str::from_utf8(&rest[..run]).map_err(|_| self.err("invalid utf-8"))?;
+                    out.push_str(s);
+                    self.pos += run;
                 }
             }
         }

@@ -60,17 +60,21 @@ pub mod client;
 pub mod incremental;
 pub mod json;
 pub mod metrics;
+pub mod mux;
 pub mod persist;
+mod poll;
 pub mod pool;
 pub mod proto;
 pub mod server;
 pub mod service;
+pub mod singleflight;
 
 pub use cache::{fnv1a_64, unit_fingerprint, LruCache};
 pub use client::{Client, RetryPolicy};
 pub use incremental::IncrementalEngine;
 pub use json::{parse as parse_json, Json};
 pub use metrics::{Metrics, StatusSnapshot};
+pub use mux::{MuxConfig, MuxServer};
 pub use persist::{StoreConfig, StoreHealth, VerdictStore};
 pub use pool::{CheckPool, SubmitError, ThreadPool, UnitIn};
 pub use proto::{Request, UnitReport};

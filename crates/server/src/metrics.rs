@@ -35,6 +35,12 @@ pub struct Metrics {
     /// Requests answered with `"ok":false` (bad JSON, malformed or
     /// oversized requests, internal failures).
     pub requests_failed: AtomicU64,
+    /// Listener `accept` calls that failed (the connection was never
+    /// established; the listener backs off briefly on repeated failure).
+    pub accept_errors: AtomicU64,
+    /// Units answered by joining another request's in-flight check of
+    /// the same fingerprint instead of running the pipeline again.
+    pub singleflight_joins: AtomicU64,
     /// Panics caught and contained (worker jobs or per-unit checks).
     pub panics_caught: AtomicU64,
     /// Units whose check hit a resource limit (deadline or fuel).
@@ -83,6 +89,8 @@ impl Default for Metrics {
             check_micros: AtomicU64::new(0),
             request_micros: AtomicU64::new(0),
             requests_failed: AtomicU64::new(0),
+            accept_errors: AtomicU64::new(0),
+            singleflight_joins: AtomicU64::new(0),
             panics_caught: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
             workers_respawned: AtomicU64::new(0),
@@ -127,6 +135,16 @@ impl Metrics {
         self.requests_failed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a failed listener `accept`.
+    pub fn accept_error(&self) {
+        self.accept_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a unit that joined an in-flight check of its fingerprint.
+    pub fn singleflight_join(&self) {
+        self.singleflight_joins.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Record a worker thread respawned after an unwind.
     pub fn worker_respawned(&self) {
         self.workers_respawned.fetch_add(1, Ordering::Relaxed);
@@ -151,6 +169,8 @@ impl Metrics {
             check_micros: self.check_micros.load(Ordering::Relaxed),
             request_micros: self.request_micros.load(Ordering::Relaxed),
             requests_failed: self.requests_failed.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
+            singleflight_joins: self.singleflight_joins.load(Ordering::Relaxed),
             panics_caught: self.panics_caught.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
@@ -205,6 +225,11 @@ pub struct StatusSnapshot {
     pub request_micros: u64,
     /// Requests answered with an error reply.
     pub requests_failed: u64,
+    /// Listener `accept` calls that failed.
+    pub accept_errors: u64,
+    /// Units answered by joining an in-flight check of their
+    /// fingerprint (singleflight dedup).
+    pub singleflight_joins: u64,
     /// Panics caught and contained.
     pub panics_caught: u64,
     /// Units that hit a resource limit.

@@ -325,6 +325,7 @@ pub fn encode_status(
         ("units_checked", snap.units_checked),
         ("cache_hits", snap.cache_hits),
         ("cache_misses", snap.cache_misses),
+        ("singleflight_joins", snap.singleflight_joins),
         ("fn_cache_hits", snap.fn_cache_hits),
         ("fn_cache_misses", snap.fn_cache_misses),
         ("units_scheduled", snap.units_scheduled),
@@ -335,6 +336,7 @@ pub fn encode_status(
         ("check_micros", snap.check_micros),
         ("request_micros", snap.request_micros),
         ("requests_failed", snap.requests_failed),
+        ("accept_errors", snap.accept_errors),
         ("panics_caught", snap.panics_caught),
         ("deadline_exceeded", snap.deadline_exceeded),
         ("workers_respawned", snap.workers_respawned),

@@ -7,10 +7,12 @@
 //! warm the cache for every other client.
 
 use crate::json::{parse, Json};
+use crate::poll::{self, PollFd, Waker, POLLIN};
 use crate::proto::{self, Request};
 use crate::service::CheckService;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
-use std::os::unix::net::{UnixListener, UnixStream};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixListener;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -101,6 +103,30 @@ pub fn handle_request(svc: &CheckService, id: Option<u64>, req: Request) -> (Jso
     (response, shutdown)
 }
 
+/// Answer one raw request line: parse failures and protocol errors get
+/// structured `"ok":false` replies (counted in `requests_failed`), and
+/// well-formed requests go through [`handle_request`]. Shared by the
+/// blocking front ends here and the multiplexer's executor jobs
+/// ([`crate::mux`]) so every transport answers byte-identically.
+pub fn respond_to_line(svc: &CheckService, line: &str) -> (Json, bool) {
+    match parse(line) {
+        Err(e) => {
+            svc.metrics().request_failed();
+            (proto::encode_error(None, &format!("bad JSON: {e}")), false)
+        }
+        Ok(v) => {
+            let (id, req) = proto::parse_request(&v);
+            match req {
+                Err(e) => {
+                    svc.metrics().request_failed();
+                    (proto::encode_error(id, &e), false)
+                }
+                Ok(req) => handle_request(svc, id, req),
+            }
+        }
+    }
+}
+
 /// One request line, read under a byte bound.
 enum Line {
     /// End of stream.
@@ -189,22 +215,7 @@ pub fn serve_connection<R: BufRead, W: Write>(
         if line.trim().is_empty() {
             continue;
         }
-        let (response, shutdown) = match parse(&line) {
-            Err(e) => {
-                svc.metrics().request_failed();
-                (proto::encode_error(None, &format!("bad JSON: {e}")), false)
-            }
-            Ok(v) => {
-                let (id, req) = proto::parse_request(&v);
-                match req {
-                    Err(e) => {
-                        svc.metrics().request_failed();
-                        (proto::encode_error(id, &e), false)
-                    }
-                    Ok(req) => handle_request(svc, id, req),
-                }
-            }
-        };
+        let (response, shutdown) = respond_to_line(svc, &line);
         writer.write_all(response.to_line().as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
@@ -264,34 +275,94 @@ impl UnixServer {
     /// (bounded by [`SHUTDOWN_GRACE`]), unlink the socket file, and
     /// return. Connection threads are detached; jobs they had queued
     /// are covered by the drain.
+    ///
+    /// The accept loop polls a nonblocking listener alongside a
+    /// [`Waker`]: the connection thread that serves `shutdown` sets the
+    /// stop flag and wakes the poll, so no phantom self-connection is
+    /// needed to unblock `accept`. Failed accepts are counted
+    /// (`accept_errors` in `status`) and a run of them backs the loop
+    /// off exponentially instead of spinning on a hot error like
+    /// `EMFILE`.
     pub fn run(self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
-        for conn in self.listener.incoming() {
+        let waker = Arc::new(Waker::new()?);
+        let mut consecutive_errors = 0u32;
+        let mut backoff_until: Option<Instant> = None;
+        while !stop.load(Ordering::SeqCst) {
+            // During a backoff window the listener sits out of the poll
+            // set; the window's remainder becomes the poll timeout.
+            let mut timeout = -1i32;
+            let mut watch_listener = true;
+            if let Some(until) = backoff_until {
+                let now = Instant::now();
+                if now < until {
+                    timeout = (until - now).as_millis().max(1) as i32;
+                    watch_listener = false;
+                } else {
+                    backoff_until = None;
+                }
+            }
+            let mut fds = vec![PollFd::new(waker.fd(), POLLIN)];
+            if watch_listener {
+                fds.push(PollFd::new(self.listener.as_raw_fd(), POLLIN));
+            }
+            poll::wait(&mut fds, timeout)?;
+            waker.drain();
             if stop.load(Ordering::SeqCst) {
                 break;
             }
-            let stream = match conn {
-                Ok(s) => s,
-                Err(_) => continue,
-            };
-            let svc = Arc::clone(&self.svc);
-            let stop = Arc::clone(&stop);
-            let path = self.path.clone();
-            std::thread::spawn(move || {
-                let reader = BufReader::new(match stream.try_clone() {
-                    Ok(s) => s,
-                    Err(_) => return,
-                });
-                let writer = BufWriter::new(stream);
-                #[cfg(feature = "chaos")]
-                let writer = crate::chaos::ChaosWriter::new(writer);
-                if let Ok(true) = serve_connection(&svc, reader, writer) {
-                    // Set the flag first, then poke the accept loop so
-                    // it observes the flag instead of a real client.
-                    stop.store(true, Ordering::SeqCst);
-                    let _ = UnixStream::connect(&path);
+            if !watch_listener || !fds[1].ready(POLLIN) {
+                continue;
+            }
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        consecutive_errors = 0;
+                        #[cfg(feature = "chaos")]
+                        if crate::chaos::accept_fault() {
+                            // An injected accept failure: the would-be
+                            // client sees an immediate hangup.
+                            self.svc.metrics().accept_error();
+                            drop(stream);
+                            continue;
+                        }
+                        if stream.set_nonblocking(false).is_err() {
+                            continue;
+                        }
+                        let svc = Arc::clone(&self.svc);
+                        let stop = Arc::clone(&stop);
+                        let waker = Arc::clone(&waker);
+                        std::thread::spawn(move || {
+                            let reader = BufReader::new(match stream.try_clone() {
+                                Ok(s) => s,
+                                Err(_) => return,
+                            });
+                            let writer = BufWriter::new(stream);
+                            #[cfg(feature = "chaos")]
+                            let writer = crate::chaos::ChaosWriter::new(writer);
+                            if let Ok(true) = serve_connection(&svc, reader, writer) {
+                                // Set the flag first, then wake the
+                                // accept loop so it observes the flag.
+                                stop.store(true, Ordering::SeqCst);
+                                waker.wake();
+                            }
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        self.svc.metrics().accept_error();
+                        consecutive_errors += 1;
+                        if consecutive_errors >= 3 {
+                            let shift = (consecutive_errors - 3).min(6);
+                            backoff_until =
+                                Some(Instant::now() + Duration::from_millis(1 << shift));
+                        }
+                        break;
+                    }
                 }
-            });
+            }
         }
         self.svc.drain(SHUTDOWN_GRACE);
         let _ = std::fs::remove_file(&self.path);

@@ -13,6 +13,7 @@ use crate::metrics::{Metrics, StatusSnapshot};
 use crate::persist::{Record, StoreConfig, StoreHealth, VerdictStore};
 use crate::pool::{panic_payload, CheckPool, UnitIn};
 use crate::proto::UnitReport;
+use crate::singleflight::{Claim, InFlight, LeaderGuard, SingleFlight};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::channel;
@@ -80,6 +81,11 @@ pub struct ServiceConfig {
     /// Background maintenance compacts and then evicts oldest segments
     /// first until the store fits. `None` leaves it unbounded.
     pub cache_max_bytes: Option<u64>,
+    /// Singleflight dedup: concurrent requests for the same fingerprint
+    /// join one in-flight check instead of racing the pipeline. On by
+    /// default; the bench harness turns it off to measure the racing
+    /// baseline.
+    pub singleflight: bool,
 }
 
 impl Default for ServiceConfig {
@@ -92,8 +98,16 @@ impl Default for ServiceConfig {
             limits: ServiceLimits::default(),
             cache_dir: None,
             cache_max_bytes: None,
+            singleflight: true,
         }
     }
+}
+
+/// Whether a verdict is deterministic enough to hand to concurrent
+/// waiters (the same rule the verdict cache applies: a deadline overrun
+/// or contained panic is transient and must not fan out).
+fn shareable(summary: &CheckSummary) -> bool {
+    matches!(summary.verdict, Verdict::Accepted | Verdict::Rejected)
 }
 
 /// The whole-unit verdict cache type: fingerprints to shared summaries.
@@ -131,6 +145,8 @@ pub struct CheckService {
     /// `cache_load_errors` tick. Shared (`Arc`) because compaction
     /// runs as background jobs on the worker pool.
     persist: Option<Arc<VerdictStore>>,
+    /// In-flight dedup table, when `config.singleflight` is on.
+    singleflight: Option<SingleFlight>,
 }
 
 impl CheckService {
@@ -182,6 +198,7 @@ impl CheckService {
             limits: config.limits,
             metrics,
             persist,
+            singleflight: config.singleflight.then(SingleFlight::default),
         }
     }
 
@@ -241,22 +258,25 @@ impl CheckService {
         self.metrics
             .cache_hits
             .fetch_add(hits as u64, Ordering::Relaxed);
-        self.metrics
-            .cache_misses
-            .fetch_add(misses.len() as u64, Ordering::Relaxed);
 
         // Phase 2: fan misses out across the pool. Every unit gets its
         // own deadline and panic containment: one hostile unit costs
-        // only its own verdict, never a worker or the batch.
+        // only its own verdict, never a worker or the batch. With
+        // singleflight on, each fingerprint is first *claimed*: the
+        // claim winner (leader) runs the pipeline; a miss whose
+        // fingerprint is already in flight — under another connection's
+        // request, or earlier in this very batch — joins the leader's
+        // result instead of racing it.
         if !misses.is_empty() {
-            let (tx, rx) = channel::<(usize, CheckSummary, u64)>();
-            for (index, unit) in misses {
+            let (tx, rx) = channel::<(usize, Arc<CheckSummary>, u64)>();
+            let spawn = |index: usize, unit: UnitIn, publish: Option<Arc<InFlight>>| {
                 let job_tx = tx.clone();
                 let limits = self.limits.checker_limits(Instant::now());
                 let metrics = Arc::clone(&self.metrics);
                 let engine = Arc::clone(&self.incremental);
                 let pool = Arc::clone(&self.pool);
                 let name = unit.name.clone();
+                let guard = publish.map(|cell| LeaderGuard::new(cell, &unit.name));
                 let submitted = self.pool.submit(move || {
                     let t = Instant::now();
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -277,22 +297,64 @@ impl CheckService {
                             CheckSummary::internal_error(&unit.name, &panic_payload(&*e))
                         }
                     };
+                    let summary = Arc::new(summary);
+                    if let Some(guard) = guard {
+                        guard.publish(Arc::clone(&summary), shareable(&summary));
+                    }
                     let _ = job_tx.send((index, summary, t.elapsed().as_micros() as u64));
                 });
                 if let Err(e) = submitted {
-                    // Pool shutting down under us: answer rather than hang.
+                    // Pool shutting down under us: answer rather than
+                    // hang (the dropped job's guard released any
+                    // waiters the same way).
                     let _ = tx.send((
                         index,
-                        CheckSummary::internal_error(&name, &e.to_string()),
+                        Arc::new(CheckSummary::internal_error(&name, &e.to_string())),
                         0,
                     ));
                 }
+            };
+            let mut launched = 0u64;
+            let mut leader_fps: Vec<u64> = Vec::new();
+            let mut joiners: Vec<(usize, UnitIn, Arc<InFlight>)> = Vec::new();
+            for (index, unit) in misses {
+                match self
+                    .singleflight
+                    .as_ref()
+                    .map(|sf| sf.claim(fingerprints[index]))
+                {
+                    Some(Claim::Joiner(cell)) => joiners.push((index, unit, cell)),
+                    Some(Claim::Leader(cell)) => {
+                        leader_fps.push(fingerprints[index]);
+                        launched += 1;
+                        spawn(index, unit, Some(cell));
+                    }
+                    None => {
+                        launched += 1;
+                        spawn(index, unit, None);
+                    }
+                }
             }
+            // Joiners block on their leaders (pool jobs, so no request
+            // can wait on another request's *thread*). A non-shareable
+            // result — the leader panicked or timed out — falls back to
+            // a private re-check: transient faults must not fan out.
+            let mut joined: Vec<(usize, Arc<CheckSummary>)> = Vec::new();
+            for (index, unit, cell) in joiners {
+                let (summary, ok_to_share) = cell.wait();
+                if ok_to_share {
+                    self.metrics.singleflight_join();
+                    joined.push((index, summary));
+                } else {
+                    launched += 1;
+                    spawn(index, unit, None);
+                }
+            }
+            self.metrics
+                .cache_misses
+                .fetch_add(launched, Ordering::Relaxed);
             drop(tx);
-            let mut fresh: Vec<(usize, Arc<CheckSummary>, u64)> = rx
-                .into_iter()
-                .map(|(i, s, micros)| (i, Arc::new(s), micros))
-                .collect();
+            let mut fresh: Vec<(usize, Arc<CheckSummary>, u64)> = rx.into_iter().collect();
             // Insert in slot order so concurrent batches populate the
             // recency list deterministically given identical traffic.
             fresh.sort_by_key(|(i, _, _)| *i);
@@ -332,6 +394,21 @@ impl CheckService {
             // incremental engine produced) outside the cache lock; one
             // fsync covers the whole batch. Best-effort by design.
             self.journal(to_persist);
+            // Retire in-flight entries only now, after the verdicts hit
+            // the LRU: a late arrival either joins the flight or hits
+            // the cache — there is no window where it re-runs.
+            if let Some(sf) = &self.singleflight {
+                for fp in leader_fps {
+                    sf.complete(fp);
+                }
+            }
+            for (index, summary) in joined {
+                reports[index] = Some(UnitReport {
+                    summary,
+                    cached: true,
+                    check_micros: 0,
+                });
+            }
         }
 
         let reports = reports
@@ -420,9 +497,6 @@ impl CheckService {
             .cache_hits
             .fetch_add(hits as u64, Ordering::Relaxed);
         self.metrics
-            .cache_misses
-            .fetch_add(miss_count as u64, Ordering::Relaxed);
-        self.metrics
             .units_reused
             .fetch_add(hits as u64, Ordering::Relaxed);
         // A hit whose transitive closure contains a re-checked unit is a
@@ -442,26 +516,8 @@ impl CheckService {
         // dependencies at check time and the schedule order cannot
         // change any answer — only the reassembly below is ordered.
         if miss_count > 0 {
-            let (tx, rx) = channel::<(usize, CheckSummary, u64)>();
-            let mut scheduled = 0u64;
-            let topo_then_cyclic: Vec<usize> = plan
-                .order
-                .iter()
-                .copied()
-                .chain((0..n).filter(|&i| plan.units[i].cyclic))
-                .collect();
-            for index in topo_then_cyclic {
-                if !missed[index] {
-                    continue;
-                }
-                let up = &plan.units[index];
-                if up.cyclic {
-                    // Nothing to check: the V601 summary is assembled
-                    // inline on the connection thread.
-                    let _ = tx.send((index, vault_project::cyclic_summary(up), 0));
-                    continue;
-                }
-                scheduled += 1;
+            let (tx, rx) = channel::<(usize, Arc<CheckSummary>, u64)>();
+            let spawn = |index: usize, publish: Option<Arc<InFlight>>| {
                 let job_tx = tx.clone();
                 let limits = self.limits.checker_limits(Instant::now());
                 let metrics = Arc::clone(&self.metrics);
@@ -469,6 +525,8 @@ impl CheckService {
                 let pool = Arc::clone(&self.pool);
                 let job_plan = Arc::clone(&plan);
                 let unit = project_units[index].clone();
+                let name = unit.name.clone();
+                let guard = publish.map(|cell| LeaderGuard::new(cell, &unit.name));
                 let submitted = self.pool.submit(move || {
                     let t = Instant::now();
                     let up = &job_plan.units[index];
@@ -492,24 +550,85 @@ impl CheckService {
                             CheckSummary::internal_error(&unit.name, &panic_payload(&*e))
                         }
                     };
+                    let summary = Arc::new(summary);
+                    if let Some(guard) = guard {
+                        guard.publish(Arc::clone(&summary), shareable(&summary));
+                    }
                     let _ = job_tx.send((index, summary, t.elapsed().as_micros() as u64));
                 });
                 if let Err(e) = submitted {
                     let _ = tx.send((
                         index,
-                        CheckSummary::internal_error(&plan.units[index].name, &e.to_string()),
+                        Arc::new(CheckSummary::internal_error(&name, &e.to_string())),
                         0,
                     ));
+                }
+            };
+            let mut scheduled = 0u64;
+            let mut fresh_results = 0u64;
+            let mut leader_fps: Vec<u64> = Vec::new();
+            let mut joiners: Vec<(usize, Arc<InFlight>)> = Vec::new();
+            let topo_then_cyclic: Vec<usize> = plan
+                .order
+                .iter()
+                .copied()
+                .chain((0..n).filter(|&i| plan.units[i].cyclic))
+                .collect();
+            for index in topo_then_cyclic {
+                if !missed[index] {
+                    continue;
+                }
+                let up = &plan.units[index];
+                if up.cyclic {
+                    // Nothing to check: the V601 summary is assembled
+                    // inline on the connection thread (and is too cheap
+                    // to be worth deduplicating).
+                    fresh_results += 1;
+                    let _ = tx.send((index, Arc::new(vault_project::cyclic_summary(up)), 0));
+                    continue;
+                }
+                match self
+                    .singleflight
+                    .as_ref()
+                    .map(|sf| sf.claim(fingerprints[index]))
+                {
+                    Some(Claim::Joiner(cell)) => joiners.push((index, cell)),
+                    Some(Claim::Leader(cell)) => {
+                        leader_fps.push(fingerprints[index]);
+                        scheduled += 1;
+                        fresh_results += 1;
+                        spawn(index, Some(cell));
+                    }
+                    None => {
+                        scheduled += 1;
+                        fresh_results += 1;
+                        spawn(index, None);
+                    }
+                }
+            }
+            // Joiners: identical project fingerprints already in flight
+            // under a concurrent request. Non-shareable results fall
+            // back to a private re-check, as in `check_units`.
+            let mut joined: Vec<(usize, Arc<CheckSummary>)> = Vec::new();
+            for (index, cell) in joiners {
+                let (summary, ok_to_share) = cell.wait();
+                if ok_to_share {
+                    self.metrics.singleflight_join();
+                    joined.push((index, summary));
+                } else {
+                    scheduled += 1;
+                    fresh_results += 1;
+                    spawn(index, None);
                 }
             }
             drop(tx);
             self.metrics
                 .units_scheduled
                 .fetch_add(scheduled, Ordering::Relaxed);
-            let mut fresh: Vec<(usize, Arc<CheckSummary>, u64)> = rx
-                .into_iter()
-                .map(|(i, s, micros)| (i, Arc::new(s), micros))
-                .collect();
+            self.metrics
+                .cache_misses
+                .fetch_add(fresh_results, Ordering::Relaxed);
+            let mut fresh: Vec<(usize, Arc<CheckSummary>, u64)> = rx.into_iter().collect();
             fresh.sort_by_key(|(i, _, _)| *i);
             let mut to_persist: Vec<Record> = Vec::new();
             {
@@ -540,6 +659,18 @@ impl CheckService {
                 }
             }
             self.journal(to_persist);
+            if let Some(sf) = &self.singleflight {
+                for fp in leader_fps {
+                    sf.complete(fp);
+                }
+            }
+            for (index, summary) in joined {
+                reports[index] = Some(UnitReport {
+                    summary,
+                    cached: true,
+                    check_micros: 0,
+                });
+            }
         }
 
         let reports = reports

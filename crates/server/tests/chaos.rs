@@ -15,14 +15,27 @@
 
 #![cfg(feature = "chaos")]
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use vault_server::chaos::{self, ChaosConfig};
 use vault_server::{
-    CheckService, Client, Json, RetryPolicy, ServiceConfig, ServiceLimits, UnitIn, UnixServer,
+    CheckService, Client, Json, MuxConfig, MuxServer, RetryPolicy, ServiceConfig, ServiceLimits,
+    UnitIn, UnixServer,
 };
 
 const REQUESTS: usize = 1000;
+
+/// Chaos faults are armed process-wide, so every test in this binary
+/// serializes on this lock; an armed schedule must never bleed into a
+/// neighbouring test's server.
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+    match EXCLUSIVE.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
 
 /// A small mixed workload: verdicts and diagnostics differ per unit.
 fn workload() -> Vec<(UnitIn, String, String)> {
@@ -65,6 +78,7 @@ fn workload() -> Vec<(UnitIn, String, String)> {
 
 #[test]
 fn daemon_survives_a_thousand_chaos_requests_and_stays_correct() {
+    let _guard = exclusive();
     // Arm everything at once: job panics, job delays, short writes.
     chaos::arm(ChaosConfig {
         seed: 0xDEAD_BEEF,
@@ -155,6 +169,149 @@ fn daemon_survives_a_thousand_chaos_requests_and_stays_correct() {
 
     // Graceful exit: shutdown drains and the server thread returns.
     chaos::disarm();
+    let _ = client.shutdown();
+    server_thread.join().expect("server thread exits cleanly");
+}
+
+#[test]
+fn multiplexer_survives_connection_level_chaos_and_stays_correct() {
+    let _guard = exclusive();
+    // Everything at once, now including the connection-level faults the
+    // multiplexer owns: dropped accepts, mid-response disconnects, and
+    // stalled executors, on top of job panics, delays, and short writes.
+    chaos::arm(ChaosConfig {
+        seed: 0x0C0F_FEE5,
+        panic_prob: 0.05,
+        delay_prob: 0.05,
+        delay: Duration::from_millis(1),
+        short_write_chunk: Some(5),
+        accept_fail_prob: 0.05,
+        disconnect_prob: 0.02,
+        stall_prob: 0.05,
+        stall: Duration::from_millis(2),
+        ..Default::default()
+    });
+
+    let svc = Arc::new(CheckService::new(ServiceConfig {
+        jobs: 4,
+        cache_capacity: 2,
+        limits: ServiceLimits::default(),
+        ..Default::default()
+    }));
+    let path = std::env::temp_dir().join(format!("vaultd_chaos_mux_{}.sock", std::process::id()));
+    let mut mux = MuxServer::new(Arc::clone(&svc), MuxConfig::default());
+    mux.bind_unix(&path).expect("bind socket");
+    let server_thread = std::thread::spawn(move || mux.run().expect("serve"));
+
+    let mut client = Client::with_policy(
+        &path,
+        RetryPolicy {
+            attempts: 10,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(50),
+        },
+    );
+    let expected = workload();
+    let start = Instant::now();
+    let mut chaos_hits = 0u64;
+    for i in 0..400 {
+        let take = 1 + (i % 3);
+        let batch: Vec<UnitIn> = (0..take)
+            .map(|j| expected[(i + j) % expected.len()].0.clone())
+            .collect();
+        let response = client.check(&batch).expect("daemon must keep answering");
+        assert_eq!(
+            response.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "request {i} failed"
+        );
+        let units = response.get("units").and_then(Json::as_arr).unwrap();
+        assert_eq!(units.len(), batch.len(), "request {i} lost units");
+        for (j, u) in units.iter().enumerate() {
+            let (_, want_verdict, want_rendered) = &expected[(i + j) % expected.len()];
+            let got = u.get("verdict").and_then(Json::as_str).unwrap();
+            if got == "internal-error" {
+                chaos_hits += 1;
+                continue;
+            }
+            assert_eq!(got, want_verdict, "request {i} unit {j}");
+            let rendered: String = u
+                .get("diagnostics")
+                .and_then(Json::as_arr)
+                .unwrap()
+                .iter()
+                .map(|d| d.get("rendered").and_then(Json::as_str).unwrap())
+                .collect();
+            assert_eq!(&rendered, want_rendered, "request {i} unit {j}");
+        }
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(120),
+        "chaos run took {:?}; the multiplexer is likely wedging",
+        start.elapsed()
+    );
+    assert!(
+        chaos_hits > 0,
+        "chaos never hit a job; the harness is inert"
+    );
+
+    chaos::disarm();
+    let _ = client.shutdown();
+    server_thread.join().expect("server thread exits cleanly");
+}
+
+#[test]
+fn accept_faults_are_counted_and_outlasted_by_a_retrying_client() {
+    let _guard = exclusive();
+    // Every accept is dropped on the floor until a helper disarms chaos
+    // ~100ms in: the retrying client must outlast the outage, and the
+    // daemon must have accounted for every dropped connection.
+    chaos::arm(ChaosConfig {
+        seed: 0xACC_E97,
+        panic_prob: 0.0,
+        delay_prob: 0.0,
+        short_write_chunk: None,
+        accept_fail_prob: 1.0,
+        ..Default::default()
+    });
+
+    let svc = Arc::new(CheckService::new(ServiceConfig {
+        jobs: 2,
+        cache_capacity: 16,
+        ..Default::default()
+    }));
+    let path =
+        std::env::temp_dir().join(format!("vaultd_chaos_accept_{}.sock", std::process::id()));
+    let mut mux = MuxServer::new(Arc::clone(&svc), MuxConfig::default());
+    mux.bind_unix(&path).expect("bind socket");
+    let server_thread = std::thread::spawn(move || mux.run().expect("serve"));
+
+    let healer = std::thread::spawn(|| {
+        std::thread::sleep(Duration::from_millis(100));
+        chaos::disarm();
+    });
+
+    let mut client = Client::with_policy(
+        &path,
+        RetryPolicy {
+            attempts: 20,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+        },
+    );
+    let response = client
+        .check(&[UnitIn {
+            name: "t.vlt".to_string(),
+            source: "void f() { }".to_string(),
+        }])
+        .expect("client must outlast the accept outage");
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+    healer.join().unwrap();
+
+    let status = client.status().expect("status");
+    let dropped = status.get("accept_errors").and_then(Json::as_u64).unwrap();
+    assert!(dropped > 0, "no accept fault was counted");
+
     let _ = client.shutdown();
     server_thread.join().expect("server thread exits cleanly");
 }
