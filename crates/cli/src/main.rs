@@ -59,6 +59,7 @@ fn main() -> ExitCode {
             "run" => run_cmd(rest),
             "explain" if rest.len() == 1 => explain(&rest[0]),
             "corpus" => run_corpus(rest.first().map(String::as_str)),
+            "synth" => synth_cmd(rest),
             "serve" => serve(rest),
             _ => usage(),
         },
@@ -74,7 +75,9 @@ fn usage() -> ExitCode {
          vaultc emit-c <file.vlt>\n  \
          vaultc dump-cfg <file.vlt>\n  vaultc stats <file.vlt>\n  \
          vaultc run [--engine interp|vm] [--fuel N] <file.vlt> <entry>\n  \
-         vaultc explain <Vnnn>\n  vaultc corpus [E1..E13|X1..X6]\n  \
+         vaultc explain <Vnnn>\n  vaultc corpus [E1..E15|X1..X6]\n  \
+         vaultc synth --out DIR [--units N] [--fns-per-unit N] [--stmts N]\n               \
+         [--seed N] [--bug-rate R]\n  \
          vaultc serve [--socket PATH] [--listen ADDR:PORT] [--jobs N] [--cache N]\n               \
          [--cache-dir PATH] [--cache-max-bytes N] [--executors N]\n               \
          [--max-request-bytes N] [--timeout-ms N] [--fuel N]"
@@ -725,4 +728,80 @@ fn run_corpus(filter: Option<&str>) -> ExitCode {
     } else {
         ExitCode::from(1)
     }
+}
+
+/// `vaultc synth`: write a deterministic multi-unit socket project
+/// (`vault.toml` + one `.vlt` per unit) for the scaling experiments.
+/// `--bug-rate R` seeds a fraction of worker units with one protocol or
+/// capability bug each; the seeded ground truth is printed per unit so
+/// detection runs can diff against it.
+fn synth_cmd(rest: &[String]) -> ExitCode {
+    let mut cfg = vault_corpus::synth::ProjectConfig::default();
+    let mut out: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut num = |name: &str| -> Option<usize> {
+            match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => Some(n),
+                _ => {
+                    eprintln!("vaultc: {name} needs a positive integer");
+                    None
+                }
+            }
+        };
+        match arg.as_str() {
+            "--out" | "-o" => match it.next() {
+                Some(dir) => out = Some(dir.clone()),
+                None => return usage(),
+            },
+            "--units" => match num("--units") {
+                Some(n) => cfg.units = n,
+                None => return usage(),
+            },
+            "--fns-per-unit" => match num("--fns-per-unit") {
+                Some(n) => cfg.fns_per_unit = n,
+                None => return usage(),
+            },
+            "--stmts" => match num("--stmts") {
+                Some(n) => cfg.stmts_per_fn = n,
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => cfg.seed = n,
+                None => return usage(),
+            },
+            "--bug-rate" => match it.next().and_then(|n| n.parse::<f64>().ok()) {
+                Some(r) if (0.0..=1.0).contains(&r) => cfg.bug_rate = r,
+                _ => {
+                    eprintln!("vaultc: --bug-rate needs a number in [0, 1]");
+                    return usage();
+                }
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(out) = out else {
+        eprintln!("vaultc: synth needs --out DIR");
+        return usage();
+    };
+    let project = vault_corpus::synth::generate_project(&cfg);
+    if let Err(e) = project.write_to(std::path::Path::new(&out)) {
+        eprintln!("vaultc: cannot write project under `{out}`: {e}");
+        return ExitCode::from(2);
+    }
+    for (unit, bug) in &project.seeded {
+        println!(
+            "seeded {:12} {:?} (expect {})",
+            project.units[*unit].0,
+            bug,
+            bug.expected_code()
+        );
+    }
+    println!(
+        "synth: wrote {} unit(s) + vault.toml under {out} (seed {}, {} seeded bug(s))",
+        project.units.len(),
+        cfg.seed,
+        project.seeded.len()
+    );
+    ExitCode::SUCCESS
 }

@@ -21,7 +21,7 @@ use crate::lower::{
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use vault_syntax::ast::{self, Expr, ExprKind, Stmt, StmtKind};
-use vault_syntax::diag::{Code, DiagSink};
+use vault_syntax::diag::{Code, DiagSink, Diagnostic};
 use vault_syntax::span::Span;
 use vault_types::{
     unify, Arg, Bindings, CtorDef, EffItem, FnSig, GuardAtom, Interner, KeyGen, KeyId, KeyInfo,
@@ -172,6 +172,8 @@ pub fn check_function_with_limits(
         ret_ty: Ty::Void,
         fn_name: f.name.name.to_string(),
         expected_exit: Vec::new(),
+        caps_declared: Vec::new(),
+        caps_used: BTreeSet::new(),
         stats: CheckStats::default(),
         limits: *limits,
         gave_up: false,
@@ -212,6 +214,11 @@ struct FnChecker<'a, 'd> {
     ret_ty: Ty,
     fn_name: String,
     expected_exit: Vec<ExitExpect>,
+    /// Declared capability set (sorted; empty = discipline opted out).
+    caps_declared: Vec<String>,
+    /// Capabilities the body exercised, via intrinsics or callee
+    /// declarations (for the `V704` unused-capability warning).
+    caps_used: BTreeSet<String>,
     stats: CheckStats,
     /// Resource bounds (fixpoint fuel and the cooperative deadline).
     limits: crate::Limits,
@@ -225,6 +232,33 @@ impl<'a, 'd> FnChecker<'a, 'd> {
             world: self.world,
             syms: self.syms,
             aliases: self.aliases,
+        }
+    }
+
+    /// Capability-effect discipline (`V7xx`). A function that declares a
+    /// capability set (any `uses` item) must cover every capability its
+    /// body requires: `alloc` for the `new`/`free` intrinsics, and the
+    /// *declared* set of every callee (requirements are compositional —
+    /// transitive use is summarized by signatures, never re-derived from
+    /// callee bodies, so cross-unit checking works through signature
+    /// preludes and the interface cutoff is preserved). Functions with
+    /// no `uses` items opt out entirely: they impose no requirement on
+    /// callers and incur none themselves.
+    fn require_cap(&mut self, cap: &str, what: &str, span: Span) {
+        if self.caps_declared.is_empty() {
+            return;
+        }
+        self.caps_used.insert(cap.to_string());
+        if !self.caps_declared.iter().any(|c| c == cap) {
+            self.diags.error(
+                Code::CapMissing,
+                span,
+                format!(
+                    "{what} requires capability `{cap}`, but `{}` does not declare it \
+                     (add `uses {cap}` to its effect clause)",
+                    self.fn_name
+                ),
+            );
         }
     }
 
@@ -263,6 +297,31 @@ impl<'a, 'd> FnChecker<'a, 'd> {
         let Some(body) = &f.body else { return };
         let mut st = self.instantiate(f);
         self.check_block(&mut st, body);
+        // Capability audit: every declared capability must be exercised
+        // somewhere in the body (directly by an intrinsic or through a
+        // callee's declared set). Dead authority is a warning, not an
+        // error — the program is still protocol-correct.
+        if !self.caps_declared.is_empty() && !self.gave_up {
+            let eff_span = f.effect.as_ref().map(|e| e.span).unwrap_or(f.name.span);
+            for cap in self.caps_declared.clone() {
+                // Unknown capabilities already got a `V702` error at the
+                // declaration site; an unused-warning on top is noise.
+                if !crate::KNOWN_CAPS.contains(&cap.as_str()) {
+                    continue;
+                }
+                if !self.caps_used.contains(&cap) {
+                    self.diags.push(Diagnostic::warning(
+                        Code::CapUnused,
+                        eff_span,
+                        format!(
+                            "function `{}` declares capability `{cap}` but never \
+                             exercises it",
+                            self.fn_name
+                        ),
+                    ));
+                }
+            }
+        }
         if st.reachable {
             if matches!(self.ret_ty, Ty::Void) {
                 self.do_return(&mut st, None, body.span);
@@ -289,6 +348,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
             let ctx = self.ctx();
             lower_fn_decl_in(&ctx, f, scope, self.diags)
         };
+        self.caps_declared = sig.caps.clone();
 
         // Which key variables does the signature bind, and where?
         let fresh_vars: BTreeSet<String> = sig
@@ -684,6 +744,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
             StmtKind::Switch { scrutinee, arms } => self.check_switch(st, scrutinee, arms, s.span),
             StmtKind::Return(v) => self.do_return(st, v.as_ref(), s.span),
             StmtKind::Free(e) => {
+                self.require_cap("alloc", "`free`", s.span);
                 let t = self.eval(st, e, None);
                 match t {
                     Ty::Tracked {
@@ -974,6 +1035,8 @@ impl<'a, 'd> FnChecker<'a, 'd> {
             ret_ty: Ty::Void,
             fn_name: f.name.name.to_string(),
             expected_exit: Vec::new(),
+            caps_declared: Vec::new(),
+            caps_used: BTreeSet::new(),
             stats: CheckStats::default(),
             limits: self.limits,
             gave_up: self.gave_up,
@@ -1644,6 +1707,9 @@ impl<'a, 'd> FnChecker<'a, 'd> {
                 return Ty::Error;
             }
         };
+        for cap in sig.caps.clone() {
+            self.require_cap(&cap, &format!("calling `{}`", sig.name), span);
+        }
         if sig.params.len() != args.len() {
             self.diags.error(
                 Code::TypeMismatch,
@@ -2315,6 +2381,7 @@ impl<'a, 'd> FnChecker<'a, 'd> {
         inits: &[ast::FieldInit],
         span: Span,
     ) -> Ty {
+        self.require_cap("alloc", "`new`", span);
         // Lower the allocated type.
         let mut scope = Scope::body(self.keyenv.clone());
         let lowered = {

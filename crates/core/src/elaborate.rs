@@ -413,6 +413,7 @@ pub fn lower_fn_decl_in(
         param_names,
         ret,
         effect,
+        caps: crate::lower::collect_caps(f.effect.as_ref()),
         ty_params,
     }
 }
@@ -425,6 +426,40 @@ pub fn validate_signature(sig: &FnSig, f: &ast::FunDecl, diags: &mut DiagSink) {
     use vault_types::{EffItem, KeyRef};
 
     let eff_span = f.effect.as_ref().map(|e| e.span).unwrap_or(f.span);
+    // Capability declarations (`uses c`): names come from a closed
+    // universe and may appear at most once. Checked on the *surface*
+    // items (the lowered `sig.caps` is already deduplicated), so this
+    // covers bodyless interface declarations too.
+    let mut seen_caps: Set<&str> = Set::new();
+    if let Some(e) = &f.effect {
+        for item in &e.items {
+            if let ast::EffectItem::Uses { cap } = item {
+                if !crate::KNOWN_CAPS.contains(&cap.name.as_str()) {
+                    diags.error(
+                        Code::CapUnknown,
+                        cap.span,
+                        format!(
+                            "unknown capability `{}` in the effect clause of `{}` \
+                             (known capabilities: {})",
+                            cap.name,
+                            sig.name,
+                            crate::KNOWN_CAPS.join(", ")
+                        ),
+                    );
+                }
+                if !seen_caps.insert(&cap.name) {
+                    diags.error(
+                        Code::CapDuplicate,
+                        cap.span,
+                        format!(
+                            "capability `{}` is declared more than once on `{}`",
+                            cap.name, sig.name
+                        ),
+                    );
+                }
+            }
+        }
+    }
     let fresh: Set<&str> = sig
         .effect
         .iter()

@@ -55,6 +55,12 @@ use vault_syntax::{ast, SourceMap};
 pub use check::CheckStats;
 pub use elaborate::{elaborate, Elaborated};
 
+/// The closed capability universe for the capability-effect discipline
+/// (`uses c` items, `V7xx` diagnostics). A closed set keeps corpus
+/// expectations stable and makes `V702` (unknown capability) a typo
+/// catcher rather than a namespace policy. Sorted.
+pub const KNOWN_CAPS: &[&str] = &["alloc", "io", "net", "sys", "time"];
+
 /// Did the program pass the protocol checker?
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Verdict {

@@ -177,6 +177,7 @@ impl<'a> LowerCtx<'a> {
             param_names,
             ret,
             effect,
+            caps: collect_caps(ft.effect.as_ref()),
             ty_params: Vec::new(),
         }
     }
@@ -524,10 +525,36 @@ impl<'a> LowerCtx<'a> {
                         state,
                     });
                 }
+                // Capability declarations are not key items: they are
+                // extracted into `FnSig.caps` by [`collect_caps`] and
+                // never enter the held-key machinery.
+                ast::EffectItem::Uses { .. } => {}
             }
         }
         items
     }
+}
+
+/// Extract the declared capability set from a surface effect clause:
+/// the `uses` item names, sorted and deduplicated (order in source is
+/// irrelevant; a stable order keeps signatures and export surfaces
+/// comparable). Duplicates are reported by `validate_signature`, not
+/// here — this runs for function *types* too, which have no decl site.
+pub fn collect_caps(effect: Option<&ast::Effect>) -> Vec<String> {
+    let mut caps: Vec<String> = effect
+        .map(|e| {
+            e.items
+                .iter()
+                .filter_map(|i| match i {
+                    ast::EffectItem::Uses { cap } => Some(cap.name.to_string()),
+                    _ => None,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    caps.sort();
+    caps.dedup();
+    caps
 }
 
 /// Extract a bare identifier from a surface type (`Named` with no args).

@@ -17,6 +17,7 @@ pub mod extensions;
 pub mod figures;
 pub mod floppy;
 pub mod kernel;
+pub mod sockets;
 pub mod synth;
 
 use vault_syntax::Code;
@@ -73,6 +74,7 @@ pub fn all_programs() -> Vec<CorpusProgram> {
     v.extend(figures::programs());
     v.extend(kernel::programs());
     v.extend(floppy::programs());
+    v.extend(sockets::programs());
     v.extend(extensions::programs());
     v.extend(exec::programs());
     v

@@ -25,6 +25,10 @@ pub enum Shape {
     Loopy,
     /// Keyed-variant-heavy (pack/unpack on every other statement).
     VariantHeavy,
+    /// Socket-protocol-shaped: every function drives a channel through
+    /// the open → ready → transfer → close lifecycle under declared
+    /// `uses` capabilities (the concurrent-server workload of E15/E16).
+    Sockets,
 }
 
 /// Parameters for the generator.
@@ -57,10 +61,25 @@ impl Default for SynthConfig {
 /// The kind of bug seeded into a function.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SeededBug {
-    /// The region is never deleted.
+    /// The region (or channel) is never deleted/closed.
     Leak,
-    /// The point is accessed after the region is deleted.
+    /// The resource is accessed after the region is deleted (or the
+    /// channel closed).
     Dangling,
+    /// The function drops a `uses` capability its body still needs
+    /// (Sockets shape only — other shapes declare no capabilities).
+    CapMissing,
+}
+
+impl SeededBug {
+    /// The diagnostic code the checker must report for this bug.
+    pub fn expected_code(self) -> vault_syntax::Code {
+        match self {
+            SeededBug::Leak => vault_syntax::Code::KeyLeak,
+            SeededBug::Dangling => vault_syntax::Code::KeyNotHeld,
+            SeededBug::CapMissing => vault_syntax::Code::CapMissing,
+        }
+    }
 }
 
 /// A generated program plus its ground truth.
@@ -89,14 +108,38 @@ struct point { int x; int y; }
 variant opt_key<key K> [ 'Empty | 'Held {K} ];
 "#;
 
+/// The interface the `Sockets` shape (and every generated project unit)
+/// programs against: a two-state channel protocol whose operations all
+/// carry `uses` capability requirements.
+pub const SOCKET_PRELUDE: &str = r#"
+// ----- Generated socket/channel interface -------------------------------
+stateset CHAN_STATE = [ idle < open ];
+type chan;
+tracked(H) chan chan_open() [new H@idle, uses net];
+void chan_ready(tracked(H) chan h) [H@idle->open, uses net];
+void chan_xfer(tracked(H) chan h, int n) [H@open, uses net, uses io];
+void chan_close(tracked(H) chan h) [-H, uses net];
+"#;
+
 /// Generate a program according to the configuration.
 pub fn generate(cfg: &SynthConfig) -> SynthProgram {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut src = String::from(PRELUDE);
+    if cfg.shape == Shape::Sockets {
+        src.push_str(SOCKET_PRELUDE);
+    }
     let mut seeded = Vec::new();
     for i in 0..cfg.functions {
         let bug = if rng.gen_bool(cfg.bug_rate.clamp(0.0, 1.0)) {
-            let b = if rng.gen_bool(0.5) {
+            // Capability bugs only exist where capabilities are
+            // declared, i.e. in the Sockets shape.
+            let b = if cfg.shape == Shape::Sockets {
+                match rng.gen_range(0..3u8) {
+                    0 => SeededBug::Leak,
+                    1 => SeededBug::Dangling,
+                    _ => SeededBug::CapMissing,
+                }
+            } else if rng.gen_bool(0.5) {
                 SeededBug::Leak
             } else {
                 SeededBug::Dangling
@@ -125,6 +168,18 @@ fn gen_function(
         gen_variant_heavy_function(src, index, cfg);
         return;
     }
+    if cfg.shape == Shape::Sockets {
+        let callees: Vec<String> = (0..index).map(|k| format!("synth_fn_{k}")).collect();
+        gen_socket_function(
+            src,
+            &format!("synth_fn_{index}"),
+            &callees,
+            cfg.stmts_per_fn,
+            rng,
+            bug,
+        );
+        return;
+    }
     let _ = writeln!(src, "void synth_fn_{index}(bool flag, int n) {{");
     // One tracked region + guarded point per function; statements operate
     // on them so guard checks are exercised throughout.
@@ -147,7 +202,7 @@ fn gen_function(
             Shape::Straight => rng.gen_range(0..2u8),
             Shape::Branchy => 2,
             Shape::Loopy => 3,
-            Shape::VariantHeavy => unreachable!("handled separately"),
+            Shape::VariantHeavy | Shape::Sockets => unreachable!("handled separately"),
         };
         match choice {
             0 => {
@@ -221,6 +276,189 @@ fn gen_variant_heavy_function(src: &mut String, index: usize, cfg: &SynthConfig)
     let _ = writeln!(src, "}}");
 }
 
+/// A function driving the [`SOCKET_PRELUDE`] channel protocol under
+/// declared capabilities: open → ready → a run of transfers → close.
+/// `callees` are earlier functions eligible for cross-function calls.
+fn gen_socket_function(
+    src: &mut String,
+    name: &str,
+    callees: &[String],
+    stmts: usize,
+    rng: &mut StdRng,
+    bug: Option<SeededBug>,
+) {
+    let caps = if bug == Some(SeededBug::CapMissing) {
+        // seeded bug: `uses net` dropped while the body still opens,
+        // drives, and closes the channel.
+        "[uses io]"
+    } else {
+        "[uses net, uses io]"
+    };
+    let _ = writeln!(src, "void {name}(bool flag, int n) {caps} {{");
+    let _ = writeln!(src, "  tracked(H_{name}) chan ch = chan_open();");
+    let _ = writeln!(src, "  chan_ready(ch);");
+    let mut emitted = 2usize;
+    // Where the dangling transfer goes, if any: close early, touch after.
+    if bug == Some(SeededBug::Dangling) {
+        let _ = writeln!(src, "  chan_close(ch);");
+        let _ = writeln!(src, "  chan_xfer(ch, 1);");
+        emitted += 2;
+    }
+    while emitted < stmts {
+        match rng.gen_range(0..5u8) {
+            0 => {
+                let _ = writeln!(src, "  chan_xfer(ch, {});", rng.gen_range(1..9));
+            }
+            1 => {
+                let _ = writeln!(
+                    src,
+                    "  if (flag) {{ chan_xfer(ch, 1); }} else {{ chan_xfer(ch, 2); }}"
+                );
+            }
+            2 => {
+                let _ = writeln!(src, "  while (n > 0) {{ chan_xfer(ch, n); n = n - 1; }}");
+            }
+            3 if !callees.is_empty() => {
+                let callee = &callees[rng.gen_range(0..callees.len())];
+                let _ = writeln!(src, "  {callee}(flag, n);");
+            }
+            _ => {
+                // A nested, balanced channel lifetime.
+                let k = emitted;
+                let _ = writeln!(src, "  tracked(H_{name}_{k}) chan tmp{k} = chan_open();");
+                let _ = writeln!(src, "  chan_ready(tmp{k});");
+                let _ = writeln!(src, "  chan_xfer(tmp{k}, {k});");
+                let _ = writeln!(src, "  chan_close(tmp{k});");
+                emitted += 3;
+            }
+        }
+        emitted += 1;
+    }
+    match bug {
+        Some(SeededBug::Leak) => {
+            let _ = writeln!(src, "  // seeded bug: channel leaked");
+        }
+        // The dangling variant already consumed the key up front.
+        Some(SeededBug::Dangling) => {}
+        _ => {
+            let _ = writeln!(src, "  chan_close(ch);");
+        }
+    }
+    let _ = writeln!(src, "}}");
+}
+
+/// Parameters for the multi-unit project generator.
+#[derive(Clone, Copy, Debug)]
+pub struct ProjectConfig {
+    /// Number of worker units (the interface unit comes on top).
+    pub units: usize,
+    /// Functions per worker unit.
+    pub fns_per_unit: usize,
+    /// Approximate statements per function.
+    pub stmts_per_fn: usize,
+    /// RNG seed (generation is fully deterministic per seed).
+    pub seed: u64,
+    /// Fraction of worker units that receive exactly one seeded bug.
+    pub bug_rate: f64,
+}
+
+impl Default for ProjectConfig {
+    fn default() -> Self {
+        ProjectConfig {
+            units: 20,
+            fns_per_unit: 4,
+            stmts_per_fn: 12,
+            seed: 0x50c7,
+            bug_rate: 0.0,
+        }
+    }
+}
+
+/// A generated multi-unit project plus its ground truth.
+#[derive(Clone, Debug)]
+pub struct SynthProject {
+    /// `(unit name, source)` in manifest order; unit 0 is always the
+    /// `net_iface` interface unit every worker imports.
+    pub units: Vec<(String, String)>,
+    /// `vault.toml` text referencing `<name>.vlt` for each unit.
+    pub manifest: String,
+    /// Which units received which bug, by index into [`Self::units`].
+    pub seeded: Vec<(usize, SeededBug)>,
+}
+
+impl SynthProject {
+    /// Whether a project-mode check should accept every unit.
+    pub fn expect_accept(&self) -> bool {
+        self.seeded.is_empty()
+    }
+
+    /// Write the manifest and every unit source under `dir`
+    /// (`dir/vault.toml`, `dir/<name>.vlt`), creating the directory.
+    pub fn write_to(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("vault.toml"), &self.manifest)?;
+        for (name, source) in &self.units {
+            std::fs::write(dir.join(format!("{name}.vlt")), source)?;
+        }
+        Ok(())
+    }
+}
+
+/// Generate a scaling project: one shared socket-interface unit plus
+/// `cfg.units` worker units that import it, each a bundle of
+/// [`Shape::Sockets`]-style functions. With `bug_rate > 0` a
+/// deterministic fraction of worker units receives exactly one seeded
+/// protocol or capability bug; `seeded` records the ground truth.
+pub fn generate_project(cfg: &ProjectConfig) -> SynthProject {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x50c4e7);
+    let iface = format!("// Shared interface unit (generated)\n{SOCKET_PRELUDE}");
+    let mut units = vec![("net_iface".to_string(), iface)];
+    let mut manifest = String::from(
+        "# generated by `vaultc synth` — do not edit\n[[unit]]\npath = \"net_iface.vlt\"\n",
+    );
+    let mut seeded = Vec::new();
+    for u in 1..=cfg.units {
+        let name = format!("unit_{u:04}");
+        let mut src = String::from("import \"net_iface\";\n");
+        let bug = if rng.gen_bool(cfg.bug_rate.clamp(0.0, 1.0)) {
+            Some(match rng.gen_range(0..3u8) {
+                0 => SeededBug::Leak,
+                1 => SeededBug::Dangling,
+                _ => SeededBug::CapMissing,
+            })
+        } else {
+            None
+        };
+        // Drawn unconditionally so the RNG stream (and thus every clean
+        // unit) is identical whichever units are seeded.
+        let bug_fn = rng.gen_range(0..cfg.fns_per_unit.max(1));
+        let mut callees: Vec<String> = Vec::new();
+        for i in 0..cfg.fns_per_unit {
+            let fn_name = format!("u{u}_fn_{i}");
+            let this_bug = if i == bug_fn { bug } else { None };
+            gen_socket_function(
+                &mut src,
+                &fn_name,
+                &callees,
+                cfg.stmts_per_fn,
+                &mut rng,
+                this_bug,
+            );
+            callees.push(fn_name);
+        }
+        if let Some(b) = bug {
+            seeded.push((units.len(), b));
+        }
+        let _ = writeln!(manifest, "[[unit]]\npath = \"{name}.vlt\"");
+        units.push((name, src));
+    }
+    SynthProject {
+        units,
+        manifest,
+        seeded,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +504,84 @@ mod tests {
             shape: Shape::Mixed,
         });
         assert!(crate::count_loc(&large.source) > 5 * crate::count_loc(&small.source));
+    }
+
+    #[test]
+    fn project_generation_is_deterministic() {
+        let cfg = ProjectConfig {
+            units: 12,
+            fns_per_unit: 3,
+            stmts_per_fn: 10,
+            seed: 9,
+            bug_rate: 0.5,
+        };
+        let a = generate_project(&cfg);
+        let b = generate_project(&cfg);
+        assert_eq!(a.units, b.units);
+        assert_eq!(a.manifest, b.manifest);
+        assert_eq!(a.seeded, b.seeded);
+    }
+
+    #[test]
+    fn project_has_one_manifest_row_per_unit() {
+        let p = generate_project(&ProjectConfig {
+            units: 30,
+            ..ProjectConfig::default()
+        });
+        assert_eq!(p.units.len(), 31); // 30 workers + the interface unit
+        assert_eq!(p.manifest.matches("[[unit]]").count(), 31);
+        assert_eq!(p.units[0].0, "net_iface");
+        for (name, src) in &p.units[1..] {
+            assert!(src.starts_with("import \"net_iface\";"), "{name}");
+        }
+    }
+
+    #[test]
+    fn project_bug_rate_one_seeds_every_worker_unit() {
+        let p = generate_project(&ProjectConfig {
+            units: 8,
+            bug_rate: 1.0,
+            seed: 4,
+            ..ProjectConfig::default()
+        });
+        assert_eq!(p.seeded.len(), 8);
+        assert!(!p.expect_accept());
+        // Every bug class appears somewhere across a handful of seeds.
+        let mut classes: Vec<SeededBug> = Vec::new();
+        for seed in 0..6 {
+            let p = generate_project(&ProjectConfig {
+                units: 8,
+                bug_rate: 1.0,
+                seed,
+                ..ProjectConfig::default()
+            });
+            for (_, b) in p.seeded {
+                if !classes.contains(&b) {
+                    classes.push(b);
+                }
+            }
+        }
+        assert_eq!(classes.len(), 3, "bug classes seen: {classes:?}");
+    }
+
+    #[test]
+    fn clean_and_seeded_project_units_differ_only_by_the_bug() {
+        let clean = generate_project(&ProjectConfig {
+            units: 6,
+            bug_rate: 0.0,
+            seed: 11,
+            ..ProjectConfig::default()
+        });
+        let buggy = generate_project(&ProjectConfig {
+            units: 6,
+            bug_rate: 1.0,
+            seed: 11,
+            ..ProjectConfig::default()
+        });
+        // The RNG stream is stable: unseeded structure matches, so the
+        // two projects have identical unit names in identical order.
+        let names = |p: &SynthProject| p.units.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>();
+        assert_eq!(names(&clean), names(&buggy));
     }
 
     #[test]

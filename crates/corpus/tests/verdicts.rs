@@ -48,6 +48,19 @@ fn every_corpus_program_matches_its_expectation() {
 }
 
 #[test]
+fn unused_capability_warns_without_rejecting() {
+    // V704 is a warning: the verdict stays `Accepted`, so this mutant
+    // lives outside the Reject corpus and is asserted directly.
+    use vault_syntax::Code;
+    let r = check_source(
+        "sock_unused_cap",
+        &vault_corpus::sockets::unused_cap_source(),
+    );
+    assert_eq!(r.verdict(), Verdict::Accepted, "{}", r.render_diagnostics());
+    assert!(r.has_code(Code::CapUnused), "{}", r.render_diagnostics());
+}
+
+#[test]
 fn clean_synthetic_programs_are_accepted() {
     for seed in 0..5 {
         let p = synth::generate(&synth::SynthConfig {
@@ -76,6 +89,7 @@ fn every_shape_generates_well_typed_programs() {
         Shape::Branchy,
         Shape::Loopy,
         Shape::VariantHeavy,
+        Shape::Sockets,
     ] {
         let p = synth::generate(&synth::SynthConfig {
             functions: 5,
@@ -92,6 +106,72 @@ fn every_shape_generates_well_typed_programs() {
             p.source,
             r.render_diagnostics()
         );
+    }
+}
+
+#[test]
+fn sockets_shape_bugs_are_detected_with_their_codes() {
+    for seed in 0..6 {
+        let p = synth::generate(&synth::SynthConfig {
+            functions: 6,
+            stmts_per_fn: 10,
+            seed,
+            bug_rate: 0.7,
+            shape: Shape::Sockets,
+        });
+        let r = check_source("synth_sockets", &p.source);
+        if p.expect_accept() {
+            assert_eq!(r.verdict(), Verdict::Accepted, "seed {seed}");
+            continue;
+        }
+        assert_eq!(r.verdict(), Verdict::Rejected, "seed {seed}");
+        for (i, bug) in &p.seeded {
+            assert!(
+                r.has_code(bug.expected_code()),
+                "seed {seed}: fn {i} seeded {bug:?} but {} missing:\n{}",
+                bug.expected_code(),
+                r.render_diagnostics()
+            );
+        }
+    }
+}
+
+#[test]
+fn synthetic_project_units_carry_their_ground_truth() {
+    // Flatten each worker unit against the interface unit and check it
+    // alone: clean units are accepted, seeded units are rejected with
+    // the recorded code. (The project-mode variant of this assertion
+    // lives in the server crate's socket tests.)
+    let p = synth::generate_project(&synth::ProjectConfig {
+        units: 10,
+        fns_per_unit: 3,
+        stmts_per_fn: 10,
+        seed: 21,
+        bug_rate: 0.5,
+    });
+    assert!(!p.seeded.is_empty(), "seed produced no buggy units");
+    assert!(p.seeded.len() < 10, "seed produced no clean units");
+    let iface = &p.units[0].1;
+    for (i, (name, src)) in p.units.iter().enumerate().skip(1) {
+        let body = src.replacen("import \"net_iface\";\n", "", 1);
+        let r = check_source(name, &format!("{iface}\n{body}"));
+        match p.seeded.iter().find(|(u, _)| *u == i) {
+            None => assert_eq!(
+                r.verdict(),
+                Verdict::Accepted,
+                "{name}:\n{}",
+                r.render_diagnostics()
+            ),
+            Some((_, bug)) => {
+                assert_eq!(r.verdict(), Verdict::Rejected, "{name} seeded {bug:?}");
+                assert!(
+                    r.has_code(bug.expected_code()),
+                    "{name}: {bug:?} but {} missing:\n{}",
+                    bug.expected_code(),
+                    r.render_diagnostics()
+                );
+            }
+        }
     }
 }
 

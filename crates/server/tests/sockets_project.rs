@@ -1,0 +1,168 @@
+//! Detection-rate and determinism guarantees for the socket-server
+//! workload family (ISSUE 10).
+//!
+//! Three properties, each through the real `CheckService` project path:
+//! the clean three-unit project produces zero diagnostics; every seeded
+//! mutant — protocol (V3xx) and capability (V7xx) alike — is caught with
+//! its recorded code *in the unit that was mutated*; and the full
+//! diagnostic output (codes, messages, renderings, order) is
+//! byte-identical at `--jobs 1` and `--jobs 4`.
+
+use vault_core::Verdict;
+use vault_server::{CheckService, ServiceConfig, UnitIn};
+
+fn to_units(v: Vec<(&'static str, String)>) -> Vec<UnitIn> {
+    v.into_iter()
+        .map(|(name, source)| UnitIn {
+            name: name.to_string(),
+            source,
+        })
+        .collect()
+}
+
+/// Every observable per-unit output: verdict plus the full diagnostic
+/// renderings in order. Two runs are "the same" iff these are equal.
+#[derive(Debug, PartialEq)]
+struct OutputSheet {
+    per_unit: Vec<(String, Verdict, Vec<String>)>,
+}
+
+fn check_project(jobs: usize, units: Vec<UnitIn>) -> OutputSheet {
+    let svc = CheckService::new(ServiceConfig {
+        jobs,
+        cache_capacity: units.len() * 2 + 8,
+        ..Default::default()
+    });
+    let (reports, _) = svc.check_project(units);
+    OutputSheet {
+        per_unit: reports
+            .iter()
+            .map(|r| {
+                (
+                    r.summary.name.clone(),
+                    r.summary.verdict,
+                    r.summary
+                        .diagnostics
+                        .iter()
+                        .map(|d| d.rendered.clone())
+                        .collect(),
+                )
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn clean_socket_project_has_zero_diagnostics() {
+    let sheet = check_project(1, to_units(vault_corpus::sockets::project_units()));
+    assert_eq!(sheet.per_unit.len(), 3);
+    for (name, verdict, diags) in &sheet.per_unit {
+        assert_eq!(*verdict, Verdict::Accepted, "{name}");
+        assert!(diags.is_empty(), "{name} has diagnostics: {diags:?}");
+    }
+}
+
+#[test]
+fn every_socket_mutant_is_caught_in_its_unit() {
+    let mutants = vault_corpus::sockets::project_mutants();
+    assert!(mutants.len() >= 7, "mutant family shrank");
+    for (id, units, code) in mutants {
+        let unit_idx = vault_corpus::sockets::mutant_unit(id).unwrap();
+        let expected_unit = units[unit_idx].0.to_string();
+        let sheet = check_project(2, to_units(units));
+        let (name, verdict, diags) = &sheet.per_unit[unit_idx];
+        assert_eq!(*name, expected_unit, "{id}");
+        assert_eq!(*verdict, Verdict::Rejected, "{id}: mutant not rejected");
+        assert!(
+            diags.iter().any(|d| d.contains(&code.to_string())),
+            "{id}: {code} not reported in unit `{name}`: {diags:?}"
+        );
+        // The bug is localized: units the mutant did not touch stay
+        // clean unless they depend on the mutated unit's interface.
+        for (i, (other, v, _)) in sheet.per_unit.iter().enumerate() {
+            if i < unit_idx {
+                assert_eq!(
+                    *v,
+                    Verdict::Accepted,
+                    "{id}: upstream unit `{other}` dirtied"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn unused_capability_warning_survives_the_project_path() {
+    // The V704 mutant stays `Accepted` (warning severity) but the
+    // warning itself must flow through the service unchanged.
+    let units = vec![UnitIn {
+        name: "flat".to_string(),
+        source: vault_corpus::sockets::unused_cap_source(),
+    }];
+    let svc = CheckService::new(ServiceConfig::default());
+    let (reports, _) = svc.check_units(units);
+    let s = &reports[0].summary;
+    assert_eq!(s.verdict, Verdict::Accepted);
+    assert!(
+        s.diagnostics
+            .iter()
+            .any(|d| d.code == "V704" && d.severity == "warning"),
+        "V704 warning missing: {:?}",
+        s.diagnostics
+    );
+}
+
+#[test]
+fn socket_diagnostics_are_byte_identical_across_job_counts() {
+    // Clean project, every mutant project, and the warning-only source:
+    // each must render identically at --jobs 1 and --jobs 4.
+    let mut workloads: Vec<Vec<UnitIn>> = vec![to_units(vault_corpus::sockets::project_units())];
+    for (_, units, _) in vault_corpus::sockets::project_mutants() {
+        workloads.push(to_units(units));
+    }
+    for units in workloads {
+        let one = check_project(1, units.clone());
+        let four = check_project(4, units);
+        assert_eq!(one, four);
+    }
+}
+
+#[test]
+fn synthetic_socket_projects_detect_seeded_units_through_the_service() {
+    let p = vault_corpus::synth::generate_project(&vault_corpus::synth::ProjectConfig {
+        units: 40,
+        fns_per_unit: 3,
+        stmts_per_fn: 10,
+        seed: 17,
+        bug_rate: 0.3,
+    });
+    assert!(!p.seeded.is_empty(), "seed 17 produced no buggy units");
+    let units: Vec<UnitIn> = p
+        .units
+        .iter()
+        .map(|(name, source)| UnitIn {
+            name: name.clone(),
+            source: source.clone(),
+        })
+        .collect();
+    let one = check_project(1, units.clone());
+    let four = check_project(4, units);
+    assert_eq!(one, four, "job count changed synth project output");
+    for (i, (name, verdict, diags)) in one.per_unit.iter().enumerate() {
+        match p.seeded.iter().find(|(u, _)| *u == i) {
+            None => assert_eq!(
+                *verdict,
+                Verdict::Accepted,
+                "clean unit `{name}` rejected: {diags:?}"
+            ),
+            Some((_, bug)) => {
+                assert_eq!(*verdict, Verdict::Rejected, "`{name}` seeded {bug:?}");
+                let code = bug.expected_code().to_string();
+                assert!(
+                    diags.iter().any(|d| d.contains(&code)),
+                    "`{name}`: {code} not reported: {diags:?}"
+                );
+            }
+        }
+    }
+}

@@ -437,16 +437,25 @@ pub enum EffectItem {
         /// State it is created in.
         state: Option<Ident>,
     },
+    /// `uses c` — the function declares capability `c` (capability-effect
+    /// discipline, e.g. `uses net`). Not a key item: it names an ambient
+    /// authority the body may exercise, checked by the `V7xx` pass.
+    Uses {
+        /// The capability name.
+        cap: Ident,
+    },
 }
 
 impl EffectItem {
-    /// The key this item concerns.
+    /// The identifier this item concerns (the key, or the capability
+    /// name for a `uses` item).
     pub fn key(&self) -> &Ident {
         match self {
             EffectItem::Keep { key, .. }
             | EffectItem::Consume { key, .. }
             | EffectItem::Produce { key, .. }
             | EffectItem::Fresh { key, .. } => key,
+            EffectItem::Uses { cap } => cap,
         }
     }
 }

@@ -85,6 +85,17 @@ pub enum Code {
     /// The C emitter cannot translate a construct.
     CodegenUnsupported,
 
+    // --- capability-effect discipline -------------------------------------
+    /// A function with a declared capability set performs an operation
+    /// (intrinsic or call) requiring a capability it does not declare.
+    CapMissing,
+    /// A `uses` clause names a capability outside the known universe.
+    CapUnknown,
+    /// The same capability is declared twice on one function.
+    CapDuplicate,
+    /// A declared capability is never exercised by the body (warning).
+    CapUnused,
+
     // --- project / build graph --------------------------------------------
     /// A unit participates in (or depends on) an `import` cycle, so no
     /// signature environment can be built for it.
@@ -102,6 +113,49 @@ pub enum Code {
 }
 
 impl Code {
+    /// Every code, in declaration order. `as_str`/`from_str_code`/
+    /// `explain` are exhaustive matches, so adding a variant without
+    /// extending them is a compile error; adding one without extending
+    /// **this list** is caught by the round-trip test, which scans the
+    /// whole `V000`–`V999` string space against it.
+    pub const ALL: &'static [Code] = &[
+        Code::LexInvalidChar,
+        Code::LexUnterminated,
+        Code::LexIntOverflow,
+        Code::ParseUnexpected,
+        Code::ParseMalformed,
+        Code::UnknownName,
+        Code::DuplicateDecl,
+        Code::BadTypeArgs,
+        Code::TypeMismatch,
+        Code::BadStateset,
+        Code::UnknownState,
+        Code::BadEffect,
+        Code::KeyNotHeld,
+        Code::WrongKeyState,
+        Code::DuplicateKey,
+        Code::KeyLeak,
+        Code::MissingKeyAtExit,
+        Code::JoinMismatch,
+        Code::LoopInvariant,
+        Code::StateBound,
+        Code::Uninitialized,
+        Code::FnTypeMismatch,
+        Code::FreeUntracked,
+        Code::GlobalKeyMisuse,
+        Code::TrackedCopy,
+        Code::NonExhaustiveSwitch,
+        Code::CodegenUnsupported,
+        Code::CapMissing,
+        Code::CapUnknown,
+        Code::CapDuplicate,
+        Code::CapUnused,
+        Code::LimitExceeded,
+        Code::InternalError,
+        Code::ImportCycle,
+        Code::UnresolvedImport,
+    ];
+
     /// The stable string form, e.g. `V301`.
     pub fn as_str(self) -> &'static str {
         use Code::*;
@@ -133,6 +187,10 @@ impl Code {
             TrackedCopy => "V313",
             NonExhaustiveSwitch => "V314",
             CodegenUnsupported => "V401",
+            CapMissing => "V701",
+            CapUnknown => "V702",
+            CapDuplicate => "V703",
+            CapUnused => "V704",
             LimitExceeded => "V501",
             InternalError => "V502",
             ImportCycle => "V601",
@@ -173,6 +231,10 @@ impl Code {
             "V313" => TrackedCopy,
             "V314" => NonExhaustiveSwitch,
             "V401" => CodegenUnsupported,
+            "V701" => CapMissing,
+            "V702" => CapUnknown,
+            "V703" => CapDuplicate,
+            "V704" => CapUnused,
             "V501" => LimitExceeded,
             "V502" => InternalError,
             "V601" => ImportCycle,
@@ -270,6 +332,27 @@ impl Code {
                                     captured keys"
             }
             CodegenUnsupported => "the C back end cannot translate this construct",
+            CapMissing => {
+                "a function that declares a capability set (`uses` items in \
+                             its effect clause) performs an operation requiring a \
+                             capability it does not declare — an intrinsic (`new`/`free` \
+                             require `alloc`) or a call to a function whose own declared \
+                             set it does not cover; either declare the capability or \
+                             drop the operation. Functions with no `uses` items opt out \
+                             of the discipline entirely"
+            }
+            CapUnknown => {
+                "a `uses` clause names a capability outside the known \
+                            universe (alloc, io, net, sys, time); capability names are \
+                            a closed set so corpus expectations stay stable"
+            }
+            CapDuplicate => "the same capability is declared twice on one function",
+            CapUnused => {
+                "a declared capability is never exercised by the function \
+                           body, directly or through any call — dead authority that \
+                           widens the function's audit surface for nothing; this is a \
+                           warning, not an error"
+            }
             LimitExceeded => {
                 "checking stopped early because a configured resource limit \
                                was exceeded (parser recursion depth, loop-invariant \
@@ -637,51 +720,57 @@ mod tests {
 
     #[test]
     fn codes_are_unique() {
-        use Code::*;
-        let all = [
-            LexInvalidChar,
-            LexUnterminated,
-            LexIntOverflow,
-            ParseUnexpected,
-            ParseMalformed,
-            UnknownName,
-            DuplicateDecl,
-            BadTypeArgs,
-            TypeMismatch,
-            BadStateset,
-            UnknownState,
-            BadEffect,
-            KeyNotHeld,
-            WrongKeyState,
-            DuplicateKey,
-            KeyLeak,
-            MissingKeyAtExit,
-            JoinMismatch,
-            LoopInvariant,
-            StateBound,
-            Uninitialized,
-            FnTypeMismatch,
-            FreeUntracked,
-            GlobalKeyMisuse,
-            TrackedCopy,
-            NonExhaustiveSwitch,
-            CodegenUnsupported,
-            LimitExceeded,
-            InternalError,
-            ImportCycle,
-            UnresolvedImport,
-        ];
+        let all = Code::ALL;
         let mut strs: Vec<_> = all.iter().map(|c| c.as_str()).collect();
         strs.sort_unstable();
         strs.dedup();
         assert_eq!(strs.len(), all.len(), "duplicate diagnostic code strings");
         // Round trip through the string form, and every code explains
         // itself.
-        for c in all {
+        for &c in all {
             assert_eq!(Code::from_str_code(c.as_str()), Some(c));
             assert!(c.explain().len() > 20, "{c} lacks an explanation");
         }
         assert_eq!(Code::from_str_code("V999"), None);
+    }
+
+    /// Exhaustive round trip over the whole `V000`–`V999` string space:
+    /// every parseable string must print back to itself AND appear in
+    /// [`Code::ALL`], and every member of `ALL` must parse. A code added
+    /// to `from_str_code` but not `as_str` (or vice versa) is impossible
+    /// (both match exhaustively on the enum); a code added to both but
+    /// missed in `ALL` — the one-sided-table failure — is caught here.
+    #[test]
+    fn code_tables_round_trip_over_the_whole_string_space() {
+        let mut parseable = 0usize;
+        for n in 0..1000u32 {
+            let s = format!("V{n:03}");
+            if let Some(c) = Code::from_str_code(&s) {
+                parseable += 1;
+                assert_eq!(c.as_str(), s, "{s} does not print back to itself");
+                assert!(
+                    Code::ALL.contains(&c),
+                    "{s} parses but is missing from Code::ALL"
+                );
+            }
+        }
+        assert_eq!(
+            parseable,
+            Code::ALL.len(),
+            "Code::ALL and from_str_code cover different code sets"
+        );
+        for &c in Code::ALL {
+            assert_eq!(Code::from_str_code(c.as_str()), Some(c));
+        }
+        // The new capability family is present and stable.
+        for (s, c) in [
+            ("V701", Code::CapMissing),
+            ("V702", Code::CapUnknown),
+            ("V703", Code::CapDuplicate),
+            ("V704", Code::CapUnused),
+        ] {
+            assert_eq!(Code::from_str_code(s), Some(c));
+        }
     }
 
     #[test]

@@ -201,6 +201,9 @@ fn effect<'a>(e: &'a Effect, out: &mut BTreeSet<&'a str>) {
                     out.insert(&s.name);
                 }
             }
+            EffectItem::Uses { cap } => {
+                out.insert(&cap.name);
+            }
         }
     }
 }
@@ -535,6 +538,7 @@ fn effect_mut(e: &mut Effect, f: &mut impl FnMut(&mut Ident)) {
                     f(s);
                 }
             }
+            EffectItem::Uses { cap } => f(cap),
         }
     }
 }

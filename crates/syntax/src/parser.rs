@@ -741,6 +741,15 @@ impl<'d> Parser<'d> {
             }
             TokenKind::Ident(_) => {
                 let key = self.ident()?;
+                // `uses` is a contextual keyword: `uses net` declares a
+                // capability. A key literally named `uses` (followed by
+                // `,`, `]`, or `@`) still parses as a Keep item.
+                if key.name == "uses" {
+                    if let TokenKind::Ident(_) = self.peek() {
+                        let cap = self.ident()?;
+                        return Some(EffectItem::Uses { cap });
+                    }
+                }
                 let (from, to) = if self.eat(&TokenKind::At) {
                     let from = self.state_ref()?;
                     let to = if self.eat(&TokenKind::Arrow) {
@@ -1723,6 +1732,26 @@ mod tests {
             &accept_eff.items[1],
             EffectItem::Fresh { key, state: Some(s) } if key.name == "N" && s.name == "ready"
         ));
+    }
+
+    #[test]
+    fn parses_uses_capability_items() {
+        let p = parse_ok(
+            "void dial() [new C, uses net, uses alloc];\n\
+             void keyed() [uses, uses @raw];",
+        );
+        let funs = p.functions();
+        let dial = funs[0].effect.as_ref().expect("effect");
+        assert_eq!(dial.items.len(), 3);
+        assert!(matches!(&dial.items[1], EffectItem::Uses { cap } if cap.name == "net"));
+        assert!(matches!(&dial.items[2], EffectItem::Uses { cap } if cap.name == "alloc"));
+        // A key literally named `uses` still parses as a Keep item when
+        // not followed by an identifier.
+        let keyed = funs[1].effect.as_ref().expect("effect");
+        assert!(matches!(&keyed.items[0], EffectItem::Keep { key, .. } if key.name == "uses"));
+        assert!(
+            matches!(&keyed.items[1], EffectItem::Keep { key, from: Some(_), .. } if key.name == "uses")
+        );
     }
 
     #[test]

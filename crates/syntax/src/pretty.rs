@@ -437,6 +437,7 @@ fn effect(e: &Effect) -> String {
                 Some(st) => format!("new {key}@{st}"),
                 None => format!("new {key}"),
             },
+            EffectItem::Uses { cap } => format!("uses {cap}"),
         })
         .collect();
     format!("[{}]", items.join(", "))

@@ -307,6 +307,10 @@ pub struct FnSig {
     pub ret: Ty,
     /// The effect clause.
     pub effect: Vec<EffItem>,
+    /// Declared capability set (`uses` items, sorted, deduplicated).
+    /// Empty means the function opts out of the capability discipline:
+    /// it imposes no requirement on callers and incurs none itself.
+    pub caps: Vec<String>,
     /// Declared `<type T>` parameters.
     pub ty_params: Vec<String>,
 }
@@ -767,6 +771,7 @@ mod tests {
             param_names: vec![],
             ret: Ty::Void,
             effect: vec![],
+            caps: vec![],
             ty_params: vec![],
         };
         assert!(w.add_fn(sig.clone()));

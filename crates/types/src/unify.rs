@@ -765,6 +765,7 @@ mod tests {
                 key: KeyRef::var(kv),
                 from: StateReq::Any,
             }],
+            caps: vec![],
             ty_params: vec![],
         };
         let d = Ty::Fn(Box::new(sig("K")));
@@ -786,6 +787,7 @@ mod tests {
                 from: StateReq::Any,
                 to: None,
             }],
+            caps: vec![],
             ty_params: vec![],
         };
         let consume = FnSig {
@@ -797,6 +799,7 @@ mod tests {
                 key: KeyRef::var("K"),
                 from: StateReq::Any,
             }],
+            caps: vec![],
             ty_params: vec![],
         };
         let mut b = Bindings::new();

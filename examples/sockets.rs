@@ -1,70 +1,124 @@
-//! The Fig. 3 socket protocol, statically and dynamically.
+//! The socket-server workload, statically and dynamically.
 //!
-//! First the Vault checker enforces raw → named → listening → ready on
-//! source programs; then the same scenarios run on the in-memory socket
-//! simulator, showing the dynamic oracle agrees with the static verdicts.
+//! First the Vault checker runs the socket corpus family (experiments
+//! E14/E15): the capability-annotated accept-loop server is accepted and
+//! every seeded mutant — double close, use after close, leaked
+//! connection key, accept before listen, plus the V7xx capability bugs —
+//! is rejected with its recorded code. Then the same server shape runs
+//! on the in-memory socket simulator: an accept loop dispatches each
+//! connection to a per-connection handler that owns the connection and
+//! must close it, mirroring the `-C@ready` key transfer the checker
+//! enforces statically.
 //!
 //! Run with: `cargo run --example sockets`
 
 use vault::core::{check_source, Verdict};
 use vault::corpus::programs_for;
-use vault::runtime::{CommStyle, Domain, Network, SocketError};
+use vault::runtime::{CommStyle, Domain, Network, SockId, SocketError};
+
+/// The dynamic analogue of the corpus `handle_echo`: takes ownership of
+/// the connection (the `-C@ready` transfer), echoes one message, closes.
+fn handle_echo(net: &mut Network, conn: SockId) -> Result<(), SocketError> {
+    let msg = net.receive(conn)?;
+    net.send(conn, &msg)?;
+    net.close(conn)
+}
+
+/// The dynamic `handle_drain`: consume everything pending, then close.
+fn handle_drain(net: &mut Network, conn: SockId) -> Result<(), SocketError> {
+    while let Ok(msg) = net.receive(conn) {
+        drop(msg);
+    }
+    net.close(conn)
+}
 
 fn main() {
-    println!("── static: the Fig. 3 corpus (experiment E2) ──");
-    for p in programs_for("E2") {
+    println!("── static: the socket-server corpus (experiments E14/E15) ──");
+    for p in programs_for("E14").into_iter().chain(programs_for("E15")) {
         let r = check_source(p.id, &p.source);
         println!(
-            "  {:24} {:8} — {}",
+            "  {:28} {:8} — {}",
             p.id,
             r.verdict().to_string(),
             p.description
         );
     }
 
-    println!("\n── dynamic: the same protocol on the socket simulator ──");
+    println!("\n── dynamic: the same server on the socket simulator ──");
     let mut net = Network::new();
 
-    // The correct sequence.
-    let server = net.socket(Domain::Unix, CommStyle::Stream);
-    net.bind(server, 8080).expect("bind");
-    net.listen(server, 4).expect("listen");
-    let client = net.socket(Domain::Unix, CommStyle::Stream);
-    net.connect(client, 8080).expect("connect");
-    let conn = net.accept(server).expect("accept");
-    net.send(client, b"GET /").expect("send");
-    let msg = net.receive(conn).expect("receive");
-    println!("  server received {:?}", String::from_utf8_lossy(&msg));
+    // Listener setup: socket → bind → listen (raw → named → listening).
+    let listener = net.socket(Domain::Unix, CommStyle::Stream);
+    net.bind(listener, 8080).expect("bind");
+    net.listen(listener, 8).expect("listen");
 
-    // The misuse Fig. 3 prevents statically: listen before bind.
-    let raw = net.socket(Domain::Inet, CommStyle::Stream);
-    match net.listen(raw, 4) {
-        Err(SocketError::WrongState { expected, actual }) => println!(
-            "  listen on a raw socket → runtime protocol error: needs `{expected}`, was `{actual}`"
-        ),
+    // A few clients connect; the backlog queues them in order.
+    let mut clients = Vec::new();
+    for _ in 0..4 {
+        let c = net.socket(Domain::Unix, CommStyle::Stream);
+        net.connect(c, 8080).expect("connect");
+        clients.push(c);
+    }
+
+    // The accept loop: each accepted connection's "key" is handed to a
+    // handler which must close it — exactly the corpus `serve_one`.
+    let mut served = 0;
+    loop {
+        let conn = match net.accept(listener) {
+            Ok(conn) => conn,
+            Err(SocketError::WouldBlock) => break,
+            Err(e) => panic!("accept: {e}"),
+        };
+        // The backlog is FIFO, so connection `served` is clients[served];
+        // once accepted, the peer link is live and the client can speak.
+        net.send(clients[served], format!("hello {served}").as_bytes())
+            .expect("send");
+        if served % 2 == 0 {
+            handle_echo(&mut net, conn).expect("handle_echo");
+        } else {
+            handle_drain(&mut net, conn).expect("handle_drain");
+        }
+        served += 1;
+    }
+    println!("  served {served} connections through per-connection handlers");
+
+    // Echoed replies arrive back at the even-numbered clients.
+    for (i, &c) in clients.iter().enumerate() {
+        if let Ok(msg) = net.receive(c) {
+            println!("  client {i} got echo {:?}", String::from_utf8_lossy(&msg));
+        }
+        net.close(c).expect("client close");
+    }
+    net.close(listener).expect("listener close");
+
+    // The misuse the corpus mutant `sock_mut_double_close` seeds
+    // statically, observed dynamically: closing a connection twice.
+    let stray = net.socket(Domain::Inet, CommStyle::Stream);
+    net.close(stray).unwrap();
+    match net.close(stray) {
+        Err(SocketError::WrongState { expected, actual }) => {
+            println!("  double close → runtime protocol error: needs `{expected}`, was `{actual}`")
+        }
         other => panic!("expected a protocol error, got {other:?}"),
     }
 
-    net.close(conn).unwrap();
-    net.close(client).unwrap();
-    net.close(server).unwrap();
-    net.close(raw).unwrap();
     println!(
         "  leaked sockets: {}, violations observed: {}",
         net.leaked(),
         net.stats().violations
     );
+    assert_eq!(net.leaked(), 0, "handler lifecycle leaked a socket");
 
-    // Cross-check: the static corpus and this dynamic run agree on what
+    // Cross-check: the static family and the dynamic run agree on what
     // is and is not a protocol violation.
-    let statically_rejected = programs_for("E2")
+    let rejected = programs_for("E15")
         .iter()
-        .map(|p| (check_source(p.id, &p.source).verdict() == Verdict::Rejected) as u32)
-        .sum::<u32>();
+        .filter(|p| check_source(p.id, &p.source).verdict() == Verdict::Rejected)
+        .count();
     println!(
-        "\n  {} of {} E2 corpus programs rejected statically; the one dynamic\n  \
+        "\n  {} of {} seeded socket mutants rejected statically; the one dynamic\n  \
          misuse above was caught at run time — same protocol, two enforcers.",
-        statically_rejected,
-        programs_for("E2").len()
+        rejected,
+        programs_for("E15").len()
     );
 }
